@@ -1,0 +1,132 @@
+"""Ablations of KARL's design choices (DESIGN.md Section 6).
+
+1. chord upper vs SOTA constant upper (Lemma 3 in isolation);
+2. tangent at t_opt vs tangent at x_max (Theorem 1 vs Figure 5a);
+3. precomputed node statistics vs on-the-fly moment computation
+   (the O(d) claim of Lemma 2).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import get_workload, run_once
+from repro.bench import emit, render_table
+from repro.core import KernelAggregator
+from repro.core.bounds import BoundScheme, KARLBounds, SOTABounds
+from repro.core.linear import tangent
+from repro.index import KDTree
+
+
+class EndpointTangentBounds(BoundScheme):
+    """KARL's chord upper + the *naive* tangent at x_max (Figure 5a)."""
+
+    name = "karl-endpoint-tangent"
+
+    def __init__(self):
+        self._karl = KARLBounds()
+
+    def part_bounds(self, profile, lo, hi, s0, s1):
+        _, ub = self._karl.part_bounds(profile, lo, hi, s0, s1)
+        lb = tangent(profile, profile.clamp_tangent(hi)).aggregate(s0, s1)
+        return lb, ub
+
+
+class ChordUpperOnlyBounds(BoundScheme):
+    """SOTA lower + KARL chord upper: isolates Lemma 3's contribution."""
+
+    name = "chord-upper-only"
+
+    def __init__(self):
+        self._karl = KARLBounds()
+        self._sota = SOTABounds()
+
+    def part_bounds(self, profile, lo, hi, s0, s1):
+        lb, _ = self._sota.part_bounds(profile, lo, hi, s0, s1)
+        _, ub = self._karl.part_bounds(profile, lo, hi, s0, s1)
+        return lb, ub
+
+
+def _mean_iterations(wl, scheme, cap=80):
+    tree = KDTree(wl.points, weights=wl.weights, leaf_capacity=cap)
+    agg = KernelAggregator(tree, wl.kernel, scheme=scheme)
+    return float(np.mean(
+        [agg.tkaq(q, wl.tau).stats.iterations for q in wl.queries]
+    ))
+
+
+def build_bound_ablation():
+    rows = []
+    for name in ("home", "nsl-kdd", "ijcnn1"):
+        wl = get_workload(name)
+        rows.append([
+            name,
+            _mean_iterations(wl, "sota"),
+            _mean_iterations(wl, ChordUpperOnlyBounds()),
+            _mean_iterations(wl, EndpointTangentBounds()),
+            _mean_iterations(wl, "karl"),
+        ])
+    table = render_table(
+        "Ablation: mean TKAQ iterations by bound construction",
+        ["dataset", "SOTA", "+chord UB", "chord UB + tangent@xmax",
+         "KARL (chord + tangent@t_opt)"],
+        rows,
+    )
+    emit("ablation_bounds", table)
+    return rows
+
+
+def build_stats_ablation():
+    """Lemma 2: with precomputed (w, a, b) the moment is O(d); computing it
+    from the raw points is O(n d) and dominates as nodes grow."""
+    wl = get_workload("home")
+    tree = KDTree(wl.points, weights=wl.weights, leaf_capacity=80)
+    q = wl.queries[0]
+    q_sq = float(q @ q)
+    st = tree.stats
+
+    def with_stats():
+        for node in range(0, min(tree.num_nodes, 200)):
+            w = st.pos_w[node]
+            s1 = w * q_sq - 2.0 * float(st.pos_a[node] @ q) + st.pos_b[node]
+
+    def on_the_fly():
+        for node in range(0, min(tree.num_nodes, 200)):
+            sl = tree.leaf_slice(node)
+            diff = tree.points[sl] - q
+            (tree.weights[sl] * np.einsum("ij,ij->i", diff, diff)).sum()
+
+    timings = []
+    for label, fn in (("precomputed stats", with_stats),
+                      ("on-the-fly", on_the_fly)):
+        start = time.perf_counter()
+        for _ in range(20):
+            fn()
+        timings.append([label, (time.perf_counter() - start) / 20 * 1e3])
+    table = render_table(
+        "Ablation: moment computation time, 200 node bounds (ms)",
+        ["variant", "ms per pass"],
+        timings,
+    )
+    emit("ablation_stats", table)
+    return timings
+
+
+def test_bound_ablation(benchmark):
+    rows = run_once(benchmark, build_bound_ablation)
+    for row in rows:
+        name, sota, chord_only, endpoint, karl = row
+        assert karl <= sota + 1e-9
+        assert karl <= endpoint + 1e-9  # t_opt no worse than tangent@xmax
+
+
+def test_stats_ablation(benchmark):
+    timings = run_once(benchmark, build_stats_ablation)
+    assert timings[0][1] < timings[1][1]  # O(d) beats O(n d)
+
+
+if __name__ == "__main__":
+    build_bound_ablation()
+    build_stats_ablation()

@@ -1,0 +1,68 @@
+"""Figure 10 — type I-eps throughput, varying the relative error eps.
+
+The paper sweeps eps in {0.05, 0.1, 0.15, 0.2, 0.25, 0.3}: at very small
+eps no method has room to prune (all converge toward SCAN); as eps grows,
+KARL_auto pulls ahead of both Scikit/SOTA and SCAN.
+
+Expected shape: KARL's curve rises fastest with eps; at eps = 0.05 the
+methods bunch together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import MIN_SECONDS, get_workload, run_once
+from repro.bench import emit, make_method, render_table, tune_method
+from repro.bench.timers import throughput_ekaq
+
+DATASETS = ("miniboone", "home", "susy")
+EPSILONS = (0.05, 0.1, 0.15, 0.2, 0.25, 0.3)
+GRID = dict(kinds=("kd",), leaf_capacities=(40, 160), sample_size=10, rng=0)
+
+
+def build_fig10():
+    results = {}
+    for name in DATASETS:
+        wl = get_workload(name)
+        scan = make_method("scan", wl)
+        sota, _ = tune_method("sota", wl, "ekaq", **GRID)
+        karl, _ = tune_method("karl", wl, "ekaq", **GRID)
+        rows = []
+        for eps in EPSILONS:
+            rows.append([
+                eps,
+                float(throughput_ekaq(scan, wl.queries, eps, MIN_SECONDS)),
+                float(throughput_ekaq(sota, wl.queries, eps, MIN_SECONDS)),
+                float(throughput_ekaq(karl, wl.queries, eps, MIN_SECONDS)),
+            ])
+        results[name] = rows
+        table = render_table(
+            f"Figure 10: I-eps throughput vs relative error on {name}",
+            ["eps", "SCAN q/s", "SOTA_best q/s", "KARL_auto q/s"],
+            rows,
+        )
+        emit(f"fig10_epsilon_{name}", table)
+    return results
+
+
+def test_fig10(benchmark):
+    results = run_once(benchmark, build_fig10)
+    # deterministic shape check: looser eps means strictly less refinement
+    # work (throughput itself is noisy on shared machines)
+    for name in DATASETS:
+        wl = get_workload(name)
+        karl = make_method("karl", wl, leaf_capacity=80)
+        tight = sum(
+            karl.ekaq(q, EPSILONS[0]).stats.points_evaluated
+            for q in wl.queries[:15]
+        )
+        loose = sum(
+            karl.ekaq(q, EPSILONS[-1]).stats.points_evaluated
+            for q in wl.queries[:15]
+        )
+        assert loose <= tight, (name, loose, tight)
+
+
+if __name__ == "__main__":
+    build_fig10()

@@ -1,0 +1,64 @@
+"""Figure 11 — throughput on susy, varying the dataset size (I-tau, I-eps).
+
+The paper subsamples susy (up to 5M points there; scaled here).  SCAN's
+throughput decays ~1/n; the indexed methods decay more slowly, so their
+advantage grows with n — the core scalability claim.
+
+Expected shape: monotone-decreasing curves; KARL's ratio over SCAN (in
+work terms) improves with n.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import MIN_SECONDS, run_once, scaled
+from repro.bench import (
+    emit,
+    make_method,
+    render_table,
+    throughput_ekaq,
+    throughput_tkaq,
+    type1_workload,
+)
+
+SIZES = (5000, 10000, 20000, 40000, 80000)
+
+
+def build_fig11():
+    results = {}
+    for query_type in ("tkaq", "ekaq"):
+        rows = []
+        for size in SIZES:
+            wl = type1_workload("susy", n_queries=30, size=scaled(size))
+            param = wl.tau if query_type == "tkaq" else wl.eps
+            measure = throughput_tkaq if query_type == "tkaq" else throughput_ekaq
+            row = [wl.n]
+            for m in ("scan", "sota", "karl"):
+                method = make_method(m, wl, leaf_capacity=80)
+                row.append(float(measure(method, wl.queries, param, MIN_SECONDS)))
+            rows.append(row)
+        label = "I-tau (tau=mu)" if query_type == "tkaq" else "I-eps (eps=0.2)"
+        results[query_type] = rows
+        table = render_table(
+            f"Figure 11: throughput vs dataset size on susy, {label}",
+            ["n", "SCAN q/s", "SOTA q/s", "KARL q/s"],
+            rows,
+        )
+        emit(f"fig11_size_{query_type}", table)
+    return results
+
+
+def test_fig11(benchmark):
+    results = run_once(benchmark, build_fig11)
+    for query_type, rows in results.items():
+        scan = np.array([r[1] for r in rows])
+        karl = np.array([r[3] for r in rows])
+        # SCAN decays ~1/n; KARL decays more slowly => ratio improves
+        first_ratio = karl[0] / scan[0]
+        last_ratio = karl[-1] / scan[-1]
+        assert last_ratio > first_ratio, (query_type, first_ratio, last_ratio)
+
+
+if __name__ == "__main__":
+    build_fig11()

@@ -1,0 +1,69 @@
+"""Figure 12 — type I-tau throughput on mnist, varying dimensionality via PCA.
+
+The paper reduces the 784-dimensional mnist to {32, 64, 128, 256, 512, 784}
+dimensions with PCA (as in [15]) and re-runs the tau = mu workload.
+
+Expected shape: KARL_auto above SOTA_best at every dimensionality; absolute
+throughput falls as d grows (O(d) bound computations and weaker pruning).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import MIN_SECONDS, run_once, scaled
+from repro.baselines import ScanEvaluator
+from repro.bench import emit, make_method, render_table
+from repro.bench.timers import throughput_tkaq
+from repro.bench.workload import KAQWorkload
+from repro.core import GaussianKernel
+from repro.datasets import PCA, load_dataset
+from repro.kde import scott_gamma
+
+DIMS = (8, 16, 32, 64, 128, 256)
+
+
+def _reduced_workload(points, queries, dims):
+    pca = PCA(dims).fit(points)
+    pts = pca.transform(points)
+    qs = pca.transform(queries)
+    kernel = GaussianKernel(scott_gamma(pts))
+    wl = KAQWorkload(
+        name=f"mnist-d{dims}", weighting="I", points=pts,
+        weights=np.ones(pts.shape[0]), kernel=kernel, queries=qs, tau=0.0,
+    )
+    wl.tau = float(wl.ensure_exact().mean())
+    return wl
+
+
+def build_fig12():
+    rng = np.random.default_rng(0)
+    ds = load_dataset("mnist", size=scaled(3000))
+    queries = ds.sample_queries(30, rng)
+    rows = []
+    for dims in DIMS:
+        wl = _reduced_workload(ds.points, queries, dims)
+        row = [dims]
+        for m in ("scan", "sota", "karl"):
+            method = make_method(m, wl, leaf_capacity=80)
+            row.append(float(throughput_tkaq(method, wl.queries, wl.tau,
+                                             MIN_SECONDS)))
+        rows.append(row)
+    table = render_table(
+        "Figure 12: I-tau throughput on mnist vs PCA dimensionality",
+        ["d", "SCAN q/s", "SOTA q/s", "KARL q/s"],
+        rows,
+    )
+    emit("fig12_dimensionality", table)
+    return rows
+
+
+def test_fig12(benchmark):
+    rows = run_once(benchmark, build_fig12)
+    karl = np.array([r[3] for r in rows])
+    sota = np.array([r[2] for r in rows])
+    assert np.mean(karl >= 0.9 * sota) >= 0.7, (karl, sota)
+
+
+if __name__ == "__main__":
+    build_fig12()

@@ -1,0 +1,64 @@
+"""Figure 6 — lower/upper bound values vs. refinement iteration.
+
+Runs one type I-tau query on the home dataset with both bound schemes and
+prints the global lb/ub at checkpoints, as in the paper's convergence plot.
+
+Expected shape: KARL's lower bound crosses the threshold (and its gap
+closes) after far fewer iterations than SOTA's — the paper's Figure 6 has
+KARL stopping ~7x earlier on home.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import get_workload, run_once
+from repro.bench import emit, make_method, render_table
+
+
+def build_fig6():
+    wl = get_workload("home")
+    exact = wl.ensure_exact()
+    # pick a clearly-above-threshold query: the regime the paper plots
+    qi = int(np.argmax(exact))
+    q = wl.queries[qi]
+
+    traces = {}
+    for scheme in ("sota", "karl"):
+        method = make_method(scheme, wl, leaf_capacity=80)
+        res = method.tkaq(q, wl.tau, trace=True)
+        traces[scheme] = (res.trace, res.stats.iterations)
+
+    max_iters = max(t[1] for t in traces.values())
+    checkpoints = sorted(
+        {0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, max_iters}
+    )
+    rows = []
+    for it in checkpoints:
+        if it > max_iters:
+            continue
+        row = [it]
+        for scheme in ("sota", "karl"):
+            trace, stop = traces[scheme]
+            k = min(it, len(trace) - 1)
+            row += [trace.lowers[k], trace.uppers[k]]
+        rows.append(row)
+    table = render_table(
+        f"Figure 6: bound convergence, type I-tau on home "
+        f"(F={exact[qi]:.1f}, tau={wl.tau:.1f}; "
+        f"SOTA stops at {traces['sota'][1]}, KARL at {traces['karl'][1]})",
+        ["iter", "LB_sota", "UB_sota", "LB_karl", "UB_karl"],
+        rows,
+    )
+    emit("fig6_convergence", table)
+    return traces
+
+
+def test_fig6(benchmark):
+    traces = run_once(benchmark, build_fig6)
+    # KARL terminates no later than SOTA, and typically much earlier
+    assert traces["karl"][1] <= traces["sota"][1]
+
+
+if __name__ == "__main__":
+    build_fig6()

@@ -1,0 +1,54 @@
+"""Figure 7 — KARL throughput vs. leaf capacity for kd-tree and ball-tree.
+
+The paper's motivation for automatic tuning: on home and susy, the best
+(index, capacity) cell beats the worst by up to ~4x and the optimum moves
+across datasets.
+
+Expected shape: non-constant curves with different optima for the two
+datasets / index kinds.
+"""
+
+from __future__ import annotations
+
+from conftest import MIN_SECONDS, get_workload, run_once
+from repro.bench import emit, make_method, render_table
+from repro.bench.timers import throughput_tkaq
+
+CAPACITIES = (10, 20, 40, 80, 160, 320, 640)
+DATASETS = ("home", "susy")
+
+
+def build_fig7():
+    results = {}
+    for name in DATASETS:
+        wl = get_workload(name)
+        rows = []
+        for cap in CAPACITIES:
+            row = [cap]
+            for kind in ("kd", "ball"):
+                method = make_method("karl", wl, index=kind, leaf_capacity=cap)
+                row.append(
+                    float(throughput_tkaq(method, wl.queries, wl.tau, MIN_SECONDS))
+                )
+            rows.append(row)
+        results[name] = rows
+        table = render_table(
+            f"Figure 7{'ab'[DATASETS.index(name)]}: KARL throughput vs leaf "
+            f"capacity on {name} (I-tau)",
+            ["leaf_cap", "KARL_kd q/s", "KARL_ball q/s"],
+            rows,
+        )
+        emit(f"fig7_leaf_capacity_{name}", table)
+    return results
+
+
+def test_fig7(benchmark):
+    results = run_once(benchmark, build_fig7)
+    for name, rows in results.items():
+        kd = [r[1] for r in rows]
+        # the tuning knob matters: spread between best and worst capacity
+        assert max(kd) > 1.3 * min(kd), (name, kd)
+
+
+if __name__ == "__main__":
+    build_fig7()

@@ -1,0 +1,69 @@
+"""Kernel density classification benchmark (the Gan & Bailis use case).
+
+The paper's SOTA baseline [15] was built for threshold-based kernel
+density classification.  This benchmark measures classification
+throughput of the signed-weight KDE decision (a Type III TKAQ at tau = 0)
+for SCAN / SOTA / KARL on the labelled datasets.
+
+Expected shape: the decision is resolvable high in the tree for most
+queries (densities differ by orders of magnitude away from the class
+boundary), so KARL's tight bounds give it the largest lead of any
+workload family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import MIN_SECONDS, run_once, scaled
+from repro.bench import emit, render_table
+from repro.bench.timers import throughput_tkaq
+from repro.core import GaussianKernel, KernelAggregator
+from repro.baselines import ScanEvaluator
+from repro.datasets import load_dataset
+from repro.index import KDTree
+from repro.kde import KernelDensityClassifier
+
+DATASETS = ["ijcnn1", "a9a", "covtype-b"]
+
+
+def build_kdc():
+    rows = []
+    for name in DATASETS:
+        ds = load_dataset(name, size=scaled(8000))
+        rng = np.random.default_rng(0)
+        clf = KernelDensityClassifier(leaf_capacity=40).fit(ds.points, ds.labels)
+        queries = ds.sample_queries(40, rng)
+        kernel = GaussianKernel(clf.gamma_)
+        tree = clf.aggregator.tree
+
+        scan = ScanEvaluator(tree.points, kernel, tree.weights)
+        sota = KernelAggregator(tree, kernel, scheme="sota")
+        karl = clf.aggregator  # karl by default
+        cells = [
+            float(throughput_tkaq(m, queries, 0.0, MIN_SECONDS))
+            for m in (scan, sota, karl)
+        ]
+        work = np.mean(
+            [karl.tkaq(q, 0.0).stats.points_evaluated for q in queries]
+        )
+        rows.append([name, ds.n, cells[0], cells[1], cells[2],
+                     f"{work:.0f}/{ds.n}"])
+    table = render_table(
+        "Kernel density classification throughput (decisions/sec, tau=0)",
+        ["dataset", "n", "SCAN", "SOTA", "KARL", "KARL pts/decision"],
+        rows,
+    )
+    emit("kdc_classification", table)
+    return rows
+
+
+def test_kdc(benchmark):
+    rows = run_once(benchmark, build_kdc)
+    for row in rows:
+        sota, karl = row[3], row[4]
+        assert karl >= sota, row  # KARL's headline workload
+
+
+if __name__ == "__main__":
+    build_kdc()

@@ -1,0 +1,54 @@
+"""Micro-benchmarks: per-query latency by method, via pytest-benchmark.
+
+Unlike the table/figure reports, these use the benchmark fixture per
+(method, dataset) so pytest-benchmark's own comparison table shows the
+distributional statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import get_workload
+from repro.bench import make_method
+
+CASES = [
+    ("miniboone", "scan"),
+    ("miniboone", "sota"),
+    ("miniboone", "karl"),
+    ("nsl-kdd", "scan"),
+    ("nsl-kdd", "sota"),
+    ("nsl-kdd", "karl"),
+]
+
+
+@pytest.mark.parametrize("dataset,method", CASES)
+def test_tkaq_latency(benchmark, dataset, method):
+    wl = get_workload(dataset)
+    ev = make_method(method, wl, leaf_capacity=80)
+    queries = wl.queries
+    state = {"i": 0}
+
+    def one_query():
+        q = queries[state["i"] % len(queries)]
+        state["i"] += 1
+        return ev.tkaq(q, wl.tau).answer
+
+    benchmark.group = f"tkaq-{dataset}"
+    benchmark(one_query)
+
+
+@pytest.mark.parametrize("method", ["scan", "sota", "karl"])
+def test_ekaq_latency(benchmark, method):
+    wl = get_workload("home")
+    ev = make_method(method, wl, leaf_capacity=80)
+    queries = wl.queries
+    state = {"i": 0}
+
+    def one_query():
+        q = queries[state["i"] % len(queries)]
+        state["i"] += 1
+        return ev.ekaq(q, wl.eps).estimate
+
+    benchmark.group = "ekaq-home"
+    benchmark(one_query)

@@ -1,0 +1,112 @@
+"""Table VII — query throughput of all methods for all query types.
+
+Paper layout: rows are (query type, dataset), columns are SCAN, LibSVM,
+Scikit_best, SOTA_best, KARL_auto.  In this reproduction SCAN doubles as
+the LibSVM predictor (both are exact sequential scans over the point set)
+and Scikit_best shares the SOTA implementation, so the columns are SCAN /
+SOTA_best / KARL_auto, where *_best/_auto are grid-tuned per row exactly as
+in Section V-A2.
+
+Expected shape (paper): KARL_auto fastest everywhere; the margin over
+SOTA_best grows from Type I (2.8-21x in the paper) to Types II/III (up to
+738x).  Wall-clock ratios compress in pure Python because a refinement
+iteration costs ~1000x more relative to a scanned point than in C++, so
+the table also reports the machine-independent work ratio
+(points scanned by SCAN / points + node work touched by each method).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import MIN_SECONDS, get_workload, run_once
+from repro.bench import emit, make_method, render_table, tune_method
+from repro.bench.timers import throughput_ekaq, throughput_tkaq
+
+TYPE_ROWS = [
+    ("I-eps", ["miniboone", "home", "susy"]),
+    ("I-tau", ["miniboone", "home", "susy"]),
+    ("II-tau", ["nsl-kdd", "kdd99", "covtype"]),
+    ("III-tau", ["ijcnn1", "a9a", "covtype-b"]),
+]
+
+GRID = dict(kinds=("kd", "ball"), leaf_capacities=(40, 160), sample_size=12, rng=0)
+
+
+def _work_per_query(method, wl, query_type):
+    """Average 'points-equivalent' work per query: points evaluated plus
+    node bound computations (a node bound is O(d), like one point)."""
+    total = 0.0
+    for q in wl.queries:
+        if query_type == "ekaq":
+            st = method.ekaq(q, wl.eps).stats
+        else:
+            st = method.tkaq(q, wl.tau).stats
+        total += st.points_evaluated + 2.0 * st.nodes_expanded
+    return total / len(wl.queries)
+
+
+def _scikit_batch_throughput(wl):
+    """The real Scikit algorithm: Gray & Moore dual-tree over the batch."""
+    import time
+
+    from repro.core.dualtree import DualTreeEvaluator
+    from repro.index import KDTree
+
+    tree = KDTree(wl.points, weights=wl.weights, leaf_capacity=40)
+    dual = DualTreeEvaluator(tree, wl.kernel)
+    dual.ekaq_many(wl.queries, wl.eps)  # warm
+    start = time.perf_counter()
+    dual.ekaq_many(wl.queries, wl.eps)
+    return len(wl.queries) / (time.perf_counter() - start)
+
+
+def _row(name, query_type):
+    wl = get_workload(name)
+    param = wl.eps if query_type == "ekaq" else wl.tau
+    measure = throughput_ekaq if query_type == "ekaq" else throughput_tkaq
+
+    scan = make_method("scan", wl)
+    sota, _ = tune_method("sota", wl, query_type, **GRID)
+    karl, _ = tune_method("karl", wl, query_type, **GRID)
+
+    tputs = [float(measure(m, wl.queries, param, MIN_SECONDS))
+             for m in (scan, sota, karl)]
+    # Scikit's dual-tree only answers batch eKAQ (the paper's Table II note)
+    scikit = _scikit_batch_throughput(wl) if query_type == "ekaq" else "n/a"
+    scan_work = wl.n
+    works = [
+        scan_work / max(_work_per_query(m, wl, query_type), 1.0)
+        for m in (sota, karl)
+    ]
+    return ([name, wl.n, wl.d, tputs[0], scikit, tputs[1], tputs[2]]
+            + [round(w, 1) for w in works])
+
+
+def build_table7():
+    rows = []
+    for qtype, names in TYPE_ROWS:
+        query_type = "ekaq" if qtype == "I-eps" else "tkaq"
+        for name in names:
+            rows.append([qtype] + _row(name, query_type))
+    table = render_table(
+        "Table VII: throughput (queries/sec) and work-speedup vs SCAN",
+        ["type", "dataset", "n", "d", "SCAN q/s", "Scikit(dual) q/s",
+         "SOTA_best q/s", "KARL_auto q/s", "SOTA work-spdup",
+         "KARL work-spdup"],
+        rows,
+    )
+    emit("table7_throughput", table)
+    return rows
+
+
+def test_table7(benchmark):
+    rows = run_once(benchmark, build_table7)
+    # the paper's headline ordering: KARL >= SOTA in pruning work everywhere
+    for row in rows:
+        karl_work, sota_work = row[-1], row[-2]
+        assert karl_work >= 0.8 * sota_work
+
+
+if __name__ == "__main__":
+    build_table7()

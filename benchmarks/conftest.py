@@ -1,0 +1,78 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every ``bench_*`` module regenerates one table or figure of the paper's
+Section V; tables are printed to stdout and persisted under
+``benchmarks/results/``.  Dataset sizes are scaled down from the paper's
+(C++ on an i7) to pure-Python scale; set ``REPRO_BENCH_SCALE`` to grow or
+shrink every workload, e.g. ``REPRO_BENCH_SCALE=2 pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.workload import (
+    type1_workload,
+    type2_workload,
+    type3_workload,
+)
+
+#: per-dataset benchmark sizes (already scaled from the paper's Table VI)
+BENCH_SIZES = {
+    "mnist": 3000,
+    "miniboone": 6000,
+    "home": 20000,
+    "susy": 40000,
+    "nsl-kdd": 6000,
+    "kdd99": 12000,
+    "covtype": 10000,
+    "ijcnn1": 8000,
+    "a9a": 5000,
+    "covtype-b": 10000,
+}
+
+#: queries measured per table row (the paper uses 10,000 on native code)
+N_QUERIES = 40
+
+#: minimum wall time per throughput measurement
+MIN_SECONDS = 0.15
+
+
+def scaled(n: int) -> int:
+    """Apply the REPRO_BENCH_SCALE multiplier."""
+    return max(200, int(n * float(os.environ.get("REPRO_BENCH_SCALE", "1"))))
+
+
+_CACHE: dict = {}
+
+
+def get_workload(name: str, size: int | None = None, **kwargs):
+    """Build (and cache for the session) a workload for a dataset."""
+    size = scaled(size if size is not None else BENCH_SIZES[name])
+    key = (name, size, tuple(sorted(kwargs.items())))
+    if key not in _CACHE:
+        builders = {"I": type1_workload, "II": type2_workload, "III": type3_workload}
+        from repro.datasets.registry import DATASET_SPECS
+
+        weighting = DATASET_SPECS[name].weighting
+        _CACHE[key] = builders[weighting](
+            name, n_queries=N_QUERIES, size=size, **kwargs
+        )
+    return _CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    """Factory fixture: ``workloads(name, **kwargs)`` with session caching."""
+    return get_workload
+
+
+def run_once(benchmark, fn):
+    """Run a report builder exactly once under the benchmark fixture.
+
+    The interesting numbers are inside the emitted table; pytest-benchmark
+    just records the end-to-end build time of the experiment.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

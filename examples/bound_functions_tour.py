@@ -1,0 +1,102 @@
+"""A guided tour of KARL's bound functions (paper Figures 3-5 and 8).
+
+Prints, for each kernel profile, the SOTA constant bounds and KARL's
+linear bounds on a sample interval, plus an ASCII sketch of the geometry:
+the chord above a convex curve, the optimal tangent below it, and the
+anchored "rotate-down / rotate-up" lines for S-shaped profiles.
+
+Run:  python examples/bound_functions_tour.py
+"""
+
+import numpy as np
+
+from repro.core.bounds import envelope_lines
+from repro.core.profiles import (
+    GaussianProfile,
+    PolynomialProfile,
+    SigmoidProfile,
+)
+
+WIDTH, HEIGHT = 64, 17
+
+
+def sketch(profile, lo, hi, xbar):
+    lower, upper = envelope_lines(profile, lo, hi, xbar)
+    xs = np.linspace(lo, hi, WIDTH)
+    curves = {
+        "*": np.asarray(profile.value(xs), dtype=float),
+        "^": upper(xs),
+        "_": lower(xs),
+    }
+    lo_y = min(c.min() for c in curves.values())
+    hi_y = max(c.max() for c in curves.values())
+    span = hi_y - lo_y or 1.0
+    canvas = [[" "] * WIDTH for _ in range(HEIGHT)]
+    for ch in ("^", "_", "*"):  # curve drawn last so it wins overlaps
+        ys = curves[ch]
+        for i, y in enumerate(ys):
+            row = int((y - lo_y) / span * (HEIGHT - 1))
+            canvas[HEIGHT - 1 - row][i] = ch
+    return "\n".join("   " + "".join(row) for row in canvas), lower, upper
+
+
+def describe(title, profile, lo, hi, xs, ws):
+    s0 = ws.sum()
+    s1 = float(ws @ xs)
+    exact = float(ws @ profile.value(xs))
+    gmin, gmax = profile.range_on(lo, hi)
+    art, lower, upper = sketch(profile, lo, hi, s1 / s0)
+
+    print(f"\n=== {title} on [{lo:g}, {hi:g}] ===")
+    print(f"shape: {profile.shape_on(lo, hi)}")
+    print(art)
+    print("   * curve    ^ KARL upper line    _ KARL lower line")
+    print(f"exact aggregate          : {exact:12.5f}")
+    print(f"SOTA bounds  (constant)  : [{s0 * gmin:12.5f}, {s0 * gmax:12.5f}]")
+    print(
+        f"KARL bounds  (linear)    : [{lower.aggregate(s0, s1):12.5f}, "
+        f"{upper.aggregate(s0, s1):12.5f}]"
+    )
+
+
+def main():
+    rng = np.random.default_rng(0)
+
+    # Figure 3-5: convex exp(-x) — chord upper, optimal tangent lower
+    xs = rng.uniform(0.2, 2.2, 12)
+    describe(
+        "Gaussian profile exp(-x)  (Figures 3-5)",
+        GaussianProfile(1.0), 0.2, 2.2, xs, np.ones(12),
+    )
+
+    # Figure 8: odd polynomial x^3 — anchored rotate-down / rotate-up lines
+    xs = rng.uniform(-1.0, 1.0, 12)
+    describe(
+        "cubic profile x^3  (Figure 8)",
+        PolynomialProfile(1.0, 0.0, 3), -1.0, 1.0, xs, np.ones(12),
+    )
+
+    # sigmoid tanh(x) — the other S-shape (convex-then-concave)
+    xs = rng.uniform(-2.0, 2.0, 12)
+    describe(
+        "sigmoid profile tanh(x)  (Section IV-B)",
+        SigmoidProfile(1.0, 0.0), -2.0, 2.0, xs, np.ones(12),
+    )
+
+    # Theorem 1 in action: the tangent point that maximises the lower bound
+    profile = GaussianProfile(1.0)
+    xs = rng.uniform(0.5, 3.0, 200)
+    ws = np.ones(200)
+    t_opt = float(ws @ xs) / ws.sum()
+    print("\n=== Theorem 1: optimal tangent point ===")
+    print(f"t_opt = weighted mean of arguments = {t_opt:.4f}")
+    from repro.core.linear import tangent
+
+    for t in (xs.max(), t_opt, xs.min()):
+        val = tangent(profile, t).aggregate(ws.sum(), float(ws @ xs))
+        marker = "  <- maximum" if abs(t - t_opt) < 1e-12 else ""
+        print(f"  lower bound from tangent at t={t:6.3f}: {val:10.4f}{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs `wheel` for PEP 660 editable
+installs on this setuptools version; `python setup.py develop` works offline.
+Configuration lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

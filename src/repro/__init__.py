@@ -1,0 +1,158 @@
+"""repro — a full reproduction of KARL: Fast Kernel Aggregation Queries.
+
+KARL (Chan, Yiu, U — ICDE 2019) accelerates kernel aggregation queries
+
+    F_P(q) = sum_i w_i K(q, p_i)
+
+with linear lower/upper bound functions over hierarchical indexes, for
+threshold queries (TKAQ), approximate queries (eKAQ), all three weighting
+types (kernel density, 1-class SVM, 2-class SVM), and Gaussian /
+polynomial / sigmoid kernels.
+
+Quickstart::
+
+    import numpy as np
+    from repro import GaussianKernel, KDTree, KernelAggregator
+
+    points = np.random.default_rng(0).random((10_000, 8))
+    tree = KDTree(points, leaf_capacity=80)
+    agg = KernelAggregator(tree, GaussianKernel(gamma=10.0))
+    agg.tkaq(points[0], tau=50.0)    # is F_P(q) > 50 ?
+    agg.ekaq(points[0], eps=0.2)     # F_P(q) within +-20%
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+"""
+
+from repro.baselines import ScanEvaluator
+from repro.core import (
+    DEFAULT_LEAF_CAPACITIES,
+    BatchKernelAggregator,
+    BoundScheme,
+    BoundTrace,
+    DualTreeEvaluator,
+    CauchyKernel,
+    EpanechnikovKernel,
+    DataShapeError,
+    EKAQResult,
+    GaussianKernel,
+    HybridBounds,
+    InSituReport,
+    InvalidParameterError,
+    KARLBounds,
+    Kernel,
+    KernelAggregator,
+    LaplacianKernel,
+    NotFittedError,
+    OfflineTuner,
+    OfflineTuningReport,
+    OnlineTuner,
+    PolynomialKernel,
+    QueryStats,
+    ReproError,
+    SigmoidKernel,
+    SOTABounds,
+    StreamingAggregator,
+    TKAQResult,
+    kernel_from_name,
+)
+from repro.datasets import (
+    DATASET_SPECS,
+    PCA,
+    Dataset,
+    dataset_names,
+    load_dataset,
+    train_test_split,
+)
+from repro.index import (
+    BallTree,
+    KDTree,
+    SpatialIndex,
+    build_index,
+    load_index,
+    save_index,
+)
+from repro.kde import (
+    KernelDensity,
+    KernelDensityClassifier,
+    MulticlassKernelDensityClassifier,
+    scott_bandwidth,
+    scott_gamma,
+)
+from repro.regression import NadarayaWatson
+from repro.svm import (
+    SVC,
+    MinMaxScaler,
+    OneClassSVM,
+    OneVsOneSVC,
+    select_one_class_nu,
+    select_svc_params,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core engine
+    "KernelAggregator",
+    "StreamingAggregator",
+    "BatchKernelAggregator",
+    "DualTreeEvaluator",
+    "BoundScheme",
+    "KARLBounds",
+    "SOTABounds",
+    "HybridBounds",
+    "QueryStats",
+    "TKAQResult",
+    "EKAQResult",
+    "BoundTrace",
+    # kernels
+    "Kernel",
+    "GaussianKernel",
+    "LaplacianKernel",
+    "CauchyKernel",
+    "EpanechnikovKernel",
+    "PolynomialKernel",
+    "SigmoidKernel",
+    "kernel_from_name",
+    # indexes
+    "SpatialIndex",
+    "KDTree",
+    "BallTree",
+    "build_index",
+    "save_index",
+    "load_index",
+    # tuning
+    "OfflineTuner",
+    "OfflineTuningReport",
+    "OnlineTuner",
+    "InSituReport",
+    "DEFAULT_LEAF_CAPACITIES",
+    # baselines
+    "ScanEvaluator",
+    # applications
+    "KernelDensity",
+    "KernelDensityClassifier",
+    "MulticlassKernelDensityClassifier",
+    "scott_bandwidth",
+    "scott_gamma",
+    "SVC",
+    "OneClassSVM",
+    "OneVsOneSVC",
+    "MinMaxScaler",
+    "select_one_class_nu",
+    "select_svc_params",
+    "NadarayaWatson",
+    # datasets
+    "Dataset",
+    "DATASET_SPECS",
+    "dataset_names",
+    "load_dataset",
+    "train_test_split",
+    "PCA",
+    # errors
+    "ReproError",
+    "InvalidParameterError",
+    "DataShapeError",
+    "NotFittedError",
+    "__version__",
+]

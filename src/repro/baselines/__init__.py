@@ -1,0 +1,5 @@
+"""Comparison baselines: the sequential scan (SCAN / LibSVM-style predict)."""
+
+from repro.baselines.scan import ScanEvaluator
+
+__all__ = ["ScanEvaluator"]

@@ -1,0 +1,77 @@
+"""Sequential-scan baseline (SCAN) and LibSVM-style exact prediction.
+
+SCAN computes ``F_P(q)`` with no pruning — O(n d) per query.  It is both a
+comparison method in every experiment (paper Section V-A2) and the ground
+truth the tests verify bounds against.  LibSVM's predictor is the same
+sequential scan applied to the support-vector expansion, so this module
+serves for both baseline rows of Table VII.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import as_matrix, as_vector
+from repro.core.kernels import Kernel
+from repro.core.results import EKAQResult, QueryStats, TKAQResult
+
+__all__ = ["ScanEvaluator"]
+
+
+class ScanEvaluator:
+    """Exact evaluator over a raw weighted point set (no index).
+
+    Mirrors :class:`~repro.core.aggregator.KernelAggregator`'s query API so
+    benchmarks can swap methods freely.
+    """
+
+    def __init__(self, points, kernel: Kernel, weights=None):
+        self.points = as_matrix(points)
+        n = self.points.shape[0]
+        if weights is None:
+            self.weights = np.ones(n)
+        else:
+            self.weights = np.asarray(weights, dtype=np.float64)
+            if self.weights.ndim == 0:
+                self.weights = np.full(n, float(self.weights))
+        self.kernel = kernel
+        self.sq_norms = np.einsum("ij,ij->i", self.points, self.points)
+        self.d = self.points.shape[1]
+
+    def exact(self, q) -> float:
+        """Exact ``F_P(q)``."""
+        q = as_vector(q, self.d)
+        vals = self.kernel.pairwise(q, self.points, self.sq_norms, float(q @ q))
+        return float(self.weights @ vals)
+
+    def exact_many(self, queries) -> np.ndarray:
+        """Exact ``F_P(q)`` for each row of ``queries``."""
+        return np.array([self.exact(q) for q in np.atleast_2d(queries)])
+
+    def _stats(self) -> QueryStats:
+        n = self.points.shape[0]
+        return QueryStats(iterations=1, leaves_evaluated=1, points_evaluated=n)
+
+    def tkaq(self, q, tau: float, trace: bool = False) -> TKAQResult:
+        """Threshold query answered by exact evaluation."""
+        value = self.exact(q)
+        return TKAQResult(
+            answer=value > tau, lower=value, upper=value, tau=float(tau),
+            stats=self._stats(),
+        )
+
+    def ekaq(self, q, eps: float, trace: bool = False) -> EKAQResult:
+        """Approximate query answered by exact evaluation (error 0)."""
+        value = self.exact(q)
+        return EKAQResult(
+            estimate=value, lower=value, upper=value, eps=float(eps),
+            stats=self._stats(),
+        )
+
+    def tkaq_many(self, queries, tau: float) -> np.ndarray:
+        """Vector of TKAQ answers."""
+        return self.exact_many(queries) > tau
+
+    def ekaq_many(self, queries, eps: float) -> np.ndarray:
+        """Vector of eKAQ estimates (exact values)."""
+        return self.exact_many(queries)

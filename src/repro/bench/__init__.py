@@ -1,0 +1,28 @@
+"""Benchmark harness: workload builders, method registry, timing, tables."""
+
+from repro.bench.methods import METHOD_NAMES, make_method, tune_method
+from repro.bench.reporting import emit, render_table
+from repro.bench.timers import Throughput, throughput_ekaq, throughput_tkaq
+from repro.bench.workload import (
+    KAQWorkload,
+    type1_workload,
+    type2_workload,
+    type3_workload,
+    workload_for,
+)
+
+__all__ = [
+    "KAQWorkload",
+    "type1_workload",
+    "type2_workload",
+    "type3_workload",
+    "workload_for",
+    "make_method",
+    "tune_method",
+    "METHOD_NAMES",
+    "throughput_tkaq",
+    "throughput_ekaq",
+    "Throughput",
+    "render_table",
+    "emit",
+]

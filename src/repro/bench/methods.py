@@ -1,0 +1,76 @@
+"""Benchmark method registry: SCAN, SOTA_best, KARL_auto, and variants.
+
+The paper compares (Section V-A2):
+
+* **SCAN** — sequential scan, no pruning (also stands in for LibSVM's
+  predictor, which scans the support vectors).
+* **Scikit_best** — the Gray & Moore style algorithm, i.e. SOTA bounds over
+  the better of {kd, ball}; in this reproduction SOTA and Scikit share an
+  implementation, so Scikit's rows are the SOTA rows for query type I-eps.
+* **SOTA_best** — SOTA bounds with the best (index, leaf capacity) found by
+  grid search.
+* **KARL_auto** — KARL bounds with the automatically tuned index.
+
+``make_method`` builds an evaluator with a query API shared by all of them
+(``tkaq``/``ekaq``/``exact``), so benchmark loops are method-agnostic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.scan import ScanEvaluator
+from repro.core.aggregator import KernelAggregator
+from repro.core.errors import InvalidParameterError
+from repro.core.tuning import OfflineTuner
+from repro.bench.workload import KAQWorkload
+from repro.index.builder import build_index
+
+__all__ = ["make_method", "tune_method", "METHOD_NAMES"]
+
+METHOD_NAMES = ("scan", "sota", "karl", "hybrid")
+
+
+def make_method(
+    name: str,
+    workload: KAQWorkload,
+    index: str = "kd",
+    leaf_capacity: int = 80,
+):
+    """Build an evaluator for ``name`` over the workload's point set."""
+    if name == "scan":
+        return ScanEvaluator(workload.points, workload.kernel, workload.weights)
+    if name in ("sota", "karl", "hybrid"):
+        tree = build_index(
+            index, workload.points, weights=workload.weights,
+            leaf_capacity=leaf_capacity,
+        )
+        return KernelAggregator(tree, workload.kernel, scheme=name)
+    raise InvalidParameterError(
+        f"unknown method {name!r}; expected one of {METHOD_NAMES}"
+    )
+
+
+def tune_method(
+    scheme: str,
+    workload: KAQWorkload,
+    query_type: str,
+    kinds=("kd", "ball"),
+    leaf_capacities=(20, 80, 320),
+    sample_size: int = 50,
+    rng=None,
+):
+    """Grid-tuned evaluator (``SOTA_best`` / ``KARL_auto``) plus its report.
+
+    A compact version of the paper's offline tuner: same grid structure,
+    smaller sample so benchmark setup stays fast.
+    """
+    param = workload.tau if query_type == "tkaq" else workload.eps
+    tuner = OfflineTuner(
+        workload.kernel, scheme=scheme, kinds=kinds,
+        leaf_capacities=leaf_capacities, sample_size=sample_size, rng=rng,
+    )
+    agg, report = tuner.tune(
+        workload.points, workload.weights, workload.queries, query_type, param
+    )
+    return agg, report

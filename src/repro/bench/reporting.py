@@ -1,0 +1,59 @@
+"""Fixed-width table rendering for benchmark output.
+
+Every benchmark prints a table in the same row/column layout as the
+corresponding paper table or figure series, so EXPERIMENTS.md can compare
+shapes side by side.  Results are also appended to
+``benchmarks/results/<name>.txt`` for the record.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["render_table", "emit"]
+
+#: directory the emit() helper persists tables to (created lazily)
+RESULTS_DIR = Path(os.environ.get("REPRO_BENCH_RESULTS", "benchmarks/results"))
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render_table(title: str, headers: list[str], rows: list[list]) -> str:
+    """Render an aligned fixed-width table with a title rule."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        title,
+        "=" * max(len(title), len(sep)),
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def emit(name: str, table: str) -> str:
+    """Print a table and persist it under the results directory."""
+    print("\n" + table + "\n")
+    try:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+    except OSError:
+        pass  # read-only checkout: stdout still has the table
+    return table

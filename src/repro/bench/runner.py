@@ -1,0 +1,104 @@
+"""Command-line entry point to regenerate individual paper experiments.
+
+Usage::
+
+    python -m repro.bench.runner --list
+    python -m repro.bench.runner table7 fig6
+    python -m repro.bench.runner all
+
+Each experiment prints its table (and persists it under
+``benchmarks/results/``).  This is a thin dispatcher over the
+``benchmarks/bench_*.py`` modules so they stay runnable without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+from pathlib import Path
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: experiment id -> (bench module file, builder function names)
+EXPERIMENTS = {
+    "table7": ("bench_table7_throughput.py", ["build_table7"]),
+    "table8": ("bench_table8_offline_tuning.py", ["build_table8"]),
+    "table9": ("bench_table9_insitu.py", ["build_table9"]),
+    "table10": ("bench_table10_polynomial.py", ["build_table10"]),
+    "fig6": ("bench_fig6_convergence.py", ["build_fig6"]),
+    "fig7": ("bench_fig7_leaf_capacity.py", ["build_fig7"]),
+    "fig9": ("bench_fig9_threshold_sweep.py", ["build_fig9"]),
+    "fig10": ("bench_fig10_epsilon_sweep.py", ["build_fig10"]),
+    "fig11": ("bench_fig11_size_sweep.py", ["build_fig11"]),
+    "fig12": ("bench_fig12_dimensionality.py", ["build_fig12"]),
+    "fig13": ("bench_fig13_tightness.py", ["build_fig13"]),
+    "ablation": ("bench_ablation_bounds.py",
+                 ["build_bound_ablation", "build_stats_ablation"]),
+    "ablation-batch": ("bench_ablation_batch.py", ["build_batch_ablation"]),
+    "streaming": ("bench_streaming.py", ["build_streaming_bench"]),
+    "kdc": ("bench_kdc.py", ["build_kdc"]),
+    "dualtree": ("bench_dualtree.py", ["build_dualtree_bench"]),
+}
+
+
+def _benchmarks_dir() -> Path:
+    """Locate the benchmarks/ directory relative to the repo root."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        cand = parent / "benchmarks"
+        if (cand / "conftest.py").exists():
+            return cand
+    raise FileNotFoundError(
+        "benchmarks/ directory not found; run from a source checkout"
+    )
+
+
+def _load_module(path: Path):
+    # bench modules import their shared helpers as `from conftest import ...`
+    bench_dir = str(path.parent)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_experiment(name: str) -> None:
+    """Run one experiment's builder(s) and print its table(s)."""
+    filename, builders = EXPERIMENTS[name]
+    module = _load_module(_benchmarks_dir() / filename)
+    for builder in builders:
+        getattr(module, builder)()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.runner",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for name, (filename, _) in EXPERIMENTS.items():
+            print(f"{name:10s} {filename}")
+        return 0
+
+    wanted = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    unknown = [w for w in wanted if w not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; use --list")
+    for name in wanted:
+        print(f"\n### {name} ###")
+        run_experiment(name)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

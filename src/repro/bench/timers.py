@@ -1,0 +1,43 @@
+"""Throughput measurement helpers (queries per second, as the paper reports)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+__all__ = ["throughput_tkaq", "throughput_ekaq", "Throughput"]
+
+
+class Throughput(float):
+    """Queries/second with a pretty repr for benchmark tables."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{float(self):.3g} q/s"
+
+
+def _measure(fn, queries, min_seconds: float) -> Throughput:
+    """Run ``fn(q)`` over ``queries`` (cycling) for at least ``min_seconds``."""
+    queries = np.atleast_2d(queries)
+    n = queries.shape[0]
+    done = 0
+    start = time.perf_counter()
+    while True:
+        fn(queries[done % n])
+        done += 1
+        elapsed = time.perf_counter() - start
+        if done >= n and elapsed >= min_seconds:
+            break
+        if elapsed >= 4.0 * min_seconds and done >= 3:
+            break  # slow method: stop early with at least a few samples
+    return Throughput(done / elapsed)
+
+
+def throughput_tkaq(method, queries, tau: float, min_seconds: float = 0.2) -> Throughput:
+    """TKAQ queries/second of ``method`` over the query set."""
+    return _measure(lambda q: method.tkaq(q, tau), queries, min_seconds)
+
+
+def throughput_ekaq(method, queries, eps: float, min_seconds: float = 0.2) -> Throughput:
+    """eKAQ queries/second of ``method`` over the query set."""
+    return _measure(lambda q: method.ekaq(q, eps), queries, min_seconds)

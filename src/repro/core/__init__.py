@@ -1,0 +1,91 @@
+"""KARL core: kernels, linear bound functions, the query evaluator, tuning."""
+
+from repro.core.aggregator import KernelAggregator, resolve_scheme
+from repro.core.batch import BatchKernelAggregator
+from repro.core.dualtree import DualTreeEvaluator
+from repro.core.bounds import (
+    BoundScheme,
+    HybridBounds,
+    KARLBounds,
+    SOTABounds,
+    envelope_lines,
+)
+from repro.core.errors import (
+    DataShapeError,
+    InvalidParameterError,
+    NotFittedError,
+    ReproError,
+)
+from repro.core.kernels import (
+    CauchyKernel,
+    EpanechnikovKernel,
+    GaussianKernel,
+    Kernel,
+    LaplacianKernel,
+    PolynomialKernel,
+    SigmoidKernel,
+    kernel_from_name,
+)
+from repro.core.linear import Line, chord, tangent
+from repro.core.profiles import (
+    CauchyProfile,
+    EpanechnikovProfile,
+    GaussianProfile,
+    LaplacianProfile,
+    PolynomialProfile,
+    ScalarProfile,
+    SigmoidProfile,
+)
+from repro.core.results import BoundTrace, EKAQResult, QueryStats, TKAQResult
+from repro.core.streaming import StreamingAggregator
+from repro.core.tuning import (
+    DEFAULT_LEAF_CAPACITIES,
+    InSituReport,
+    OfflineTuner,
+    OfflineTuningReport,
+    OnlineTuner,
+)
+
+__all__ = [
+    "KernelAggregator",
+    "StreamingAggregator",
+    "BatchKernelAggregator",
+    "DualTreeEvaluator",
+    "resolve_scheme",
+    "BoundScheme",
+    "KARLBounds",
+    "SOTABounds",
+    "HybridBounds",
+    "envelope_lines",
+    "Line",
+    "chord",
+    "tangent",
+    "Kernel",
+    "GaussianKernel",
+    "LaplacianKernel",
+    "CauchyKernel",
+    "EpanechnikovKernel",
+    "PolynomialKernel",
+    "SigmoidKernel",
+    "kernel_from_name",
+    "ScalarProfile",
+    "GaussianProfile",
+    "LaplacianProfile",
+    "CauchyProfile",
+    "EpanechnikovProfile",
+    "PolynomialProfile",
+    "SigmoidProfile",
+    "QueryStats",
+    "TKAQResult",
+    "EKAQResult",
+    "BoundTrace",
+    "OfflineTuner",
+    "OfflineTuningReport",
+    "OnlineTuner",
+    "InSituReport",
+    "DEFAULT_LEAF_CAPACITIES",
+    "ReproError",
+    "InvalidParameterError",
+    "DataShapeError",
+    "NotFittedError",
+]

@@ -1,0 +1,303 @@
+"""Best-first kernel aggregation query evaluator (TKAQ / eKAQ).
+
+This is the refinement framework of the state of the art (paper
+Section II-B, Table V) that KARL reuses unchanged — only the per-node bound
+functions differ:
+
+1. compute bounds for the root node; initialise global ``lb``/``ub``;
+2. repeatedly pop the frontier node with the largest bound gap
+   ``ub_R - lb_R`` from a priority queue;
+3. replace its contribution either by its children's bounds or — at a leaf —
+   by the exact partial aggregate over its points;
+4. stop as soon as the query can be answered from the global bounds:
+   ``lb > tau`` or ``ub <= tau`` (TKAQ), ``ub <= (1+eps) * lb`` (eKAQ).
+
+The evaluator supports a *depth cap*: nodes at ``max_depth`` are treated as
+leaves.  Capping at depth ``i`` simulates the truncated tree ``T_i`` of the
+in-situ online tuner (Section III-C) on the single fully-built tree.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from itertools import count
+
+import numpy as np
+
+from repro.core.bounds import BoundScheme, HybridBounds, KARLBounds, SOTABounds
+from repro.core.errors import InvalidParameterError, as_vector
+from repro.core.kernels import Kernel
+from repro.core.results import BoundTrace, EKAQResult, QueryStats, TKAQResult
+
+__all__ = ["KernelAggregator", "resolve_scheme"]
+
+#: refresh the incrementally-maintained frontier sums every this many pops,
+#: bounding floating-point drift over long refinement runs
+_RESYNC_EVERY = 4096
+
+_SCHEMES = {"karl": KARLBounds, "sota": SOTABounds, "hybrid": HybridBounds}
+
+
+def resolve_scheme(scheme) -> BoundScheme:
+    """Accept a scheme name ("karl", "sota", "hybrid") or an instance."""
+    if isinstance(scheme, BoundScheme):
+        return scheme
+    try:
+        return _SCHEMES[str(scheme).lower()]()
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown bound scheme {scheme!r}; expected one of {sorted(_SCHEMES)}"
+        ) from None
+
+
+class KernelAggregator:
+    """Evaluates ``F_P(q) = sum_i w_i K(q, p_i)`` queries over an index.
+
+    Parameters
+    ----------
+    tree : SpatialIndex
+        kd-tree or ball-tree over the weighted point set.
+    kernel : Kernel
+        Gaussian / Laplacian / polynomial / sigmoid kernel.
+    scheme : str or BoundScheme
+        ``"karl"`` (default), ``"sota"``, or ``"hybrid"``.
+    max_depth : int, optional
+        Treat nodes at this depth as leaves (in-situ tuning; ``None`` = full
+        tree; ``0`` degenerates to a sequential scan).
+    """
+
+    def __init__(self, tree, kernel: Kernel, scheme="karl", max_depth: int | None = None):
+        self.tree = tree
+        self.kernel = kernel
+        self.scheme = resolve_scheme(scheme)
+        if max_depth is not None and max_depth < 0:
+            raise InvalidParameterError(f"max_depth must be >= 0; got {max_depth}")
+        self.max_depth = max_depth
+        self._has_neg = tree.stats.has_negative
+        # _pair_bounds relies on BFS sibling adjacency (right == left + 1)
+        internal = tree.left >= 0
+        if not np.all(tree.right[internal] == tree.left[internal] + 1):
+            raise InvalidParameterError(
+                "tree does not have BFS sibling adjacency; rebuild with "
+                "repro.index.build_index"
+            )
+
+    # ------------------------------------------------------------------
+    # exact evaluation
+    # ------------------------------------------------------------------
+
+    def exact(self, q) -> float:
+        """Exact ``F_P(q)`` by direct summation (no pruning)."""
+        q = as_vector(q, self.tree.d)
+        vals = self.kernel.pairwise(
+            q, self.tree.points, self.tree.sq_norms, float(q @ q)
+        )
+        return float(self.tree.weights @ vals)
+
+    def exact_many(self, queries) -> np.ndarray:
+        """Exact ``F_P(q)`` for each row of ``queries``."""
+        return np.array([self.exact(q) for q in np.atleast_2d(queries)])
+
+    # ------------------------------------------------------------------
+    # node helpers
+    # ------------------------------------------------------------------
+
+    def _node_bounds(self, q, q_sq, node) -> tuple[float, float]:
+        lo, hi = self.kernel.node_interval(self.tree, q, node, q_sq)
+        pos = self.kernel.node_moments(self.tree, q, node, q_sq, "pos")
+        neg = (
+            self.kernel.node_moments(self.tree, q, node, q_sq, "neg")
+            if self._has_neg
+            else None
+        )
+        return self.scheme.node_bounds(self.kernel.profile, lo, hi, pos, neg)
+
+    def _pair_bounds(self, q, q_sq, first):
+        """Bounds for the sibling pair ``(first, first+1)``, fused.
+
+        Sibling nodes have consecutive ids (BFS allocation), so geometry and
+        statistics for both are sliced as zero-copy views and the numpy work
+        is shared — this is the hot path of the refinement loop.
+        """
+        tree = self.tree
+        kern = self.kernel
+        profile = kern.profile
+        st = tree.stats
+        sl = slice(first, first + 2)
+        dist_arg = kern.argument == "dist_sq"
+
+        if dist_arg:
+            lo_x, hi_x = tree.pair_dist_bounds(q, first)
+        else:
+            lo_x, hi_x = tree.pair_ip_bounds(q, first)
+        pos_aq = st.pos_a[sl] @ q
+        neg_aq = st.neg_a[sl] @ q if self._has_neg else None
+
+        out = []
+        for j in (0, 1):
+            node = first + j
+            w = float(st.pos_w[node])
+            if dist_arg:
+                s1 = w * q_sq - 2.0 * float(pos_aq[j]) + float(st.pos_b[node])
+                pos = (w, s1 if s1 > 0.0 else 0.0)
+            else:
+                pos = (w, float(pos_aq[j]))
+            neg = None
+            if self._has_neg:
+                wn = float(st.neg_w[node])
+                if dist_arg:
+                    s1n = wn * q_sq - 2.0 * float(neg_aq[j]) + float(st.neg_b[node])
+                    neg = (wn, s1n if s1n > 0.0 else 0.0)
+                else:
+                    neg = (wn, float(neg_aq[j]))
+            out.append(
+                self.scheme.node_bounds(
+                    profile, float(lo_x[j]), float(hi_x[j]), pos, neg
+                )
+            )
+        return out
+
+    def _leaf_exact(self, q, q_sq, node) -> float:
+        sl = self.tree.leaf_slice(node)
+        vals = self.kernel.pairwise(
+            q, self.tree.points[sl], self.tree.sq_norms[sl], q_sq
+        )
+        return float(self.tree.weights[sl] @ vals)
+
+    def _is_terminal(self, node) -> bool:
+        if self.tree.is_leaf(node):
+            return True
+        return self.max_depth is not None and self.tree.depth[node] >= self.max_depth
+
+    # ------------------------------------------------------------------
+    # the refinement loop
+    # ------------------------------------------------------------------
+
+    def _refine(self, q, stop, trace: BoundTrace | None):
+        """Run best-first refinement until ``stop(lb, ub)`` or exhaustion.
+
+        Returns ``(lb, ub, stats)``; on exhaustion ``lb == ub`` is the exact
+        aggregate.
+        """
+        q = as_vector(q, self.tree.d)
+        q_sq = float(q @ q)
+        stats = QueryStats()
+
+        root_lb, root_ub = self._node_bounds(q, q_sq, 0)
+        exact_sum = 0.0
+        frontier_lb = root_lb
+        frontier_ub = root_ub
+        tie = count()
+        heap = [(-(root_ub - root_lb), next(tie), 0, root_lb, root_ub)]
+
+        lb = exact_sum + frontier_lb
+        ub = exact_sum + frontier_ub
+        if trace is not None:
+            trace.record(lb, ub)
+
+        while heap and not stop(lb, ub):
+            stats.iterations += 1
+            _, _, node, node_lb, node_ub = heapq.heappop(heap)
+            frontier_lb -= node_lb
+            frontier_ub -= node_ub
+
+            if self._is_terminal(node):
+                exact_sum += self._leaf_exact(q, q_sq, node)
+                stats.leaves_evaluated += 1
+                stats.points_evaluated += self.tree.node_size(node)
+            else:
+                stats.nodes_expanded += 1
+                first = int(self.tree.left[node])
+                for j, (c_lb, c_ub) in enumerate(self._pair_bounds(q, q_sq, first)):
+                    frontier_lb += c_lb
+                    frontier_ub += c_ub
+                    heapq.heappush(
+                        heap, (-(c_ub - c_lb), next(tie), first + j, c_lb, c_ub)
+                    )
+
+            if stats.iterations % _RESYNC_EVERY == 0:
+                frontier_lb = sum(item[3] for item in heap)
+                frontier_ub = sum(item[4] for item in heap)
+
+            lb = exact_sum + frontier_lb
+            ub = exact_sum + frontier_ub
+            if trace is not None:
+                trace.record(lb, ub)
+
+        if not heap:
+            lb = ub = exact_sum
+        return lb, ub, stats
+
+    # ------------------------------------------------------------------
+    # public queries
+    # ------------------------------------------------------------------
+
+    def tkaq(self, q, tau: float, trace: bool = False) -> TKAQResult:
+        """Threshold query: is ``F_P(q) > tau``? (paper Problem 1)."""
+        tau = float(tau)
+        rec = BoundTrace() if trace else None
+        lb, ub, stats = self._refine(
+            q, lambda lo, hi: lo > tau or hi <= tau, rec
+        )
+        return TKAQResult(
+            answer=lb > tau, lower=lb, upper=ub, tau=tau, stats=stats, trace=rec
+        )
+
+    def ekaq(self, q, eps: float, trace: bool = False) -> EKAQResult:
+        """Approximate query with relative error ``eps`` (paper Problem 2).
+
+        Terminates when ``ub <= (1+eps) * lb``; the midpoint of the terminal
+        bounds then satisfies Equation 3 whenever ``lb > 0``.  If the bounds
+        never certify (possible only with Type III weights, where the
+        aggregate may be arbitrarily close to 0), refinement runs to
+        exhaustion and the exact value is returned.
+        """
+        eps = float(eps)
+        if eps < 0.0:
+            raise InvalidParameterError(f"eps must be >= 0; got {eps}")
+        rec = BoundTrace() if trace else None
+        lb, ub, stats = self._refine(
+            q, lambda lo, hi: hi <= (1.0 + eps) * lo, rec
+        )
+        return EKAQResult(
+            estimate=0.5 * (lb + ub), lower=lb, upper=ub, eps=eps,
+            stats=stats, trace=rec,
+        )
+
+    def refine_bounds(self, q, max_iterations: int, trace: bool = False):
+        """Anytime bounds: refine for at most ``max_iterations`` pops.
+
+        Returns an :class:`EKAQResult` whose ``lower``/``upper`` certify
+        ``lower <= F_P(q) <= upper`` regardless of where refinement stopped
+        — useful when a caller has a fixed latency budget rather than a
+        target precision.  ``eps`` on the result records the *achieved*
+        relative half-width (``inf`` when the lower bound is not positive).
+        """
+        if max_iterations < 0:
+            raise InvalidParameterError(
+                f"max_iterations must be >= 0; got {max_iterations}"
+            )
+        checks = itertools.count()
+        rec = BoundTrace() if trace else None
+        # stop() runs once before each pop, so the k-th check permits k-1 pops
+        lb, ub, stats = self._refine(
+            q, lambda lo, hi: next(checks) >= max_iterations, rec
+        )
+        achieved = (ub - lb) / (2.0 * lb) if lb > 0.0 else float("inf")
+        return EKAQResult(
+            estimate=0.5 * (lb + ub), lower=lb, upper=ub, eps=achieved,
+            stats=stats, trace=rec,
+        )
+
+    def tkaq_many(self, queries, tau: float) -> np.ndarray:
+        """Vector of TKAQ answers for each row of ``queries``."""
+        return np.array(
+            [self.tkaq(q, tau).answer for q in np.atleast_2d(queries)], dtype=bool
+        )
+
+    def ekaq_many(self, queries, eps: float) -> np.ndarray:
+        """Vector of eKAQ estimates for each row of ``queries``."""
+        return np.array(
+            [self.ekaq(q, eps).estimate for q in np.atleast_2d(queries)]
+        )

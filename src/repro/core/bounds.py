@@ -1,0 +1,384 @@
+"""Bound schemes: KARL's linear envelopes vs. the SOTA constant bounds.
+
+Given an index node with argument interval ``[lo, hi]`` and weighted
+argument moments ``(S0, S1)``, a *bound scheme* returns a lower and an upper
+bound on the node's contribution ``sum_i w_i g(x_i)``:
+
+* :class:`SOTABounds` — the state-of-the-art constant bounds of
+  Section II-B: ``S0 * min g`` and ``S0 * max g`` over the interval.
+* :class:`KARLBounds` — the paper's contribution (Sections III-A/B, IV-B):
+  linear functions ``m*x + c`` enveloping ``g`` on the interval, aggregated
+  exactly in O(d) via the moment identity ``m*S1 + c*S0`` (Lemmas 2/5).
+
+For KARL, the tightest valid linear bound with respect to the aggregation
+objective is the supporting line of ``g``'s convex (resp. concave) envelope
+at the weighted argument mean ``xbar = S1/S0``:
+
+* convex ``g`` (Gaussian, even polynomial): lower = tangent at ``xbar``
+  (this *is* the optimal tangent of Theorems 1-2 — ``t_opt = S1/S0`` — and
+  its aggregate collapses to ``S0 * g(S1/S0)``, a Jensen bound), upper =
+  chord (Lemma 3's construction);
+* concave ``g``: mirrored;
+* S-shaped ``g`` (odd polynomial, sigmoid — Section IV-B, Figure 8): the
+  envelope on the far side of the inflection is an *anchored* line through
+  an interval endpoint, tangent to the curve across the inflection — the
+  paper's "rotate-down"/"rotate-up" lines.  When the weighted mean falls on
+  the curve-following part of the envelope, the plain tangent at ``xbar``
+  is tighter and is used instead (a strict refinement of the paper's single
+  anchored line).
+
+Anchored tangency points are found by a bracketed bisection that returns
+the *conservative* end of its final bracket, so an inexact tangency always
+yields a slightly looser — never an invalid — bound.
+"""
+
+from __future__ import annotations
+
+from repro.core.linear import Line, chord, tangent
+from repro.core.profiles import ScalarProfile
+
+__all__ = [
+    "BoundScheme",
+    "KARLBounds",
+    "SOTABounds",
+    "HybridBounds",
+    "envelope_lines",
+]
+
+#: intervals narrower than this are treated as a single point
+_DEGENERATE_SPAN = 1e-13
+
+#: iteration cap for the safeguarded-Newton tangency solver
+_TANGENCY_ITERS = 12
+
+#: relative bracket width at which the tangency solve stops.  Any stopping
+#: point is *valid* (the conservative bracket endpoint is returned); extra
+#: precision only tightens the bound by O(width^2), so a loose tolerance
+#: trades negligible tightness for per-node speed.
+_TANGENCY_RTOL = 1e-4
+
+
+def _tangency(profile: ScalarProfile, anchor: float, a: float, b: float, safe_sign: int):
+    """Bracket the tangency point of a line through ``(anchor, g(anchor))``.
+
+    Solves ``gap(t) = g(t) + g'(t)*(anchor - t) - g(anchor) = 0`` over
+    ``[a, b]`` by Newton iteration (``gap'(t) = g''(t)*(anchor - t)``)
+    safeguarded by a bracket.  Returns ``(t_safe, t_lo, t_hi, 0)`` where
+    ``[t_lo, t_hi]`` is the final bracket around the true tangency and
+    ``t_safe`` is the endpoint whose ``gap`` has sign ``safe_sign`` — the
+    side on which the anchored line built from its slope is a valid (if
+    marginally suboptimal) bound.  The caller uses the *other* bracket data
+    when it must know that a point lies beyond the true tangency.
+
+    When the bracket carries no sign change it returns
+    ``(None, a, b, sign)`` with the common gap sign; the caller picks
+    between the chord and the pure tangent-at-mean fallback from it.
+    """
+    value = profile.value
+    deriv = profile.deriv
+    g_anchor = value(anchor)
+
+    def gap(t: float) -> float:
+        return value(t) + deriv(t) * (anchor - t) - g_anchor
+
+    t_closed = profile.anchored_tangency(anchor)
+    if t_closed is not None:
+        if a <= t_closed <= b:
+            return t_closed, t_closed, t_closed, 0
+        # gap is monotone on a branch; no interior root -> constant sign
+        return None, a, b, (1 if gap(0.5 * (a + b)) > 0.0 else -1)
+
+    fa = gap(a)
+    fb = gap(b)
+    if fa == 0.0:
+        return a, a, a, 0
+    if fb == 0.0:
+        return b, b, b, 0
+    if (fa > 0.0) == (fb > 0.0):
+        return None, a, b, (1 if fa > 0.0 else -1)
+
+    width0 = b - a
+    t = 0.5 * (a + b)
+    for _ in range(_TANGENCY_ITERS):
+        ft = gap(t)
+        if ft == 0.0:
+            return t, t, t, 0
+        if (ft > 0.0) == (fa > 0.0):
+            a, fa = t, ft
+        else:
+            b, fb = t, ft
+        if b - a <= _TANGENCY_RTOL * width0:
+            break
+        slope = float(profile.deriv2(t)) * (anchor - t)
+        if slope != 0.0:
+            t_new = t - ft / slope
+            if not a < t_new < b:
+                t_new = 0.5 * (a + b)
+        else:
+            t_new = 0.5 * (a + b)
+        t = t_new
+    if safe_sign > 0:
+        t_safe = a if fa > 0.0 else b
+    else:
+        t_safe = a if fa < 0.0 else b
+    return t_safe, a, b, 0
+
+
+def _clamp(x: float, lo: float, hi: float) -> float:
+    return lo if x < lo else hi if x > hi else x
+
+
+def _anchored_line(profile: ScalarProfile, anchor: float, t: float) -> Line:
+    """Line through ``(anchor, g(anchor))`` with the curve's slope at ``t``."""
+    m = float(profile.deriv(t))
+    return Line(m, float(profile.value(anchor)) - m * anchor)
+
+
+class _SShapeEnvelope:
+    """Envelope data for an S-shaped profile on ``[lo, hi]``.
+
+    The two anchored tangency points depend only on the interval — not on
+    the weights — so a node with both positive and negative weight mass
+    (Type III) computes them once and derives both parts' lines from them.
+
+    ``s_convex_right`` (odd powers): the convex envelope follows an anchored
+    line from ``(lo, g(lo))`` up to its tangency ``t_c`` in the convex
+    branch, then the curve; the concave envelope mirrors from ``hi``.
+    ``s_concave_right`` (tanh) swaps the roles.  The safe solver side is
+    the one giving a shallower line through a left anchor for an upper
+    bound etc. — encoded as the ``safe_sign`` arguments (see
+    :func:`_tangency`).  With no tangency crossing, the common gap sign
+    says whether the chord is valid or the inflection coincides numerically
+    with the anchor (interval effectively one-sided -> tangent at the mean).
+    """
+
+    __slots__ = ("profile", "lo", "hi", "shape",
+                 "t_c", "dec_c", "sign_c", "anchor_c", "mean_side_c",
+                 "t_u", "dec_u", "sign_u", "anchor_u", "mean_side_u")
+
+    @staticmethod
+    def _decision(t_lo: float, t_hi: float, mean_side: str) -> float:
+        """Bracket endpoint that provably over-covers the true tangency.
+
+        The tangent at the weighted mean is only valid when the mean lies
+        on the curve-following side of the *true* tangency, so the decision
+        threshold must err outward: the high end for a right-side curve,
+        the low end for a left-side curve.
+        """
+        return t_hi if mean_side == "right" else t_lo
+
+    def __init__(self, profile: ScalarProfile, lo: float, hi: float, shape: str):
+        self.profile = profile
+        self.lo = lo
+        self.hi = hi
+        self.shape = shape
+        xi = profile.inflection
+        if shape == "s_convex_right":
+            # lower anchored line through the LEFT endpoint: a smaller slope
+            # keeps the line below the curve, so the conservative bracket
+            # side is gap > 0 (t below the true tangency)
+            self.anchor_c, self.mean_side_c = lo, "right"
+            self.t_c, t_lo, t_hi, self.sign_c = _tangency(
+                profile, lo, xi, hi, safe_sign=+1
+            )
+            self.dec_c = self._decision(t_lo, t_hi, self.mean_side_c)
+            self.anchor_u, self.mean_side_u = hi, "left"
+            self.t_u, t_lo, t_hi, self.sign_u = _tangency(
+                profile, hi, lo, xi, safe_sign=-1
+            )
+            self.dec_u = self._decision(t_lo, t_hi, self.mean_side_u)
+        else:  # s_concave_right
+            self.anchor_c, self.mean_side_c = hi, "left"
+            self.t_c, t_lo, t_hi, self.sign_c = _tangency(
+                profile, hi, lo, xi, safe_sign=+1
+            )
+            self.dec_c = self._decision(t_lo, t_hi, self.mean_side_c)
+            self.anchor_u, self.mean_side_u = lo, "right"
+            self.t_u, t_lo, t_hi, self.sign_u = _tangency(
+                profile, lo, xi, hi, safe_sign=-1
+            )
+            self.dec_u = self._decision(t_lo, t_hi, self.mean_side_u)
+
+    # chord-fallback gap signs are the same for both S-shapes
+    sign_c_chord = 1
+    sign_u_chord = -1
+
+    def _pick(self, t, dec, sign, anchor, mean_side, chord_sign, xbar) -> Line:
+        if t is None:
+            if sign == chord_sign:
+                return chord(self.profile, self.lo, self.hi)
+            return tangent(self.profile, xbar)
+        on_curve = xbar <= dec if mean_side == "left" else xbar >= dec
+        if on_curve:
+            return tangent(self.profile, xbar)
+        return _anchored_line(self.profile, anchor, t)
+
+    def lines(self, xbar: float) -> tuple[Line, Line]:
+        """``(lower, upper)`` supporting lines at the weighted mean."""
+        lower = self._pick(
+            self.t_c, self.dec_c, self.sign_c, self.anchor_c,
+            self.mean_side_c, self.sign_c_chord, xbar,
+        )
+        upper = self._pick(
+            self.t_u, self.dec_u, self.sign_u, self.anchor_u,
+            self.mean_side_u, self.sign_u_chord, xbar,
+        )
+        return lower, upper
+
+
+def _s_shape_lines(
+    profile: ScalarProfile, lo: float, hi: float, xbar: float, shape: str
+) -> tuple[Line, Line]:
+    """Envelope supporting lines at ``xbar`` for S-shaped profiles."""
+    return _SShapeEnvelope(profile, lo, hi, shape).lines(xbar)
+
+
+def envelope_lines(
+    profile: ScalarProfile, lo: float, hi: float, xbar: float
+) -> tuple[Line, Line]:
+    """``(lower, upper)`` linear envelope of ``g`` on ``[lo, hi]``.
+
+    ``xbar`` is the weighted mean of the arguments (``S1/S0``), used to pick
+    the tightest supporting line; it always lies inside ``[lo, hi]`` for
+    positive weights, but is clamped defensively.
+    """
+    if hi - lo <= _DEGENERATE_SPAN:
+        gmin, gmax = profile.range_on(lo, hi)
+        return Line(0.0, gmin), Line(0.0, gmax)
+
+    shape = profile.shape_on(lo, hi)
+    xbar = profile.clamp_tangent(_clamp(xbar, lo, hi))
+
+    if shape == "linear":
+        line = chord(profile, lo, hi)
+        return line, line
+    if shape == "convex":
+        return tangent(profile, xbar), chord(profile, lo, hi)
+    if shape == "concave":
+        return chord(profile, lo, hi), tangent(profile, xbar)
+    return _s_shape_lines(profile, lo, hi, xbar, shape)
+
+
+class BoundScheme:
+    """Strategy object mapping (interval, moments) to node contribution bounds."""
+
+    #: display name used by benchmarks/tuning reports
+    name = "base"
+
+    def part_bounds(
+        self, profile: ScalarProfile, lo: float, hi: float, s0: float, s1: float
+    ) -> tuple[float, float]:
+        """``(lower, upper)`` for one positively-weighted part of a node."""
+        raise NotImplementedError
+
+    def node_bounds(self, profile, lo, hi, pos, neg=None):
+        """Bounds for a node, combining positive and negative parts.
+
+        ``pos``/``neg`` are ``(S0, S1)`` moment pairs; the Type III rule
+        (Section IV-A2): ``LB = LB+ - UB-``, ``UB = UB+ - LB-``.
+        """
+        lb, ub = self.part_bounds(profile, lo, hi, pos[0], pos[1])
+        if neg is not None and neg[0] > 0.0:
+            nlb, nub = self.part_bounds(profile, lo, hi, neg[0], neg[1])
+            return lb - nub, ub - nlb
+        return lb, ub
+
+
+class SOTABounds(BoundScheme):
+    """Constant bounds of the state of the art ([15], [16]; Section II-B).
+
+    Uses only the node's weight mass: ``S0 * g_min`` / ``S0 * g_max`` with
+    the exact range of ``g`` over the argument interval.
+    """
+
+    name = "sota"
+
+    def part_bounds(self, profile, lo, hi, s0, s1):
+        gmin, gmax = profile.range_on(lo, hi)
+        return s0 * gmin, s0 * gmax
+
+
+class KARLBounds(BoundScheme):
+    """KARL's linear bounds (Sections III-A/B, IV-B).
+
+    The convex/concave cases are inlined without constructing
+    :class:`~repro.core.linear.Line` objects — this method runs twice per
+    expanded node in the refinement loop.  The identities used:
+
+    * tangent at ``t``:  aggregate = ``S0*g(t) + g'(t)*(S1 - t*S0)``
+      (equals ``S0*g(S1/S0)`` at the optimal ``t = S1/S0``);
+    * chord:             aggregate = ``S0*g(lo) + m*(S1 - lo*S0)`` with
+      ``m = (g(hi)-g(lo))/(hi-lo)``.
+    """
+
+    name = "karl"
+
+    def part_bounds(self, profile, lo, hi, s0, s1):
+        if s0 <= 0.0:
+            return 0.0, 0.0
+        span = hi - lo
+        if span <= _DEGENERATE_SPAN:
+            gmin, gmax = profile.range_on(lo, hi)
+            return s0 * gmin, s0 * gmax
+        xbar = profile.clamp_tangent(_clamp(s1 / s0, lo, hi))
+        shape = profile.shape_on(lo, hi)
+
+        if shape == "convex" or shape == "concave":
+            glo = float(profile.value(lo))
+            ghi = float(profile.value(hi))
+            chord_val = glo * s0 + (ghi - glo) / span * (s1 - lo * s0)
+            gx = float(profile.value(xbar))
+            tangent_val = gx * s0 + float(profile.deriv(xbar)) * (s1 - xbar * s0)
+            if shape == "convex":
+                return tangent_val, chord_val
+            return chord_val, tangent_val
+        if shape == "linear":
+            glo = float(profile.value(lo))
+            ghi = float(profile.value(hi))
+            val = glo * s0 + (ghi - glo) / span * (s1 - lo * s0)
+            return val, val
+
+        lower, upper = _s_shape_lines(profile, lo, hi, xbar, shape)
+        return lower.aggregate(s0, s1), upper.aggregate(s0, s1)
+
+    def node_bounds(self, profile, lo, hi, pos, neg=None):
+        """Type III fast path: S-shape tangencies are interval-only, so the
+        positive and negative parts of a node share one envelope solve."""
+        if (
+            neg is None
+            or neg[0] <= 0.0
+            or hi - lo <= _DEGENERATE_SPAN
+            or profile.shape_on(lo, hi) not in ("s_convex_right", "s_concave_right")
+        ):
+            return super().node_bounds(profile, lo, hi, pos, neg)
+        env = _SShapeEnvelope(profile, lo, hi, profile.shape_on(lo, hi))
+        bounds = []
+        for s0, s1 in (pos, neg):
+            if s0 <= 0.0:
+                bounds.append((0.0, 0.0))
+                continue
+            xbar = profile.clamp_tangent(_clamp(s1 / s0, lo, hi))
+            lower, upper = env.lines(xbar)
+            bounds.append((lower.aggregate(s0, s1), upper.aggregate(s0, s1)))
+        (plb, pub), (nlb, nub) = bounds
+        return plb - nub, pub - nlb
+
+
+class HybridBounds(BoundScheme):
+    """Pointwise max/min of KARL and SOTA bounds (ablation helper).
+
+    KARL's bounds are provably at least as tight (Lemmas 3-4), so this
+    should coincide with KARL up to floating point; it exists to test that
+    claim and to guard against pathological numerics.
+    """
+
+    name = "hybrid"
+
+    def __init__(self):
+        self._karl = KARLBounds()
+        self._sota = SOTABounds()
+
+    def part_bounds(self, profile, lo, hi, s0, s1):
+        klb, kub = self._karl.part_bounds(profile, lo, hi, s0, s1)
+        slb, sub = self._sota.part_bounds(profile, lo, hi, s0, s1)
+        return max(klb, slb), min(kub, sub)

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the repro (KARL) library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one base class.  Validation helpers used across modules live here too,
+to keep error messages consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ReproError",
+    "InvalidParameterError",
+    "DataShapeError",
+    "NotFittedError",
+    "as_matrix",
+    "as_vector",
+    "check_positive",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A parameter value is outside its documented domain."""
+
+
+class DataShapeError(ReproError, ValueError):
+    """An input array has the wrong shape, dtype, or contains non-finite values."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model/estimator method was called before ``fit``/``build``."""
+
+
+def as_matrix(points, name: str = "points") -> np.ndarray:
+    """Validate and return ``points`` as a C-contiguous float64 ``(n, d)`` matrix.
+
+    Raises :class:`DataShapeError` for empty input, wrong rank, or
+    non-finite entries.
+    """
+    arr = np.ascontiguousarray(points, dtype=np.float64)
+    if arr.ndim != 2:
+        raise DataShapeError(
+            f"{name} must be a 2-d array of shape (n, d); got ndim={arr.ndim}"
+        )
+    if arr.shape[0] == 0:
+        raise DataShapeError(f"{name} must contain at least one point")
+    if arr.shape[1] == 0:
+        raise DataShapeError(f"{name} must have at least one dimension")
+    if not np.isfinite(arr).all():
+        raise DataShapeError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def as_vector(vec, dim: int | None = None, name: str = "q") -> np.ndarray:
+    """Validate and return ``vec`` as a float64 ``(d,)`` vector.
+
+    If ``dim`` is given, the length must match it.
+    """
+    arr = np.ascontiguousarray(vec, dtype=np.float64)
+    if arr.ndim != 1:
+        raise DataShapeError(f"{name} must be a 1-d vector; got ndim={arr.ndim}")
+    if dim is not None and arr.shape[0] != dim:
+        raise DataShapeError(
+            f"{name} has dimension {arr.shape[0]}, expected {dim}"
+        )
+    if not np.isfinite(arr).all():
+        raise DataShapeError(f"{name} contains NaN or infinite values")
+    return arr
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that a scalar parameter is finite and strictly positive."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise InvalidParameterError(f"{name} must be finite and > 0; got {value}")
+    return value

@@ -1,0 +1,237 @@
+"""Kernel functions: exact evaluation plus node-level interval/moment hooks.
+
+A :class:`Kernel` couples a scalar profile ``g`` (see
+:mod:`repro.core.profiles`) with an *argument mapping* from point pairs to
+the scalar ``x``:
+
+* distance kernels (Gaussian, Laplacian): ``x = dist(q, p)^2``, node
+  intervals come from min/max distance to the node geometry;
+* dot-product kernels (polynomial, sigmoid): ``x = q . p``, node intervals
+  come from min/max inner product (Section IV-B).
+
+Each kernel exposes three operations the query evaluator needs:
+
+``pairwise(q, pts, sq_norms)``
+    exact kernel values against a block of points (vectorised — used on
+    leaves and by the SCAN baseline);
+``node_interval(tree, q, node, q_sq)``
+    the argument interval ``[lo, hi]`` for a node;
+``node_moments(tree, q, node, q_sq, part)``
+    the weighted argument moments ``(S0, S1)`` of the node's positive
+    (``part="pos"``) or negative (``part="neg"``) weight mass, in O(d)
+    from the precomputed node statistics (Lemmas 2 and 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.core.linear import moments_dist_sq, moments_dot
+from repro.core.profiles import (
+    CauchyProfile,
+    EpanechnikovProfile,
+    GaussianProfile,
+    LaplacianProfile,
+    PolynomialProfile,
+    ScalarProfile,
+    SigmoidProfile,
+)
+
+__all__ = [
+    "Kernel",
+    "GaussianKernel",
+    "LaplacianKernel",
+    "CauchyKernel",
+    "EpanechnikovKernel",
+    "PolynomialKernel",
+    "SigmoidKernel",
+    "kernel_from_name",
+]
+
+
+def _block_dist_sq(q: np.ndarray, pts: np.ndarray, sq_norms, q_sq: float) -> np.ndarray:
+    """Squared distances from ``q`` to each row of ``pts``."""
+    if sq_norms is None:
+        sq_norms = np.einsum("ij,ij->i", pts, pts)
+    d2 = q_sq - 2.0 * (pts @ q) + sq_norms
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+class Kernel:
+    """Base kernel; subclasses set :attr:`profile` and the argument mapping."""
+
+    profile: ScalarProfile
+
+    #: "dist_sq" or "dot" — which node statistic the argument uses
+    argument: str = "dist_sq"
+
+    # -- exact evaluation ----------------------------------------------------
+
+    def arguments(self, q, pts, sq_norms=None, q_sq=None):
+        """The argument values ``x_i`` for ``q`` against rows of ``pts``."""
+        q = np.asarray(q, dtype=np.float64)
+        pts = np.asarray(pts, dtype=np.float64)
+        if self.argument == "dist_sq":
+            if q_sq is None:
+                q_sq = float(q @ q)
+            return _block_dist_sq(q, pts, sq_norms, q_sq)
+        return pts @ q
+
+    def pairwise(self, q, pts, sq_norms=None, q_sq=None):
+        """Exact kernel values ``K(q, p_i)`` for each row ``p_i`` of ``pts``."""
+        return self.profile.value(self.arguments(q, pts, sq_norms, q_sq))
+
+    def __call__(self, q, p):
+        """Exact kernel value for a single pair."""
+        return float(self.pairwise(q, np.asarray(p, dtype=np.float64)[None, :])[0])
+
+    def matrix(self, X, Y=None) -> np.ndarray:
+        """Full Gram matrix ``K[i, j] = K(X[i], Y[j])`` (``Y`` defaults to X).
+
+        Used by the SVM trainers; O(|X| |Y| d) time and O(|X| |Y|) memory.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        Y = X if Y is None else np.asarray(Y, dtype=np.float64)
+        if self.argument == "dist_sq":
+            xx = np.einsum("ij,ij->i", X, X)
+            yy = np.einsum("ij,ij->i", Y, Y)
+            d2 = xx[:, None] - 2.0 * (X @ Y.T) + yy[None, :]
+            np.maximum(d2, 0.0, out=d2)
+            return self.profile.value(d2)
+        return self.profile.value(X @ Y.T)
+
+    # -- node-level hooks ------------------------------------------------------
+
+    def node_interval(self, tree, q, node, q_sq):
+        """Argument interval ``[lo, hi]`` covering all points of ``node``."""
+        if self.argument == "dist_sq":
+            return tree.node_dist_bounds(q, node)
+        return tree.node_ip_bounds(q, node)
+
+    def node_moments(self, tree, q, node, q_sq, part="pos"):
+        """Weighted argument moments ``(S0, S1)`` for one sign part of a node."""
+        st = tree.stats
+        if part == "pos":
+            w, a, b = st.pos_w[node], st.pos_a[node], st.pos_b[node]
+        else:
+            w, a, b = st.neg_w[node], st.neg_a[node], st.neg_b[node]
+        if self.argument == "dist_sq":
+            return moments_dist_sq(q_sq, q, float(w), a, float(b))
+        return moments_dot(q, float(w), a)
+
+
+class GaussianKernel(Kernel):
+    """``K(q, p) = exp(-gamma * dist(q, p)^2)`` — the paper's primary kernel."""
+
+    argument = "dist_sq"
+
+    def __init__(self, gamma: float):
+        self.profile = GaussianProfile(gamma)
+        self.gamma = self.profile.gamma
+
+    def __repr__(self):
+        return f"GaussianKernel(gamma={self.gamma})"
+
+
+class LaplacianKernel(Kernel):
+    """``K(q, p) = exp(-gamma * dist(q, p))`` (extension kernel).
+
+    Treated as a convex decreasing profile of ``dist^2``, so KARL's exact
+    chord/tangent machinery applies unchanged.
+    """
+
+    argument = "dist_sq"
+
+    def __init__(self, gamma: float):
+        self.profile = LaplacianProfile(gamma)
+        self.gamma = self.profile.gamma
+
+    def __repr__(self):
+        return f"LaplacianKernel(gamma={self.gamma})"
+
+
+class CauchyKernel(Kernel):
+    """``K(q, p) = 1 / (1 + gamma * dist(q, p)^2)`` (extension kernel)."""
+
+    argument = "dist_sq"
+
+    def __init__(self, gamma: float):
+        self.profile = CauchyProfile(gamma)
+        self.gamma = self.profile.gamma
+
+    def __repr__(self):
+        return f"CauchyKernel(gamma={self.gamma})"
+
+
+class EpanechnikovKernel(Kernel):
+    """``K(q, p) = max(0, 1 - gamma * dist(q, p)^2)`` (extension kernel).
+
+    Compactly supported: nodes farther than ``1/sqrt(gamma)`` contribute
+    exactly zero, which the bounds recognise immediately.
+    """
+
+    argument = "dist_sq"
+
+    def __init__(self, gamma: float):
+        self.profile = EpanechnikovProfile(gamma)
+        self.gamma = self.profile.gamma
+
+    def __repr__(self):
+        return f"EpanechnikovKernel(gamma={self.gamma})"
+
+
+class PolynomialKernel(Kernel):
+    """``K(q, p) = (gamma * q.p + coef0)^degree`` (Section IV-B)."""
+
+    argument = "dot"
+
+    def __init__(self, gamma: float, coef0: float = 0.0, degree: int = 3):
+        self.profile = PolynomialProfile(gamma, coef0, degree)
+        self.gamma = self.profile.gamma
+        self.coef0 = self.profile.coef0
+        self.degree = self.profile.degree
+
+    def __repr__(self):
+        return (
+            f"PolynomialKernel(gamma={self.gamma}, coef0={self.coef0}, "
+            f"degree={self.degree})"
+        )
+
+
+class SigmoidKernel(Kernel):
+    """``K(q, p) = tanh(gamma * q.p + coef0)`` (Section IV-B)."""
+
+    argument = "dot"
+
+    def __init__(self, gamma: float, coef0: float = 0.0):
+        self.profile = SigmoidProfile(gamma, coef0)
+        self.gamma = self.profile.gamma
+        self.coef0 = self.profile.coef0
+
+    def __repr__(self):
+        return f"SigmoidKernel(gamma={self.gamma}, coef0={self.coef0})"
+
+
+_KERNELS = {
+    "gaussian": GaussianKernel,
+    "rbf": GaussianKernel,
+    "laplacian": LaplacianKernel,
+    "cauchy": CauchyKernel,
+    "epanechnikov": EpanechnikovKernel,
+    "polynomial": PolynomialKernel,
+    "poly": PolynomialKernel,
+    "sigmoid": SigmoidKernel,
+}
+
+
+def kernel_from_name(name: str, **params) -> Kernel:
+    """Construct a kernel by LibSVM-style name (``rbf``, ``poly``, ...)."""
+    try:
+        cls = _KERNELS[name.lower()]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown kernel {name!r}; expected one of {sorted(set(_KERNELS))}"
+        ) from None
+    return cls(**params)

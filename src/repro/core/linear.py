@@ -1,0 +1,78 @@
+"""Linear functions of the kernel argument and their O(d) aggregation.
+
+The paper's Lemma 2 (Type I) and Lemma 5 (Type II) show that for a linear
+function ``Lin_{m,c}(x) = m*x + c`` of the kernel argument ``x``,
+
+    FL_P(q, Lin_{m,c}) = sum_i w_i * (m * x_i + c) = m * S1 + c * S0
+
+where ``S0 = sum_i w_i`` and ``S1 = sum_i w_i * x_i`` are the zeroth and
+first weighted moments of the argument.  Both moments are O(d) at query
+time given the per-node sufficient statistics:
+
+* distance argument ``x_i = dist(q, p_i)^2``:
+  ``S1 = w_P * ||q||^2 - 2 * q . a_P + b_P``
+* dot-product argument ``x_i = q . p_i``:
+  ``S1 = q . a_P``
+
+with ``w_P = sum w_i``, ``a_P = sum w_i p_i``, ``b_P = sum w_i ||p_i||^2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Line", "chord", "tangent", "moments_dist_sq", "moments_dot"]
+
+
+@dataclass(frozen=True)
+class Line:
+    """The linear function ``x -> m*x + c``."""
+
+    m: float
+    c: float
+
+    def __call__(self, x):
+        return self.m * np.asarray(x, dtype=np.float64) + self.c
+
+    def aggregate(self, s0: float, s1: float) -> float:
+        """``sum_i w_i * (m*x_i + c)`` given moments ``s0, s1`` (Lemma 2/5)."""
+        return self.m * s1 + self.c * s0
+
+
+def chord(profile, lo: float, hi: float) -> Line:
+    """Chord of ``g`` between ``(lo, g(lo))`` and ``(hi, g(hi))`` (Eq. 6-7).
+
+    Degenerates to the constant ``g(lo)`` when the interval has zero width.
+    """
+    glo = float(profile.value(lo))
+    ghi = float(profile.value(hi))
+    span = hi - lo
+    if span <= 0.0 or not np.isfinite(span):
+        return Line(0.0, max(glo, ghi))
+    m = (ghi - glo) / span
+    return Line(m, glo - m * lo)
+
+
+def tangent(profile, t: float) -> Line:
+    """Tangent of ``g`` at ``t``: slope ``g'(t)``, through ``(t, g(t))``."""
+    m = float(profile.deriv(t))
+    return Line(m, float(profile.value(t)) - m * t)
+
+
+def moments_dist_sq(
+    q_sq_norm: float, q: np.ndarray, w: float, a: np.ndarray, b: float
+) -> tuple[float, float]:
+    """Moments ``(S0, S1)`` of the squared-distance argument (Lemma 2/5).
+
+    ``S1 = sum_i w_i * dist(q, p_i)^2 = w*||q||^2 - 2*q.a + b``; tiny
+    negative values from floating-point cancellation are clamped to 0.
+    """
+    s1 = w * q_sq_norm - 2.0 * float(q @ a) + b
+    return w, s1 if s1 > 0.0 else 0.0
+
+
+def moments_dot(q: np.ndarray, w: float, a: np.ndarray) -> tuple[float, float]:
+    """Moments ``(S0, S1)`` of the dot-product argument (Section IV-B)."""
+    return w, float(q @ a)

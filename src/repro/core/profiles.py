@@ -1,0 +1,443 @@
+"""Scalar kernel profiles: the 1-d functions KARL's linear bounds envelope.
+
+Every supported kernel ``K(q, p)`` factors as ``g(x)`` where ``x`` is a
+cheap *argument statistic* of the pair:
+
+* distance kernels — ``x = dist(q, p)^2``:
+  Gaussian ``g(x) = exp(-gamma*x)``, Laplacian ``g(x) = exp(-gamma*sqrt(x))``;
+* dot-product kernels — ``x = q . p``:
+  polynomial ``g(x) = (gamma*x + coef0)^deg``, sigmoid ``g(x) = tanh(gamma*x + coef0)``.
+
+KARL bounds ``g`` by linear functions of ``x`` over the node interval
+``[lo, hi]`` (paper Sections III-A/B and IV-B).  Which envelope construction
+applies depends only on the *shape* of ``g`` on the interval, which each
+profile reports via :meth:`ScalarProfile.shape_on`:
+
+===================  ===========================================================
+shape                meaning on ``[lo, hi]``
+===================  ===========================================================
+``constant``         g'' = 0 and g' = 0 (degenerate)
+``linear``           g'' = 0
+``convex``           g'' >= 0 everywhere on the interval
+``concave``          g'' <= 0 everywhere on the interval
+``s_convex_right``   concave left of the inflection, convex right (odd powers)
+``s_concave_right``  convex left of the inflection, concave right (tanh)
+===================  ===========================================================
+
+Profiles also report the exact min/max of ``g`` on an interval
+(:meth:`range_on`), which is all the SOTA constant bounds need.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError, check_positive
+
+#: Inner loops call profiles on Python floats; math.* beats numpy scalars ~20x.
+_SCALARS = (float, int)
+
+__all__ = [
+    "ScalarProfile",
+    "GaussianProfile",
+    "LaplacianProfile",
+    "CauchyProfile",
+    "EpanechnikovProfile",
+    "PolynomialProfile",
+    "SigmoidProfile",
+]
+
+#: Profiles whose second derivative changes sign exactly once.
+_S_SHAPES = ("s_convex_right", "s_concave_right")
+
+
+class ScalarProfile:
+    """Abstract 1-d kernel profile ``g`` with shape metadata.
+
+    Subclasses implement ``value``/``deriv`` (vectorised over numpy arrays)
+    and the shape queries.  ``inflection`` is the unique zero of ``g''`` for
+    S-shaped profiles, else ``None``.
+    """
+
+    inflection: float | None = None
+
+    #: True when g is convex and non-increasing on its whole domain — the
+    #: property the vectorised batch evaluator relies on (all distance
+    #: kernels qualify; dot-product kernels do not).
+    convex_decreasing: bool = False
+
+    def value(self, x):
+        """``g(x)`` (scalar or elementwise)."""
+        raise NotImplementedError
+
+    def deriv(self, x):
+        """``g'(x)`` (scalar or elementwise)."""
+        raise NotImplementedError
+
+    def deriv2(self, x):
+        """``g''(x)`` — used by the Newton tangency solver for S-shapes."""
+        raise NotImplementedError
+
+    def shape_on(self, lo: float, hi: float) -> str:
+        """Shape classification of ``g`` restricted to ``[lo, hi]``."""
+        raise NotImplementedError
+
+    def clamp_tangent(self, t: float) -> float:
+        """Adjust a tangent point to where ``deriv`` is well-defined.
+
+        A tangent taken at the *clamped* point is still a valid support
+        line by convexity; profiles with singular derivatives (Laplacian at
+        0) override this so value and slope always refer to the same point.
+        """
+        return t
+
+    def anchored_tangency(self, anchor: float) -> float | None:
+        """Closed-form solution of ``g(t) + g'(t)(anchor - t) = g(anchor)``.
+
+        Returns the non-trivial tangency point when the profile knows one
+        analytically (degree-3 polynomial), else ``None`` — the bound code
+        then falls back to the safeguarded Newton solver.
+        """
+        return None
+
+    def range_on(self, lo: float, hi: float) -> tuple[float, float]:
+        """Exact ``(min, max)`` of ``g`` over ``[lo, hi]``."""
+        raise NotImplementedError
+
+    # -- helpers shared by monotone profiles --------------------------------
+
+    def _endpoint_range(self, lo: float, hi: float) -> tuple[float, float]:
+        a = float(self.value(lo))
+        b = float(self.value(hi))
+        return (a, b) if a <= b else (b, a)
+
+
+class GaussianProfile(ScalarProfile):
+    """``g(x) = exp(-gamma * x)`` over ``x = dist^2``.
+
+    Strictly convex and decreasing on all of R — the paper's primary case
+    (Section III): chord upper bound, optimal-tangent lower bound.
+    """
+
+    convex_decreasing = True
+
+    def __init__(self, gamma: float):
+        self.gamma = check_positive(gamma, "gamma")
+
+    def value(self, x):
+        if isinstance(x, _SCALARS):
+            return math.exp(-self.gamma * x)
+        return np.exp(-self.gamma * np.asarray(x, dtype=np.float64))
+
+    def deriv(self, x):
+        if isinstance(x, _SCALARS):
+            return -self.gamma * math.exp(-self.gamma * x)
+        return -self.gamma * np.exp(-self.gamma * np.asarray(x, dtype=np.float64))
+
+    def deriv2(self, x):
+        if isinstance(x, _SCALARS):
+            return self.gamma**2 * math.exp(-self.gamma * x)
+        return self.gamma**2 * np.exp(-self.gamma * np.asarray(x, dtype=np.float64))
+
+    def shape_on(self, lo, hi):
+        return "convex"
+
+    def range_on(self, lo, hi):
+        # decreasing: min at hi, max at lo
+        return float(self.value(hi)), float(self.value(lo))
+
+    def __repr__(self):
+        return f"GaussianProfile(gamma={self.gamma})"
+
+
+class LaplacianProfile(ScalarProfile):
+    """``g(x) = exp(-gamma * sqrt(x))`` over ``x = dist^2`` (x >= 0).
+
+    Extension kernel (not in the paper's evaluation, but its framework
+    covers it): ``g`` is convex and decreasing in ``dist^2``, so the exact
+    same chord/tangent machinery applies.  ``g'`` diverges at 0, so callers
+    clamp tangent points away from 0 (see :func:`repro.core.bounds`).
+    """
+
+    #: tangent points below this are clamped (g' singular at 0)
+    eps = 1e-12
+
+    convex_decreasing = True
+
+    def __init__(self, gamma: float):
+        self.gamma = check_positive(gamma, "gamma")
+
+    def value(self, x):
+        if isinstance(x, _SCALARS):
+            return math.exp(-self.gamma * math.sqrt(max(x, 0.0)))
+        x = np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+        return np.exp(-self.gamma * np.sqrt(x))
+
+    def deriv(self, x):
+        if isinstance(x, _SCALARS):
+            root = math.sqrt(max(x, self.eps))
+            return -self.gamma / (2.0 * root) * math.exp(-self.gamma * root)
+        x = np.maximum(np.asarray(x, dtype=np.float64), self.eps)
+        root = np.sqrt(x)
+        return -self.gamma / (2.0 * root) * np.exp(-self.gamma * root)
+
+    def deriv2(self, x):
+        if isinstance(x, _SCALARS):
+            x = max(x, self.eps)
+            root = math.sqrt(x)
+            return (
+                (self.gamma / (4.0 * x * root) + self.gamma**2 / (4.0 * x))
+                * math.exp(-self.gamma * root)
+            )
+        x = np.maximum(np.asarray(x, dtype=np.float64), self.eps)
+        root = np.sqrt(x)
+        return (
+            self.gamma / (4.0 * x * root) + self.gamma**2 / (4.0 * x)
+        ) * np.exp(-self.gamma * root)
+
+    def shape_on(self, lo, hi):
+        return "convex"
+
+    def clamp_tangent(self, t):
+        if isinstance(t, _SCALARS):
+            return t if t >= self.eps else self.eps
+        return np.maximum(t, self.eps)
+
+    def range_on(self, lo, hi):
+        return float(self.value(hi)), float(self.value(lo))
+
+    def __repr__(self):
+        return f"LaplacianProfile(gamma={self.gamma})"
+
+
+class CauchyProfile(ScalarProfile):
+    """``g(x) = 1 / (1 + gamma*x)`` over ``x = dist^2`` (x >= 0).
+
+    The Cauchy (rational-quadratic with beta=1) kernel — a heavy-tailed
+    KDE kernel.  Convex and decreasing on ``x >= 0``, so the exact
+    chord/tangent machinery of Section III applies unchanged.
+    """
+
+    convex_decreasing = True
+
+    def __init__(self, gamma: float):
+        self.gamma = check_positive(gamma, "gamma")
+
+    def _den(self, x):
+        return 1.0 + self.gamma * x
+
+    def value(self, x):
+        if isinstance(x, _SCALARS):
+            return 1.0 / self._den(x)
+        return 1.0 / self._den(np.asarray(x, dtype=np.float64))
+
+    def deriv(self, x):
+        if isinstance(x, _SCALARS):
+            return -self.gamma / self._den(x) ** 2
+        return -self.gamma / self._den(np.asarray(x, dtype=np.float64)) ** 2
+
+    def deriv2(self, x):
+        if isinstance(x, _SCALARS):
+            return 2.0 * self.gamma**2 / self._den(x) ** 3
+        return 2.0 * self.gamma**2 / self._den(np.asarray(x, dtype=np.float64)) ** 3
+
+    def shape_on(self, lo, hi):
+        return "convex"
+
+    def range_on(self, lo, hi):
+        return float(self.value(hi)), float(self.value(lo))
+
+    def __repr__(self):
+        return f"CauchyProfile(gamma={self.gamma})"
+
+
+class EpanechnikovProfile(ScalarProfile):
+    """``g(x) = max(0, 1 - gamma*x)`` over ``x = dist^2``.
+
+    The Epanechnikov kernel (optimal AMISE in classical KDE theory).
+    Piecewise-linear and convex with a kink at ``x = 1/gamma``; its
+    compact support makes bounds *exact* for nodes entirely outside the
+    kernel's reach.
+    """
+
+    convex_decreasing = True
+
+    def __init__(self, gamma: float):
+        self.gamma = check_positive(gamma, "gamma")
+        self.cutoff = 1.0 / self.gamma
+
+    def value(self, x):
+        if isinstance(x, _SCALARS):
+            v = 1.0 - self.gamma * x
+            return v if v > 0.0 else 0.0
+        return np.maximum(1.0 - self.gamma * np.asarray(x, dtype=np.float64), 0.0)
+
+    def deriv(self, x):
+        # subgradient: the kink takes the flat side, keeping tangents valid
+        if isinstance(x, _SCALARS):
+            return -self.gamma if x < self.cutoff else 0.0
+        x = np.asarray(x, dtype=np.float64)
+        return np.where(x < self.cutoff, -self.gamma, 0.0)
+
+    def deriv2(self, x):
+        if isinstance(x, _SCALARS):
+            return 0.0
+        return np.zeros_like(np.asarray(x, dtype=np.float64))
+
+    def shape_on(self, lo, hi):
+        # linear on either side of the kink; convex across it
+        if hi <= self.cutoff or lo >= self.cutoff:
+            return "linear"
+        return "convex"
+
+    def range_on(self, lo, hi):
+        return float(self.value(hi)), float(self.value(lo))
+
+    def __repr__(self):
+        return f"EpanechnikovProfile(gamma={self.gamma})"
+
+
+class PolynomialProfile(ScalarProfile):
+    """``g(x) = (gamma*x + coef0)^degree`` over ``x = q . p``.
+
+    * ``degree`` even  — convex on all of R (Section IV-B: chord/tangent).
+    * ``degree`` odd>1 — monotone increasing, concave then convex with the
+      inflection at ``gamma*x + coef0 = 0`` (Section IV-B, Figure 8:
+      "rotate-down"/"rotate-up" anchored lines).
+    * ``degree`` 1     — linear (bounds are exact).
+    """
+
+    def __init__(self, gamma: float, coef0: float = 0.0, degree: int = 3):
+        self.gamma = check_positive(gamma, "gamma")
+        self.coef0 = float(coef0)
+        if int(degree) != degree or degree < 1:
+            raise InvalidParameterError(f"degree must be an integer >= 1; got {degree}")
+        self.degree = int(degree)
+        if self.degree >= 2:
+            # g'' = 0 at gamma*x + coef0 = 0; only a true inflection for odd deg
+            self.inflection = -self.coef0 / self.gamma if self.degree % 2 == 1 else None
+
+    def _inner(self, x):
+        if isinstance(x, _SCALARS):
+            return self.gamma * x + self.coef0
+        return self.gamma * np.asarray(x, dtype=np.float64) + self.coef0
+
+    def value(self, x):
+        return self._inner(x) ** self.degree
+
+    def deriv(self, x):
+        return self.degree * self.gamma * self._inner(x) ** (self.degree - 1)
+
+    def deriv2(self, x):
+        if self.degree < 2:
+            return 0.0 if isinstance(x, _SCALARS) else np.zeros_like(self._inner(x))
+        return (
+            self.degree * (self.degree - 1) * self.gamma**2
+            * self._inner(x) ** (self.degree - 2)
+        )
+
+    def shape_on(self, lo, hi):
+        if self.degree == 1:
+            return "linear"
+        if self.degree % 2 == 0:
+            return "convex"
+        xi = self.inflection
+        if hi <= xi:
+            return "concave"
+        if lo >= xi:
+            return "convex"
+        return "s_convex_right"
+
+    def anchored_tangency(self, anchor):
+        # For degree 3 the tangency condition (1-d)u^d + d*uA*u^(d-1) = uA^d
+        # factors as (u - uA)^2 (2u + uA) = 0 with u = gamma*t + coef0, so
+        # the non-trivial tangency sits at u = -uA/2.
+        if self.degree != 3:
+            return None
+        u_anchor = self.gamma * anchor + self.coef0
+        return (-0.5 * u_anchor - self.coef0) / self.gamma
+
+    def range_on(self, lo, hi):
+        if self.degree % 2 == 1:
+            # odd degree: monotone increasing
+            return float(self.value(lo)), float(self.value(hi))
+        # even degree: minimum 0 if the root of the inner affine lies inside
+        root = -self.coef0 / self.gamma
+        vals = [float(self.value(lo)), float(self.value(hi))]
+        if lo <= root <= hi:
+            vals.append(0.0)
+        return min(vals), max(vals)
+
+    def __repr__(self):
+        return (
+            f"PolynomialProfile(gamma={self.gamma}, coef0={self.coef0}, "
+            f"degree={self.degree})"
+        )
+
+
+class SigmoidProfile(ScalarProfile):
+    """``g(x) = tanh(gamma*x + coef0)`` over ``x = q . p``.
+
+    Monotone increasing, convex left of the inflection
+    ``gamma*x + coef0 = 0`` and concave right of it (Section IV-B notes the
+    monotone-rotation construction "is also applicable to the sigmoid
+    kernel").
+    """
+
+    def __init__(self, gamma: float, coef0: float = 0.0):
+        self.gamma = check_positive(gamma, "gamma")
+        self.coef0 = float(coef0)
+        self.inflection = -self.coef0 / self.gamma
+
+    def _inner(self, x):
+        if isinstance(x, _SCALARS):
+            return self.gamma * x + self.coef0
+        return self.gamma * np.asarray(x, dtype=np.float64) + self.coef0
+
+    def value(self, x):
+        if isinstance(x, _SCALARS):
+            return math.tanh(self._inner(x))
+        return np.tanh(self._inner(x))
+
+    def deriv(self, x):
+        if isinstance(x, _SCALARS):
+            u = self._inner(x)
+            if abs(u) > 350.0:  # cosh overflows; sech^2 underflows to 0
+                return 0.0
+            return self.gamma / math.cosh(u) ** 2
+        u = self._inner(x)
+        out = np.zeros_like(u)
+        safe = np.abs(u) <= 350.0
+        out[safe] = self.gamma / np.cosh(u[safe]) ** 2
+        return out
+
+    def deriv2(self, x):
+        # d/dx [gamma * sech^2(u)] = -2 gamma^2 tanh(u) sech^2(u)
+        if isinstance(x, _SCALARS):
+            u = self._inner(x)
+            if abs(u) > 350.0:
+                return 0.0
+            return -2.0 * self.gamma**2 * math.tanh(u) / math.cosh(u) ** 2
+        u = self._inner(x)
+        out = np.zeros_like(u)
+        safe = np.abs(u) <= 350.0
+        out[safe] = (
+            -2.0 * self.gamma**2 * np.tanh(u[safe]) / np.cosh(u[safe]) ** 2
+        )
+        return out
+
+    def shape_on(self, lo, hi):
+        xi = self.inflection
+        if hi <= xi:
+            return "convex"
+        if lo >= xi:
+            return "concave"
+        return "s_concave_right"
+
+    def range_on(self, lo, hi):
+        return float(self.value(lo)), float(self.value(hi))
+
+    def __repr__(self):
+        return f"SigmoidProfile(gamma={self.gamma}, coef0={self.coef0})"

@@ -1,0 +1,77 @@
+"""Result objects returned by the kernel aggregation evaluator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["QueryStats", "TKAQResult", "EKAQResult", "BoundTrace"]
+
+
+@dataclass
+class QueryStats:
+    """Work counters for a single query evaluation.
+
+    ``iterations`` counts priority-queue pops; ``points_evaluated`` counts
+    points whose kernel value was computed exactly (SCAN evaluates all
+    ``n``; good pruning evaluates far fewer).
+    """
+
+    iterations: int = 0
+    nodes_expanded: int = 0
+    leaves_evaluated: int = 0
+    points_evaluated: int = 0
+
+
+@dataclass
+class BoundTrace:
+    """Per-iteration global bound values (paper Figure 6)."""
+
+    lowers: list[float] = field(default_factory=list)
+    uppers: list[float] = field(default_factory=list)
+
+    def record(self, lower: float, upper: float) -> None:
+        """Append one iteration's global lower/upper bound pair."""
+        self.lowers.append(lower)
+        self.uppers.append(upper)
+
+    def __len__(self) -> int:
+        return len(self.lowers)
+
+
+@dataclass
+class TKAQResult:
+    """Answer to a threshold kernel aggregation query (Problem 1).
+
+    ``answer`` is the truth value of ``F_P(q) > tau``; ``lower``/``upper``
+    bracket ``F_P(q)`` at termination.
+    """
+
+    answer: bool
+    lower: float
+    upper: float
+    tau: float
+    stats: QueryStats
+    trace: BoundTrace | None = None
+
+    def __bool__(self) -> bool:
+        return self.answer
+
+
+@dataclass
+class EKAQResult:
+    """Answer to an approximate kernel aggregation query (Problem 2).
+
+    ``estimate`` satisfies ``(1-eps) F <= estimate <= (1+eps) F`` for the
+    exact aggregate ``F`` (guaranteed whenever the terminal lower bound is
+    positive, which holds for Type I/II weightings).
+    """
+
+    estimate: float
+    lower: float
+    upper: float
+    eps: float
+    stats: QueryStats
+    trace: BoundTrace | None = None
+
+    def __float__(self) -> float:
+        return self.estimate

@@ -1,0 +1,284 @@
+"""Automatic index tuning (paper Section III-C).
+
+Two scenarios:
+
+* **Offline** (:class:`OfflineTuner`): the dataset is known in advance and
+  tuning time is free.  Build an index per (kind, leaf-capacity) grid cell,
+  measure throughput on a sampled query set, recommend the fastest.  The
+  paper varies leaf capacity exponentially (10..640) over {kd, ball} and
+  samples |Q| = 1000 queries.
+
+* **In-situ / online** (:class:`OnlineTuner`): the dataset arrives with the
+  queries and end-to-end time includes index construction and tuning.
+  Build a *single* kd-tree, simulate the tree truncated at level ``i`` by
+  capping the evaluator's refinement depth, spend a small fraction ``s`` of
+  the workload probing candidate depths, then run the remaining queries at
+  the best depth.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.aggregator import KernelAggregator
+from repro.core.errors import InvalidParameterError, as_matrix
+from repro.core.kernels import Kernel
+from repro.index.builder import build_index
+
+__all__ = [
+    "DEFAULT_LEAF_CAPACITIES",
+    "TuningCandidate",
+    "OfflineTuningReport",
+    "OfflineTuner",
+    "InSituReport",
+    "OnlineTuner",
+    "make_query_runner",
+]
+
+#: the paper's exponential leaf-capacity grid (Section III-C)
+DEFAULT_LEAF_CAPACITIES = (10, 20, 40, 80, 160, 320, 640)
+
+
+def make_query_runner(query_type: str, param: float):
+    """Return ``runner(aggregator, q)`` for ``"tkaq"``/``"ekaq"`` workloads."""
+    if query_type == "tkaq":
+        return lambda agg, q: agg.tkaq(q, param).answer
+    if query_type == "ekaq":
+        return lambda agg, q: agg.ekaq(q, param).estimate
+    raise InvalidParameterError(
+        f"query_type must be 'tkaq' or 'ekaq'; got {query_type!r}"
+    )
+
+
+def _measure_throughput(aggregator, queries, runner) -> float:
+    """Queries per second of ``runner`` over ``queries`` (single pass)."""
+    start = time.perf_counter()
+    for q in queries:
+        runner(aggregator, q)
+    elapsed = time.perf_counter() - start
+    return len(queries) / elapsed if elapsed > 0 else float("inf")
+
+
+@dataclass
+class TuningCandidate:
+    """One grid cell of the offline tuner."""
+
+    kind: str
+    leaf_capacity: int
+    throughput: float
+    build_seconds: float
+
+
+@dataclass
+class OfflineTuningReport:
+    """Outcome of an offline tuning run."""
+
+    candidates: list[TuningCandidate] = field(default_factory=list)
+
+    @property
+    def best(self) -> TuningCandidate:
+        return max(self.candidates, key=lambda c: c.throughput)
+
+    @property
+    def worst(self) -> TuningCandidate:
+        return min(self.candidates, key=lambda c: c.throughput)
+
+
+class OfflineTuner:
+    """Grid-search tuner over index kind and leaf capacity (KARL_auto).
+
+    Parameters
+    ----------
+    kernel, scheme
+        Forwarded to the aggregators being compared.
+    kinds : sequence of str
+        Index kinds to try (default: kd-tree and ball-tree).
+    leaf_capacities : sequence of int
+        Grid of leaf capacities (default: the paper's 10..640).
+    sample_size : int
+        Number of query points sampled for throughput measurement
+        (paper: 1000).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        scheme="karl",
+        kinds=("kd", "ball"),
+        leaf_capacities=DEFAULT_LEAF_CAPACITIES,
+        sample_size: int = 1000,
+        rng=None,
+    ):
+        self.kernel = kernel
+        self.scheme = scheme
+        self.kinds = tuple(kinds)
+        self.leaf_capacities = tuple(int(c) for c in leaf_capacities)
+        self.sample_size = int(sample_size)
+        self.rng = np.random.default_rng(rng)
+
+    def _sample(self, queries: np.ndarray) -> np.ndarray:
+        if queries.shape[0] <= self.sample_size:
+            return queries
+        idx = self.rng.choice(queries.shape[0], self.sample_size, replace=False)
+        return queries[idx]
+
+    def tune(
+        self, points, weights, queries, query_type: str, param: float
+    ) -> tuple[KernelAggregator, OfflineTuningReport]:
+        """Run the grid and return ``(best aggregator, report)``.
+
+        ``queries`` is the pool the measurement sample is drawn from —
+        typically points sampled from the same distribution as the workload.
+        """
+        points = as_matrix(points)
+        sample = self._sample(as_matrix(queries, name="queries"))
+        runner = make_query_runner(query_type, param)
+
+        report = OfflineTuningReport()
+        best_agg = None
+        best_throughput = -1.0
+        for kind in self.kinds:
+            for cap in self.leaf_capacities:
+                t0 = time.perf_counter()
+                tree = build_index(kind, points, weights=weights, leaf_capacity=cap)
+                build_s = time.perf_counter() - t0
+                agg = KernelAggregator(tree, self.kernel, scheme=self.scheme)
+                tput = _measure_throughput(agg, sample, runner)
+                report.candidates.append(
+                    TuningCandidate(kind, cap, tput, build_s)
+                )
+                if tput > best_throughput:
+                    best_throughput = tput
+                    best_agg = agg
+        return best_agg, report
+
+
+@dataclass
+class InSituReport:
+    """End-to-end outcome of an in-situ (online-tuned) run.
+
+    ``throughput`` is computed over the *total* wall time — construction +
+    tuning + query execution — matching the paper's Table IX metric.
+    """
+
+    answers: list
+    best_depth: int
+    build_seconds: float
+    tune_seconds: float
+    query_seconds: float
+    depth_throughputs: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.build_seconds + self.tune_seconds + self.query_seconds
+
+    @property
+    def throughput(self) -> float:
+        return len(self.answers) / self.total_seconds if self.total_seconds else 0.0
+
+
+class OnlineTuner:
+    """In-situ evaluator: build one kd-tree, tune the depth online.
+
+    The truncated tree ``T_i`` (top ``i`` levels) is simulated by capping
+    the evaluator's refinement depth at ``i`` on the fully-built tree —
+    exactly the paper's trick of "skipping lower/upper bound computations in
+    the lowest levels".
+
+    Parameters
+    ----------
+    sample_fraction : float
+        Fraction ``s`` of the workload used for probing (paper: 1%).
+    num_candidate_depths : int
+        Number of evenly spaced candidate depths probed (the paper probes
+        every level; an even subset keeps per-depth samples meaningful for
+        small workloads).
+    leaf_capacity : int
+        Capacity of the base kd-tree ("all levels" in the paper; a small
+        capacity here bounds leaf scan cost while depth capping recreates
+        every coarser tree).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        scheme="karl",
+        sample_fraction: float = 0.01,
+        num_candidate_depths: int = 8,
+        leaf_capacity: int = 20,
+        min_sample_per_depth: int = 3,
+    ):
+        if not 0.0 < sample_fraction < 1.0:
+            raise InvalidParameterError(
+                f"sample_fraction must be in (0, 1); got {sample_fraction}"
+            )
+        self.kernel = kernel
+        self.scheme = scheme
+        self.sample_fraction = float(sample_fraction)
+        self.num_candidate_depths = int(num_candidate_depths)
+        self.leaf_capacity = int(leaf_capacity)
+        self.min_sample_per_depth = int(min_sample_per_depth)
+
+    def _candidate_depths(self, max_depth: int) -> list[int]:
+        if max_depth <= self.num_candidate_depths:
+            return list(range(max_depth + 1))
+        depths = np.linspace(0, max_depth, self.num_candidate_depths)
+        return sorted({int(round(v)) for v in depths})
+
+    def run(self, points, weights, queries, query_type: str, param: float) -> InSituReport:
+        """Build, tune, and answer the whole workload; report timings."""
+        points = as_matrix(points)
+        queries = as_matrix(queries, name="queries")
+        runner = make_query_runner(query_type, param)
+
+        t0 = time.perf_counter()
+        tree = build_index("kd", points, weights=weights, leaf_capacity=self.leaf_capacity)
+        build_s = time.perf_counter() - t0
+
+        depths = self._candidate_depths(tree.max_depth)
+        n_queries = queries.shape[0]
+        per_depth = max(
+            self.min_sample_per_depth,
+            int(self.sample_fraction * n_queries / max(len(depths), 1)),
+        )
+        n_sample = min(per_depth * len(depths), n_queries)
+
+        t0 = time.perf_counter()
+        answers: list = [None] * n_queries
+        depth_tput: dict[int, float] = {}
+        pos = 0
+        for depth in depths:
+            take = min(per_depth, n_sample - pos)
+            if take <= 0:
+                break
+            agg = KernelAggregator(
+                tree, self.kernel, scheme=self.scheme, max_depth=depth
+            )
+            t_depth = time.perf_counter()
+            for j in range(pos, pos + take):
+                answers[j] = runner(agg, queries[j])
+            elapsed = time.perf_counter() - t_depth
+            depth_tput[depth] = take / elapsed if elapsed > 0 else float("inf")
+            pos += take
+        best_depth = max(depth_tput, key=depth_tput.get) if depth_tput else tree.max_depth
+        tune_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        agg = KernelAggregator(
+            tree, self.kernel, scheme=self.scheme, max_depth=best_depth
+        )
+        for j in range(pos, n_queries):
+            answers[j] = runner(agg, queries[j])
+        query_s = time.perf_counter() - t0
+
+        return InSituReport(
+            answers=answers,
+            best_depth=best_depth,
+            build_seconds=build_s,
+            tune_seconds=tune_s,
+            query_seconds=query_s,
+            depth_throughputs=depth_tput,
+        )

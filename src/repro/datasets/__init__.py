@@ -1,0 +1,33 @@
+"""Synthetic dataset registry mirroring the paper's Table VI, plus PCA."""
+
+from repro.datasets.drift import DriftStream
+from repro.datasets.pca import PCA
+from repro.datasets.registry import (
+    DATASET_SPECS,
+    Dataset,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+)
+from repro.datasets.splits import train_test_split
+from repro.datasets.synthetic import (
+    MixtureSpec,
+    gaussian_mixture,
+    grid_queries,
+    labeled_mixture,
+)
+
+__all__ = [
+    "PCA",
+    "DriftStream",
+    "DATASET_SPECS",
+    "Dataset",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "train_test_split",
+    "MixtureSpec",
+    "gaussian_mixture",
+    "labeled_mixture",
+    "grid_queries",
+]

@@ -1,0 +1,69 @@
+"""Principal component analysis (dimensionality-reduction substrate).
+
+The paper's Figure 12 varies the dimensionality of the mnist dataset via
+PCA before running type I-tau queries.  This is a from-scratch PCA over
+numpy's SVD — no external ML library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError, NotFittedError, as_matrix
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """Linear PCA fitted by singular value decomposition.
+
+    Parameters
+    ----------
+    n_components : int
+        Target dimensionality.
+    """
+
+    def __init__(self, n_components: int):
+        if n_components < 1:
+            raise InvalidParameterError(
+                f"n_components must be >= 1; got {n_components}"
+            )
+        self.n_components = int(n_components)
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+
+    def fit(self, points) -> "PCA":
+        """Fit principal axes on ``points`` (rows are observations)."""
+        points = as_matrix(points)
+        n, d = points.shape
+        if self.n_components > d:
+            raise InvalidParameterError(
+                f"n_components={self.n_components} exceeds data dimension {d}"
+            )
+        self.mean_ = points.mean(axis=0)
+        centered = points - self.mean_
+        # full_matrices=False keeps Vt at (min(n,d), d)
+        _, s, vt = np.linalg.svd(centered, full_matrices=False)
+        self.components_ = vt[: self.n_components]
+        denom = max(n - 1, 1)
+        self.explained_variance_ = (s[: self.n_components] ** 2) / denom
+        return self
+
+    def transform(self, points) -> np.ndarray:
+        """Project ``points`` onto the fitted principal axes."""
+        if self.components_ is None:
+            raise NotFittedError("PCA.transform called before fit")
+        points = as_matrix(points)
+        return (points - self.mean_) @ self.components_.T
+
+    def fit_transform(self, points) -> np.ndarray:
+        """Fit and project in one call."""
+        return self.fit(points).transform(points)
+
+    def inverse_transform(self, projected) -> np.ndarray:
+        """Map projected coordinates back to the original space."""
+        if self.components_ is None:
+            raise NotFittedError("PCA.inverse_transform called before fit")
+        projected = np.asarray(projected, dtype=np.float64)
+        return projected @ self.components_ + self.mean_

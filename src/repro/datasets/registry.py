@@ -1,0 +1,147 @@
+"""Named dataset registry mirroring the paper's Table VI.
+
+Each entry reproduces a real dataset's *shape*: dimensionality, relative
+cardinality, weighting type, and application model.  Cardinalities are the
+paper's scaled by roughly 1/20-1/30 so the pure-Python evaluator finishes;
+``load_dataset(name, size=...)`` lets benchmarks rescale further.
+
+=============  =======  ====  =====  ==========================
+name           n (ours)  d    type   application model
+=============  =======  ====  =====  ==========================
+mnist            6000    784   I     kernel density
+miniboone       12000     50   I     kernel density
+home            60000     10   I     kernel density
+susy           150000     18   I     kernel density
+nsl-kdd          8000     41   II    1-class SVM
+kdd99           40000     41   II    1-class SVM
+covtype         30000     54   II    1-class SVM
+ijcnn1          10000     22   III   2-class SVM
+a9a              8000    123   III   2-class SVM
+covtype-b       30000     54   III   2-class SVM
+=============  =======  ====  =====  ==========================
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.datasets.synthetic import MixtureSpec, gaussian_mixture, labeled_mixture
+
+__all__ = ["DatasetSpec", "Dataset", "DATASET_SPECS", "load_dataset", "dataset_names"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Registry entry: generation recipe for one named dataset."""
+
+    name: str
+    n: int
+    d: int
+    model: str  # "kde" | "ocsvm" | "svc"
+    weighting: str  # "I" | "II" | "III"
+    clusters: int = 12
+    cluster_scale: float = 0.06
+    overlap: float = 0.5  # only for labelled (svc) datasets
+    paper_n: int = 0  # the raw cardinality reported in Table VI
+
+
+@dataclass
+class Dataset:
+    """A materialised dataset: points in ``[0, 1]^d`` plus optional labels."""
+
+    name: str
+    points: np.ndarray
+    model: str
+    weighting: str
+    labels: np.ndarray | None = None
+    spec: DatasetSpec = field(default=None, repr=False)  # type: ignore[assignment]
+
+    @property
+    def n(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def d(self) -> int:
+        return self.points.shape[1]
+
+    def sample_queries(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Query workload: points sampled from the dataset (paper Section V-A)."""
+        idx = rng.choice(self.n, size=min(count, self.n), replace=False)
+        return self.points[idx]
+
+
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    s.name: s
+    for s in [
+        DatasetSpec("mnist", 6000, 784, "kde", "I", clusters=10,
+                    cluster_scale=0.035, paper_n=60000),
+        DatasetSpec("miniboone", 12000, 50, "kde", "I", clusters=8,
+                    cluster_scale=0.05, paper_n=119596),
+        DatasetSpec("home", 60000, 10, "kde", "I", clusters=16,
+                    cluster_scale=0.05, paper_n=918991),
+        DatasetSpec("susy", 150000, 18, "kde", "I", clusters=14,
+                    cluster_scale=0.07, paper_n=4990000),
+        DatasetSpec("nsl-kdd", 8000, 41, "ocsvm", "II", clusters=10,
+                    cluster_scale=0.04, paper_n=67343),
+        DatasetSpec("kdd99", 40000, 41, "ocsvm", "II", clusters=10,
+                    cluster_scale=0.04, paper_n=972780),
+        DatasetSpec("covtype", 30000, 54, "ocsvm", "II", clusters=12,
+                    cluster_scale=0.05, paper_n=581012),
+        DatasetSpec("ijcnn1", 10000, 22, "svc", "III", clusters=12,
+                    cluster_scale=0.05, overlap=0.55, paper_n=49990),
+        DatasetSpec("a9a", 8000, 123, "svc", "III", clusters=10,
+                    cluster_scale=0.04, overlap=0.6, paper_n=32561),
+        DatasetSpec("covtype-b", 30000, 54, "svc", "III", clusters=12,
+                    cluster_scale=0.05, overlap=0.6, paper_n=581012),
+    ]
+}
+
+
+def dataset_names(weighting: str | None = None) -> list[str]:
+    """Registered dataset names, optionally filtered by weighting type."""
+    return [
+        name
+        for name, spec in DATASET_SPECS.items()
+        if weighting is None or spec.weighting == weighting
+    ]
+
+
+def load_dataset(name: str, size: int | None = None, seed: int = 0) -> Dataset:
+    """Materialise a registered dataset deterministically.
+
+    Parameters
+    ----------
+    name : str
+        Registry key (see :data:`DATASET_SPECS`).
+    size : int, optional
+        Override the default cardinality (benchmarks use this for size
+        sweeps and quick runs).
+    seed : int
+        Seed for the generator; the same (name, size, seed) always yields
+        the same data.
+    """
+    try:
+        spec = DATASET_SPECS[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_SPECS)}"
+        ) from None
+    n = int(size) if size is not None else spec.n
+    if n < 1:
+        raise InvalidParameterError(f"size must be >= 1; got {n}")
+    # crc32 is stable across processes (str hash() is randomised per run)
+    rng = np.random.default_rng(
+        np.random.SeedSequence([zlib.crc32(name.encode()) & 0xFFFF, seed])
+    )
+    mix = MixtureSpec(
+        n=n, d=spec.d, clusters=spec.clusters, cluster_scale=spec.cluster_scale
+    )
+    if spec.model == "svc":
+        pts, labels = labeled_mixture(mix, rng, overlap=spec.overlap)
+        return Dataset(name, pts, spec.model, spec.weighting, labels, spec)
+    pts = gaussian_mixture(mix, rng)
+    return Dataset(name, pts, spec.model, spec.weighting, None, spec)

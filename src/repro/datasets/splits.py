@@ -1,0 +1,31 @@
+"""Train / query split helpers for benchmark workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["train_test_split"]
+
+
+def train_test_split(points, labels=None, test_fraction: float = 0.2, rng=None):
+    """Shuffle and split into train/test partitions.
+
+    Returns ``(train_pts, test_pts)`` or, with labels,
+    ``(train_pts, train_labels, test_pts, test_labels)``.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise InvalidParameterError(
+            f"test_fraction must be in (0, 1); got {test_fraction}"
+        )
+    rng = np.random.default_rng(rng)
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    order = rng.permutation(n)
+    n_test = max(1, int(round(test_fraction * n)))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    if labels is None:
+        return points[train_idx], points[test_idx]
+    labels = np.asarray(labels)
+    return points[train_idx], labels[train_idx], points[test_idx], labels[test_idx]

@@ -1,0 +1,24 @@
+"""Spatial index substrate: kd-tree and ball-tree with per-node statistics.
+
+These trees store, per node, both geometry (rectangle + ball) and the
+sufficient statistics KARL needs for its O(d) linear bounds.
+"""
+
+from repro.index.balltree import BallTree
+from repro.index.base import SpatialIndex
+from repro.index.builder import INDEX_KINDS, build_index
+from repro.index.kdtree import KDTree
+from repro.index.serialize import load_index, save_index
+from repro.index.stats import SignedStats, compute_signed_stats
+
+__all__ = [
+    "BallTree",
+    "KDTree",
+    "SpatialIndex",
+    "SignedStats",
+    "build_index",
+    "save_index",
+    "load_index",
+    "compute_signed_stats",
+    "INDEX_KINDS",
+]

@@ -1,0 +1,80 @@
+"""Bounding balls and their distance / inner-product bounds.
+
+Ball-trees (Uhlmann / Moore "anchors", paper references [34], [29]) summarise
+a node by a centroid and a covering radius.  The induced envelopes are
+
+    max(0, ||q - c|| - r) <= dist(q, p) <= ||q - c|| + r
+    q.c - ||q||*r <= q.p <= q.c + ||q||*r      (Cauchy-Schwarz)
+
+for every point ``p`` inside the ball.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import DataShapeError
+
+__all__ = [
+    "bounding_ball",
+    "ball_mindist_sq",
+    "ball_maxdist_sq",
+    "ball_dist_bounds_many",
+    "ball_ip_bounds",
+    "ball_ip_bounds_many",
+]
+
+
+def bounding_ball(points: np.ndarray) -> tuple[np.ndarray, float]:
+    """Return ``(center, radius)`` of a covering ball for ``points``.
+
+    The center is the centroid; the radius is the distance to the farthest
+    point.  This is the standard ball-tree construction (not the minimum
+    enclosing ball, which is more expensive and not what [34]/[29] use).
+    """
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise DataShapeError("bounding_ball needs a non-empty (n, d) array")
+    center = points.mean(axis=0)
+    sq = np.einsum("ij,ij->i", points - center, points - center)
+    return center, float(np.sqrt(sq.max()))
+
+
+def ball_mindist_sq(q: np.ndarray, center: np.ndarray, radius: float) -> float:
+    """Squared minimum distance from ``q`` to any point of the ball."""
+    gap = float(np.linalg.norm(q - center)) - radius
+    return gap * gap if gap > 0.0 else 0.0
+
+
+def ball_maxdist_sq(q: np.ndarray, center: np.ndarray, radius: float) -> float:
+    """Squared maximum distance from ``q`` to any point of the ball."""
+    reach = float(np.linalg.norm(q - center)) + radius
+    return reach * reach
+
+
+def ball_dist_bounds_many(
+    q: np.ndarray, centers: np.ndarray, radii: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised ``(mindist_sq, maxdist_sq)`` for ``(m, d)`` centers."""
+    diff = centers - q
+    dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+    near = np.maximum(dist - radii, 0.0)
+    far = dist + radii
+    return near * near, far * far
+
+
+def ball_ip_bounds(
+    q: np.ndarray, center: np.ndarray, radius: float
+) -> tuple[float, float]:
+    """``(min, max)`` of ``q . p`` over points ``p`` in the ball."""
+    mid = float(q @ center)
+    spread = float(np.linalg.norm(q)) * radius
+    return mid - spread, mid + spread
+
+
+def ball_ip_bounds_many(
+    q: np.ndarray, centers: np.ndarray, radii: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`ball_ip_bounds` for ``(m, d)`` centers."""
+    mid = centers @ q
+    spread = float(np.linalg.norm(q)) * radii
+    return mid - spread, mid + spread

@@ -1,0 +1,25 @@
+"""Ball-tree: binary tree using bounding-ball geometry for bounds.
+
+Matches scikit-learn's BallTree construction (same max-spread median split
+as the kd-tree; geometry is the centroid + covering radius).  The paper's
+offline tuner picks between this and the kd-tree per dataset
+(Section III-C, Figure 7).
+"""
+
+from __future__ import annotations
+
+from repro.index.base import BallGeometryMixin, SpatialIndex
+
+__all__ = ["BallTree"]
+
+
+class BallTree(BallGeometryMixin, SpatialIndex):
+    """Ball-tree over a weighted point set.
+
+    Distance envelopes are ``max(0, ||q-c|| - r)`` and ``||q-c|| + r``;
+    inner-product envelopes follow from Cauchy-Schwarz.  Rectangle bounds
+    are tighter in low dimensions, ball bounds in high dimensions — which is
+    exactly why the paper tunes the index choice per dataset.
+    """
+
+    kind = "ball"

@@ -1,0 +1,304 @@
+"""Array-backed binary spatial index shared by the kd-tree and ball-tree.
+
+The tree is stored as flat numpy arrays (structure-of-arrays) so that the
+query-time evaluator touches no Python objects per node:
+
+* topology: ``left``, ``right`` (child ids, -1 for leaves), ``depth``,
+  ``start``/``end`` (the node's contiguous slice of the permuted points),
+* geometry: bounding rectangle ``lo``/``hi`` for every node, plus bounding
+  ball ``center``/``radius`` for every node (each tree kind *uses* its own
+  geometry for bounds, but both are stored — they cost O(n d log n) once and
+  enable hybrid/ablation experiments),
+* statistics: :class:`~repro.index.stats.SignedStats` for KARL's O(d) linear
+  bounds and the SOTA count/weight bounds.
+
+Construction follows scikit-learn's BinaryTree: recursively partition on the
+dimension of maximum spread at the median.  The kd-tree and ball-tree differ
+in which geometry their ``node_dist_bounds`` reports, mirroring the paper's
+setup where both are "currently supported by Scikit-learn" (Section III-C).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError, as_matrix
+from repro.index.ball import bounding_ball
+from repro.index.rectangle import (
+    ip_bounds_many,
+    ip_max,
+    ip_min,
+    maxdist_sq,
+    mindist_sq,
+    rect_dist_bounds_many,
+)
+from repro.index.ball import (
+    ball_dist_bounds_many,
+    ball_ip_bounds,
+    ball_ip_bounds_many,
+    ball_maxdist_sq,
+    ball_mindist_sq,
+)
+from repro.index.stats import SignedStats, compute_signed_stats
+
+__all__ = ["SpatialIndex"]
+
+
+class SpatialIndex:
+    """Base class: a balanced binary tree over a weighted point set.
+
+    Parameters
+    ----------
+    points : (n, d) array
+        The point set ``P``.
+    weights : (n,) array or scalar, optional
+        Per-point weights ``w_i`` (Type I/II/III).  Defaults to 1.0 each.
+    leaf_capacity : int
+        Maximum number of points per leaf (the paper's tuning knob).
+    """
+
+    #: subclasses set this to "kd" or "ball"
+    kind: str = "base"
+
+    def __init__(self, points, weights=None, leaf_capacity: int = 80):
+        points = as_matrix(points)
+        n, d = points.shape
+        if leaf_capacity < 1:
+            raise InvalidParameterError(
+                f"leaf_capacity must be >= 1; got {leaf_capacity}"
+            )
+        if weights is None:
+            weights = np.ones(n, dtype=np.float64)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.ndim == 0:
+                weights = np.full(n, float(weights))
+            if weights.shape != (n,):
+                raise InvalidParameterError(
+                    f"weights must have shape ({n},); got {weights.shape}"
+                )
+            if not np.isfinite(weights).all():
+                raise InvalidParameterError("weights contain NaN or inf")
+
+        self.n = n
+        self.d = d
+        self.leaf_capacity = int(leaf_capacity)
+
+        perm = np.arange(n, dtype=np.int64)
+        left: list[int] = []
+        right: list[int] = []
+        depth: list[int] = []
+        starts: list[int] = []
+        ends: list[int] = []
+
+        # BFS allocation: siblings are enqueued together, so they receive
+        # *consecutive* node ids (right = left + 1).  The query evaluator
+        # exploits this to compute both children's bounds from zero-copy
+        # array views.
+        queue = deque([(0, n, 0, -1, 0)])  # (start, end, depth, parent, side)
+        while queue:
+            s, e, dep, parent, side = queue.popleft()
+            node_id = len(starts)
+            starts.append(s)
+            ends.append(e)
+            depth.append(dep)
+            left.append(-1)
+            right.append(-1)
+            if parent >= 0:
+                if side == 0:
+                    left[parent] = node_id
+                else:
+                    right[parent] = node_id
+            if e - s > self.leaf_capacity:
+                mid = self._split(points, perm, s, e)
+                if s < mid < e:
+                    queue.append((s, mid, dep + 1, node_id, 0))
+                    queue.append((mid, e, dep + 1, node_id, 1))
+                # else: all points identical -> keep as (oversized) leaf
+
+        self.perm = perm
+        self.points = points[perm]
+        self.weights = weights[perm]
+        self.start = np.asarray(starts, dtype=np.int64)
+        self.end = np.asarray(ends, dtype=np.int64)
+        self.left = np.asarray(left, dtype=np.int64)
+        self.right = np.asarray(right, dtype=np.int64)
+        self.depth = np.asarray(depth, dtype=np.int64)
+        self.num_nodes = self.start.shape[0]
+        self.max_depth = int(self.depth.max())
+
+        self._build_geometry()
+        self.stats: SignedStats = compute_signed_stats(
+            self.points, self.weights, self.start, self.end
+        )
+        # Squared norms of the permuted points, reused by exact leaf kernels.
+        self.sq_norms = np.einsum("ij,ij->i", self.points, self.points)
+
+    # ------------------------------------------------------------------
+    # construction hooks
+    # ------------------------------------------------------------------
+
+    def _split(self, points: np.ndarray, perm: np.ndarray, s: int, e: int) -> int:
+        """Partition ``perm[s:e]`` in place; return the split index ``mid``.
+
+        Default: median split on the dimension of maximum spread
+        (scikit-learn's BinaryTree rule).  Returns ``s`` when the slice is
+        degenerate (all points identical), which the caller treats as
+        "do not split".
+        """
+        block = points[perm[s:e]]
+        lo = block.min(axis=0)
+        hi = block.max(axis=0)
+        dim = int(np.argmax(hi - lo))
+        if hi[dim] <= lo[dim]:
+            return s
+        mid = s + (e - s) // 2
+        keys = points[perm[s:e], dim]
+        order = np.argpartition(keys, mid - s)
+        perm[s:e] = perm[s:e][order]
+        return mid
+
+    def _build_geometry(self) -> None:
+        m = self.num_nodes
+        self.lo = np.empty((m, self.d))
+        self.hi = np.empty((m, self.d))
+        self.center = np.empty((m, self.d))
+        self.radius = np.empty(m)
+        for i in range(m):
+            block = self.points[self.start[i] : self.end[i]]
+            self.lo[i] = block.min(axis=0)
+            self.hi[i] = block.max(axis=0)
+            c, r = bounding_ball(block)
+            self.center[i] = c
+            self.radius[i] = r
+
+    # ------------------------------------------------------------------
+    # query-time geometry (overridden per tree kind)
+    # ------------------------------------------------------------------
+
+    def node_dist_bounds(self, q: np.ndarray, node: int) -> tuple[float, float]:
+        """``(mindist^2, maxdist^2)`` between ``q`` and node's geometry."""
+        raise NotImplementedError
+
+    def node_ip_bounds(self, q: np.ndarray, node: int) -> tuple[float, float]:
+        """``(min, max)`` inner product between ``q`` and node's geometry."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+
+    def is_leaf(self, node: int) -> bool:
+        """True when ``node`` has no children."""
+        return self.left[node] < 0
+
+    def children(self, node: int) -> tuple[int, int]:
+        """Child ids of an internal node."""
+        return int(self.left[node]), int(self.right[node])
+
+    def node_size(self, node: int) -> int:
+        """Number of points owned by ``node``."""
+        return int(self.end[node] - self.start[node])
+
+    def leaf_slice(self, node: int) -> slice:
+        """Slice of the permuted point/weight arrays owned by ``node``."""
+        return slice(int(self.start[node]), int(self.end[node]))
+
+    def reweighted(self, weights) -> "SpatialIndex":
+        """Clone this tree with new per-point weights (original order).
+
+        Geometry, topology, and the point permutation are shared (views);
+        only the weight array and the signed statistics are recomputed
+        (O(n d) prefix sums).  Used when the same point set serves several
+        weightings — e.g. regression threshold queries, where the weights
+        are ``y_i - tau`` for a query-time ``tau``.
+        """
+        import copy
+
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim == 0:
+            weights = np.full(self.n, float(weights))
+        if weights.shape != (self.n,):
+            raise InvalidParameterError(
+                f"weights must have shape ({self.n},); got {weights.shape}"
+            )
+        if not np.isfinite(weights).all():
+            raise InvalidParameterError("weights contain NaN or inf")
+        clone = copy.copy(self)
+        clone.weights = weights[self.perm]
+        clone.stats = compute_signed_stats(
+            clone.points, clone.weights, clone.start, clone.end
+        )
+        return clone
+
+    def nodes_at_depth(self, depth: int) -> np.ndarray:
+        """Ids of nodes that act as leaves when the tree is cut at ``depth``.
+
+        Used by the in-situ online tuner (Section III-C): the tree with only
+        the top ``depth`` levels is simulated by treating both real leaves
+        above the cut and internal nodes exactly at the cut as leaves.
+        """
+        at_cut = self.depth == depth
+        shallow_leaf = (self.depth < depth) & (self.left < 0)
+        return np.flatnonzero(at_cut | shallow_leaf)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(n={self.n}, d={self.d}, "
+            f"leaf_capacity={self.leaf_capacity}, nodes={self.num_nodes}, "
+            f"max_depth={self.max_depth})"
+        )
+
+
+class RectGeometryMixin:
+    """Distance/IP bounds from the node's bounding rectangle."""
+
+    def node_dist_bounds(self, q, node):
+        return (
+            mindist_sq(q, self.lo[node], self.hi[node]),
+            maxdist_sq(q, self.lo[node], self.hi[node]),
+        )
+
+    def node_ip_bounds(self, q, node):
+        return (
+            ip_min(q, self.lo[node], self.hi[node]),
+            ip_max(q, self.lo[node], self.hi[node]),
+        )
+
+    def pair_dist_bounds(self, q, first):
+        """Fused bounds for the sibling pair ``(first, first+1)`` (views)."""
+        return rect_dist_bounds_many(
+            q, self.lo[first : first + 2], self.hi[first : first + 2]
+        )
+
+    def pair_ip_bounds(self, q, first):
+        """Fused inner-product bounds for the sibling pair ``(first, first+1)``."""
+        return ip_bounds_many(
+            q, self.lo[first : first + 2], self.hi[first : first + 2]
+        )
+
+
+class BallGeometryMixin:
+    """Distance/IP bounds from the node's bounding ball."""
+
+    def node_dist_bounds(self, q, node):
+        c = self.center[node]
+        r = self.radius[node]
+        return ball_mindist_sq(q, c, r), ball_maxdist_sq(q, c, r)
+
+    def node_ip_bounds(self, q, node):
+        return ball_ip_bounds(q, self.center[node], self.radius[node])
+
+    def pair_dist_bounds(self, q, first):
+        """Fused bounds for the sibling pair ``(first, first+1)`` (views)."""
+        return ball_dist_bounds_many(
+            q, self.center[first : first + 2], self.radius[first : first + 2]
+        )
+
+    def pair_ip_bounds(self, q, first):
+        """Fused inner-product bounds for the sibling pair ``(first, first+1)``."""
+        return ball_ip_bounds_many(
+            q, self.center[first : first + 2], self.radius[first : first + 2]
+        )

@@ -1,0 +1,36 @@
+"""Factory for index structures.
+
+``build_index("kd" | "ball", ...)`` is the single entry point the tuner and
+the high-level estimators go through, so new index kinds only need to be
+registered here.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import InvalidParameterError
+from repro.index.balltree import BallTree
+from repro.index.base import SpatialIndex
+from repro.index.kdtree import KDTree
+
+__all__ = ["build_index", "INDEX_KINDS"]
+
+INDEX_KINDS = {"kd": KDTree, "ball": BallTree}
+
+
+def build_index(kind, points, weights=None, leaf_capacity: int = 80) -> SpatialIndex:
+    """Build a spatial index of the requested ``kind``.
+
+    Parameters
+    ----------
+    kind : str
+        ``"kd"`` or ``"ball"``.
+    points, weights, leaf_capacity
+        Forwarded to the index constructor.
+    """
+    try:
+        cls = INDEX_KINDS[kind]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown index kind {kind!r}; expected one of {sorted(INDEX_KINDS)}"
+        ) from None
+    return cls(points, weights=weights, leaf_capacity=leaf_capacity)

@@ -1,0 +1,23 @@
+"""kd-tree: median-split binary tree using rectangle geometry for bounds.
+
+This is the index the paper recommends for the in-situ scenario thanks to
+its low construction time (Section III-C), and one of the two structures the
+offline tuner chooses between.
+"""
+
+from __future__ import annotations
+
+from repro.index.base import RectGeometryMixin, SpatialIndex
+
+__all__ = ["KDTree"]
+
+
+class KDTree(RectGeometryMixin, SpatialIndex):
+    """kd-tree over a weighted point set.
+
+    Splits on the dimension of maximum spread at the median; query-time
+    distance and inner-product envelopes come from each node's axis-aligned
+    bounding rectangle (paper Definition 2).
+    """
+
+    kind = "kd"

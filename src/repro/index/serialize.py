@@ -1,0 +1,74 @@
+"""Save / load spatial indexes as ``.npz`` archives.
+
+Offline tuning builds indexes ahead of time (Section III-C); persisting
+them lets the online phase skip construction entirely.  The archive stores
+every array of the array-backed tree plus the metadata needed to
+reconstruct it without touching the raw points again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.index.balltree import BallTree
+from repro.index.base import SpatialIndex
+from repro.index.kdtree import KDTree
+from repro.index.stats import SignedStats
+
+__all__ = ["save_index", "load_index"]
+
+_FORMAT_VERSION = 1
+
+_ARRAYS = (
+    "perm", "points", "weights", "start", "end", "left", "right", "depth",
+    "lo", "hi", "center", "radius", "sq_norms",
+)
+_STAT_ARRAYS = ("pos_n", "pos_w", "pos_a", "pos_b",
+                "neg_n", "neg_w", "neg_a", "neg_b")
+
+_KINDS = {"kd": KDTree, "ball": BallTree}
+
+
+def save_index(tree: SpatialIndex, path) -> None:
+    """Persist a built index to ``path`` (a ``.npz`` file)."""
+    if tree.kind not in _KINDS:
+        raise InvalidParameterError(f"cannot serialise index kind {tree.kind!r}")
+    payload = {name: getattr(tree, name) for name in _ARRAYS}
+    payload.update(
+        {f"stats_{name}": getattr(tree.stats, name) for name in _STAT_ARRAYS}
+    )
+    payload["meta"] = np.array(
+        [_FORMAT_VERSION, tree.leaf_capacity, {"kd": 0, "ball": 1}[tree.kind]],
+        dtype=np.int64,
+    )
+    np.savez_compressed(path, **payload)
+
+
+def load_index(path) -> SpatialIndex:
+    """Load an index previously written by :func:`save_index`.
+
+    The returned tree is fully functional (queries, stats, depth cuts)
+    without re-reading or re-partitioning the original points.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        meta = archive["meta"]
+        if int(meta[0]) != _FORMAT_VERSION:
+            raise InvalidParameterError(
+                f"unsupported index format version {int(meta[0])}"
+            )
+        leaf_capacity = int(meta[1])
+        kind = "kd" if int(meta[2]) == 0 else "ball"
+        cls = _KINDS[kind]
+
+        tree = cls.__new__(cls)
+        for name in _ARRAYS:
+            setattr(tree, name, archive[name])
+        tree.stats = SignedStats(
+            **{name: archive[f"stats_{name}"] for name in _STAT_ARRAYS}
+        )
+    tree.leaf_capacity = leaf_capacity
+    tree.n, tree.d = tree.points.shape
+    tree.num_nodes = tree.start.shape[0]
+    tree.max_depth = int(tree.depth.max())
+    return tree

@@ -1,0 +1,96 @@
+"""Per-node sufficient statistics for O(d) linear-bound aggregation.
+
+KARL's bounds (paper Lemmas 2 and 5) need, for the weighted point set of an
+index node, the precomputed quantities
+
+    w_P = sum_i w_i
+    a_P = sum_i w_i * p_i          (a d-vector)
+    b_P = sum_i w_i * ||p_i||^2
+
+With these, the aggregation of any linear function ``m*x + c`` of the kernel
+argument is O(d) at query time.
+
+Type III weighting (paper Section IV-A2) splits P into the positive-weight
+part ``P+`` and the negative-weight part ``P-`` and bounds each side with
+Type II machinery.  We therefore keep *two* stat sets per node — one over
+the positive-weight points, one over the absolute values of the negative
+weights.  Type I/II data simply has an empty negative part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SignedStats", "compute_signed_stats"]
+
+
+@dataclass
+class SignedStats:
+    """Sufficient statistics of a node, split by weight sign.
+
+    Arrays are indexed by node id.  The ``neg_*`` members store statistics of
+    ``|w_i|`` over the negative-weight points, so both halves can be bounded
+    by the (positive-weight) Type II machinery.
+    """
+
+    pos_n: np.ndarray    # (m,)   int64   number of positive-weight points
+    pos_w: np.ndarray    # (m,)   float64 sum of positive weights
+    pos_a: np.ndarray    # (m, d) float64 sum of w_i * p_i
+    pos_b: np.ndarray    # (m,)   float64 sum of w_i * ||p_i||^2
+    neg_n: np.ndarray = field(default=None)  # type: ignore[assignment]
+    neg_w: np.ndarray = field(default=None)  # type: ignore[assignment]
+    neg_a: np.ndarray = field(default=None)  # type: ignore[assignment]
+    neg_b: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    @property
+    def has_negative(self) -> bool:
+        """True when any node carries negative-weight mass (Type III data)."""
+        return self.neg_w is not None and bool(np.any(self.neg_w > 0.0))
+
+
+def compute_signed_stats(
+    points: np.ndarray,
+    weights: np.ndarray,
+    start: np.ndarray,
+    end: np.ndarray,
+) -> SignedStats:
+    """Compute :class:`SignedStats` for every node of an array-backed tree.
+
+    ``points``/``weights`` are the *permuted* arrays, so node ``i`` owns the
+    contiguous slice ``[start[i], end[i])``.  Uses prefix sums so the total
+    cost is O(n*d + m*d) regardless of tree shape.
+    """
+    n, d = points.shape
+    m = start.shape[0]
+
+    sq_norm = np.einsum("ij,ij->i", points, points)
+    w_pos = np.maximum(weights, 0.0)
+    w_neg = np.maximum(-weights, 0.0)
+
+    def prefix(values: np.ndarray) -> np.ndarray:
+        out = np.zeros((n + 1,) + values.shape[1:], dtype=np.float64)
+        np.cumsum(values, axis=0, out=out[1:])
+        return out
+
+    def node_sums(pref: np.ndarray) -> np.ndarray:
+        return pref[end] - pref[start]
+
+    pos = SignedStats(
+        pos_n=node_sums(prefix((weights > 0.0).astype(np.int64))).astype(np.int64),
+        pos_w=node_sums(prefix(w_pos)),
+        pos_a=node_sums(prefix(w_pos[:, None] * points)),
+        pos_b=node_sums(prefix(w_pos * sq_norm)),
+    )
+    if np.any(w_neg > 0.0):
+        pos.neg_n = node_sums(prefix((weights < 0.0).astype(np.int64))).astype(np.int64)
+        pos.neg_w = node_sums(prefix(w_neg))
+        pos.neg_a = node_sums(prefix(w_neg[:, None] * points))
+        pos.neg_b = node_sums(prefix(w_neg * sq_norm))
+    else:
+        pos.neg_n = np.zeros(m, dtype=np.int64)
+        pos.neg_w = np.zeros(m, dtype=np.float64)
+        pos.neg_a = np.zeros((m, d), dtype=np.float64)
+        pos.neg_b = np.zeros(m, dtype=np.float64)
+    return pos

@@ -1,0 +1,23 @@
+"""Kernel density estimation (Type I weighting) on the KARL engine."""
+
+from repro.kde.bandwidth import (
+    gamma_from_bandwidth,
+    scott_bandwidth,
+    scott_gamma,
+    silverman_bandwidth,
+)
+from repro.kde.classifier import (
+    KernelDensityClassifier,
+    MulticlassKernelDensityClassifier,
+)
+from repro.kde.estimator import KernelDensity
+
+__all__ = [
+    "KernelDensity",
+    "KernelDensityClassifier",
+    "MulticlassKernelDensityClassifier",
+    "scott_bandwidth",
+    "silverman_bandwidth",
+    "gamma_from_bandwidth",
+    "scott_gamma",
+]

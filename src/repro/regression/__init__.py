@@ -1,0 +1,5 @@
+"""Kernel regression extension (paper Section VII future work)."""
+
+from repro.regression.nadaraya_watson import NadarayaWatson
+
+__all__ = ["NadarayaWatson"]

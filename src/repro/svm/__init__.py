@@ -1,0 +1,29 @@
+"""From-scratch SVM substrate (replaces LibSVM's training phase).
+
+Binary C-SVM and one-class nu-SVM trained by SMO; their support-vector
+expansions are exactly the Type II/III kernel aggregation queries KARL
+accelerates at prediction time.
+"""
+
+from repro.svm.multiclass import AcceleratedOneVsOne, OneVsOneSVC
+from repro.svm.one_class import OneClassSVM, solve_one_class
+from repro.svm.platt import fit_sigmoid, sigmoid_probability
+from repro.svm.scaling import MinMaxScaler
+from repro.svm.smo import SMOResult, solve_binary_svm
+from repro.svm.svc import SVC
+from repro.svm.validate import select_one_class_nu, select_svc_params
+
+__all__ = [
+    "SVC",
+    "OneClassSVM",
+    "OneVsOneSVC",
+    "AcceleratedOneVsOne",
+    "MinMaxScaler",
+    "SMOResult",
+    "solve_binary_svm",
+    "solve_one_class",
+    "fit_sigmoid",
+    "sigmoid_probability",
+    "select_one_class_nu",
+    "select_svc_params",
+]

@@ -1,0 +1,130 @@
+"""One-vs-one multi-class SVM (the paper's "future work" extension).
+
+The paper's conclusion names multi-class kernel SVM as a promising
+direction; the standard construction (used by LibSVM) trains a binary SVC
+per class pair and predicts by majority vote.  Every pairwise decision
+function is itself a Type III kernel aggregation query, so KARL
+accelerates multi-class prediction for free.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError, NotFittedError, as_matrix
+from repro.core.kernels import Kernel
+from repro.svm.svc import SVC
+
+__all__ = ["OneVsOneSVC", "AcceleratedOneVsOne"]
+
+
+class OneVsOneSVC:
+    """Multi-class classifier from one-vs-one binary SVCs.
+
+    Parameters are forwarded to each underlying :class:`~repro.svm.svc.SVC`.
+    """
+
+    def __init__(self, C: float = 1.0, kernel: Kernel | None = None,
+                 tol: float = 1e-3, max_iter: int = 100_000):
+        self.C = C
+        self.kernel = kernel
+        self.tol = tol
+        self.max_iter = max_iter
+        self.classes_: np.ndarray | None = None
+        self.estimators_: dict[tuple, SVC] | None = None
+
+    def fit(self, X, y) -> "OneVsOneSVC":
+        """Train a binary SVC for every pair of classes in ``y``."""
+        X = as_matrix(X, name="X")
+        y = np.asarray(y).ravel()
+        self.classes_ = np.unique(y)
+        if self.classes_.shape[0] < 2:
+            raise InvalidParameterError("need at least two classes")
+        self.estimators_ = {}
+        for a, b in combinations(self.classes_, 2):
+            mask = (y == a) | (y == b)
+            labels = np.where(y[mask] == a, 1.0, -1.0)
+            clf = SVC(C=self.C, kernel=self.kernel, tol=self.tol,
+                      max_iter=self.max_iter)
+            clf.fit(X[mask], labels)
+            self.estimators_[(a, b)] = clf
+        return self
+
+    def predict(self, queries) -> np.ndarray:
+        """Majority vote over all pairwise classifiers."""
+        if self.estimators_ is None:
+            raise NotFittedError("OneVsOneSVC used before fit")
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        class_index = {c: k for k, c in enumerate(self.classes_)}
+        votes = np.zeros((queries.shape[0], self.classes_.shape[0]), dtype=np.int64)
+        for (a, b), clf in self.estimators_.items():
+            preds = clf.predict(queries)
+            votes[preds == 1, class_index[a]] += 1
+            votes[preds == -1, class_index[b]] += 1
+        return self.classes_[np.argmax(votes, axis=1)]
+
+    def accelerate(self, index: str = "kd", leaf_capacity: int = 20,
+                   scheme: str = "karl") -> "AcceleratedOneVsOne":
+        """Wrap every pairwise decision function in a KARL evaluator.
+
+        Each pairwise vote is a Type III TKAQ at ``tau = rho``, so
+        multi-class prediction inherits KARL's pruning — the paper's
+        "multi-class kernel SVM" future-work direction.
+        """
+        if self.estimators_ is None:
+            raise NotFittedError("OneVsOneSVC used before fit")
+        return AcceleratedOneVsOne(self, index, leaf_capacity, scheme)
+
+    def score(self, X, y) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        y = np.asarray(y).ravel()
+        return float(np.mean(self.predict(X) == y))
+
+
+class AcceleratedOneVsOne:
+    """KARL-backed predictor for a fitted :class:`OneVsOneSVC`.
+
+    Builds one signed-weight index per pairwise model; ``predict`` answers
+    every vote with a pruned threshold query instead of a support-vector
+    scan.  Predictions agree with the exact predictor by construction
+    (TKAQ answers are exact).
+    """
+
+    def __init__(self, model: OneVsOneSVC, index: str, leaf_capacity: int,
+                 scheme: str):
+        from repro.core.aggregator import KernelAggregator
+        from repro.index.builder import build_index
+
+        self.classes_ = model.classes_
+        self._voters = []
+        for (a, b), clf in model.estimators_.items():
+            sv, w, tau = clf.to_kaq()
+            tree = build_index(index, sv, weights=w, leaf_capacity=leaf_capacity)
+            agg = KernelAggregator(tree, clf.kernel, scheme=scheme)
+            self._voters.append((a, b, agg, tau))
+
+    def predict_one(self, q) -> object:
+        """Class of a single query by pruned pairwise votes."""
+        class_index = {c: k for k, c in enumerate(self.classes_)}
+        votes = np.zeros(self.classes_.shape[0], dtype=np.int64)
+        for a, b, agg, tau in self._voters:
+            if agg.tkaq(q, tau).answer:
+                votes[class_index[a]] += 1
+            else:
+                votes[class_index[b]] += 1
+        return self.classes_[int(np.argmax(votes))]
+
+    def predict(self, queries) -> np.ndarray:
+        """Classes for each query row."""
+        return np.array(
+            [self.predict_one(q) for q in np.atleast_2d(
+                np.asarray(queries, dtype=np.float64)
+            )]
+        )
+
+    def score(self, X, y) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        y = np.asarray(y).ravel()
+        return float(np.mean(self.predict(X) == y))

@@ -1,0 +1,95 @@
+"""Platt scaling: probability calibration for SVM decision values.
+
+LibSVM's ``-b 1`` option fits a sigmoid ``P(y=+1 | f) = 1/(1+exp(A f + B))``
+to the decision values.  This is the Lin-Lin-Weng (2007) implementation —
+a damped Newton iteration on the regularised log-likelihood, numerically
+robust at extreme decision values.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.errors import DataShapeError, InvalidParameterError
+
+__all__ = ["fit_sigmoid", "sigmoid_probability"]
+
+
+def fit_sigmoid(decision, labels, max_iter: int = 100,
+                min_step: float = 1e-10, tol: float = 1e-12):
+    """Fit ``(A, B)`` of ``P(+1|f) = 1/(1+exp(A f + B))`` by damped Newton.
+
+    ``decision`` are decision values ``f(x_i)``; ``labels`` are +-1.
+    Targets are the smoothed frequencies of Platt (1999).
+    """
+    f = np.asarray(decision, dtype=np.float64).ravel()
+    y = np.asarray(labels, dtype=np.float64).ravel()
+    if f.shape != y.shape:
+        raise DataShapeError(
+            f"decision and labels must match; got {f.shape} vs {y.shape}"
+        )
+    if not np.all(np.isin(y, (-1.0, 1.0))):
+        raise InvalidParameterError("labels must be +-1")
+    n_pos = float((y > 0).sum())
+    n_neg = float((y < 0).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise InvalidParameterError("need both classes to calibrate")
+
+    hi_target = (n_pos + 1.0) / (n_pos + 2.0)
+    lo_target = 1.0 / (n_neg + 2.0)
+    t = np.where(y > 0, hi_target, lo_target)
+
+    a, b = 0.0, math.log((n_neg + 1.0) / (n_pos + 1.0))
+
+    def objective(a_, b_):
+        z = a_ * f + b_
+        # stable log(1 + exp(z)) handling both signs
+        pos_z = z > 0
+        val = np.empty_like(z)
+        val[pos_z] = t[pos_z] * z[pos_z] + np.log1p(np.exp(-z[pos_z]))
+        val[~pos_z] = (t[~pos_z] - 1.0) * z[~pos_z] + np.log1p(np.exp(z[~pos_z]))
+        return float(val.sum())
+
+    fval = objective(a, b)
+    for _ in range(max_iter):
+        # p = sigmoid(-z) = P(+1); q = 1 - p, computed stably
+        p = sigmoid_probability(f, a, b)
+        q = 1.0 - p
+        d1 = t - p  # gradient of the NLL w.r.t. z is (t - p)
+        g1 = float((f * d1).sum())
+        g2 = float(d1.sum())
+        if abs(g1) < tol and abs(g2) < tol:
+            break
+        d2 = p * q
+        h11 = float((f * f * d2).sum()) + 1e-12
+        h22 = float(d2.sum()) + 1e-12
+        h21 = float((f * d2).sum())
+        det = h11 * h22 - h21 * h21
+        da = -(h22 * g1 - h21 * g2) / det
+        db = -(-h21 * g1 + h11 * g2) / det
+        gd = g1 * da + g2 * db
+
+        step = 1.0
+        while step >= min_step:
+            new_a, new_b = a + step * da, b + step * db
+            new_f = objective(new_a, new_b)
+            if new_f < fval + 1e-4 * step * gd:
+                a, b, fval = new_a, new_b, new_f
+                break
+            step *= 0.5
+        else:
+            break  # line search failed: converged to numerical precision
+    return a, b
+
+
+def sigmoid_probability(decision, a: float, b: float) -> np.ndarray:
+    """``P(+1 | f)`` under fitted ``(A, B)`` (numerically stable)."""
+    z = a * np.asarray(decision, dtype=np.float64) + b
+    out = np.empty_like(z)
+    pos = z >= 0
+    e = np.exp(-z[pos])
+    out[pos] = e / (1.0 + e)
+    out[~pos] = 1.0 / (1.0 + np.exp(z[~pos]))
+    return out

@@ -1,0 +1,129 @@
+"""Binary support vector classifier over the from-scratch SMO solver.
+
+Wraps :func:`repro.svm.smo.solve_binary_svm` in an estimator with the
+prediction-side exports KARL consumes: the support-vector expansion
+``(P, w, tau=rho)`` is a Type III kernel aggregation query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import NotFittedError, as_matrix
+from repro.core.kernels import GaussianKernel, Kernel
+from repro.svm.smo import solve_binary_svm
+
+__all__ = ["SVC"]
+
+
+class SVC:
+    """Binary C-SVM classifier.
+
+    Parameters
+    ----------
+    C : float
+        Box constraint.
+    kernel : Kernel, optional
+        Defaults to a Gaussian kernel with LibSVM's default ``gamma = 1/d``
+        at fit time.
+    """
+
+    def __init__(self, C: float = 1.0, kernel: Kernel | None = None,
+                 tol: float = 1e-3, max_iter: int = 100_000,
+                 shrinking: bool = False):
+        self.C = float(C)
+        self.kernel = kernel
+        self.tol = float(tol)
+        self.max_iter = int(max_iter)
+        self.shrinking = bool(shrinking)
+        self.support_vectors_: np.ndarray | None = None
+        self.dual_coef_: np.ndarray | None = None  # a_i * y_i (signed)
+        self.rho_: float | None = None
+        self.n_iter_: int | None = None
+        self.converged_: bool | None = None
+
+    def fit(self, X, y) -> "SVC":
+        """Train on points ``X`` with labels ``y`` in {-1, +1}."""
+        X = as_matrix(X, name="X")
+        if self.kernel is None:
+            self.kernel = GaussianKernel(gamma=1.0 / X.shape[1])
+        y = np.asarray(y, dtype=np.float64).ravel()
+        sol = solve_binary_svm(
+            X, y, self.kernel, C=self.C, tol=self.tol,
+            max_iter=self.max_iter, shrinking=self.shrinking,
+        )
+        mask = sol.support_mask()
+        self.support_vectors_ = X[mask]
+        self.dual_coef_ = sol.alpha[mask] * y[mask]
+        self.rho_ = sol.rho
+        self.n_iter_ = sol.iterations
+        self.converged_ = sol.converged
+        self.platt_a_ = None
+        self.platt_b_ = None
+        # kept for optional self-calibration (calibrate() without args)
+        self._train_X = X
+        self._train_y = y
+        return self
+
+    def _require_fit(self):
+        if self.support_vectors_ is None:
+            raise NotFittedError("SVC used before fit")
+
+    def decision_function(self, queries) -> np.ndarray:
+        """``f(q) = sum_i a_i y_i K(x_i, q) - rho`` for each query row."""
+        self._require_fit()
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        return np.array(
+            [
+                float(self.dual_coef_ @ self.kernel.pairwise(q, self.support_vectors_))
+                - self.rho_
+                for q in queries
+            ]
+        )
+
+    def predict(self, queries) -> np.ndarray:
+        """Class labels in {-1, +1}."""
+        return np.where(self.decision_function(queries) >= 0.0, 1, -1)
+
+    def score(self, X, y) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        y = np.asarray(y).ravel()
+        return float(np.mean(self.predict(X) == y))
+
+    def calibrate(self, X=None, y=None) -> "SVC":
+        """Fit Platt-scaling parameters for :meth:`predict_proba`.
+
+        Uses held-out ``(X, y)`` when given (recommended); otherwise
+        calibrates on the training decision values as stored in the model
+        — slightly optimistic, like LibSVM without cross-validation.
+        """
+        from repro.svm.platt import fit_sigmoid
+
+        self._require_fit()
+        if X is None:
+            X, y = self._train_X, self._train_y
+        f = self.decision_function(X)
+        self.platt_a_, self.platt_b_ = fit_sigmoid(f, np.asarray(y).ravel())
+        return self
+
+    def predict_proba(self, queries) -> np.ndarray:
+        """``(n, 2)`` class probabilities ``[P(-1), P(+1)]`` (needs
+        :meth:`calibrate`)."""
+        from repro.svm.platt import sigmoid_probability
+
+        if getattr(self, "platt_a_", None) is None:
+            raise NotFittedError("call calibrate() before predict_proba()")
+        p_pos = sigmoid_probability(
+            self.decision_function(queries), self.platt_a_, self.platt_b_
+        )
+        return np.stack([1.0 - p_pos, p_pos], axis=1)
+
+    @property
+    def n_support_(self) -> int:
+        self._require_fit()
+        return self.support_vectors_.shape[0]
+
+    def to_kaq(self) -> tuple[np.ndarray, np.ndarray, float]:
+        """Export ``(points, weights, tau)`` for the KAQ engine (Type III)."""
+        self._require_fit()
+        return self.support_vectors_, self.dual_coef_.copy(), float(self.rho_)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import (
+    CauchyKernel,
+    EpanechnikovKernel,
+    GaussianKernel,
+    LaplacianKernel,
+    PolynomialKernel,
+    SigmoidKernel,
+)
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def clustered_points(rng):
+    """Small clustered point set in [0, 1]^5 (2000 x 5)."""
+    centers = rng.random((6, 5))
+    which = rng.integers(0, 6, 2000)
+    pts = centers[which] + 0.05 * rng.standard_normal((2000, 5))
+    return np.clip(pts, 0.0, 1.0)
+
+
+@pytest.fixture
+def signed_weights(rng):
+    """Mixed-sign weights matching clustered_points."""
+    return rng.standard_normal(2000)
+
+
+ALL_KERNELS = [
+    GaussianKernel(gamma=8.0),
+    LaplacianKernel(gamma=3.0),
+    CauchyKernel(gamma=2.0),
+    EpanechnikovKernel(gamma=0.8),
+    PolynomialKernel(gamma=0.7, coef0=0.2, degree=2),
+    PolynomialKernel(gamma=0.7, coef0=0.1, degree=3),
+    PolynomialKernel(gamma=0.9, coef0=-0.1, degree=5),
+    PolynomialKernel(gamma=1.1, coef0=0.4, degree=1),
+    SigmoidKernel(gamma=0.8, coef0=-0.2),
+]
+
+
+@pytest.fixture(params=ALL_KERNELS, ids=lambda k: repr(k))
+def any_kernel(request):
+    """Parametrised over every supported kernel family."""
+    return request.param

@@ -1,0 +1,278 @@
+"""End-to-end correctness of the TKAQ/eKAQ evaluator against brute force."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ScanEvaluator
+from repro.core import GaussianKernel, KernelAggregator, PolynomialKernel
+from repro.core.aggregator import resolve_scheme
+from repro.core.bounds import KARLBounds
+from repro.core.errors import DataShapeError, InvalidParameterError
+from repro.index import BallTree, KDTree
+
+
+@pytest.fixture(params=["kd", "ball"])
+def tree_kind(request):
+    return request.param
+
+
+@pytest.fixture(params=["karl", "sota", "hybrid"])
+def scheme(request):
+    return request.param
+
+
+def make_setup(rng, kernel, weights=None, n=1500, d=4, kind="kd", cap=25):
+    centers = rng.random((5, d))
+    pts = np.clip(
+        centers[rng.integers(0, 5, n)] + 0.06 * rng.standard_normal((n, d)), 0, 1
+    )
+    cls = KDTree if kind == "kd" else BallTree
+    tree = cls(pts, weights=weights, leaf_capacity=cap)
+    agg = KernelAggregator(tree, kernel)
+    scan = ScanEvaluator(pts, kernel, weights)
+    return pts, agg, scan
+
+
+class TestExact:
+    def test_exact_matches_scan(self, rng, tree_kind, any_kernel):
+        w = rng.random(1500)
+        pts, agg, scan = make_setup(rng, any_kernel, w, kind=tree_kind)
+        for q in rng.random((5, 4)):
+            assert agg.exact(q) == pytest.approx(scan.exact(q), rel=1e-9, abs=1e-9)
+
+    def test_exact_many_shape(self, rng):
+        _, agg, _ = make_setup(rng, GaussianKernel(5.0))
+        out = agg.exact_many(rng.random((7, 4)))
+        assert out.shape == (7,)
+
+
+class TestTKAQ:
+    def test_answers_match_bruteforce(self, rng, tree_kind, scheme, any_kernel):
+        w = rng.random(1500)
+        pts, _, scan = make_setup(rng, any_kernel, w, kind=tree_kind)
+        cls = KDTree if tree_kind == "kd" else BallTree
+        tree = cls(pts, weights=w, leaf_capacity=25)
+        agg = KernelAggregator(tree, any_kernel, scheme=scheme)
+        queries = rng.random((10, 4))
+        exact = scan.exact_many(queries)
+        taus = [exact.mean(), exact.mean() * 0.5, exact.max() + 1.0, exact.min() - 1.0]
+        for tau in taus:
+            for q, f in zip(queries, exact):
+                res = agg.tkaq(q, tau)
+                assert res.answer == (f > tau), (tau, f, res.lower, res.upper)
+                assert res.lower <= f + 1e-7 * (1 + abs(f))
+                assert res.upper >= f - 1e-7 * (1 + abs(f))
+
+    def test_signed_weights(self, rng, scheme):
+        w = rng.standard_normal(1500)
+        kernel = GaussianKernel(6.0)
+        pts, _, scan = make_setup(rng, kernel, w)
+        tree = KDTree(pts, weights=w, leaf_capacity=25)
+        agg = KernelAggregator(tree, kernel, scheme=scheme)
+        for q in rng.random((10, 4)):
+            f = scan.exact(q)
+            assert agg.tkaq(q, f + 0.25).answer is np.bool_(False) or not agg.tkaq(q, f + 0.25).answer
+            assert agg.tkaq(q, f - 0.25).answer
+
+    def test_result_fields(self, rng):
+        _, agg, scan = make_setup(rng, GaussianKernel(5.0))
+        q = rng.random(4)
+        res = agg.tkaq(q, 1.0)
+        assert res.tau == 1.0
+        assert res.stats.iterations >= 0  # may decide at the root
+        assert bool(res) == res.answer
+
+    def test_trace_records_bounds(self, rng):
+        _, agg, scan = make_setup(rng, GaussianKernel(5.0))
+        q = rng.random(4)
+        f = scan.exact(q)
+        res = agg.tkaq(q, f, trace=True)
+        assert len(res.trace) == res.stats.iterations + 1
+        # every recorded bound pair brackets the exact value
+        for lb, ub in zip(res.trace.lowers, res.trace.uppers):
+            assert lb <= f + 1e-7 * (1 + abs(f))
+            assert ub >= f - 1e-7 * (1 + abs(f))
+
+    def test_gap_never_widens_much(self, rng):
+        """Refinement should (weakly) shrink the global gap over time."""
+        _, agg, scan = make_setup(rng, GaussianKernel(5.0))
+        q = rng.random(4)
+        res = agg.tkaq(q, scan.exact(q), trace=True)
+        gaps = np.array(res.trace.uppers) - np.array(res.trace.lowers)
+        # allow tiny numerical wiggle but no systematic widening
+        assert np.all(np.diff(gaps) <= 1e-6 * (1 + gaps[:-1]))
+
+
+class TestEKAQ:
+    def test_relative_error_guarantee(self, rng, tree_kind, scheme):
+        kernel = GaussianKernel(8.0)
+        w = rng.random(1500)
+        pts, _, scan = make_setup(rng, kernel, w, kind=tree_kind)
+        cls = KDTree if tree_kind == "kd" else BallTree
+        tree = cls(pts, weights=w, leaf_capacity=25)
+        agg = KernelAggregator(tree, kernel, scheme=scheme)
+        for eps in (0.05, 0.2, 0.5):
+            for q in rng.random((6, 4)):
+                f = scan.exact(q)
+                res = agg.ekaq(q, eps)
+                assert (1 - eps) * f - 1e-9 <= res.estimate <= (1 + eps) * f + 1e-9
+
+    def test_zero_eps_returns_exact(self, rng):
+        kernel = GaussianKernel(5.0)
+        _, agg, scan = make_setup(rng, kernel)
+        q = rng.random(4)
+        res = agg.ekaq(q, 0.0)
+        assert res.estimate == pytest.approx(scan.exact(q), rel=1e-7)
+
+    def test_negative_eps_rejected(self, rng):
+        _, agg, _ = make_setup(rng, GaussianKernel(5.0))
+        with pytest.raises(InvalidParameterError):
+            agg.ekaq(rng.random(4), -0.1)
+
+    def test_signed_weights_fall_back_to_exact(self, rng):
+        """Type III aggregates may never certify; exhaustion returns exact."""
+        w = rng.standard_normal(800)
+        kernel = GaussianKernel(6.0)
+        pts, _, _ = make_setup(rng, kernel, None, n=800)
+        tree = KDTree(pts, weights=w, leaf_capacity=25)
+        agg = KernelAggregator(tree, kernel)
+        scan = ScanEvaluator(pts, kernel, w)
+        q = rng.random(4)
+        res = agg.ekaq(q, 0.1)
+        f = scan.exact(q)
+        assert res.lower <= f + 1e-7
+        assert res.upper >= f - 1e-7
+
+    def test_float_conversion(self, rng):
+        _, agg, _ = make_setup(rng, GaussianKernel(5.0))
+        res = agg.ekaq(rng.random(4), 0.3)
+        assert float(res) == res.estimate
+
+
+class TestMaxDepth:
+    def test_depth_zero_equals_scan_result(self, rng):
+        kernel = GaussianKernel(5.0)
+        pts, _, scan = make_setup(rng, kernel)
+        tree = KDTree(pts, leaf_capacity=25)
+        agg = KernelAggregator(tree, kernel, max_depth=0)
+        q = rng.random(4)
+        res = agg.ekaq(q, 0.01)
+        assert res.stats.points_evaluated == tree.n
+        assert res.estimate == pytest.approx(scan.exact(q), rel=0.02)
+
+    def test_all_depths_agree_on_answer(self, rng):
+        kernel = GaussianKernel(5.0)
+        pts, _, scan = make_setup(rng, kernel)
+        tree = KDTree(pts, leaf_capacity=25)
+        q = rng.random(4)
+        f = scan.exact(q)
+        tau = f * 0.8
+        for depth in range(tree.max_depth + 1):
+            agg = KernelAggregator(tree, kernel, max_depth=depth)
+            assert agg.tkaq(q, tau).answer == (f > tau)
+
+    def test_negative_depth_rejected(self, rng):
+        pts, _, _ = make_setup(rng, GaussianKernel(5.0))
+        tree = KDTree(pts, leaf_capacity=25)
+        with pytest.raises(InvalidParameterError):
+            KernelAggregator(tree, GaussianKernel(5.0), max_depth=-1)
+
+
+class TestSchemeResolution:
+    def test_names(self):
+        assert resolve_scheme("karl").name == "karl"
+        assert resolve_scheme("SOTA").name == "sota"
+        assert resolve_scheme("hybrid").name == "hybrid"
+
+    def test_instance_passthrough(self):
+        inst = KARLBounds()
+        assert resolve_scheme(inst) is inst
+
+    def test_unknown(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_scheme("magic")
+
+
+class TestValidation:
+    def test_query_dimension_checked(self, rng):
+        _, agg, _ = make_setup(rng, GaussianKernel(5.0))
+        with pytest.raises(DataShapeError):
+            agg.tkaq(rng.random(7), 1.0)
+
+    def test_batch_apis(self, rng):
+        kernel = GaussianKernel(5.0)
+        pts, agg, scan = make_setup(rng, kernel)
+        Q = rng.random((5, 4))
+        exact = scan.exact_many(Q)
+        tau = exact.mean()
+        assert np.array_equal(agg.tkaq_many(Q, tau), exact > tau)
+        est = agg.ekaq_many(Q, 0.2)
+        assert np.all(est >= (1 - 0.2) * exact - 1e-9)
+        assert np.all(est <= (1 + 0.2) * exact + 1e-9)
+
+
+class TestKARLTerminatesFasterOnClusteredData:
+    def test_iteration_advantage(self, rng):
+        """The paper's headline: KARL needs fewer refinement steps."""
+        kernel = GaussianKernel(30.0)
+        centers = rng.random((8, 6))
+        pts = np.clip(
+            centers[rng.integers(0, 8, 8000)]
+            + 0.04 * rng.standard_normal((8000, 6)),
+            0, 1,
+        )
+        tree = KDTree(pts, leaf_capacity=40)
+        scan = ScanEvaluator(pts, kernel)
+        Q = pts[rng.choice(8000, 25, replace=False)]
+        tau = scan.exact_many(Q).mean()
+        totals = {}
+        for scheme in ("karl", "sota"):
+            agg = KernelAggregator(tree, kernel, scheme=scheme)
+            totals[scheme] = sum(agg.tkaq(q, tau).stats.iterations for q in Q)
+        assert totals["karl"] < totals["sota"]
+
+
+class TestAnytimeBounds:
+    def test_bounds_always_bracket_exact(self, rng):
+        kernel = GaussianKernel(8.0)
+        pts, agg, scan = make_setup(rng, kernel)
+        q = rng.random(4)
+        f = scan.exact(q)
+        for budget in (0, 1, 5, 50, 10_000):
+            res = agg.refine_bounds(q, budget)
+            assert res.lower <= f + 1e-7 * (1 + abs(f))
+            assert res.upper >= f - 1e-7 * (1 + abs(f))
+            assert res.stats.iterations <= budget
+
+    def test_more_budget_never_looser(self, rng):
+        kernel = GaussianKernel(8.0)
+        pts, agg, _ = make_setup(rng, kernel)
+        q = rng.random(4)
+        widths = [
+            agg.refine_bounds(q, b).upper - agg.refine_bounds(q, b).lower
+            for b in (0, 10, 100, 1000)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(widths, widths[1:]))
+
+    def test_achieved_eps_reported(self, rng):
+        kernel = GaussianKernel(8.0)
+        pts, agg, scan = make_setup(rng, kernel)
+        q = rng.random(4)
+        res = agg.refine_bounds(q, 500)
+        if res.lower > 0:
+            assert res.eps == pytest.approx(
+                (res.upper - res.lower) / (2 * res.lower)
+            )
+
+    def test_negative_budget_rejected(self, rng):
+        kernel = GaussianKernel(8.0)
+        pts, agg, _ = make_setup(rng, kernel)
+        with pytest.raises(InvalidParameterError):
+            agg.refine_bounds(rng.random(4), -1)
+
+    def test_zero_budget_returns_root_bounds(self, rng):
+        kernel = GaussianKernel(8.0)
+        pts, agg, _ = make_setup(rng, kernel)
+        res = agg.refine_bounds(rng.random(4), 0)
+        assert res.stats.iterations == 0
+        assert res.lower <= res.upper

@@ -1,0 +1,101 @@
+"""Unit and property tests for bounding-ball geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.errors import DataShapeError
+from repro.index.ball import (
+    ball_dist_bounds_many,
+    ball_ip_bounds,
+    ball_ip_bounds_many,
+    ball_maxdist_sq,
+    ball_mindist_sq,
+    bounding_ball,
+)
+
+finite = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False)
+
+
+def points_strategy(n=25, d=4):
+    return hnp.arrays(np.float64, (n, d), elements=finite)
+
+
+class TestBoundingBall:
+    @settings(max_examples=50, deadline=None)
+    @given(points_strategy())
+    def test_covers_all_points(self, pts):
+        center, radius = bounding_ball(pts)
+        dists = np.linalg.norm(pts - center, axis=1)
+        assert np.all(dists <= radius + 1e-7 * (1 + radius))
+
+    def test_single_point_zero_radius(self):
+        center, radius = bounding_ball(np.array([[3.0, -1.0]]))
+        assert np.allclose(center, [3.0, -1.0])
+        assert radius == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataShapeError):
+            bounding_ball(np.empty((0, 2)))
+
+
+class TestBallDistBounds:
+    def test_query_inside_ball(self):
+        assert ball_mindist_sq(np.zeros(2), np.zeros(2), 1.0) == 0.0
+        assert ball_maxdist_sq(np.zeros(2), np.zeros(2), 1.0) == pytest.approx(1.0)
+
+    def test_query_outside_ball(self):
+        q = np.array([3.0, 0.0])
+        assert ball_mindist_sq(q, np.zeros(2), 1.0) == pytest.approx(4.0)
+        assert ball_maxdist_sq(q, np.zeros(2), 1.0) == pytest.approx(16.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(points_strategy(), hnp.arrays(np.float64, (4,), elements=finite))
+    def test_envelope_on_real_points(self, pts, q):
+        center, radius = bounding_ball(pts)
+        mind = ball_mindist_sq(q, center, radius)
+        maxd = ball_maxdist_sq(q, center, radius)
+        d2 = np.sum((pts - q) ** 2, axis=1)
+        scale = 1 + maxd
+        assert np.all(d2 >= mind - 1e-7 * scale)
+        assert np.all(d2 <= maxd + 1e-7 * scale)
+
+    @settings(max_examples=30, deadline=None)
+    @given(points_strategy(), hnp.arrays(np.float64, (4,), elements=finite))
+    def test_many_matches_scalar(self, pts, q):
+        c1, r1 = bounding_ball(pts[:10])
+        c2, r2 = bounding_ball(pts[10:])
+        centers = np.stack([c1, c2])
+        radii = np.array([r1, r2])
+        mind, maxd = ball_dist_bounds_many(q, centers, radii)
+        assert mind[0] == pytest.approx(ball_mindist_sq(q, c1, r1))
+        assert mind[1] == pytest.approx(ball_mindist_sq(q, c2, r2))
+        assert maxd[0] == pytest.approx(ball_maxdist_sq(q, c1, r1))
+        assert maxd[1] == pytest.approx(ball_maxdist_sq(q, c2, r2))
+
+
+class TestBallIPBounds:
+    @settings(max_examples=50, deadline=None)
+    @given(points_strategy(), hnp.arrays(np.float64, (4,), elements=finite))
+    def test_ip_envelope_on_real_points(self, pts, q):
+        center, radius = bounding_ball(pts)
+        lo, hi = ball_ip_bounds(q, center, radius)
+        ips = pts @ q
+        scale = 1 + abs(lo) + abs(hi)
+        assert np.all(ips >= lo - 1e-7 * scale)
+        assert np.all(ips <= hi + 1e-7 * scale)
+
+    def test_zero_query_collapses(self):
+        lo, hi = ball_ip_bounds(np.zeros(3), np.ones(3), 2.0)
+        assert lo == hi == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(points_strategy(), hnp.arrays(np.float64, (4,), elements=finite))
+    def test_many_matches_scalar(self, pts, q):
+        c, r = bounding_ball(pts)
+        mn, mx = ball_ip_bounds_many(q, c[None, :], np.array([r]))
+        slo, shi = ball_ip_bounds(q, c, r)
+        assert mn[0] == pytest.approx(slo)
+        assert mx[0] == pytest.approx(shi)

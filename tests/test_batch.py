@@ -1,0 +1,138 @@
+"""Tests for the vectorised batch evaluator (agreement with sequential)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ScanEvaluator
+from repro.core import (
+    CauchyKernel,
+    EpanechnikovKernel,
+    GaussianKernel,
+    KernelAggregator,
+    LaplacianKernel,
+    PolynomialKernel,
+)
+from repro.core.batch import BatchKernelAggregator
+from repro.core.errors import InvalidParameterError
+from repro.index import BallTree, KDTree
+
+DIST_KERNELS = [
+    GaussianKernel(10.0),
+    LaplacianKernel(2.0),
+    CauchyKernel(4.0),
+    EpanechnikovKernel(3.0),
+]
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(21)
+    centers = rng.random((6, 5))
+    pts = np.clip(
+        centers[rng.integers(0, 6, 4000)] + 0.05 * rng.standard_normal((4000, 5)),
+        0, 1,
+    )
+    w = rng.random(4000)
+    w_signed = rng.standard_normal(4000)
+    queries = pts[rng.choice(4000, 15, replace=False)]
+    return pts, w, w_signed, queries
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("kernel", DIST_KERNELS, ids=repr)
+    @pytest.mark.parametrize("tree_cls", [KDTree, BallTree], ids=["kd", "ball"])
+    def test_tkaq_matches_sequential(self, data, kernel, tree_cls):
+        pts, w, _, queries = data
+        tree = tree_cls(pts, weights=w, leaf_capacity=30)
+        seq = KernelAggregator(tree, kernel)
+        batch = BatchKernelAggregator(tree, kernel)
+        scan = ScanEvaluator(pts, kernel, w)
+        exact = scan.exact_many(queries)
+        for tau in (exact.mean(), exact.mean() * 0.3):
+            for q, f in zip(queries, exact):
+                assert batch.tkaq(q, tau).answer == (f > tau)
+                assert batch.tkaq(q, tau).answer == seq.tkaq(q, tau).answer
+
+    @pytest.mark.parametrize("kernel", DIST_KERNELS, ids=repr)
+    def test_ekaq_guarantee(self, data, kernel):
+        pts, w, _, queries = data
+        tree = KDTree(pts, weights=w, leaf_capacity=30)
+        batch = BatchKernelAggregator(tree, kernel)
+        scan = ScanEvaluator(pts, kernel, w)
+        for eps in (0.1, 0.3):
+            for q in queries[:8]:
+                f = scan.exact(q)
+                res = batch.ekaq(q, eps)
+                assert (1 - eps) * f - 1e-9 <= res.estimate <= (1 + eps) * f + 1e-9
+
+    def test_signed_weights(self, data):
+        pts, _, w_signed, queries = data
+        kernel = GaussianKernel(8.0)
+        tree = KDTree(pts, weights=w_signed, leaf_capacity=30)
+        batch = BatchKernelAggregator(tree, kernel)
+        scan = ScanEvaluator(pts, kernel, w_signed)
+        for q in queries:
+            f = scan.exact(q)
+            assert batch.tkaq(q, f + 0.5).answer == (f > f + 0.5)
+            assert batch.tkaq(q, f - 0.5).answer == (f > f - 0.5)
+
+    def test_exact_matches_scan(self, data):
+        pts, w, _, queries = data
+        kernel = GaussianKernel(8.0)
+        tree = KDTree(pts, weights=w, leaf_capacity=30)
+        batch = BatchKernelAggregator(tree, kernel)
+        scan = ScanEvaluator(pts, kernel, w)
+        assert batch.exact(queries[0]) == pytest.approx(scan.exact(queries[0]),
+                                                        rel=1e-9)
+
+    def test_sota_scheme(self, data):
+        pts, w, _, queries = data
+        kernel = GaussianKernel(8.0)
+        tree = KDTree(pts, weights=w, leaf_capacity=30)
+        batch = BatchKernelAggregator(tree, kernel, scheme="sota")
+        scan = ScanEvaluator(pts, kernel, w)
+        exact = scan.exact_many(queries)
+        tau = exact.mean()
+        for q, f in zip(queries, exact):
+            assert batch.tkaq(q, tau).answer == (f > tau)
+
+
+class TestSplitFraction:
+    def test_small_fraction_fewer_rounds(self, data):
+        pts, w, _, queries = data
+        kernel = GaussianKernel(8.0)
+        tree = KDTree(pts, weights=w, leaf_capacity=30)
+        eager = BatchKernelAggregator(tree, kernel, split_fraction=0.01)
+        lazy = BatchKernelAggregator(tree, kernel, split_fraction=1.0)
+        scan = ScanEvaluator(pts, kernel, w)
+        tau = float(scan.exact_many(queries).mean())
+        q = queries[0]
+        # refining almost everything per round needs fewer rounds
+        assert eager.tkaq(q, tau).stats.iterations <= lazy.tkaq(q, tau).stats.iterations
+
+    def test_invalid_fraction(self, data):
+        pts, w, _, _ = data
+        tree = KDTree(pts[:100], leaf_capacity=30)
+        with pytest.raises(InvalidParameterError):
+            BatchKernelAggregator(tree, GaussianKernel(1.0), split_fraction=0.0)
+
+
+class TestValidation:
+    def test_rejects_dot_product_kernels(self, data):
+        pts, _, _, _ = data
+        tree = KDTree(pts[:100], leaf_capacity=30)
+        with pytest.raises(InvalidParameterError):
+            BatchKernelAggregator(tree, PolynomialKernel(gamma=1.0, degree=3))
+
+    def test_rejects_unknown_scheme(self, data):
+        pts, _, _, _ = data
+        tree = KDTree(pts[:100], leaf_capacity=30)
+        with pytest.raises(InvalidParameterError):
+            BatchKernelAggregator(tree, GaussianKernel(1.0), scheme="hybrid")
+
+    def test_negative_eps(self, data):
+        pts, _, _, _ = data
+        tree = KDTree(pts[:100], leaf_capacity=30)
+        batch = BatchKernelAggregator(tree, GaussianKernel(1.0))
+        with pytest.raises(InvalidParameterError):
+            batch.ekaq(pts[0], -0.1)

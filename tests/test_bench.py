@@ -1,0 +1,136 @@
+"""Tests for the benchmark harness: workloads, methods, timers, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    KAQWorkload,
+    make_method,
+    render_table,
+    throughput_ekaq,
+    throughput_tkaq,
+    tune_method,
+    type1_workload,
+    type2_workload,
+    type3_workload,
+    workload_for,
+)
+from repro.core.errors import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def wl1():
+    return type1_workload("miniboone", n_queries=20, size=1500)
+
+
+@pytest.fixture(scope="module")
+def wl2():
+    return type2_workload("nsl-kdd", n_queries=20, size=1200)
+
+
+@pytest.fixture(scope="module")
+def wl3():
+    return type3_workload("ijcnn1", n_queries=20, size=1200)
+
+
+class TestWorkloadBuilders:
+    def test_type1_properties(self, wl1):
+        assert wl1.weighting == "I"
+        assert np.all(wl1.weights == 1.0)
+        assert wl1.tau == pytest.approx(wl1.ensure_exact().mean())
+        assert wl1.queries.shape == (20, wl1.d)
+
+    def test_type2_properties(self, wl2):
+        assert wl2.weighting == "II"
+        assert np.all(wl2.weights > 0)
+        assert wl2.n < 1200  # support vectors only
+
+    def test_type3_properties(self, wl3):
+        assert wl3.weighting == "III"
+        assert (wl3.weights > 0).any()
+        assert (wl3.weights < 0).any()
+
+    def test_type3_polynomial(self):
+        wl = type3_workload("ijcnn1", n_queries=10, size=800, polynomial=True)
+        from repro.core import PolynomialKernel
+
+        assert isinstance(wl.kernel, PolynomialKernel)
+        assert wl.kernel.degree == 3
+        assert wl.queries.min() >= -1.0 - 1e-9
+
+    def test_workload_for_dispatch(self):
+        assert workload_for("miniboone", 5, size=500).weighting == "I"
+        assert workload_for("nsl-kdd", 5, size=500).weighting == "II"
+        assert workload_for("ijcnn1", 5, size=500).weighting == "III"
+
+    def test_sigma_positive(self, wl1):
+        assert wl1.sigma() > 0
+
+    def test_exact_values_cached(self, wl1):
+        a = wl1.ensure_exact()
+        assert wl1.ensure_exact() is a
+
+    def test_type3_requires_labels(self):
+        with pytest.raises(InvalidParameterError):
+            type3_workload("home", n_queries=5, size=500)
+
+
+class TestMethods:
+    def test_all_methods_answer_identically(self, wl1):
+        exact = wl1.ensure_exact()
+        for m in ("scan", "sota", "karl", "hybrid"):
+            ev = make_method(m, wl1, leaf_capacity=40)
+            for q, f in zip(wl1.queries, exact):
+                assert ev.tkaq(q, wl1.tau).answer == (f > wl1.tau)
+
+    def test_unknown_method(self, wl1):
+        with pytest.raises(InvalidParameterError):
+            make_method("annoy", wl1)
+
+    def test_tuned_method(self, wl1):
+        agg, report = tune_method(
+            "karl", wl1, "tkaq", kinds=("kd",), leaf_capacities=(40, 160),
+            sample_size=5, rng=0,
+        )
+        assert len(report.candidates) == 2
+        assert agg.scheme.name == "karl"
+
+
+class TestTimers:
+    def test_throughput_positive(self, wl1):
+        ev = make_method("scan", wl1)
+        t = throughput_tkaq(ev, wl1.queries, wl1.tau, min_seconds=0.05)
+        assert float(t) > 0
+        t2 = throughput_ekaq(ev, wl1.queries, wl1.eps, min_seconds=0.05)
+        assert float(t2) > 0
+
+    def test_repr(self, wl1):
+        ev = make_method("scan", wl1)
+        t = throughput_tkaq(ev, wl1.queries, wl1.tau, min_seconds=0.02)
+        assert "q/s" in repr(t)
+
+
+class TestReporting:
+    def test_render_alignment(self):
+        table = render_table(
+            "Demo", ["name", "value"], [["alpha", 1.0], ["b", 123456.0]]
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Demo"
+        assert "alpha" in table
+        assert "123,456" in table
+
+    def test_float_formatting(self):
+        table = render_table("T", ["x"], [[0.00123], [12.3], [0.0]])
+        assert "0.00123" in table
+        assert "12.3" in table
+
+    def test_empty_rows(self):
+        table = render_table("T", ["a", "b"], [])
+        assert "a" in table
+
+
+class TestWorkloadForUnknown:
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(InvalidParameterError):
+            workload_for("imagenet", 5, size=100)

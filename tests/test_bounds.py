@@ -1,0 +1,246 @@
+"""Property tests for the bound schemes — the mathematical heart of KARL.
+
+The central invariant (paper Lemma 1): for any interval covering the
+arguments and any non-negative weights,
+
+    lower <= sum_i w_i g(x_i) <= upper
+
+and KARL's bounds are never looser than SOTA's (Lemmas 3-4).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    HybridBounds,
+    KARLBounds,
+    SOTABounds,
+    envelope_lines,
+)
+from repro.core.profiles import (
+    CauchyProfile,
+    EpanechnikovProfile,
+    GaussianProfile,
+    LaplacianProfile,
+    PolynomialProfile,
+    SigmoidProfile,
+)
+
+PROFILES = [
+    GaussianProfile(1.0),
+    GaussianProfile(7.0),
+    LaplacianProfile(2.0),
+    CauchyProfile(1.5),
+    EpanechnikovProfile(0.4),
+    EpanechnikovProfile(3.0),
+    PolynomialProfile(1.0, 0.0, 2),
+    PolynomialProfile(0.7, 0.3, 3),
+    PolynomialProfile(1.2, -0.4, 3),
+    PolynomialProfile(1.0, 0.0, 5),
+    PolynomialProfile(2.0, 0.5, 1),
+    PolynomialProfile(0.8, -0.1, 4),
+    SigmoidProfile(1.0, 0.0),
+    SigmoidProfile(0.6, 0.4),
+    SigmoidProfile(2.0, -0.7),
+]
+
+
+def _domain(profile):
+    """Argument domain to sample from: x >= 0 for distance profiles."""
+    if isinstance(profile, (GaussianProfile, LaplacianProfile, CauchyProfile,
+                            EpanechnikovProfile)):
+        return 0.0, 8.0
+    return -3.0, 3.0
+
+
+@st.composite
+def interval_and_args(draw, profile):
+    lo_d, hi_d = _domain(profile)
+    a = draw(st.floats(lo_d, hi_d))
+    b = draw(st.floats(lo_d, hi_d))
+    lo, hi = min(a, b), max(a, b)
+    n = draw(st.integers(1, 12))
+    xs = np.array([draw(st.floats(lo, hi)) for _ in range(n)])
+    ws = np.array([draw(st.floats(0.0, 2.0)) for _ in range(n)])
+    return lo, hi, xs, ws
+
+
+@pytest.mark.parametrize("profile", PROFILES, ids=repr)
+class TestEnvelopeValidity:
+    @settings(max_examples=120, deadline=None)
+    @given(data=st.data())
+    def test_envelope_sandwiches_pointwise(self, profile, data):
+        lo, hi, xs, ws = data.draw(interval_and_args(profile))
+        s0 = ws.sum()
+        s1 = float(ws @ xs)
+        xbar = s1 / s0 if s0 > 0 else 0.5 * (lo + hi)
+        lower, upper = envelope_lines(profile, lo, hi, xbar)
+        grid = np.linspace(lo, hi, 257)
+        g = profile.value(grid)
+        scale = 1e-9 * (1.0 + np.abs(g).max())
+        assert np.all(lower(grid) <= g + scale)
+        assert np.all(upper(grid) >= g - scale)
+
+    @settings(max_examples=120, deadline=None)
+    @given(data=st.data())
+    def test_karl_bounds_sandwich_aggregate(self, profile, data):
+        lo, hi, xs, ws = data.draw(interval_and_args(profile))
+        s0 = ws.sum()
+        s1 = float(ws @ xs)
+        exact = float(ws @ profile.value(xs))
+        lb, ub = KARLBounds().part_bounds(profile, lo, hi, s0, s1)
+        tol = 1e-8 * (1.0 + abs(exact))
+        assert lb <= exact + tol
+        assert ub >= exact - tol
+
+    @settings(max_examples=120, deadline=None)
+    @given(data=st.data())
+    def test_sota_bounds_sandwich_aggregate(self, profile, data):
+        lo, hi, xs, ws = data.draw(interval_and_args(profile))
+        s0 = ws.sum()
+        s1 = float(ws @ xs)
+        exact = float(ws @ profile.value(xs))
+        lb, ub = SOTABounds().part_bounds(profile, lo, hi, s0, s1)
+        tol = 1e-8 * (1.0 + abs(exact))
+        assert lb <= exact + tol
+        assert ub >= exact - tol
+
+    @settings(max_examples=120, deadline=None)
+    @given(data=st.data())
+    def test_karl_at_least_as_tight_as_sota(self, profile, data):
+        """Lemmas 3-4: the linear bounds dominate the constant bounds."""
+        lo, hi, xs, ws = data.draw(interval_and_args(profile))
+        s0 = ws.sum()
+        s1 = float(ws @ xs)
+        klb, kub = KARLBounds().part_bounds(profile, lo, hi, s0, s1)
+        slb, sub = SOTABounds().part_bounds(profile, lo, hi, s0, s1)
+        tol = 1e-7 * (1.0 + abs(slb) + abs(sub))
+        assert klb >= slb - tol
+        assert kub <= sub + tol
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_hybrid_matches_karl(self, profile, data):
+        lo, hi, xs, ws = data.draw(interval_and_args(profile))
+        s0 = ws.sum()
+        s1 = float(ws @ xs)
+        klb, kub = KARLBounds().part_bounds(profile, lo, hi, s0, s1)
+        hlb, hub = HybridBounds().part_bounds(profile, lo, hi, s0, s1)
+        tol = 1e-7 * (1.0 + abs(klb) + abs(kub))
+        assert hlb >= klb - tol
+        assert hub <= kub + tol
+
+
+class TestTypeIIICombination:
+    def test_node_bounds_signed_parts(self):
+        profile = GaussianProfile(2.0)
+        scheme = KARLBounds()
+        rng = np.random.default_rng(3)
+        xs = rng.uniform(0.2, 1.5, 30)
+        w = rng.standard_normal(30)
+        lo, hi = xs.min(), xs.max()
+        wp, wn = np.maximum(w, 0), np.maximum(-w, 0)
+        pos = (wp.sum(), float(wp @ xs))
+        neg = (wn.sum(), float(wn @ xs))
+        exact = float(w @ profile.value(xs))
+        lb, ub = scheme.node_bounds(profile, lo, hi, pos, neg)
+        assert lb <= exact + 1e-9
+        assert ub >= exact - 1e-9
+
+    def test_empty_negative_part_is_identity(self):
+        profile = GaussianProfile(1.0)
+        scheme = KARLBounds()
+        pos = (3.0, 2.0)
+        a = scheme.node_bounds(profile, 0.1, 2.0, pos, None)
+        b = scheme.node_bounds(profile, 0.1, 2.0, pos, (0.0, 0.0))
+        assert a == b
+
+
+class TestDegenerateCases:
+    @pytest.mark.parametrize("profile", PROFILES, ids=repr)
+    def test_zero_width_interval(self, profile):
+        lo_d, _ = _domain(profile)
+        x = lo_d + 0.7
+        lb, ub = KARLBounds().part_bounds(profile, x, x, 2.0, 2.0 * x)
+        exact = 2.0 * float(profile.value(x))
+        assert lb == pytest.approx(exact, rel=1e-9)
+        assert ub == pytest.approx(exact, rel=1e-9)
+
+    def test_zero_mass_part(self):
+        profile = GaussianProfile(1.0)
+        assert KARLBounds().part_bounds(profile, 0.0, 1.0, 0.0, 0.0) == (0.0, 0.0)
+
+    def test_envelope_degenerate_interval_constant_lines(self):
+        profile = GaussianProfile(1.0)
+        lower, upper = envelope_lines(profile, 1.0, 1.0, 1.0)
+        assert lower.m == 0.0
+        assert upper.m == 0.0
+        assert lower.c == pytest.approx(float(profile.value(1.0)))
+
+
+class TestKARLFastPathConsistency:
+    """The inlined part_bounds must agree with the reference envelope_lines."""
+
+    @pytest.mark.parametrize("profile", PROFILES, ids=repr)
+    def test_fast_path_equals_reference(self, profile):
+        rng = np.random.default_rng(11)
+        lo_d, hi_d = _domain(profile)
+        for _ in range(50):
+            a, b = np.sort(rng.uniform(lo_d, hi_d, 2))
+            if b - a < 1e-9:
+                continue
+            xs = rng.uniform(a, b, 8)
+            ws = rng.uniform(0.0, 2.0, 8)
+            s0, s1 = ws.sum(), float(ws @ xs)
+            lower, upper = envelope_lines(profile, a, b, s1 / s0)
+            ref = (lower.aggregate(s0, s1), upper.aggregate(s0, s1))
+            fast = KARLBounds().part_bounds(profile, a, b, s0, s1)
+            assert fast[0] == pytest.approx(ref[0], rel=1e-9, abs=1e-9)
+            assert fast[1] == pytest.approx(ref[1], rel=1e-9, abs=1e-9)
+
+
+class TestGaussianEnvelopeGeometry:
+    """Spot-check the constructions of the paper's Figures 4 and 5."""
+
+    def test_upper_is_the_chord(self):
+        p = GaussianProfile(1.0)
+        lo, hi = 0.3, 2.1
+        _, upper = envelope_lines(p, lo, hi, 1.0)
+        assert upper(lo) == pytest.approx(float(p.value(lo)))
+        assert upper(hi) == pytest.approx(float(p.value(hi)))
+
+    def test_lower_is_tangent_at_mean(self):
+        p = GaussianProfile(1.0)
+        lo, hi, xbar = 0.3, 2.1, 0.9
+        lower, _ = envelope_lines(p, lo, hi, xbar)
+        assert lower(xbar) == pytest.approx(float(p.value(xbar)))
+        assert lower.m == pytest.approx(float(p.deriv(xbar)))
+
+    def test_optimal_tangent_beats_endpoint_tangent(self):
+        """Theorem 1: tangent at t_opt = mean dominates tangent at x_max."""
+        from repro.core.linear import tangent
+
+        p = GaussianProfile(1.0)
+        rng = np.random.default_rng(5)
+        xs = rng.uniform(0.5, 3.0, 40)
+        ws = np.ones(40)
+        s0, s1 = ws.sum(), float(ws @ xs)
+        opt = tangent(p, s1 / s0).aggregate(s0, s1)
+        endpoint = tangent(p, xs.max()).aggregate(s0, s1)
+        assert opt >= endpoint
+
+    def test_theorem1_topt_is_stationary_maximum(self):
+        """H(t) of Theorem 1 peaks at t = mean of the arguments."""
+        from repro.core.linear import tangent
+
+        p = GaussianProfile(1.0)
+        rng = np.random.default_rng(6)
+        xs = rng.uniform(0.2, 4.0, 25)
+        ws = rng.uniform(0.5, 1.5, 25)
+        s0, s1 = ws.sum(), float(ws @ xs)
+        t_opt = s1 / s0
+        h_opt = tangent(p, t_opt).aggregate(s0, s1)
+        for dt in (-0.3, -0.05, 0.05, 0.3):
+            assert tangent(p, t_opt + dt).aggregate(s0, s1) <= h_opt + 1e-12

@@ -1,0 +1,209 @@
+"""Tests for synthetic generators, the dataset registry, PCA, and splits."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError, NotFittedError
+from repro.datasets import (
+    DATASET_SPECS,
+    PCA,
+    dataset_names,
+    load_dataset,
+    train_test_split,
+)
+from repro.datasets.synthetic import (
+    MixtureSpec,
+    gaussian_mixture,
+    grid_queries,
+    labeled_mixture,
+)
+
+
+class TestGaussianMixture:
+    def test_shape_and_range(self, rng):
+        spec = MixtureSpec(n=500, d=7)
+        pts = gaussian_mixture(spec, rng)
+        assert pts.shape == (500, 7)
+        assert pts.min() >= 0.0
+        assert pts.max() <= 1.0
+
+    def test_clustered_not_uniform(self, rng):
+        """Clustered draws concentrate mass: nearest-neighbour distances are
+        much smaller than for uniform points."""
+        spec = MixtureSpec(n=800, d=6, clusters=5, cluster_scale=0.02)
+        pts = gaussian_mixture(spec, rng)
+        uni = rng.random((800, 6))
+
+        def mean_nn(x):
+            d2 = np.sum((x[:100, None, :] - x[None, :, :]) ** 2, axis=2)
+            np.fill_diagonal(d2[:, :100], np.inf)
+            return np.sqrt(d2.min(axis=1)).mean()
+
+        assert mean_nn(pts) < 0.5 * mean_nn(uni)
+
+    def test_zipf_weights_skew_cluster_sizes(self, rng):
+        spec = MixtureSpec(
+            n=3000, d=2, clusters=6, cluster_scale=0.01,
+            uniform_fraction=0.0, zipf_exponent=2.0,
+        )
+        pts = gaussian_mixture(spec, rng)
+        # the heaviest cluster should hold far more than 1/6 of the points;
+        # estimate cluster occupancy by rounding to cluster centers via kmeans-ish:
+        # simpler: compare densities — top-decile local density >> uniform share
+        from repro.kde import KernelDensity
+
+        kde = KernelDensity(bandwidth=0.05).fit(pts)
+        dens = kde.density_many(pts[:300])
+        # heavy-head clusters: local density spans a wide dynamic range
+        assert np.percentile(dens, 90) > 3 * np.percentile(dens, 10)
+
+    def test_invalid_spec(self, rng):
+        with pytest.raises(InvalidParameterError):
+            gaussian_mixture(MixtureSpec(n=0, d=3), rng)
+
+
+class TestLabeledMixture:
+    def test_labels_are_pm_one(self, rng):
+        pts, labels = labeled_mixture(MixtureSpec(n=400, d=5), rng)
+        assert set(np.unique(labels)) == {-1.0, 1.0}
+        assert pts.shape == (400, 5)
+
+    def test_both_classes_present(self, rng):
+        _, labels = labeled_mixture(MixtureSpec(n=400, d=5), rng)
+        assert (labels == 1).sum() > 50
+        assert (labels == -1).sum() > 50
+
+    def test_overlap_increases_class_mixing(self, rng):
+        """Higher overlap => a 1-NN classifier does worse."""
+
+        def nn_accuracy(overlap):
+            gen = np.random.default_rng(0)
+            pts, labels = labeled_mixture(
+                MixtureSpec(n=600, d=4), gen, overlap=overlap
+            )
+            d2 = np.sum((pts[:200, None] - pts[None, 200:]) ** 2, axis=2)
+            nn = np.argmin(d2, axis=1)
+            return np.mean(labels[:200] == labels[200:][nn])
+
+        assert nn_accuracy(0.9) < nn_accuracy(0.0) + 1e-9
+
+    def test_grid_queries(self):
+        g = grid_queries(0.0, 1.0, per_dim=5, dims=2)
+        assert g.shape == (25, 2)
+        assert g.min() == 0.0
+        assert g.max() == 1.0
+
+
+class TestRegistry:
+    def test_all_specs_materialise(self):
+        for name in dataset_names():
+            ds = load_dataset(name, size=200)
+            spec = DATASET_SPECS[name]
+            assert ds.n == 200
+            assert ds.d == spec.d
+            assert ds.weighting == spec.weighting
+            if spec.model == "svc":
+                assert ds.labels is not None
+            else:
+                assert ds.labels is None
+
+    def test_deterministic(self):
+        a = load_dataset("home", size=300, seed=7)
+        b = load_dataset("home", size=300, seed=7)
+        assert np.array_equal(a.points, b.points)
+
+    def test_seed_changes_data(self):
+        a = load_dataset("home", size=300, seed=1)
+        b = load_dataset("home", size=300, seed=2)
+        assert not np.array_equal(a.points, b.points)
+
+    def test_different_names_differ(self):
+        a = load_dataset("nsl-kdd", size=300)
+        b = load_dataset("kdd99", size=300)
+        assert a.d == b.d == 41
+        assert not np.array_equal(a.points, b.points)
+
+    def test_weighting_filter(self):
+        assert set(dataset_names("I")) == {"mnist", "miniboone", "home", "susy"}
+        assert set(dataset_names("II")) == {"nsl-kdd", "kdd99", "covtype"}
+        assert set(dataset_names("III")) == {"ijcnn1", "a9a", "covtype-b"}
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            load_dataset("cifar10")
+
+    def test_invalid_size(self):
+        with pytest.raises(InvalidParameterError):
+            load_dataset("home", size=0)
+
+    def test_sample_queries(self, rng):
+        ds = load_dataset("home", size=500)
+        q = ds.sample_queries(50, rng)
+        assert q.shape == (50, ds.d)
+        # all queries come from the dataset
+        assert all((ds.points == row).all(axis=1).any() for row in q[:5])
+
+
+class TestPCA:
+    def test_components_orthonormal(self, rng):
+        pca = PCA(3).fit(rng.random((100, 8)))
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(3), atol=1e-9)
+
+    def test_variance_ordering(self, rng):
+        pca = PCA(4).fit(rng.standard_normal((200, 6)) * [5, 3, 2, 1, 0.5, 0.1])
+        ev = pca.explained_variance_
+        assert np.all(np.diff(ev) <= 1e-9)
+
+    def test_reconstruction_improves_with_components(self, rng):
+        X = rng.standard_normal((150, 10)) * np.linspace(3, 0.1, 10)
+
+        def recon_error(k):
+            p = PCA(k).fit(X)
+            return float(np.mean((p.inverse_transform(p.transform(X)) - X) ** 2))
+
+        assert recon_error(8) < recon_error(2)
+
+    def test_full_rank_exact_reconstruction(self, rng):
+        X = rng.standard_normal((50, 5))
+        p = PCA(5).fit(X)
+        assert np.allclose(p.inverse_transform(p.transform(X)), X, atol=1e-9)
+
+    def test_transform_shape(self, rng):
+        p = PCA(2).fit(rng.random((40, 6)))
+        assert p.transform(rng.random((7, 6))).shape == (7, 2)
+
+    def test_component_count_validated(self, rng):
+        with pytest.raises(InvalidParameterError):
+            PCA(0)
+        with pytest.raises(InvalidParameterError):
+            PCA(10).fit(rng.random((20, 3)))
+
+    def test_unfitted(self, rng):
+        with pytest.raises(NotFittedError):
+            PCA(2).transform(rng.random((5, 4)))
+
+
+class TestSplit:
+    def test_partition_sizes(self, rng):
+        X = rng.random((100, 3))
+        tr, te = train_test_split(X, test_fraction=0.25, rng=0)
+        assert tr.shape[0] == 75
+        assert te.shape[0] == 25
+
+    def test_with_labels(self, rng):
+        X = rng.random((100, 3))
+        y = (rng.random(100) > 0.5).astype(float)
+        trX, trY, teX, teY = train_test_split(X, y, 0.2, rng=0)
+        assert trX.shape[0] == trY.shape[0] == 80
+        assert teX.shape[0] == teY.shape[0] == 20
+
+    def test_no_overlap_and_complete(self, rng):
+        X = np.arange(50, dtype=float)[:, None]
+        tr, te = train_test_split(X, test_fraction=0.3, rng=1)
+        combined = np.sort(np.concatenate([tr, te]).ravel())
+        assert np.array_equal(combined, np.arange(50, dtype=float))
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(InvalidParameterError):
+            train_test_split(rng.random((10, 2)), test_fraction=0.0)

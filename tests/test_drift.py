@@ -1,0 +1,50 @@
+"""Tests for the drifting stream generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.datasets.drift import DriftStream
+
+
+class TestDriftStream:
+    def test_batch_shape_and_range(self):
+        stream = DriftStream(d=4, batch_size=100, seed=1)
+        batch = stream.next_batch()
+        assert batch.shape == (100, 4)
+        assert batch.min() >= 0.0
+        assert batch.max() <= 1.0
+
+    def test_deterministic_given_seed(self):
+        a = DriftStream(d=3, batch_size=50, seed=9)
+        b = DriftStream(d=3, batch_size=50, seed=9)
+        assert np.array_equal(a.next_batch(), b.next_batch())
+        assert np.array_equal(a.next_batch(), b.next_batch())
+
+    def test_drift_moves_distribution(self):
+        stream = DriftStream(d=3, batch_size=400, drift=0.08, seed=2)
+        first = stream.next_batch()
+        for _ in range(25):
+            stream.next_batch()
+        late = stream.next_batch()
+        # distribution means should have moved noticeably
+        assert np.linalg.norm(first.mean(axis=0) - late.mean(axis=0)) > 0.02
+
+    def test_zero_drift_is_stationary(self):
+        stream = DriftStream(d=3, batch_size=400, drift=0.0, seed=2)
+        first_centers = stream._centers.copy()
+        for _ in range(5):
+            stream.next_batch()
+        assert np.array_equal(stream._centers, first_centers)
+
+    def test_batches_iterator(self):
+        stream = DriftStream(d=2, batch_size=10, seed=0)
+        batches = list(stream.batches(4))
+        assert len(batches) == 4
+        assert all(b.shape == (10, 2) for b in batches)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            DriftStream(d=0)
+        with pytest.raises(InvalidParameterError):
+            DriftStream(d=2, drift=-1.0)

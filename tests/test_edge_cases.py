@@ -1,0 +1,159 @@
+"""Edge-case coverage across the query pipeline.
+
+Degenerate datasets, extreme parameters, and boundary dimensionalities
+that real deployments hit and naive implementations break on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ScanEvaluator
+from repro.core import (
+    EpanechnikovKernel,
+    GaussianKernel,
+    KernelAggregator,
+    LaplacianKernel,
+)
+from repro.index import BallTree, KDTree
+
+
+class TestDegenerateDatasets:
+    def test_single_point_dataset(self):
+        pts = np.array([[0.5, 0.5]])
+        tree = KDTree(pts, leaf_capacity=4)
+        agg = KernelAggregator(tree, GaussianKernel(2.0))
+        assert agg.exact(np.array([0.5, 0.5])) == pytest.approx(1.0)
+        assert agg.tkaq(np.array([0.5, 0.5]), 0.5).answer
+        assert not agg.tkaq(np.array([5.0, 5.0]), 0.5).answer
+
+    def test_all_identical_points(self):
+        pts = np.tile([0.3, 0.7], (500, 1))
+        tree = KDTree(pts, leaf_capacity=8)  # unsplittable -> single leaf
+        agg = KernelAggregator(tree, GaussianKernel(1.0))
+        q = np.array([0.3, 0.7])
+        assert agg.exact(q) == pytest.approx(500.0)
+        res = agg.ekaq(q, 0.01)
+        assert res.estimate == pytest.approx(500.0, rel=0.01)
+
+    def test_one_dimensional_data(self, rng):
+        pts = rng.random((1000, 1))
+        for cls in (KDTree, BallTree):
+            tree = cls(pts, leaf_capacity=20)
+            agg = KernelAggregator(tree, GaussianKernel(50.0))
+            scan = ScanEvaluator(pts, GaussianKernel(50.0))
+            q = np.array([0.5])
+            f = scan.exact(q)
+            assert agg.exact(q) == pytest.approx(f, rel=1e-9)
+            assert agg.tkaq(q, f * 0.9).answer
+
+    def test_duplicated_heavy_cluster(self, rng):
+        """Half the mass at one exact location stresses zero-width nodes."""
+        spike = np.tile([0.2, 0.2, 0.2], (500, 1))
+        cloud = rng.random((500, 3))
+        pts = np.vstack([spike, cloud])
+        tree = KDTree(pts, leaf_capacity=10)
+        kernel = GaussianKernel(5.0)
+        agg = KernelAggregator(tree, kernel)
+        scan = ScanEvaluator(pts, kernel)
+        q = np.array([0.2, 0.2, 0.2])
+        f = scan.exact(q)
+        res = agg.ekaq(q, 0.05)
+        assert (1 - 0.05) * f - 1e-9 <= res.estimate <= (1 + 0.05) * f + 1e-9
+
+
+class TestExtremeParameters:
+    def test_huge_gamma_underflows_gracefully(self, rng):
+        pts = rng.random((500, 3))
+        kernel = GaussianKernel(1e8)  # kernel ~ indicator of exact match
+        tree = KDTree(pts, leaf_capacity=20)
+        agg = KernelAggregator(tree, kernel)
+        on_point = agg.exact(pts[0])
+        assert on_point >= 1.0 - 1e-9  # the point itself contributes 1
+        off = agg.exact(np.full(3, -10.0))
+        assert off == pytest.approx(0.0, abs=1e-12)
+        # tkaq remains decidable
+        assert agg.tkaq(pts[0], 0.5).answer
+
+    def test_tiny_gamma_everything_similar(self, rng):
+        pts = rng.random((500, 3))
+        kernel = GaussianKernel(1e-9)
+        tree = KDTree(pts, leaf_capacity=20)
+        agg = KernelAggregator(tree, kernel)
+        res = agg.ekaq(rng.random(3), 0.01)
+        assert res.estimate == pytest.approx(500.0, rel=0.01)
+        # near-constant kernel: bounds certify almost immediately
+        assert res.stats.iterations <= 5
+
+    def test_zero_weights_dataset(self, rng):
+        pts = rng.random((200, 2))
+        tree = KDTree(pts, weights=np.zeros(200), leaf_capacity=20)
+        agg = KernelAggregator(tree, GaussianKernel(2.0))
+        q = rng.random(2)
+        assert agg.exact(q) == 0.0
+        assert not agg.tkaq(q, 0.0).answer  # F = 0 is not > 0
+        assert agg.tkaq(q, -1.0).answer
+
+    def test_far_away_query(self, rng):
+        pts = rng.random((1000, 4))
+        tree = KDTree(pts, leaf_capacity=40)
+        agg = KernelAggregator(tree, GaussianKernel(10.0))
+        q = np.full(4, 1e3)
+        res = agg.tkaq(q, 1e-6)
+        assert not res.answer
+        # should be decided at (or near) the root: distances are huge
+        assert res.stats.iterations <= 2
+
+    def test_compact_support_prunes_immediately(self, rng):
+        pts = rng.random((2000, 3)) * 0.1  # all in a tiny corner
+        kernel = EpanechnikovKernel(100.0)  # support radius 0.1
+        tree = KDTree(pts, leaf_capacity=40)
+        agg = KernelAggregator(tree, kernel)
+        far = np.full(3, 0.9)
+        res = agg.tkaq(far, 1e-12)
+        assert not res.answer
+        assert res.stats.points_evaluated == 0  # bounds are exactly 0
+
+    def test_laplacian_near_zero_distance(self, rng):
+        """Singular derivative at dist=0 must not break the bounds."""
+        pts = np.vstack([np.full((50, 2), 0.5), rng.random((200, 2))])
+        kernel = LaplacianKernel(3.0)
+        tree = KDTree(pts, leaf_capacity=10)
+        agg = KernelAggregator(tree, kernel)
+        scan = ScanEvaluator(pts, kernel)
+        q = np.full(2, 0.5)  # exactly on the duplicated points
+        f = scan.exact(q)
+        res = agg.ekaq(q, 0.1)
+        assert (1 - 0.1) * f - 1e-9 <= res.estimate <= (1 + 0.1) * f + 1e-9
+
+
+class TestHighDimensional:
+    def test_d_much_larger_than_n(self, rng):
+        pts = rng.random((50, 300))
+        tree = KDTree(pts, leaf_capacity=8)
+        kernel = GaussianKernel(0.05)
+        agg = KernelAggregator(tree, kernel)
+        scan = ScanEvaluator(pts, kernel)
+        q = rng.random(300)
+        f = scan.exact(q)
+        assert agg.exact(q) == pytest.approx(f, rel=1e-9)
+        res = agg.ekaq(q, 0.2)
+        assert (1 - 0.2) * f - 1e-9 <= res.estimate <= (1 + 0.2) * f + 1e-9
+
+
+class TestThresholdBoundaries:
+    def test_tau_exactly_at_aggregate(self, rng):
+        """F > tau is strict; tau = F must answer False."""
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        kernel = GaussianKernel(1.0)
+        tree = KDTree(pts, leaf_capacity=1)
+        agg = KernelAggregator(tree, kernel)
+        q = np.array([0.0, 0.0])
+        f = agg.exact(q)
+        assert not agg.tkaq(q, f).answer
+
+    def test_infinite_threshold(self, rng):
+        pts = rng.random((100, 2))
+        agg = KernelAggregator(KDTree(pts, leaf_capacity=10), GaussianKernel(1.0))
+        q = rng.random(2)
+        assert not agg.tkaq(q, np.inf).answer
+        assert agg.tkaq(q, -np.inf).answer

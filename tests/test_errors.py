@@ -1,0 +1,82 @@
+"""Tests for the error hierarchy and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    DataShapeError,
+    InvalidParameterError,
+    NotFittedError,
+    ReproError,
+    as_matrix,
+    as_vector,
+    check_positive,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_base(self):
+        for exc in (InvalidParameterError, DataShapeError, NotFittedError):
+            assert issubclass(exc, ReproError)
+
+    def test_dual_inheritance(self):
+        assert issubclass(InvalidParameterError, ValueError)
+        assert issubclass(DataShapeError, ValueError)
+        assert issubclass(NotFittedError, RuntimeError)
+
+
+class TestAsMatrix:
+    def test_accepts_lists(self):
+        out = as_matrix([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.flags.c_contiguous
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(DataShapeError):
+            as_matrix(np.zeros(3))
+        with pytest.raises(DataShapeError):
+            as_matrix(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataShapeError):
+            as_matrix(np.zeros((0, 3)))
+        with pytest.raises(DataShapeError):
+            as_matrix(np.zeros((3, 0)))
+
+    def test_rejects_nonfinite(self):
+        bad = np.ones((2, 2))
+        bad[0, 0] = np.inf
+        with pytest.raises(DataShapeError):
+            as_matrix(bad)
+
+    def test_name_in_message(self):
+        with pytest.raises(DataShapeError, match="trainset"):
+            as_matrix(np.zeros(3), name="trainset")
+
+
+class TestAsVector:
+    def test_basic(self):
+        v = as_vector([1.0, 2.0])
+        assert v.shape == (2,)
+
+    def test_dim_check(self):
+        with pytest.raises(DataShapeError):
+            as_vector([1.0, 2.0], dim=3)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(DataShapeError):
+            as_vector(np.zeros((2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataShapeError):
+            as_vector([np.nan, 1.0])
+
+
+class TestCheckPositive:
+    def test_passes_positive(self):
+        assert check_positive(2, "x") == 2.0
+
+    def test_rejects_zero_negative_nan(self):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(InvalidParameterError):
+                check_positive(bad, "x")

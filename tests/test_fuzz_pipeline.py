@@ -1,0 +1,132 @@
+"""Randomised end-to-end fuzzing of the full query pipeline.
+
+Hypothesis drives random (dataset shape, kernel, weighting, tree, scheme,
+query-parameter) configurations through index construction and both query
+types, checking the exact-answer contract against brute force every time.
+This is the widest net in the suite: any interaction bug between the
+components almost certainly violates one of these oracles.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ScanEvaluator
+from repro.core import (
+    CauchyKernel,
+    EpanechnikovKernel,
+    GaussianKernel,
+    KernelAggregator,
+    LaplacianKernel,
+    PolynomialKernel,
+    SigmoidKernel,
+)
+from repro.index import BallTree, KDTree
+
+
+@st.composite
+def pipeline_config(draw):
+    n = draw(st.integers(20, 400))
+    d = draw(st.integers(1, 6))
+    seed = draw(st.integers(0, 10_000))
+    kernel_kind = draw(st.sampled_from(
+        ["gaussian", "laplacian", "cauchy", "epanechnikov", "poly2",
+         "poly3", "sigmoid"]
+    ))
+    weighting = draw(st.sampled_from(["I", "II", "III"]))
+    tree_kind = draw(st.sampled_from(["kd", "ball"]))
+    scheme = draw(st.sampled_from(["karl", "sota"]))
+    cap = draw(st.integers(1, 64))
+    return n, d, seed, kernel_kind, weighting, tree_kind, scheme, cap
+
+
+def _make_kernel(kind, rng):
+    gamma = float(rng.uniform(0.2, 30.0))
+    if kind == "gaussian":
+        return GaussianKernel(gamma)
+    if kind == "laplacian":
+        return LaplacianKernel(float(rng.uniform(0.2, 5.0)))
+    if kind == "cauchy":
+        return CauchyKernel(gamma)
+    if kind == "epanechnikov":
+        return EpanechnikovKernel(float(rng.uniform(0.5, 20.0)))
+    coef0 = float(rng.uniform(-0.5, 0.5))
+    if kind == "poly2":
+        return PolynomialKernel(float(rng.uniform(0.2, 2.0)), coef0, 2)
+    if kind == "poly3":
+        return PolynomialKernel(float(rng.uniform(0.2, 2.0)), coef0, 3)
+    return SigmoidKernel(float(rng.uniform(0.2, 2.0)), coef0)
+
+
+def _make_weights(weighting, n, rng):
+    if weighting == "I":
+        return np.full(n, float(rng.uniform(0.1, 3.0)))
+    if weighting == "II":
+        return rng.uniform(0.01, 2.0, n)
+    return rng.standard_normal(n)
+
+
+class TestPipelineFuzz:
+    @settings(max_examples=60, deadline=None)
+    @given(config=pipeline_config())
+    def test_tkaq_matches_bruteforce(self, config):
+        n, d, seed, kernel_kind, weighting, tree_kind, scheme, cap = config
+        rng = np.random.default_rng(seed)
+        pts = rng.random((n, d))
+        w = _make_weights(weighting, n, rng)
+        kernel = _make_kernel(kernel_kind, rng)
+
+        cls = KDTree if tree_kind == "kd" else BallTree
+        tree = cls(pts, weights=w, leaf_capacity=cap)
+        agg = KernelAggregator(tree, kernel, scheme=scheme)
+        scan = ScanEvaluator(pts, kernel, w)
+
+        q = rng.random(d)
+        f = scan.exact(q)
+        margin = 0.1 * (1.0 + abs(f))
+        assert agg.tkaq(q, f - margin).answer
+        assert not agg.tkaq(q, f + margin).answer
+
+    @settings(max_examples=40, deadline=None)
+    @given(config=pipeline_config())
+    def test_ekaq_bounds_bracket_bruteforce(self, config):
+        n, d, seed, kernel_kind, weighting, tree_kind, scheme, cap = config
+        rng = np.random.default_rng(seed)
+        pts = rng.random((n, d))
+        w = _make_weights(weighting, n, rng)
+        kernel = _make_kernel(kernel_kind, rng)
+
+        cls = KDTree if tree_kind == "kd" else BallTree
+        tree = cls(pts, weights=w, leaf_capacity=cap)
+        agg = KernelAggregator(tree, kernel, scheme=scheme)
+        scan = ScanEvaluator(pts, kernel, w)
+
+        q = rng.random(d)
+        f = scan.exact(q)
+        res = agg.ekaq(q, float(rng.uniform(0.0, 0.5)))
+        tol = 1e-7 * (1.0 + abs(f))
+        assert res.lower <= f + tol
+        assert res.upper >= f - tol
+        if res.lower > 0:  # relative guarantee applies
+            assert (1 - res.eps) * f - tol <= res.estimate
+            assert res.estimate <= (1 + res.eps) * f + tol
+
+    @settings(max_examples=30, deadline=None)
+    @given(config=pipeline_config())
+    def test_depth_caps_never_change_answers(self, config):
+        n, d, seed, kernel_kind, weighting, tree_kind, scheme, cap = config
+        rng = np.random.default_rng(seed)
+        pts = rng.random((n, d))
+        w = _make_weights(weighting, n, rng)
+        kernel = _make_kernel(kernel_kind, rng)
+        cls = KDTree if tree_kind == "kd" else BallTree
+        tree = cls(pts, weights=w, leaf_capacity=cap)
+        scan = ScanEvaluator(pts, kernel, w)
+
+        q = rng.random(d)
+        f = scan.exact(q)
+        tau = f - 0.2 * (1.0 + abs(f))
+        for depth in {0, tree.max_depth // 2, tree.max_depth}:
+            agg = KernelAggregator(tree, kernel, scheme=scheme, max_depth=depth)
+            assert agg.tkaq(q, tau).answer

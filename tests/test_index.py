@@ -1,0 +1,270 @@
+"""Structural invariants of the kd-tree and ball-tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.index import BallTree, KDTree, build_index
+from repro.index.stats import compute_signed_stats
+
+
+@pytest.fixture(params=[KDTree, BallTree], ids=["kd", "ball"])
+def tree_cls(request):
+    return request.param
+
+
+def build_small(tree_cls, rng, n=500, d=4, cap=16, weights=None):
+    pts = rng.random((n, d))
+    return tree_cls(pts, weights=weights, leaf_capacity=cap), pts
+
+
+class TestConstruction:
+    def test_root_owns_everything(self, tree_cls, rng):
+        tree, _ = build_small(tree_cls, rng)
+        assert tree.start[0] == 0
+        assert tree.end[0] == tree.n
+
+    def test_children_partition_parent(self, tree_cls, rng):
+        tree, _ = build_small(tree_cls, rng)
+        for node in range(tree.num_nodes):
+            if tree.is_leaf(node):
+                continue
+            l, r = tree.children(node)
+            assert tree.start[l] == tree.start[node]
+            assert tree.end[l] == tree.start[r]
+            assert tree.end[r] == tree.end[node]
+
+    def test_bfs_sibling_adjacency(self, tree_cls, rng):
+        tree, _ = build_small(tree_cls, rng)
+        internal = tree.left >= 0
+        assert np.all(tree.right[internal] == tree.left[internal] + 1)
+
+    def test_leaf_capacity_respected(self, tree_cls, rng):
+        tree, _ = build_small(tree_cls, rng, cap=10)
+        for node in range(tree.num_nodes):
+            if tree.is_leaf(node):
+                assert tree.node_size(node) <= 10
+
+    def test_identical_points_keep_single_leaf(self, tree_cls):
+        pts = np.ones((100, 3))
+        tree = tree_cls(pts, leaf_capacity=8)
+        # cannot split identical points; root stays an oversized leaf
+        assert tree.num_nodes == 1
+        assert tree.is_leaf(0)
+
+    def test_permutation_is_bijection(self, tree_cls, rng):
+        tree, pts = build_small(tree_cls, rng)
+        assert sorted(tree.perm.tolist()) == list(range(tree.n))
+        assert np.allclose(tree.points, pts[tree.perm])
+
+    def test_weights_follow_permutation(self, tree_cls, rng):
+        w = rng.standard_normal(500)
+        tree, pts = build_small(tree_cls, rng, weights=w)
+        assert np.allclose(tree.weights, w[tree.perm])
+
+    def test_scalar_weight_broadcast(self, tree_cls, rng):
+        tree, _ = build_small(tree_cls, rng, weights=2.5)
+        assert np.allclose(tree.weights, 2.5)
+
+    def test_depth_increases_by_one(self, tree_cls, rng):
+        tree, _ = build_small(tree_cls, rng)
+        for node in range(tree.num_nodes):
+            if not tree.is_leaf(node):
+                l, r = tree.children(node)
+                assert tree.depth[l] == tree.depth[node] + 1
+                assert tree.depth[r] == tree.depth[node] + 1
+
+    def test_invalid_leaf_capacity(self, tree_cls, rng):
+        with pytest.raises(InvalidParameterError):
+            tree_cls(rng.random((10, 2)), leaf_capacity=0)
+
+    def test_invalid_weights_shape(self, tree_cls, rng):
+        with pytest.raises(InvalidParameterError):
+            tree_cls(rng.random((10, 2)), weights=np.ones(5))
+
+    def test_nan_weights_rejected(self, tree_cls, rng):
+        w = np.ones(10)
+        w[3] = np.nan
+        with pytest.raises(InvalidParameterError):
+            tree_cls(rng.random((10, 2)), weights=w)
+
+
+class TestGeometry:
+    def test_rect_contains_node_points(self, tree_cls, rng):
+        tree, _ = build_small(tree_cls, rng)
+        for node in range(tree.num_nodes):
+            block = tree.points[tree.leaf_slice(node)]
+            assert np.all(block >= tree.lo[node] - 1e-12)
+            assert np.all(block <= tree.hi[node] + 1e-12)
+
+    def test_ball_covers_node_points(self, tree_cls, rng):
+        tree, _ = build_small(tree_cls, rng)
+        for node in range(tree.num_nodes):
+            block = tree.points[tree.leaf_slice(node)]
+            dists = np.linalg.norm(block - tree.center[node], axis=1)
+            assert np.all(dists <= tree.radius[node] + 1e-9)
+
+    def test_node_dist_bounds_envelope(self, tree_cls, rng):
+        tree, _ = build_small(tree_cls, rng)
+        q = rng.random(4) * 2 - 0.5
+        for node in range(min(tree.num_nodes, 50)):
+            mind, maxd = tree.node_dist_bounds(q, node)
+            block = tree.points[tree.leaf_slice(node)]
+            d2 = np.sum((block - q) ** 2, axis=1)
+            assert np.all(d2 >= mind - 1e-9)
+            assert np.all(d2 <= maxd + 1e-9)
+
+    def test_node_ip_bounds_envelope(self, tree_cls, rng):
+        tree, _ = build_small(tree_cls, rng)
+        q = rng.standard_normal(4)
+        for node in range(min(tree.num_nodes, 50)):
+            lo, hi = tree.node_ip_bounds(q, node)
+            block = tree.points[tree.leaf_slice(node)]
+            ips = block @ q
+            assert np.all(ips >= lo - 1e-9)
+            assert np.all(ips <= hi + 1e-9)
+
+    def test_pair_bounds_match_scalar(self, tree_cls, rng):
+        tree, _ = build_small(tree_cls, rng)
+        q = rng.random(4)
+        for node in range(tree.num_nodes):
+            if tree.is_leaf(node):
+                continue
+            first = int(tree.left[node])
+            mind, maxd = tree.pair_dist_bounds(q, first)
+            for j in (0, 1):
+                smind, smaxd = tree.node_dist_bounds(q, first + j)
+                assert mind[j] == pytest.approx(smind)
+                assert maxd[j] == pytest.approx(smaxd)
+            ip_lo, ip_hi = tree.pair_ip_bounds(q, first)
+            for j in (0, 1):
+                slo, shi = tree.node_ip_bounds(q, first + j)
+                assert ip_lo[j] == pytest.approx(slo)
+                assert ip_hi[j] == pytest.approx(shi)
+
+
+class TestDepthCut:
+    def test_nodes_at_depth_partition_points(self, tree_cls, rng):
+        tree, _ = build_small(tree_cls, rng, n=700, cap=8)
+        for depth in range(tree.max_depth + 1):
+            frontier = tree.nodes_at_depth(depth)
+            total = sum(tree.node_size(int(v)) for v in frontier)
+            assert total == tree.n
+            # slices are disjoint
+            slices = sorted(
+                (int(tree.start[v]), int(tree.end[v])) for v in frontier
+            )
+            for (s1, e1), (s2, _) in zip(slices, slices[1:]):
+                assert e1 == s2
+
+    def test_depth_zero_is_root(self, tree_cls, rng):
+        tree, _ = build_small(tree_cls, rng)
+        assert tree.nodes_at_depth(0).tolist() == [0]
+
+
+class TestStats:
+    def test_signed_stats_match_bruteforce(self, tree_cls, rng):
+        w = rng.standard_normal(500)
+        tree, _ = build_small(tree_cls, rng, weights=w)
+        st = tree.stats
+        for node in range(tree.num_nodes):
+            sl = tree.leaf_slice(node)
+            block = tree.points[sl]
+            bw = tree.weights[sl]
+            pos = bw > 0
+            neg = bw < 0
+            assert st.pos_n[node] == pos.sum()
+            assert st.pos_w[node] == pytest.approx(bw[pos].sum(), abs=1e-9)
+            assert np.allclose(st.pos_a[node], (bw[pos, None] * block[pos]).sum(axis=0), atol=1e-9)
+            assert st.pos_b[node] == pytest.approx(
+                (bw[pos] * np.sum(block[pos] ** 2, axis=1)).sum(), abs=1e-9
+            )
+            assert st.neg_n[node] == neg.sum()
+            assert st.neg_w[node] == pytest.approx(-bw[neg].sum(), abs=1e-9)
+            assert np.allclose(
+                st.neg_a[node], (-bw[neg, None] * block[neg]).sum(axis=0), atol=1e-9
+            )
+
+    def test_positive_weights_have_empty_negative_part(self, tree_cls, rng):
+        tree, _ = build_small(tree_cls, rng)
+        assert not tree.stats.has_negative
+        assert np.all(tree.stats.neg_w == 0.0)
+
+    def test_compute_signed_stats_direct(self, rng):
+        pts = rng.random((20, 3))
+        w = np.array([1.0] * 10 + [-1.0] * 10)
+        start = np.array([0, 0, 10])
+        end = np.array([20, 10, 20])
+        st = compute_signed_stats(pts, w, start, end)
+        assert st.pos_w[0] == pytest.approx(10.0)
+        assert st.neg_w[0] == pytest.approx(10.0)
+        assert st.pos_w[1] == pytest.approx(10.0)
+        assert st.neg_w[1] == 0.0
+        assert st.neg_w[2] == pytest.approx(10.0)
+        assert st.pos_w[2] == 0.0
+
+
+class TestBuilder:
+    def test_factory_kinds(self, rng):
+        pts = rng.random((50, 3))
+        assert isinstance(build_index("kd", pts), KDTree)
+        assert isinstance(build_index("ball", pts), BallTree)
+
+    def test_unknown_kind(self, rng):
+        with pytest.raises(InvalidParameterError):
+            build_index("rtree", rng.random((10, 2)))
+
+
+class TestReweighted:
+    def test_stats_match_fresh_build(self, tree_cls, rng):
+        pts = rng.random((300, 3))
+        w1 = rng.standard_normal(300)
+        w2 = rng.standard_normal(300)
+        tree = tree_cls(pts, weights=w1, leaf_capacity=20)
+        clone = tree.reweighted(w2)
+        fresh = tree_cls(pts, weights=w2, leaf_capacity=20)
+        # same split geometry (shared permutation), same stats as a rebuild
+        assert np.array_equal(clone.perm, tree.perm)
+        assert np.allclose(clone.weights, w2[tree.perm])
+        assert np.allclose(clone.stats.pos_w, fresh.stats.pos_w)
+        assert np.allclose(clone.stats.neg_a, fresh.stats.neg_a)
+
+    def test_original_untouched(self, tree_cls, rng):
+        pts = rng.random((100, 2))
+        tree = tree_cls(pts, weights=np.ones(100), leaf_capacity=20)
+        clone = tree.reweighted(np.full(100, 5.0))
+        assert np.allclose(tree.weights, 1.0)
+        assert np.allclose(clone.weights, 5.0)
+        assert clone.points is tree.points  # geometry shared
+
+    def test_scalar_weight(self, tree_cls, rng):
+        tree = tree_cls(rng.random((50, 2)), leaf_capacity=20)
+        clone = tree.reweighted(2.0)
+        assert np.allclose(clone.weights, 2.0)
+
+    def test_invalid_weights(self, tree_cls, rng):
+        tree = tree_cls(rng.random((50, 2)), leaf_capacity=20)
+        from repro.core.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            tree.reweighted(np.ones(10))
+        bad = np.ones(50)
+        bad[0] = np.inf
+        with pytest.raises(InvalidParameterError):
+            tree.reweighted(bad)
+
+    def test_queries_correct_after_reweight(self, tree_cls, rng):
+        from repro.baselines import ScanEvaluator
+        from repro.core import GaussianKernel, KernelAggregator
+
+        pts = rng.random((500, 3))
+        w2 = rng.standard_normal(500)
+        tree = tree_cls(pts, leaf_capacity=25)
+        clone = tree.reweighted(w2)
+        kernel = GaussianKernel(6.0)
+        agg = KernelAggregator(clone, kernel)
+        scan = ScanEvaluator(pts, kernel, w2)
+        q = rng.random(3)
+        f = scan.exact(q)
+        assert agg.exact(q) == pytest.approx(f, rel=1e-9)
+        assert agg.tkaq(q, f - 0.3).answer

@@ -1,0 +1,156 @@
+"""End-to-end integration tests across subsystems.
+
+These tie the pipelines of the paper's Table III together: train (or fit)
+a model, export its kernel aggregation query, answer it through every
+evaluation path, and check all paths agree with brute force.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GaussianKernel,
+    KernelAggregator,
+    KernelDensity,
+    OfflineTuner,
+    OneClassSVM,
+    OnlineTuner,
+    PolynomialKernel,
+    SVC,
+    ScanEvaluator,
+    StreamingAggregator,
+    build_index,
+    load_dataset,
+    train_test_split,
+)
+from repro.kde import scott_gamma
+
+
+class TestKDEPipeline:
+    """Type I: dataset -> Scott gamma -> index -> eKAQ/TKAQ."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        ds = load_dataset("miniboone", size=3000)
+        kde = KernelDensity(bandwidth="scott", scheme="karl").fit(ds.points)
+        return ds, kde
+
+    def test_density_agrees_with_scan(self, setup, rng):
+        ds, kde = setup
+        scan = ScanEvaluator(ds.points, GaussianKernel(kde.gamma_),
+                             np.full(ds.n, 1.0 / ds.n))
+        for q in ds.points[:5]:
+            assert kde.density(q) == pytest.approx(scan.exact(q), rel=1e-9)
+
+    def test_all_schemes_answer_identically(self, setup, rng):
+        ds, _ = setup
+        kernel = GaussianKernel(scott_gamma(ds.points))
+        scan = ScanEvaluator(ds.points, kernel)
+        queries = ds.points[:20]
+        tau = float(scan.exact_many(queries).mean())
+        answers = {}
+        for kind in ("kd", "ball"):
+            for scheme in ("karl", "sota", "hybrid"):
+                tree = build_index(kind, ds.points, leaf_capacity=40)
+                agg = KernelAggregator(tree, kernel, scheme=scheme)
+                answers[(kind, scheme)] = [
+                    agg.tkaq(q, tau).answer for q in queries
+                ]
+        truth = [f > tau for f in scan.exact_many(queries)]
+        for key, ans in answers.items():
+            assert ans == truth, key
+
+
+class TestOneClassPipeline:
+    """Type II: train 1-class SVM -> export -> KARL TKAQ == predictor."""
+
+    def test_end_to_end(self, rng):
+        ds = load_dataset("nsl-kdd", size=1500)
+        model = OneClassSVM(nu=0.15).fit(ds.points)
+        sv, w, tau = model.to_kaq()
+        tree = build_index("kd", sv, weights=w, leaf_capacity=20)
+        agg = KernelAggregator(tree, model.kernel)
+        queries = np.vstack([ds.points[:30], rng.random((10, ds.d)) * 3.0])
+        direct = model.decision_function(queries)
+        for q, f in zip(queries, direct):
+            if abs(f) < 1e-9:
+                continue
+            assert agg.tkaq(q, tau).answer == (f > 0)
+
+
+class TestTwoClassPipeline:
+    """Type III: train SVC -> export -> every evaluator agrees."""
+
+    @pytest.fixture(scope="class")
+    def trained(self):
+        ds = load_dataset("ijcnn1", size=2000)
+        Xtr, ytr, Xte, yte = train_test_split(ds.points, ds.labels, 0.3, rng=0)
+        clf = SVC(C=1.0).fit(Xtr, ytr)
+        return clf, Xte
+
+    def test_accuracy_reasonable(self, trained):
+        clf, Xte = trained
+        # synthetic classes overlap; just require far better than chance
+        assert clf.n_support_ > 10
+
+    def test_karl_and_scan_agree(self, trained):
+        clf, Xte = trained
+        sv, w, tau = clf.to_kaq()
+        scan = ScanEvaluator(sv, clf.kernel, w)
+        tree = build_index("ball", sv, weights=w, leaf_capacity=20)
+        agg = KernelAggregator(tree, clf.kernel)
+        for q in Xte[:40]:
+            assert agg.tkaq(q, tau).answer == scan.tkaq(q, tau).answer
+
+    def test_polynomial_kernel_pipeline(self, rng):
+        ds = load_dataset("a9a", size=1200)
+        kernel = PolynomialKernel(gamma=1.0 / ds.d, coef0=0.5, degree=3)
+        clf = SVC(C=1.0, kernel=kernel).fit(ds.points, ds.labels)
+        sv, w, tau = clf.to_kaq()
+        scan = ScanEvaluator(sv, kernel, w)
+        tree = build_index("kd", sv, weights=w, leaf_capacity=20)
+        agg = KernelAggregator(tree, kernel)
+        for q in ds.points[:30]:
+            f = scan.exact(q)
+            if abs(f - tau) < 1e-9:
+                continue
+            assert agg.tkaq(q, tau).answer == (f > tau)
+
+
+class TestTunersAgreeWithTruth:
+    def test_offline_and_online_same_answers(self, rng):
+        ds = load_dataset("home", size=4000)
+        kernel = GaussianKernel(scott_gamma(ds.points))
+        queries = ds.sample_queries(30, rng)
+        scan = ScanEvaluator(ds.points, kernel)
+        tau = float(scan.exact_many(queries).mean())
+        truth = [f > tau for f in scan.exact_many(queries)]
+
+        tuner = OfflineTuner(kernel, kinds=("kd",), leaf_capacities=(40,),
+                             sample_size=5, rng=0)
+        agg, _ = tuner.tune(ds.points, None, queries, "tkaq", tau)
+        assert [agg.tkaq(q, tau).answer for q in queries] == truth
+
+        online = OnlineTuner(kernel, sample_fraction=0.2,
+                             num_candidate_depths=3)
+        report = online.run(ds.points, None, queries, "tkaq", tau)
+        assert report.answers == truth
+
+
+class TestStreamingMatchesStatic:
+    def test_stream_equals_batch(self, rng):
+        kernel = GaussianKernel(8.0)
+        pts = rng.random((2000, 4))
+        w = rng.random(2000)
+        static = ScanEvaluator(pts, kernel, w)
+
+        stream = StreamingAggregator(kernel, min_buffer=64,
+                                     rebuild_fraction=0.3)
+        for chunk in range(0, 2000, 250):
+            stream.insert(pts[chunk:chunk + 250], w[chunk:chunk + 250])
+        q = rng.random(4)
+        f = static.exact(q)
+        assert stream.exact(q) == pytest.approx(f, rel=1e-9)
+        assert stream.tkaq(q, f * 0.9).answer
+        res = stream.ekaq(q, 0.2)
+        assert (1 - 0.2) * f - 1e-9 <= res.estimate <= (1 + 0.2) * f + 1e-9

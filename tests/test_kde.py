@@ -1,0 +1,193 @@
+"""Tests for bandwidth rules and the KernelDensity estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError, NotFittedError
+from repro.kde import (
+    KernelDensity,
+    gamma_from_bandwidth,
+    scott_bandwidth,
+    scott_gamma,
+    silverman_bandwidth,
+)
+
+
+class TestBandwidthRules:
+    def test_scott_formula(self, rng):
+        pts = rng.standard_normal((500, 3))
+        h = scott_bandwidth(pts)
+        sigma = pts.std(axis=0, ddof=1).mean()
+        assert h == pytest.approx(sigma * 500 ** (-1.0 / 7.0))
+
+    def test_silverman_formula(self, rng):
+        pts = rng.standard_normal((500, 3))
+        h = silverman_bandwidth(pts)
+        sigma = pts.std(axis=0, ddof=1).mean()
+        assert h == pytest.approx(sigma * (4.0 / (500 * 5.0)) ** (1.0 / 7.0))
+
+    def test_bandwidth_shrinks_with_n(self, rng):
+        small = rng.standard_normal((100, 2))
+        big = np.vstack([small] * 50)
+        assert scott_bandwidth(big) < scott_bandwidth(small)
+
+    def test_gamma_conversion(self):
+        assert gamma_from_bandwidth(1.0) == pytest.approx(0.5)
+        assert gamma_from_bandwidth(0.5) == pytest.approx(2.0)
+        with pytest.raises(InvalidParameterError):
+            gamma_from_bandwidth(0.0)
+
+    def test_scott_gamma_composition(self, rng):
+        pts = rng.random((200, 2))
+        assert scott_gamma(pts) == pytest.approx(
+            gamma_from_bandwidth(scott_bandwidth(pts))
+        )
+
+    def test_degenerate_constant_data(self):
+        pts = np.ones((50, 2))
+        assert scott_bandwidth(pts) > 0  # falls back to sigma = 1
+
+
+class TestKernelDensity:
+    @pytest.fixture
+    def fitted(self, clustered_points):
+        return KernelDensity(leaf_capacity=40).fit(clustered_points)
+
+    def test_density_matches_bruteforce(self, fitted, clustered_points, rng):
+        q = rng.random(5)
+        gamma = fitted.gamma_
+        n = clustered_points.shape[0]
+        brute = np.exp(-gamma * np.sum((clustered_points - q) ** 2, axis=1)).sum() / n
+        assert fitted.density(q) == pytest.approx(brute, rel=1e-9)
+
+    def test_ekaq_density_within_tolerance(self, fitted, clustered_points, rng):
+        q = clustered_points[3]
+        exact = fitted.density(q)
+        approx = fitted.density(q, eps=0.2)
+        assert (1 - 0.2) * exact - 1e-12 <= approx <= (1 + 0.2) * exact + 1e-12
+
+    def test_density_many(self, fitted, clustered_points):
+        out = fitted.density_many(clustered_points[:4])
+        assert out.shape == (4,)
+        assert np.all(out >= 0)
+
+    def test_threshold_query(self, fitted, clustered_points):
+        mu = fitted.mean_aggregate(clustered_points[:20])
+        answers = [
+            fitted.above_threshold(q, mu) for q in clustered_points[:20]
+        ]
+        agg = fitted.aggregator
+        exact = [agg.exact(q) for q in clustered_points[:20]]
+        assert answers == [f > mu for f in exact]
+
+    def test_explicit_bandwidth(self, clustered_points):
+        kde = KernelDensity(bandwidth=0.3).fit(clustered_points)
+        assert kde.bandwidth_ == 0.3
+        assert kde.gamma_ == pytest.approx(1.0 / (2 * 0.09))
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(InvalidParameterError):
+            KernelDensity(bandwidth=-1.0)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            KernelDensity().density(np.zeros(2))
+
+    def test_normalized_density_integrates_to_one_1d(self, rng):
+        pts = rng.standard_normal((400, 1)) * 0.5
+        kde = KernelDensity(bandwidth=0.2, normalize=True).fit(pts)
+        grid = np.linspace(-4, 4, 401)[:, None]
+        dens = kde.density_many(grid)
+        integral = np.trapezoid(dens, grid[:, 0])
+        assert integral == pytest.approx(1.0, abs=0.02)
+
+    def test_dense_region_has_higher_density(self, clustered_points):
+        kde = KernelDensity().fit(clustered_points)
+        inside = kde.density(clustered_points[0])
+        outside = kde.density(np.full(5, -3.0))
+        assert inside > outside
+
+    def test_ball_index_agrees(self, clustered_points, rng):
+        a = KernelDensity(index="kd").fit(clustered_points)
+        b = KernelDensity(index="ball").fit(clustered_points)
+        q = rng.random(5)
+        assert a.density(q) == pytest.approx(b.density(q), rel=1e-9)
+
+    def test_sota_scheme_agrees(self, clustered_points, rng):
+        a = KernelDensity(scheme="karl").fit(clustered_points)
+        b = KernelDensity(scheme="sota").fit(clustered_points)
+        q = rng.random(5)
+        ea, eb = a.density(q, eps=0.1), b.density(q, eps=0.1)
+        exact = a.density(q)
+        for e in (ea, eb):
+            assert (1 - 0.1) * exact - 1e-12 <= e <= (1 + 0.1) * exact + 1e-12
+
+
+class TestSampling:
+    def test_sample_shape_and_distribution(self, clustered_points, rng):
+        kde = KernelDensity(bandwidth=0.05).fit(clustered_points)
+        draws = kde.sample(2000, rng=0)
+        assert draws.shape == (2000, 5)
+        # samples concentrate where the density is high: their mean density
+        # should far exceed the density at uniform points
+        d_samples = kde.density_many(draws[:100])
+        d_uniform = kde.density_many(rng.random((100, 5)) * 2 - 0.5)
+        assert d_samples.mean() > 2 * d_uniform.mean()
+
+    def test_sample_deterministic_with_seed(self, clustered_points):
+        kde = KernelDensity(bandwidth=0.1).fit(clustered_points)
+        a = kde.sample(50, rng=42)
+        b = kde.sample(50, rng=42)
+        assert np.array_equal(a, b)
+
+    def test_sample_validation(self, clustered_points):
+        kde = KernelDensity().fit(clustered_points)
+        with pytest.raises(InvalidParameterError):
+            kde.sample(0)
+
+    def test_sample_before_fit(self):
+        with pytest.raises(NotFittedError):
+            KernelDensity().sample(5)
+
+
+class TestWeightedKDE:
+    def test_weighted_density_bruteforce(self, clustered_points, rng):
+        w = rng.random(clustered_points.shape[0]) + 0.1
+        kde = KernelDensity(bandwidth=0.1).fit(clustered_points, sample_weight=w)
+        q = rng.random(5)
+        wn = w / w.sum()
+        brute = float(
+            wn @ np.exp(-kde.gamma_ * np.sum((clustered_points - q) ** 2, axis=1))
+        )
+        assert kde.density(q) == pytest.approx(brute, rel=1e-9)
+
+    def test_uniform_weights_match_default(self, clustered_points, rng):
+        a = KernelDensity(bandwidth=0.1).fit(clustered_points)
+        b = KernelDensity(bandwidth=0.1).fit(
+            clustered_points, sample_weight=np.full(len(clustered_points), 7.0)
+        )
+        q = rng.random(5)
+        assert a.density(q) == pytest.approx(b.density(q), rel=1e-9)
+
+    def test_heavy_weight_shifts_density(self, rng):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        w = np.array([100.0, 1.0])
+        kde = KernelDensity(bandwidth=0.2).fit(pts, sample_weight=w)
+        assert kde.density(np.zeros(2)) > kde.density(np.ones(2))
+
+    def test_weighted_sampling_follows_weights(self, rng):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        kde = KernelDensity(bandwidth=0.01).fit(
+            pts, sample_weight=np.array([9.0, 1.0])
+        )
+        draws = kde.sample(2000, rng=0)
+        near_zero = (np.linalg.norm(draws, axis=1) < 0.5).mean()
+        assert 0.8 < near_zero < 0.99
+
+    def test_invalid_weights(self, clustered_points):
+        with pytest.raises(InvalidParameterError):
+            KernelDensity().fit(clustered_points, sample_weight=np.ones(3))
+        bad = np.ones(clustered_points.shape[0])
+        bad[0] = 0.0
+        with pytest.raises(InvalidParameterError):
+            KernelDensity().fit(clustered_points, sample_weight=bad)

@@ -1,0 +1,157 @@
+"""Tests for threshold-based kernel density classification."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    DataShapeError,
+    InvalidParameterError,
+    NotFittedError,
+)
+from repro.kde.classifier import KernelDensityClassifier
+
+
+@pytest.fixture
+def blobs(rng):
+    pos = rng.standard_normal((300, 3)) * 0.15 + 0.7
+    neg = rng.standard_normal((300, 3)) * 0.15 + 0.3
+    X = np.vstack([pos, neg])
+    y = np.array([1.0] * 300 + [-1.0] * 300)
+    perm = rng.permutation(600)
+    return X[perm], y[perm]
+
+
+class TestFit:
+    def test_separable_accuracy(self, blobs):
+        X, y = blobs
+        clf = KernelDensityClassifier().fit(X, y)
+        assert clf.score(X, y) >= 0.97
+
+    def test_prediction_matches_decision_sign(self, blobs, rng):
+        X, y = blobs
+        clf = KernelDensityClassifier().fit(X, y)
+        queries = rng.random((40, 3))
+        f = clf.decision_function(queries)
+        preds = clf.predict(queries)
+        keep = np.abs(f) > 1e-12
+        assert np.array_equal(preds[keep], np.where(f[keep] > 0, 1, -1))
+
+    def test_empirical_weights_are_signed_uniform(self, blobs):
+        X, y = blobs
+        clf = KernelDensityClassifier().fit(X, y)
+        w = clf.aggregator.tree.weights
+        # with empirical priors w_i = y_i / n
+        assert np.allclose(np.abs(w), 1.0 / len(y))
+
+    def test_custom_priors_shift_boundary(self, blobs, rng):
+        X, y = blobs
+        even = KernelDensityClassifier(priors=(0.5, 0.5)).fit(X, y)
+        pos_heavy = KernelDensityClassifier(priors=(0.01, 0.99)).fit(X, y)
+        queries = rng.random((100, 3))
+        # a strongly positive prior can only add positive predictions
+        assert (pos_heavy.predict(queries) == 1).sum() >= (
+            even.predict(queries) == 1
+        ).sum()
+
+    def test_explicit_bandwidth(self, blobs):
+        X, y = blobs
+        clf = KernelDensityClassifier(bandwidth=0.2).fit(X, y)
+        assert clf.gamma_ == pytest.approx(1.0 / (2 * 0.04))
+
+    def test_scheme_invariance(self, blobs, rng):
+        X, y = blobs
+        q = rng.random((30, 3))
+        a = KernelDensityClassifier(scheme="karl").fit(X, y).predict(q)
+        b = KernelDensityClassifier(scheme="sota").fit(X, y).predict(q)
+        assert np.array_equal(a, b)
+
+
+class TestValidation:
+    def test_unfitted(self, rng):
+        with pytest.raises(NotFittedError):
+            KernelDensityClassifier().predict(rng.random((2, 3)))
+
+    def test_bad_labels(self, rng):
+        with pytest.raises(InvalidParameterError):
+            KernelDensityClassifier().fit(rng.random((10, 2)), np.zeros(10))
+
+    def test_single_class(self, rng):
+        with pytest.raises(InvalidParameterError):
+            KernelDensityClassifier().fit(rng.random((10, 2)), np.ones(10))
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(DataShapeError):
+            KernelDensityClassifier().fit(rng.random((10, 2)), np.ones(8))
+
+    def test_bad_priors(self, blobs):
+        X, y = blobs
+        with pytest.raises(InvalidParameterError):
+            KernelDensityClassifier(priors=(0.0, 1.0)).fit(X, y)
+
+
+class TestPruningEffect:
+    def test_karl_prunes_clear_regions(self, blobs, rng):
+        """Deep inside a class blob the TKAQ decides with little work."""
+        X, y = blobs
+        clf = KernelDensityClassifier(leaf_capacity=20).fit(X, y)
+        agg = clf.aggregator
+        deep_pos = np.full(3, 0.7)
+        res = agg.tkaq(deep_pos, 0.0)
+        assert res.answer
+        assert res.stats.points_evaluated < len(y) * 0.5
+
+
+class TestMulticlass:
+    @pytest.fixture
+    def three_blobs(self, rng):
+        centers = np.array([[0.2, 0.2], [0.8, 0.2], [0.5, 0.8]])
+        X = np.vstack([c + 0.06 * rng.standard_normal((120, 2)) for c in centers])
+        y = np.repeat(["a", "b", "c"], 120)
+        perm = rng.permutation(360)
+        return X[perm], y[perm]
+
+    def test_accuracy_on_blobs(self, three_blobs):
+        from repro.kde import MulticlassKernelDensityClassifier
+
+        X, y = three_blobs
+        clf = MulticlassKernelDensityClassifier().fit(X, y)
+        assert clf.score(X, y) >= 0.97
+
+    def test_prediction_equals_exact_argmax(self, three_blobs, rng):
+        from repro.kde import MulticlassKernelDensityClassifier
+
+        X, y = three_blobs
+        clf = MulticlassKernelDensityClassifier().fit(X, y)
+        for q in rng.random((30, 2)):
+            vals = clf.decision_values(q)
+            if np.sort(vals)[-1] - np.sort(vals)[-2] < 1e-12:
+                continue  # genuine tie: either answer is acceptable
+            assert clf.predict_one(q) == clf.classes_[int(np.argmax(vals))]
+
+    def test_priors_dict(self, three_blobs):
+        from repro.kde import MulticlassKernelDensityClassifier
+
+        X, y = three_blobs
+        clf = MulticlassKernelDensityClassifier(
+            priors={"a": 0.6, "b": 0.2, "c": 0.2}
+        ).fit(X, y)
+        assert clf.score(X, y) >= 0.9
+
+    def test_validation(self, rng):
+        from repro.core.errors import (
+            DataShapeError,
+            InvalidParameterError,
+            NotFittedError,
+        )
+        from repro.kde import MulticlassKernelDensityClassifier
+
+        with pytest.raises(NotFittedError):
+            MulticlassKernelDensityClassifier().predict(np.zeros((1, 2)))
+        with pytest.raises(InvalidParameterError):
+            MulticlassKernelDensityClassifier().fit(
+                rng.random((10, 2)), np.zeros(10)
+            )
+        with pytest.raises(DataShapeError):
+            MulticlassKernelDensityClassifier().fit(
+                rng.random((10, 2)), np.zeros(8)
+            )

@@ -1,0 +1,143 @@
+"""Tests for kernel classes: exact values, Gram matrices, node hooks."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.core.kernels import (
+    CauchyKernel,
+    EpanechnikovKernel,
+    GaussianKernel,
+    LaplacianKernel,
+    PolynomialKernel,
+    SigmoidKernel,
+    kernel_from_name,
+)
+from repro.index import KDTree
+
+
+def naive_value(kernel, q, p):
+    d2 = float(np.sum((q - p) ** 2))
+    if isinstance(kernel, GaussianKernel):
+        return np.exp(-kernel.gamma * d2)
+    if isinstance(kernel, LaplacianKernel):
+        return np.exp(-kernel.gamma * np.sqrt(d2))
+    if isinstance(kernel, CauchyKernel):
+        return 1.0 / (1.0 + kernel.gamma * d2)
+    if isinstance(kernel, EpanechnikovKernel):
+        return max(0.0, 1.0 - kernel.gamma * d2)
+    ip = float(q @ p)
+    if isinstance(kernel, PolynomialKernel):
+        return (kernel.gamma * ip + kernel.coef0) ** kernel.degree
+    return np.tanh(kernel.gamma * ip + kernel.coef0)
+
+
+class TestPairwise:
+    def test_matches_naive(self, any_kernel, rng):
+        pts = rng.uniform(-1, 1, (30, 4))
+        q = rng.uniform(-1, 1, 4)
+        vals = any_kernel.pairwise(q, pts)
+        for i in range(30):
+            assert vals[i] == pytest.approx(
+                naive_value(any_kernel, q, pts[i]), rel=1e-9, abs=1e-12
+            )
+
+    def test_call_single_pair(self, any_kernel, rng):
+        q, p = rng.random(3), rng.random(3)
+        assert any_kernel(q, p) == pytest.approx(
+            naive_value(any_kernel, q, p), rel=1e-9, abs=1e-12
+        )
+
+    def test_gaussian_self_similarity(self):
+        k = GaussianKernel(2.0)
+        q = np.array([0.3, 0.7])
+        assert k(q, q) == pytest.approx(1.0)
+
+    def test_precomputed_norms_match(self, rng):
+        k = GaussianKernel(3.0)
+        pts = rng.random((20, 5))
+        q = rng.random(5)
+        sq = np.einsum("ij,ij->i", pts, pts)
+        a = k.pairwise(q, pts)
+        b = k.pairwise(q, pts, sq, float(q @ q))
+        assert np.allclose(a, b)
+
+
+class TestMatrix:
+    def test_symmetric_for_self(self, any_kernel, rng):
+        X = rng.uniform(-1, 1, (15, 3))
+        K = any_kernel.matrix(X)
+        assert K.shape == (15, 15)
+        assert np.allclose(K, K.T, atol=1e-10)
+
+    def test_matches_pairwise_rows(self, any_kernel, rng):
+        X = rng.uniform(-1, 1, (10, 3))
+        Y = rng.uniform(-1, 1, (7, 3))
+        K = any_kernel.matrix(X, Y)
+        for i in range(10):
+            assert np.allclose(K[i], any_kernel.pairwise(X[i], Y), atol=1e-10)
+
+
+class TestNodeHooks:
+    def test_interval_covers_arguments(self, any_kernel, rng):
+        pts = rng.uniform(-1, 1, (400, 4))
+        tree = KDTree(pts, leaf_capacity=20)
+        q = rng.uniform(-1, 1, 4)
+        q_sq = float(q @ q)
+        for node in range(min(tree.num_nodes, 40)):
+            lo, hi = any_kernel.node_interval(tree, q, node, q_sq)
+            args = any_kernel.arguments(
+                q, tree.points[tree.leaf_slice(node)], q_sq=q_sq
+            )
+            assert np.all(args >= lo - 1e-9)
+            assert np.all(args <= hi + 1e-9)
+
+    def test_moments_match_bruteforce(self, any_kernel, rng):
+        pts = rng.uniform(-1, 1, (300, 4))
+        w = rng.standard_normal(300)
+        tree = KDTree(pts, weights=w, leaf_capacity=30)
+        q = rng.uniform(-1, 1, 4)
+        q_sq = float(q @ q)
+        for node in range(min(tree.num_nodes, 20)):
+            sl = tree.leaf_slice(node)
+            bw = tree.weights[sl]
+            args = any_kernel.arguments(q, tree.points[sl], q_sq=q_sq)
+            for part, mask in (("pos", bw > 0), ("neg", bw < 0)):
+                s0, s1 = any_kernel.node_moments(tree, q, node, q_sq, part)
+                assert s0 == pytest.approx(np.abs(bw[mask]).sum(), abs=1e-9)
+                assert s1 == pytest.approx(
+                    float(np.abs(bw[mask]) @ args[mask]), rel=1e-6, abs=1e-6
+                )
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(kernel_from_name("rbf", gamma=1.0), GaussianKernel)
+        assert isinstance(kernel_from_name("gaussian", gamma=1.0), GaussianKernel)
+        assert isinstance(
+            kernel_from_name("poly", gamma=1.0, degree=3), PolynomialKernel
+        )
+        assert isinstance(kernel_from_name("sigmoid", gamma=1.0), SigmoidKernel)
+        assert isinstance(kernel_from_name("laplacian", gamma=1.0), LaplacianKernel)
+        assert isinstance(kernel_from_name("cauchy", gamma=1.0), CauchyKernel)
+        assert isinstance(
+            kernel_from_name("epanechnikov", gamma=1.0), EpanechnikovKernel
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            kernel_from_name("chi2", gamma=1.0)
+
+    def test_case_insensitive(self):
+        assert isinstance(kernel_from_name("RBF", gamma=2.0), GaussianKernel)
+
+
+class TestParameterValidation:
+    def test_gamma_positive(self):
+        for ctor in (GaussianKernel, LaplacianKernel):
+            with pytest.raises(InvalidParameterError):
+                ctor(gamma=-1.0)
+
+    def test_polynomial_degree(self):
+        with pytest.raises(InvalidParameterError):
+            PolynomialKernel(gamma=1.0, degree=0)

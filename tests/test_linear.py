@@ -1,0 +1,96 @@
+"""Tests for linear functions of the kernel argument and moment identities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.linear import Line, chord, moments_dist_sq, moments_dot, tangent
+from repro.core.profiles import GaussianProfile
+
+finite = st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False)
+
+
+class TestLine:
+    def test_call(self):
+        line = Line(2.0, 1.0)
+        assert line(3.0) == pytest.approx(7.0)
+        assert np.allclose(line(np.array([0.0, 1.0])), [1.0, 3.0])
+
+    def test_aggregate_matches_pointwise_sum(self, rng):
+        xs = rng.random(30)
+        w = rng.random(30)
+        line = Line(-1.5, 0.7)
+        s0, s1 = w.sum(), float(w @ xs)
+        assert line.aggregate(s0, s1) == pytest.approx(float(w @ line(xs)))
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Line(1.0, 2.0).m = 3.0
+
+
+class TestChordAndTangent:
+    def test_chord_interpolates_endpoints(self):
+        p = GaussianProfile(1.0)
+        line = chord(p, 0.5, 2.0)
+        assert line(0.5) == pytest.approx(float(p.value(0.5)))
+        assert line(2.0) == pytest.approx(float(p.value(2.0)))
+
+    def test_chord_above_convex_function(self):
+        p = GaussianProfile(1.0)
+        line = chord(p, 0.0, 3.0)
+        xs = np.linspace(0.0, 3.0, 100)
+        assert np.all(line(xs) >= p.value(xs) - 1e-12)
+
+    def test_chord_degenerate_interval(self):
+        p = GaussianProfile(1.0)
+        line = chord(p, 1.0, 1.0)
+        assert line.m == 0.0
+        assert line.c == pytest.approx(float(p.value(1.0)))
+
+    def test_tangent_touches_and_lower_bounds(self):
+        p = GaussianProfile(1.0)
+        t = 1.3
+        line = tangent(p, t)
+        assert line(t) == pytest.approx(float(p.value(t)))
+        xs = np.linspace(0.0, 5.0, 200)
+        assert np.all(line(xs) <= p.value(xs) + 1e-12)
+
+
+class TestMoments:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        hnp.arrays(np.float64, (20, 3), elements=finite),
+        hnp.arrays(np.float64, (3,), elements=finite),
+        hnp.arrays(np.float64, (20,), elements=st.floats(0.0, 3.0)),
+    )
+    def test_dist_sq_moment_identity(self, pts, q, w):
+        a = (w[:, None] * pts).sum(axis=0)
+        b = float(w @ np.sum(pts**2, axis=1))
+        s0, s1 = moments_dist_sq(float(q @ q), q, float(w.sum()), a, b)
+        brute = float(w @ np.sum((pts - q) ** 2, axis=1))
+        assert s0 == pytest.approx(w.sum())
+        assert s1 == pytest.approx(brute, rel=1e-7, abs=1e-6)
+
+    def test_dist_sq_moment_clamps_negative(self):
+        # engineered cancellation: all points equal q
+        q = np.array([1e8, 1e8])
+        pts = np.tile(q, (5, 1))
+        w = np.ones(5)
+        a = (w[:, None] * pts).sum(axis=0)
+        b = float(w @ np.sum(pts**2, axis=1))
+        s0, s1 = moments_dist_sq(float(q @ q), q, 5.0, a, b)
+        assert s1 >= 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        hnp.arrays(np.float64, (20, 3), elements=finite),
+        hnp.arrays(np.float64, (3,), elements=finite),
+        hnp.arrays(np.float64, (20,), elements=st.floats(0.0, 3.0)),
+    )
+    def test_dot_moment_identity(self, pts, q, w):
+        a = (w[:, None] * pts).sum(axis=0)
+        s0, s1 = moments_dot(q, float(w.sum()), a)
+        brute = float(w @ (pts @ q))
+        assert s1 == pytest.approx(brute, rel=1e-7, abs=1e-6)

@@ -1,0 +1,148 @@
+"""Metamorphic properties of the full query pipeline.
+
+Each test states an algebraic identity of the aggregation function and
+checks that the *entire* indexed evaluation path (tree + bounds +
+refinement) respects it — a class of bugs unit tests on components miss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianKernel, KernelAggregator, LaplacianKernel
+from repro.index import KDTree
+
+
+def make_agg(pts, w, kernel, cap=20):
+    return KernelAggregator(KDTree(pts, weights=w, leaf_capacity=cap), kernel)
+
+
+@pytest.fixture
+def base(rng):
+    centers = rng.random((4, 3))
+    pts = np.clip(
+        centers[rng.integers(0, 4, 600)] + 0.08 * rng.standard_normal((600, 3)),
+        0, 1,
+    )
+    w = rng.random(600)
+    return pts, w
+
+
+class TestWeightScaling:
+    def test_aggregate_scales_linearly(self, base, rng):
+        pts, w = base
+        kernel = GaussianKernel(10.0)
+        a = make_agg(pts, w, kernel)
+        q = pts[0]
+        for c in (0.1, 0.9, 3.7, 42.0):
+            b = make_agg(pts, c * w, kernel)
+            assert b.exact(q) == pytest.approx(c * a.exact(q), rel=1e-9)
+
+    def test_tkaq_threshold_scales(self, base, rng):
+        pts, w = base
+        kernel = GaussianKernel(10.0)
+        a = make_agg(pts, w, kernel)
+        b = make_agg(pts, 3.0 * w, kernel)
+        for q in pts[:10]:
+            f = a.exact(q)
+            for tau in (0.5 * f, 1.5 * f):
+                assert a.tkaq(q, tau).answer == b.tkaq(q, 3.0 * tau).answer
+
+
+class TestTranslationInvariance:
+    def test_distance_kernels_are_shift_invariant(self, base, rng):
+        pts, w = base
+        shift = rng.standard_normal(3) * 5.0
+        for kernel in (GaussianKernel(10.0), LaplacianKernel(2.0)):
+            a = make_agg(pts, w, kernel)
+            b = make_agg(pts + shift, w, kernel)
+            for q in pts[:5]:
+                assert b.exact(q + shift) == pytest.approx(
+                    a.exact(q), rel=1e-7
+                )
+                res_a = a.ekaq(q, 0.2)
+                res_b = b.ekaq(q + shift, 0.2)
+                # both estimates must be within the band around the same F
+                f = a.exact(q)
+                for est in (res_a.estimate, res_b.estimate):
+                    assert 0.8 * f - 1e-9 <= est <= 1.2 * f + 1e-9
+
+
+class TestRotationInvariance:
+    def test_orthogonal_transform_preserves_aggregate(self, base, rng):
+        pts, w = base
+        # random orthogonal matrix via QR
+        m = rng.standard_normal((3, 3))
+        qmat, _ = np.linalg.qr(m)
+        kernel = GaussianKernel(10.0)
+        a = make_agg(pts, w, kernel)
+        b = make_agg(pts @ qmat.T, w, kernel)
+        for q in pts[:5]:
+            assert b.exact(qmat @ q) == pytest.approx(a.exact(q), rel=1e-7)
+            # the tree differs entirely, but TKAQ answers must agree
+            f = a.exact(q)
+            assert (
+                b.tkaq(qmat @ q, 0.7 * f).answer
+                == a.tkaq(q, 0.7 * f).answer
+                is True
+            )
+
+
+class TestUnionAdditivity:
+    def test_aggregate_over_union_is_sum_of_parts(self, base, rng):
+        pts, w = base
+        kernel = GaussianKernel(10.0)
+        half = len(pts) // 2
+        a = make_agg(pts[:half], w[:half], kernel)
+        b = make_agg(pts[half:], w[half:], kernel)
+        both = make_agg(pts, w, kernel)
+        q = rng.random(3)
+        assert both.exact(q) == pytest.approx(a.exact(q) + b.exact(q), rel=1e-9)
+
+    def test_duplicating_points_doubles_aggregate(self, base, rng):
+        pts, w = base
+        kernel = GaussianKernel(10.0)
+        single = make_agg(pts, w, kernel)
+        doubled = make_agg(
+            np.vstack([pts, pts]), np.concatenate([w, w]), kernel
+        )
+        q = rng.random(3)
+        assert doubled.exact(q) == pytest.approx(2 * single.exact(q), rel=1e-9)
+
+
+class TestGammaMonotonicity:
+    def test_larger_gamma_smaller_aggregate(self, base):
+        pts, w = base
+        q = pts[0]
+        values = [
+            make_agg(pts, w, GaussianKernel(g)).exact(q) for g in (1.0, 5.0, 25.0)
+        ]
+        assert values[0] >= values[1] >= values[2]
+
+
+class TestWorkMonotonicity:
+    def test_looser_eps_never_more_work(self, base):
+        pts, w = base
+        agg = make_agg(pts, w, GaussianKernel(10.0))
+        for q in pts[:5]:
+            tight = agg.ekaq(q, 0.05).stats
+            loose = agg.ekaq(q, 0.4).stats
+            assert loose.iterations <= tight.iterations
+
+    def test_extreme_thresholds_are_cheap(self, base):
+        pts, w = base
+        agg = make_agg(pts, w, GaussianKernel(10.0))
+        q = pts[0]
+        f = agg.exact(q)
+        near = agg.tkaq(q, f * 1.0001).stats.iterations
+        far = agg.tkaq(q, f * 100.0).stats.iterations
+        assert far <= near
+
+    def test_leaf_capacity_one_extreme_still_correct(self, base):
+        pts, w = base
+        kernel = GaussianKernel(10.0)
+        fine = make_agg(pts[:200], w[:200], kernel, cap=1)
+        coarse = make_agg(pts[:200], w[:200], kernel, cap=200)
+        q = pts[0]
+        f = fine.exact(q)
+        for tau in (0.5 * f, 2.0 * f):
+            assert fine.tkaq(q, tau).answer == coarse.tkaq(q, tau).answer

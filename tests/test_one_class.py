@@ -1,0 +1,84 @@
+"""Tests for the one-class nu-SVM: feasibility, nu-property, KAQ export."""
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianKernel
+from repro.core.errors import InvalidParameterError, NotFittedError
+from repro.svm.one_class import OneClassSVM, solve_one_class
+
+
+@pytest.fixture
+def blob(rng):
+    return rng.standard_normal((400, 3)) * 0.2 + 0.5
+
+
+class TestSolver:
+    def test_feasibility(self, blob):
+        kernel = GaussianKernel(2.0)
+        sol = solve_one_class(blob, kernel, nu=0.2)
+        n = blob.shape[0]
+        upper = 1.0 / (0.2 * n)
+        assert np.all(sol.alpha >= -1e-12)
+        assert np.all(sol.alpha <= upper + 1e-12)
+        assert sol.alpha.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_gradient_optimality(self, blob):
+        """At the optimum, no feasible pair can decrease the objective."""
+        kernel = GaussianKernel(2.0)
+        nu = 0.2
+        sol = solve_one_class(blob, kernel, nu=nu, tol=1e-5)
+        K = kernel.matrix(blob)
+        grad = K @ sol.alpha
+        upper = 1.0 / (nu * blob.shape[0])
+        grow = grad[sol.alpha < upper - 1e-9]
+        shrink = grad[sol.alpha > 1e-9]
+        assert shrink.max() - grow.min() < 1e-3
+
+    def test_invalid_nu(self, blob):
+        with pytest.raises(InvalidParameterError):
+            solve_one_class(blob, GaussianKernel(1.0), nu=0.0)
+        with pytest.raises(InvalidParameterError):
+            solve_one_class(blob, GaussianKernel(1.0), nu=1.5)
+
+
+class TestEstimator:
+    def test_nu_controls_outlier_fraction(self, blob):
+        """The nu-property: about nu of the training data is rejected."""
+        for nu in (0.1, 0.3):
+            model = OneClassSVM(nu=nu, kernel=GaussianKernel(2.0)).fit(blob)
+            rejected = float(np.mean(model.predict(blob) == -1))
+            assert abs(rejected - nu) < 0.12
+
+    def test_far_points_are_outliers(self, blob):
+        model = OneClassSVM(nu=0.1, kernel=GaussianKernel(2.0)).fit(blob)
+        far = np.full((5, 3), 5.0)
+        assert np.all(model.predict(far) == -1)
+
+    def test_default_kernel_gamma(self, blob):
+        model = OneClassSVM(nu=0.1).fit(blob)
+        assert model.kernel.gamma == pytest.approx(1.0 / 3.0)
+
+    def test_positive_dual_coefficients(self, blob):
+        model = OneClassSVM(nu=0.2, kernel=GaussianKernel(2.0)).fit(blob)
+        assert np.all(model.dual_coef_ > 0)
+
+    def test_to_kaq_reproduces_decision(self, blob, rng):
+        model = OneClassSVM(nu=0.2, kernel=GaussianKernel(2.0)).fit(blob)
+        sv, w, tau = model.to_kaq()
+        queries = rng.standard_normal((10, 3)) * 0.4 + 0.5
+        f = model.decision_function(queries)
+        for q, fv in zip(queries, f):
+            agg = float(w @ model.kernel.pairwise(q, sv))
+            assert agg - tau == pytest.approx(fv, abs=1e-9)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            OneClassSVM().predict(np.zeros((1, 3)))
+        with pytest.raises(NotFittedError):
+            OneClassSVM().to_kaq()
+
+    def test_sv_fraction_at_least_nu(self, blob):
+        nu = 0.25
+        model = OneClassSVM(nu=nu, kernel=GaussianKernel(2.0)).fit(blob)
+        assert len(model.dual_coef_) >= nu * blob.shape[0] * 0.8

@@ -1,0 +1,91 @@
+"""Tests for Platt probability calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianKernel
+from repro.core.errors import (
+    DataShapeError,
+    InvalidParameterError,
+    NotFittedError,
+)
+from repro.svm import SVC
+from repro.svm.platt import fit_sigmoid, sigmoid_probability
+
+
+class TestFitSigmoid:
+    def test_recovers_known_sigmoid(self, rng):
+        """Labels drawn from a known sigmoid should recover its slope sign
+        and produce calibrated probabilities."""
+        f = rng.uniform(-4, 4, 4000)
+        true_p = 1.0 / (1.0 + np.exp(-2.0 * f))  # A=-2, B=0
+        y = np.where(rng.random(4000) < true_p, 1.0, -1.0)
+        a, b = fit_sigmoid(f, y)
+        assert a < 0  # decision and probability positively related
+        est = sigmoid_probability(f, a, b)
+        # calibration: mean |estimated - true| small
+        assert float(np.mean(np.abs(est - true_p))) < 0.05
+
+    def test_separable_decision_values(self, rng):
+        f = np.concatenate([rng.uniform(1, 3, 50), rng.uniform(-3, -1, 50)])
+        y = np.array([1.0] * 50 + [-1.0] * 50)
+        a, b = fit_sigmoid(f, y)
+        p = sigmoid_probability(f, a, b)
+        assert np.all(p[:50] > 0.5)
+        assert np.all(p[50:] < 0.5)
+
+    def test_probability_bounds(self, rng):
+        f = rng.standard_normal(200)
+        y = np.where(f + 0.3 * rng.standard_normal(200) > 0, 1.0, -1.0)
+        a, b = fit_sigmoid(f, y)
+        p = sigmoid_probability(np.array([-1e6, 0.0, 1e6]), a, b)
+        assert np.all(p >= 0.0)
+        assert np.all(p <= 1.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(DataShapeError):
+            fit_sigmoid(np.zeros(5), np.ones(4))
+        with pytest.raises(InvalidParameterError):
+            fit_sigmoid(np.zeros(4), np.zeros(4))
+        with pytest.raises(InvalidParameterError):
+            fit_sigmoid(np.zeros(4), np.ones(4))  # single class
+
+
+class TestSVCProbability:
+    @pytest.fixture
+    def trained(self, rng):
+        pos = rng.standard_normal((120, 2)) * 0.4 + [1.0, 0]
+        neg = rng.standard_normal((120, 2)) * 0.4 + [-1.0, 0]
+        X = np.vstack([pos, neg])
+        y = np.array([1.0] * 120 + [-1.0] * 120)
+        perm = rng.permutation(240)
+        return SVC(C=2.0, kernel=GaussianKernel(1.0)).fit(X[perm], y[perm]), X, y
+
+    def test_proba_requires_calibration(self, trained, rng):
+        clf, X, y = trained
+        with pytest.raises(NotFittedError):
+            clf.predict_proba(X[:2])
+
+    def test_self_calibration(self, trained):
+        clf, X, y = trained
+        clf.calibrate()
+        proba = clf.predict_proba(X)
+        assert proba.shape == (len(X), 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        # confident correct ordering deep inside each blob
+        assert proba[0, 1] > 0.8  # a positive-blob point
+        assert proba[-1, 0] > 0.8  # a negative-blob point
+
+    def test_holdout_calibration(self, trained, rng):
+        clf, X, y = trained
+        clf.calibrate(X[::2], y[::2])
+        p = clf.predict_proba(X[1::2])[:, 1]
+        preds = np.where(p > 0.5, 1, -1)
+        assert np.mean(preds == y[1::2]) > 0.95
+
+    def test_refit_clears_calibration(self, trained, rng):
+        clf, X, y = trained
+        clf.calibrate()
+        clf.fit(X, y)
+        with pytest.raises(NotFittedError):
+            clf.predict_proba(X[:2])

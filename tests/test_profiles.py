@@ -1,0 +1,231 @@
+"""Tests for the scalar kernel profiles: values, derivatives, shapes, ranges."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import InvalidParameterError
+from repro.core.profiles import (
+    GaussianProfile,
+    LaplacianProfile,
+    PolynomialProfile,
+    SigmoidProfile,
+)
+
+
+def numeric_deriv(profile, x, h=1e-6):
+    return (profile.value(x + h) - profile.value(x - h)) / (2 * h)
+
+
+class TestGaussianProfile:
+    def test_values(self):
+        p = GaussianProfile(2.0)
+        assert p.value(0.0) == pytest.approx(1.0)
+        assert p.value(1.0) == pytest.approx(np.exp(-2.0))
+
+    def test_scalar_matches_array(self):
+        p = GaussianProfile(3.0)
+        xs = np.array([0.0, 0.5, 2.0])
+        arr = p.value(xs)
+        for i, x in enumerate(xs):
+            assert p.value(float(x)) == pytest.approx(arr[i])
+            assert p.deriv(float(x)) == pytest.approx(p.deriv(xs)[i])
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(0.0, 20.0))
+    def test_derivative_matches_numeric(self, x):
+        p = GaussianProfile(1.5)
+        assert p.deriv(x) == pytest.approx(numeric_deriv(p, x), rel=1e-4, abs=1e-9)
+
+    def test_shape_and_range(self):
+        p = GaussianProfile(1.0)
+        assert p.shape_on(0.0, 5.0) == "convex"
+        gmin, gmax = p.range_on(1.0, 3.0)
+        assert gmin == pytest.approx(np.exp(-3.0))
+        assert gmax == pytest.approx(np.exp(-1.0))
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(InvalidParameterError):
+            GaussianProfile(0.0)
+        with pytest.raises(InvalidParameterError):
+            GaussianProfile(-1.0)
+
+
+class TestLaplacianProfile:
+    def test_value_is_exp_of_distance(self):
+        p = LaplacianProfile(2.0)
+        assert p.value(4.0) == pytest.approx(np.exp(-2.0 * 2.0))
+
+    def test_convex_in_squared_distance(self):
+        # midpoint test on a few intervals: g((a+b)/2) <= (g(a)+g(b))/2
+        p = LaplacianProfile(1.3)
+        for a, b in [(0.1, 2.0), (1.0, 9.0), (0.0, 1.0)]:
+            mid = p.value((a + b) / 2)
+            assert mid <= (p.value(a) + p.value(b)) / 2 + 1e-12
+
+    def test_deriv_guarded_at_zero(self):
+        p = LaplacianProfile(1.0)
+        assert np.isfinite(p.deriv(0.0))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(0.01, 20.0))
+    def test_derivative_matches_numeric(self, x):
+        p = LaplacianProfile(0.8)
+        assert p.deriv(x) == pytest.approx(numeric_deriv(p, x), rel=1e-3, abs=1e-9)
+
+    def test_range(self):
+        p = LaplacianProfile(1.0)
+        gmin, gmax = p.range_on(1.0, 4.0)
+        assert gmin == pytest.approx(np.exp(-2.0))
+        assert gmax == pytest.approx(np.exp(-1.0))
+
+
+class TestPolynomialProfile:
+    def test_degree_validation(self):
+        with pytest.raises(InvalidParameterError):
+            PolynomialProfile(1.0, 0.0, 0)
+        with pytest.raises(InvalidParameterError):
+            PolynomialProfile(1.0, 0.0, 2.5)
+
+    def test_linear_shape(self):
+        p = PolynomialProfile(2.0, 1.0, 1)
+        assert p.shape_on(-5.0, 5.0) == "linear"
+        assert p.value(2.0) == pytest.approx(5.0)
+
+    def test_even_degree_convex(self):
+        p = PolynomialProfile(1.0, 0.0, 4)
+        assert p.shape_on(-3.0, 3.0) == "convex"
+        assert p.inflection is None
+
+    def test_odd_degree_shapes(self):
+        p = PolynomialProfile(1.0, 0.0, 3)
+        assert p.inflection == pytest.approx(0.0)
+        assert p.shape_on(-2.0, -0.5) == "concave"
+        assert p.shape_on(0.5, 2.0) == "convex"
+        assert p.shape_on(-1.0, 1.0) == "s_convex_right"
+
+    def test_inflection_shifts_with_coef0(self):
+        p = PolynomialProfile(2.0, 1.0, 3)
+        assert p.inflection == pytest.approx(-0.5)
+
+    def test_even_range_includes_zero_at_root(self):
+        p = PolynomialProfile(1.0, -1.0, 2)  # root at x=1
+        gmin, gmax = p.range_on(0.0, 2.0)
+        assert gmin == 0.0
+        assert gmax == pytest.approx(1.0)
+
+    def test_even_range_without_root(self):
+        p = PolynomialProfile(1.0, 0.0, 2)
+        gmin, gmax = p.range_on(1.0, 2.0)
+        assert gmin == pytest.approx(1.0)
+        assert gmax == pytest.approx(4.0)
+
+    def test_odd_range_monotone(self):
+        p = PolynomialProfile(1.0, 0.0, 3)
+        gmin, gmax = p.range_on(-2.0, 1.0)
+        assert gmin == pytest.approx(-8.0)
+        assert gmax == pytest.approx(1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(-3.0, 3.0), st.integers(1, 6))
+    def test_derivative_matches_numeric(self, x, deg):
+        p = PolynomialProfile(0.9, 0.3, deg)
+        assert p.deriv(x) == pytest.approx(
+            numeric_deriv(p, x), rel=1e-3, abs=1e-6
+        )
+
+
+class TestSigmoidProfile:
+    def test_shapes(self):
+        p = SigmoidProfile(1.0, 0.0)
+        assert p.shape_on(-3.0, -0.5) == "convex"
+        assert p.shape_on(0.5, 3.0) == "concave"
+        assert p.shape_on(-1.0, 1.0) == "s_concave_right"
+
+    def test_range_monotone(self):
+        p = SigmoidProfile(1.0, 0.0)
+        gmin, gmax = p.range_on(-1.0, 2.0)
+        assert gmin == pytest.approx(np.tanh(-1.0))
+        assert gmax == pytest.approx(np.tanh(2.0))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(-5.0, 5.0))
+    def test_derivative_matches_numeric(self, x):
+        p = SigmoidProfile(0.7, -0.2)
+        assert p.deriv(x) == pytest.approx(numeric_deriv(p, x), rel=1e-3, abs=1e-9)
+
+    def test_deriv_overflow_guard(self):
+        p = SigmoidProfile(1.0, 0.0)
+        assert p.deriv(1e6) == 0.0
+        assert p.deriv(-1e6) == 0.0
+        arr = p.deriv(np.array([0.0, 1e6]))
+        assert arr[0] == pytest.approx(1.0)
+        assert arr[1] == 0.0
+
+    def test_scalar_matches_array(self):
+        p = SigmoidProfile(1.2, 0.5)
+        xs = np.array([-1.0, 0.0, 2.0])
+        arr_v = p.value(xs)
+        arr_d = p.deriv(xs)
+        for i, x in enumerate(xs):
+            assert p.value(float(x)) == pytest.approx(arr_v[i])
+            assert p.deriv(float(x)) == pytest.approx(arr_d[i])
+
+
+class TestSecondDerivatives:
+    """deriv2 feeds the Newton tangency solver; check against finite
+    differences for every profile family."""
+
+    def numeric_deriv2(self, profile, x, h=1e-4):
+        return (
+            profile.value(x + h) - 2 * profile.value(x) + profile.value(x - h)
+        ) / h**2
+
+    def test_gaussian(self):
+        p = GaussianProfile(1.7)
+        for x in (0.1, 1.0, 3.0):
+            assert p.deriv2(x) == pytest.approx(
+                self.numeric_deriv2(p, x), rel=1e-3
+            )
+
+    def test_laplacian(self):
+        p = LaplacianProfile(0.9)
+        for x in (0.5, 2.0, 6.0):
+            assert p.deriv2(x) == pytest.approx(
+                self.numeric_deriv2(p, x), rel=1e-3
+            )
+
+    def test_polynomial(self):
+        p = PolynomialProfile(0.8, 0.2, 5)
+        for x in (-1.5, 0.3, 2.0):
+            assert p.deriv2(x) == pytest.approx(
+                self.numeric_deriv2(p, x), rel=1e-3, abs=1e-6
+            )
+
+    def test_polynomial_linear_is_zero(self):
+        p = PolynomialProfile(2.0, 0.0, 1)
+        assert p.deriv2(0.7) == 0.0
+
+    def test_sigmoid(self):
+        p = SigmoidProfile(1.3, -0.4)
+        for x in (-2.0, 0.0, 1.5):
+            assert p.deriv2(x) == pytest.approx(
+                self.numeric_deriv2(p, x), rel=1e-3, abs=1e-9
+            )
+
+    def test_sigmoid_overflow_guard(self):
+        p = SigmoidProfile(1.0, 0.0)
+        assert p.deriv2(1e6) == 0.0
+        arr = p.deriv2(np.array([0.5, 1e6]))
+        assert arr[1] == 0.0
+
+    def test_array_scalar_consistency(self):
+        from repro.core.profiles import CauchyProfile
+
+        for p in (GaussianProfile(2.0), CauchyProfile(1.5),
+                  PolynomialProfile(1.0, 0.1, 3)):
+            xs = np.array([0.2, 0.9, 2.5])
+            arr = p.deriv2(xs)
+            for i, x in enumerate(xs):
+                assert p.deriv2(float(x)) == pytest.approx(arr[i])

@@ -1,0 +1,165 @@
+"""Unit and property tests for bounding-rectangle geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.errors import DataShapeError
+from repro.index.rectangle import (
+    bounding_rectangle,
+    contains,
+    ip_bounds_many,
+    ip_max,
+    ip_min,
+    maxdist_sq,
+    maxdist_sq_many,
+    mindist_sq,
+    mindist_sq_many,
+    rect_dist_bounds_many,
+)
+
+finite = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False)
+
+
+def boxes_and_query(d=4, n_boxes=3):
+    """Strategy producing (q, lo, hi) with lo <= hi elementwise."""
+    arr = hnp.arrays(np.float64, (n_boxes, 2, d), elements=finite)
+    q = hnp.arrays(np.float64, (d,), elements=finite)
+    return st.tuples(q, arr).map(
+        lambda t: (t[0], np.minimum(t[1][:, 0], t[1][:, 1]),
+                   np.maximum(t[1][:, 0], t[1][:, 1]))
+    )
+
+
+class TestBoundingRectangle:
+    def test_tightness(self, rng):
+        pts = rng.random((50, 3))
+        lo, hi = bounding_rectangle(pts)
+        assert np.allclose(lo, pts.min(axis=0))
+        assert np.allclose(hi, pts.max(axis=0))
+
+    def test_single_point(self):
+        lo, hi = bounding_rectangle(np.array([[1.0, 2.0]]))
+        assert np.allclose(lo, hi)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataShapeError):
+            bounding_rectangle(np.empty((0, 3)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataShapeError):
+            bounding_rectangle(np.array([1.0, 2.0]))
+
+
+class TestMinMaxDist:
+    def test_inside_box_mindist_zero(self):
+        lo = np.zeros(3)
+        hi = np.ones(3)
+        assert mindist_sq(np.full(3, 0.5), lo, hi) == 0.0
+
+    def test_outside_single_axis(self):
+        lo = np.zeros(2)
+        hi = np.ones(2)
+        q = np.array([2.0, 0.5])
+        assert mindist_sq(q, lo, hi) == pytest.approx(1.0)
+        assert maxdist_sq(q, lo, hi) == pytest.approx(4.0 + 0.25)
+
+    def test_corner_distance(self):
+        lo = np.zeros(2)
+        hi = np.ones(2)
+        q = np.array([-1.0, -1.0])
+        assert mindist_sq(q, lo, hi) == pytest.approx(2.0)
+        assert maxdist_sq(q, lo, hi) == pytest.approx(8.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(boxes_and_query())
+    def test_envelopes_random_points_in_box(self, data):
+        q, lo, hi = data
+        rng = np.random.default_rng(0)
+        for b in range(lo.shape[0]):
+            mind = mindist_sq(q, lo[b], hi[b])
+            maxd = maxdist_sq(q, lo[b], hi[b])
+            assert mind <= maxd + 1e-9
+            # random points inside the box respect the envelope
+            u = rng.random((40, lo.shape[1]))
+            pts = lo[b] + u * (hi[b] - lo[b])
+            d2 = np.sum((pts - q) ** 2, axis=1)
+            assert np.all(d2 >= mind - 1e-7 * (1 + abs(mind)))
+            assert np.all(d2 <= maxd + 1e-7 * (1 + abs(maxd)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(boxes_and_query())
+    def test_maxdist_attained_at_corner(self, data):
+        q, lo, hi = data
+        for b in range(lo.shape[0]):
+            d = lo.shape[1]
+            corners = np.array(
+                [[lo[b][j] if (m >> j) & 1 else hi[b][j] for j in range(d)]
+                 for m in range(2**d)]
+            )
+            d2 = np.sum((corners - q) ** 2, axis=1)
+            assert maxdist_sq(q, lo[b], hi[b]) == pytest.approx(d2.max(), rel=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(boxes_and_query())
+    def test_many_variants_match_scalar(self, data):
+        q, lo, hi = data
+        mind = mindist_sq_many(q, lo, hi)
+        maxd = maxdist_sq_many(q, lo, hi)
+        fused_min, fused_max = rect_dist_bounds_many(q, lo, hi)
+        for b in range(lo.shape[0]):
+            assert mind[b] == pytest.approx(mindist_sq(q, lo[b], hi[b]))
+            assert maxd[b] == pytest.approx(maxdist_sq(q, lo[b], hi[b]))
+        assert np.allclose(fused_min, mind)
+        assert np.allclose(fused_max, maxd)
+
+
+class TestInnerProductBounds:
+    @settings(max_examples=60, deadline=None)
+    @given(boxes_and_query())
+    def test_ip_envelope(self, data):
+        q, lo, hi = data
+        rng = np.random.default_rng(1)
+        for b in range(lo.shape[0]):
+            lo_ip = ip_min(q, lo[b], hi[b])
+            hi_ip = ip_max(q, lo[b], hi[b])
+            assert lo_ip <= hi_ip + 1e-9
+            u = rng.random((40, lo.shape[1]))
+            pts = lo[b] + u * (hi[b] - lo[b])
+            ips = pts @ q
+            span = 1 + abs(lo_ip) + abs(hi_ip)
+            assert np.all(ips >= lo_ip - 1e-7 * span)
+            assert np.all(ips <= hi_ip + 1e-7 * span)
+
+    @settings(max_examples=40, deadline=None)
+    @given(boxes_and_query())
+    def test_ip_many_matches_scalar(self, data):
+        q, lo, hi = data
+        mn, mx = ip_bounds_many(q, lo, hi)
+        for b in range(lo.shape[0]):
+            assert mn[b] == pytest.approx(ip_min(q, lo[b], hi[b]))
+            assert mx[b] == pytest.approx(ip_max(q, lo[b], hi[b]))
+
+    def test_ip_sign_selection(self):
+        lo = np.array([-1.0, 2.0])
+        hi = np.array([3.0, 5.0])
+        q = np.array([2.0, -1.0])
+        # dim0: q>0 -> min at lo, max at hi; dim1: q<0 -> min at hi, max at lo
+        assert ip_min(q, lo, hi) == pytest.approx(2 * -1 + -1 * 5)
+        assert ip_max(q, lo, hi) == pytest.approx(2 * 3 + -1 * 2)
+
+
+class TestContains:
+    def test_inside_and_outside(self):
+        lo = np.zeros(2)
+        hi = np.ones(2)
+        assert contains(np.array([0.5, 0.5]), lo, hi)
+        assert contains(np.array([0.0, 1.0]), lo, hi)
+        assert not contains(np.array([1.5, 0.5]), lo, hi)
+
+    def test_atol_slack(self):
+        lo = np.zeros(1)
+        hi = np.ones(1)
+        assert contains(np.array([1.0 + 1e-9]), lo, hi, atol=1e-8)

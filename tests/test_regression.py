@@ -1,0 +1,102 @@
+"""Tests for Nadaraya-Watson kernel regression on the KARL engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianKernel
+from repro.core.errors import DataShapeError, NotFittedError
+from repro.regression import NadarayaWatson
+
+
+@pytest.fixture
+def sine_data(rng):
+    X = rng.random((2000, 2))
+    y = np.sin(5 * X[:, 0]) + 0.05 * rng.standard_normal(2000)
+    return X, y
+
+
+class TestNadarayaWatson:
+    def test_recovers_smooth_function(self, sine_data, rng):
+        X, y = sine_data
+        model = NadarayaWatson(kernel=GaussianKernel(60.0)).fit(X, y)
+        grid = rng.random((50, 2))
+        preds = model.predict(grid)
+        truth = np.sin(5 * grid[:, 0])
+        assert np.sqrt(np.mean((preds - truth) ** 2)) < 0.15
+
+    def test_exact_matches_bruteforce(self, sine_data, rng):
+        X, y = sine_data
+        gamma = 20.0
+        model = NadarayaWatson(kernel=GaussianKernel(gamma)).fit(X, y)
+        q = rng.random(2)
+        k = np.exp(-gamma * np.sum((X - q) ** 2, axis=1))
+        assert model.predict_one(q) == pytest.approx(
+            float(y @ k) / float(k.sum()), rel=1e-9
+        )
+
+    def test_approximate_close_to_exact(self, sine_data):
+        X, y = sine_data
+        model = NadarayaWatson(kernel=GaussianKernel(60.0)).fit(X, y)
+        for q in X[:10]:
+            exact = model.predict_one(q)
+            approx = model.predict_one(q, eps=0.1)
+            assert approx == pytest.approx(exact, abs=0.25 * (abs(exact) + 0.1))
+
+    def test_interpolates_constant_target(self, rng):
+        X = rng.random((500, 3))
+        model = NadarayaWatson(kernel=GaussianKernel(10.0)).fit(X, np.full(500, 2.5))
+        assert model.predict_one(rng.random(3)) == pytest.approx(2.5)
+
+    def test_default_kernel(self, rng):
+        model = NadarayaWatson().fit(rng.random((100, 4)), rng.random(100))
+        assert model.kernel.gamma == pytest.approx(0.25)
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(DataShapeError):
+            NadarayaWatson().fit(rng.random((10, 2)), rng.random(9))
+
+    def test_unfitted(self, rng):
+        with pytest.raises(NotFittedError):
+            NadarayaWatson().predict(rng.random((2, 2)))
+
+    def test_zero_density_region_returns_zero(self, rng):
+        X = rng.random((200, 2)) * 0.1
+        model = NadarayaWatson(kernel=GaussianKernel(5000.0)).fit(X, rng.random(200))
+        assert model.predict_one(np.array([50.0, 50.0])) == 0.0
+
+
+class TestThresholdQueries:
+    def test_above_threshold_matches_exact_ratio(self, sine_data):
+        X, y = sine_data
+        from repro.core import GaussianKernel
+
+        model = NadarayaWatson(kernel=GaussianKernel(60.0)).fit(X, y)
+        for q in X[:25]:
+            m = model.predict_one(q)
+            for tau in (m - 0.2, m + 0.2, 0.0):
+                if abs(m - tau) < 1e-9:
+                    continue
+                assert model.above_threshold(q, tau) == (m > tau)
+
+    def test_thresholder_cache_reused(self, sine_data):
+        X, y = sine_data
+        model = NadarayaWatson().fit(X, y)
+        a = model._threshold_aggregator(0.5)
+        b = model._threshold_aggregator(0.5)
+        assert a is b
+        c = model._threshold_aggregator(0.7)
+        assert c is not a
+
+    def test_cache_cleared_on_refit(self, sine_data, rng):
+        X, y = sine_data
+        model = NadarayaWatson().fit(X, y)
+        model.above_threshold(X[0], 0.5)
+        assert model._cached_thresholders
+        model.fit(rng.random((100, 2)), rng.random(100))
+        assert not model._cached_thresholders
+
+    def test_unfitted(self, rng):
+        from repro.core.errors import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            NadarayaWatson().above_threshold(rng.random(2), 0.5)

@@ -1,0 +1,59 @@
+"""Tests for benchmark table persistence and the emit() side channel."""
+
+import importlib
+
+import pytest
+
+import repro.bench.reporting as reporting
+
+
+class TestEmitPersistence:
+    def test_emit_writes_results_file(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path / "results")
+        table = reporting.render_table("T", ["a"], [[1.0]])
+        out = reporting.emit("unit_test_table", table)
+        assert out == table
+        written = (tmp_path / "results" / "unit_test_table.txt").read_text()
+        assert "T" in written
+        assert "unit_test_table" not in capsys.readouterr().err
+
+    def test_emit_prints_to_stdout(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        reporting.emit("another", reporting.render_table("Hello", ["x"], [[2]]))
+        assert "Hello" in capsys.readouterr().out
+
+    def test_emit_survives_readonly_dir(self, tmp_path, monkeypatch, capsys):
+        target = tmp_path / "ro"
+        target.mkdir()
+        target.chmod(0o500)
+        monkeypatch.setattr(reporting, "RESULTS_DIR", target / "sub")
+        try:
+            # must not raise even though the directory cannot be created
+            reporting.emit("blocked", "table-content")
+        finally:
+            target.chmod(0o700)
+        assert "table-content" in capsys.readouterr().out
+
+    def test_results_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path / "custom"))
+        importlib.reload(reporting)
+        try:
+            assert str(reporting.RESULTS_DIR).endswith("custom")
+        finally:
+            monkeypatch.delenv("REPRO_BENCH_RESULTS")
+            importlib.reload(reporting)
+
+
+class TestRenderEdgeCases:
+    def test_wide_numbers_align(self):
+        table = reporting.render_table(
+            "W", ["name", "v"], [["x", 1234567.0], ["yy", 0.000001]]
+        )
+        lines = table.splitlines()
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all rows padded to the same width
+
+    def test_negative_and_zero(self):
+        table = reporting.render_table("N", ["v"], [[-12.5], [0.0]])
+        assert "-12.5" in table
+        assert "0" in table

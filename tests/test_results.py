@@ -1,0 +1,53 @@
+"""Tests for the result dataclasses and trace recording."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import BoundTrace, EKAQResult, QueryStats, TKAQResult
+
+
+class TestQueryStats:
+    def test_defaults(self):
+        s = QueryStats()
+        assert s.iterations == 0
+        assert s.points_evaluated == 0
+
+    def test_fields_settable(self):
+        s = QueryStats(iterations=3, nodes_expanded=2, leaves_evaluated=1,
+                       points_evaluated=40)
+        assert s.nodes_expanded == 2
+        assert s.leaves_evaluated == 1
+
+
+class TestBoundTrace:
+    def test_record_and_len(self):
+        t = BoundTrace()
+        assert len(t) == 0
+        t.record(1.0, 2.0)
+        t.record(1.5, 1.8)
+        assert len(t) == 2
+        assert t.lowers == [1.0, 1.5]
+        assert t.uppers == [2.0, 1.8]
+
+
+class TestTKAQResult:
+    def test_bool_protocol(self):
+        s = QueryStats()
+        yes = TKAQResult(answer=True, lower=1, upper=2, tau=0.5, stats=s)
+        no = TKAQResult(answer=False, lower=1, upper=2, tau=3.0, stats=s)
+        assert bool(yes) and not bool(no)
+
+    def test_carries_trace(self):
+        t = BoundTrace()
+        t.record(0.0, 1.0)
+        res = TKAQResult(answer=True, lower=0, upper=1, tau=0.1,
+                         stats=QueryStats(), trace=t)
+        assert len(res.trace) == 1
+
+
+class TestEKAQResult:
+    def test_float_protocol(self):
+        res = EKAQResult(estimate=3.14, lower=3.0, upper=3.3, eps=0.1,
+                         stats=QueryStats())
+        assert float(res) == pytest.approx(3.14)
+        assert np.isclose(res.estimate, 3.14)

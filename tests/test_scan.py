@@ -1,0 +1,63 @@
+"""Tests for the sequential-scan baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ScanEvaluator
+from repro.core import GaussianKernel
+from repro.core.errors import DataShapeError
+
+
+class TestScanEvaluator:
+    def test_exact_bruteforce(self, rng):
+        pts = rng.random((200, 3))
+        w = rng.standard_normal(200)
+        k = GaussianKernel(4.0)
+        scan = ScanEvaluator(pts, k, w)
+        q = rng.random(3)
+        brute = sum(
+            w[i] * np.exp(-4.0 * np.sum((q - pts[i]) ** 2)) for i in range(200)
+        )
+        assert scan.exact(q) == pytest.approx(brute, rel=1e-9)
+
+    def test_default_unit_weights(self, rng):
+        pts = rng.random((50, 2))
+        scan = ScanEvaluator(pts, GaussianKernel(1.0))
+        assert np.allclose(scan.weights, 1.0)
+
+    def test_scalar_weight(self, rng):
+        pts = rng.random((50, 2))
+        scan = ScanEvaluator(pts, GaussianKernel(1.0), 0.5)
+        assert scan.exact(pts[0]) == pytest.approx(
+            0.5 * ScanEvaluator(pts, GaussianKernel(1.0)).exact(pts[0])
+        )
+
+    def test_tkaq_ekaq_are_exact(self, rng):
+        pts = rng.random((100, 3))
+        scan = ScanEvaluator(pts, GaussianKernel(2.0))
+        q = rng.random(3)
+        f = scan.exact(q)
+        assert scan.tkaq(q, f - 0.1).answer
+        assert not scan.tkaq(q, f + 0.1).answer
+        res = scan.ekaq(q, 0.5)
+        assert res.estimate == pytest.approx(f)
+        assert res.lower == res.upper == pytest.approx(f)
+
+    def test_stats_count_all_points(self, rng):
+        pts = rng.random((77, 2))
+        scan = ScanEvaluator(pts, GaussianKernel(1.0))
+        assert scan.tkaq(rng.random(2), 0.0).stats.points_evaluated == 77
+
+    def test_batch_apis(self, rng):
+        pts = rng.random((100, 3))
+        scan = ScanEvaluator(pts, GaussianKernel(2.0))
+        Q = rng.random((6, 3))
+        vals = scan.exact_many(Q)
+        tau = vals.mean()
+        assert np.array_equal(scan.tkaq_many(Q, tau), vals > tau)
+        assert np.allclose(scan.ekaq_many(Q, 0.1), vals)
+
+    def test_wrong_query_dim(self, rng):
+        scan = ScanEvaluator(rng.random((10, 4)), GaussianKernel(1.0))
+        with pytest.raises(DataShapeError):
+            scan.exact(rng.random(3))

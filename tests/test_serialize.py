@@ -1,0 +1,80 @@
+"""Tests for index serialisation round trips."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ScanEvaluator
+from repro.core import GaussianKernel, KernelAggregator
+from repro.index import BallTree, KDTree
+from repro.index.serialize import load_index, save_index
+
+
+@pytest.fixture(params=[KDTree, BallTree], ids=["kd", "ball"])
+def tree(request, rng):
+    pts = rng.random((800, 4))
+    w = rng.standard_normal(800)
+    return request.param(pts, weights=w, leaf_capacity=25)
+
+
+class TestRoundTrip:
+    def test_arrays_identical(self, tree, tmp_path):
+        path = tmp_path / "tree.npz"
+        save_index(tree, path)
+        loaded = load_index(path)
+        assert type(loaded) is type(tree)
+        assert loaded.kind == tree.kind
+        assert loaded.leaf_capacity == tree.leaf_capacity
+        assert loaded.num_nodes == tree.num_nodes
+        assert loaded.max_depth == tree.max_depth
+        for name in ("points", "weights", "start", "end", "left", "right",
+                     "lo", "hi", "center", "radius", "sq_norms"):
+            assert np.array_equal(getattr(loaded, name), getattr(tree, name)), name
+        for name in ("pos_w", "pos_a", "pos_b", "neg_w", "neg_a", "neg_b"):
+            assert np.array_equal(
+                getattr(loaded.stats, name), getattr(tree.stats, name)
+            ), name
+
+    def test_loaded_tree_answers_queries(self, tree, tmp_path, rng):
+        path = tmp_path / "tree.npz"
+        save_index(tree, path)
+        loaded = load_index(path)
+        kernel = GaussianKernel(5.0)
+        scan = ScanEvaluator(tree.points, kernel, tree.weights)
+        agg = KernelAggregator(loaded, kernel)
+        for q in rng.random((8, 4)):
+            f = scan.exact(q)
+            assert agg.exact(q) == pytest.approx(f, rel=1e-9)
+            assert agg.tkaq(q, f - 0.5).answer
+            assert not agg.tkaq(q, f + 0.5).answer
+
+    def test_geometry_methods_work_after_load(self, tree, tmp_path, rng):
+        path = tmp_path / "tree.npz"
+        save_index(tree, path)
+        loaded = load_index(path)
+        q = rng.random(4)
+        for node in range(min(loaded.num_nodes, 10)):
+            assert loaded.node_dist_bounds(q, node) == pytest.approx(
+                tree.node_dist_bounds(q, node)
+            )
+
+    def test_depth_cut_preserved(self, tree, tmp_path):
+        path = tmp_path / "tree.npz"
+        save_index(tree, path)
+        loaded = load_index(path)
+        for depth in (0, 1, tree.max_depth):
+            assert np.array_equal(
+                loaded.nodes_at_depth(depth), tree.nodes_at_depth(depth)
+            )
+
+    def test_version_check(self, tree, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "tree.npz"
+        save_index(tree, path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["meta"] = np.array([99, 25, 0], dtype=np.int64)
+        np.savez_compressed(path, **data)
+        from repro.core.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            load_index(path)

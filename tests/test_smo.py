@@ -1,0 +1,176 @@
+"""Tests for the binary C-SVM SMO solver: feasibility, KKT, classification."""
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianKernel, PolynomialKernel
+from repro.core.errors import DataShapeError, InvalidParameterError
+from repro.svm.smo import solve_binary_svm
+
+
+def separable_blobs(rng, n=120, gap=2.0):
+    pos = rng.standard_normal((n // 2, 2)) * 0.3 + [gap, 0]
+    neg = rng.standard_normal((n // 2, 2)) * 0.3 + [-gap, 0]
+    X = np.vstack([pos, neg])
+    y = np.array([1.0] * (n // 2) + [-1.0] * (n // 2))
+    perm = rng.permutation(n)
+    return X[perm], y[perm]
+
+
+def decision(X, y, alpha, rho, kernel, queries):
+    coef = alpha * y
+    return np.array(
+        [float(coef @ kernel.pairwise(q, X)) - rho for q in np.atleast_2d(queries)]
+    )
+
+
+class TestFeasibility:
+    def test_box_and_equality_constraints(self, rng):
+        X, y = separable_blobs(rng)
+        kernel = GaussianKernel(0.5)
+        sol = solve_binary_svm(X, y, kernel, C=1.0)
+        assert np.all(sol.alpha >= -1e-12)
+        assert np.all(sol.alpha <= 1.0 + 1e-12)
+        assert float(y @ sol.alpha) == pytest.approx(0.0, abs=1e-9)
+        assert sol.converged
+
+    def test_some_support_vectors_exist(self, rng):
+        X, y = separable_blobs(rng)
+        sol = solve_binary_svm(X, y, GaussianKernel(0.5), C=1.0)
+        assert sol.support_mask().sum() >= 2
+
+
+class TestKKT:
+    def test_margin_conditions(self, rng):
+        """Free SVs sit on the margin; others respect the inequalities."""
+        X, y = separable_blobs(rng, gap=1.2)
+        kernel = GaussianKernel(0.5)
+        C = 1.0
+        sol = solve_binary_svm(X, y, kernel, C=C, tol=1e-4)
+        f = decision(X, y, sol.alpha, sol.rho, kernel, X)
+        margins = y * f
+        free = (sol.alpha > 1e-6) & (sol.alpha < C - 1e-6)
+        if free.any():
+            assert np.allclose(margins[free], 1.0, atol=5e-3)
+        at_zero = sol.alpha <= 1e-6
+        assert np.all(margins[at_zero] >= 1.0 - 5e-3)
+        at_C = sol.alpha >= C - 1e-6
+        assert np.all(margins[at_C] <= 1.0 + 5e-3)
+
+
+class TestClassification:
+    def test_separable_data_perfectly_classified(self, rng):
+        X, y = separable_blobs(rng)
+        kernel = GaussianKernel(0.5)
+        sol = solve_binary_svm(X, y, kernel, C=10.0)
+        preds = np.sign(decision(X, y, sol.alpha, sol.rho, kernel, X))
+        assert np.mean(preds == y) == 1.0
+
+    def test_polynomial_kernel_training(self, rng):
+        X, y = separable_blobs(rng)
+        X = X / 3.0  # keep dot products tame for degree-3
+        kernel = PolynomialKernel(gamma=1.0, coef0=1.0, degree=3)
+        sol = solve_binary_svm(X, y, kernel, C=5.0)
+        preds = np.sign(decision(X, y, sol.alpha, sol.rho, kernel, X))
+        assert np.mean(preds == y) >= 0.95
+
+    def test_xor_needs_nonlinear_kernel(self, rng):
+        """Gaussian SVM solves XOR — a sanity check that the dual solver
+        really optimises the kernelised objective."""
+        n = 200
+        X = rng.uniform(-1, 1, (n, 2))
+        y = np.where(X[:, 0] * X[:, 1] > 0, 1.0, -1.0)
+        kernel = GaussianKernel(4.0)
+        sol = solve_binary_svm(X, y, kernel, C=10.0)
+        preds = np.sign(decision(X, y, sol.alpha, sol.rho, kernel, X))
+        assert np.mean(preds == y) >= 0.97
+
+
+class TestValidation:
+    def test_label_values_checked(self, rng):
+        X = rng.random((10, 2))
+        with pytest.raises(InvalidParameterError):
+            solve_binary_svm(X, np.zeros(10), GaussianKernel(1.0))
+
+    def test_single_class_rejected(self, rng):
+        X = rng.random((10, 2))
+        with pytest.raises(InvalidParameterError):
+            solve_binary_svm(X, np.ones(10), GaussianKernel(1.0))
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(DataShapeError):
+            solve_binary_svm(rng.random((10, 2)), np.ones(5), GaussianKernel(1.0))
+
+    def test_nonpositive_C(self, rng):
+        X, y = separable_blobs(rng, n=20)
+        with pytest.raises(InvalidParameterError):
+            solve_binary_svm(X, y, GaussianKernel(1.0), C=0.0)
+
+    def test_max_iter_respected(self, rng):
+        X, y = separable_blobs(rng, gap=0.1)
+        sol = solve_binary_svm(X, y, GaussianKernel(1.0), C=1.0, max_iter=3)
+        assert sol.iterations <= 3
+
+
+class TestGramCacheFallback:
+    def test_large_n_row_cache_path(self, rng):
+        """n above the dense limit exercises the row-cache branch."""
+        from repro.svm.smo import _GramCache
+
+        X = rng.random((50, 3))
+        kernel = GaussianKernel(1.0)
+        dense = _GramCache(kernel, X, dense_limit=100)
+        sparse = _GramCache(kernel, X, dense_limit=10, max_rows=4)
+        for i in (0, 7, 21, 7, 49):
+            assert np.allclose(dense.row(i), sparse.row(i))
+        assert np.allclose(dense.diag(), sparse.diag())
+
+
+class TestShrinking:
+    def _overlapping_problem(self, rng, n=900):
+        pos = rng.standard_normal((n // 2, 3)) * 0.6 + 0.3
+        neg = rng.standard_normal((n // 2, 3)) * 0.6 - 0.3
+        X = np.vstack([pos, neg])
+        y = np.array([1.0] * (n // 2) + [-1.0] * (n // 2))
+        perm = rng.permutation(n)
+        return X[perm], y[perm]
+
+    def test_same_solution_as_unshrunk(self, rng):
+        X, y = self._overlapping_problem(rng)
+        kernel = GaussianKernel(1.0)
+        plain = solve_binary_svm(X, y, kernel, C=0.5, tol=1e-3)
+        shrunk = solve_binary_svm(X, y, kernel, C=0.5, tol=1e-3, shrinking=True)
+        assert shrunk.converged
+        # identical decision behaviour (dual solutions may differ slightly
+        # within tolerance; decisions must agree)
+        f_plain = decision(X, y, plain.alpha, plain.rho, kernel, X[:100])
+        f_shrunk = decision(X, y, shrunk.alpha, shrunk.rho, kernel, X[:100])
+        agree = np.mean(np.sign(f_plain) == np.sign(f_shrunk))
+        assert agree >= 0.98
+
+    def test_shrunk_solution_satisfies_global_kkt(self, rng):
+        from repro.svm.smo import _GramCache, _full_gradient, _max_violation
+
+        X, y = self._overlapping_problem(rng)
+        kernel = GaussianKernel(1.0)
+        C = 0.5
+        sol = solve_binary_svm(X, y, kernel, C=C, tol=1e-3, shrinking=True)
+        gram = _GramCache(kernel, X)
+        grad = _full_gradient(sol.alpha, y, gram, len(y))
+        violation, _, _ = _max_violation(sol.alpha, grad, y, C)
+        assert violation < 1e-3 + 1e-6
+
+    def test_feasibility_maintained(self, rng):
+        X, y = self._overlapping_problem(rng, n=600)
+        sol = solve_binary_svm(X, y, GaussianKernel(1.0), C=0.3,
+                               tol=1e-3, shrinking=True)
+        assert np.all(sol.alpha >= -1e-12)
+        assert np.all(sol.alpha <= 0.3 + 1e-12)
+        assert float(y @ sol.alpha) == pytest.approx(0.0, abs=1e-9)
+
+    def test_small_problems_bypass_shrinking(self, rng):
+        X, y = separable_blobs(rng, n=60)
+        a = solve_binary_svm(X, y, GaussianKernel(0.5), C=1.0)
+        b = solve_binary_svm(X, y, GaussianKernel(0.5), C=1.0, shrinking=True)
+        assert np.allclose(a.alpha, b.alpha)
+        assert a.rho == pytest.approx(b.rho)

@@ -1,0 +1,128 @@
+"""Tests for the streaming (main + buffer) aggregator extension."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ScanEvaluator
+from repro.core import GaussianKernel
+from repro.core.errors import InvalidParameterError
+from repro.core.streaming import StreamingAggregator
+
+
+@pytest.fixture
+def kernel():
+    return GaussianKernel(6.0)
+
+
+def reference(points, weights, kernel):
+    return ScanEvaluator(np.asarray(points), kernel, np.asarray(weights))
+
+
+class TestInsertAndRebuild:
+    def test_empty_then_insert(self, kernel, rng):
+        sa = StreamingAggregator(kernel, min_buffer=10_000)
+        pts = rng.random((50, 3))
+        sa.insert(pts)
+        assert sa.n == 50
+        assert sa.rebuilds == 0  # still buffered
+
+    def test_rebuild_threshold(self, kernel, rng):
+        sa = StreamingAggregator(kernel, min_buffer=64, rebuild_fraction=0.25)
+        sa.insert(rng.random((300, 3)))
+        sa.rebuild()
+        assert sa.rebuilds >= 1
+        base = sa._agg.tree.n
+        # small trickle stays buffered...
+        sa.insert(rng.random((10, 3)))
+        assert len(sa._buf_points) == 10
+        # ...but a large batch forces a merge
+        sa.insert(rng.random((200, 3)))
+        assert len(sa._buf_points) == 0
+        assert sa.n == base + 210
+
+    def test_dimension_mismatch(self, kernel, rng):
+        sa = StreamingAggregator(kernel)
+        sa.insert(rng.random((10, 3)))
+        with pytest.raises(InvalidParameterError):
+            sa.insert(rng.random((5, 4)))
+
+    def test_invalid_rebuild_fraction(self, kernel):
+        with pytest.raises(InvalidParameterError):
+            StreamingAggregator(kernel, rebuild_fraction=0.0)
+
+
+class TestExactness:
+    def test_exact_across_lifecycle(self, kernel, rng):
+        """F(q) stays exact through inserts, rebuilds, and buffering."""
+        sa = StreamingAggregator(kernel, min_buffer=50, rebuild_fraction=0.2)
+        all_pts: list = []
+        all_wts: list = []
+        q = rng.random(3)
+        for batch in range(6):
+            pts = rng.random((40 + 30 * batch, 3))
+            wts = rng.random(pts.shape[0])
+            sa.insert(pts, wts)
+            all_pts.extend(pts)
+            all_wts.extend(wts)
+            ref = reference(all_pts, all_wts, kernel)
+            assert sa.exact(q) == pytest.approx(ref.exact(q), rel=1e-9)
+        assert sa.rebuilds >= 1
+
+    def test_scalar_weight_insert(self, kernel, rng):
+        sa = StreamingAggregator(kernel)
+        pts = rng.random((30, 2))
+        sa.insert(pts, 0.5)
+        ref = reference(pts, np.full(30, 0.5), kernel)
+        q = rng.random(2)
+        assert sa.exact(q) == pytest.approx(ref.exact(q), rel=1e-9)
+
+
+class TestQueries:
+    @pytest.fixture
+    def populated(self, kernel, rng):
+        sa = StreamingAggregator(kernel, min_buffer=64, rebuild_fraction=0.2)
+        pts = rng.random((1000, 3))
+        wts = rng.random(1000)
+        sa.insert(pts, wts)
+        sa.rebuild()
+        extra = rng.random((30, 3))
+        extra_w = rng.random(30)
+        sa.insert(extra, extra_w)  # stays buffered
+        assert len(sa._buf_points) == 30
+        ref = reference(
+            np.vstack([pts, extra]), np.concatenate([wts, extra_w]), kernel
+        )
+        return sa, ref
+
+    def test_tkaq_with_buffer(self, populated, rng):
+        sa, ref = populated
+        for q in rng.random((10, 3)):
+            f = ref.exact(q)
+            for tau in (f * 0.8, f * 1.2):
+                res = sa.tkaq(q, tau)
+                assert res.answer == (f > tau)
+                assert res.lower <= f + 1e-9
+                assert res.upper >= f - 1e-9
+
+    def test_ekaq_with_buffer(self, populated, rng):
+        sa, ref = populated
+        for q in rng.random((6, 3)):
+            f = ref.exact(q)
+            res = sa.ekaq(q, 0.15)
+            assert (1 - 0.15) * f - 1e-9 <= res.estimate <= (1 + 0.15) * f + 1e-9
+
+    def test_buffer_only_queries(self, kernel, rng):
+        sa = StreamingAggregator(kernel, min_buffer=10_000)
+        pts = rng.random((25, 3))
+        sa.insert(pts)
+        ref = reference(pts, np.ones(25), kernel)
+        q = rng.random(3)
+        f = ref.exact(q)
+        assert sa.tkaq(q, f - 0.1).answer
+        assert not sa.tkaq(q, f + 0.1).answer
+        assert sa.ekaq(q, 0.1).estimate == pytest.approx(f, rel=1e-9)
+
+    def test_stats_count_buffer(self, populated, rng):
+        sa, _ = populated
+        res = sa.tkaq(rng.random(3), 1e9)
+        assert res.stats.points_evaluated >= 30  # buffer always scanned

@@ -1,0 +1,92 @@
+"""Tests for the SVC estimator and its KAQ export used by KARL."""
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianKernel, KernelAggregator
+from repro.core.errors import NotFittedError
+from repro.index import KDTree
+from repro.svm import SVC
+
+
+@pytest.fixture
+def two_moons(rng):
+    """Interleaving half-circles — linearly inseparable."""
+    n = 150
+    t = rng.uniform(0, np.pi, n)
+    upper = np.stack([np.cos(t), np.sin(t)], axis=1)
+    lower = np.stack([1 - np.cos(t), -np.sin(t) + 0.3], axis=1)
+    X = np.vstack([upper, lower]) + 0.05 * rng.standard_normal((2 * n, 2))
+    y = np.array([1.0] * n + [-1.0] * n)
+    perm = rng.permutation(2 * n)
+    return X[perm], y[perm]
+
+
+class TestSVC:
+    def test_nonlinear_separation(self, two_moons):
+        X, y = two_moons
+        clf = SVC(C=5.0, kernel=GaussianKernel(2.0)).fit(X, y)
+        assert clf.score(X, y) >= 0.97
+
+    def test_default_kernel(self, two_moons):
+        X, y = two_moons
+        clf = SVC().fit(X, y)
+        assert clf.kernel.gamma == pytest.approx(0.5)
+
+    def test_dual_coef_signs_follow_labels(self, two_moons):
+        X, y = two_moons
+        clf = SVC(C=2.0, kernel=GaussianKernel(2.0)).fit(X, y)
+        # dual_coef = alpha * y: mixed signs because both classes have SVs
+        assert (clf.dual_coef_ > 0).any()
+        assert (clf.dual_coef_ < 0).any()
+
+    def test_predict_values(self, two_moons):
+        X, y = two_moons
+        clf = SVC(C=5.0, kernel=GaussianKernel(2.0)).fit(X, y)
+        preds = clf.predict(X[:10])
+        assert set(np.unique(preds)).issubset({-1, 1})
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            SVC().predict(np.zeros((1, 2)))
+
+    def test_n_support(self, two_moons):
+        X, y = two_moons
+        clf = SVC(C=2.0, kernel=GaussianKernel(2.0)).fit(X, y)
+        assert clf.n_support_ == clf.support_vectors_.shape[0]
+        assert clf.n_support_ >= 2
+
+
+class TestKAQExport:
+    def test_karl_prediction_equals_svc_prediction(self, two_moons):
+        """The whole point: TKAQ at tau = rho reproduces classification."""
+        X, y = two_moons
+        clf = SVC(C=5.0, kernel=GaussianKernel(2.0)).fit(X, y)
+        sv, w, tau = clf.to_kaq()
+        tree = KDTree(sv, weights=w, leaf_capacity=10)
+        agg = KernelAggregator(tree, clf.kernel)
+        direct = clf.decision_function(X[:60])
+        for q, f in zip(X[:60], direct):
+            if abs(f) < 1e-9:
+                continue  # sign ambiguous at machine precision
+            assert agg.tkaq(q, tau).answer == (f > 0)
+
+    def test_export_weights_match_dual(self, two_moons):
+        X, y = two_moons
+        clf = SVC(C=2.0, kernel=GaussianKernel(2.0)).fit(X, y)
+        sv, w, tau = clf.to_kaq()
+        assert np.allclose(w, clf.dual_coef_)
+        assert tau == pytest.approx(clf.rho_)
+        # export is a copy, not a view
+        w[0] = 1e9
+        assert clf.dual_coef_[0] != 1e9
+
+
+class TestShrinkingOption:
+    def test_shrinking_svc_agrees(self, two_moons):
+        X, y = two_moons
+        from repro.core import GaussianKernel
+
+        a = SVC(C=2.0, kernel=GaussianKernel(2.0)).fit(X, y)
+        b = SVC(C=2.0, kernel=GaussianKernel(2.0), shrinking=True).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))

@@ -1,0 +1,128 @@
+"""Tests for scaling, multiclass one-vs-one, and model selection helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianKernel
+from repro.core.errors import InvalidParameterError, NotFittedError
+from repro.svm import (
+    MinMaxScaler,
+    OneVsOneSVC,
+    select_one_class_nu,
+    select_svc_params,
+)
+
+
+class TestMinMaxScaler:
+    def test_unit_range(self, rng):
+        X = rng.standard_normal((100, 4)) * 7 + 3
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.allclose(Z.min(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(Z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_symmetric_range(self, rng):
+        X = rng.standard_normal((100, 4))
+        Z = MinMaxScaler((-1.0, 1.0)).fit_transform(X)
+        assert np.allclose(Z.min(axis=0), -1.0, atol=1e-12)
+        assert np.allclose(Z.max(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_feature_maps_to_midpoint(self, rng):
+        X = rng.random((50, 2))
+        X[:, 1] = 4.2
+        Z = MinMaxScaler((0.0, 1.0)).fit_transform(X)
+        assert np.allclose(Z[:, 1], 0.5)
+
+    def test_inverse_round_trip(self, rng):
+        X = rng.standard_normal((60, 3)) * 2 + 1
+        scaler = MinMaxScaler((-1.0, 1.0)).fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+    def test_invalid_range(self):
+        with pytest.raises(InvalidParameterError):
+            MinMaxScaler((1.0, 1.0))
+
+
+class TestOneVsOne:
+    @pytest.fixture
+    def three_blobs(self, rng):
+        centers = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 3.0]])
+        X = np.vstack(
+            [c + 0.3 * rng.standard_normal((60, 2)) for c in centers]
+        )
+        y = np.repeat([0, 1, 2], 60)
+        perm = rng.permutation(180)
+        return X[perm], y[perm]
+
+    def test_three_class_accuracy(self, three_blobs):
+        X, y = three_blobs
+        clf = OneVsOneSVC(C=5.0, kernel=GaussianKernel(1.0)).fit(X, y)
+        assert clf.score(X, y) >= 0.97
+
+    def test_pairwise_estimator_count(self, three_blobs):
+        X, y = three_blobs
+        clf = OneVsOneSVC(C=1.0, kernel=GaussianKernel(1.0)).fit(X, y)
+        assert len(clf.estimators_) == 3  # C(3,2)
+
+    def test_predicts_known_classes(self, three_blobs):
+        X, y = three_blobs
+        clf = OneVsOneSVC(C=1.0, kernel=GaussianKernel(1.0)).fit(X, y)
+        assert set(np.unique(clf.predict(X))).issubset(set(np.unique(y)))
+
+    def test_single_class_rejected(self, rng):
+        with pytest.raises(InvalidParameterError):
+            OneVsOneSVC().fit(rng.random((10, 2)), np.zeros(10))
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            OneVsOneSVC().predict(np.zeros((1, 2)))
+
+
+class TestModelSelection:
+    def test_one_class_nu_selection(self, rng):
+        train = rng.standard_normal((200, 2)) * 0.2 + 0.5
+        inliers = rng.standard_normal((50, 2)) * 0.2 + 0.5
+        outliers = rng.uniform(3.0, 5.0, (50, 2))
+        model, score = select_one_class_nu(
+            train, inliers, outliers, kernel=GaussianKernel(2.0), nus=(0.05, 0.3)
+        )
+        assert score > 0.7
+        assert model.nu in (0.05, 0.3)
+
+    def test_one_class_empty_grid(self, rng):
+        with pytest.raises(InvalidParameterError):
+            select_one_class_nu(rng.random((10, 2)), None, None, nus=())
+
+    def test_svc_grid_selection(self, rng):
+        pos = rng.standard_normal((60, 2)) * 0.3 + [1.5, 0]
+        neg = rng.standard_normal((60, 2)) * 0.3 + [-1.5, 0]
+        X = np.vstack([pos, neg])
+        y = np.array([1.0] * 60 + [-1.0] * 60)
+        model, acc = select_svc_params(
+            X[:80], y[:80], X[80:], y[80:], Cs=(1.0,), gammas=(0.5, 2.0)
+        )
+        assert acc >= 0.9
+        assert model.kernel.gamma in (0.5, 2.0)
+
+
+class TestAcceleratedOneVsOne:
+    def test_agrees_with_exact_predictor(self, rng):
+        centers = np.array([[0.0, 0.0], [2.5, 0.0], [0.0, 2.5]])
+        X = np.vstack([c + 0.3 * rng.standard_normal((50, 2)) for c in centers])
+        y = np.repeat([0, 1, 2], 50)
+        perm = rng.permutation(150)
+        X, y = X[perm], y[perm]
+        clf = OneVsOneSVC(C=3.0, kernel=GaussianKernel(1.0)).fit(X, y)
+        fast = clf.accelerate(leaf_capacity=10)
+        queries = X[:60]
+        assert np.array_equal(fast.predict(queries), clf.predict(queries))
+        assert fast.score(X, y) == pytest.approx(clf.score(X, y))
+
+    def test_unfitted_accelerate(self):
+        from repro.core.errors import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            OneVsOneSVC().accelerate()

@@ -1,0 +1,175 @@
+"""Tests for offline grid tuning and the in-situ online tuner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ScanEvaluator
+from repro.core import GaussianKernel, OfflineTuner, OnlineTuner
+from repro.core.errors import InvalidParameterError
+from repro.core.tuning import make_query_runner
+
+
+@pytest.fixture
+def small_problem(rng):
+    centers = rng.random((4, 3))
+    pts = np.clip(
+        centers[rng.integers(0, 4, 3000)] + 0.05 * rng.standard_normal((3000, 3)),
+        0, 1,
+    )
+    kernel = GaussianKernel(15.0)
+    queries = pts[rng.choice(3000, 40, replace=False)]
+    scan = ScanEvaluator(pts, kernel)
+    tau = float(scan.exact_many(queries).mean())
+    return pts, kernel, queries, tau, scan
+
+
+class TestQueryRunner:
+    def test_tkaq_runner(self, small_problem):
+        pts, kernel, queries, tau, scan = small_problem
+        runner = make_query_runner("tkaq", tau)
+        assert runner(scan, queries[0]) == (scan.exact(queries[0]) > tau)
+
+    def test_ekaq_runner(self, small_problem):
+        pts, kernel, queries, tau, scan = small_problem
+        runner = make_query_runner("ekaq", 0.2)
+        est = runner(scan, queries[0])
+        assert est == pytest.approx(scan.exact(queries[0]))
+
+    def test_invalid_type(self):
+        with pytest.raises(InvalidParameterError):
+            make_query_runner("range", 1.0)
+
+
+class TestOfflineTuner:
+    def test_reports_full_grid(self, small_problem):
+        pts, kernel, queries, tau, _ = small_problem
+        tuner = OfflineTuner(
+            kernel, kinds=("kd", "ball"), leaf_capacities=(40, 160),
+            sample_size=10, rng=0,
+        )
+        agg, report = tuner.tune(pts, None, queries, "tkaq", tau)
+        assert len(report.candidates) == 4
+        kinds = {(c.kind, c.leaf_capacity) for c in report.candidates}
+        assert kinds == {("kd", 40), ("kd", 160), ("ball", 40), ("ball", 160)}
+
+    def test_best_worst_ordering(self, small_problem):
+        pts, kernel, queries, tau, _ = small_problem
+        tuner = OfflineTuner(
+            kernel, kinds=("kd",), leaf_capacities=(20, 320), sample_size=10, rng=0
+        )
+        _, report = tuner.tune(pts, None, queries, "tkaq", tau)
+        assert report.best.throughput >= report.worst.throughput
+
+    def test_returned_aggregator_matches_best(self, small_problem):
+        pts, kernel, queries, tau, _ = small_problem
+        tuner = OfflineTuner(
+            kernel, kinds=("kd", "ball"), leaf_capacities=(40,),
+            sample_size=10, rng=0,
+        )
+        agg, report = tuner.tune(pts, None, queries, "tkaq", tau)
+        assert agg.tree.kind == report.best.kind
+        assert agg.tree.leaf_capacity == report.best.leaf_capacity
+
+    def test_answers_are_correct(self, small_problem):
+        pts, kernel, queries, tau, scan = small_problem
+        tuner = OfflineTuner(
+            kernel, kinds=("kd",), leaf_capacities=(40,), sample_size=5, rng=0
+        )
+        agg, _ = tuner.tune(pts, None, queries, "tkaq", tau)
+        exact = scan.exact_many(queries)
+        for q, f in zip(queries, exact):
+            assert agg.tkaq(q, tau).answer == (f > tau)
+
+    def test_sample_capped_at_pool(self, small_problem):
+        pts, kernel, queries, tau, _ = small_problem
+        tuner = OfflineTuner(
+            kernel, kinds=("kd",), leaf_capacities=(80,), sample_size=10_000, rng=0
+        )
+        # must not raise even though sample_size > |queries|
+        tuner.tune(pts, None, queries, "tkaq", tau)
+
+
+class TestOnlineTuner:
+    def test_all_queries_answered_correctly(self, small_problem):
+        pts, kernel, queries, tau, scan = small_problem
+        tuner = OnlineTuner(kernel, sample_fraction=0.2, num_candidate_depths=4)
+        report = tuner.run(pts, None, queries, "tkaq", tau)
+        exact = scan.exact_many(queries)
+        assert len(report.answers) == len(queries)
+        for ans, f in zip(report.answers, exact):
+            assert ans == (f > tau)
+
+    def test_timing_fields_positive(self, small_problem):
+        pts, kernel, queries, tau, _ = small_problem
+        tuner = OnlineTuner(kernel, sample_fraction=0.2, num_candidate_depths=3)
+        report = tuner.run(pts, None, queries, "tkaq", tau)
+        assert report.build_seconds > 0
+        assert report.tune_seconds > 0
+        assert report.total_seconds >= report.build_seconds
+        assert report.throughput > 0
+
+    def test_best_depth_within_tree(self, small_problem):
+        pts, kernel, queries, tau, _ = small_problem
+        tuner = OnlineTuner(kernel, sample_fraction=0.3, num_candidate_depths=5)
+        report = tuner.run(pts, None, queries, "tkaq", tau)
+        assert 0 <= report.best_depth
+        assert report.best_depth in report.depth_throughputs
+
+    def test_candidate_depths_are_subset(self, small_problem):
+        pts, kernel, queries, tau, _ = small_problem
+        tuner = OnlineTuner(kernel, num_candidate_depths=4)
+        depths = tuner._candidate_depths(20)
+        assert len(depths) <= 4 + 1
+        assert all(0 <= dd <= 20 for dd in depths)
+        assert depths == sorted(depths)
+
+    def test_small_tree_uses_all_depths(self, small_problem):
+        pts, kernel, queries, tau, _ = small_problem
+        tuner = OnlineTuner(kernel, num_candidate_depths=10)
+        assert tuner._candidate_depths(3) == [0, 1, 2, 3]
+
+    def test_invalid_sample_fraction(self):
+        with pytest.raises(InvalidParameterError):
+            OnlineTuner(GaussianKernel(1.0), sample_fraction=0.0)
+        with pytest.raises(InvalidParameterError):
+            OnlineTuner(GaussianKernel(1.0), sample_fraction=1.5)
+
+    def test_ekaq_workload(self, small_problem):
+        pts, kernel, queries, tau, scan = small_problem
+        tuner = OnlineTuner(kernel, sample_fraction=0.2, num_candidate_depths=3)
+        report = tuner.run(pts, None, queries, "ekaq", 0.3)
+        exact = scan.exact_many(queries)
+        for est, f in zip(report.answers, exact):
+            assert (1 - 0.3) * f - 1e-9 <= est <= (1 + 0.3) * f + 1e-9
+
+
+class TestTunersWithWeights:
+    def test_offline_tuner_type3_weights(self, rng):
+        pts = rng.random((1500, 3))
+        w = rng.standard_normal(1500)
+        kernel = GaussianKernel(8.0)
+        queries = pts[rng.choice(1500, 20, replace=False)]
+        from repro.baselines import ScanEvaluator
+
+        scan = ScanEvaluator(pts, kernel, w)
+        exact = scan.exact_many(queries)
+        tau = float(exact.mean())
+        tuner = OfflineTuner(kernel, kinds=("kd",), leaf_capacities=(40,),
+                             sample_size=5, rng=0)
+        agg, _ = tuner.tune(pts, w, queries, "tkaq", tau)
+        for q, f in zip(queries, exact):
+            assert agg.tkaq(q, tau).answer == (f > tau)
+
+    def test_online_tuner_type2_weights(self, rng):
+        pts = rng.random((1500, 3))
+        w = rng.random(1500)
+        kernel = GaussianKernel(8.0)
+        queries = pts[rng.choice(1500, 20, replace=False)]
+        from repro.baselines import ScanEvaluator
+
+        scan = ScanEvaluator(pts, kernel, w)
+        exact = scan.exact_many(queries)
+        tau = float(exact.mean())
+        tuner = OnlineTuner(kernel, sample_fraction=0.2, num_candidate_depths=3)
+        report = tuner.run(pts, w, queries, "tkaq", tau)
+        assert report.answers == [f > tau for f in exact]
