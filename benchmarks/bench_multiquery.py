@@ -1,0 +1,132 @@
+"""Query-major batch evaluation vs the per-query loop and the dual tree.
+
+The :class:`MultiQueryAggregator` answers a whole TKAQ/eKAQ batch in
+level-synchronous numpy rounds — one (queries x frontier) bound matrix per
+round — instead of running the per-query refinement loop once per query.
+This benchmark measures queries/sec for both backends and for the
+dual-tree eKAQ baseline on the paper's Table 7 Type I (kernel density,
+Gaussian) workloads, across batch sizes 10 / 100 / 1000 / 10000.
+
+Expected shape: the loop backend has flat per-query throughput, so its
+queries/sec is batch-size independent; the query-major backend amortises
+every bound round across the whole batch and pulls ahead as the batch
+grows.  The acceptance gate is >= 5x over the loop backend at batch 1000.
+
+Set ``REPRO_MQ_BATCHES`` (comma-separated) to override the batch sizes,
+e.g. ``REPRO_MQ_BATCHES=10,50`` for a CI smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from conftest import get_workload, run_once
+from repro.bench import emit, render_table
+from repro.core import KernelAggregator
+from repro.core.dualtree import DualTreeEvaluator
+from repro.index import KDTree
+
+DATASETS = ("home", "miniboone")
+BATCHES = tuple(
+    int(b) for b in os.environ.get("REPRO_MQ_BATCHES", "10,100,1000,10000").split(",")
+)
+EPS = 0.2
+#: the loop backend is timed on at most this many queries (its throughput
+#: is per-query, hence batch-size independent) to keep the benchmark fast
+LOOP_CAP = 200
+#: eKAQ estimates are cross-checked against exact aggregates on at most
+#: this many queries per batch
+EXACT_CAP = 100
+
+
+def _seconds(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+def _query_batch(wl, batch, rng):
+    """Draw a query batch from the data distribution (paper Section V-A)."""
+    idx = rng.integers(0, wl.n, batch)
+    jitter = 0.01 * wl.points.std(axis=0) * rng.standard_normal((batch, wl.d))
+    return wl.points[idx] + jitter
+
+
+def build_multiquery_bench():
+    rng = np.random.default_rng(42)
+    rows = []
+    for name in DATASETS:
+        wl = get_workload(name)
+        tree = KDTree(wl.points, weights=wl.weights, leaf_capacity=40)
+        agg = KernelAggregator(tree, wl.kernel)
+        dual = DualTreeEvaluator(tree, wl.kernel)
+
+        for batch in BATCHES:
+            queries = _query_batch(wl, batch, rng)
+            sub = queries[: min(batch, LOOP_CAP)]
+
+            loop_ans, loop_s = _seconds(
+                lambda: agg.tkaq_many(sub, wl.tau, backend="loop")
+            )
+            loop_qps = len(sub) / loop_s
+            mq_ans, mq_s = _seconds(
+                lambda: agg.tkaq_many(queries, wl.tau, backend="multiquery")
+            )
+            mq_qps = batch / mq_s
+            # answers must agree bitwise wherever both backends ran
+            assert np.array_equal(mq_ans[: len(sub)], loop_ans), (name, batch)
+
+            eloop_est, eloop_s = _seconds(
+                lambda: agg.ekaq_many(sub, EPS, backend="loop")
+            )
+            eloop_qps = len(sub) / eloop_s
+            emq, emq_s = _seconds(
+                lambda: agg.ekaq_many_results(queries, EPS, backend="multiquery")
+            )
+            emq_qps = batch / emq_s
+            # the eps contract certified by the bounds themselves ...
+            ok = (emq.upper <= (1.0 + EPS) * emq.lower + 1e-9) | np.isclose(
+                emq.lower, emq.upper
+            )
+            assert ok.all(), (name, batch)
+            # ... and spot-checked against exact aggregates
+            n_exact = min(batch, EXACT_CAP)
+            exact = np.array([agg.exact(q) for q in queries[:n_exact]])
+            assert np.all(
+                np.abs(emq.estimates[:n_exact] - exact) <= EPS * exact + 1e-9
+            ), (name, batch)
+
+            dual_est, dual_s = _seconds(lambda: dual.ekaq_many(queries, EPS))
+            dual_qps = batch / dual_s
+
+            rows.append([
+                name, wl.n, batch,
+                loop_qps, mq_qps, mq_qps / loop_qps,
+                eloop_qps, emq_qps, dual_qps,
+            ])
+    table = render_table(
+        f"Query-major batch evaluation, Type I Gaussian, eps={EPS} "
+        "(queries/sec; loop backend timed on a subsample)",
+        ["dataset", "n", "batch",
+         "TKAQ loop", "TKAQ multiquery", "speedup",
+         "eKAQ loop", "eKAQ multiquery", "eKAQ dual-tree"],
+        rows,
+    )
+    emit("multiquery_batch", table)
+    return rows
+
+
+def test_multiquery(benchmark):
+    rows = run_once(benchmark, build_multiquery_bench)
+    for row in rows:
+        batch, speedup = row[2], row[5]
+        if batch >= 1000:
+            # the query-major backend must earn its keep on large batches
+            assert speedup >= 5.0, row
+
+
+if __name__ == "__main__":
+    build_multiquery_bench()

@@ -28,12 +28,14 @@ from repro.baselines import ScanEvaluator
 from repro.core import (
     DEFAULT_LEAF_CAPACITIES,
     BatchKernelAggregator,
+    BatchQueryStats,
     BoundScheme,
     BoundTrace,
     DualTreeEvaluator,
     CauchyKernel,
     EpanechnikovKernel,
     DataShapeError,
+    EKAQBatchResult,
     EKAQResult,
     GaussianKernel,
     HybridBounds,
@@ -43,6 +45,7 @@ from repro.core import (
     Kernel,
     KernelAggregator,
     LaplacianKernel,
+    MultiQueryAggregator,
     NotFittedError,
     OfflineTuner,
     OfflineTuningReport,
@@ -53,6 +56,7 @@ from repro.core import (
     SigmoidKernel,
     SOTABounds,
     StreamingAggregator,
+    TKAQBatchResult,
     TKAQResult,
     kernel_from_name,
 )
@@ -96,6 +100,7 @@ __all__ = [
     "KernelAggregator",
     "StreamingAggregator",
     "BatchKernelAggregator",
+    "MultiQueryAggregator",
     "DualTreeEvaluator",
     "BoundScheme",
     "KARLBounds",
@@ -104,6 +109,9 @@ __all__ = [
     "QueryStats",
     "TKAQResult",
     "EKAQResult",
+    "BatchQueryStats",
+    "TKAQBatchResult",
+    "EKAQBatchResult",
     "BoundTrace",
     # kernels
     "Kernel",

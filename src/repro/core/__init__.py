@@ -3,6 +3,7 @@
 from repro.core.aggregator import KernelAggregator, resolve_scheme
 from repro.core.batch import BatchKernelAggregator
 from repro.core.dualtree import DualTreeEvaluator
+from repro.core.multiquery import MultiQueryAggregator
 from repro.core.bounds import (
     BoundScheme,
     HybridBounds,
@@ -36,7 +37,15 @@ from repro.core.profiles import (
     ScalarProfile,
     SigmoidProfile,
 )
-from repro.core.results import BoundTrace, EKAQResult, QueryStats, TKAQResult
+from repro.core.results import (
+    BatchQueryStats,
+    BoundTrace,
+    EKAQBatchResult,
+    EKAQResult,
+    QueryStats,
+    TKAQBatchResult,
+    TKAQResult,
+)
 from repro.core.streaming import StreamingAggregator
 from repro.core.tuning import (
     DEFAULT_LEAF_CAPACITIES,
@@ -50,6 +59,7 @@ __all__ = [
     "KernelAggregator",
     "StreamingAggregator",
     "BatchKernelAggregator",
+    "MultiQueryAggregator",
     "DualTreeEvaluator",
     "resolve_scheme",
     "BoundScheme",
@@ -78,6 +88,9 @@ __all__ = [
     "QueryStats",
     "TKAQResult",
     "EKAQResult",
+    "BatchQueryStats",
+    "TKAQBatchResult",
+    "EKAQBatchResult",
     "BoundTrace",
     "OfflineTuner",
     "OfflineTuningReport",

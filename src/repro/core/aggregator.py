@@ -20,15 +20,22 @@ in-situ online tuner (Section III-C) on the single fully-built tree.
 from __future__ import annotations
 
 import heapq
-import itertools
 from itertools import count
 
 import numpy as np
 
 from repro.core.bounds import BoundScheme, HybridBounds, KARLBounds, SOTABounds
-from repro.core.errors import InvalidParameterError, as_vector
+from repro.core.errors import DataShapeError, InvalidParameterError, as_matrix, as_vector
 from repro.core.kernels import Kernel
-from repro.core.results import BoundTrace, EKAQResult, QueryStats, TKAQResult
+from repro.core.results import (
+    BatchQueryStats,
+    BoundTrace,
+    EKAQBatchResult,
+    EKAQResult,
+    QueryStats,
+    TKAQBatchResult,
+    TKAQResult,
+)
 
 __all__ = ["KernelAggregator", "resolve_scheme"]
 
@@ -75,6 +82,7 @@ class KernelAggregator:
             raise InvalidParameterError(f"max_depth must be >= 0; got {max_depth}")
         self.max_depth = max_depth
         self._has_neg = tree.stats.has_negative
+        self._multiquery = None  # lazily-built batch backend (same config)
         # _pair_bounds relies on BFS sibling adjacency (right == left + 1)
         internal = tree.left >= 0
         if not np.all(tree.right[internal] == tree.left[internal] + 1):
@@ -97,7 +105,7 @@ class KernelAggregator:
 
     def exact_many(self, queries) -> np.ndarray:
         """Exact ``F_P(q)`` for each row of ``queries``."""
-        return np.array([self.exact(q) for q in np.atleast_2d(queries)])
+        return np.array([self.exact(q) for q in self._check_queries(queries)])
 
     # ------------------------------------------------------------------
     # node helpers
@@ -278,7 +286,7 @@ class KernelAggregator:
             raise InvalidParameterError(
                 f"max_iterations must be >= 0; got {max_iterations}"
             )
-        checks = itertools.count()
+        checks = count()
         rec = BoundTrace() if trace else None
         # stop() runs once before each pop, so the k-th check permits k-1 pops
         lb, ub, stats = self._refine(
@@ -290,14 +298,112 @@ class KernelAggregator:
             stats=stats, trace=rec,
         )
 
-    def tkaq_many(self, queries, tau: float) -> np.ndarray:
-        """Vector of TKAQ answers for each row of ``queries``."""
-        return np.array(
-            [self.tkaq(q, tau).answer for q in np.atleast_2d(queries)], dtype=bool
+    # ------------------------------------------------------------------
+    # batch queries
+    # ------------------------------------------------------------------
+
+    def _check_queries(self, queries) -> np.ndarray:
+        """Validate a query batch as an unambiguous ``(Q, d)`` matrix.
+
+        ``np.atleast_2d`` (the old behaviour) silently turned a 1-d array
+        of length ``d`` into one query *or* ``d`` one-dimensional queries
+        depending on the tree — ``as_matrix`` rejects the ambiguity.
+        """
+        Q = as_matrix(queries, name="queries")
+        if Q.shape[1] != self.tree.d:
+            raise DataShapeError(
+                f"queries have dimension {Q.shape[1]}, expected {self.tree.d}"
+            )
+        return Q
+
+    def _multiquery_backend(self, backend: str):
+        """Resolve the batch backend; ``None`` means the per-query loop."""
+        from repro.core.multiquery import MultiQueryAggregator
+
+        if backend == "loop":
+            return None
+        if backend not in ("auto", "multiquery"):
+            raise InvalidParameterError(
+                f"backend must be 'auto', 'multiquery', or 'loop'; got {backend!r}"
+            )
+        supported = MultiQueryAggregator.supports(self.kernel, self.scheme)
+        if not supported:
+            if backend == "multiquery":
+                raise InvalidParameterError(
+                    "multiquery backend requires a convex-decreasing distance "
+                    f"kernel and a matrix-capable scheme; got {self.kernel!r} "
+                    f"with scheme {self.scheme.name!r}"
+                )
+            return None
+        if self._multiquery is None:
+            self._multiquery = MultiQueryAggregator(
+                self.tree, self.kernel, self.scheme, max_depth=self.max_depth
+            )
+        return self._multiquery
+
+    def _loop_batch_stats(self, per_query) -> BatchQueryStats:
+        """Fold per-query ``QueryStats`` into one batch counter set."""
+        stats = BatchQueryStats(n_queries=len(per_query))
+        for st in per_query:
+            stats.rounds += st.iterations
+            stats.nodes_expanded += st.nodes_expanded
+            stats.leaves_evaluated += st.leaves_evaluated
+            stats.points_evaluated += st.points_evaluated
+            stats.bound_evaluations += 1 + 2 * st.nodes_expanded
+        return stats
+
+    def tkaq_many_results(self, queries, tau: float,
+                          backend: str = "auto") -> TKAQBatchResult:
+        """Per-query TKAQ answers with terminal ``lower``/``upper`` arrays.
+
+        ``backend="multiquery"`` runs the query-major vectorised evaluator
+        (:class:`~repro.core.multiquery.MultiQueryAggregator`),
+        ``"loop"`` the per-query heap loop, and ``"auto"`` (default) picks
+        multiquery whenever the kernel/scheme support it.  Answers are
+        identical across backends; terminal bounds may differ (both bracket
+        the exact aggregate) because the refinement schedules differ.
+        """
+        Q = self._check_queries(queries)
+        tau = float(tau)
+        impl = self._multiquery_backend(backend)
+        if impl is not None:
+            return impl.tkaq_many_results(Q, tau)
+        results = [self.tkaq(q, tau) for q in Q]
+        return TKAQBatchResult(
+            answers=np.array([r.answer for r in results], dtype=bool),
+            lower=np.array([r.lower for r in results]),
+            upper=np.array([r.upper for r in results]),
+            tau=tau,
+            stats=self._loop_batch_stats([r.stats for r in results]),
         )
 
-    def ekaq_many(self, queries, eps: float) -> np.ndarray:
-        """Vector of eKAQ estimates for each row of ``queries``."""
-        return np.array(
-            [self.ekaq(q, eps).estimate for q in np.atleast_2d(queries)]
+    def ekaq_many_results(self, queries, eps: float,
+                          backend: str = "auto") -> EKAQBatchResult:
+        """Per-query eKAQ estimates with terminal ``lower``/``upper`` arrays.
+
+        Same backend semantics as :meth:`tkaq_many_results`; every estimate
+        satisfies the ``(1 +- eps)`` contract regardless of backend.
+        """
+        Q = self._check_queries(queries)
+        eps = float(eps)
+        if eps < 0.0:
+            raise InvalidParameterError(f"eps must be >= 0; got {eps}")
+        impl = self._multiquery_backend(backend)
+        if impl is not None:
+            return impl.ekaq_many_results(Q, eps)
+        results = [self.ekaq(q, eps) for q in Q]
+        return EKAQBatchResult(
+            estimates=np.array([r.estimate for r in results]),
+            lower=np.array([r.lower for r in results]),
+            upper=np.array([r.upper for r in results]),
+            eps=eps,
+            stats=self._loop_batch_stats([r.stats for r in results]),
         )
+
+    def tkaq_many(self, queries, tau: float, backend: str = "auto") -> np.ndarray:
+        """Vector of TKAQ answers for each row of ``queries``."""
+        return self.tkaq_many_results(queries, tau, backend=backend).answers
+
+    def ekaq_many(self, queries, eps: float, backend: str = "auto") -> np.ndarray:
+        """Vector of eKAQ estimates for each row of ``queries``."""
+        return self.ekaq_many_results(queries, eps, backend=backend).estimates

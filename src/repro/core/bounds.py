@@ -34,6 +34,8 @@ yields a slightly looser — never an invalid — bound.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.linear import Line, chord, tangent
 from repro.core.profiles import ScalarProfile
 
@@ -283,6 +285,32 @@ class BoundScheme:
             return lb - nub, ub - nlb
         return lb, ub
 
+    # -- matrix (batched) evaluation -----------------------------------------
+
+    def part_bounds_matrix(self, profile, lo, hi, s0, s1):
+        """Array-shaped :meth:`part_bounds`: all inputs share one shape.
+
+        ``lo``/``hi``/``s0``/``s1`` are numpy arrays of identical shape
+        (typically ``(Q, nodes)`` — one entry per live (query, node) pair);
+        the return is an elementwise ``(lower, upper)`` array pair.  Only
+        defined for profiles that are convex and non-increasing on their
+        whole domain (``profile.convex_decreasing``) — exactly the shapes
+        whose chord/tangent envelopes vectorise without branch logic.
+        """
+        raise NotImplementedError
+
+    def node_bounds_matrix(self, profile, lo, hi, pos, neg=None):
+        """Array-shaped :meth:`node_bounds` (batched Type III P+/P- rule).
+
+        ``pos``/``neg`` are ``(S0, S1)`` array pairs matching ``lo``'s
+        shape; ``LB = LB+ - UB-``, ``UB = UB+ - LB-`` applied elementwise.
+        """
+        lb, ub = self.part_bounds_matrix(profile, lo, hi, pos[0], pos[1])
+        if neg is not None:
+            nlb, nub = self.part_bounds_matrix(profile, lo, hi, neg[0], neg[1])
+            return lb - nub, ub - nlb
+        return lb, ub
+
 
 class SOTABounds(BoundScheme):
     """Constant bounds of the state of the art ([15], [16]; Section II-B).
@@ -296,6 +324,10 @@ class SOTABounds(BoundScheme):
     def part_bounds(self, profile, lo, hi, s0, s1):
         gmin, gmax = profile.range_on(lo, hi)
         return s0 * gmin, s0 * gmax
+
+    def part_bounds_matrix(self, profile, lo, hi, s0, s1):
+        # convex-decreasing profile: range over [lo, hi] is [g(hi), g(lo)]
+        return s0 * profile.value(hi), s0 * profile.value(lo)
 
 
 class KARLBounds(BoundScheme):
@@ -341,6 +373,32 @@ class KARLBounds(BoundScheme):
         lower, upper = _s_shape_lines(profile, lo, hi, xbar, shape)
         return lower.aggregate(s0, s1), upper.aggregate(s0, s1)
 
+    def part_bounds_matrix(self, profile, lo, hi, s0, s1):
+        """Vectorised chord upper / tangent-at-mean lower (convex profiles).
+
+        Identical formulas to the scalar convex branch of
+        :meth:`part_bounds`, applied elementwise; degenerate intervals keep
+        slope 0 so the chord collapses to the constant ``s0 * g(lo)``, and
+        zero-mass parts are forced to exactly (0, 0) as in the scalar path.
+        """
+        span = hi - lo
+        glo = profile.value(lo)
+        slope = np.zeros_like(span)
+        wide = span > _DEGENERATE_SPAN
+        if wide.any():
+            slope[wide] = (profile.value(hi[wide]) - glo[wide]) / span[wide]
+        ub = glo * s0 + slope * (s1 - lo * s0)
+
+        safe_s0 = np.where(s0 > 0.0, s0, 1.0)
+        xbar = profile.clamp_tangent(np.clip(s1 / safe_s0, lo, hi))
+        lb = profile.value(xbar) * s0 + profile.deriv(xbar) * (s1 - xbar * s0)
+
+        empty = s0 <= 0.0
+        if empty.any():
+            lb[empty] = 0.0
+            ub[empty] = 0.0
+        return lb, ub
+
     def node_bounds(self, profile, lo, hi, pos, neg=None):
         """Type III fast path: S-shape tangencies are interval-only, so the
         positive and negative parts of a node share one envelope solve."""
@@ -382,3 +440,8 @@ class HybridBounds(BoundScheme):
         klb, kub = self._karl.part_bounds(profile, lo, hi, s0, s1)
         slb, sub = self._sota.part_bounds(profile, lo, hi, s0, s1)
         return max(klb, slb), min(kub, sub)
+
+    def part_bounds_matrix(self, profile, lo, hi, s0, s1):
+        klb, kub = self._karl.part_bounds_matrix(profile, lo, hi, s0, s1)
+        slb, sub = self._sota.part_bounds_matrix(profile, lo, hi, s0, s1)
+        return np.maximum(klb, slb), np.minimum(kub, sub)

@@ -4,7 +4,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["QueryStats", "TKAQResult", "EKAQResult", "BoundTrace"]
+__all__ = [
+    "QueryStats",
+    "TKAQResult",
+    "EKAQResult",
+    "BoundTrace",
+    "BatchQueryStats",
+    "TKAQBatchResult",
+    "EKAQBatchResult",
+]
 
 
 @dataclass
@@ -55,6 +63,71 @@ class TKAQResult:
 
     def __bool__(self) -> bool:
         return self.answer
+
+
+@dataclass
+class BatchQueryStats:
+    """Aggregate work counters for a multi-query (batch) evaluation.
+
+    One evaluation answers a whole query batch; counters are totals over
+    the batch.  The per-round lists expose the query-major schedule of the
+    multiquery backend: ``frontier_sizes[r]`` is the shared frontier width
+    entering round ``r``, ``active_counts[r]`` the number of not-yet
+    certified queries, and ``retired_per_round[r]`` how many queries were
+    certified (and dropped from the active set) during that round.  The
+    loop backend fills only the totals (rounds = summed heap pops).
+    """
+
+    n_queries: int = 0
+    rounds: int = 0
+    nodes_expanded: int = 0
+    leaves_evaluated: int = 0
+    #: query-weighted: a leaf of k points evaluated for m active queries
+    #: adds m*k (comparable to per-query ``QueryStats.points_evaluated``
+    #: summed over the batch)
+    points_evaluated: int = 0
+    #: number of (query, node) bound pairs computed in fused array ops
+    bound_evaluations: int = 0
+    frontier_sizes: list[int] = field(default_factory=list)
+    active_counts: list[int] = field(default_factory=list)
+    retired_per_round: list[int] = field(default_factory=list)
+
+
+@dataclass
+class TKAQBatchResult:
+    """Per-query answers and terminal bounds for a TKAQ batch.
+
+    ``answers[i]`` is the truth value of ``F_P(q_i) > tau``;
+    ``lower[i]``/``upper[i]`` bracket ``F_P(q_i)`` at the moment query
+    ``i`` was certified (or refined to exhaustion).
+    """
+
+    answers: "np.ndarray"  # (Q,) bool
+    lower: "np.ndarray"    # (Q,) float64
+    upper: "np.ndarray"    # (Q,) float64
+    tau: float
+    stats: BatchQueryStats | None = None
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+
+@dataclass
+class EKAQBatchResult:
+    """Per-query estimates and terminal bounds for an eKAQ batch.
+
+    Each ``estimates[i]`` satisfies the ``(1 +- eps)`` contract whenever
+    its terminal lower bound is positive (always for Type I/II weights).
+    """
+
+    estimates: "np.ndarray"  # (Q,) float64
+    lower: "np.ndarray"      # (Q,) float64
+    upper: "np.ndarray"      # (Q,) float64
+    eps: float
+    stats: BatchQueryStats | None = None
+
+    def __len__(self) -> int:
+        return len(self.estimates)
 
 
 @dataclass

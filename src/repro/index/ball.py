@@ -20,8 +20,10 @@ __all__ = [
     "ball_mindist_sq",
     "ball_maxdist_sq",
     "ball_dist_bounds_many",
+    "ball_dist_bounds_qm",
     "ball_ip_bounds",
     "ball_ip_bounds_many",
+    "ball_ip_bounds_qm",
 ]
 
 
@@ -62,6 +64,25 @@ def ball_dist_bounds_many(
     return near * near, far * far
 
 
+def ball_dist_bounds_qm(
+    Q: np.ndarray, centers: np.ndarray, radii: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(mindist_sq, maxdist_sq)`` for every (query, ball) pair: ``(Q, m)``.
+
+    Uses the Gram identity ``||q - c||^2 = ||q||^2 - 2 q.c + ||c||^2`` so
+    the whole pair grid costs one matmul instead of a ``(Q, m, d)``
+    broadcast.
+    """
+    qq = np.einsum("ij,ij->i", Q, Q)
+    cc = np.einsum("ij,ij->i", centers, centers)
+    d2 = qq[:, None] - 2.0 * (Q @ centers.T) + cc[None, :]
+    np.maximum(d2, 0.0, out=d2)
+    dist = np.sqrt(d2)
+    near = np.maximum(dist - radii[None, :], 0.0)
+    far = dist + radii[None, :]
+    return near * near, far * far
+
+
 def ball_ip_bounds(
     q: np.ndarray, center: np.ndarray, radius: float
 ) -> tuple[float, float]:
@@ -77,4 +98,14 @@ def ball_ip_bounds_many(
     """Vectorised :func:`ball_ip_bounds` for ``(m, d)`` centers."""
     mid = centers @ q
     spread = float(np.linalg.norm(q)) * radii
+    return mid - spread, mid + spread
+
+
+def ball_ip_bounds_qm(
+    Q: np.ndarray, centers: np.ndarray, radii: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(min, max)`` inner product for every (query, ball) pair: ``(Q, m)``."""
+    mid = Q @ centers.T
+    norms = np.sqrt(np.einsum("ij,ij->i", Q, Q))
+    spread = norms[:, None] * radii[None, :]
     return mid - spread, mid + spread

@@ -28,16 +28,20 @@ from repro.core.errors import InvalidParameterError, as_matrix
 from repro.index.ball import bounding_ball
 from repro.index.rectangle import (
     ip_bounds_many,
+    ip_bounds_qm,
     ip_max,
     ip_min,
     maxdist_sq,
     mindist_sq,
     rect_dist_bounds_many,
+    rect_dist_bounds_qm,
 )
 from repro.index.ball import (
     ball_dist_bounds_many,
+    ball_dist_bounds_qm,
     ball_ip_bounds,
     ball_ip_bounds_many,
+    ball_ip_bounds_qm,
     ball_maxdist_sq,
     ball_mindist_sq,
 )
@@ -186,6 +190,22 @@ class SpatialIndex:
         """``(min, max)`` inner product between ``q`` and node's geometry."""
         raise NotImplementedError
 
+    def nodes_dist_bounds_qm(
+        self, Q: np.ndarray, nodes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(mindist^2, maxdist^2)`` for every (query row, node) pair.
+
+        Returns two ``(len(Q), len(nodes))`` matrices — the geometry kernel
+        of the multi-query evaluator's fused bound rounds.
+        """
+        raise NotImplementedError
+
+    def nodes_ip_bounds_qm(
+        self, Q: np.ndarray, nodes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(min, max)`` inner product for every (query row, node) pair."""
+        raise NotImplementedError
+
     # ------------------------------------------------------------------
     # shared helpers
     # ------------------------------------------------------------------
@@ -279,6 +299,14 @@ class RectGeometryMixin:
             q, self.lo[first : first + 2], self.hi[first : first + 2]
         )
 
+    def nodes_dist_bounds_qm(self, Q, nodes):
+        """Distance-bound grid for a query matrix against a node id set."""
+        return rect_dist_bounds_qm(Q, self.lo[nodes], self.hi[nodes])
+
+    def nodes_ip_bounds_qm(self, Q, nodes):
+        """Inner-product-bound grid for a query matrix against a node id set."""
+        return ip_bounds_qm(Q, self.lo[nodes], self.hi[nodes])
+
 
 class BallGeometryMixin:
     """Distance/IP bounds from the node's bounding ball."""
@@ -302,3 +330,11 @@ class BallGeometryMixin:
         return ball_ip_bounds_many(
             q, self.center[first : first + 2], self.radius[first : first + 2]
         )
+
+    def nodes_dist_bounds_qm(self, Q, nodes):
+        """Distance-bound grid for a query matrix against a node id set."""
+        return ball_dist_bounds_qm(Q, self.center[nodes], self.radius[nodes])
+
+    def nodes_ip_bounds_qm(self, Q, nodes):
+        """Inner-product-bound grid for a query matrix against a node id set."""
+        return ball_ip_bounds_qm(Q, self.center[nodes], self.radius[nodes])

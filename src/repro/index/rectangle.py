@@ -27,10 +27,14 @@ __all__ = [
     "mindist_sq_many",
     "maxdist_sq_many",
     "rect_dist_bounds_many",
+    "mindist_sq_qm",
+    "maxdist_sq_qm",
+    "rect_dist_bounds_qm",
     "rect_rect_dist_bounds",
     "ip_min",
     "ip_max",
     "ip_bounds_many",
+    "ip_bounds_qm",
     "contains",
 ]
 
@@ -93,6 +97,53 @@ def rect_dist_bounds_many(
     )
 
 
+def mindist_sq_qm(Q: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """:func:`mindist_sq` broadcast over a query matrix: ``(Q, m)`` output.
+
+    ``Q`` is ``(q, d)``, ``lo``/``hi`` are ``(m, d)`` stacks of boxes; entry
+    ``[i, j]`` is the squared minimum distance from query ``i`` to box ``j``.
+    """
+    delta = np.maximum(lo[None, :, :] - Q[:, None, :], 0.0)
+    delta += np.maximum(Q[:, None, :] - hi[None, :, :], 0.0)
+    return np.einsum("qmd,qmd->qm", delta, delta)
+
+
+def maxdist_sq_qm(Q: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """:func:`maxdist_sq` broadcast over a query matrix: ``(Q, m)`` output."""
+    delta = np.maximum(
+        np.abs(Q[:, None, :] - lo[None, :, :]),
+        np.abs(Q[:, None, :] - hi[None, :, :]),
+    )
+    return np.einsum("qmd,qmd->qm", delta, delta)
+
+
+def rect_dist_bounds_qm(
+    Q: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fused ``(mindist_sq, maxdist_sq)`` for every (query, box) pair.
+
+    The query-matrix analogue of :func:`rect_dist_bounds_many`: one
+    ``(q, m, d)`` broadcast shares the endpoint differences between the
+    near and far corners — the hot geometry path of the multi-query
+    evaluator (one call per refinement round).
+
+    Because ``lo <= hi``, at most one of ``lo - q`` / ``q - hi`` is
+    positive, so ``near = max(lo - q, q - hi, 0)`` and the far corner is
+    ``max(q - lo, hi - q) = -min(lo - q, q - hi)`` — four temporaries
+    instead of eight.
+    """
+    below = lo[None, :, :] - Q[:, None, :]
+    above = Q[:, None, :] - hi[None, :, :]
+    near = np.maximum(below, above)
+    np.maximum(near, 0.0, out=near)
+    far = np.minimum(below, above)
+    np.negative(far, out=far)
+    return (
+        np.einsum("qmd,qmd->qm", near, near),
+        np.einsum("qmd,qmd->qm", far, far),
+    )
+
+
 def rect_rect_dist_bounds(
     lo1: np.ndarray, hi1: np.ndarray, lo2: np.ndarray, hi2: np.ndarray
 ) -> tuple[float, float]:
@@ -127,6 +178,15 @@ def ip_bounds_many(
     a = q * lo
     b = q * hi
     return np.minimum(a, b).sum(axis=1), np.maximum(a, b).sum(axis=1)
+
+
+def ip_bounds_qm(
+    Q: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(ip_min, ip_max)`` for every (query, box) pair: ``(Q, m)`` output."""
+    a = Q[:, None, :] * lo[None, :, :]
+    b = Q[:, None, :] * hi[None, :, :]
+    return np.minimum(a, b).sum(axis=2), np.maximum(a, b).sum(axis=2)
 
 
 def contains(p: np.ndarray, lo: np.ndarray, hi: np.ndarray, atol: float = 0.0) -> bool:

@@ -1,0 +1,209 @@
+"""Tests for the query-major vectorised evaluator (MultiQueryAggregator)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchQueryStats,
+    EKAQBatchResult,
+    GaussianKernel,
+    KernelAggregator,
+    LaplacianKernel,
+    MultiQueryAggregator,
+    PolynomialKernel,
+    TKAQBatchResult,
+)
+from repro.core.errors import DataShapeError, InvalidParameterError
+from repro.index import BallTree, KDTree
+
+KERNELS = [GaussianKernel(6.0), LaplacianKernel(2.0)]
+SCHEMES = ["karl", "sota", "hybrid"]
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(7)
+    centers = rng.random((5, 6))
+    pts = np.clip(
+        centers[rng.integers(0, 5, 3000)] + 0.06 * rng.standard_normal((3000, 6)),
+        0, 1,
+    )
+    w_pos = rng.random(3000) * 2.0
+    w_signed = rng.standard_normal(3000)
+    queries = np.vstack(
+        [pts[rng.choice(3000, 20, replace=False)], rng.random((12, 6))]
+    )
+    return pts, w_pos, w_signed, queries
+
+
+def exact_all(agg, queries):
+    return np.array([agg.exact(q) for q in queries])
+
+
+class TestTKAQAgreement:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("kernel", KERNELS, ids=repr)
+    @pytest.mark.parametrize("tree_cls", [KDTree, BallTree], ids=["kd", "ball"])
+    def test_answers_match_loop_backend(self, data, scheme, kernel, tree_cls):
+        pts, w_pos, _, queries = data
+        tree = tree_cls(pts, weights=w_pos, leaf_capacity=40)
+        agg = KernelAggregator(tree, kernel, scheme=scheme)
+        exact = exact_all(agg, queries)
+        for tau in (float(np.median(exact)), float(exact.mean() * 0.4)):
+            loop = agg.tkaq_many_results(queries, tau, backend="loop")
+            mq = agg.tkaq_many_results(queries, tau, backend="multiquery")
+            assert np.array_equal(loop.answers, mq.answers)
+            assert np.array_equal(mq.answers, exact > tau)
+            # bounds must bracket the exact aggregate
+            assert np.all(mq.lower <= exact + 1e-9)
+            assert np.all(exact <= mq.upper + 1e-9)
+
+    @pytest.mark.parametrize("weights", ["typeI", "typeII", "typeIII"])
+    def test_weight_types(self, data, weights):
+        pts, w_pos, w_signed, queries = data
+        w = {"typeI": None, "typeII": w_pos, "typeIII": w_signed}[weights]
+        tree = KDTree(pts, weights=w, leaf_capacity=40)
+        agg = KernelAggregator(tree, GaussianKernel(4.0))
+        exact = exact_all(agg, queries)
+        tau = float(np.median(exact))
+        assert np.array_equal(
+            agg.tkaq_many(queries, tau, backend="loop"),
+            agg.tkaq_many(queries, tau, backend="multiquery"),
+        )
+
+    def test_max_depth_parity(self, data):
+        pts, w_pos, _, queries = data
+        tree = KDTree(pts, weights=w_pos, leaf_capacity=40)
+        agg = KernelAggregator(tree, GaussianKernel(4.0), max_depth=3)
+        exact = exact_all(agg, queries)
+        tau = float(np.median(exact))
+        assert np.array_equal(
+            agg.tkaq_many(queries, tau, backend="loop"),
+            agg.tkaq_many(queries, tau, backend="multiquery"),
+        )
+
+
+class TestEKAQContract:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("tree_cls", [KDTree, BallTree], ids=["kd", "ball"])
+    def test_eps_contract_random_batches(self, data, scheme, tree_cls):
+        pts, w_pos, _, queries = data
+        tree = tree_cls(pts, weights=w_pos, leaf_capacity=40)
+        agg = KernelAggregator(tree, LaplacianKernel(1.5), scheme=scheme)
+        exact = exact_all(agg, queries)
+        for eps in (0.25, 0.05):
+            res = agg.ekaq_many_results(queries, eps, backend="multiquery")
+            assert isinstance(res, EKAQBatchResult)
+            assert np.all(res.lower <= exact + 1e-9)
+            assert np.all(exact <= res.upper + 1e-9)
+            assert np.all(np.abs(res.estimates - exact) <= eps * np.abs(exact) + 1e-9)
+
+    def test_signed_weights_fall_back_to_exact(self, data):
+        pts, _, w_signed, queries = data
+        tree = KDTree(pts, weights=w_signed, leaf_capacity=40)
+        agg = KernelAggregator(tree, GaussianKernel(4.0))
+        exact = exact_all(agg, queries)
+        res = agg.ekaq_many_results(queries, 0.1, backend="multiquery")
+        assert np.all(res.lower <= exact + 1e-9)
+        assert np.all(exact <= res.upper + 1e-9)
+
+    def test_plain_ekaq_many_returns_estimates(self, data):
+        pts, w_pos, _, queries = data
+        tree = KDTree(pts, weights=w_pos, leaf_capacity=40)
+        agg = KernelAggregator(tree, GaussianKernel(4.0))
+        est = agg.ekaq_many(queries, 0.2, backend="multiquery")
+        exact = exact_all(agg, queries)
+        assert est.shape == (len(queries),)
+        assert np.all(np.abs(est - exact) <= 0.2 * np.abs(exact) + 1e-9)
+
+
+class TestDirectAggregator:
+    def test_direct_matches_wrapper(self, data):
+        pts, w_pos, _, queries = data
+        tree = KDTree(pts, weights=w_pos, leaf_capacity=40)
+        agg = KernelAggregator(tree, GaussianKernel(4.0))
+        mq = MultiQueryAggregator(tree, GaussianKernel(4.0), scheme="karl")
+        exact = exact_all(agg, queries)
+        tau = float(np.median(exact))
+        direct = mq.tkaq_many_results(queries, tau)
+        wrapped = agg.tkaq_many_results(queries, tau, backend="multiquery")
+        assert np.array_equal(direct.answers, wrapped.answers)
+        assert isinstance(direct, TKAQBatchResult)
+        assert direct.tau == tau
+
+    def test_supports(self):
+        assert MultiQueryAggregator.supports(GaussianKernel(1.0), "karl")
+        assert not MultiQueryAggregator.supports(PolynomialKernel(gamma=1.0, degree=2), "karl")
+
+    def test_stats_populated(self, data):
+        pts, w_pos, _, queries = data
+        tree = KDTree(pts, weights=w_pos, leaf_capacity=40)
+        agg = KernelAggregator(tree, GaussianKernel(4.0))
+        res = agg.ekaq_many_results(queries, 0.2, backend="multiquery")
+        st = res.stats
+        assert isinstance(st, BatchQueryStats)
+        assert st.n_queries == len(queries)
+        assert st.rounds >= 1
+        assert len(st.frontier_sizes) == st.rounds
+        assert len(st.active_counts) == st.rounds
+        assert len(st.retired_per_round) == st.rounds
+        assert sum(st.retired_per_round) == len(queries)
+        assert st.active_counts[0] == len(queries)
+        assert st.bound_evaluations > 0
+
+    def test_loop_backend_stats_aggregated(self, data):
+        pts, w_pos, _, queries = data
+        tree = KDTree(pts, weights=w_pos, leaf_capacity=40)
+        agg = KernelAggregator(tree, GaussianKernel(4.0))
+        res = agg.tkaq_many_results(queries, 1.0, backend="loop")
+        assert res.stats is not None
+        assert res.stats.n_queries == len(queries)
+
+
+class TestValidation:
+    def setup_method(self):
+        rng = np.random.default_rng(3)
+        self.pts = rng.random((200, 4))
+        self.tree = KDTree(self.pts, leaf_capacity=16)
+        self.agg = KernelAggregator(self.tree, GaussianKernel(2.0))
+
+    def test_rejects_1d_queries(self):
+        with pytest.raises(DataShapeError):
+            self.agg.tkaq_many(self.pts[0], tau=1.0)
+
+    def test_rejects_wrong_dim(self):
+        with pytest.raises(DataShapeError):
+            self.agg.tkaq_many(np.zeros((3, 7)), tau=1.0)
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(InvalidParameterError):
+            self.agg.ekaq_many(self.pts[:3], eps=-0.5)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(InvalidParameterError):
+            self.agg.tkaq_many(self.pts[:3], tau=1.0, backend="banana")
+
+    def test_dot_kernel_rejected_by_multiquery(self):
+        agg = KernelAggregator(self.tree, PolynomialKernel(gamma=1.0, degree=2))
+        with pytest.raises(InvalidParameterError):
+            agg.tkaq_many(self.pts[:3], tau=1.0, backend="multiquery")
+        # auto silently falls back to the loop backend
+        ans = agg.tkaq_many(self.pts[:3], tau=1.0, backend="auto")
+        assert ans.shape == (3,)
+
+    def test_direct_constructor_rejects_dot_kernel(self):
+        with pytest.raises(InvalidParameterError):
+            MultiQueryAggregator(self.tree, PolynomialKernel(gamma=1.0, degree=2))
+
+
+class TestLargeBatch:
+    def test_thousand_queries(self):
+        rng = np.random.default_rng(11)
+        pts = rng.random((5000, 4))
+        queries = rng.random((1000, 4))
+        tree = KDTree(pts, leaf_capacity=64)
+        agg = KernelAggregator(tree, GaussianKernel(8.0))
+        tau = 0.02 * len(pts)
+        loop = agg.tkaq_many(queries, tau, backend="loop")
+        mq = agg.tkaq_many(queries, tau, backend="multiquery")
+        assert np.array_equal(loop, mq)
