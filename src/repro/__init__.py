@@ -24,6 +24,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured results of every table and figure.
 """
 
+from repro import obs
 from repro.baselines import ScanEvaluator
 from repro.core import (
     DEFAULT_LEAF_CAPACITIES,
@@ -157,6 +158,8 @@ __all__ = [
     "load_dataset",
     "train_test_split",
     "PCA",
+    # observability
+    "obs",
     # errors
     "ReproError",
     "InvalidParameterError",

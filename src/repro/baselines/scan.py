@@ -14,6 +14,7 @@ import numpy as np
 from repro.core.errors import as_matrix, as_vector
 from repro.core.kernels import Kernel
 from repro.core.results import EKAQResult, QueryStats, TKAQResult
+from repro.obs import runtime as _obs
 
 __all__ = ["ScanEvaluator"]
 
@@ -52,9 +53,26 @@ class ScanEvaluator:
         n = self.points.shape[0]
         return QueryStats(iterations=1, leaves_evaluated=1, points_evaluated=n)
 
+    def _traced_exact(self, q, kind: str, param: float,
+                      n_queries: int = 1) -> float | np.ndarray:
+        """Exact value(s) with a one-round trace (all points, no pruning)."""
+        otrace = _obs.start_trace(
+            kind, "scan", "exact", self.points.shape[0],
+            n_queries=n_queries, param=param,
+        )
+        value = self.exact(q) if n_queries == 1 else self.exact_many(q)
+        if otrace is not None:
+            n = self.points.shape[0]
+            otrace.record_round(
+                frontier=0, active=n_queries, retired=n_queries,
+                leaves=n_queries, points=n_queries * n, gap=0.0,
+            )
+            _obs.finish_trace(otrace)
+        return value
+
     def tkaq(self, q, tau: float, trace: bool = False) -> TKAQResult:
         """Threshold query answered by exact evaluation."""
-        value = self.exact(q)
+        value = self._traced_exact(q, "tkaq", float(tau))
         return TKAQResult(
             answer=value > tau, lower=value, upper=value, tau=float(tau),
             stats=self._stats(),
@@ -62,7 +80,7 @@ class ScanEvaluator:
 
     def ekaq(self, q, eps: float, trace: bool = False) -> EKAQResult:
         """Approximate query answered by exact evaluation (error 0)."""
-        value = self.exact(q)
+        value = self._traced_exact(q, "ekaq", float(eps))
         return EKAQResult(
             estimate=value, lower=value, upper=value, eps=float(eps),
             stats=self._stats(),
@@ -70,8 +88,10 @@ class ScanEvaluator:
 
     def tkaq_many(self, queries, tau: float) -> np.ndarray:
         """Vector of TKAQ answers."""
-        return self.exact_many(queries) > tau
+        Q = np.atleast_2d(queries)
+        return self._traced_exact(Q, "tkaq", float(tau), Q.shape[0]) > tau
 
     def ekaq_many(self, queries, eps: float) -> np.ndarray:
         """Vector of eKAQ estimates (exact values)."""
-        return self.exact_many(queries)
+        Q = np.atleast_2d(queries)
+        return self._traced_exact(Q, "ekaq", float(eps), Q.shape[0])

@@ -49,11 +49,40 @@ def render_table(title: str, headers: list[str], rows: list[list]) -> str:
 
 
 def emit(name: str, table: str) -> str:
-    """Print a table and persist it under the results directory."""
+    """Print a table and persist it under the results directory.
+
+    When the observability layer is enabled, the traces recorded while
+    the benchmark ran are summarized and embedded in the persisted result
+    file (and the ring cleared, so each result file carries only its own
+    traces).  The printed/returned table stays unchanged.
+    """
     print("\n" + table + "\n")
+    persisted = table
+    trace_summary = _drain_trace_summary()
+    if trace_summary:
+        persisted = table + "\n\n" + trace_summary
     try:
         RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-        (RESULTS_DIR / f"{name}.txt").write_text(table + "\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(persisted + "\n")
     except OSError:
         pass  # read-only checkout: stdout still has the table
     return table
+
+
+def _drain_trace_summary() -> str | None:
+    """Summarize and clear the obs trace ring; ``None`` when disabled.
+
+    Imported lazily: ``repro.obs.report`` renders with this module's
+    :func:`render_table`, so a top-level import would be circular.
+    """
+    from repro.obs import runtime as _obs
+
+    if not _obs.is_enabled():
+        return None
+    traces = _obs.recent_traces()
+    if not traces:
+        return None
+    from repro.obs.report import summarize
+
+    _obs.clear_recent()
+    return summarize(traces)

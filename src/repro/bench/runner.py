@@ -5,9 +5,14 @@ Usage::
     python -m repro.bench.runner --list
     python -m repro.bench.runner table7 fig6
     python -m repro.bench.runner all
+    python -m repro.bench.runner table7 --trace traces.jsonl
 
 Each experiment prints its table (and persists it under
-``benchmarks/results/``).  This is a thin dispatcher over the
+``benchmarks/results/``).  ``--trace PATH`` turns on the observability
+layer (``repro.obs``) for the run: every query executed by the selected
+experiments appends a JSONL trace to PATH, each result file embeds a
+trace summary, and ``python -m repro.obs.report PATH`` replays the full
+report afterwards.  This is a thin dispatcher over the
 ``benchmarks/bench_*.py`` modules so they stay runnable without pytest.
 """
 
@@ -83,7 +88,21 @@ def main(argv=None) -> int:
         help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'",
     )
     parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="enable repro.obs tracing; append JSONL traces to PATH",
+    )
+    parser.add_argument(
+        "--trace-compare", action="store_true",
+        help="with --trace: also attribute pruned nodes to KARL vs SOTA "
+             "bound tightness (slower)",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace:
+        from repro.obs import runtime as _obs
+
+        _obs.enable(jsonl=args.trace, compare=args.trace_compare)
 
     if args.list or not args.experiments:
         for name, (filename, _) in EXPERIMENTS.items():
@@ -97,6 +116,17 @@ def main(argv=None) -> int:
     for name in wanted:
         print(f"\n### {name} ###")
         run_experiment(name)
+    if args.trace:
+        if Path(args.trace).exists():
+            print(
+                f"\ntraces written to {args.trace}; summarize with: "
+                f"python -m repro.obs.report {args.trace}"
+            )
+        else:
+            print(
+                f"\nno traces recorded (selected experiments issued no "
+                f"queries through the engine); {args.trace} not created"
+            )
     return 0
 
 

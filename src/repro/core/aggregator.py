@@ -20,6 +20,7 @@ in-situ online tuner (Section III-C) on the single fully-built tree.
 from __future__ import annotations
 
 import heapq
+import time
 from itertools import count
 
 import numpy as np
@@ -35,9 +36,15 @@ from repro.core.results import (
     QueryStats,
     TKAQBatchResult,
     TKAQResult,
+    fold_query_stats,
 )
+from repro.obs import runtime as _obs
 
 __all__ = ["KernelAggregator", "resolve_scheme"]
+
+#: scheme instances the tracer uses to attribute pruning power (KARL vs
+#: SOTA bounds at the frontier nodes left unopened at termination)
+_COMPARE_SCHEMES = (KARLBounds(), SOTABounds())
 
 #: refresh the incrementally-maintained frontier sums every this many pops,
 #: bounding floating-point drift over long refinement runs
@@ -111,7 +118,7 @@ class KernelAggregator:
     # node helpers
     # ------------------------------------------------------------------
 
-    def _node_bounds(self, q, q_sq, node) -> tuple[float, float]:
+    def _node_bounds(self, q, q_sq, node, scheme=None) -> tuple[float, float]:
         lo, hi = self.kernel.node_interval(self.tree, q, node, q_sq)
         pos = self.kernel.node_moments(self.tree, q, node, q_sq, "pos")
         neg = (
@@ -119,7 +126,9 @@ class KernelAggregator:
             if self._has_neg
             else None
         )
-        return self.scheme.node_bounds(self.kernel.profile, lo, hi, pos, neg)
+        if scheme is None:
+            scheme = self.scheme
+        return scheme.node_bounds(self.kernel.profile, lo, hi, pos, neg)
 
     def _pair_bounds(self, q, q_sq, first):
         """Bounds for the sibling pair ``(first, first+1)``, fused.
@@ -182,15 +191,24 @@ class KernelAggregator:
     # the refinement loop
     # ------------------------------------------------------------------
 
-    def _refine(self, q, stop, trace: BoundTrace | None):
+    def _refine(self, q, stop, trace: BoundTrace | None,
+                kind: str = "query", param: float | None = None,
+                backend: str = "loop"):
         """Run best-first refinement until ``stop(lb, ub)`` or exhaustion.
 
         Returns ``(lb, ub, stats)``; on exhaustion ``lb == ub`` is the exact
-        aggregate.
+        aggregate.  When the observability layer is enabled (``repro.obs``)
+        a :class:`~repro.obs.trace.QueryTrace` records one round per heap
+        pop; disabled, the instrumentation costs one ``is None`` check per
+        pop.  ``backend`` only labels the trace (the streaming wrapper runs
+        this loop on its indexed part).
         """
         q = as_vector(q, self.tree.d)
         q_sq = float(q @ q)
         stats = QueryStats()
+        otrace = _obs.start_trace(
+            kind, backend, self.scheme.name, self.tree.n, param=param
+        )
 
         root_lb, root_ub = self._node_bounds(q, q_sq, 0)
         exact_sum = 0.0
@@ -203,19 +221,27 @@ class KernelAggregator:
         ub = exact_sum + frontier_ub
         if trace is not None:
             trace.record(lb, ub)
+        if otrace is not None:
+            otrace.total_bound_evals += 1  # the root
 
         while heap and not stop(lb, ub):
             stats.iterations += 1
             _, _, node, node_lb, node_ub = heapq.heappop(heap)
             frontier_lb -= node_lb
             frontier_ub -= node_ub
+            if otrace is not None:
+                pop_t0 = time.perf_counter()
+                pop_expanded = pop_leaves = pop_points = 0
 
             if self._is_terminal(node):
                 exact_sum += self._leaf_exact(q, q_sq, node)
-                stats.leaves_evaluated += 1
-                stats.points_evaluated += self.tree.node_size(node)
+                stats.record_leaf(self.tree.node_size(node))
+                if otrace is not None:
+                    pop_leaves = 1
+                    pop_points = self.tree.node_size(node)
+                    otrace.add_phase("leaves", time.perf_counter() - pop_t0)
             else:
-                stats.nodes_expanded += 1
+                stats.record_expansion()
                 first = int(self.tree.left[node])
                 for j, (c_lb, c_ub) in enumerate(self._pair_bounds(q, q_sq, first)):
                     frontier_lb += c_lb
@@ -223,6 +249,9 @@ class KernelAggregator:
                     heapq.heappush(
                         heap, (-(c_ub - c_lb), next(tie), first + j, c_lb, c_ub)
                     )
+                if otrace is not None:
+                    pop_expanded = 1
+                    otrace.add_phase("bounds", time.perf_counter() - pop_t0)
 
             if stats.iterations % _RESYNC_EVERY == 0:
                 frontier_lb = sum(item[3] for item in heap)
@@ -232,10 +261,50 @@ class KernelAggregator:
             ub = exact_sum + frontier_ub
             if trace is not None:
                 trace.record(lb, ub)
+            if otrace is not None:
+                otrace.record_round(
+                    frontier=len(heap), expanded=pop_expanded,
+                    leaves=pop_leaves, points=pop_points,
+                    bound_evals=2 * pop_expanded, lb=lb, ub=ub,
+                )
 
         if not heap:
             lb = ub = exact_sum
+        if otrace is not None:
+            self._finish_trace(otrace, q, q_sq, heap, stats, lb, ub)
         return lb, ub, stats
+
+    def _finish_trace(self, otrace, q, q_sq, heap, stats, lb, ub) -> None:
+        """Terminal trace accounting: pruned frontier + scheme comparison.
+
+        Points still under frontier nodes at termination were *pruned* —
+        their kernel values were never computed.  In compare mode each
+        pruned node is re-bounded under both KARL and SOTA to attribute
+        the pruning power (paper Figure 13's tightness story).
+        """
+        pruned = 0
+        karl_t = sota_t = tied = 0
+        compare = _obs.compare_enabled()
+        karl_scheme, sota_scheme = _COMPARE_SCHEMES
+        for item in heap:
+            node = item[2]
+            pruned += self.tree.node_size(node)
+            if compare:
+                klb, kub = self._node_bounds(q, q_sq, node, karl_scheme)
+                slb, sub = self._node_bounds(q, q_sq, node, sota_scheme)
+                if kub - klb < sub - slb:
+                    karl_t += 1
+                elif sub - slb < kub - klb:
+                    sota_t += 1
+                else:
+                    tied += 1
+        otrace.pruned_points += pruned
+        otrace.total_retired += 1
+        if compare:
+            otrace.record_pruned_comparison(karl_t, sota_t, tied)
+        otrace.extra["lb"] = lb
+        otrace.extra["ub"] = ub
+        _obs.finish_trace(otrace)
 
     # ------------------------------------------------------------------
     # public queries
@@ -246,7 +315,7 @@ class KernelAggregator:
         tau = float(tau)
         rec = BoundTrace() if trace else None
         lb, ub, stats = self._refine(
-            q, lambda lo, hi: lo > tau or hi <= tau, rec
+            q, lambda lo, hi: lo > tau or hi <= tau, rec, "tkaq", tau
         )
         return TKAQResult(
             answer=lb > tau, lower=lb, upper=ub, tau=tau, stats=stats, trace=rec
@@ -266,7 +335,7 @@ class KernelAggregator:
             raise InvalidParameterError(f"eps must be >= 0; got {eps}")
         rec = BoundTrace() if trace else None
         lb, ub, stats = self._refine(
-            q, lambda lo, hi: hi <= (1.0 + eps) * lo, rec
+            q, lambda lo, hi: hi <= (1.0 + eps) * lo, rec, "ekaq", eps
         )
         return EKAQResult(
             estimate=0.5 * (lb + ub), lower=lb, upper=ub, eps=eps,
@@ -290,7 +359,8 @@ class KernelAggregator:
         rec = BoundTrace() if trace else None
         # stop() runs once before each pop, so the k-th check permits k-1 pops
         lb, ub, stats = self._refine(
-            q, lambda lo, hi: next(checks) >= max_iterations, rec
+            q, lambda lo, hi: next(checks) >= max_iterations, rec,
+            "refine", float(max_iterations),
         )
         achieved = (ub - lb) / (2.0 * lb) if lb > 0.0 else float("inf")
         return EKAQResult(
@@ -343,14 +413,7 @@ class KernelAggregator:
 
     def _loop_batch_stats(self, per_query) -> BatchQueryStats:
         """Fold per-query ``QueryStats`` into one batch counter set."""
-        stats = BatchQueryStats(n_queries=len(per_query))
-        for st in per_query:
-            stats.rounds += st.iterations
-            stats.nodes_expanded += st.nodes_expanded
-            stats.leaves_evaluated += st.leaves_evaluated
-            stats.points_evaluated += st.points_evaluated
-            stats.bound_evaluations += 1 + 2 * st.nodes_expanded
-        return stats
+        return fold_query_stats(per_query)
 
     def tkaq_many_results(self, queries, tau: float,
                           backend: str = "auto") -> TKAQBatchResult:

@@ -23,12 +23,15 @@ Supports convex-decreasing distance kernels with non-negative weights
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.errors import InvalidParameterError, as_matrix
 from repro.core.kernels import Kernel
 from repro.index.builder import build_index
 from repro.index.rectangle import rect_rect_dist_bounds
+from repro.obs import runtime as _obs
 
 __all__ = ["DualTreeEvaluator"]
 
@@ -84,6 +87,13 @@ class DualTreeEvaluator:
         profile = self.kernel.profile
         # per-data-node total weight (positive part only; weights validated)
         node_w = dtree.stats.pos_w
+        otrace = _obs.start_trace(
+            "ekaq", "dualtree", "midpoint", dtree.n,
+            n_queries=qtree.n, param=eps,
+        )
+        if otrace is not None:
+            t0 = time.perf_counter()
+            pairs_approx = pairs_dropped = 0
 
         stack = [(0, 0)]
         while stack:
@@ -94,18 +104,42 @@ class DualTreeEvaluator:
             k_max = float(profile.value(dmin))
             k_min = float(profile.value(dmax))
             w_d = float(node_w[dn])
+            if otrace is not None:
+                otrace.total_rounds += 1
+                otrace.total_bound_evals += 1  # one pair distance bound
             if w_d <= 0.0 or k_max <= 0.0:
-                continue  # nothing to add (compact support / zero weight)
+                # nothing to add (compact support / zero weight): the
+                # whole (query, point) pair block is certified zero
+                if otrace is not None:
+                    pairs_dropped += 1
+                    sl = qtree.leaf_slice(qn)
+                    otrace.pruned_points += (
+                        (sl.stop - sl.start) * dtree.node_size(dn)
+                    )
+                continue
             if k_max - k_min <= 2.0 * eps * k_min:
                 sl = qtree.leaf_slice(qn)
                 estimates[sl.start:sl.stop] += w_d * 0.5 * (k_min + k_max)
+                if otrace is not None:
+                    pairs_approx += 1
+                    otrace.pruned_points += (
+                        (sl.stop - sl.start) * dtree.node_size(dn)
+                    )
                 continue
             q_leaf = qtree.is_leaf(qn)
             d_leaf = dtree.is_leaf(dn)
             if q_leaf and d_leaf:
                 self._exact_block(qtree, qn, dn, estimates)
+                if otrace is not None:
+                    q_sl = qtree.leaf_slice(qn)
+                    otrace.total_leaves += 1
+                    otrace.total_points += (
+                        (q_sl.stop - q_sl.start) * dtree.node_size(dn)
+                    )
                 continue
             # recurse on the node with the larger spread
+            if otrace is not None:
+                otrace.total_expanded += 1
             if d_leaf or (not q_leaf and _extent(qtree, qn) >= _extent(dtree, dn)):
                 l, r = qtree.children(qn)
                 stack.append((l, dn))
@@ -114,6 +148,14 @@ class DualTreeEvaluator:
                 l, r = dtree.children(dn)
                 stack.append((qn, l))
                 stack.append((qn, r))
+
+        if otrace is not None:
+            otrace.add_phase("traverse", time.perf_counter() - t0)
+            otrace.total_retired = qtree.n
+            otrace.extra["pairs_visited"] = otrace.total_rounds
+            otrace.extra["pairs_approximated"] = pairs_approx
+            otrace.extra["pairs_dropped"] = pairs_dropped
+            _obs.finish_trace(otrace)
 
         # undo the query permutation
         out = np.empty(qtree.n)

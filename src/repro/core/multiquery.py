@@ -33,14 +33,21 @@ weighting types and both index kinds.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from repro.core.bounds import BoundScheme
+from repro.core.bounds import BoundScheme, KARLBounds, SOTABounds
 from repro.core.errors import DataShapeError, InvalidParameterError, as_matrix
 from repro.core.kernels import Kernel
 from repro.core.results import BatchQueryStats, EKAQBatchResult, TKAQBatchResult
+from repro.obs import runtime as _obs
 
 __all__ = ["MultiQueryAggregator"]
+
+#: scheme instances the tracer uses to attribute pruning power at the
+#: frontier nodes a retiring query never had to open
+_COMPARE_SCHEMES = (KARLBounds(), SOTABounds())
 
 #: cap on the element count of one (queries x nodes x dim) geometry
 #: broadcast; rounds that would exceed it are chunked over queries so the
@@ -121,7 +128,7 @@ class MultiQueryAggregator:
         np.maximum(s1, 0.0, out=s1)
         return s0, s1
 
-    def _grid_bounds_block(self, Q, q_sq, nodes):
+    def _grid_bounds_block(self, Q, q_sq, nodes, scheme=None):
         st = self.tree.stats
         lo_x, hi_x = self.tree.nodes_dist_bounds_qm(Q, nodes)
         pos = self._part_moments(Q, q_sq, nodes, st.pos_w, st.pos_a, st.pos_b,
@@ -132,11 +139,13 @@ class MultiQueryAggregator:
             if self._has_neg
             else None
         )
-        return self.scheme.node_bounds_matrix(
+        if scheme is None:
+            scheme = self.scheme
+        return scheme.node_bounds_matrix(
             self.kernel.profile, lo_x, hi_x, pos, neg
         )
 
-    def _grid_bounds(self, Q, q_sq, nodes):
+    def _grid_bounds(self, Q, q_sq, nodes, scheme=None):
         """``(lower, upper)`` bound matrices for every (query, node) pair.
 
         Chunks the query axis so the intermediate ``(Q, m, d)`` geometry
@@ -145,10 +154,12 @@ class MultiQueryAggregator:
         nq, m = Q.shape[0], nodes.size
         per = max(1, _MAX_GRID_ELEMENTS // max(1, m * self.tree.d))
         if nq <= per:
-            return self._grid_bounds_block(Q, q_sq, nodes)
+            return self._grid_bounds_block(Q, q_sq, nodes, scheme)
         lbs, ubs = [], []
         for s in range(0, nq, per):
-            lb, ub = self._grid_bounds_block(Q[s:s + per], q_sq[s:s + per], nodes)
+            lb, ub = self._grid_bounds_block(
+                Q[s:s + per], q_sq[s:s + per], nodes, scheme
+            )
             lbs.append(lb)
             ubs.append(ub)
         return np.vstack(lbs), np.vstack(ubs)
@@ -183,12 +194,16 @@ class MultiQueryAggregator:
             term = term | (self.tree.depth[nodes] >= self.max_depth)
         return term
 
-    def _refine_many(self, Q, stop):
+    def _refine_many(self, Q, stop, kind: str = "query",
+                     param: float | None = None):
         """Refine all rows of ``Q`` until each satisfies ``stop`` (or exhausts).
 
         ``stop(lb_vec, ub_vec)`` maps the active queries' global bound
         vectors to a boolean retirement mask.  Returns per-query terminal
-        ``(lower, upper)`` arrays plus aggregate stats.
+        ``(lower, upper)`` arrays plus aggregate stats.  With the
+        observability layer enabled a :class:`~repro.obs.trace.QueryTrace`
+        records one record per shared-frontier round; disabled, the
+        instrumentation costs a few ``is None`` checks per round.
         """
         tree = self.tree
         nq = Q.shape[0]
@@ -199,12 +214,23 @@ class MultiQueryAggregator:
         exact = np.zeros(nq)
         active = np.arange(nq)
         stats = BatchQueryStats(n_queries=nq)
+        otrace = _obs.start_trace(
+            kind, "multiquery", self.scheme.name, tree.n,
+            n_queries=nq, param=param,
+        )
 
+        if otrace is not None:
+            t0 = time.perf_counter()
         frontier = np.array([0], dtype=np.int64)
         lb_mat, ub_mat = self._grid_bounds(Q, q_sq, frontier)
         stats.bound_evaluations += nq
+        if otrace is not None:
+            otrace.add_phase("bounds", time.perf_counter() - t0)
+            otrace.total_bound_evals += nq
 
         while active.size:
+            if otrace is not None:
+                t0 = time.perf_counter()
             lb_vec = exact[active] + lb_mat.sum(axis=1)
             ub_vec = exact[active] + ub_mat.sum(axis=1)
             if frontier.size:
@@ -212,11 +238,25 @@ class MultiQueryAggregator:
             else:  # exhaustion: bounds have collapsed to the exact aggregate
                 done = np.ones(active.size, dtype=bool)
 
-            stats.rounds += 1
-            stats.frontier_sizes.append(int(frontier.size))
-            stats.active_counts.append(int(active.size))
-            stats.retired_per_round.append(int(done.sum()))
-            if done.any():
+            n_retired = int(done.sum())
+            stats.record_round(frontier.size, active.size, n_retired)
+            if otrace is not None:
+                otrace.add_phase("terminate", time.perf_counter() - t0)
+                round_frontier = int(frontier.size)
+                round_active = int(active.size)
+                round_leaves = round_points = round_expanded = 0
+                round_bound_evals = 0
+                round_gap = float(np.mean(ub_vec - lb_vec))
+                round_pruned = 0
+                if n_retired and frontier.size:
+                    frontier_pts = int(
+                        (tree.end[frontier] - tree.start[frontier]).sum()
+                    )
+                    round_pruned = n_retired * frontier_pts
+                    self._trace_retirement(
+                        otrace, Q, q_sq, active[done], frontier
+                    )
+            if n_retired:
                 retired = active[done]
                 lower[retired] = lb_vec[done]
                 upper[retired] = ub_vec[done]
@@ -225,23 +265,38 @@ class MultiQueryAggregator:
                 lb_mat = lb_mat[live]
                 ub_mat = ub_mat[live]
                 if active.size == 0:
+                    if otrace is not None:
+                        otrace.record_round(
+                            frontier=round_frontier, active=round_active,
+                            retired=n_retired, pruned_points=round_pruned,
+                            gap=round_gap,
+                        )
                     break
 
             Qa = Q[active]
             q_sq_a = q_sq[active]
 
             # every remaining query nominates its worst-gap frontier node
+            if otrace is not None:
+                t0 = time.perf_counter()
             worst = np.argmax(ub_mat - lb_mat, axis=1)
             cols = np.unique(worst)
             split = frontier[cols]
             terminal = self._is_terminal(split)
+            if otrace is not None:
+                otrace.add_phase("select", time.perf_counter() - t0)
 
             leaves = split[terminal]
             if leaves.size:
+                if otrace is not None:
+                    t0 = time.perf_counter()
                 contrib, n_pts = self._leaves_exact(Qa, q_sq_a, leaves)
                 exact[active] += contrib
-                stats.leaves_evaluated += int(leaves.size)
-                stats.points_evaluated += int(active.size) * n_pts
+                stats.record_leaves(leaves.size, n_pts, active.size)
+                if otrace is not None:
+                    otrace.add_phase("leaves", time.perf_counter() - t0)
+                    round_leaves = int(leaves.size)
+                    round_points = int(active.size) * n_pts
 
             keep = np.ones(frontier.size, dtype=bool)
             keep[cols] = False
@@ -250,9 +305,15 @@ class MultiQueryAggregator:
                 children = np.concatenate(
                     [tree.left[internal], tree.right[internal]]
                 )
+                if otrace is not None:
+                    t0 = time.perf_counter()
                 c_lb, c_ub = self._grid_bounds(Qa, q_sq_a, children)
-                stats.nodes_expanded += int(internal.size)
-                stats.bound_evaluations += int(active.size) * int(children.size)
+                stats.record_expansions(internal.size, children.size,
+                                        active.size)
+                if otrace is not None:
+                    otrace.add_phase("bounds", time.perf_counter() - t0)
+                    round_expanded = int(internal.size)
+                    round_bound_evals = int(active.size) * int(children.size)
                 frontier = np.concatenate([frontier[keep], children])
                 lb_mat = np.concatenate([lb_mat[:, keep], c_lb], axis=1)
                 ub_mat = np.concatenate([ub_mat[:, keep], c_ub], axis=1)
@@ -261,7 +322,36 @@ class MultiQueryAggregator:
                 lb_mat = lb_mat[:, keep]
                 ub_mat = ub_mat[:, keep]
 
+            if otrace is not None:
+                otrace.record_round(
+                    frontier=round_frontier, active=round_active,
+                    expanded=round_expanded, leaves=round_leaves,
+                    points=round_points, retired=n_retired,
+                    pruned_points=round_pruned,
+                    bound_evals=round_bound_evals, gap=round_gap,
+                )
+
+        if otrace is not None:
+            _obs.finish_trace(otrace)
         return lower, upper, stats
+
+    def _trace_retirement(self, otrace, Q, q_sq, retired_idx, frontier) -> None:
+        """Compare-mode accounting: which scheme bounds the frontier nodes a
+        retiring query leaves unopened tighter (KARL vs SOTA)?"""
+        if not _obs.compare_enabled():
+            return
+        karl_scheme, sota_scheme = _COMPARE_SCHEMES
+        Qr = Q[retired_idx]
+        q_sq_r = q_sq[retired_idx]
+        klb, kub = self._grid_bounds(Qr, q_sq_r, frontier, karl_scheme)
+        slb, sub = self._grid_bounds(Qr, q_sq_r, frontier, sota_scheme)
+        k_gap = kub - klb
+        s_gap = sub - slb
+        otrace.record_pruned_comparison(
+            int((k_gap < s_gap).sum()),
+            int((s_gap < k_gap).sum()),
+            int((k_gap == s_gap).sum()),
+        )
 
     # ------------------------------------------------------------------
     # public queries
@@ -280,7 +370,7 @@ class MultiQueryAggregator:
         Q = self._check_queries(queries)
         tau = float(tau)
         lower, upper, stats = self._refine_many(
-            Q, lambda lo, hi: (lo > tau) | (hi <= tau)
+            Q, lambda lo, hi: (lo > tau) | (hi <= tau), kind="tkaq", param=tau
         )
         return TKAQBatchResult(
             answers=lower > tau, lower=lower, upper=upper, tau=tau, stats=stats
@@ -293,7 +383,7 @@ class MultiQueryAggregator:
         if eps < 0.0:
             raise InvalidParameterError(f"eps must be >= 0; got {eps}")
         lower, upper, stats = self._refine_many(
-            Q, lambda lo, hi: hi <= (1.0 + eps) * lo
+            Q, lambda lo, hi: hi <= (1.0 + eps) * lo, kind="ekaq", param=eps
         )
         return EKAQBatchResult(
             estimates=0.5 * (lower + upper), lower=lower, upper=upper,

@@ -1,4 +1,13 @@
-"""Result objects returned by the kernel aggregation evaluator."""
+"""Result objects returned by the kernel aggregation evaluator.
+
+Besides the result dataclasses this module owns the *one* place work
+counters get updated: the ``record_*`` helpers on :class:`QueryStats` /
+:class:`BatchQueryStats` and :func:`fold_query_stats`.  Both evaluators
+(`core/aggregator.py` and `core/multiquery.py`) go through these, and
+the ``from_trace`` constructors rebuild the same counters from a
+:class:`repro.obs.trace.QueryTrace` — so the legacy counters and the
+observability layer cannot drift apart without a test noticing.
+"""
 
 from __future__ import annotations
 
@@ -12,6 +21,7 @@ __all__ = [
     "BatchQueryStats",
     "TKAQBatchResult",
     "EKAQBatchResult",
+    "fold_query_stats",
 ]
 
 
@@ -28,6 +38,34 @@ class QueryStats:
     nodes_expanded: int = 0
     leaves_evaluated: int = 0
     points_evaluated: int = 0
+
+    def record_leaf(self, n_points: int) -> None:
+        """Count one leaf evaluated exactly over ``n_points`` points."""
+        self.leaves_evaluated += 1
+        self.points_evaluated += n_points
+
+    def record_expansion(self) -> None:
+        """Count one internal node replaced by its children's bounds."""
+        self.nodes_expanded += 1
+
+    def bound_evaluations(self) -> int:
+        """Node-bound computations implied by the refinement: the root
+        plus two children per expansion."""
+        return 1 + 2 * self.nodes_expanded
+
+    @classmethod
+    def from_trace(cls, trace) -> "QueryStats":
+        """Rebuild the counters from a single-query ``QueryTrace``.
+
+        Uses the trace's running totals (exact even when the stored round
+        list was truncated); a refinement round maps 1:1 to a heap pop.
+        """
+        return cls(
+            iterations=trace.total_rounds,
+            nodes_expanded=trace.total_expanded,
+            leaves_evaluated=trace.total_leaves,
+            points_evaluated=trace.total_points,
+        )
 
 
 @dataclass
@@ -92,6 +130,57 @@ class BatchQueryStats:
     active_counts: list[int] = field(default_factory=list)
     retired_per_round: list[int] = field(default_factory=list)
 
+    def record_round(self, frontier_size: int, n_active: int,
+                     n_retired: int) -> None:
+        """Count one shared-frontier round of the query-major schedule."""
+        self.rounds += 1
+        self.frontier_sizes.append(int(frontier_size))
+        self.active_counts.append(int(n_active))
+        self.retired_per_round.append(int(n_retired))
+
+    def record_leaves(self, n_leaves: int, n_points: int,
+                      n_active: int) -> None:
+        """Count ``n_leaves`` leaves (``n_points`` points total) evaluated
+        exactly for ``n_active`` live queries."""
+        self.leaves_evaluated += int(n_leaves)
+        self.points_evaluated += int(n_active) * int(n_points)
+
+    def record_expansions(self, n_internal: int, n_children: int,
+                          n_active: int) -> None:
+        """Count internal-node splits and their fused bound evaluations."""
+        self.nodes_expanded += int(n_internal)
+        self.bound_evaluations += int(n_active) * int(n_children)
+
+    def merge_query(self, stats: QueryStats) -> None:
+        """Fold one per-query ``QueryStats`` into the batch counters
+        (the loop backend's accounting: rounds = summed heap pops)."""
+        self.rounds += stats.iterations
+        self.nodes_expanded += stats.nodes_expanded
+        self.leaves_evaluated += stats.leaves_evaluated
+        self.points_evaluated += stats.points_evaluated
+        self.bound_evaluations += stats.bound_evaluations()
+
+    @classmethod
+    def from_trace(cls, trace) -> "BatchQueryStats":
+        """Rebuild the batch counters from a multiquery ``QueryTrace``.
+
+        Totals come from the trace's running counters; the per-round
+        lists from its stored round records (complete whenever the trace
+        was not truncated).
+        """
+        stats = cls(
+            n_queries=trace.n_queries,
+            rounds=trace.total_rounds,
+            nodes_expanded=trace.total_expanded,
+            leaves_evaluated=trace.total_leaves,
+            points_evaluated=trace.total_points,
+            bound_evaluations=trace.total_bound_evals,
+        )
+        stats.frontier_sizes = [r.frontier for r in trace.rounds]
+        stats.active_counts = [r.active for r in trace.rounds]
+        stats.retired_per_round = [r.retired for r in trace.rounds]
+        return stats
+
 
 @dataclass
 class TKAQBatchResult:
@@ -128,6 +217,20 @@ class EKAQBatchResult:
 
     def __len__(self) -> int:
         return len(self.estimates)
+
+
+def fold_query_stats(per_query) -> BatchQueryStats:
+    """Fold per-query ``QueryStats`` into one ``BatchQueryStats``.
+
+    The shared accounting rule for every per-query-loop batch path (the
+    aggregator's ``backend="loop"`` and anything else that answers a
+    batch one query at a time).
+    """
+    per_query = list(per_query)
+    stats = BatchQueryStats(n_queries=len(per_query))
+    for st in per_query:
+        stats.merge_query(st)
+    return stats
 
 
 @dataclass

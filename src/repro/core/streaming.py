@@ -27,6 +27,7 @@ from repro.core.errors import InvalidParameterError, as_matrix, as_vector
 from repro.core.kernels import Kernel
 from repro.core.results import EKAQResult, QueryStats, TKAQResult
 from repro.index.builder import build_index
+from repro.obs import runtime as _obs
 
 __all__ = ["StreamingAggregator"]
 
@@ -103,6 +104,10 @@ class StreamingAggregator:
                 weights = np.full(points.shape[0], float(weights))
         self._buf_points.extend(points)
         self._buf_weights.extend(weights.tolist())
+        if _obs.is_enabled():
+            _obs.registry().gauge("streaming.buffer_points").set(
+                len(self._buf_points)
+            )
         self._maybe_rebuild()
 
     def _maybe_rebuild(self) -> None:
@@ -129,6 +134,11 @@ class StreamingAggregator:
         self._buf_points = []
         self._buf_weights = []
         self.rebuilds += 1
+        if _obs.is_enabled():
+            reg = _obs.registry()
+            reg.counter("streaming.rebuilds").inc()
+            reg.gauge("streaming.indexed_points").set(tree.n)
+            reg.gauge("streaming.buffer_points").set(0)
 
     # ------------------------------------------------------------------
     # queries
@@ -160,11 +170,17 @@ class StreamingAggregator:
                 answer=answer, lower=shift, upper=shift, tau=float(tau),
                 stats=QueryStats(points_evaluated=len(self._buf_points)),
             )
-        res = self._agg.tkaq(q, float(tau) - shift)
-        res.stats.points_evaluated += len(self._buf_points)
+        # refine the indexed part against the buffer-shifted threshold so
+        # the trace is labelled with the streaming backend and true tau
+        tau_eff = float(tau) - shift
+        lb, ub, stats = self._agg._refine(
+            q, lambda lo, hi: lo > tau_eff or hi <= tau_eff, None,
+            "tkaq", float(tau), backend="streaming",
+        )
+        stats.points_evaluated += len(self._buf_points)
         return TKAQResult(
-            answer=res.answer, lower=res.lower + shift, upper=res.upper + shift,
-            tau=float(tau), stats=res.stats,
+            answer=lb > tau_eff, lower=lb + shift, upper=ub + shift,
+            tau=float(tau), stats=stats,
         )
 
     def ekaq(self, q, eps: float) -> EKAQResult:
@@ -183,6 +199,7 @@ class StreamingAggregator:
             q,
             lambda lo, hi: hi + shift <= (1.0 + float(eps)) * (lo + shift),
             None,
+            "ekaq", float(eps), backend="streaming",
         )
         stats.points_evaluated += len(self._buf_points)
         return EKAQResult(

@@ -1,0 +1,79 @@
+"""repro.obs — query-engine observability: metrics, traces, reports.
+
+Three layers, cheapest first:
+
+* **Metrics** (:mod:`repro.obs.metrics`): process-wide counters / gauges /
+  histograms with ``snapshot()``/``reset()`` — updated once per finished
+  query, never inside refinement loops.
+* **Traces** (:mod:`repro.obs.trace`): per-query :class:`QueryTrace`
+  records — per-round frontier sizes, bound-gap trajectory, exact-leaf
+  kernel work, phase wall-times, and (in compare mode) KARL-vs-SOTA
+  tightness at pruned nodes.  Exported as JSONL
+  (:mod:`repro.obs.export`).
+* **Reports** (:mod:`repro.obs.report`): pretty-printed summaries of a
+  trace set — ``python -m repro.obs.report traces.jsonl``.
+
+Tracing is off by default and costs one ``is None`` check per refinement
+round when disabled.  Turn it on with::
+
+    import repro.obs as obs
+    obs.enable(jsonl="traces.jsonl")      # or REPRO_OBS_TRACE=... env var
+    ...run queries...
+    print(obs.report.summarize(obs.recent_traces()))
+
+(``repro.obs.report`` is imported lazily — it pulls in the bench table
+renderer, which the hot query path must not depend on.)
+
+See ``docs/observability.md`` for the full guide and metrics glossary.
+"""
+
+from repro.obs.export import JsonlTraceSink, load_traces, read_traces
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.runtime import (
+    clear_recent,
+    compare_enabled,
+    disable,
+    enable,
+    finish_trace,
+    is_enabled,
+    recent_traces,
+    start_trace,
+)
+from repro.obs.trace import QueryTrace, TraceRound
+
+__all__ = [
+    "enable",
+    "disable",
+    "is_enabled",
+    "compare_enabled",
+    "start_trace",
+    "finish_trace",
+    "recent_traces",
+    "clear_recent",
+    "QueryTrace",
+    "TraceRound",
+    "JsonlTraceSink",
+    "read_traces",
+    "load_traces",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+]
+
+
+def __getattr__(name):
+    # lazy: repro.obs.report imports the bench table renderer, which must
+    # not be pulled into the query hot path's import graph
+    if name == "report":
+        import repro.obs.report as report
+
+        return report
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

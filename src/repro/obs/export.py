@@ -1,0 +1,55 @@
+"""JSONL trace persistence: one JSON object per finished trace.
+
+The JSONL format keeps traces greppable and streamable — a long benchmark
+run appends as it goes, and :mod:`repro.obs.report` (or any ``jq``
+pipeline) reads the file back without loading everything at once.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.trace import QueryTrace
+
+__all__ = ["JsonlTraceSink", "read_traces", "load_traces"]
+
+
+class JsonlTraceSink:
+    """Appends finished traces to a JSONL file, one line each.
+
+    The file handle is opened lazily on the first write (so enabling
+    tracing costs nothing until a query runs) and flushed per line so a
+    crashed run still leaves a readable trace file.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._fh = None
+
+    def write(self, trace: QueryTrace) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        json.dump(trace.to_dict(), self._fh, separators=(",", ":"))
+        self._fh.write("\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def read_traces(path):
+    """Yield trace dicts from a JSONL file (skips blank lines)."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def load_traces(path) -> list[QueryTrace]:
+    """Read a JSONL trace file back into :class:`QueryTrace` objects."""
+    return [QueryTrace.from_dict(d) for d in read_traces(path)]

@@ -1,0 +1,210 @@
+"""Lightweight in-process metrics: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is a named collection of instruments with a
+``snapshot()``/``reset()`` lifecycle — the shape every serving-side
+metrics pipeline (Prometheus, statsd, ...) can scrape from.  Instruments
+are plain Python objects updated under the GIL; the registry lock guards
+only creation, so the hot path pays one dict lookup + one integer add.
+
+The query engine updates the *default registry* (``default_registry()``)
+once per finished query trace — never inside the refinement loop — so the
+cost is independent of per-round work.  Histograms use fixed bucket
+upper bounds (cumulative, Prometheus-style) chosen at creation.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+]
+
+#: default histogram buckets: powers of two, good for round/point counts
+GEOMETRIC_BUCKETS = tuple(float(2**i) for i in range(0, 21))
+
+#: default latency buckets (seconds): 10us .. 10s, decade thirds
+SECONDS_BUCKETS = tuple(
+    round(10.0**e, 10) for e in [x / 3.0 for x in range(-15, 4)]
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment {amount}")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Gauge:
+    """Last-set value (buffer sizes, frontier widths, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Cumulative-bucket histogram of observed values.
+
+    ``buckets`` are the finite upper bounds; an implicit +inf bucket
+    catches the rest.  ``counts[i]`` is the number of observations
+    ``<= buckets[i]`` (cumulative at snapshot time, per-bucket in
+    storage).
+    """
+
+    __slots__ = ("name", "buckets", "counts", "overflow", "total", "count")
+
+    def __init__(self, name: str, buckets=GEOMETRIC_BUCKETS):
+        self.name = name
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError(f"histogram {self.name!r}: needs >= 1 bucket")
+        self.counts = [0] * len(self.buckets)
+        self.overflow = 0
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.total += value
+        self.count += 1
+        # linear scan beats bisect for the short bucket lists used here
+        for i, ub in enumerate(self.buckets):
+            if value <= ub:
+                self.counts[i] += 1
+                return
+        self.overflow += 1
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: upper bound of the bucket holding rank q."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]; got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        seen = 0
+        for ub, c in zip(self.buckets, self.counts):
+            seen += c
+            if seen >= rank:
+                return ub
+        return math.inf
+
+    def reset(self) -> None:
+        self.counts = [0] * len(self.buckets)
+        self.overflow = 0
+        self.total = 0.0
+        self.count = 0
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics.
+
+    ``counter``/``gauge``/``histogram`` return the existing instrument
+    when the name is already registered (creation is locked; updates are
+    GIL-atomic).  Re-registering a name as a different instrument kind
+    raises.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, cls, *args):
+        inst = self._instruments.get(name)
+        if inst is not None:
+            if not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, not {cls.__name__}"
+                )
+            return inst
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls(name, *args)
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, not {cls.__name__}"
+                )
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, buckets=GEOMETRIC_BUCKETS) -> Histogram:
+        return self._get_or_create(name, Histogram, buckets)
+
+    def snapshot(self) -> dict:
+        """Point-in-time dict of every instrument's state (JSON-friendly)."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, inst in sorted(self._instruments.items()):
+            if isinstance(inst, Counter):
+                out["counters"][name] = inst.value
+            elif isinstance(inst, Gauge):
+                out["gauges"][name] = inst.value
+            else:
+                cumulative = []
+                running = 0
+                for ub, c in zip(inst.buckets, inst.counts):
+                    running += c
+                    cumulative.append([ub, running])
+                out["histograms"][name] = {
+                    "count": inst.count,
+                    "sum": inst.total,
+                    "buckets": cumulative,
+                }
+        return out
+
+    def reset(self) -> None:
+        """Zero every instrument (names stay registered)."""
+        for inst in self._instruments.values():
+            inst.reset()
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry the query engine reports into."""
+    return _DEFAULT

@@ -1,0 +1,175 @@
+"""Trace-set summaries: pruning ratios, bound-gap trajectories, phase times.
+
+``summarize(traces)`` renders the three views the paper's evaluation (and
+any "why was this query slow" investigation) needs:
+
+1. **Overview by (kind, backend, scheme)** — queries, mean rounds, exact
+   points per query, prune ratio, wall time per query, and (compare mode)
+   how many pruned frontier nodes each bound scheme held tighter.
+2. **Per-round pruning by scheme** — frontier width, active queries,
+   retirements, and the cumulative prune ratio round by round.
+3. **Phase wall-times** — where the seconds went (bound evaluation,
+   exact leaf work, termination checks) per backend/scheme.
+
+CLI::
+
+    python -m repro.obs.report traces.jsonl [more.jsonl ...] [--rounds N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+
+from repro.bench.reporting import render_table
+from repro.obs.export import load_traces
+from repro.obs.trace import QueryTrace
+
+__all__ = ["summarize", "main"]
+
+#: how many leading rounds the per-round tables show by default
+_DEFAULT_ROUNDS = 12
+
+
+def _mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values) if values else math.nan
+
+
+def _group_key(t: QueryTrace) -> tuple[str, str, str]:
+    return (t.kind, t.backend, t.scheme)
+
+
+def _overview(groups) -> str:
+    rows = []
+    for (kind, backend, scheme), ts in groups.items():
+        n_queries = sum(t.n_queries for t in ts)
+        karl = sum(t.pruned_nodes_karl_tighter for t in ts)
+        sota = sum(t.pruned_nodes_sota_tighter for t in ts)
+        tied = sum(t.pruned_nodes_tied for t in ts)
+        cmp_cell = f"{karl}/{sota}/{tied}" if karl or sota or tied else "-"
+        rows.append([
+            kind, backend, scheme, len(ts), n_queries,
+            _mean(t.total_rounds / max(1, t.n_queries) for t in ts),
+            _mean(t.total_points / max(1, t.n_queries) for t in ts),
+            _mean(t.prune_ratio() for t in ts),
+            1e3 * _mean(t.wall_time / max(1, t.n_queries) for t in ts),
+            cmp_cell,
+        ])
+    return render_table(
+        "Trace overview (karl/sota/tie = pruned-node bound tightness wins)",
+        ["kind", "backend", "scheme", "traces", "queries", "rounds/q",
+         "exact pts/q", "prune ratio", "ms/q", "karl/sota/tie"],
+        rows,
+    )
+
+
+def _round_rows(ts: list[QueryTrace], max_rounds: int) -> list[list]:
+    """Average the round records of a trace group, position by position."""
+    depth = min(max(len(t.rounds) for t in ts), max_rounds)
+    rows = []
+    for i in range(depth):
+        present = [t for t in ts if len(t.rounds) > i]
+        rnds = [t.rounds[i] for t in present]
+        # cumulative exact points up to and including round i, as a
+        # fraction of the total point work the trace could have done
+        cum_ratio = _mean(
+            1.0 - sum(r.points for r in t.rounds[: i + 1])
+            / (t.n_queries * t.n_points)
+            for t in present
+            if t.n_points
+        )
+        rows.append([
+            i,
+            len(present),
+            _mean(r.frontier for r in rnds),
+            _mean(r.active for r in rnds),
+            sum(r.retired for r in rnds),
+            sum(r.points for r in rnds),
+            cum_ratio,
+            _mean(r.gap for r in rnds if math.isfinite(r.gap)),
+        ])
+    return rows
+
+
+def _per_round(groups, max_rounds: int) -> list[str]:
+    tables = []
+    for (kind, backend, scheme), ts in groups.items():
+        with_rounds = [t for t in ts if t.rounds]
+        if not with_rounds:
+            continue
+        tables.append(render_table(
+            f"Rounds — {kind}/{backend}/{scheme} "
+            f"(first {max_rounds}; gap = mean bound gap, trajectory)",
+            ["round", "traces", "frontier", "active", "retired",
+             "exact pts", "prune ratio", "gap"],
+            _round_rows(with_rounds, max_rounds),
+        ))
+    return tables
+
+
+def _phases(groups) -> str | None:
+    rows = []
+    for (kind, backend, scheme), ts in groups.items():
+        totals: dict[str, float] = {}
+        for t in ts:
+            for name, secs in t.phases.items():
+                totals[name] = totals.get(name, 0.0) + secs
+        whole = sum(totals.values())
+        for name in sorted(totals):
+            rows.append([
+                kind, backend, scheme, name, 1e3 * totals[name],
+                100.0 * totals[name] / whole if whole else math.nan,
+            ])
+    if not rows:
+        return None
+    return render_table(
+        "Phase wall-times",
+        ["kind", "backend", "scheme", "phase", "total ms", "share %"],
+        rows,
+    )
+
+
+def summarize(traces, max_rounds: int = _DEFAULT_ROUNDS) -> str:
+    """Render the full text report for an iterable of traces.
+
+    Accepts :class:`QueryTrace` objects or their ``to_dict`` forms (as
+    read back from JSONL).
+    """
+    traces = [
+        t if isinstance(t, QueryTrace) else QueryTrace.from_dict(t)
+        for t in traces
+    ]
+    if not traces:
+        return "no traces recorded"
+    groups: dict[tuple, list[QueryTrace]] = {}
+    for t in traces:
+        groups.setdefault(_group_key(t), []).append(t)
+    parts = [_overview(groups)]
+    parts.extend(_per_round(groups, max_rounds))
+    phase_table = _phases(groups)
+    if phase_table is not None:
+        parts.append(phase_table)
+    return "\n\n".join(parts)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarize JSONL query traces.",
+    )
+    parser.add_argument("paths", nargs="+", help="JSONL trace file(s)")
+    parser.add_argument(
+        "--rounds", type=int, default=_DEFAULT_ROUNDS,
+        help="how many leading rounds the per-round tables show",
+    )
+    args = parser.parse_args(argv)
+    traces: list[QueryTrace] = []
+    for path in args.paths:
+        traces.extend(load_traces(path))
+    print(summarize(traces, max_rounds=args.rounds))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

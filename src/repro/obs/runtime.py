@@ -1,0 +1,173 @@
+"""Tracing runtime: the zero-cost-when-disabled hook the hot paths call.
+
+Design contract with the evaluators (``core/aggregator.py``,
+``core/multiquery.py``, ``core/dualtree.py``, ``core/streaming.py``,
+``baselines/scan.py``):
+
+* each evaluation calls :func:`start_trace` **once per query/batch**; it
+  returns ``None`` while tracing is disabled (a module-global ``is None``
+  check — no sink objects, no locks, no allocation);
+* inner loops guard every recording statement with a single
+  ``if trace is not None`` — the only per-round cost when disabled;
+* finished traces go through :func:`finish_trace`, which stamps the wall
+  time, pushes the trace into a bounded in-memory ring (for reports and
+  the bench harness), appends to the optional JSONL sink, and folds the
+  totals into the default metrics registry.
+
+Enable programmatically (``repro.obs.enable(jsonl="traces.jsonl")``) or
+by environment::
+
+    REPRO_OBS_TRACE=/tmp/traces.jsonl   # enable + write JSONL
+    REPRO_OBS_FORCE=1                   # enable, in-memory ring only
+    REPRO_OBS_COMPARE=1                 # also dual-evaluate KARL vs SOTA
+                                        # bounds at pruned frontier nodes
+
+Scheme comparison (``compare=True``) re-evaluates every pruned frontier
+node under both bound schemes at trace time; it is the one knob that adds
+work proportional to the frontier, so it defaults to off.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+
+from repro.obs.export import JsonlTraceSink
+from repro.obs.metrics import SECONDS_BUCKETS, default_registry
+from repro.obs.trace import QueryTrace
+
+__all__ = [
+    "enable",
+    "disable",
+    "is_enabled",
+    "compare_enabled",
+    "start_trace",
+    "finish_trace",
+    "recent_traces",
+    "clear_recent",
+    "registry",
+]
+
+#: how many finished traces the in-memory ring keeps by default
+_DEFAULT_RING = 1024
+
+# module-global state: `_ring is None` <=> disabled (the hot-path check)
+_ring: deque | None = None
+_sink: JsonlTraceSink | None = None
+_compare: bool = False
+
+
+def enable(jsonl=None, ring_capacity: int = _DEFAULT_RING,
+           compare: bool = False) -> None:
+    """Turn tracing on (idempotent; reconfigures if already on).
+
+    Parameters
+    ----------
+    jsonl : path-like, optional
+        Append every finished trace to this JSONL file.
+    ring_capacity : int
+        How many recent traces to keep in memory for
+        :func:`recent_traces` / report embedding.
+    compare : bool
+        Also evaluate KARL and SOTA bounds at every pruned frontier node
+        so traces record which scheme bounded it tighter (adds trace-time
+        work proportional to the frontier size).
+    """
+    global _ring, _sink, _compare
+    if _sink is not None:
+        _sink.close()
+    _ring = deque(maxlen=int(ring_capacity))
+    _sink = JsonlTraceSink(jsonl) if jsonl else None
+    _compare = bool(compare)
+
+
+def disable() -> None:
+    """Turn tracing off and release the sink (ring contents are dropped)."""
+    global _ring, _sink, _compare
+    if _sink is not None:
+        _sink.close()
+    _ring = None
+    _sink = None
+    _compare = False
+
+
+def is_enabled() -> bool:
+    return _ring is not None
+
+
+def compare_enabled() -> bool:
+    """True when traces should record KARL-vs-SOTA bound comparisons."""
+    return _compare
+
+
+def registry():
+    """The default metrics registry (traced totals, custom gauges)."""
+    return default_registry()
+
+
+def start_trace(kind: str, backend: str, scheme: str, n_points: int,
+                n_queries: int = 1, param: float | None = None):
+    """A fresh :class:`QueryTrace`, or ``None`` while tracing is disabled.
+
+    The ``None`` return is the zero-cost hook: hot paths hold the result
+    in a local and guard recording with ``if trace is not None``.
+    """
+    if _ring is None:
+        return None
+    trace = QueryTrace(
+        kind=kind, backend=backend, scheme=scheme,
+        n_points=n_points, n_queries=n_queries, param=param,
+    )
+    trace.extra["_t0"] = time.perf_counter()
+    return trace
+
+
+def finish_trace(trace: QueryTrace) -> None:
+    """Stamp, persist, and meter a finished trace."""
+    t0 = trace.extra.pop("_t0", None)
+    if t0 is not None:
+        trace.wall_time = time.perf_counter() - t0
+    if _ring is not None:
+        _ring.append(trace)
+    if _sink is not None:
+        _sink.write(trace)
+    _update_metrics(trace)
+
+
+def recent_traces() -> list[QueryTrace]:
+    """Most recent finished traces (oldest first); empty when disabled."""
+    return list(_ring) if _ring is not None else []
+
+
+def clear_recent() -> None:
+    """Drop the in-memory ring contents (tracing stays enabled)."""
+    if _ring is not None:
+        _ring.clear()
+
+
+def _update_metrics(trace: QueryTrace) -> None:
+    reg = default_registry()
+    reg.counter("queries_total").inc(trace.n_queries)
+    reg.counter(f"queries.{trace.kind}.{trace.backend}").inc(trace.n_queries)
+    reg.counter("rounds_total").inc(trace.total_rounds)
+    reg.counter("nodes_expanded_total").inc(trace.total_expanded)
+    reg.counter("leaves_evaluated_total").inc(trace.total_leaves)
+    reg.counter("points_evaluated_total").inc(trace.total_points)
+    reg.counter("bound_evaluations_total").inc(trace.total_bound_evals)
+    reg.histogram("rounds_per_query").observe(
+        trace.total_rounds / max(1, trace.n_queries)
+    )
+    reg.histogram("query_seconds", SECONDS_BUCKETS).observe(
+        trace.wall_time / max(1, trace.n_queries)
+    )
+
+
+# environment-driven enabling: lets CI force the instrumented path on for
+# a whole pytest run without touching any test code
+_env_path = os.environ.get("REPRO_OBS_TRACE")
+if _env_path or os.environ.get("REPRO_OBS_FORCE"):
+    enable(
+        jsonl=_env_path or None,
+        compare=bool(os.environ.get("REPRO_OBS_COMPARE")),
+    )

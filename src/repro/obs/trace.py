@@ -1,0 +1,248 @@
+"""Per-query execution traces: what the refinement loop did, round by round.
+
+A :class:`QueryTrace` records one evaluation — a single query or a whole
+batch — as a list of :class:`TraceRound` records plus running totals and
+per-phase wall times.  Rounds map 1:1 to refinement steps (one heap pop
+for the sequential evaluator, one shared-frontier round for the
+multi-query evaluator), so the trace answers "why was this query slow":
+frontier growth, bound-gap trajectory, where the exact kernel work went,
+and — when scheme comparison is on — whether KARL or SOTA bounds were the
+tighter ones at the nodes that ended up pruned.
+
+Totals are maintained independently of the ``rounds`` list, which is
+capped at :data:`MAX_ROUNDS` records to bound trace memory on
+pathological refinements; derived statistics
+(:meth:`~repro.core.results.QueryStats.from_trace`) always use the
+totals and therefore stay exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["TraceRound", "QueryTrace", "MAX_ROUNDS"]
+
+#: per-trace cap on stored round records (totals keep counting past it)
+MAX_ROUNDS = 8192
+
+
+@dataclass(slots=True)
+class TraceRound:
+    """One refinement step.
+
+    ``frontier`` is the frontier width associated with the step — after
+    the pop for the sequential evaluator, entering the round for the
+    query-major evaluator (matching ``BatchQueryStats.frontier_sizes``).
+    ``points`` counts
+    exact kernel evaluations this step, query-weighted for batches (a
+    leaf of k points evaluated for m active queries adds m*k).
+    ``pruned_points`` is the query-weighted number of points certified
+    away at retirement (points still under the frontier when a query's
+    bounds certified its answer).  ``lb``/``ub`` are the global bounds
+    after the step for single queries; ``gap`` is the mean bound gap
+    over still-active queries (``ub - lb`` for single queries).
+    """
+
+    frontier: int = 0
+    active: int = 1
+    expanded: int = 0
+    leaves: int = 0
+    points: int = 0
+    retired: int = 0
+    pruned_points: int = 0
+    bound_evals: int = 0
+    lb: float = math.nan
+    ub: float = math.nan
+    gap: float = math.nan
+
+    def to_dict(self) -> dict:
+        return {
+            "frontier": self.frontier,
+            "active": self.active,
+            "expanded": self.expanded,
+            "leaves": self.leaves,
+            "points": self.points,
+            "retired": self.retired,
+            "pruned_points": self.pruned_points,
+            "bound_evals": self.bound_evals,
+            "lb": self.lb,
+            "ub": self.ub,
+            "gap": self.gap,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TraceRound":
+        return cls(**{k: d[k] for k in d if k in cls.__dataclass_fields__})
+
+
+@dataclass
+class QueryTrace:
+    """Trace of one query (or query batch) evaluation.
+
+    ``kind`` is the query type (``tkaq``/``ekaq``/``refine``), ``backend``
+    the evaluator (``loop``/``multiquery``/``dualtree``/``scan``/
+    ``streaming``), ``scheme`` the bound scheme name, ``param`` the query
+    parameter (tau or eps).  The ``total_*`` fields aggregate over every
+    round, including rounds beyond the stored-record cap.
+    """
+
+    kind: str
+    backend: str
+    scheme: str
+    n_points: int
+    n_queries: int = 1
+    param: float | None = None
+    rounds: list[TraceRound] = field(default_factory=list)
+    truncated: bool = False
+    phases: dict[str, float] = field(default_factory=dict)
+    # running totals (kept exact even when `rounds` is truncated)
+    total_rounds: int = 0
+    total_expanded: int = 0
+    total_leaves: int = 0
+    total_points: int = 0
+    total_retired: int = 0
+    total_bound_evals: int = 0
+    #: query-weighted points certified away at retirement
+    pruned_points: int = 0
+    # scheme comparison at pruned frontier nodes (compare mode only)
+    pruned_nodes_karl_tighter: int = 0
+    pruned_nodes_sota_tighter: int = 0
+    pruned_nodes_tied: int = 0
+    wall_time: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record_round(
+        self,
+        frontier: int,
+        expanded: int = 0,
+        leaves: int = 0,
+        points: int = 0,
+        active: int = 1,
+        retired: int = 0,
+        pruned_points: int = 0,
+        bound_evals: int = 0,
+        lb: float = math.nan,
+        ub: float = math.nan,
+        gap: float | None = None,
+    ) -> None:
+        """Append one refinement step and fold it into the totals."""
+        self.total_rounds += 1
+        self.total_expanded += expanded
+        self.total_leaves += leaves
+        self.total_points += points
+        self.total_retired += retired
+        self.total_bound_evals += bound_evals
+        self.pruned_points += pruned_points
+        if len(self.rounds) >= MAX_ROUNDS:
+            self.truncated = True
+            return
+        if gap is None:
+            gap = ub - lb
+        self.rounds.append(TraceRound(
+            frontier=frontier, active=active, expanded=expanded,
+            leaves=leaves, points=points, retired=retired,
+            pruned_points=pruned_points, bound_evals=bound_evals,
+            lb=lb, ub=ub, gap=gap,
+        ))
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Accumulate wall time into a named phase."""
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+
+    def record_pruned_comparison(
+        self, karl_tighter: int, sota_tighter: int, tied: int
+    ) -> None:
+        """Count pruned frontier nodes by which scheme bounded them tighter."""
+        self.pruned_nodes_karl_tighter += karl_tighter
+        self.pruned_nodes_sota_tighter += sota_tighter
+        self.pruned_nodes_tied += tied
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+
+    def points_accounted(self) -> int:
+        """Exact-evaluated + pruned points (query-weighted).
+
+        Every point is either evaluated exactly at a leaf or still under a
+        frontier node when its query certifies, so for a completed trace
+        this equals ``n_queries * n_points`` — the conservation law the
+        trace-consistency tests assert.
+        """
+        return self.total_points + self.pruned_points
+
+    def prune_ratio(self) -> float:
+        """Fraction of point work avoided: 1 - evaluated / (queries * n)."""
+        denom = self.n_queries * self.n_points
+        return 1.0 - self.total_points / denom if denom else math.nan
+
+    def gap_trajectory(self) -> list[float]:
+        """Per-round bound gaps (mean over active queries for batches)."""
+        return [r.gap for r in self.rounds]
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "backend": self.backend,
+            "scheme": self.scheme,
+            "n_points": self.n_points,
+            "n_queries": self.n_queries,
+            "param": self.param,
+            "wall_time": self.wall_time,
+            "truncated": self.truncated,
+            "totals": {
+                "rounds": self.total_rounds,
+                "expanded": self.total_expanded,
+                "leaves": self.total_leaves,
+                "points": self.total_points,
+                "retired": self.total_retired,
+                "bound_evals": self.total_bound_evals,
+                "pruned_points": self.pruned_points,
+            },
+            "pruned_scheme_comparison": {
+                "karl_tighter": self.pruned_nodes_karl_tighter,
+                "sota_tighter": self.pruned_nodes_sota_tighter,
+                "tied": self.pruned_nodes_tied,
+            },
+            "phases": dict(self.phases),
+            "extra": dict(self.extra),
+            "rounds": [r.to_dict() for r in self.rounds],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "QueryTrace":
+        totals = d.get("totals", {})
+        cmp_ = d.get("pruned_scheme_comparison", {})
+        trace = cls(
+            kind=d["kind"],
+            backend=d["backend"],
+            scheme=d["scheme"],
+            n_points=d["n_points"],
+            n_queries=d.get("n_queries", 1),
+            param=d.get("param"),
+            truncated=d.get("truncated", False),
+            phases=dict(d.get("phases", {})),
+            total_rounds=totals.get("rounds", 0),
+            total_expanded=totals.get("expanded", 0),
+            total_leaves=totals.get("leaves", 0),
+            total_points=totals.get("points", 0),
+            total_retired=totals.get("retired", 0),
+            total_bound_evals=totals.get("bound_evals", 0),
+            pruned_points=totals.get("pruned_points", 0),
+            pruned_nodes_karl_tighter=cmp_.get("karl_tighter", 0),
+            pruned_nodes_sota_tighter=cmp_.get("sota_tighter", 0),
+            pruned_nodes_tied=cmp_.get("tied", 0),
+            wall_time=d.get("wall_time", 0.0),
+            extra=dict(d.get("extra", {})),
+        )
+        trace.rounds = [TraceRound.from_dict(r) for r in d.get("rounds", [])]
+        return trace

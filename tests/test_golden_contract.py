@@ -1,0 +1,173 @@
+"""Golden regression contract: frozen Table-7-style workload values.
+
+A deterministic synthetic workload (Type I and Type II Gaussian-KDE, the
+setting of the paper's Table 7) is evaluated once and its outputs frozen
+into ``tests/data/golden_contract.json``:
+
+* the exact aggregates ``F_P(q)`` (hex floats — bit-exact storage),
+* TKAQ answers at the workload's median threshold,
+* eKAQ estimates and terminal bounds for **both** batch backends
+  (per-query loop and query-major multiquery) under both bound schemes.
+
+The tests assert today's code reproduces the frozen values *bitwise*: any
+change to bound math, refinement order, or termination — however small —
+shows up as a diff here, separating "refactored the engine" from "changed
+the answers".
+
+Regenerate intentionally with::
+
+    REPRO_GOLDEN_REGEN=1 PYTHONPATH=src python -m pytest tests/test_golden_contract.py
+
+and review the resulting JSON diff like any other behaviour change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import GaussianKernel, KDTree, KernelAggregator
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_contract.json"
+
+SEED = 20240805
+N_POINTS = 3000
+N_QUERIES = 24
+DIM = 5
+GAMMA = 8.0
+LEAF_CAPACITY = 40
+EPS = 0.1
+
+SCHEMES = ("karl", "sota")
+BACKENDS = ("loop", "multiquery")
+WEIGHTINGS = ("type1", "type2")
+
+
+def _hex_list(values) -> list[str]:
+    return [float(v).hex() for v in np.asarray(values, dtype=np.float64)]
+
+
+def _from_hex(hexes) -> np.ndarray:
+    return np.array([float.fromhex(h) for h in hexes])
+
+
+def _workload():
+    """The frozen dataset/queries: deterministic, clustered, Table-7-like."""
+    rng = np.random.default_rng(SEED)
+    centers = rng.random((8, DIM))
+    which = rng.integers(0, 8, N_POINTS)
+    pts = np.clip(
+        centers[which] + 0.08 * rng.standard_normal((N_POINTS, DIM)), 0.0, 1.0
+    )
+    queries = np.clip(
+        centers[rng.integers(0, 8, N_QUERIES)]
+        + 0.1 * rng.standard_normal((N_QUERIES, DIM)),
+        0.0, 1.0,
+    )
+    weights = {
+        "type1": None,                       # uniform (KDE)
+        "type2": rng.random(N_POINTS) + 0.1,  # positive (1-class SVM style)
+    }
+    return pts, queries, weights
+
+
+def _compute() -> dict:
+    pts, queries, weights = _workload()
+    kernel = GaussianKernel(gamma=GAMMA)
+    out = {
+        "seed": SEED, "n": N_POINTS, "queries": N_QUERIES, "dim": DIM,
+        "gamma": GAMMA, "leaf_capacity": LEAF_CAPACITY, "eps": EPS,
+        "workloads": {},
+    }
+    for wname in WEIGHTINGS:
+        tree = KDTree(pts, weights=weights[wname], leaf_capacity=LEAF_CAPACITY)
+        agg = KernelAggregator(tree, kernel)  # exact() is scheme-independent
+        exact = agg.exact_many(queries)
+        tau = float(np.median(exact))
+        entry = {"exact": _hex_list(exact), "tau": float(tau).hex(),
+                 "schemes": {}}
+        for scheme in SCHEMES:
+            agg = KernelAggregator(tree, kernel, scheme=scheme)
+            per_backend = {}
+            for backend in BACKENDS:
+                tk = agg.tkaq_many_results(queries, tau, backend=backend)
+                ek = agg.ekaq_many_results(queries, EPS, backend=backend)
+                per_backend[backend] = {
+                    "tkaq_answers": [bool(a) for a in tk.answers],
+                    "ekaq_estimates": _hex_list(ek.estimates),
+                    "ekaq_lower": _hex_list(ek.lower),
+                    "ekaq_upper": _hex_list(ek.upper),
+                }
+            entry["schemes"][scheme] = per_backend
+        out["workloads"][wname] = entry
+    return out
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if os.environ.get("REPRO_GOLDEN_REGEN"):
+        data = _compute()
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(data, indent=1) + "\n")
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            f"{GOLDEN_PATH} missing; regenerate with REPRO_GOLDEN_REGEN=1"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def current():
+    return _compute()
+
+
+class TestGoldenContract:
+    def test_workload_parameters_unchanged(self, golden):
+        assert golden["seed"] == SEED
+        assert golden["n"] == N_POINTS
+        assert golden["gamma"] == GAMMA
+
+    @pytest.mark.parametrize("wname", WEIGHTINGS)
+    def test_exact_values_bitwise(self, golden, current, wname):
+        frozen = golden["workloads"][wname]["exact"]
+        now = current["workloads"][wname]["exact"]
+        assert now == frozen
+
+    @pytest.mark.parametrize("wname", WEIGHTINGS)
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_query_outputs_bitwise(self, golden, current, wname, scheme,
+                                   backend):
+        frozen = golden["workloads"][wname]["schemes"][scheme][backend]
+        now = current["workloads"][wname]["schemes"][scheme][backend]
+        assert now["tkaq_answers"] == frozen["tkaq_answers"]
+        assert now["ekaq_estimates"] == frozen["ekaq_estimates"]
+        assert now["ekaq_lower"] == frozen["ekaq_lower"]
+        assert now["ekaq_upper"] == frozen["ekaq_upper"]
+
+    @pytest.mark.parametrize("wname", WEIGHTINGS)
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_eps_contract_on_frozen_values(self, golden, wname, scheme):
+        """The frozen estimates themselves honor the (1 +- eps) contract."""
+        exact = _from_hex(golden["workloads"][wname]["exact"])
+        eps = golden["eps"]
+        for backend in BACKENDS:
+            entry = golden["workloads"][wname]["schemes"][scheme][backend]
+            est = _from_hex(entry["ekaq_estimates"])
+            lo = _from_hex(entry["ekaq_lower"])
+            hi = _from_hex(entry["ekaq_upper"])
+            tol = 1e-12 * (1.0 + np.abs(exact))
+            assert np.all(lo <= exact + tol)
+            assert np.all(exact <= hi + tol)
+            assert np.all(np.abs(est - exact) <= eps * exact + tol)
+
+    @pytest.mark.parametrize("wname", WEIGHTINGS)
+    def test_answers_agree_across_schemes_and_backends(self, golden, wname):
+        entry = golden["workloads"][wname]
+        reference = entry["schemes"]["karl"]["loop"]["tkaq_answers"]
+        for scheme in SCHEMES:
+            for backend in BACKENDS:
+                assert (entry["schemes"][scheme][backend]["tkaq_answers"]
+                        == reference), (scheme, backend)

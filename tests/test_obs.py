@@ -1,0 +1,370 @@
+"""Tests for the observability layer: metrics, traces, runtime, reports."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+import repro.obs.runtime as obs_runtime
+from repro import GaussianKernel, KDTree, KernelAggregator, MultiQueryAggregator
+from repro.obs.metrics import (
+    GEOMETRIC_BUCKETS,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import summarize
+from repro.obs.trace import MAX_ROUNDS, QueryTrace, TraceRound
+
+
+@pytest.fixture
+def obs_sandbox():
+    """Isolate the module-global tracing state (CI may force-enable it)."""
+    saved = (obs_runtime._ring, obs_runtime._sink, obs_runtime._compare)
+    obs_runtime._ring = None
+    obs_runtime._sink = None
+    obs_runtime._compare = False
+    yield
+    obs_runtime._ring, obs_runtime._sink, obs_runtime._compare = saved
+
+
+@pytest.fixture
+def small_problem(rng):
+    pts = rng.random((600, 3))
+    tree = KDTree(pts, leaf_capacity=20)
+    kernel = GaussianKernel(gamma=6.0)
+    return pts, tree, kernel
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_reset(self):
+        c = Counter("x")
+        c.inc(5)
+        c.reset()
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(7)
+        g.inc()
+        g.dec(3)
+        assert g.value == 5.0
+
+
+class TestHistogram:
+    def test_mean_and_count(self):
+        h = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean() == pytest.approx(138.875)
+        assert h.overflow == 1
+
+    def test_quantile_bucket_bounds(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            h.observe(v)
+        assert h.quantile(0.25) == 1.0
+        assert h.quantile(0.75) == 2.0
+        assert h.quantile(1.0) == 4.0
+
+    def test_quantile_overflow_is_inf(self):
+        h = Histogram("h", buckets=(1.0,))
+        h.observe(99.0)
+        assert h.quantile(1.0) == math.inf
+
+    def test_empty_quantile_nan(self):
+        assert math.isnan(Histogram("h").quantile(0.5))
+
+    def test_default_buckets_shapes(self):
+        assert GEOMETRIC_BUCKETS[0] == 1.0
+        assert GEOMETRIC_BUCKETS[-1] == 2.0**20
+        assert all(b > a for a, b in zip(SECONDS_BUCKETS, SECONDS_BUCKETS[1:]))
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_snapshot_layout(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1.0, 2.0)).observe(1.2)
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 2.0
+        assert snap["gauges"]["g"] == 1.5
+        hist = snap["histograms"]["h"]
+        assert hist["count"] == 1
+        assert hist["buckets"] == [[1.0, 0], [2.0, 1]]  # cumulative
+
+    def test_reset_zeroes_but_keeps_names(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(9)
+        reg.reset()
+        assert reg.snapshot()["counters"]["c"] == 0.0
+
+
+class TestQueryTrace:
+    def test_record_round_folds_totals(self):
+        t = QueryTrace("tkaq", "loop", "karl", n_points=100)
+        t.record_round(frontier=2, expanded=1, bound_evals=2, lb=0.0, ub=5.0)
+        t.record_round(frontier=1, leaves=1, points=40, lb=1.0, ub=2.0)
+        assert t.total_rounds == 2
+        assert t.total_expanded == 1
+        assert t.total_leaves == 1
+        assert t.total_points == 40
+        assert t.total_bound_evals == 2
+        assert t.gap_trajectory() == [5.0, 1.0]
+
+    def test_conservation_view(self):
+        t = QueryTrace("ekaq", "loop", "karl", n_points=100)
+        t.record_round(frontier=1, leaves=1, points=30)
+        t.pruned_points += 70
+        assert t.points_accounted() == 100
+        assert t.prune_ratio() == pytest.approx(0.7)
+
+    def test_round_cap_keeps_totals_exact(self):
+        t = QueryTrace("ekaq", "loop", "karl", n_points=10)
+        for _ in range(MAX_ROUNDS + 5):
+            t.record_round(frontier=1, points=1)
+        assert len(t.rounds) == MAX_ROUNDS
+        assert t.truncated
+        assert t.total_rounds == MAX_ROUNDS + 5
+        assert t.total_points == MAX_ROUNDS + 5
+
+    def test_dict_roundtrip(self):
+        t = QueryTrace("tkaq", "multiquery", "hybrid", n_points=50,
+                       n_queries=4, param=0.5)
+        t.record_round(frontier=3, active=4, retired=1, expanded=1,
+                       bound_evals=8, lb=1.0, ub=1.25, gap=0.25)
+        t.add_phase("bounds", 0.125)
+        t.record_pruned_comparison(3, 1, 2)
+        t.extra["note"] = "x"
+        back = QueryTrace.from_dict(json.loads(json.dumps(t.to_dict())))
+        assert back.to_dict() == t.to_dict()
+        assert back.rounds[0].gap == 0.25
+        assert back.pruned_nodes_karl_tighter == 3
+
+    def test_trace_round_from_dict_ignores_unknown_keys(self):
+        r = TraceRound.from_dict({"frontier": 2, "future_field": 1})
+        assert r.frontier == 2
+
+
+class TestRuntime:
+    def test_disabled_start_trace_is_none(self, obs_sandbox):
+        assert obs.start_trace("tkaq", "loop", "karl", 10) is None
+        assert not obs.is_enabled()
+        assert obs.recent_traces() == []
+
+    def test_enable_disable_cycle(self, obs_sandbox):
+        obs.enable()
+        assert obs.is_enabled()
+        t = obs.start_trace("tkaq", "loop", "karl", 10)
+        assert isinstance(t, QueryTrace)
+        obs.finish_trace(t)
+        assert len(obs.recent_traces()) == 1
+        assert obs.recent_traces()[0].wall_time >= 0.0
+        obs.disable()
+        assert not obs.is_enabled()
+        assert obs.recent_traces() == []
+
+    def test_ring_capacity_bounds_memory(self, obs_sandbox):
+        obs.enable(ring_capacity=3)
+        for _ in range(10):
+            obs.finish_trace(obs.start_trace("tkaq", "loop", "karl", 1))
+        assert len(obs.recent_traces()) == 3
+
+    def test_clear_recent_keeps_enabled(self, obs_sandbox):
+        obs.enable()
+        obs.finish_trace(obs.start_trace("tkaq", "loop", "karl", 1))
+        obs.clear_recent()
+        assert obs.is_enabled()
+        assert obs.recent_traces() == []
+
+    def test_compare_flag(self, obs_sandbox):
+        obs.enable(compare=True)
+        assert obs.compare_enabled()
+        obs.enable(compare=False)
+        assert not obs.compare_enabled()
+
+    def test_finish_updates_default_registry(self, obs_sandbox):
+        obs.enable()
+        reg = obs.default_registry()
+        before = reg.counter("queries_total").value
+        t = obs.start_trace("tkaq", "loop", "karl", 10, n_queries=5)
+        t.record_round(frontier=1, points=10)
+        obs.finish_trace(t)
+        assert reg.counter("queries_total").value == before + 5
+
+
+class TestJsonlExport:
+    def test_sink_appends_and_reloads(self, obs_sandbox, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        obs.enable(jsonl=path)
+        for i in range(3):
+            t = obs.start_trace("ekaq", "loop", "karl", 100, param=0.1)
+            t.record_round(frontier=1, leaves=1, points=10 * (i + 1))
+            obs.finish_trace(t)
+        obs.disable()
+        loaded = obs.load_traces(path)
+        assert [t.total_points for t in loaded] == [10, 20, 30]
+        assert all(t.param == 0.1 for t in loaded)
+
+    def test_sink_lazy_reopen_after_close(self, tmp_path):
+        sink = obs.JsonlTraceSink(tmp_path / "t.jsonl")
+        t = QueryTrace("tkaq", "loop", "karl", 1)
+        sink.write(t)
+        sink.close()
+        sink.write(t)  # must reopen, not crash
+        sink.close()
+        assert len(obs.load_traces(tmp_path / "t.jsonl")) == 2
+
+
+class TestEngineTracing:
+    def test_single_query_traced(self, obs_sandbox, small_problem):
+        pts, tree, kernel = small_problem
+        obs.enable()
+        agg = KernelAggregator(tree, kernel)
+        res = agg.ekaq(pts[0], eps=0.05)
+        traces = obs.recent_traces()
+        assert len(traces) == 1
+        t = traces[0]
+        assert (t.kind, t.backend, t.scheme) == ("ekaq", "loop", "karl")
+        assert t.param == 0.05
+        assert t.total_rounds == res.stats.iterations
+        assert t.points_accounted() == tree.n
+        # final recorded global bounds match the result
+        assert t.extra["lb"] == pytest.approx(res.lower)
+        assert t.extra["ub"] == pytest.approx(res.upper)
+
+    def test_batch_traced(self, obs_sandbox, small_problem):
+        pts, tree, kernel = small_problem
+        obs.enable()
+        mq = MultiQueryAggregator(tree, kernel)
+        res = mq.tkaq_many_results(pts[:32], tau=10.0)
+        (t,) = obs.recent_traces()
+        assert (t.kind, t.backend) == ("tkaq", "multiquery")
+        assert t.n_queries == 32
+        assert t.total_rounds == res.stats.rounds
+        assert t.points_accounted() == 32 * tree.n
+
+    def test_compare_mode_records_tightness(self, obs_sandbox, small_problem):
+        pts, tree, kernel = small_problem
+        obs.enable(compare=True)
+        agg = KernelAggregator(tree, kernel)
+        agg.tkaq(pts[0], tau=1e-6)  # certifies early -> pruned frontier
+        (t,) = obs.recent_traces()
+        judged = (t.pruned_nodes_karl_tighter + t.pruned_nodes_sota_tighter
+                  + t.pruned_nodes_tied)
+        assert judged > 0
+
+    def test_disabled_results_identical(self, obs_sandbox, small_problem):
+        pts, tree, kernel = small_problem
+        agg = KernelAggregator(tree, kernel)
+        off = agg.ekaq(pts[3], eps=0.1)
+        obs.enable()
+        on = agg.ekaq(pts[3], eps=0.1)
+        assert on.estimate == off.estimate
+        assert on.stats == off.stats
+
+
+class TestReport:
+    def _traces(self, obs_sandbox, small_problem):
+        pts, tree, kernel = small_problem
+        obs.enable()
+        agg = KernelAggregator(tree, kernel)
+        agg.ekaq(pts[0], eps=0.1)
+        MultiQueryAggregator(tree, kernel).ekaq_many(pts[:16], 0.1)
+        return obs.recent_traces()
+
+    def test_summarize_sections(self, obs_sandbox, small_problem):
+        text = summarize(self._traces(obs_sandbox, small_problem))
+        assert "Trace overview" in text
+        assert "ekaq" in text
+        assert "multiquery" in text
+        assert "Phase wall-times" in text
+        assert "Rounds —" in text
+
+    def test_summarize_accepts_dicts(self, obs_sandbox, small_problem):
+        traces = self._traces(obs_sandbox, small_problem)
+        text = summarize([t.to_dict() for t in traces])
+        assert "Trace overview" in text
+
+    def test_summarize_empty(self):
+        assert summarize([]) == "no traces recorded"
+
+    def test_cli_main(self, obs_sandbox, small_problem, tmp_path, capsys):
+        pts, tree, kernel = small_problem
+        path = tmp_path / "t.jsonl"
+        obs.enable(jsonl=path)
+        KernelAggregator(tree, kernel).ekaq(pts[0], eps=0.1)
+        obs.disable()
+        from repro.obs.report import main
+
+        assert main([str(path), "--rounds", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Trace overview" in out
+
+
+class TestBenchEmbedding:
+    def test_emit_embeds_trace_summary_in_result_file(
+            self, obs_sandbox, tmp_path, monkeypatch, small_problem):
+        import repro.bench.reporting as reporting
+
+        pts, tree, kernel = small_problem
+        obs.enable()
+        KernelAggregator(tree, kernel).ekaq(pts[0], eps=0.1)
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        table = reporting.render_table("T", ["a"], [[1.0]])
+        returned = reporting.emit("obs_embed", table)
+        assert returned == table  # print/return contract unchanged
+        written = (tmp_path / "obs_embed.txt").read_text()
+        assert "Trace overview" in written
+        assert obs.recent_traces() == []  # ring drained into the file
+
+    def test_emit_plain_when_disabled(self, obs_sandbox, tmp_path,
+                                      monkeypatch):
+        import repro.bench.reporting as reporting
+
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        table = reporting.render_table("T", ["a"], [[1.0]])
+        reporting.emit("obs_plain", table)
+        assert (tmp_path / "obs_plain.txt").read_text() == table + "\n"
+
+
+class TestStreamingMetrics:
+    def test_rebuild_and_buffer_gauges(self, obs_sandbox, rng):
+        from repro import StreamingAggregator
+
+        obs.enable()
+        reg = obs.default_registry()
+        before = reg.counter("streaming.rebuilds").value
+        st = StreamingAggregator(GaussianKernel(4.0), min_buffer=4,
+                                 rebuild_fraction=0.1)
+        st.insert(rng.random((50, 3)))
+        assert reg.counter("streaming.rebuilds").value > before
+        assert reg.gauge("streaming.indexed_points").value == 50.0

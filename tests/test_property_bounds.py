@@ -1,0 +1,184 @@
+"""Property-based correctness of node bounds on real index nodes.
+
+``test_bounds.py`` checks the schemes on synthetic (interval, moments)
+inputs; here hypothesis drives the *full stack* — random datasets,
+weights, queries, and kernels, through index construction and the
+evaluator's node-bound path — and asserts the paper's invariants on
+every tree node:
+
+* **Soundness (Lemma 1)**: ``lower <= F_node(q) <= upper`` for every
+  scheme, node, and weighting type;
+* **Dominance (Lemmas 3-4)**: KARL's gap never exceeds SOTA's for
+  convex-decreasing distance kernels, and Hybrid never loses to either;
+* **Matrix/scalar agreement**: the fused batch bound grids equal the
+  scalar per-node bounds the sequential evaluator uses.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregator import KernelAggregator
+from repro.core.bounds import HybridBounds, KARLBounds, SOTABounds
+from repro.core.kernels import (
+    CauchyKernel,
+    EpanechnikovKernel,
+    GaussianKernel,
+    LaplacianKernel,
+    PolynomialKernel,
+    SigmoidKernel,
+)
+from repro.core.multiquery import MultiQueryAggregator
+from repro.index.builder import build_index
+
+SCHEMES = [KARLBounds(), SOTABounds(), HybridBounds()]
+
+#: convex-decreasing distance kernels — the KARL-dominance setting
+DISTANCE_KERNELS = [
+    GaussianKernel(gamma=6.0),
+    LaplacianKernel(gamma=2.5),
+    CauchyKernel(gamma=1.5),
+    EpanechnikovKernel(gamma=0.9),
+]
+
+#: inner-product kernels — soundness must still hold
+IP_KERNELS = [
+    PolynomialKernel(gamma=0.8, coef0=0.3, degree=2),
+    PolynomialKernel(gamma=0.7, coef0=-0.2, degree=3),
+    SigmoidKernel(gamma=0.7, coef0=0.1),
+]
+
+
+@st.composite
+def problem(draw, kernels, signed_allowed=True):
+    """A random (tree, kernel, query) triple via a drawn RNG seed."""
+    seed = draw(st.integers(0, 2**32 - 1))
+    n = draw(st.integers(30, 200))
+    d = draw(st.integers(1, 5))
+    kind = draw(st.sampled_from(["kd", "ball"]))
+    leaf = draw(st.sampled_from([5, 20, 60]))
+    kernel = draw(st.sampled_from(kernels))
+    weighting = draw(
+        st.sampled_from(["uniform", "positive", "signed"])
+        if signed_allowed else st.sampled_from(["uniform", "positive"])
+    )
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, d)) * draw(st.sampled_from([1.0, 4.0]))
+    if weighting == "uniform":
+        w = None
+    elif weighting == "positive":
+        w = rng.random(n) + 1e-3
+    else:
+        w = rng.standard_normal(n)
+    tree = build_index(kind, pts, weights=w, leaf_capacity=leaf)
+    in_hull = draw(st.booleans())
+    q = pts[int(rng.integers(n))] if in_hull else rng.random(d) * 6.0 - 1.0
+    return tree, kernel, np.ascontiguousarray(q)
+
+
+def _exact_node(tree, kernel, q, q_sq, node):
+    sl = slice(int(tree.start[node]), int(tree.end[node]))
+    vals = kernel.pairwise(q, tree.points[sl], tree.sq_norms[sl], q_sq)
+    return float(tree.weights[sl] @ vals)
+
+
+def _tol(*values):
+    return 1e-8 * (1.0 + max(abs(v) for v in values))
+
+
+class TestSoundness:
+    @settings(max_examples=40, deadline=None)
+    @given(p=problem(DISTANCE_KERNELS + IP_KERNELS))
+    def test_every_node_bounds_contain_exact(self, p):
+        tree, kernel, q = p
+        agg = KernelAggregator(tree, kernel)
+        q_sq = float(q @ q)
+        for node in range(tree.num_nodes):
+            exact = _exact_node(tree, kernel, q, q_sq, node)
+            for scheme in SCHEMES:
+                lb, ub = agg._node_bounds(q, q_sq, node, scheme)
+                tol = _tol(exact, lb, ub)
+                assert lb <= exact + tol, (scheme.name, node)
+                assert exact <= ub + tol, (scheme.name, node)
+
+
+class TestDominance:
+    @settings(max_examples=40, deadline=None)
+    @given(p=problem(DISTANCE_KERNELS))
+    def test_karl_never_looser_than_sota(self, p):
+        tree, kernel, q = p
+        agg = KernelAggregator(tree, kernel)
+        q_sq = float(q @ q)
+        karl, sota = KARLBounds(), SOTABounds()
+        for node in range(tree.num_nodes):
+            klb, kub = agg._node_bounds(q, q_sq, node, karl)
+            slb, sub = agg._node_bounds(q, q_sq, node, sota)
+            tol = _tol(klb, kub, slb, sub)
+            assert kub - klb <= (sub - slb) + tol, node
+
+    @settings(max_examples=30, deadline=None)
+    @given(p=problem(DISTANCE_KERNELS))
+    def test_hybrid_best_of_both(self, p):
+        tree, kernel, q = p
+        agg = KernelAggregator(tree, kernel)
+        q_sq = float(q @ q)
+        hybrid = HybridBounds()
+        for node in range(tree.num_nodes):
+            hlb, hub = agg._node_bounds(q, q_sq, node, hybrid)
+            for other in (KARLBounds(), SOTABounds()):
+                olb, oub = agg._node_bounds(q, q_sq, node, other)
+                tol = _tol(hlb, hub, olb, oub)
+                assert hlb >= olb - tol, (other.name, node)
+                assert hub <= oub + tol, (other.name, node)
+
+
+class TestMatrixScalarAgreement:
+    @settings(max_examples=30, deadline=None)
+    @given(p=problem(DISTANCE_KERNELS), seed=st.integers(0, 2**32 - 1))
+    def test_grid_matches_scalar_bounds(self, p, seed):
+        tree, kernel, q = p
+        agg = KernelAggregator(tree, kernel)
+        mq = MultiQueryAggregator(tree, kernel)
+        rng = np.random.default_rng(seed)
+        Q = np.vstack([q, rng.random((3, tree.d))])
+        q_sq = np.einsum("ij,ij->i", Q, Q)
+        nodes = np.arange(tree.num_nodes, dtype=np.int64)
+        for scheme in SCHEMES:
+            lb_mat, ub_mat = mq._grid_bounds(Q, q_sq, nodes, scheme)
+            for i, qi in enumerate(Q):
+                for node in nodes:
+                    lb, ub = agg._node_bounds(qi, float(q_sq[i]), int(node),
+                                              scheme)
+                    assert lb_mat[i, node] == pytest.approx(lb, rel=1e-9,
+                                                            abs=1e-12)
+                    assert ub_mat[i, node] == pytest.approx(ub, rel=1e-9,
+                                                            abs=1e-12)
+
+
+class TestQueryLevelSoundness:
+    """The refined global bounds bracket the true aggregate."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(p=problem(DISTANCE_KERNELS + IP_KERNELS), eps=st.sampled_from(
+        [0.0, 0.05, 0.5]))
+    def test_ekaq_bounds_bracket_exact(self, p, eps):
+        tree, kernel, q = p
+        agg = KernelAggregator(tree, kernel)
+        exact = agg.exact(q)
+        res = agg.ekaq(q, eps)
+        tol = _tol(exact, res.lower, res.upper)
+        assert res.lower <= exact + tol
+        assert exact <= res.upper + tol
+
+    @settings(max_examples=25, deadline=None)
+    @given(p=problem(DISTANCE_KERNELS + IP_KERNELS),
+           frac=st.floats(0.1, 1.9))
+    def test_tkaq_answer_matches_exact(self, p, frac):
+        tree, kernel, q = p
+        agg = KernelAggregator(tree, kernel)
+        exact = agg.exact(q)
+        tau = exact * frac + (1e-6 if exact == 0.0 else 0.0)
+        if abs(exact - tau) < 1e-9 * (1.0 + abs(exact)):
+            return  # knife-edge threshold: float-order sensitive
+        assert agg.tkaq(q, tau).answer == (exact > tau)

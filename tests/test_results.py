@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.core.results import BoundTrace, EKAQResult, QueryStats, TKAQResult
+from repro.core.results import (
+    BatchQueryStats,
+    BoundTrace,
+    EKAQResult,
+    QueryStats,
+    TKAQResult,
+    fold_query_stats,
+)
 
 
 class TestQueryStats:
@@ -17,6 +24,104 @@ class TestQueryStats:
                        points_evaluated=40)
         assert s.nodes_expanded == 2
         assert s.leaves_evaluated == 1
+
+    def test_record_helpers(self):
+        s = QueryStats()
+        s.record_leaf(25)
+        s.record_leaf(15)
+        s.record_expansion()
+        assert s.leaves_evaluated == 2
+        assert s.points_evaluated == 40
+        assert s.nodes_expanded == 1
+        assert s.bound_evaluations() == 1 + 2 * 1  # root + children
+
+    def test_from_trace(self):
+        from repro.obs.trace import QueryTrace
+
+        t = QueryTrace("ekaq", "loop", "karl", n_points=100)
+        t.record_round(frontier=2, expanded=1, bound_evals=2)
+        t.record_round(frontier=1, leaves=1, points=60)
+        s = QueryStats.from_trace(t)
+        assert s == QueryStats(iterations=2, nodes_expanded=1,
+                               leaves_evaluated=1, points_evaluated=60)
+
+
+class TestBatchQueryStats:
+    def test_record_round_appends_schedule(self):
+        s = BatchQueryStats(n_queries=10)
+        s.record_round(1, 10, 0)
+        s.record_round(4, 10, 3)
+        assert s.rounds == 2
+        assert s.frontier_sizes == [1, 4]
+        assert s.active_counts == [10, 10]
+        assert s.retired_per_round == [0, 3]
+
+    def test_record_leaves_is_query_weighted(self):
+        s = BatchQueryStats()
+        s.record_leaves(n_leaves=2, n_points=50, n_active=7)
+        assert s.leaves_evaluated == 2
+        assert s.points_evaluated == 350
+
+    def test_record_expansions_counts_bound_grid(self):
+        s = BatchQueryStats()
+        s.record_expansions(n_internal=3, n_children=6, n_active=5)
+        assert s.nodes_expanded == 3
+        assert s.bound_evaluations == 30
+
+    def test_merge_query_uses_loop_formula(self):
+        s = BatchQueryStats(n_queries=1)
+        s.merge_query(QueryStats(iterations=5, nodes_expanded=4,
+                                 leaves_evaluated=1, points_evaluated=20))
+        assert s.rounds == 5
+        assert s.bound_evaluations == 1 + 2 * 4
+
+    def test_from_trace_rebuilds_schedule(self):
+        from repro.obs.trace import QueryTrace
+
+        t = QueryTrace("tkaq", "multiquery", "karl", n_points=100,
+                       n_queries=8)
+        t.record_round(frontier=1, active=8, retired=2, expanded=1,
+                       bound_evals=16)
+        t.record_round(frontier=2, active=6, retired=6, leaves=1, points=300)
+        s = BatchQueryStats.from_trace(t)
+        assert s.n_queries == 8
+        assert s.rounds == 2
+        assert s.frontier_sizes == [1, 2]
+        assert s.active_counts == [8, 6]
+        assert s.retired_per_round == [2, 6]
+        assert s.points_evaluated == 300
+        assert s.bound_evaluations == 16
+
+
+class TestFoldQueryStats:
+    def test_fold_matches_manual_merge(self):
+        per_query = [
+            QueryStats(iterations=3, nodes_expanded=2, leaves_evaluated=1,
+                       points_evaluated=10),
+            QueryStats(iterations=7, nodes_expanded=5, leaves_evaluated=2,
+                       points_evaluated=90),
+        ]
+        folded = fold_query_stats(per_query)
+        assert folded.n_queries == 2
+        assert folded.rounds == 10
+        assert folded.nodes_expanded == 7
+        assert folded.leaves_evaluated == 3
+        assert folded.points_evaluated == 100
+        assert folded.bound_evaluations == sum(
+            s.bound_evaluations() for s in per_query
+        )
+
+    def test_fold_empty(self):
+        folded = fold_query_stats([])
+        assert folded.n_queries == 0
+        assert folded.rounds == 0
+
+    def test_fold_accepts_generator(self):
+        folded = fold_query_stats(
+            QueryStats(iterations=1) for _ in range(3)
+        )
+        assert folded.n_queries == 3
+        assert folded.rounds == 3
 
 
 class TestBoundTrace:

@@ -1,0 +1,193 @@
+"""Trace/engine consistency: conservation laws and counter equivalence.
+
+Two invariants tie the observability layer to the evaluators:
+
+1. **Point conservation** — for any completed query, every point is either
+   evaluated exactly at a leaf or still under a frontier node when the
+   query certifies, so ``total_points + pruned_points`` equals
+   ``n_queries * n`` (query-weighted for batches; pair-weighted for the
+   dual tree, where approximated/zero pairs play the pruned role).
+2. **Counter equivalence** — ``QueryStats.from_trace`` /
+   ``BatchQueryStats.from_trace`` rebuild exactly the counters the legacy
+   stats path reports, so the two accounting systems cannot drift apart.
+"""
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+import repro.obs.runtime as obs_runtime
+from repro import (
+    DualTreeEvaluator,
+    GaussianKernel,
+    KDTree,
+    KernelAggregator,
+    LaplacianKernel,
+    MultiQueryAggregator,
+    ScanEvaluator,
+    StreamingAggregator,
+)
+from repro.core.results import BatchQueryStats, QueryStats
+
+
+@pytest.fixture
+def traced():
+    """Enable tracing for the test, restoring whatever state CI set up."""
+    saved = (obs_runtime._ring, obs_runtime._sink, obs_runtime._compare)
+    obs_runtime._sink = None
+    obs.enable()
+    yield
+    obs_runtime._ring, obs_runtime._sink, obs_runtime._compare = saved
+
+
+@pytest.fixture
+def problem(rng):
+    pts = rng.random((1500, 4))
+    tree = KDTree(pts, leaf_capacity=25)
+    return pts, tree
+
+
+def _last_trace():
+    traces = obs.recent_traces()
+    assert traces, "no trace recorded"
+    return traces[-1]
+
+
+class TestConservation:
+    @pytest.mark.parametrize("scheme", ["karl", "sota", "hybrid"])
+    def test_loop_tkaq(self, traced, problem, scheme):
+        pts, tree = problem
+        agg = KernelAggregator(tree, GaussianKernel(6.0), scheme=scheme)
+        for tau in (1e-6, 10.0, 1e6):
+            agg.tkaq(pts[0], tau)
+            t = _last_trace()
+            assert t.points_accounted() == tree.n
+            assert t.scheme == scheme
+
+    def test_loop_ekaq_exhaustion(self, traced, problem, rng):
+        pts, tree = problem
+        # signed weights can refine to exhaustion: still conserves
+        tree = KDTree(pts, leaf_capacity=25,
+                      weights=rng.standard_normal(len(pts)))
+        agg = KernelAggregator(tree, GaussianKernel(6.0))
+        agg.ekaq(pts[0], eps=0.0)
+        assert _last_trace().points_accounted() == tree.n
+
+    @pytest.mark.parametrize("kind", ["tkaq", "ekaq"])
+    def test_multiquery(self, traced, problem, kind):
+        pts, tree = problem
+        mq = MultiQueryAggregator(tree, GaussianKernel(6.0))
+        if kind == "tkaq":
+            mq.tkaq_many_results(pts[:64], tau=5.0)
+        else:
+            mq.ekaq_many_results(pts[:64], eps=0.05)
+        t = _last_trace()
+        assert t.n_queries == 64
+        assert t.points_accounted() == 64 * tree.n
+
+    def test_scan(self, traced, problem):
+        pts, _ = problem
+        sc = ScanEvaluator(pts, GaussianKernel(6.0))
+        sc.tkaq(pts[0], 1.0)
+        assert _last_trace().points_accounted() == len(pts)
+        sc.ekaq_many(pts[:10], 0.1)
+        t = _last_trace()
+        assert t.points_accounted() == 10 * len(pts)
+        assert t.prune_ratio() == 0.0
+
+    @pytest.mark.parametrize("kernel", [GaussianKernel(6.0), LaplacianKernel(2.0)])
+    def test_dualtree(self, traced, problem, kernel):
+        pts, tree = problem
+        dt = DualTreeEvaluator(tree, kernel)
+        dt.ekaq_many(pts[:128], eps=0.2)
+        t = _last_trace()
+        assert t.backend == "dualtree"
+        assert t.points_accounted() == 128 * tree.n
+
+    def test_streaming(self, traced, problem):
+        pts, _ = problem
+        st = StreamingAggregator(GaussianKernel(6.0))
+        st.insert(pts[:1200])
+        st.rebuild()
+        st.insert(pts[1200:1300])  # stays buffered (< min_buffer)
+        st.tkaq(pts[0], 5.0)
+        t = _last_trace()
+        assert t.backend == "streaming"
+        # the trace covers the indexed part; buffered points are exact adds
+        assert t.points_accounted() == 1200
+
+
+class TestCounterEquivalence:
+    def test_query_stats_from_trace(self, traced, problem):
+        pts, tree = problem
+        agg = KernelAggregator(tree, GaussianKernel(6.0))
+        res = agg.ekaq(pts[1], eps=0.05)
+        rebuilt = QueryStats.from_trace(_last_trace())
+        assert rebuilt == res.stats
+
+    def test_query_stats_from_trace_tkaq(self, traced, problem):
+        pts, tree = problem
+        agg = KernelAggregator(tree, GaussianKernel(6.0))
+        res = agg.tkaq(pts[2], tau=20.0)
+        assert QueryStats.from_trace(_last_trace()) == res.stats
+
+    def test_batch_stats_from_trace(self, traced, problem):
+        pts, tree = problem
+        mq = MultiQueryAggregator(tree, GaussianKernel(6.0))
+        res = mq.ekaq_many_results(pts[:48], eps=0.1)
+        rebuilt = BatchQueryStats.from_trace(_last_trace())
+        s = res.stats
+        assert rebuilt.rounds == s.rounds
+        assert rebuilt.nodes_expanded == s.nodes_expanded
+        assert rebuilt.leaves_evaluated == s.leaves_evaluated
+        assert rebuilt.points_evaluated == s.points_evaluated
+        assert rebuilt.bound_evaluations == s.bound_evaluations
+        assert rebuilt.frontier_sizes == s.frontier_sizes
+        assert rebuilt.active_counts == s.active_counts
+        assert rebuilt.retired_per_round == s.retired_per_round
+
+    def test_per_round_retired_sums_to_batch(self, traced, problem):
+        pts, tree = problem
+        mq = MultiQueryAggregator(tree, GaussianKernel(6.0))
+        mq.tkaq_many_results(pts[:40], tau=5.0)
+        t = _last_trace()
+        assert sum(r.retired for r in t.rounds) == 40
+        assert t.total_retired == 40
+
+    def test_loop_bound_evals_match_formula(self, traced, problem):
+        pts, tree = problem
+        agg = KernelAggregator(tree, GaussianKernel(6.0))
+        res = agg.ekaq(pts[4], eps=0.1)
+        t = _last_trace()
+        assert t.total_bound_evals == res.stats.bound_evaluations()
+        assert t.total_bound_evals == 1 + 2 * res.stats.nodes_expanded
+
+
+class TestTracingChangesNothing:
+    """Answers and stats are bit-identical with tracing on vs off."""
+
+    def test_loop_and_batch(self, problem):
+        pts, tree = problem
+        saved = (obs_runtime._ring, obs_runtime._sink, obs_runtime._compare)
+        try:
+            agg = KernelAggregator(tree, GaussianKernel(6.0))
+            mq = MultiQueryAggregator(tree, GaussianKernel(6.0))
+
+            obs_runtime._ring = None
+            obs_runtime._sink = None
+            off_e = agg.ekaq(pts[5], eps=0.1)
+            off_b = mq.tkaq_many_results(pts[:32], tau=5.0)
+
+            obs.enable(compare=True)
+            on_e = agg.ekaq(pts[5], eps=0.1)
+            on_b = mq.tkaq_many_results(pts[:32], tau=5.0)
+        finally:
+            obs_runtime._ring, obs_runtime._sink, obs_runtime._compare = saved
+
+        assert on_e.estimate == off_e.estimate
+        assert on_e.lower == off_e.lower and on_e.upper == off_e.upper
+        assert on_e.stats == off_e.stats
+        assert np.array_equal(on_b.answers, off_b.answers)
+        assert np.array_equal(on_b.lower, off_b.lower)
+        assert on_b.stats.rounds == off_b.stats.rounds
+        assert on_b.stats.frontier_sizes == off_b.stats.frontier_sizes
