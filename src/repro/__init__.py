@@ -48,6 +48,7 @@ from repro.core import (
     LaplacianKernel,
     MultiQueryAggregator,
     NotFittedError,
+    ParallelExecutionError,
     OfflineTuner,
     OfflineTuningReport,
     OnlineTuner,
@@ -84,6 +85,7 @@ from repro.kde import (
     scott_bandwidth,
     scott_gamma,
 )
+from repro.parallel import ParallelEvaluator
 from repro.regression import NadarayaWatson
 from repro.svm import (
     SVC,
@@ -103,6 +105,7 @@ __all__ = [
     "BatchKernelAggregator",
     "MultiQueryAggregator",
     "DualTreeEvaluator",
+    "ParallelEvaluator",
     "BoundScheme",
     "KARLBounds",
     "SOTABounds",
@@ -165,5 +168,6 @@ __all__ = [
     "InvalidParameterError",
     "DataShapeError",
     "NotFittedError",
+    "ParallelExecutionError",
     "__version__",
 ]

@@ -15,6 +15,7 @@ from repro.core.errors import (
     DataShapeError,
     InvalidParameterError,
     NotFittedError,
+    ParallelExecutionError,
     ReproError,
 )
 from repro.core.kernels import (
@@ -101,4 +102,5 @@ __all__ = [
     "InvalidParameterError",
     "DataShapeError",
     "NotFittedError",
+    "ParallelExecutionError",
 ]

@@ -46,11 +46,33 @@ __all__ = ["KernelAggregator", "resolve_scheme"]
 #: SOTA bounds at the frontier nodes left unopened at termination)
 _COMPARE_SCHEMES = (KARLBounds(), SOTABounds())
 
-#: refresh the incrementally-maintained frontier sums every this many pops,
-#: bounding floating-point drift over long refinement runs
-_RESYNC_EVERY = 4096
+#: cap on the element count of one (queries x points) kernel grid in
+#: ``exact_many``; larger batches are evaluated in query blocks so the
+#: temporaries stay cache-friendly (~32 MB of float64)
+_MAX_EXACT_ELEMENTS = 1 << 22
+
+#: test hook: when True, the refinement loop cross-checks its compensated
+#: running frontier sums against a full O(|heap|) re-summation every pop
+_VERIFY_FRONTIER = False
 
 _SCHEMES = {"karl": KARLBounds, "sota": SOTABounds, "hybrid": HybridBounds}
+
+
+def _acc_add(s: float, c: float, x: float) -> tuple[float, float]:
+    """One Neumaier step: fold ``x`` into the compensated sum ``(s, c)``.
+
+    The frontier lower/upper sums are maintained incrementally across heap
+    pushes and pops; plain floating adds would drift over long refinement
+    runs (the old design periodically re-summed the whole heap, an
+    O(|heap|) stall).  Compensated summation keeps the running value exact
+    to within one rounding of the true sum with O(1) work per update.
+    """
+    t = s + x
+    if abs(s) >= abs(x):
+        c += (s - t) + x
+    else:
+        c += (x - t) + s
+    return t, c
 
 
 def resolve_scheme(scheme) -> BoundScheme:
@@ -90,6 +112,8 @@ class KernelAggregator:
         self.max_depth = max_depth
         self._has_neg = tree.stats.has_negative
         self._multiquery = None  # lazily-built batch backend (same config)
+        self._parallel = None    # lazily-built process pool backend
+        self._parallel_key = None
         # _pair_bounds relies on BFS sibling adjacency (right == left + 1)
         internal = tree.left >= 0
         if not np.all(tree.right[internal] == tree.left[internal] + 1):
@@ -111,8 +135,31 @@ class KernelAggregator:
         return float(self.tree.weights @ vals)
 
     def exact_many(self, queries) -> np.ndarray:
-        """Exact ``F_P(q)`` for each row of ``queries``."""
-        return np.array([self.exact(q) for q in self._check_queries(queries)])
+        """Exact ``F_P(q)`` for each row of ``queries``.
+
+        Evaluated as blocked Gram-style matrix products (the same fused
+        shape as the multiquery leaf path) rather than a per-query Python
+        loop; query blocks are sized so the ``(block, n)`` kernel grid
+        stays within :data:`_MAX_EXACT_ELEMENTS`.
+        """
+        Q = self._check_queries(queries)
+        tree = self.tree
+        out = np.empty(Q.shape[0])
+        per = max(1, _MAX_EXACT_ELEMENTS // tree.n)
+        dist_arg = self.kernel.argument == "dist_sq"
+        for s in range(0, Q.shape[0], per):
+            block = Q[s:s + per]
+            if dist_arg:
+                q_sq = np.einsum("ij,ij->i", block, block)
+                arg = (
+                    q_sq[:, None] - 2.0 * (block @ tree.points.T)
+                    + tree.sq_norms[None, :]
+                )
+                np.maximum(arg, 0.0, out=arg)
+            else:
+                arg = block @ tree.points.T
+            out[s:s + per] = self.kernel.profile.value(arg) @ tree.weights
+        return out
 
     # ------------------------------------------------------------------
     # node helpers
@@ -212,13 +259,15 @@ class KernelAggregator:
 
         root_lb, root_ub = self._node_bounds(q, q_sq, 0)
         exact_sum = 0.0
-        frontier_lb = root_lb
-        frontier_ub = root_ub
+        # frontier sums as compensated (sum, correction) pairs, maintained
+        # incrementally on every push/pop — no periodic O(|heap|) resync
+        frontier_lb, comp_lb = root_lb, 0.0
+        frontier_ub, comp_ub = root_ub, 0.0
         tie = count()
         heap = [(-(root_ub - root_lb), next(tie), 0, root_lb, root_ub)]
 
-        lb = exact_sum + frontier_lb
-        ub = exact_sum + frontier_ub
+        lb = exact_sum + (frontier_lb + comp_lb)
+        ub = exact_sum + (frontier_ub + comp_ub)
         if trace is not None:
             trace.record(lb, ub)
         if otrace is not None:
@@ -227,8 +276,8 @@ class KernelAggregator:
         while heap and not stop(lb, ub):
             stats.iterations += 1
             _, _, node, node_lb, node_ub = heapq.heappop(heap)
-            frontier_lb -= node_lb
-            frontier_ub -= node_ub
+            frontier_lb, comp_lb = _acc_add(frontier_lb, comp_lb, -node_lb)
+            frontier_ub, comp_ub = _acc_add(frontier_ub, comp_ub, -node_ub)
             if otrace is not None:
                 pop_t0 = time.perf_counter()
                 pop_expanded = pop_leaves = pop_points = 0
@@ -244,8 +293,8 @@ class KernelAggregator:
                 stats.record_expansion()
                 first = int(self.tree.left[node])
                 for j, (c_lb, c_ub) in enumerate(self._pair_bounds(q, q_sq, first)):
-                    frontier_lb += c_lb
-                    frontier_ub += c_ub
+                    frontier_lb, comp_lb = _acc_add(frontier_lb, comp_lb, c_lb)
+                    frontier_ub, comp_ub = _acc_add(frontier_ub, comp_ub, c_ub)
                     heapq.heappush(
                         heap, (-(c_ub - c_lb), next(tie), first + j, c_lb, c_ub)
                     )
@@ -253,12 +302,12 @@ class KernelAggregator:
                     pop_expanded = 1
                     otrace.add_phase("bounds", time.perf_counter() - pop_t0)
 
-            if stats.iterations % _RESYNC_EVERY == 0:
-                frontier_lb = sum(item[3] for item in heap)
-                frontier_ub = sum(item[4] for item in heap)
+            if _VERIFY_FRONTIER:
+                self._verify_frontier(heap, frontier_lb + comp_lb,
+                                      frontier_ub + comp_ub)
 
-            lb = exact_sum + frontier_lb
-            ub = exact_sum + frontier_ub
+            lb = exact_sum + (frontier_lb + comp_lb)
+            ub = exact_sum + (frontier_ub + comp_ub)
             if trace is not None:
                 trace.record(lb, ub)
             if otrace is not None:
@@ -273,6 +322,18 @@ class KernelAggregator:
         if otrace is not None:
             self._finish_trace(otrace, q, q_sq, heap, stats, lb, ub)
         return lb, ub, stats
+
+    @staticmethod
+    def _verify_frontier(heap, inc_lb: float, inc_ub: float) -> None:
+        """Parity check (test hook): incremental sums vs full re-summation."""
+        full_lb = sum(item[3] for item in heap)
+        full_ub = sum(item[4] for item in heap)
+        for inc, full in ((inc_lb, full_lb), (inc_ub, full_ub)):
+            if abs(inc - full) > 1e-9 * max(1.0, abs(full)):
+                raise AssertionError(
+                    f"incremental frontier sum {inc!r} drifted from "
+                    f"re-summed value {full!r}"
+                )
 
     def _finish_trace(self, otrace, q, q_sq, heap, stats, lb, ub) -> None:
         """Terminal trace accounting: pruned frontier + scheme comparison.
@@ -394,7 +455,8 @@ class KernelAggregator:
             return None
         if backend not in ("auto", "multiquery"):
             raise InvalidParameterError(
-                f"backend must be 'auto', 'multiquery', or 'loop'; got {backend!r}"
+                f"backend must be 'auto', 'multiquery', 'parallel', or "
+                f"'loop'; got {backend!r}"
             )
         supported = MultiQueryAggregator.supports(self.kernel, self.scheme)
         if not supported:
@@ -415,17 +477,76 @@ class KernelAggregator:
         """Fold per-query ``QueryStats`` into one batch counter set."""
         return fold_query_stats(per_query)
 
-    def tkaq_many_results(self, queries, tau: float,
-                          backend: str = "auto") -> TKAQBatchResult:
+    def _parallel_backend(self, n_workers, chunk_size):
+        """Resolve (lazily build / reuse) the process-pool batch backend.
+
+        The pool is keyed on ``(n_workers, chunk_size)``: repeated calls
+        with the same shape reuse the warm pool and shared-memory index;
+        changing either tears the old pool down first.
+        """
+        from repro.parallel.evaluator import ParallelEvaluator
+
+        key = (n_workers, chunk_size)
+        if self._parallel is not None and self._parallel_key != key:
+            self._parallel.close()
+            self._parallel = None
+        if self._parallel is None:
+            self._parallel = ParallelEvaluator(
+                self.tree, self.kernel, scheme=self.scheme,
+                max_depth=self.max_depth,
+                n_workers=n_workers, chunk_size=chunk_size,
+            )
+            self._parallel_key = key
+        return self._parallel
+
+    def close(self) -> None:
+        """Release the process pool and shared-memory blocks, if any.
+
+        Only the ``backend="parallel"`` path holds OS resources; serial
+        use never needs this.  Safe to call repeatedly; the aggregator
+        remains usable (a later parallel call rebuilds the pool).
+        """
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
+            self._parallel_key = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    @staticmethod
+    def _check_pool_kwargs(backend: str, n_workers, chunk_size) -> None:
+        if backend != "parallel" and (n_workers is not None
+                                      or chunk_size is not None):
+            raise InvalidParameterError(
+                "n_workers/chunk_size only apply to backend='parallel'; "
+                f"got backend={backend!r}"
+            )
+
+    def tkaq_many_results(self, queries, tau: float, backend: str = "auto",
+                          n_workers: int | None = None,
+                          chunk_size: int | None = None) -> TKAQBatchResult:
         """Per-query TKAQ answers with terminal ``lower``/``upper`` arrays.
 
         ``backend="multiquery"`` runs the query-major vectorised evaluator
         (:class:`~repro.core.multiquery.MultiQueryAggregator`),
-        ``"loop"`` the per-query heap loop, and ``"auto"`` (default) picks
+        ``"loop"`` the per-query heap loop, ``"parallel"`` shards the
+        batch across a shared-memory process pool
+        (:class:`~repro.parallel.evaluator.ParallelEvaluator`; tune with
+        ``n_workers``/``chunk_size``), and ``"auto"`` (default) picks
         multiquery whenever the kernel/scheme support it.  Answers are
         identical across backends; terminal bounds may differ (both bracket
         the exact aggregate) because the refinement schedules differ.
         """
+        self._check_pool_kwargs(backend, n_workers, chunk_size)
+        if backend == "parallel":
+            Q = self._check_queries(queries)
+            return self._parallel_backend(
+                n_workers, chunk_size).tkaq_many_results(Q, tau)
         Q = self._check_queries(queries)
         tau = float(tau)
         impl = self._multiquery_backend(backend)
@@ -440,17 +561,22 @@ class KernelAggregator:
             stats=self._loop_batch_stats([r.stats for r in results]),
         )
 
-    def ekaq_many_results(self, queries, eps: float,
-                          backend: str = "auto") -> EKAQBatchResult:
+    def ekaq_many_results(self, queries, eps: float, backend: str = "auto",
+                          n_workers: int | None = None,
+                          chunk_size: int | None = None) -> EKAQBatchResult:
         """Per-query eKAQ estimates with terminal ``lower``/``upper`` arrays.
 
         Same backend semantics as :meth:`tkaq_many_results`; every estimate
         satisfies the ``(1 +- eps)`` contract regardless of backend.
         """
+        self._check_pool_kwargs(backend, n_workers, chunk_size)
         Q = self._check_queries(queries)
         eps = float(eps)
         if eps < 0.0:
             raise InvalidParameterError(f"eps must be >= 0; got {eps}")
+        if backend == "parallel":
+            return self._parallel_backend(
+                n_workers, chunk_size).ekaq_many_results(Q, eps)
         impl = self._multiquery_backend(backend)
         if impl is not None:
             return impl.ekaq_many_results(Q, eps)
@@ -463,10 +589,20 @@ class KernelAggregator:
             stats=self._loop_batch_stats([r.stats for r in results]),
         )
 
-    def tkaq_many(self, queries, tau: float, backend: str = "auto") -> np.ndarray:
+    def tkaq_many(self, queries, tau: float, backend: str = "auto",
+                  n_workers: int | None = None,
+                  chunk_size: int | None = None) -> np.ndarray:
         """Vector of TKAQ answers for each row of ``queries``."""
-        return self.tkaq_many_results(queries, tau, backend=backend).answers
+        return self.tkaq_many_results(
+            queries, tau, backend=backend,
+            n_workers=n_workers, chunk_size=chunk_size,
+        ).answers
 
-    def ekaq_many(self, queries, eps: float, backend: str = "auto") -> np.ndarray:
+    def ekaq_many(self, queries, eps: float, backend: str = "auto",
+                  n_workers: int | None = None,
+                  chunk_size: int | None = None) -> np.ndarray:
         """Vector of eKAQ estimates for each row of ``queries``."""
-        return self.ekaq_many_results(queries, eps, backend=backend).estimates
+        return self.ekaq_many_results(
+            queries, eps, backend=backend,
+            n_workers=n_workers, chunk_size=chunk_size,
+        ).estimates

@@ -14,6 +14,7 @@ __all__ = [
     "InvalidParameterError",
     "DataShapeError",
     "NotFittedError",
+    "ParallelExecutionError",
     "as_matrix",
     "as_vector",
     "check_positive",
@@ -34,6 +35,15 @@ class DataShapeError(ReproError, ValueError):
 
 class NotFittedError(ReproError, RuntimeError):
     """A model/estimator method was called before ``fit``/``build``."""
+
+
+class ParallelExecutionError(ReproError, RuntimeError):
+    """A parallel batch evaluation failed (worker crash, broken pool).
+
+    Raised by the process-parallel backend instead of hanging or returning
+    partial results; the batch can be retried (the evaluator rebuilds its
+    worker pool) or re-run on a serial backend.
+    """
 
 
 def as_matrix(points, name: str = "points") -> np.ndarray:

@@ -173,12 +173,19 @@ class MultiQueryAggregator:
 
         Gathers the leaves' contiguous point slices into one block and
         computes the whole (queries x points) kernel grid with a single
-        Gram-style matmul.
+        Gram-style matmul.  The gather builds the flat index vector with
+        a repeat/cumsum ramp instead of one ``np.arange`` per leaf — same
+        element order (leaves in the given order, each slice ascending),
+        so results are bitwise-unchanged.  This is the serial evaluator
+        the parallel backend (:mod:`repro.parallel`) runs per shard.
         """
         tree = self.tree
-        idx = np.concatenate([
-            np.arange(int(tree.start[n]), int(tree.end[n])) for n in leaves
-        ])
+        starts = tree.start[leaves].astype(np.int64)
+        counts = (tree.end[leaves] - tree.start[leaves]).astype(np.int64)
+        # flat ramp: [s0, s0+1, ..., s0+c0-1, s1, ...] without Python loops
+        offsets = np.repeat(starts - np.concatenate(
+            ([0], np.cumsum(counts)[:-1])), counts)
+        idx = offsets + np.arange(counts.sum(), dtype=np.int64)
         pts = tree.points[idx]
         d2 = q_sq[:, None] - 2.0 * (Q @ pts.T) + tree.sq_norms[idx][None, :]
         np.maximum(d2, 0.0, out=d2)

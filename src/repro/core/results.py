@@ -151,6 +151,25 @@ class BatchQueryStats:
         self.nodes_expanded += int(n_internal)
         self.bound_evaluations += int(n_active) * int(n_children)
 
+    def merge_batch(self, other: "BatchQueryStats") -> None:
+        """Fold another batch's counters into this one.
+
+        The parallel backend evaluates a batch as independent shards and
+        merges the per-shard stats here: totals add exactly; the per-round
+        schedule lists are concatenated in shard order (shards refine
+        concurrently in wall time, but each shard's own round sequence is
+        preserved).
+        """
+        self.n_queries += other.n_queries
+        self.rounds += other.rounds
+        self.nodes_expanded += other.nodes_expanded
+        self.leaves_evaluated += other.leaves_evaluated
+        self.points_evaluated += other.points_evaluated
+        self.bound_evaluations += other.bound_evaluations
+        self.frontier_sizes.extend(other.frontier_sizes)
+        self.active_counts.extend(other.active_counts)
+        self.retired_per_round.extend(other.retired_per_round)
+
     def merge_query(self, stats: QueryStats) -> None:
         """Fold one per-query ``QueryStats`` into the batch counters
         (the loop backend's accounting: rounds = summed heap pops)."""

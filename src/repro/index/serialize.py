@@ -4,6 +4,13 @@ Offline tuning builds indexes ahead of time (Section III-C); persisting
 them lets the online phase skip construction entirely.  The archive stores
 every array of the array-backed tree plus the metadata needed to
 reconstruct it without touching the raw points again.
+
+The array inventory (:func:`tree_arrays`) and the rehydration step
+(:func:`rebuild_tree`) are the canonical definition of "everything a
+built tree is made of" — the shared-memory exporter
+(:mod:`repro.parallel.shared`) ships the same arrays through
+``multiprocessing.shared_memory`` instead of a file, so both transports
+rebuild byte-identical trees.
 """
 
 from __future__ import annotations
@@ -16,7 +23,7 @@ from repro.index.base import SpatialIndex
 from repro.index.kdtree import KDTree
 from repro.index.stats import SignedStats
 
-__all__ = ["save_index", "load_index"]
+__all__ = ["save_index", "load_index", "tree_arrays", "rebuild_tree"]
 
 _FORMAT_VERSION = 1
 
@@ -30,14 +37,48 @@ _STAT_ARRAYS = ("pos_n", "pos_w", "pos_a", "pos_b",
 _KINDS = {"kd": KDTree, "ball": BallTree}
 
 
-def save_index(tree: SpatialIndex, path) -> None:
-    """Persist a built index to ``path`` (a ``.npz`` file)."""
+def tree_arrays(tree: SpatialIndex) -> dict[str, np.ndarray]:
+    """Every array needed to rebuild ``tree``, keyed by canonical name.
+
+    Statistics arrays are prefixed ``stats_`` so the mapping is flat (one
+    name per array) for any transport — ``.npz`` entries or named
+    shared-memory blocks.
+    """
     if tree.kind not in _KINDS:
         raise InvalidParameterError(f"cannot serialise index kind {tree.kind!r}")
     payload = {name: getattr(tree, name) for name in _ARRAYS}
     payload.update(
         {f"stats_{name}": getattr(tree.stats, name) for name in _STAT_ARRAYS}
     )
+    return payload
+
+
+def rebuild_tree(kind: str, leaf_capacity: int, arrays) -> SpatialIndex:
+    """Reconstruct a fully functional tree from a :func:`tree_arrays` mapping.
+
+    The arrays are adopted as-is (no copies) — callers that hand over
+    shared-memory views get a tree whose storage lives in those views.
+    """
+    try:
+        cls = _KINDS[kind]
+    except KeyError:
+        raise InvalidParameterError(f"unknown index kind {kind!r}") from None
+    tree = cls.__new__(cls)
+    for name in _ARRAYS:
+        setattr(tree, name, arrays[name])
+    tree.stats = SignedStats(
+        **{name: arrays[f"stats_{name}"] for name in _STAT_ARRAYS}
+    )
+    tree.leaf_capacity = int(leaf_capacity)
+    tree.n, tree.d = tree.points.shape
+    tree.num_nodes = tree.start.shape[0]
+    tree.max_depth = int(tree.depth.max())
+    return tree
+
+
+def save_index(tree: SpatialIndex, path) -> None:
+    """Persist a built index to ``path`` (a ``.npz`` file)."""
+    payload = dict(tree_arrays(tree))
     payload["meta"] = np.array(
         [_FORMAT_VERSION, tree.leaf_capacity, {"kd": 0, "ball": 1}[tree.kind]],
         dtype=np.int64,
@@ -59,16 +100,8 @@ def load_index(path) -> SpatialIndex:
             )
         leaf_capacity = int(meta[1])
         kind = "kd" if int(meta[2]) == 0 else "ball"
-        cls = _KINDS[kind]
-
-        tree = cls.__new__(cls)
-        for name in _ARRAYS:
-            setattr(tree, name, archive[name])
-        tree.stats = SignedStats(
-            **{name: archive[f"stats_{name}"] for name in _STAT_ARRAYS}
-        )
-    tree.leaf_capacity = leaf_capacity
-    tree.n, tree.d = tree.points.shape
-    tree.num_nodes = tree.start.shape[0]
-    tree.max_depth = int(tree.depth.max())
-    return tree
+        arrays = {
+            name: archive[name]
+            for name in (*_ARRAYS, *(f"stats_{s}" for s in _STAT_ARRAYS))
+        }
+    return rebuild_tree(kind, leaf_capacity, arrays)

@@ -41,6 +41,7 @@ from repro.obs.runtime import (
     disable,
     enable,
     finish_trace,
+    ingest_trace,
     is_enabled,
     recent_traces,
     start_trace,
@@ -54,6 +55,7 @@ __all__ = [
     "compare_enabled",
     "start_trace",
     "finish_trace",
+    "ingest_trace",
     "recent_traces",
     "clear_recent",
     "QueryTrace",

@@ -44,6 +44,7 @@ __all__ = [
     "compare_enabled",
     "start_trace",
     "finish_trace",
+    "ingest_trace",
     "recent_traces",
     "clear_recent",
     "registry",
@@ -130,6 +131,25 @@ def finish_trace(trace: QueryTrace) -> None:
         trace.wall_time = time.perf_counter() - t0
     if _ring is not None:
         _ring.append(trace)
+    if _sink is not None:
+        _sink.write(trace)
+    _update_metrics(trace)
+
+
+def ingest_trace(trace: QueryTrace) -> None:
+    """Persist and meter a trace that finished in *another* process.
+
+    The parallel evaluator's workers trace into their local ring and ship
+    finished traces back with the shard results; the parent ingests them
+    here so its ring, JSONL sink, and metrics registry reflect the work of
+    the whole pool.  Unlike :func:`finish_trace` the recorded
+    ``wall_time`` is preserved (the worker already stamped it).  No-op
+    while tracing is disabled.
+    """
+    if _ring is None:
+        return
+    trace.extra.pop("_t0", None)
+    _ring.append(trace)
     if _sink is not None:
         _sink.write(trace)
     _update_metrics(trace)

@@ -1,0 +1,33 @@
+"""Process-parallel batch query execution over shared-memory indexes.
+
+The serial evaluators saturate exactly one core; this package shards a
+TKAQ/eKAQ batch across a persistent worker-process pool with the dataset
+and flattened tree placed *once* in ``multiprocessing.shared_memory``
+(:class:`SharedIndex`), so workers attach zero-copy instead of pickling
+the ``(n, d)`` points per task.  See ``docs/parallel.md`` for the
+architecture, chunking heuristic, and shared-memory lifecycle.
+"""
+
+from repro.core.errors import ParallelExecutionError
+from repro.parallel.evaluator import (
+    ParallelEvaluator,
+    auto_chunk_size,
+    default_workers,
+)
+from repro.parallel.shared import (
+    AttachedIndex,
+    SharedIndex,
+    SharedIndexHandle,
+    shared_memory_available,
+)
+
+__all__ = [
+    "ParallelEvaluator",
+    "ParallelExecutionError",
+    "SharedIndex",
+    "SharedIndexHandle",
+    "AttachedIndex",
+    "auto_chunk_size",
+    "default_workers",
+    "shared_memory_available",
+]

@@ -1,0 +1,465 @@
+"""Process-parallel batch TKAQ/eKAQ over a shared-memory index.
+
+A query batch is embarrassingly parallel: each query's answer depends only
+on the (immutable) index.  :class:`ParallelEvaluator` shards a batch
+across a persistent pool of worker processes; the dataset and the
+flattened tree live in :class:`~repro.parallel.shared.SharedIndex` blocks
+that every worker attaches zero-copy, so the per-task payload is just a
+query shard and the merged result arrays come back.
+
+Semantics: each worker runs the *existing* serial evaluators
+(:class:`~repro.core.aggregator.KernelAggregator`, which dispatches to the
+query-major :class:`~repro.core.multiquery.MultiQueryAggregator` whenever
+the kernel/scheme support it) on its shard.  A parallel batch is therefore
+bitwise-identical to evaluating the same shards serially — and, because
+the per-query loop backend refines each query independently, loop-backend
+results are bitwise-identical to serial *regardless* of sharding.  For the
+multiquery backend the shared-frontier schedule couples the queries of a
+shard, so terminal bounds match serial whenever the chunking matches (a
+batch at most one chunk wide is always bitwise-identical to
+``backend="multiquery"``).
+
+Failure model: a worker that dies mid-batch (OOM-kill, segfault) breaks
+the pool; the batch fails fast with
+:class:`~repro.core.errors.ParallelExecutionError` — never a hang, never a
+partial result — and the next batch transparently rebuilds the pool over
+the still-live shared blocks.  Platforms without
+``multiprocessing.shared_memory`` degrade to the serial backend with a
+warning.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import warnings
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+
+from repro.core.errors import (
+    DataShapeError,
+    InvalidParameterError,
+    ParallelExecutionError,
+    as_matrix,
+)
+from repro.core.results import BatchQueryStats, EKAQBatchResult, TKAQBatchResult
+from repro.obs import runtime as _obs
+from repro.obs.metrics import SECONDS_BUCKETS
+from repro.obs.trace import QueryTrace
+from repro.parallel.shared import SharedIndex, shared_memory_available
+
+__all__ = ["ParallelEvaluator", "auto_chunk_size", "default_workers"]
+
+#: smallest chunk the auto heuristic will dispatch: below this the pickle/
+#: IPC round-trip dominates the numpy work a shard amortises it over
+_MIN_CHUNK = 64
+
+#: target number of chunks per worker: >1 so a slow shard (dense query
+#: region) back-fills idle workers instead of setting the batch tail
+#: latency, small enough that dispatch overhead stays negligible
+_CHUNKS_PER_WORKER = 4
+
+_WORKER_BACKENDS = ("auto", "multiquery", "loop")
+
+#: per-process worker state, built once by the pool initializer
+_WORKER_STATE = None
+
+
+def default_workers() -> int:
+    """Worker-count default: the CPUs this process may actually run on."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def auto_chunk_size(n_queries: int, n_workers: int) -> int:
+    """Chunk-size heuristic balancing dispatch overhead vs tail latency.
+
+    Aims for :data:`_CHUNKS_PER_WORKER` chunks per worker (so stragglers
+    rebalance) but never dispatches fewer than :data:`_MIN_CHUNK` queries
+    per task (so per-task IPC overhead stays amortised).  Batches at most
+    :data:`_MIN_CHUNK` wide stay a single chunk — their results are then
+    bitwise-identical to the serial multiquery backend.
+    """
+    if n_queries <= _MIN_CHUNK:
+        return max(1, n_queries)
+    target = -(-n_queries // (n_workers * _CHUNKS_PER_WORKER))  # ceil
+    return max(_MIN_CHUNK, target)
+
+
+# ----------------------------------------------------------------------
+# worker side (runs in the pool processes)
+# ----------------------------------------------------------------------
+
+
+def _init_worker(handle, kernel, scheme, max_depth, backend) -> None:
+    """Pool initializer: attach the shared index, build the evaluator once.
+
+    Spawn-safe: everything arrives pickled (the handle is names+metadata,
+    the kernel/scheme are small parameter objects); the tree itself is
+    rebuilt over zero-copy shared-memory views.  Any tracing sink the
+    worker inherited from the environment is disabled — the parent owns
+    persistence; workers trace into their in-memory ring only.
+    """
+    global _WORKER_STATE
+    from repro.core.aggregator import KernelAggregator
+    from repro.parallel.shared import AttachedIndex
+
+    _obs.disable()
+    attached = AttachedIndex(handle)
+    agg = KernelAggregator(
+        attached.tree, kernel, scheme=scheme, max_depth=max_depth
+    )
+    _WORKER_STATE = (agg, attached, backend)
+
+
+def _run_chunk(kind, chunk_id, Q, param, submit_t, trace_on, compare):
+    """Evaluate one query shard on this worker's cached evaluator."""
+    agg, _, backend = _WORKER_STATE
+    if trace_on:
+        if not _obs.is_enabled() or _obs.compare_enabled() != bool(compare):
+            _obs.enable(compare=compare)
+        _obs.clear_recent()
+    elif _obs.is_enabled():  # pragma: no cover - defensive
+        _obs.disable()
+
+    start = time.monotonic()
+    if kind == "tkaq":
+        res = agg.tkaq_many_results(Q, param, backend=backend)
+        payload = {"answers": res.answers}
+    else:
+        res = agg.ekaq_many_results(Q, param, backend=backend)
+        payload = {"estimates": res.estimates}
+    busy = time.monotonic() - start
+
+    traces = []
+    if trace_on:
+        traces = [t.to_dict() for t in _obs.recent_traces()]
+        _obs.clear_recent()
+    payload.update(
+        chunk_id=chunk_id,
+        lower=res.lower,
+        upper=res.upper,
+        stats=res.stats,
+        pid=os.getpid(),
+        queue_delay=start - submit_t,
+        busy=busy,
+        traces=traces,
+    )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+
+class ParallelEvaluator:
+    """Shards TKAQ/eKAQ batches across a persistent worker-process pool.
+
+    Parameters
+    ----------
+    tree : SpatialIndex
+        Built kd-tree or ball-tree (the serialisable kinds).
+    kernel : Kernel
+        Any supported kernel; shards run ``worker_backend`` per worker.
+    scheme : str or BoundScheme
+        Bound scheme, as for :class:`~repro.core.aggregator.KernelAggregator`.
+    max_depth : int, optional
+        Depth cap forwarded to the worker evaluators.
+    n_workers : int, optional
+        Pool size; defaults to the schedulable CPU count.
+    chunk_size : int, optional
+        Queries per dispatched task; default: :func:`auto_chunk_size`.
+    worker_backend : str
+        Serial backend each worker runs on its shard (``"auto"`` |
+        ``"multiquery"`` | ``"loop"``).
+    start_method : str
+        ``multiprocessing`` start method for the pool (default ``"spawn"``
+        — safe with threaded BLAS; ``"fork"``/``"forkserver"`` where
+        supported).
+
+    The pool and the shared-memory export are created lazily on the first
+    batch and persist across batches; call :meth:`close` (or use the
+    evaluator as a context manager) to release both.  A dead worker fails
+    the in-flight batch with :class:`ParallelExecutionError`; the pool is
+    rebuilt on the next call.
+    """
+
+    def __init__(self, tree, kernel, scheme="karl", max_depth=None,
+                 n_workers: int | None = None, chunk_size: int | None = None,
+                 worker_backend: str = "auto", start_method: str = "spawn"):
+        from repro.core.aggregator import resolve_scheme
+
+        self.tree = tree
+        self.kernel = kernel
+        self.scheme = resolve_scheme(scheme)
+        if max_depth is not None and max_depth < 0:
+            raise InvalidParameterError(f"max_depth must be >= 0; got {max_depth}")
+        self.max_depth = max_depth
+        if worker_backend not in _WORKER_BACKENDS:
+            raise InvalidParameterError(
+                f"worker_backend must be one of {_WORKER_BACKENDS}; "
+                f"got {worker_backend!r}"
+            )
+        self.worker_backend = worker_backend
+        self.n_workers = int(n_workers) if n_workers is not None else default_workers()
+        if self.n_workers < 1:
+            raise InvalidParameterError(
+                f"n_workers must be >= 1; got {self.n_workers}"
+            )
+        self.chunk_size = None if chunk_size is None else int(chunk_size)
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise InvalidParameterError(
+                f"chunk_size must be >= 1; got {self.chunk_size}"
+            )
+        if start_method not in mp.get_all_start_methods():
+            raise InvalidParameterError(
+                f"start method {start_method!r} not supported here; "
+                f"available: {mp.get_all_start_methods()}"
+            )
+        self._start_method = start_method
+        self._shared: SharedIndex | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._serial = None
+        self._finalizer = None
+        self.serial_fallback = False
+        if not shared_memory_available():
+            warnings.warn(
+                "multiprocessing.shared_memory unavailable; "
+                "ParallelEvaluator falls back to serial execution",
+                RuntimeWarning, stacklevel=2,
+            )
+            self.serial_fallback = True
+        # fail fast on trees the shared exporter cannot ship
+        from repro.index.serialize import tree_arrays
+
+        tree_arrays(tree)
+
+    # -- pool / shared-memory lifecycle --------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        if self.serial_fallback:
+            return None
+        if self._pool is None:
+            if self._shared is None or self._shared.closed:
+                self._shared = SharedIndex(self.tree)
+                # unlink at GC/interpreter exit even without an explicit
+                # close(), so crashed sessions do not leak /dev/shm blocks
+                self._finalizer = weakref.finalize(self, self._shared.close)
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.n_workers,
+                    mp_context=mp.get_context(self._start_method),
+                    initializer=_init_worker,
+                    initargs=(self._shared.handle, self.kernel, self.scheme,
+                              self.max_depth, self.worker_backend),
+                )
+            except Exception as exc:
+                warnings.warn(
+                    f"could not start worker pool ({exc!r}); "
+                    "falling back to serial execution",
+                    RuntimeWarning, stacklevel=3,
+                )
+                self.serial_fallback = True
+                return None
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Drop a (broken) pool; shared memory stays live for the next one."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared-memory block."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        shared, self._shared = self._shared, None
+        if shared is not None:
+            shared.close()
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- serial fallback ------------------------------------------------
+
+    def _serial_aggregator(self):
+        if self._serial is None:
+            from repro.core.aggregator import KernelAggregator
+
+            self._serial = KernelAggregator(
+                self.tree, self.kernel, scheme=self.scheme,
+                max_depth=self.max_depth,
+            )
+        return self._serial
+
+    # -- batch execution ------------------------------------------------
+
+    def _check_queries(self, queries) -> np.ndarray:
+        Q = as_matrix(queries, name="queries")
+        if Q.shape[1] != self.tree.d:
+            raise DataShapeError(
+                f"queries have dimension {Q.shape[1]}, expected {self.tree.d}"
+            )
+        return Q
+
+    def _run(self, kind: str, Q: np.ndarray, param: float):
+        pool = self._ensure_pool()
+        if pool is None:
+            agg = self._serial_aggregator()
+            if kind == "tkaq":
+                return agg.tkaq_many_results(Q, param, backend=self.worker_backend)
+            return agg.ekaq_many_results(Q, param, backend=self.worker_backend)
+
+        nq = Q.shape[0]
+        chunk = self.chunk_size or auto_chunk_size(nq, self.n_workers)
+        starts = range(0, nq, chunk)
+        trace_on = _obs.is_enabled()
+        compare = _obs.compare_enabled()
+        otrace = _obs.start_trace(
+            kind, "parallel", self.scheme.name, self.tree.n,
+            n_queries=nq, param=param,
+        )
+
+        t_dispatch = time.monotonic()
+        futures = []
+        chunks = []
+        try:
+            # submit itself raises BrokenProcessPool when workers died
+            # between batches, so it sits inside the same failure mapping
+            futures = [
+                pool.submit(_run_chunk, kind, i, Q[s:s + chunk], param,
+                            t_dispatch, trace_on, compare)
+                for i, s in enumerate(starts)
+            ]
+            if otrace is not None:
+                otrace.add_phase("dispatch", time.monotonic() - t_dispatch)
+            t_wait = time.monotonic()
+            for fut in futures:
+                chunks.append(fut.result())
+        except BrokenProcessPool as exc:
+            self._discard_pool()
+            raise ParallelExecutionError(
+                f"a worker process died while evaluating a {kind} batch of "
+                f"{nq} queries ({len(chunks)}/{len(futures)} chunks had "
+                "completed); the pool will be rebuilt on the next call"
+            ) from exc
+        except ParallelExecutionError:
+            raise
+        except Exception as exc:
+            for f in futures:
+                f.cancel()
+            raise ParallelExecutionError(
+                f"worker failed while evaluating a {kind} batch: {exc}"
+            ) from exc
+        if otrace is not None:
+            otrace.add_phase("wait", time.monotonic() - t_wait)
+
+        return self._merge(kind, Q, param, chunk, chunks, otrace)
+
+    def _merge(self, kind, Q, param, chunk, chunks, otrace):
+        nq = Q.shape[0]
+        lower = np.empty(nq)
+        upper = np.empty(nq)
+        primary = np.empty(nq, dtype=bool if kind == "tkaq" else np.float64)
+        key = "answers" if kind == "tkaq" else "estimates"
+        stats = BatchQueryStats()
+        reg = _obs.registry()
+        delay_max = busy_max = 0.0
+
+        for res in chunks:
+            s = res["chunk_id"] * chunk
+            sl = slice(s, s + len(res["lower"]))
+            lower[sl] = res["lower"]
+            upper[sl] = res["upper"]
+            primary[sl] = res[key]
+            stats.merge_batch(res["stats"])
+            reg.histogram("parallel.worker_seconds", SECONDS_BUCKETS).observe(
+                res["busy"]
+            )
+            reg.histogram(
+                "parallel.queue_delay_seconds", SECONDS_BUCKETS
+            ).observe(res["queue_delay"])
+            delay_max = max(delay_max, res["queue_delay"])
+            busy_max = max(busy_max, res["busy"])
+            if otrace is not None:
+                self._ingest_chunk_traces(res)
+                st = res["stats"]
+                otrace.record_round(
+                    frontier=0, active=st.n_queries, retired=st.n_queries,
+                    expanded=st.nodes_expanded, leaves=st.leaves_evaluated,
+                    points=st.points_evaluated,
+                    bound_evals=st.bound_evaluations,
+                    pruned_points=st.n_queries * self.tree.n
+                    - st.points_evaluated,
+                )
+
+        reg.counter("parallel.batches_total").inc()
+        reg.counter("parallel.chunks_total").inc(len(chunks))
+        reg.counter("parallel.queries_total").inc(nq)
+        reg.gauge("parallel.n_workers").set(self.n_workers)
+        reg.gauge("parallel.last_batch_chunks").set(len(chunks))
+        reg.gauge("parallel.last_batch_chunk_size").set(chunk)
+        reg.gauge("parallel.last_batch_queue_delay_max").set(delay_max)
+        reg.gauge("parallel.last_batch_worker_seconds_max").set(busy_max)
+
+        if otrace is not None:
+            otrace.extra["n_chunks"] = len(chunks)
+            otrace.extra["chunk_size"] = chunk
+            otrace.extra["n_workers"] = self.n_workers
+            _obs.finish_trace(otrace)
+
+        if kind == "tkaq":
+            return TKAQBatchResult(
+                answers=primary, lower=lower, upper=upper, tau=param,
+                stats=stats,
+            )
+        return EKAQBatchResult(
+            estimates=primary, lower=lower, upper=upper, eps=param,
+            stats=stats,
+        )
+
+    @staticmethod
+    def _ingest_chunk_traces(res) -> None:
+        """Round worker-side traces through the parent's ring/sink/metrics."""
+        for d in res["traces"]:
+            trace = QueryTrace.from_dict(d)
+            trace.extra["worker_pid"] = res["pid"]
+            trace.extra["chunk"] = res["chunk_id"]
+            _obs.ingest_trace(trace)
+
+    # -- public queries --------------------------------------------------
+
+    def tkaq_many_results(self, queries, tau: float) -> TKAQBatchResult:
+        """Per-query TKAQ answers and terminal bounds, computed in parallel."""
+        Q = self._check_queries(queries)
+        return self._run("tkaq", Q, float(tau))
+
+    def ekaq_many_results(self, queries, eps: float) -> EKAQBatchResult:
+        """Per-query eKAQ estimates and terminal bounds, computed in parallel."""
+        Q = self._check_queries(queries)
+        eps = float(eps)
+        if eps < 0.0:
+            raise InvalidParameterError(f"eps must be >= 0; got {eps}")
+        return self._run("ekaq", Q, eps)
+
+    def tkaq_many(self, queries, tau: float) -> np.ndarray:
+        """Vector of TKAQ answers for each row of ``queries``."""
+        return self.tkaq_many_results(queries, tau).answers
+
+    def ekaq_many(self, queries, eps: float) -> np.ndarray:
+        """Vector of eKAQ estimates for each row of ``queries``."""
+        return self.ekaq_many_results(queries, eps).estimates

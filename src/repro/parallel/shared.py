@@ -1,0 +1,219 @@
+"""Zero-copy index sharing across processes via named shared memory.
+
+The parallel batch engine pays the dataset cost **once**: every array of
+the flattened tree (:func:`repro.index.serialize.tree_arrays` — points,
+weights, topology, geometry, signed statistics) is exported into a named
+``multiprocessing.shared_memory`` block, and each worker attaches those
+blocks by name and rebuilds a read-only :class:`~repro.index.base.SpatialIndex`
+over them.  Nothing about the ``(n, d)`` point set is ever pickled per
+task; the only per-task payload is the query shard itself.
+
+Lifecycle contract:
+
+* the **owner** (the process that built the tree) creates a
+  :class:`SharedIndex` and must eventually :meth:`SharedIndex.close` it —
+  that closes *and unlinks* every block, releasing the OS-level memory;
+* **workers** attach through :class:`AttachedIndex` using the picklable
+  :class:`SharedIndexHandle`; closing an attachment only detaches, it
+  never unlinks (the owner's blocks survive worker churn);
+* attaching processes suppress ``resource_tracker`` registration while
+  opening blocks, so a worker exiting does not tear down (or warn about)
+  memory it does not own — before 3.13's ``track=False`` the Python
+  tracker otherwise assumes every opened block is owned by the opener.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.index.base import SpatialIndex
+from repro.index.serialize import rebuild_tree, tree_arrays
+
+try:  # pragma: no cover - import succeeds on every supported platform
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
+    _shm = None
+
+__all__ = [
+    "SharedIndex",
+    "SharedIndexHandle",
+    "AttachedIndex",
+    "shared_memory_available",
+]
+
+
+def shared_memory_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` is usable here."""
+    return _shm is not None
+
+
+@contextmanager
+def _attach_untracked():
+    """Suppress resource-tracker registration while attaching blocks.
+
+    Attachers must not let their tracker unlink blocks the owner is still
+    serving (the tracker cannot tell owners from attachers before 3.13's
+    ``track=False``).  Post-hoc ``unregister`` is not enough: the tracker
+    cache is a set shared by all children, so two workers registering the
+    same block collapse to one entry and the second unregister raises
+    ``KeyError`` inside the tracker process.  Best-effort: tracker
+    internals are not a stable API.
+    """
+    try:
+        from multiprocessing import resource_tracker
+    except Exception:  # pragma: no cover - tracker always importable here
+        yield
+        return
+    orig = resource_tracker.register
+    resource_tracker.register = lambda name, rtype: None
+    try:
+        yield
+    finally:
+        resource_tracker.register = orig
+
+
+@dataclass(frozen=True)
+class SharedIndexHandle:
+    """Picklable attachment recipe: block names plus array metadata.
+
+    ``blocks`` maps each canonical array name to the shared-memory block
+    holding it, with the shape/dtype needed to wrap the raw buffer back
+    into an ndarray.  Small enough to ship in pool-initializer args.
+    """
+
+    kind: str
+    leaf_capacity: int
+    blocks: tuple  # of (array_name, block_name, shape, dtype_str)
+
+
+class SharedIndex:
+    """Owner-side export of a built index into named shared-memory blocks.
+
+    Parameters
+    ----------
+    tree : SpatialIndex
+        A built kd-tree or ball-tree (the kinds the serializer supports).
+
+    The exporter copies each array once into its block; after that the
+    owner and any number of attached workers read the same physical pages.
+    Usable as a context manager; :meth:`close` unlinks every block.
+    """
+
+    def __init__(self, tree: SpatialIndex):
+        if _shm is None:
+            raise InvalidParameterError(
+                "multiprocessing.shared_memory is not available on this "
+                "platform; use the serial backends instead"
+            )
+        self._segments = []
+        blocks = []
+        try:
+            for name, arr in tree_arrays(tree).items():
+                arr = np.ascontiguousarray(arr)
+                seg = _shm.SharedMemory(create=True, size=max(1, arr.nbytes))
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+                view[...] = arr
+                del view  # release the buffer export before any close()
+                self._segments.append(seg)
+                blocks.append((name, seg.name, arr.shape, arr.dtype.str))
+        except BaseException:
+            self.close()
+            raise
+        self.handle = SharedIndexHandle(
+            kind=tree.kind,
+            leaf_capacity=tree.leaf_capacity,
+            blocks=tuple(blocks),
+        )
+        self._closed = False
+
+    @property
+    def block_names(self) -> list[str]:
+        """OS-level names of the exported blocks (for leak checks)."""
+        return [seg.name for seg in self._segments]
+
+    @property
+    def nbytes(self) -> int:
+        """Total shared payload size in bytes."""
+        return sum(seg.size for seg in self._segments)
+
+    def close(self) -> None:
+        """Close and unlink every block (idempotent).
+
+        After this no new worker can attach and the memory is released
+        once the last attached worker detaches.
+        """
+        segments, self._segments = self._segments, []
+        self._closed = True
+        for seg in segments:
+            try:
+                seg.close()
+            except Exception:
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "SharedIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC-order dependent
+        self.close()
+
+
+class AttachedIndex:
+    """Worker-side attachment: a read-only tree over shared blocks.
+
+    Rebuilds a fully functional :class:`SpatialIndex` whose arrays are
+    zero-copy read-only views into the owner's shared-memory blocks.
+    Closing detaches the views; it never unlinks the owner's blocks.
+    """
+
+    def __init__(self, handle: SharedIndexHandle):
+        if _shm is None:
+            raise InvalidParameterError(
+                "multiprocessing.shared_memory is not available on this platform"
+            )
+        self._segments = []
+        arrays = {}
+        try:
+            for name, block_name, shape, dtype in handle.blocks:
+                with _attach_untracked():
+                    seg = _shm.SharedMemory(name=block_name)
+                self._segments.append(seg)
+                view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
+                view.flags.writeable = False
+                arrays[name] = view
+        except BaseException:
+            self.close()
+            raise
+        self.tree: SpatialIndex = rebuild_tree(
+            handle.kind, handle.leaf_capacity, arrays
+        )
+
+    def close(self) -> None:
+        """Drop the array views and detach from every block (idempotent)."""
+        self.tree = None
+        segments, self._segments = self._segments, []
+        for seg in segments:
+            try:
+                seg.close()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "AttachedIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

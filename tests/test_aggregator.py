@@ -276,3 +276,76 @@ class TestAnytimeBounds:
         res = agg.refine_bounds(rng.random(4), 0)
         assert res.stats.iterations == 0
         assert res.lower <= res.upper
+
+
+class TestExactManyVectorized:
+    def test_matches_per_query_exact(self, rng, any_kernel):
+        w = rng.standard_normal(1500)
+        pts, agg, scan = make_setup(rng, any_kernel, w)
+        Q = rng.random((9, 4))
+        out = agg.exact_many(Q)
+        ref = np.array([scan.exact(q) for q in Q])
+        assert out == pytest.approx(ref, rel=1e-9, abs=1e-9)
+
+    def test_blocking_boundary(self, rng, monkeypatch):
+        """Shrinking the block cap covers the multi-block path; values agree
+        to rounding (BLAS products are not bitwise-stable across shapes)."""
+        import repro.core.aggregator as agg_mod
+
+        _, agg, _ = make_setup(rng, GaussianKernel(6.0))
+        Q = rng.random((40, 4))
+        whole = agg.exact_many(Q)
+        monkeypatch.setattr(agg_mod, "_MAX_EXACT_ELEMENTS", 7 * 1500)
+        blocked = agg.exact_many(Q)  # forced into 7-query blocks
+        assert blocked == pytest.approx(whole, rel=1e-12)
+
+    def test_dot_kernel_path(self, rng):
+        kernel = PolynomialKernel(gamma=0.4, coef0=1.0, degree=2)
+        w = rng.random(1500)
+        pts, agg, scan = make_setup(rng, kernel, w)
+        Q = rng.random((6, 4))
+        assert agg.exact_many(Q) == pytest.approx(
+            np.array([scan.exact(q) for q in Q]), rel=1e-9
+        )
+
+
+class TestFrontierCompensatedSums:
+    def test_acc_add_exactness_on_cancellation(self):
+        from repro.core.aggregator import _acc_add
+
+        # classic compensation scenario: tiny terms after a huge one
+        s = c = 0.0
+        terms = [1e16, 1.0, -1e16, 1.0]
+        for x in terms:
+            s, c = _acc_add(s, c, x)
+        assert s + c == 2.0  # naive summation would give 0.0
+
+    def test_acc_add_matches_math_fsum(self, rng):
+        import math
+
+        from repro.core.aggregator import _acc_add
+
+        xs = (rng.standard_normal(500) * 10.0 ** rng.integers(
+            -8, 8, 500)).tolist()
+        s = c = 0.0
+        for x in xs:
+            s, c = _acc_add(s, c, x)
+        assert s + c == pytest.approx(math.fsum(xs), rel=1e-15, abs=1e-12)
+
+    def test_incremental_sums_match_resummation(self, rng, monkeypatch):
+        """Run full refinements with the parity hook cross-checking the
+        compensated running sums against an O(|heap|) re-summation at
+        every pop (signed weights stress cancellation)."""
+        import repro.core.aggregator as agg_mod
+
+        monkeypatch.setattr(agg_mod, "_VERIFY_FRONTIER", True)
+        w = rng.standard_normal(1500) * 3.0
+        pts, agg, scan = make_setup(rng, GaussianKernel(8.0), w)
+        for q in rng.random((4, 4)):
+            res = agg.refine_bounds(q, 2000)
+            assert res.lower <= scan.exact(q) + 1e-9
+            assert scan.exact(q) <= res.upper + 1e-9
+        # threshold + approximate paths under the same cross-check
+        taus = [scan.exact(q) for q in pts[:2]]
+        agg.tkaq(pts[0], taus[0] * 0.9)
+        agg.ekaq(pts[1], 0.05)

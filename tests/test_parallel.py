@@ -1,0 +1,447 @@
+"""Tests for the shared-memory multiprocess batch execution layer.
+
+Covers the `repro.parallel` contract end to end: bitwise parallel/serial
+parity across scheme x kernel x index, merged-stat equality, the chunking
+heuristic, shared-memory lifecycle (no leaked blocks after ``close()``),
+fail-fast on a killed worker, serial fallback when shared memory is
+unavailable, and worker-trace round-tripping through the observability
+layer.  Pool workers are real spawned processes — the module keeps
+workloads small so each pool pays its startup cost only once.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.obs import runtime as obs_runtime
+from repro.core import (
+    GaussianKernel,
+    KernelAggregator,
+    LaplacianKernel,
+    ParallelExecutionError,
+    PolynomialKernel,
+)
+from repro.core.errors import InvalidParameterError
+from repro.index import BallTree, KDTree
+from repro.parallel import (
+    AttachedIndex,
+    ParallelEvaluator,
+    SharedIndex,
+    auto_chunk_size,
+    default_workers,
+    shared_memory_available,
+)
+from repro.parallel import evaluator as par_evaluator
+from repro.parallel.evaluator import _CHUNKS_PER_WORKER, _MIN_CHUNK
+
+N_WORKERS = int(os.environ.get("REPRO_PAR_TEST_WORKERS", "2"))
+
+SCHEMES = ["karl", "sota", "hybrid"]
+
+
+@pytest.fixture
+def obs_sandbox():
+    """Isolate the module-global tracing state (CI may force-enable it)."""
+    saved = (obs_runtime._ring, obs_runtime._sink, obs_runtime._compare)
+    obs_runtime._ring = None
+    obs_runtime._sink = None
+    obs_runtime._compare = False
+    yield
+    obs_runtime._ring, obs_runtime._sink, obs_runtime._compare = saved
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(42)
+    centers = rng.random((4, 4))
+    pts = np.clip(
+        centers[rng.integers(0, 4, 1500)] + 0.07 * rng.standard_normal((1500, 4)),
+        0, 1,
+    )
+    w = rng.random(1500) + 0.05
+    queries = np.vstack(
+        [pts[rng.choice(1500, 16, replace=False)], rng.random((8, 4))]
+    )
+    return pts, w, queries
+
+
+def make_tree(tree_cls, workload, leaf_capacity=40):
+    pts, w, _ = workload
+    return tree_cls(pts, weights=w, leaf_capacity=leaf_capacity)
+
+
+# ----------------------------------------------------------------------
+# chunking heuristic
+# ----------------------------------------------------------------------
+
+
+class TestAutoChunkSize:
+    def test_small_batch_is_single_chunk(self):
+        for nq in (1, 5, _MIN_CHUNK):
+            assert auto_chunk_size(nq, 8) == nq
+
+    def test_never_below_min_chunk(self):
+        assert auto_chunk_size(_MIN_CHUNK + 1, 64) == _MIN_CHUNK
+
+    def test_targets_chunks_per_worker(self):
+        nq, workers = 10_000, 4
+        chunk = auto_chunk_size(nq, workers)
+        n_chunks = -(-nq // chunk)
+        assert n_chunks <= workers * _CHUNKS_PER_WORKER
+        assert chunk >= _MIN_CHUNK
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+# ----------------------------------------------------------------------
+# shared-memory export / attach
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not shared_memory_available(), reason="no shared_memory")
+class TestSharedIndex:
+    @pytest.mark.parametrize("tree_cls", [KDTree, BallTree], ids=["kd", "ball"])
+    def test_attach_rebuilds_equal_tree(self, workload, tree_cls):
+        from repro.index.serialize import tree_arrays
+
+        tree = make_tree(tree_cls, workload)
+        with SharedIndex(tree) as shared:
+            attached = AttachedIndex(shared.handle)
+            try:
+                re = attached.tree
+                assert re.kind == tree.kind
+                assert re.n == tree.n and re.d == tree.d
+                assert re.num_nodes == tree.num_nodes
+                for name, arr in tree_arrays(tree).items():
+                    rearr = tree_arrays(re)[name]
+                    assert np.array_equal(arr, rearr), name
+                    assert not rearr.flags.writeable
+            finally:
+                attached.close()
+
+    def test_close_unlinks_every_block(self, workload):
+        from multiprocessing import shared_memory as shm
+
+        tree = make_tree(KDTree, workload)
+        shared = SharedIndex(tree)
+        names = shared.block_names
+        assert names and shared.nbytes > 0
+        shared.close()
+        assert shared.closed
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shm.SharedMemory(name=name)
+        shared.close()  # idempotent
+
+    def test_evaluator_close_releases_blocks(self, workload):
+        from multiprocessing import shared_memory as shm
+
+        pts, w, queries = workload
+        tree = make_tree(KDTree, workload)
+        ev = ParallelEvaluator(tree, GaussianKernel(6.0), n_workers=N_WORKERS)
+        ev.tkaq_many(queries, 1.0)
+        names = ev._shared.block_names
+        assert names
+        ev.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shm.SharedMemory(name=name)
+
+
+# ----------------------------------------------------------------------
+# parallel / serial parity
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not shared_memory_available(), reason="no shared_memory")
+class TestParity:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("tree_cls", [KDTree, BallTree], ids=["kd", "ball"])
+    def test_single_chunk_bitwise_vs_multiquery(self, workload, scheme,
+                                                tree_cls):
+        """A batch one chunk wide is bitwise-identical to serial multiquery."""
+        pts, w, queries = workload
+        tree = make_tree(tree_cls, workload)
+        kernel = GaussianKernel(6.0)
+        agg = KernelAggregator(tree, kernel, scheme=scheme)
+        tau = float(np.median(agg.exact_many(queries)))
+        with ParallelEvaluator(tree, kernel, scheme=scheme,
+                               n_workers=N_WORKERS) as ev:
+            pt = ev.tkaq_many_results(queries, tau)
+            pe = ev.ekaq_many_results(queries, 0.1)
+        st = agg.tkaq_many_results(queries, tau, backend="multiquery")
+        se = agg.ekaq_many_results(queries, 0.1, backend="multiquery")
+
+        assert np.array_equal(pt.answers, st.answers)
+        assert np.array_equal(pt.lower, st.lower)
+        assert np.array_equal(pt.upper, st.upper)
+        assert np.array_equal(pe.estimates, se.estimates)
+        assert np.array_equal(pe.lower, se.lower)
+        assert np.array_equal(pe.upper, se.upper)
+
+    @pytest.mark.parametrize(
+        "kernel", [LaplacianKernel(2.0),
+                   PolynomialKernel(gamma=0.5, coef0=1.0, degree=2)],
+        ids=["laplacian", "polynomial"],
+    )
+    def test_kernels_bitwise_vs_serial_auto(self, workload, kernel):
+        """Parity holds for multiquery-capable and loop-only kernels alike."""
+        pts, w, queries = workload
+        tree = make_tree(KDTree, workload)
+        agg = KernelAggregator(tree, kernel)
+        tau = float(np.median(agg.exact_many(queries)))
+        with ParallelEvaluator(tree, kernel, n_workers=N_WORKERS) as ev:
+            pt = ev.tkaq_many_results(queries, tau)
+        st = agg.tkaq_many_results(queries, tau, backend="auto")
+        assert np.array_equal(pt.answers, st.answers)
+        assert np.array_equal(pt.lower, st.lower)
+        assert np.array_equal(pt.upper, st.upper)
+
+    def test_loop_backend_bitwise_under_any_sharding(self, workload):
+        """Per-query refinement is independent, so chunking cannot matter."""
+        pts, w, _ = workload
+        rng = np.random.default_rng(3)
+        queries = rng.random((30, 4))
+        tree = make_tree(KDTree, workload)
+        kernel = GaussianKernel(6.0)
+        agg = KernelAggregator(tree, kernel)
+        tau = float(np.median(agg.exact_many(queries)))
+        st = agg.tkaq_many_results(queries, tau, backend="loop")
+        with ParallelEvaluator(tree, kernel, n_workers=N_WORKERS,
+                               chunk_size=7, worker_backend="loop") as ev:
+            pt = ev.tkaq_many_results(queries, tau)
+        assert np.array_equal(pt.answers, st.answers)
+        assert np.array_equal(pt.lower, st.lower)
+        assert np.array_equal(pt.upper, st.upper)
+
+    def test_chunked_matches_per_chunk_serial_and_merged_stats(self, workload):
+        """Chunked runs equal serial evaluation of the same shards, and the
+        merged ``BatchQueryStats`` equals the shard stats folded together."""
+        pts, w, _ = workload
+        rng = np.random.default_rng(11)
+        queries = rng.random((150, 4))
+        chunk = 50
+        tree = make_tree(KDTree, workload)
+        kernel = GaussianKernel(6.0)
+        agg = KernelAggregator(tree, kernel)
+        tau = float(np.median(agg.exact_many(queries)))
+
+        with ParallelEvaluator(tree, kernel, n_workers=N_WORKERS,
+                               chunk_size=chunk) as ev:
+            pt = ev.tkaq_many_results(queries, tau)
+
+        from repro.core import BatchQueryStats
+
+        ref_stats = BatchQueryStats()
+        answers, lowers, uppers = [], [], []
+        for s in range(0, len(queries), chunk):
+            r = agg.tkaq_many_results(queries[s:s + chunk], tau,
+                                      backend="multiquery")
+            answers.append(r.answers)
+            lowers.append(r.lower)
+            uppers.append(r.upper)
+            ref_stats.merge_batch(r.stats)
+
+        assert np.array_equal(pt.answers, np.concatenate(answers))
+        assert np.array_equal(pt.lower, np.concatenate(lowers))
+        assert np.array_equal(pt.upper, np.concatenate(uppers))
+        assert pt.stats.n_queries == ref_stats.n_queries == len(queries)
+        assert pt.stats.rounds == ref_stats.rounds
+        assert pt.stats.nodes_expanded == ref_stats.nodes_expanded
+        assert pt.stats.leaves_evaluated == ref_stats.leaves_evaluated
+        assert pt.stats.points_evaluated == ref_stats.points_evaluated
+        assert pt.stats.bound_evaluations == ref_stats.bound_evaluations
+        assert pt.stats.frontier_sizes == ref_stats.frontier_sizes
+        assert pt.stats.active_counts == ref_stats.active_counts
+        assert pt.stats.retired_per_round == ref_stats.retired_per_round
+
+
+# ----------------------------------------------------------------------
+# public API wiring (backend="parallel")
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not shared_memory_available(), reason="no shared_memory")
+class TestAggregatorBackend:
+    def test_backend_parallel_matches_multiquery(self, workload):
+        pts, w, queries = workload
+        tree = make_tree(KDTree, workload)
+        with KernelAggregator(tree, GaussianKernel(6.0)) as agg:
+            tau = float(np.median(agg.exact_many(queries)))
+            serial = agg.tkaq_many_results(queries, tau, backend="multiquery")
+            par = agg.tkaq_many_results(queries, tau, backend="parallel",
+                                        n_workers=N_WORKERS)
+            assert np.array_equal(par.answers, serial.answers)
+            assert np.array_equal(par.lower, serial.lower)
+            assert np.array_equal(par.upper, serial.upper)
+            # shorthand variants share the pool (same key)
+            assert np.array_equal(
+                agg.tkaq_many(queries, tau, backend="parallel",
+                              n_workers=N_WORKERS),
+                serial.answers,
+            )
+            est = agg.ekaq_many(queries, 0.1, backend="parallel",
+                                n_workers=N_WORKERS)
+            assert np.array_equal(
+                est, agg.ekaq_many(queries, 0.1, backend="multiquery")
+            )
+
+    def test_pool_kwargs_rejected_on_serial_backends(self, workload):
+        tree = make_tree(KDTree, workload)
+        agg = KernelAggregator(tree, GaussianKernel(6.0))
+        q = workload[2]
+        with pytest.raises(InvalidParameterError, match="parallel"):
+            agg.tkaq_many(q, 1.0, backend="multiquery", n_workers=2)
+        with pytest.raises(InvalidParameterError, match="parallel"):
+            agg.ekaq_many(q, 0.1, backend="loop", chunk_size=8)
+
+    def test_unknown_backend_message_lists_parallel(self, workload):
+        tree = make_tree(KDTree, workload)
+        agg = KernelAggregator(tree, GaussianKernel(6.0))
+        with pytest.raises(InvalidParameterError, match="'parallel'"):
+            agg.tkaq_many(workload[2], 1.0, backend="bogus")
+
+    def test_close_is_idempotent_and_rebuilds(self, workload):
+        pts, w, queries = workload
+        tree = make_tree(KDTree, workload)
+        agg = KernelAggregator(tree, GaussianKernel(6.0))
+        a1 = agg.tkaq_many(queries, 1.0, backend="parallel",
+                           n_workers=N_WORKERS)
+        agg.close()
+        agg.close()
+        a2 = agg.tkaq_many(queries, 1.0, backend="parallel",
+                           n_workers=N_WORKERS)
+        assert np.array_equal(a1, a2)
+        agg.close()
+
+
+# ----------------------------------------------------------------------
+# failure model
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not shared_memory_available(), reason="no shared_memory")
+class TestFailureModel:
+    def test_killed_worker_raises_then_pool_rebuilds(self, workload):
+        pts, w, queries = workload
+        tree = make_tree(KDTree, workload)
+        kernel = GaussianKernel(6.0)
+        with ParallelEvaluator(tree, kernel, n_workers=N_WORKERS) as ev:
+            before = ev.tkaq_many(queries, 1.0)  # warm the pool
+            for pid in list(ev._pool._processes):
+                os.kill(pid, signal.SIGKILL)
+            deadline = time.monotonic() + 60.0
+            with pytest.raises(ParallelExecutionError):
+                while time.monotonic() < deadline:
+                    ev.tkaq_many(queries, 1.0)
+            # next batch transparently rebuilds the pool
+            after = ev.tkaq_many(queries, 1.0)
+            assert np.array_equal(before, after)
+
+    def test_parent_side_validation(self, workload):
+        pts, w, _ = workload
+        tree = make_tree(KDTree, workload)
+        with ParallelEvaluator(tree, GaussianKernel(6.0),
+                               n_workers=N_WORKERS) as ev:
+            with pytest.raises(InvalidParameterError):
+                ev.ekaq_many(workload[2], -0.5)
+            from repro.core.errors import DataShapeError
+
+            with pytest.raises(DataShapeError):
+                ev.tkaq_many(np.ones((3, 9)), 1.0)  # wrong dimension
+
+    def test_serial_fallback_without_shared_memory(self, workload,
+                                                   monkeypatch):
+        pts, w, queries = workload
+        tree = make_tree(KDTree, workload)
+        kernel = GaussianKernel(6.0)
+        monkeypatch.setattr(
+            par_evaluator, "shared_memory_available", lambda: False
+        )
+        with pytest.warns(RuntimeWarning, match="serial"):
+            ev = ParallelEvaluator(tree, kernel, n_workers=N_WORKERS)
+        assert ev.serial_fallback
+        agg = KernelAggregator(tree, kernel)
+        tau = 1.0
+        assert np.array_equal(
+            ev.tkaq_many(queries, tau),
+            agg.tkaq_many(queries, tau, backend="auto"),
+        )
+        ev.close()
+
+
+# ----------------------------------------------------------------------
+# observability round-trip
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not shared_memory_available(), reason="no shared_memory")
+class TestObservability:
+    def test_worker_traces_roundtrip_to_parent(self, workload, tmp_path,
+                                               obs_sandbox):
+        pts, w, queries = workload
+        tree = make_tree(KDTree, workload)
+        kernel = GaussianKernel(6.0)
+        path = tmp_path / "parallel.jsonl"
+        obs.enable(jsonl=path)
+        try:
+            with ParallelEvaluator(tree, kernel, n_workers=N_WORKERS) as ev:
+                ev.tkaq_many(queries, 1.0)
+            traces = obs.recent_traces()
+        finally:
+            obs.disable()
+
+        umbrella = [t for t in traces if t.backend == "parallel"]
+        workers = [t for t in traces if t.backend != "parallel"]
+        assert len(umbrella) == 1
+        assert workers, "worker traces should round-trip to the parent ring"
+        (ut,) = umbrella
+        assert ut.kind == "tkaq" and ut.n_queries == len(queries)
+        # point conservation holds for the merged umbrella trace
+        assert ut.total_points + ut.pruned_points == len(queries) * tree.n
+        assert ut.extra["n_chunks"] >= 1
+        for t in workers:
+            assert "worker_pid" in t.extra and "chunk" in t.extra
+            assert t.wall_time > 0.0
+
+        from repro.obs import read_traces
+
+        on_disk = list(read_traces(path))
+        assert len(on_disk) == len(traces)
+
+    def test_parallel_metrics_updated(self, workload, obs_sandbox):
+        pts, w, queries = workload
+        tree = make_tree(KDTree, workload)
+        obs.enable()
+        try:
+            reg = obs_runtime.registry()
+            reg.reset()
+            with ParallelEvaluator(tree, GaussianKernel(6.0),
+                                   n_workers=N_WORKERS) as ev:
+                ev.tkaq_many(queries, 1.0)
+            snap = reg.snapshot()
+        finally:
+            obs.disable()
+        assert snap["counters"]["parallel.batches_total"] == 1
+        assert snap["counters"]["parallel.queries_total"] == len(queries)
+        assert snap["gauges"]["parallel.n_workers"] == N_WORKERS
+
+    def test_tracing_changes_nothing(self, workload, obs_sandbox):
+        pts, w, queries = workload
+        tree = make_tree(KDTree, workload)
+        kernel = GaussianKernel(6.0)
+        with ParallelEvaluator(tree, kernel, n_workers=N_WORKERS) as ev:
+            plain = ev.tkaq_many_results(queries, 1.0)
+            obs.enable()
+            try:
+                traced = ev.tkaq_many_results(queries, 1.0)
+            finally:
+                obs.disable()
+        assert np.array_equal(plain.answers, traced.answers)
+        assert np.array_equal(plain.lower, traced.lower)
+        assert np.array_equal(plain.upper, traced.upper)
