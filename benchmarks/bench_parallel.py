@@ -18,21 +18,20 @@ Environment overrides:
 * ``REPRO_PAR_WORKERS`` — comma-separated worker counts (default 1,2,4,8)
 * ``REPRO_PAR_BATCH`` — batch size (default 10000)
 
-Besides the usual results table this benchmark persists the raw curve as
-JSON to ``benchmarks/results/BENCH_parallel.json`` for downstream plots.
+Besides the usual results table this benchmark persists the raw curve
+(plus host metadata — the core-count caveat above is only interpretable
+with it) as JSON to ``benchmarks/results/BENCH_parallel.json``.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 
 from conftest import get_workload, run_once
-from repro.bench import emit, render_table
+from repro.bench import emit, emit_json, render_table
 from repro.core import KernelAggregator
 from repro.index import KDTree
 from repro.parallel import ParallelEvaluator, default_workers
@@ -43,10 +42,6 @@ WORKER_COUNTS = tuple(
     int(w) for w in os.environ.get("REPRO_PAR_WORKERS", "1,2,4,8").split(",")
 )
 BATCH = int(os.environ.get("REPRO_PAR_BATCH", "10000"))
-_RESULTS_DIR = Path(
-    os.environ.get("REPRO_BENCH_RESULTS", Path(__file__).parent / "results")
-)
-RESULTS_JSON = _RESULTS_DIR / "BENCH_parallel.json"
 
 
 def _seconds(fn):
@@ -118,12 +113,7 @@ def build_parallel_bench():
         "serial": {"tkaq_qps": serial_qps, "ekaq_qps": eserial_qps},
         "workers": curve,
     }
-    try:
-        RESULTS_JSON.parent.mkdir(parents=True, exist_ok=True)
-        RESULTS_JSON.write_text(json.dumps(payload, indent=2) + "\n")
-    except OSError:
-        pass  # read-only checkout: stdout still has the table
-    return payload
+    return emit_json("parallel", payload)
 
 
 def test_parallel_scaling(benchmark):

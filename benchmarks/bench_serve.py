@@ -1,0 +1,278 @@
+"""Serving-layer benchmark: micro-batching speedup, overload behaviour,
+and offline replay fidelity.
+
+Three phases per dataset (a purely synthetic clustered workload plus the
+``home`` real-dataset mirror):
+
+1. **Batching speedup** — the same 64-deep pipelined client traffic is
+   served twice: once with ``max_batch=1`` (every request evaluated
+   alone — singleton serving with identical machinery) and once with the
+   adaptive micro-batcher (``max_batch=64``).  The coalesced evaluator
+   calls amortise dispatch + shared-frontier refinement, so batched QPS
+   must be at least 5x singleton QPS at full scale.
+2. **Overload** — closed-loop clients at capacity (queue never fills)
+   and beyond it (queue bound forces shedding).  Sheds are explicit
+   responses, every request is answered exactly once, and the client-
+   observed p99 latency of *admitted* requests under overload stays
+   within 2x the at-capacity p99 — the queue bound is what keeps the
+   latency contract honest.
+3. **Replay** — every successful batched response is re-derived offline:
+   responses carry batch id / index / backend / served parameter, each
+   served micro-batch is reconstructed and re-evaluated through the same
+   ``*_many`` call, and every number must match bit for bit.
+
+Raw results (plus host metadata) persist to
+``benchmarks/results/BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+
+from conftest import get_workload, run_once, scaled
+from repro.bench import emit, emit_json, render_table
+from repro.core import GaussianKernel, KernelAggregator
+from repro.index import KDTree
+from repro.kde import scott_gamma
+from repro.serve import (
+    AdmissionPolicy,
+    BatchConfig,
+    ServeClient,
+    ServeConfig,
+    ServerThread,
+)
+
+EPS = 0.2
+PIPELINE_DEPTH = 64
+N_BATCHED = int(os.environ.get("REPRO_SERVE_BATCHED_REQS", "512"))
+N_SINGLETON = int(os.environ.get("REPRO_SERVE_SINGLETON_REQS", "192"))
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def _workloads():
+    """(name, points, weights, kernel) for synthetic + the home mirror."""
+    rng = np.random.default_rng(17)
+    centers = rng.random((8, 6))
+    pts = np.clip(
+        centers[rng.integers(0, 8, scaled(8000))]
+        + 0.05 * rng.standard_normal((scaled(8000), 6)), 0.0, 1.0)
+    yield ("synthetic", pts, np.ones(len(pts)), GaussianKernel(
+        scott_gamma(pts)))
+    wl = get_workload("home")
+    yield (wl.name, wl.points, wl.weights, wl.kernel)
+
+
+def _fresh_server(tree, kernel, **overrides) -> ServerThread:
+    agg = KernelAggregator(tree, kernel)
+    config = ServeConfig(
+        port=0,
+        batch=overrides.pop("batch", BatchConfig(max_batch=PIPELINE_DEPTH)),
+        policy=overrides.pop("policy", AdmissionPolicy(max_queue=4096)),
+        **overrides)
+    return ServerThread(agg, config)
+
+
+def _query_payloads(pts, n_requests, rng):
+    payloads = []
+    for i in range(n_requests):
+        q = pts[rng.integers(0, len(pts))].tolist()
+        if i % 2:
+            payloads.append({"op": "tkaq", "q": q,
+                             "tau": float(rng.uniform(0.5, 50.0))})
+        else:
+            payloads.append({"op": "ekaq", "q": q,
+                             "eps": float(rng.uniform(0.05, EPS))})
+    return payloads
+
+
+def _pump(port, payloads, depth):
+    """Pipeline ``payloads`` ``depth`` at a time; responses + wall QPS."""
+    responses = []
+    with ServeClient(port=port, timeout=300.0) as client:
+        t0 = time.perf_counter()
+        for start in range(0, len(payloads), depth):
+            responses.extend(
+                client.request_many(payloads[start:start + depth]))
+        wall = time.perf_counter() - t0
+    return responses, len(payloads) / wall
+
+
+def _replay_bitwise(agg, payloads, responses) -> int:
+    """Re-derive every ok response offline; returns batches checked."""
+    by_batch: dict = {}
+    for p, r in zip(payloads, responses):
+        assert r["ok"], r
+        by_batch.setdefault((r["op"], r["batch"]), []).append((p, r))
+    for (op, _), members in by_batch.items():
+        members.sort(key=lambda pr: pr[1]["batch_index"])
+        Q = np.array([p["q"] for p, _ in members])
+        backend = members[0][1]["backend"]
+        if op == "tkaq":
+            served = np.array([r["served_tau"] for _, r in members])
+            res = agg.tkaq_many_results(Q, served, backend=backend)
+            for i, (_, r) in enumerate(members):
+                assert r["answer"] == bool(res.answers[i])
+                assert r["lower"] == res.lower[i], (r, res.lower[i])
+                assert r["upper"] == res.upper[i]
+        else:
+            served = np.array([r["served_eps"] for _, r in members])
+            res = agg.ekaq_many_results(Q, served, backend=backend)
+            for i, (_, r) in enumerate(members):
+                assert r["estimate"] == res.estimates[i], (r, i)
+                assert r["lower"] == res.lower[i]
+                assert r["upper"] == res.upper[i]
+    return len(by_batch)
+
+
+def _closed_loop(port, pts, n_threads, per_thread, rng_seed):
+    """``n_threads`` blocking clients; per-request (latency, ok) pairs."""
+    records = []
+    lock = threading.Lock()
+
+    def worker(seed):
+        rng = np.random.default_rng(seed)
+        local = []
+        with ServeClient(port=port, timeout=300.0) as client:
+            for _ in range(per_thread):
+                q = pts[rng.integers(0, len(pts))]
+                t0 = time.perf_counter()
+                r = client.ekaq(q, EPS)
+                local.append((time.perf_counter() - t0, bool(r["ok"]),
+                              r.get("error")))
+        with lock:
+            records.extend(local)
+
+    threads = [threading.Thread(target=worker, args=(rng_seed + i,))
+               for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return records
+
+
+def _p99(latencies) -> float:
+    return float(np.quantile(np.asarray(latencies), 0.99))
+
+
+def bench_one(name, pts, weights, kernel, rng):
+    tree = KDTree(pts, weights=weights, leaf_capacity=40)
+
+    # -- phase 1: singleton vs micro-batched serving -------------------
+    singleton_payloads = _query_payloads(pts, N_SINGLETON, rng)
+    with _fresh_server(tree, kernel,
+                       batch=BatchConfig(max_batch=1)) as st:
+        s_responses, singleton_qps = _pump(
+            st.port, singleton_payloads, PIPELINE_DEPTH)
+    assert all(r["ok"] for r in s_responses)
+    assert all(r["n_batch"] == 1 for r in s_responses)
+
+    batched_payloads = _query_payloads(pts, N_BATCHED, rng)
+    with _fresh_server(tree, kernel) as st:
+        b_responses, batched_qps = _pump(
+            st.port, batched_payloads, PIPELINE_DEPTH)
+    assert all(r["ok"] for r in b_responses)
+    occupancy = [r["n_batch"] for r in b_responses]
+
+    # -- phase 3 (on phase-1 traffic): offline bitwise replay ----------
+    agg = KernelAggregator(tree, kernel)
+    n_batches = _replay_bitwise(agg, batched_payloads, b_responses)
+    n_batches += _replay_bitwise(agg, singleton_payloads, s_responses)
+
+    # -- phase 2: at-capacity vs overload ------------------------------
+    # at capacity: as many closed-loop clients as the overload run's
+    # queue bound, so both runs build the same batch shapes; the only
+    # difference under overload is the extra offered load (which must be
+    # absorbed by shedding, not by admitted-request latency)
+    at_capacity = _closed_loop(port=_start(tree, kernel, max_queue=4096),
+                               pts=pts, n_threads=8, per_thread=16,
+                               rng_seed=1000)
+    _stop()
+    overload = _closed_loop(port=_start(tree, kernel, max_queue=8),
+                            pts=pts, n_threads=16, per_thread=12,
+                            rng_seed=2000)
+    _stop()
+    assert all(ok for _, ok, _ in at_capacity)  # no sheds at capacity
+    cap_lat = [lat for lat, ok, _ in at_capacity if ok]
+    over_admitted = [lat for lat, ok, _ in overload if ok]
+    sheds = [err for _, ok, err in overload if not ok]
+    assert all(err == "overloaded" for err in sheds)
+    assert len(overload) == 16 * 12  # every request answered exactly once
+    return {
+        "dataset": name,
+        "n": int(len(pts)),
+        "singleton_qps": singleton_qps,
+        "batched_qps": batched_qps,
+        "speedup": batched_qps / singleton_qps,
+        "mean_batch_occupancy": float(np.mean(occupancy)),
+        "batches_replayed_bitwise": n_batches,
+        "at_capacity_p99_ms": 1e3 * _p99(cap_lat),
+        "overload_admitted_p99_ms": 1e3 * _p99(over_admitted),
+        "overload_shed": len(sheds),
+        "overload_admitted": len(over_admitted),
+    }
+
+
+# the closed-loop helper needs a server whose lifetime brackets the call
+_ACTIVE: list = []
+
+
+def _start(tree, kernel, max_queue) -> int:
+    st = _fresh_server(
+        tree, kernel,
+        batch=BatchConfig(max_batch=PIPELINE_DEPTH, max_wait_us=2000.0),
+        policy=AdmissionPolicy(max_queue=max_queue)).start()
+    _ACTIVE.append(st)
+    return st.port
+
+
+def _stop() -> None:
+    _ACTIVE.pop().shutdown()
+
+
+def build_serve_bench():
+    rng = np.random.default_rng(5)
+    rows = []
+    results = []
+    for name, pts, weights, kernel in _workloads():
+        r = bench_one(name, pts, weights, kernel, rng)
+        results.append(r)
+        rows.append([
+            r["dataset"], r["n"], r["singleton_qps"], r["batched_qps"],
+            r["speedup"], r["mean_batch_occupancy"],
+            r["at_capacity_p99_ms"], r["overload_admitted_p99_ms"],
+            r["overload_shed"],
+        ])
+    table = render_table(
+        f"Serving: singleton vs micro-batched QPS (pipeline depth "
+        f"{PIPELINE_DEPTH}), overload p99 and shedding, eps<={EPS}",
+        ["dataset", "n", "1-by-1 q/s", "batched q/s", "speedup",
+         "avg batch", "cap p99 ms", "overload p99 ms", "shed"],
+        rows,
+    )
+    emit("serve", table)
+    return emit_json("serve", {
+        "pipeline_depth": PIPELINE_DEPTH,
+        "eps": EPS,
+        "datasets": results,
+    })
+
+
+def test_serve_benchmark(benchmark):
+    payload = run_once(benchmark, build_serve_bench)
+    for r in payload["datasets"]:
+        assert r["batches_replayed_bitwise"] > 0
+        if SCALE >= 1:
+            # the acceptance gates only bind at full workload scale
+            assert r["speedup"] >= 5.0, r
+            assert r["overload_admitted_p99_ms"] <= \
+                2.0 * r["at_capacity_p99_ms"], r
+            assert r["overload_shed"] > 0, r
+
+
+if __name__ == "__main__":
+    build_serve_bench()

@@ -87,6 +87,7 @@ from repro.kde import (
 )
 from repro.parallel import ParallelEvaluator
 from repro.regression import NadarayaWatson
+from repro.serve import KAQServer, ServeClient, ServeConfig
 from repro.svm import (
     SVC,
     MinMaxScaler,
@@ -163,6 +164,10 @@ __all__ = [
     "PCA",
     # observability
     "obs",
+    # serving
+    "KAQServer",
+    "ServeConfig",
+    "ServeClient",
     # errors
     "ReproError",
     "InvalidParameterError",

@@ -1,7 +1,7 @@
 """Benchmark harness: workload builders, method registry, timing, tables."""
 
 from repro.bench.methods import METHOD_NAMES, make_method, tune_method
-from repro.bench.reporting import emit, render_table
+from repro.bench.reporting import emit, emit_json, host_metadata, render_table
 from repro.bench.timers import Throughput, throughput_ekaq, throughput_tkaq
 from repro.bench.workload import (
     KAQWorkload,
@@ -25,4 +25,6 @@ __all__ = [
     "Throughput",
     "render_table",
     "emit",
+    "emit_json",
+    "host_metadata",
 ]

@@ -1,17 +1,23 @@
-"""Fixed-width table rendering for benchmark output.
+"""Fixed-width table rendering and JSON persistence for benchmark output.
 
 Every benchmark prints a table in the same row/column layout as the
 corresponding paper table or figure series, so EXPERIMENTS.md can compare
 shapes side by side.  Results are also appended to
-``benchmarks/results/<name>.txt`` for the record.
+``benchmarks/results/<name>.txt`` for the record; machine-readable curves
+go through :func:`emit_json`, which stamps host metadata (core count,
+platform, python version) into every ``BENCH_<name>.json`` so core-count-
+gated results stay interpretable after the fact.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import sys
 from pathlib import Path
 
-__all__ = ["render_table", "emit"]
+__all__ = ["render_table", "emit", "emit_json", "host_metadata"]
 
 #: directory the emit() helper persists tables to (created lazily)
 RESULTS_DIR = Path(os.environ.get("REPRO_BENCH_RESULTS", "benchmarks/results"))
@@ -67,6 +73,44 @@ def emit(name: str, table: str) -> str:
     except OSError:
         pass  # read-only checkout: stdout still has the table
     return table
+
+
+def host_metadata() -> dict:
+    """Hardware/runtime facts that gate how a result file is read.
+
+    ``schedulable_cpus`` (the CPUs this process may actually run on) is
+    what parallel speedup gates key off; ``cpu_count`` is the machine
+    total.  Both are recorded because containers routinely differ.
+    """
+    try:
+        schedulable = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        schedulable = os.cpu_count() or 1
+    return {
+        "cpu_count": os.cpu_count(),
+        "schedulable_cpus": schedulable,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+    }
+
+
+def emit_json(name: str, payload: dict) -> dict:
+    """Persist a benchmark's raw results as ``BENCH_<name>.json``.
+
+    Returns the payload with a ``host`` metadata block injected (the
+    caller's dict is updated in place).  Like :func:`emit`, a read-only
+    checkout downgrades persistence to a no-op.
+    """
+    payload["host"] = host_metadata()
+    try:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+    except OSError:
+        pass
+    return payload
 
 
 def _drain_trace_summary() -> str | None:

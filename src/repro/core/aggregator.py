@@ -26,7 +26,13 @@ from itertools import count
 import numpy as np
 
 from repro.core.bounds import BoundScheme, HybridBounds, KARLBounds, SOTABounds
-from repro.core.errors import DataShapeError, InvalidParameterError, as_matrix, as_vector
+from repro.core.errors import (
+    DataShapeError,
+    InvalidParameterError,
+    as_matrix,
+    as_query_param,
+    as_vector,
+)
 from repro.core.kernels import Kernel
 from repro.core.results import (
     BatchQueryStats,
@@ -114,6 +120,7 @@ class KernelAggregator:
         self._multiquery = None  # lazily-built batch backend (same config)
         self._parallel = None    # lazily-built process pool backend
         self._parallel_key = None
+        self._closed = False     # set by close(); forbids backend="parallel"
         # _pair_bounds relies on BFS sibling adjacency (right == left + 1)
         internal = tree.left >= 0
         if not np.all(tree.right[internal] == tree.left[internal] + 1):
@@ -486,6 +493,12 @@ class KernelAggregator:
         """
         from repro.parallel.evaluator import ParallelEvaluator
 
+        if self._closed:
+            raise RuntimeError(
+                "this KernelAggregator has been closed; backend='parallel' "
+                "is no longer available (serial backends still work, or "
+                "build a new aggregator)"
+            )
         key = (n_workers, chunk_size)
         if self._parallel is not None and self._parallel_key != key:
             self._parallel.close()
@@ -503,9 +516,14 @@ class KernelAggregator:
         """Release the process pool and shared-memory blocks, if any.
 
         Only the ``backend="parallel"`` path holds OS resources; serial
-        use never needs this.  Safe to call repeatedly; the aggregator
-        remains usable (a later parallel call rebuilds the pool).
+        use never needs this.  Idempotent: calling it again is a no-op.
+        After ``close()`` the serial backends keep working, but any
+        ``*_many(backend="parallel")`` call raises :class:`RuntimeError`
+        — a closed aggregator must not silently resurrect a worker pool
+        its owner believes released (the serving layer relies on this
+        during graceful drain).
         """
+        self._closed = True
         if self._parallel is not None:
             self._parallel.close()
             self._parallel = None
@@ -527,10 +545,14 @@ class KernelAggregator:
                 f"got backend={backend!r}"
             )
 
-    def tkaq_many_results(self, queries, tau: float, backend: str = "auto",
+    def tkaq_many_results(self, queries, tau, backend: str = "auto",
                           n_workers: int | None = None,
                           chunk_size: int | None = None) -> TKAQBatchResult:
         """Per-query TKAQ answers with terminal ``lower``/``upper`` arrays.
+
+        ``tau`` is one shared threshold or a per-query ``(Q,)`` vector
+        (heterogeneous batches — how the serving layer merges requests
+        with different thresholds instead of fragmenting batches).
 
         ``backend="multiquery"`` runs the query-major vectorised evaluator
         (:class:`~repro.core.multiquery.MultiQueryAggregator`),
@@ -543,16 +565,16 @@ class KernelAggregator:
         the exact aggregate) because the refinement schedules differ.
         """
         self._check_pool_kwargs(backend, n_workers, chunk_size)
+        Q = self._check_queries(queries)
+        tau = as_query_param(tau, Q.shape[0], "tau")
         if backend == "parallel":
-            Q = self._check_queries(queries)
             return self._parallel_backend(
                 n_workers, chunk_size).tkaq_many_results(Q, tau)
-        Q = self._check_queries(queries)
-        tau = float(tau)
         impl = self._multiquery_backend(backend)
         if impl is not None:
             return impl.tkaq_many_results(Q, tau)
-        results = [self.tkaq(q, tau) for q in Q]
+        taus = np.broadcast_to(tau, Q.shape[:1])
+        results = [self.tkaq(q, t) for q, t in zip(Q, taus)]
         return TKAQBatchResult(
             answers=np.array([r.answer for r in results], dtype=bool),
             lower=np.array([r.lower for r in results]),
@@ -561,26 +583,26 @@ class KernelAggregator:
             stats=self._loop_batch_stats([r.stats for r in results]),
         )
 
-    def ekaq_many_results(self, queries, eps: float, backend: str = "auto",
+    def ekaq_many_results(self, queries, eps, backend: str = "auto",
                           n_workers: int | None = None,
                           chunk_size: int | None = None) -> EKAQBatchResult:
         """Per-query eKAQ estimates with terminal ``lower``/``upper`` arrays.
 
-        Same backend semantics as :meth:`tkaq_many_results`; every estimate
-        satisfies the ``(1 +- eps)`` contract regardless of backend.
+        Same backend semantics as :meth:`tkaq_many_results`; ``eps`` may
+        likewise be scalar or per-query, and every estimate satisfies its
+        own ``(1 +- eps_i)`` contract regardless of backend.
         """
         self._check_pool_kwargs(backend, n_workers, chunk_size)
         Q = self._check_queries(queries)
-        eps = float(eps)
-        if eps < 0.0:
-            raise InvalidParameterError(f"eps must be >= 0; got {eps}")
+        eps = as_query_param(eps, Q.shape[0], "eps", minimum=0.0)
         if backend == "parallel":
             return self._parallel_backend(
                 n_workers, chunk_size).ekaq_many_results(Q, eps)
         impl = self._multiquery_backend(backend)
         if impl is not None:
             return impl.ekaq_many_results(Q, eps)
-        results = [self.ekaq(q, eps) for q in Q]
+        epss = np.broadcast_to(eps, Q.shape[:1])
+        results = [self.ekaq(q, e) for q, e in zip(Q, epss)]
         return EKAQBatchResult(
             estimates=np.array([r.estimate for r in results]),
             lower=np.array([r.lower for r in results]),
@@ -589,7 +611,7 @@ class KernelAggregator:
             stats=self._loop_batch_stats([r.stats for r in results]),
         )
 
-    def tkaq_many(self, queries, tau: float, backend: str = "auto",
+    def tkaq_many(self, queries, tau, backend: str = "auto",
                   n_workers: int | None = None,
                   chunk_size: int | None = None) -> np.ndarray:
         """Vector of TKAQ answers for each row of ``queries``."""
@@ -598,7 +620,7 @@ class KernelAggregator:
             n_workers=n_workers, chunk_size=chunk_size,
         ).answers
 
-    def ekaq_many(self, queries, eps: float, backend: str = "auto",
+    def ekaq_many(self, queries, eps, backend: str = "auto",
                   n_workers: int | None = None,
                   chunk_size: int | None = None) -> np.ndarray:
         """Vector of eKAQ estimates for each row of ``queries``."""

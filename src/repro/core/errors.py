@@ -16,6 +16,7 @@ __all__ = [
     "NotFittedError",
     "ParallelExecutionError",
     "as_matrix",
+    "as_query_param",
     "as_vector",
     "check_positive",
 ]
@@ -81,6 +82,42 @@ def as_vector(vec, dim: int | None = None, name: str = "q") -> np.ndarray:
     if not np.isfinite(arr).all():
         raise DataShapeError(f"{name} contains NaN or infinite values")
     return arr
+
+
+def as_query_param(value, n_queries: int, name: str,
+                   minimum: float | None = None):
+    """Validate a per-query parameter: scalar float or ``(n_queries,)`` vector.
+
+    The batch entry points (``tkaq_many``/``ekaq_many``) accept either one
+    shared ``tau``/``eps`` for the whole batch or one value per query row
+    (how the serving layer merges requests with different parameters into
+    a single batch).  Returns a plain ``float`` for scalars — so the
+    scalar path stays bitwise-identical to the historical behaviour — or
+    a contiguous float64 vector.
+    """
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim == 0:
+        scalar = float(arr)
+        if not np.isfinite(scalar):
+            raise InvalidParameterError(f"{name} must be finite; got {scalar}")
+        if minimum is not None and scalar < minimum:
+            raise InvalidParameterError(
+                f"{name} must be >= {minimum}; got {scalar}"
+            )
+        return scalar
+    if arr.ndim != 1 or arr.shape[0] != n_queries:
+        raise DataShapeError(
+            f"{name} must be a scalar or a ({n_queries},) vector matching "
+            f"the query batch; got shape {arr.shape}"
+        )
+    if not np.isfinite(arr).all():
+        raise DataShapeError(f"{name} contains NaN or infinite values")
+    if minimum is not None and (arr < minimum).any():
+        raise InvalidParameterError(
+            f"every {name} must be >= {minimum}; "
+            f"got min {float(arr.min())}"
+        )
+    return np.ascontiguousarray(arr)
 
 
 def check_positive(value: float, name: str) -> float:

@@ -38,7 +38,12 @@ import time
 import numpy as np
 
 from repro.core.bounds import BoundScheme, KARLBounds, SOTABounds
-from repro.core.errors import DataShapeError, InvalidParameterError, as_matrix
+from repro.core.errors import (
+    DataShapeError,
+    InvalidParameterError,
+    as_matrix,
+    as_query_param,
+)
 from repro.core.kernels import Kernel
 from repro.core.results import BatchQueryStats, EKAQBatchResult, TKAQBatchResult
 from repro.obs import runtime as _obs
@@ -205,8 +210,10 @@ class MultiQueryAggregator:
                      param: float | None = None):
         """Refine all rows of ``Q`` until each satisfies ``stop`` (or exhausts).
 
-        ``stop(lb_vec, ub_vec)`` maps the active queries' global bound
-        vectors to a boolean retirement mask.  Returns per-query terminal
+        ``stop(lb_vec, ub_vec, active)`` maps the active queries' global
+        bound vectors (plus their original row indices, so per-query
+        ``tau``/``eps`` vectors can be sliced) to a boolean retirement
+        mask.  Returns per-query terminal
         ``(lower, upper)`` arrays plus aggregate stats.  With the
         observability layer enabled a :class:`~repro.obs.trace.QueryTrace`
         records one record per shared-frontier round; disabled, the
@@ -241,7 +248,7 @@ class MultiQueryAggregator:
             lb_vec = exact[active] + lb_mat.sum(axis=1)
             ub_vec = exact[active] + ub_mat.sum(axis=1)
             if frontier.size:
-                done = stop(lb_vec, ub_vec)
+                done = stop(lb_vec, ub_vec, active)
             else:  # exhaustion: bounds have collapsed to the exact aggregate
                 done = np.ones(active.size, dtype=bool)
 
@@ -372,35 +379,52 @@ class MultiQueryAggregator:
             )
         return Q
 
-    def tkaq_many_results(self, queries, tau: float) -> TKAQBatchResult:
-        """Per-query TKAQ answers and terminal bounds for a query matrix."""
+    def tkaq_many_results(self, queries, tau) -> TKAQBatchResult:
+        """Per-query TKAQ answers and terminal bounds for a query matrix.
+
+        ``tau`` may be one shared threshold or a per-query ``(Q,)`` vector
+        (heterogeneous batches, as assembled by the serving layer's
+        micro-batcher).
+        """
         Q = self._check_queries(queries)
-        tau = float(tau)
-        lower, upper, stats = self._refine_many(
-            Q, lambda lo, hi: (lo > tau) | (hi <= tau), kind="tkaq", param=tau
-        )
+        tau = as_query_param(tau, Q.shape[0], "tau")
+        if isinstance(tau, float):
+            stop = lambda lo, hi, idx: (lo > tau) | (hi <= tau)  # noqa: E731
+            param = tau
+        else:
+            stop = lambda lo, hi, idx: (lo > tau[idx]) | (hi <= tau[idx])  # noqa: E731
+            param = None
+        lower, upper, stats = self._refine_many(Q, stop, kind="tkaq",
+                                                param=param)
         return TKAQBatchResult(
             answers=lower > tau, lower=lower, upper=upper, tau=tau, stats=stats
         )
 
-    def ekaq_many_results(self, queries, eps: float) -> EKAQBatchResult:
-        """Per-query eKAQ estimates and terminal bounds for a query matrix."""
+    def ekaq_many_results(self, queries, eps) -> EKAQBatchResult:
+        """Per-query eKAQ estimates and terminal bounds for a query matrix.
+
+        ``eps`` may be one shared tolerance or a per-query ``(Q,)`` vector;
+        each estimate satisfies its own row's ``(1 +- eps_i)`` contract.
+        """
         Q = self._check_queries(queries)
-        eps = float(eps)
-        if eps < 0.0:
-            raise InvalidParameterError(f"eps must be >= 0; got {eps}")
-        lower, upper, stats = self._refine_many(
-            Q, lambda lo, hi: hi <= (1.0 + eps) * lo, kind="ekaq", param=eps
-        )
+        eps = as_query_param(eps, Q.shape[0], "eps", minimum=0.0)
+        if isinstance(eps, float):
+            stop = lambda lo, hi, idx: hi <= (1.0 + eps) * lo  # noqa: E731
+            param = eps
+        else:
+            stop = lambda lo, hi, idx: hi <= (1.0 + eps[idx]) * lo  # noqa: E731
+            param = None
+        lower, upper, stats = self._refine_many(Q, stop, kind="ekaq",
+                                                param=param)
         return EKAQBatchResult(
             estimates=0.5 * (lower + upper), lower=lower, upper=upper,
             eps=eps, stats=stats,
         )
 
-    def tkaq_many(self, queries, tau: float) -> np.ndarray:
+    def tkaq_many(self, queries, tau) -> np.ndarray:
         """Vector of TKAQ answers for each row of ``queries``."""
         return self.tkaq_many_results(queries, tau).answers
 
-    def ekaq_many(self, queries, eps: float) -> np.ndarray:
+    def ekaq_many(self, queries, eps) -> np.ndarray:
         """Vector of eKAQ estimates for each row of ``queries``."""
         return self.ekaq_many_results(queries, eps).estimates

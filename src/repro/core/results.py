@@ -213,7 +213,7 @@ class TKAQBatchResult:
     answers: "np.ndarray"  # (Q,) bool
     lower: "np.ndarray"    # (Q,) float64
     upper: "np.ndarray"    # (Q,) float64
-    tau: float
+    tau: "float | np.ndarray"  # shared scalar or per-query (Q,) thresholds
     stats: BatchQueryStats | None = None
 
     def __len__(self) -> int:
@@ -231,7 +231,7 @@ class EKAQBatchResult:
     estimates: "np.ndarray"  # (Q,) float64
     lower: "np.ndarray"      # (Q,) float64
     upper: "np.ndarray"      # (Q,) float64
-    eps: float
+    eps: "float | np.ndarray"  # shared scalar or per-query (Q,) tolerances
     stats: BatchQueryStats | None = None
 
     def __len__(self) -> int:

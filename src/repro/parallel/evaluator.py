@@ -45,6 +45,7 @@ from repro.core.errors import (
     InvalidParameterError,
     ParallelExecutionError,
     as_matrix,
+    as_query_param,
 )
 from repro.core.results import BatchQueryStats, EKAQBatchResult, TKAQBatchResult
 from repro.obs import runtime as _obs
@@ -316,7 +317,8 @@ class ParallelEvaluator:
             )
         return Q
 
-    def _run(self, kind: str, Q: np.ndarray, param: float):
+    def _run(self, kind: str, Q: np.ndarray, param):
+        """``param`` is a scalar or a per-query vector, sharded with ``Q``."""
         pool = self._ensure_pool()
         if pool is None:
             agg = self._serial_aggregator()
@@ -327,11 +329,12 @@ class ParallelEvaluator:
         nq = Q.shape[0]
         chunk = self.chunk_size or auto_chunk_size(nq, self.n_workers)
         starts = range(0, nq, chunk)
+        scalar_param = isinstance(param, float)
         trace_on = _obs.is_enabled()
         compare = _obs.compare_enabled()
         otrace = _obs.start_trace(
             kind, "parallel", self.scheme.name, self.tree.n,
-            n_queries=nq, param=param,
+            n_queries=nq, param=param if scalar_param else None,
         )
 
         t_dispatch = time.monotonic()
@@ -341,7 +344,8 @@ class ParallelEvaluator:
             # submit itself raises BrokenProcessPool when workers died
             # between batches, so it sits inside the same failure mapping
             futures = [
-                pool.submit(_run_chunk, kind, i, Q[s:s + chunk], param,
+                pool.submit(_run_chunk, kind, i, Q[s:s + chunk],
+                            param if scalar_param else param[s:s + chunk],
                             t_dispatch, trace_on, compare)
                 for i, s in enumerate(starts)
             ]
@@ -443,23 +447,26 @@ class ParallelEvaluator:
 
     # -- public queries --------------------------------------------------
 
-    def tkaq_many_results(self, queries, tau: float) -> TKAQBatchResult:
-        """Per-query TKAQ answers and terminal bounds, computed in parallel."""
-        Q = self._check_queries(queries)
-        return self._run("tkaq", Q, float(tau))
+    def tkaq_many_results(self, queries, tau) -> TKAQBatchResult:
+        """Per-query TKAQ answers and terminal bounds, computed in parallel.
 
-    def ekaq_many_results(self, queries, eps: float) -> EKAQBatchResult:
+        ``tau`` may be scalar or a per-query ``(Q,)`` vector; vectors are
+        sharded alongside the query rows.
+        """
+        Q = self._check_queries(queries)
+        return self._run("tkaq", Q, as_query_param(tau, Q.shape[0], "tau"))
+
+    def ekaq_many_results(self, queries, eps) -> EKAQBatchResult:
         """Per-query eKAQ estimates and terminal bounds, computed in parallel."""
         Q = self._check_queries(queries)
-        eps = float(eps)
-        if eps < 0.0:
-            raise InvalidParameterError(f"eps must be >= 0; got {eps}")
-        return self._run("ekaq", Q, eps)
+        return self._run(
+            "ekaq", Q, as_query_param(eps, Q.shape[0], "eps", minimum=0.0)
+        )
 
-    def tkaq_many(self, queries, tau: float) -> np.ndarray:
+    def tkaq_many(self, queries, tau) -> np.ndarray:
         """Vector of TKAQ answers for each row of ``queries``."""
         return self.tkaq_many_results(queries, tau).answers
 
-    def ekaq_many(self, queries, eps: float) -> np.ndarray:
+    def ekaq_many(self, queries, eps) -> np.ndarray:
         """Vector of eKAQ estimates for each row of ``queries``."""
         return self.ekaq_many_results(queries, eps).estimates

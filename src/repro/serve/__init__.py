@@ -1,0 +1,46 @@
+"""repro.serve — async query service with adaptive micro-batching.
+
+Turns the batch evaluators into an online service: an asyncio TCP
+server speaking newline-delimited JSON, coalescing concurrent TKAQ /
+eKAQ / exact requests into ``*_many`` calls (heterogeneous tau/eps
+batches merge freely), with admission control, per-request deadlines,
+explicit load shedding, and graceful drain.  Run one with::
+
+    python -m repro.serve --dataset home --index kd --port 0
+
+and talk to it with :class:`~repro.serve.client.ServeClient`.
+"""
+
+from repro.serve.batcher import BatchConfig, MicroBatcher, PendingRequest
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.hosting import ServerThread
+from repro.serve.policy import AdmissionPolicy
+from repro.serve.protocol import (
+    ERROR_CODES,
+    ProtocolError,
+    Request,
+    decode_request,
+    encode,
+    error_response,
+    ok_response,
+)
+from repro.serve.server import KAQServer, ServeConfig
+
+__all__ = [
+    "KAQServer",
+    "ServeConfig",
+    "BatchConfig",
+    "MicroBatcher",
+    "PendingRequest",
+    "AdmissionPolicy",
+    "ServeClient",
+    "ServeError",
+    "ServerThread",
+    "Request",
+    "ProtocolError",
+    "ERROR_CODES",
+    "decode_request",
+    "encode",
+    "ok_response",
+    "error_response",
+]

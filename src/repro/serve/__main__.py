@@ -1,0 +1,107 @@
+"""CLI entry point: ``python -m repro.serve --dataset home --index kd``.
+
+Builds the served workload exactly the way the benchmarks do
+(:func:`repro.bench.workload.workload_for`: registered dataset, its
+weighting type's kernel/weights), indexes it, and serves until SIGTERM
+or SIGINT, then drains gracefully.  Once listening it prints::
+
+    REPRO_SERVE_LISTENING host=127.0.0.1 port=41873
+
+so harnesses using ``--port 0`` can discover the bound port.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.bench.workload import workload_for
+from repro.core import KernelAggregator
+from repro.index import BallTree, KDTree
+from repro.serve.batcher import BatchConfig
+from repro.serve.policy import AdmissionPolicy
+from repro.serve.server import KAQServer, ServeConfig
+
+_INDEXES = {"kd": KDTree, "ball": BallTree}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve TKAQ/eKAQ queries over newline-delimited JSON.")
+    p.add_argument("--dataset", required=True,
+                   help="registered dataset name (see repro.datasets)")
+    p.add_argument("--size", type=int, default=None,
+                   help="override the dataset's default cardinality")
+    p.add_argument("--index", choices=sorted(_INDEXES), default="kd")
+    p.add_argument("--leaf-capacity", type=int, default=40)
+    p.add_argument("--scheme", default="karl",
+                   help="bound scheme: karl | sota | hybrid")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7207,
+                   help="TCP port (0 = OS-assigned; printed on startup)")
+    p.add_argument("--max-batch", type=int, default=64)
+    p.add_argument("--min-wait-us", type=float, default=50.0)
+    p.add_argument("--max-wait-us", type=float, default=5000.0)
+    p.add_argument("--target-fill", type=float, default=0.5)
+    p.add_argument("--max-queue", type=int, default=1024)
+    p.add_argument("--degrade-at", type=float, default=0.5,
+                   help="queue fraction where eKAQ degradation starts")
+    p.add_argument("--eps-ceiling", type=float, default=None,
+                   help="overload may relax eKAQ eps up to this "
+                        "(default: no degradation)")
+    p.add_argument("--parallel-threshold", type=int, default=None,
+                   help="batch size that dispatches to the process pool "
+                        "(default: serial multiquery only)")
+    p.add_argument("--n-workers", type=int, default=None,
+                   help="process-pool width for parallel batches")
+    p.add_argument("--drain-grace-s", type=float, default=10.0)
+    return p
+
+
+def make_server(args) -> KAQServer:
+    wl = workload_for(args.dataset, n_queries=1, size=args.size)
+    tree = _INDEXES[args.index](
+        wl.points, weights=wl.weights, leaf_capacity=args.leaf_capacity)
+    agg = KernelAggregator(tree, wl.kernel, scheme=args.scheme)
+    config = ServeConfig(
+        host=args.host, port=args.port,
+        batch=BatchConfig(
+            max_batch=args.max_batch, min_wait_us=args.min_wait_us,
+            max_wait_us=args.max_wait_us, target_fill=args.target_fill,
+            parallel_threshold=args.parallel_threshold,
+            n_workers=args.n_workers),
+        policy=AdmissionPolicy(
+            max_queue=args.max_queue, degrade_at=args.degrade_at,
+            eps_ceiling=args.eps_ceiling),
+        drain_grace_s=args.drain_grace_s)
+    return KAQServer(agg, config)
+
+
+async def amain(args) -> None:
+    server = make_server(args)
+    await server.start()
+    print(f"REPRO_SERVE_LISTENING host={args.host} port={server.port}",
+          flush=True)
+    stop = asyncio.Event()
+    server.install_signal_handlers(stop)
+    forever = asyncio.ensure_future(server.serve_forever())
+    await stop.wait()
+    print("REPRO_SERVE_DRAINING", flush=True)
+    forever.cancel()
+    await server.shutdown()
+    print("REPRO_SERVE_STOPPED", flush=True)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(amain(args))
+    except KeyboardInterrupt:  # pragma: no cover - belt and braces
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,298 @@
+"""Adaptive micro-batching: coalesce concurrent requests into ``*_many``.
+
+The economics this exploits: the batch evaluators amortise per-call
+overhead (dispatch, tracing, and — on the multiquery backend — shared
+frontier refinement over the whole batch), so ``tkaq_many`` over B
+coalesced requests is far cheaper than B singleton calls.  The batcher
+buys that batching with a small, bounded, *adaptive* wait.
+
+One :class:`MicroBatcher` per query kind (``tkaq`` / ``ekaq`` /
+``exact``) — requests only batch with their own kind, but within a kind
+heterogeneous parameters merge freely: the flush path always passes the
+per-request ``tau``/``eps`` *vector* to the evaluator, so mixed-τ and
+mixed-ε traffic shares one batch instead of fragmenting (see
+``as_query_param``; a constant vector takes the identical refinement
+schedule as the scalar, so batching never changes any answer).
+
+Flush triggers, whichever comes first:
+
+* **size** — the pending set reached ``max_batch``;
+* **timer** — the oldest pending request waited ``window_us``.
+
+The window self-tunes toward ``target_fill`` (the desired typical batch
+occupancy): a timer flush below target grows the window by 25% (waiting
+longer would have coalesced more), a size flush shrinks it by 20%
+(traffic is heavy enough that waiting only adds latency), clamped to
+``[min_wait_us, max_wait_us]``.  Under sustained load the window
+converges to roughly the arrival time of ``target_fill * max_batch``
+requests; under trickle traffic it rides ``max_wait_us`` so singleton
+latency stays bounded.
+
+Batches of at least ``parallel_threshold`` queries dispatch to
+``backend="parallel"`` (the shared-memory process pool) when the server
+was configured with workers; smaller batches take the serial
+``multiquery`` backend — pool dispatch overhead only pays for itself at
+width.  Evaluation runs on a single-thread executor so the event loop
+keeps accepting and coalescing while a batch computes, and so the
+aggregator only ever sees one thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs import runtime as obs
+from repro.obs.metrics import SECONDS_BUCKETS
+from repro.obs.trace import QueryTrace
+from repro.serve.protocol import (
+    DEADLINE_EXCEEDED,
+    INTERNAL,
+    Request,
+    error_response,
+    ok_response,
+)
+
+__all__ = ["BatchConfig", "PendingRequest", "MicroBatcher"]
+
+
+@dataclass
+class BatchConfig:
+    """Micro-batching knobs shared by every per-kind batcher."""
+
+    max_batch: int = 64          # size-flush trigger
+    min_wait_us: float = 50.0    # adaptive window clamp (lower)
+    max_wait_us: float = 5000.0  # adaptive window clamp (upper)
+    initial_wait_us: float = 500.0
+    target_fill: float = 0.5     # desired typical occupancy (of max_batch)
+    parallel_threshold: int | None = None  # batch size that earns the pool
+    n_workers: int | None = None           # pool width for parallel flushes
+    chunk_size: int | None = None
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1; got {self.max_batch}")
+        if not 0.0 < self.target_fill <= 1.0:
+            raise ValueError(
+                f"target_fill must be in (0, 1]; got {self.target_fill}")
+        if self.min_wait_us > self.max_wait_us:
+            raise ValueError("min_wait_us must be <= max_wait_us")
+
+
+@dataclass
+class PendingRequest:
+    """One admitted query waiting in a batcher's pending set."""
+
+    request: Request
+    future: asyncio.Future
+    enqueued_at: float          # server monotonic clock
+    deadline: float | None      # absolute, server monotonic clock
+    served_param: float | None  # policy-adjusted tau/eps actually served
+    degraded: bool = False
+
+
+class MicroBatcher:
+    """Coalesces one query kind's requests into batch evaluator calls."""
+
+    def __init__(self, kind: str, aggregator, config: BatchConfig,
+                 executor, loop: asyncio.AbstractEventLoop,
+                 on_done=None):
+        assert kind in ("tkaq", "ekaq", "exact"), kind
+        self.kind = kind
+        self._agg = aggregator
+        self._cfg = config
+        self._executor = executor
+        self._loop = loop
+        self._on_done = on_done  # server callback: request left the queue
+        self._pending: list[PendingRequest] = []
+        self._timer: asyncio.TimerHandle | None = None
+        self._window_us = float(config.initial_wait_us)
+        self._batch_seq = 0
+        self._inflight = 0
+        reg = obs.registry()
+        self._m_batch_size = reg.histogram("serve.batch_size")
+        self._m_queue_delay = reg.histogram(
+            "serve.queue_delay_seconds", SECONDS_BUCKETS)
+        self._m_batches = reg.counter(f"serve.batches.{kind}")
+        self._m_deadline = reg.counter("serve.deadline_miss_total")
+        self._m_internal = reg.counter("serve.internal_error_total")
+        self._g_inflight = reg.gauge("serve.inflight_batches")
+
+    # ------------------------------------------------------------------
+    # event-loop side
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def window_us(self) -> float:
+        """Current adaptive wait window (exposed via the stats op)."""
+        return self._window_us
+
+    def submit(self, pending: PendingRequest) -> None:
+        """Add one admitted request; flush if the batch filled."""
+        self._pending.append(pending)
+        if len(self._pending) >= self._cfg.max_batch:
+            self.flush("size")
+        elif self._timer is None:
+            self._timer = self._loop.call_later(
+                self._window_us / 1e6, self.flush, "timer")
+
+    def flush(self, reason: str = "drain") -> None:
+        """Dispatch the pending set as one batch (no-op when empty)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        self._tune_window(reason, len(batch))
+        self._inflight += 1
+        self._g_inflight.set(self._inflight)
+        self._loop.create_task(self._run_batch(batch))
+
+    def _tune_window(self, reason: str, batch_size: int) -> None:
+        if reason == "timer" and batch_size < self._cfg.target_fill * \
+                self._cfg.max_batch:
+            self._window_us *= 1.25
+        elif reason == "size":
+            self._window_us *= 0.8
+        self._window_us = min(self._cfg.max_wait_us,
+                              max(self._cfg.min_wait_us, self._window_us))
+
+    # ------------------------------------------------------------------
+    # batch execution
+    # ------------------------------------------------------------------
+
+    async def _run_batch(self, batch: list[PendingRequest]) -> None:
+        try:
+            now = self._loop.time()
+            live = []
+            for p in batch:
+                if p.deadline is not None and now > p.deadline:
+                    self._m_deadline.inc()
+                    self._resolve(p, error_response(
+                        p.request.id, DEADLINE_EXCEEDED,
+                        f"deadline expired {1e3 * (now - p.deadline):.1f}ms "
+                        "before evaluation"))
+                else:
+                    live.append(p)
+            if not live:
+                return
+            for p in live:
+                self._m_queue_delay.observe(now - p.enqueued_at)
+            self._m_batch_size.observe(len(live))
+            self._m_batches.inc()
+            backend = self._pick_backend(len(live))
+            t0 = time.perf_counter()
+            try:
+                result = await self._loop.run_in_executor(
+                    self._executor, self._evaluate, live, backend)
+            except Exception as exc:  # noqa: BLE001 - must answer the batch
+                self._m_internal.inc(len(live))
+                for p in live:
+                    self._resolve(p, error_response(
+                        p.request.id, INTERNAL,
+                        f"{type(exc).__name__}: {exc}"))
+                return
+            wall = time.perf_counter() - t0
+            batch_id = self._batch_seq
+            self._batch_seq += 1
+            self._ingest_trace(result, len(live), wall)
+            for i, p in enumerate(live):
+                self._resolve(p, self._response(p, result, batch_id, i,
+                                                len(live), backend))
+        finally:
+            self._inflight -= 1
+            self._g_inflight.set(self._inflight)
+
+    def _pick_backend(self, batch_size: int) -> str:
+        cfg = self._cfg
+        if (self.kind != "exact" and cfg.parallel_threshold is not None
+                and cfg.n_workers and batch_size >= cfg.parallel_threshold):
+            return "parallel"
+        return "multiquery"
+
+    def _evaluate(self, live: list[PendingRequest], backend: str):
+        """Executor-thread entry: one batch evaluator call.
+
+        Parameters are always passed as per-request vectors — that is
+        what lets mixed tau/eps traffic share a batch, and (because a
+        constant vector refines identically to the scalar) it costs
+        uniform traffic nothing.
+        """
+        Q = np.array([p.request.q for p in live], dtype=np.float64)
+        if self.kind == "exact":
+            return self._agg.exact_many(Q)
+        param = np.array([p.served_param for p in live], dtype=np.float64)
+        kwargs = {"backend": backend}
+        if backend == "parallel":
+            kwargs["n_workers"] = self._cfg.n_workers
+            kwargs["chunk_size"] = self._cfg.chunk_size
+        if self.kind == "tkaq":
+            return self._agg.tkaq_many_results(Q, param, **kwargs)
+        return self._agg.ekaq_many_results(Q, param, **kwargs)
+
+    def _response(self, p: PendingRequest, result, batch_id: int,
+                  index: int, n_batch: int, backend: str) -> dict:
+        req = p.request
+        common = dict(batch=batch_id, batch_index=index, n_batch=n_batch)
+        if self.kind == "exact":
+            return ok_response(req.id, "exact",
+                               value=float(result[index]), **common)
+        common["backend"] = backend
+        if self.kind == "tkaq":
+            return ok_response(
+                req.id, "tkaq",
+                answer=bool(result.answers[index]),
+                lower=float(result.lower[index]),
+                upper=float(result.upper[index]),
+                served_tau=float(p.served_param), **common)
+        return ok_response(
+            req.id, "ekaq",
+            estimate=float(result.estimates[index]),
+            lower=float(result.lower[index]),
+            upper=float(result.upper[index]),
+            served_eps=float(p.served_param),
+            degraded=p.degraded, **common)
+
+    def _resolve(self, p: PendingRequest, payload: dict) -> None:
+        if not p.future.done():
+            p.future.set_result(payload)
+        if self._on_done is not None:
+            self._on_done(p)
+
+    def _ingest_trace(self, result, n_batch: int, wall: float) -> None:
+        """Record an umbrella per-batch trace into the obs ring.
+
+        The inner evaluator already traces its own refinement when obs is
+        enabled; this adds the serving-layer view (kind, batch width,
+        wall time) with totals copied from the batch stats so the point
+        conservation law — evaluated + pruned == n_queries * n — holds
+        for serve traces exactly as for engine traces.
+        """
+        if not obs.is_enabled():
+            return
+        n = self._agg.tree.n
+        trace = QueryTrace(kind=self.kind, backend="serve",
+                           scheme=self._agg.scheme.name,
+                           n_points=n, n_queries=n_batch)
+        trace.wall_time = wall
+        stats = getattr(result, "stats", None)
+        if stats is not None:
+            trace.record_round(
+                frontier=0, expanded=stats.nodes_expanded,
+                leaves=stats.leaves_evaluated,
+                points=stats.points_evaluated,
+                active=n_batch, retired=n_batch,
+                pruned_points=n_batch * n - stats.points_evaluated,
+                bound_evals=stats.bound_evaluations)
+        else:  # exact_many: every point of every query evaluated
+            trace.record_round(frontier=0, points=n_batch * n,
+                               active=n_batch, retired=n_batch)
+        obs.ingest_trace(trace)

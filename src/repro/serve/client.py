@@ -1,0 +1,134 @@
+"""Blocking client for the query service.
+
+A thin socket wrapper over the newline-JSON protocol: assign ids, send
+lines, match responses back by id (the server answers out of order as
+micro-batches complete).  ``request_many`` pipelines a whole list before
+reading anything — that is how a single client generates the concurrency
+the micro-batcher coalesces, and what the benchmark uses to measure
+batched throughput.
+
+Responses are returned as plain dicts (``ok``/``error`` checked by the
+caller); :meth:`ServeClient.check` converts an error response into a
+:class:`ServeError` for callers who prefer exceptions.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import numpy as np
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """An error response, raised on demand by :meth:`ServeClient.check`."""
+
+    def __init__(self, response: dict):
+        super().__init__(
+            f"{response.get('error')}: {response.get('message')}")
+        self.code = response.get("error")
+        self.response = response
+
+
+class ServeClient:
+    """One TCP connection to a :class:`~repro.serve.server.KAQServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7207,
+                 timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._next_id = 0
+        self._unclaimed: dict = {}  # out-of-order responses by id
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def _send(self, payload: dict) -> object:
+        if payload.get("id") is None:
+            payload["id"] = self._next_id
+            self._next_id += 1
+        self._sock.sendall(
+            json.dumps(payload, separators=(",", ":")).encode() + b"\n")
+        return payload["id"]
+
+    def _recv_for(self, request_id) -> dict:
+        while request_id not in self._unclaimed:
+            line = self._rfile.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            resp = json.loads(line)
+            self._unclaimed[resp.get("id")] = resp
+        return self._unclaimed.pop(request_id)
+
+    def request(self, payload: dict) -> dict:
+        """Send one request dict and block for its response."""
+        return self._recv_for(self._send(payload))
+
+    def request_many(self, payloads: list[dict]) -> list[dict]:
+        """Pipeline every request, then collect responses in input order.
+
+        All lines are written before any response is read, so the whole
+        list is concurrently pending on the server — one client is
+        enough to fill micro-batches.
+        """
+        ids = [self._send(p) for p in payloads]
+        return [self._recv_for(i) for i in ids]
+
+    # ------------------------------------------------------------------
+    # convenience ops
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _q(q) -> list:
+        return np.asarray(q, dtype=np.float64).tolist()
+
+    def tkaq(self, q, tau: float, deadline_ms: float | None = None) -> dict:
+        """Threshold query: is ``F_P(q) > tau``?  Returns the response."""
+        return self.request({"op": "tkaq", "q": self._q(q), "tau": tau,
+                             "deadline_ms": deadline_ms})
+
+    def ekaq(self, q, eps: float, deadline_ms: float | None = None) -> dict:
+        """Relative-error estimate of ``F_P(q)``.  Returns the response."""
+        return self.request({"op": "ekaq", "q": self._q(q), "eps": eps,
+                             "deadline_ms": deadline_ms})
+
+    def exact(self, q, deadline_ms: float | None = None) -> dict:
+        """The exact aggregate ``F_P(q)``.  Returns the response."""
+        return self.request({"op": "exact", "q": self._q(q),
+                             "deadline_ms": deadline_ms})
+
+    def health(self) -> dict:
+        """Liveness probe: status, dataset shape, kernel, scheme."""
+        return self.request({"op": "health"})
+
+    def stats(self) -> dict:
+        """Server metrics snapshot (queue depth, windows, counters)."""
+        return self.request({"op": "stats"})
+
+    @staticmethod
+    def check(response: dict) -> dict:
+        """Return an ok response unchanged; raise ServeError otherwise."""
+        if not response.get("ok"):
+            raise ServeError(response)
+        return response
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection (safe to call more than once)."""
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

@@ -1,0 +1,70 @@
+"""Run a :class:`KAQServer` on a background thread, for blocking callers.
+
+The server is a single-event-loop asyncio application; tests, benchmarks
+and notebook users are blocking code.  :class:`ServerThread` bridges the
+two: it owns a private event loop on a daemon thread, starts the server
+there, exposes the bound port, and performs the graceful drain from
+:meth:`shutdown` (or context-manager exit) via
+``run_coroutine_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.serve.server import KAQServer, ServeConfig
+
+__all__ = ["ServerThread"]
+
+
+class ServerThread:
+    """A KAQServer hosted on its own event-loop thread."""
+
+    def __init__(self, aggregator, config: ServeConfig | None = None):
+        self.server = KAQServer(aggregator, config)
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-host", daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # surfaced to start() below
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        self._loop.run_forever()
+
+    def start(self) -> "ServerThread":
+        """Start the thread; returns once the server is listening."""
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("server failed to start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") \
+                from self._startup_error
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (stable once :meth:`start` returned)."""
+        return self.server.port
+
+    def shutdown(self, timeout: float = 60.0) -> None:
+        """Drain the server gracefully and stop the hosting thread."""
+        fut = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(), self._loop)
+        fut.result(timeout=timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,87 @@
+"""Admission control and load shedding for the query service.
+
+The service holds at most ``max_queue`` admitted-but-unanswered query
+requests.  Beyond that it *sheds*: the client gets an explicit
+``overloaded`` response immediately instead of unbounded queueing (the
+p99 of admitted requests is the latency contract; shed requests cost
+one JSON line each).
+
+Between "comfortable" and "full" there is a degraded band: once queue
+depth crosses ``degrade_at * max_queue``, eKAQ requests are served with
+a relaxed tolerance that ramps linearly from the client's ``eps`` up to
+``eps_ceiling`` as the queue approaches capacity.  Relaxed responses are
+marked ``degraded=true`` and carry the tolerance actually served
+(``served_eps``) so clients — and the offline replay — know exactly what
+contract the estimate satisfies.  TKAQ answers are never degraded
+(a threshold answer is correct or it is not).
+
+Deadlines are enforced at flush time: a request whose budget expired
+while queued is dropped *before* evaluation (``deadline_exceeded``), so
+an overloaded server spends its cycles only on answers somebody is
+still waiting for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AdmissionPolicy"]
+
+
+@dataclass
+class AdmissionPolicy:
+    """Queue bound + degradation schedule for one server instance.
+
+    Parameters
+    ----------
+    max_queue : int
+        Maximum admitted-but-unanswered query requests; admissions beyond
+        this are shed with an ``overloaded`` response.
+    degrade_at : float
+        Queue-depth fraction of ``max_queue`` where eKAQ degradation
+        starts.  ``1.0`` (or an unset ceiling) disables degradation.
+    eps_ceiling : float or None
+        The largest tolerance overload may relax an eKAQ request to.
+        ``None`` disables degradation.
+    """
+
+    max_queue: int = 1024
+    degrade_at: float = 0.5
+    eps_ceiling: float | None = None
+
+    def __post_init__(self):
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1; got {self.max_queue}")
+        if not 0.0 <= self.degrade_at <= 1.0:
+            raise ValueError(
+                f"degrade_at must be in [0, 1]; got {self.degrade_at}")
+        if self.eps_ceiling is not None and self.eps_ceiling <= 0:
+            raise ValueError(
+                f"eps_ceiling must be > 0; got {self.eps_ceiling}")
+
+    def admit(self, queue_depth: int) -> bool:
+        """Whether a new query request may join the queue."""
+        return queue_depth < self.max_queue
+
+    def effective_eps(self, eps: float, queue_depth: int) -> tuple[float, bool]:
+        """The tolerance to actually serve, and whether it was relaxed.
+
+        Below the degradation threshold (or with no ceiling configured)
+        the client's ``eps`` passes through untouched.  Above it, the
+        served tolerance ramps linearly with queue depth toward
+        ``eps_ceiling``; a client already asking for a looser tolerance
+        than the ceiling is never tightened.
+        """
+        if self.eps_ceiling is None or eps >= self.eps_ceiling:
+            return eps, False
+        start = self.degrade_at * self.max_queue
+        if queue_depth <= start:
+            return eps, False
+        span = max(1.0, self.max_queue - start)
+        severity = min(1.0, (queue_depth - start) / span)
+        return eps + severity * (self.eps_ceiling - eps), True
+
+    @staticmethod
+    def expired(deadline: float | None, now: float) -> bool:
+        """Whether an absolute deadline (server clock) has passed."""
+        return deadline is not None and now > deadline

@@ -1,0 +1,198 @@
+"""Wire protocol for the query service: newline-delimited JSON.
+
+One request per line, one response per line; responses carry the
+request's ``id`` and may arrive out of order (the server interleaves
+micro-batches), so clients match on ``id``.  Five operations:
+
+``tkaq``
+    ``{"op": "tkaq", "id": 1, "q": [...], "tau": 0.5}`` — threshold
+    query; answer is the truth value of ``F_P(q) > tau``.
+``ekaq``
+    ``{"op": "ekaq", "id": 2, "q": [...], "eps": 0.1}`` — relative-error
+    estimate.  Under overload the server may serve a relaxed tolerance
+    (response carries ``served_eps`` and ``degraded``).
+``exact``
+    ``{"op": "exact", "q": [...]}`` — the exact aggregate (no pruning).
+``health`` / ``stats``
+    Liveness probe / metrics snapshot; answered inline, never batched.
+
+Query operations accept an optional ``deadline_ms`` (a per-request
+latency budget, measured from admission): requests whose deadline has
+already passed when their micro-batch flushes are dropped *before*
+evaluation with ``error="deadline_exceeded"``.
+
+Successful query responses embed replay provenance — ``batch`` (server-
+assigned micro-batch id), ``batch_index`` (the request's row inside that
+batch), ``backend``, and the served parameter — enough to reconstruct
+every served batch offline and reproduce each answer bit for bit.
+
+Error responses are ``{"id": ..., "ok": false, "error": <code>,
+"message": ...}`` with ``error`` one of :data:`ERROR_CODES`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ERROR_CODES",
+    "BAD_REQUEST",
+    "OVERLOADED",
+    "DEADLINE_EXCEEDED",
+    "SHUTTING_DOWN",
+    "INTERNAL",
+    "QUERY_OPS",
+    "ADMIN_OPS",
+    "ProtocolError",
+    "Request",
+    "decode_request",
+    "ok_response",
+    "error_response",
+    "encode",
+]
+
+#: typed error codes a response's ``error`` field may carry
+BAD_REQUEST = "bad_request"
+OVERLOADED = "overloaded"
+DEADLINE_EXCEEDED = "deadline_exceeded"
+SHUTTING_DOWN = "shutting_down"
+INTERNAL = "internal"
+ERROR_CODES = (BAD_REQUEST, OVERLOADED, DEADLINE_EXCEEDED,
+               SHUTTING_DOWN, INTERNAL)
+
+#: operations that enter the micro-batcher vs. answered inline
+QUERY_OPS = ("tkaq", "ekaq", "exact")
+ADMIN_OPS = ("health", "stats")
+
+#: request size guard: one line must stay shy of this many bytes
+MAX_LINE_BYTES = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A request line that cannot be admitted; carries a typed code."""
+
+    def __init__(self, message: str, code: str = BAD_REQUEST,
+                 request_id=None):
+        super().__init__(message)
+        self.code = code
+        self.request_id = request_id
+
+
+@dataclass
+class Request:
+    """A validated query/admin request.
+
+    ``q`` stays a plain list of floats — the batcher assembles the
+    batch matrix itself, so per-request numpy conversion is deferred
+    until flush time.  ``deadline_ms`` is relative to admission; the
+    server stamps the absolute deadline on its own clock.
+    """
+
+    op: str
+    id: object = None
+    q: list = field(default_factory=list)
+    tau: float | None = None
+    eps: float | None = None
+    deadline_ms: float | None = None
+
+    @property
+    def param(self) -> float:
+        """The query parameter for the op (tau or eps; exact has none)."""
+        return self.tau if self.op == "tkaq" else self.eps
+
+
+def _require_float(obj: dict, key: str, request_id, minimum=None) -> float:
+    if key not in obj:
+        raise ProtocolError(f"op requires {key!r}", request_id=request_id)
+    value = obj[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{key!r} must be a number; got {value!r}",
+                            request_id=request_id)
+    value = float(value)
+    if not math.isfinite(value):
+        raise ProtocolError(f"{key!r} must be finite; got {value}",
+                            request_id=request_id)
+    if minimum is not None and value < minimum:
+        raise ProtocolError(f"{key!r} must be >= {minimum}; got {value}",
+                            request_id=request_id)
+    return value
+
+
+def _require_query(obj: dict, dim: int | None, request_id) -> list:
+    q = obj.get("q")
+    if not isinstance(q, list) or not q:
+        raise ProtocolError("query ops require 'q': a non-empty list of "
+                            "numbers", request_id=request_id)
+    out = []
+    for x in q:
+        if isinstance(x, bool) or not isinstance(x, (int, float)):
+            raise ProtocolError(f"'q' entries must be numbers; got {x!r}",
+                                request_id=request_id)
+        x = float(x)
+        if not math.isfinite(x):
+            raise ProtocolError("'q' entries must be finite",
+                                request_id=request_id)
+        out.append(x)
+    if dim is not None and len(out) != dim:
+        raise ProtocolError(f"'q' must have {dim} coordinates; got "
+                            f"{len(out)}", request_id=request_id)
+    return out
+
+
+def decode_request(line: bytes, dim: int | None = None) -> Request:
+    """Parse and validate one request line.
+
+    ``dim`` (when known) enforces the served dataset's dimensionality so
+    shape mistakes fail at admission, not inside a flushed batch.
+    Raises :class:`ProtocolError` (code ``bad_request``) on any defect;
+    the error carries the request ``id`` whenever one could be parsed.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"request line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        obj = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    request_id = obj.get("id")
+    op = obj.get("op")
+    if op not in QUERY_OPS and op not in ADMIN_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of "
+            f"{QUERY_OPS + ADMIN_OPS}", request_id=request_id)
+    req = Request(op=op, id=request_id)
+    if op in ADMIN_OPS:
+        return req
+    req.q = _require_query(obj, dim, request_id)
+    if op == "tkaq":
+        req.tau = _require_float(obj, "tau", request_id)
+    elif op == "ekaq":
+        req.eps = _require_float(obj, "eps", request_id, minimum=0.0)
+    if "deadline_ms" in obj and obj["deadline_ms"] is not None:
+        req.deadline_ms = _require_float(obj, "deadline_ms", request_id,
+                                         minimum=0.0)
+    return req
+
+
+def ok_response(request_id, op: str, **fields) -> dict:
+    """A success payload; query-op callers add result + replay fields."""
+    return {"id": request_id, "ok": True, "op": op, **fields}
+
+
+def error_response(request_id, code: str, message: str) -> dict:
+    """A typed failure payload (``code`` must be in :data:`ERROR_CODES`)."""
+    assert code in ERROR_CODES, code
+    return {"id": request_id, "ok": False, "error": code, "message": message}
+
+
+def encode(payload: dict) -> bytes:
+    """Serialise one response (or request) as a JSON line.
+
+    ``repr``-based float serialisation round-trips every finite float64
+    exactly, which is what makes the offline bitwise-replay check
+    possible over a text protocol.
+    """
+    return json.dumps(payload, separators=(",", ":")).encode() + b"\n"

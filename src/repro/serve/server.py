@@ -1,0 +1,294 @@
+"""The asyncio query server: admission → micro-batch → evaluate → reply.
+
+Single event loop, single evaluation thread: connections are cheap
+asyncio tasks; every query request flows admission control
+(:class:`~repro.serve.policy.AdmissionPolicy`), joins its kind's
+micro-batcher (:class:`~repro.serve.batcher.MicroBatcher`), and is
+answered when its batch evaluates on the one executor thread that owns
+the :class:`~repro.core.aggregator.KernelAggregator`.  Responses are
+written per-request as their batches complete, so one connection can
+pipeline many requests and receive answers out of order (matched by
+``id``).
+
+Graceful shutdown (SIGTERM/SIGINT or :meth:`KAQServer.shutdown`):
+
+1. stop accepting connections; new query requests on live connections
+   get ``shutting_down`` responses;
+2. flush every batcher immediately and wait (bounded by
+   ``drain_grace_s``) for admitted requests to be answered;
+3. close the aggregator — tears down the shared-memory process pool
+   (``close()`` is idempotent, and the serial backends stay usable, so
+   a straggler batch that flushes late still evaluates).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.obs import runtime as obs
+from repro.obs.metrics import GEOMETRIC_BUCKETS, SECONDS_BUCKETS
+from repro.serve.batcher import BatchConfig, MicroBatcher, PendingRequest
+from repro.serve.policy import AdmissionPolicy
+from repro.serve.protocol import (
+    OVERLOADED,
+    QUERY_OPS,
+    SHUTTING_DOWN,
+    ProtocolError,
+    Request,
+    decode_request,
+    encode,
+    error_response,
+    ok_response,
+)
+
+__all__ = ["ServeConfig", "KAQServer"]
+
+
+@dataclass
+class ServeConfig:
+    """Everything one server instance needs besides the aggregator."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: let the OS pick (the bound port is on the server)
+    batch: BatchConfig = field(default_factory=BatchConfig)
+    policy: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    drain_grace_s: float = 10.0
+
+
+class KAQServer:
+    """Serves TKAQ/eKAQ/exact queries over newline-delimited JSON."""
+
+    def __init__(self, aggregator, config: ServeConfig | None = None):
+        self._agg = aggregator
+        self.config = config or ServeConfig()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-eval")
+        self._batchers: dict[str, MicroBatcher] = {}
+        self._queue_depth = 0
+        self._draining = False
+        self._drained = None  # asyncio.Event set when the queue empties
+        self._conn_tasks: set[asyncio.Task] = set()
+        reg = obs.registry()
+        self._m_requests = reg.counter("serve.requests_total")
+        self._m_shed = reg.counter("serve.shed_total")
+        self._m_degraded = reg.counter("serve.degraded_total")
+        self._m_rejected_drain = reg.counter("serve.rejected_draining_total")
+        self._g_depth = reg.gauge("serve.queue_depth")
+        self._m_latency = reg.histogram(
+            "serve.request_seconds", SECONDS_BUCKETS)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> None:
+        """Bind and start accepting; returns once listening."""
+        self._loop = asyncio.get_running_loop()
+        self._drained = asyncio.Event()
+        for kind in QUERY_OPS:
+            self._batchers[kind] = MicroBatcher(
+                kind, self._agg, self.config.batch, self._executor,
+                self._loop, on_done=self._request_done)
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port)
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled or :meth:`shutdown` completes."""
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, answer the queue, close."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for b in self._batchers.values():
+            b.flush("drain")
+        if self._queue_depth > 0:
+            try:
+                await asyncio.wait_for(self._drained.wait(),
+                                       self.config.drain_grace_s)
+            except asyncio.TimeoutError:
+                pass  # close anyway; stragglers get connection resets
+        # connections may sit idle in readline() forever (clients that
+        # never hang up) — the queue is drained, so cut them loose
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+        self._agg.close()
+
+    def install_signal_handlers(self, stop_event: asyncio.Event) -> None:
+        """SIGTERM/SIGINT set ``stop_event`` (the CLI awaits it, then
+        drains); missing loop support (non-Unix) degrades silently."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop_event.set)
+            except NotImplementedError:  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        write_lock = asyncio.Lock()
+        inflight: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                t = asyncio.ensure_future(
+                    self._handle_line(line, writer, write_lock))
+                inflight.add(t)
+                t.add_done_callback(inflight.discard)
+            if inflight:
+                # client half-closed after pipelining: finish the answers
+                await asyncio.gather(*inflight, return_exceptions=True)
+        except asyncio.CancelledError:
+            # shutdown cuts idle connections loose after the drain; exit
+            # cleanly so stream teardown doesn't log the cancellation
+            if not self._draining:
+                raise
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_line(self, line: bytes, writer, write_lock) -> None:
+        t0 = self._loop.time()
+        self._m_requests.inc()
+        try:
+            req = decode_request(line, dim=self._agg.tree.points.shape[1])
+        except ProtocolError as exc:
+            await self._write(writer, write_lock, error_response(
+                exc.request_id, exc.code, str(exc)))
+            return
+        if req.op == "health":
+            payload = self._health(req)
+        elif req.op == "stats":
+            payload = self._stats(req)
+        else:
+            payload = await self._enqueue_query(req, t0)
+        self._m_latency.observe(self._loop.time() - t0)
+        await self._write(writer, write_lock, payload)
+
+    async def _write(self, writer, write_lock, payload: dict) -> None:
+        data = encode(payload)
+        async with write_lock:
+            try:
+                writer.write(data)
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # client went away; the answer has no audience
+
+    # ------------------------------------------------------------------
+    # query path
+    # ------------------------------------------------------------------
+
+    async def _enqueue_query(self, req: Request, t0: float) -> dict:
+        if self._draining:
+            self._m_rejected_drain.inc()
+            return error_response(req.id, SHUTTING_DOWN,
+                                  "server is draining; resubmit elsewhere")
+        policy = self.config.policy
+        if not policy.admit(self._queue_depth):
+            self._m_shed.inc()
+            return error_response(
+                req.id, OVERLOADED,
+                f"queue full ({self._queue_depth}/{policy.max_queue}); "
+                "retry with backoff")
+        served = req.param
+        degraded = False
+        if req.op == "ekaq":
+            served, degraded = policy.effective_eps(
+                req.eps, self._queue_depth)
+            if degraded:
+                self._m_degraded.inc()
+        deadline = None
+        if req.deadline_ms is not None:
+            deadline = t0 + req.deadline_ms / 1e3
+        pending = PendingRequest(
+            request=req, future=self._loop.create_future(),
+            enqueued_at=t0, deadline=deadline,
+            served_param=served, degraded=degraded)
+        self._queue_depth += 1
+        self._g_depth.set(self._queue_depth)
+        self._batchers[req.op].submit(pending)
+        return await pending.future
+
+    def _request_done(self, pending: PendingRequest) -> None:
+        self._queue_depth -= 1
+        self._g_depth.set(self._queue_depth)
+        if self._queue_depth == 0 and self._drained is not None:
+            self._drained.set()
+
+    # ------------------------------------------------------------------
+    # admin ops (answered inline, never batched)
+    # ------------------------------------------------------------------
+
+    def _health(self, req: Request) -> dict:
+        tree = self._agg.tree
+        return ok_response(
+            req.id, "health",
+            status="draining" if self._draining else "serving",
+            n_points=int(tree.n), d=int(tree.points.shape[1]),
+            kernel=type(self._agg.kernel).__name__,
+            scheme=self._agg.scheme.name)
+
+    def _stats(self, req: Request) -> dict:
+        reg = obs.registry()
+        snap = reg.snapshot()
+        serve_counters = {
+            name: value for name, value in snap["counters"].items()
+            if name.startswith("serve.")
+        }
+        histograms = {}
+        for name in ("serve.batch_size", "serve.queue_delay_seconds",
+                     "serve.request_seconds"):
+            h = reg.histogram(
+                name, SECONDS_BUCKETS if name.endswith("seconds")
+                else GEOMETRIC_BUCKETS)
+            histograms[name] = {
+                "count": h.count, "mean": h.mean() if h.count else None,
+                "p50": h.quantile(0.5) if h.count else None,
+                "p99": h.quantile(0.99) if h.count else None,
+            }
+        return ok_response(
+            req.id, "stats",
+            queue_depth=self._queue_depth,
+            draining=self._draining,
+            windows_us={k: b.window_us for k, b in self._batchers.items()},
+            counters=serve_counters,
+            histograms=histograms)

@@ -207,3 +207,93 @@ class TestLargeBatch:
         loop = agg.tkaq_many(queries, tau, backend="loop")
         mq = agg.tkaq_many(queries, tau, backend="multiquery")
         assert np.array_equal(loop, mq)
+
+
+class TestHeterogeneousParams:
+    """Array-valued tau/eps: per-query parameters inside one batch."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        rng = np.random.default_rng(29)
+        pts = rng.random((2500, 5))
+        queries = np.vstack(
+            [pts[rng.choice(2500, 24, replace=False)], rng.random((8, 5))]
+        )
+        tree = KDTree(pts, leaf_capacity=40)
+        agg = KernelAggregator(tree, GaussianKernel(6.0))
+        exact = exact_all(agg, queries)
+        return agg, queries, exact, rng
+
+    @pytest.mark.parametrize("backend", ["loop", "multiquery"])
+    def test_tkaq_vector_tau_matches_per_query(self, setup, backend):
+        agg, queries, exact, rng = setup
+        taus = exact * rng.uniform(0.5, 1.5, exact.shape)
+        res = agg.tkaq_many_results(queries, taus, backend=backend)
+        assert np.array_equal(res.answers, exact > taus)
+        assert np.all(res.lower <= exact + 1e-9)
+        assert np.all(exact <= res.upper + 1e-9)
+        assert np.array_equal(res.tau, taus)
+        # each row matches its own scalar-tau evaluation
+        singles = np.array(
+            [agg.tkaq(q, t).answer for q, t in zip(queries, taus)]
+        )
+        assert np.array_equal(res.answers, singles)
+
+    @pytest.mark.parametrize("backend", ["loop", "multiquery"])
+    def test_ekaq_vector_eps_contract_per_row(self, setup, backend):
+        agg, queries, exact, rng = setup
+        epss = rng.uniform(0.01, 0.8, queries.shape[0])
+        res = agg.ekaq_many_results(queries, epss, backend=backend)
+        assert np.all(np.abs(res.estimates - exact) <= epss * exact + 1e-12)
+        assert np.array_equal(res.eps, epss)
+
+    def test_uniform_vector_bitwise_equals_scalar(self, setup):
+        """A constant tau/eps vector must take the identical refinement
+        schedule as the scalar call — bitwise-equal terminal bounds."""
+        agg, queries, exact, _ = setup
+        tau = float(np.median(exact))
+        sc = agg.tkaq_many_results(queries, tau, backend="multiquery")
+        vec = agg.tkaq_many_results(
+            queries, np.full(queries.shape[0], tau), backend="multiquery"
+        )
+        assert np.array_equal(sc.answers, vec.answers)
+        assert np.array_equal(sc.lower, vec.lower)
+        assert np.array_equal(sc.upper, vec.upper)
+        se = agg.ekaq_many_results(queries, 0.2, backend="multiquery")
+        ve = agg.ekaq_many_results(
+            queries, np.full(queries.shape[0], 0.2), backend="multiquery"
+        )
+        assert np.array_equal(se.estimates, ve.estimates)
+
+    def test_mixed_eps_tightens_only_its_own_row(self, setup):
+        """Tight and loose eps in one batch: the tight rows must satisfy
+        the tight contract even though loose rows retire early."""
+        agg, queries, exact, _ = setup
+        epss = np.where(np.arange(queries.shape[0]) % 2 == 0, 0.01, 0.9)
+        res = agg.ekaq_many_results(queries, epss, backend="multiquery")
+        tight = epss == 0.01
+        assert np.all(
+            np.abs(res.estimates[tight] - exact[tight])
+            <= 0.01 * exact[tight] + 1e-12
+        )
+
+    def test_wrong_length_vector_rejected(self, setup):
+        agg, queries, _, _ = setup
+        with pytest.raises(DataShapeError):
+            agg.tkaq_many(queries, np.zeros(queries.shape[0] + 1))
+        with pytest.raises(DataShapeError):
+            agg.ekaq_many(queries, np.zeros((queries.shape[0], 2)))
+
+    def test_negative_eps_in_vector_rejected(self, setup):
+        agg, queries, _, _ = setup
+        bad = np.full(queries.shape[0], 0.2)
+        bad[3] = -0.1
+        with pytest.raises(InvalidParameterError):
+            agg.ekaq_many(queries, bad)
+
+    def test_nan_tau_in_vector_rejected(self, setup):
+        agg, queries, _, _ = setup
+        bad = np.zeros(queries.shape[0])
+        bad[0] = np.nan
+        with pytest.raises(DataShapeError):
+            agg.tkaq_many(queries, bad)

@@ -306,18 +306,40 @@ class TestAggregatorBackend:
         with pytest.raises(InvalidParameterError, match="'parallel'"):
             agg.tkaq_many(workload[2], 1.0, backend="bogus")
 
-    def test_close_is_idempotent_and_rebuilds(self, workload):
+    def test_close_is_idempotent(self, workload):
+        tree = make_tree(KDTree, workload)
+        agg = KernelAggregator(tree, GaussianKernel(6.0))
+        agg.tkaq_many(workload[2], 1.0, backend="parallel",
+                      n_workers=N_WORKERS)
+        agg.close()
+        agg.close()  # second (and any later) close is a no-op
+        agg.close()
+
+    def test_parallel_after_close_raises(self, workload):
         pts, w, queries = workload
         tree = make_tree(KDTree, workload)
         agg = KernelAggregator(tree, GaussianKernel(6.0))
         a1 = agg.tkaq_many(queries, 1.0, backend="parallel",
                            n_workers=N_WORKERS)
         agg.close()
-        agg.close()
-        a2 = agg.tkaq_many(queries, 1.0, backend="parallel",
-                           n_workers=N_WORKERS)
+        with pytest.raises(RuntimeError, match="closed"):
+            agg.tkaq_many(queries, 1.0, backend="parallel",
+                          n_workers=N_WORKERS)
+        with pytest.raises(RuntimeError, match="closed"):
+            agg.ekaq_many(queries, 0.2, backend="parallel",
+                          n_workers=N_WORKERS)
+        # serial backends keep working after close()
+        a2 = agg.tkaq_many(queries, 1.0)
         assert np.array_equal(a1, a2)
-        agg.close()
+
+    def test_context_manager_exit_closes_parallel(self, workload):
+        tree = make_tree(KDTree, workload)
+        with KernelAggregator(tree, GaussianKernel(6.0)) as agg:
+            agg.tkaq_many(workload[2], 1.0, backend="parallel",
+                          n_workers=N_WORKERS)
+        with pytest.raises(RuntimeError, match="closed"):
+            agg.tkaq_many(workload[2], 1.0, backend="parallel",
+                          n_workers=N_WORKERS)
 
 
 # ----------------------------------------------------------------------
@@ -445,3 +467,57 @@ class TestObservability:
         assert np.array_equal(plain.answers, traced.answers)
         assert np.array_equal(plain.lower, traced.lower)
         assert np.array_equal(plain.upper, traced.upper)
+
+
+# ----------------------------------------------------------------------
+# heterogeneous per-query parameters (sharded with the query rows)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not shared_memory_available(), reason="no shared_memory")
+class TestHeterogeneousParams:
+    def test_vector_params_shard_with_queries(self, workload):
+        pts, w, queries = workload
+        tree = make_tree(KDTree, workload)
+        agg = KernelAggregator(tree, GaussianKernel(6.0))
+        exact = np.array([agg.exact(q) for q in queries])
+        rng = np.random.default_rng(5)
+        taus = exact * rng.uniform(0.5, 1.5, exact.shape)
+        epss = rng.uniform(0.05, 0.6, queries.shape[0])
+        # force several chunks so the vectors must be sharded correctly
+        with ParallelEvaluator(tree, GaussianKernel(6.0),
+                               n_workers=N_WORKERS, chunk_size=7) as ev:
+            tk = ev.tkaq_many_results(queries, taus)
+            ek = ev.ekaq_many_results(queries, epss)
+        assert np.array_equal(tk.answers, exact > taus)
+        assert np.all(np.abs(ek.estimates - exact) <= epss * exact + 1e-12)
+        assert np.array_equal(tk.tau, taus)
+        assert np.array_equal(ek.eps, epss)
+
+    def test_vector_params_match_serial_chunked(self, workload):
+        """Chunk-by-chunk serial evaluation with the same param slices is
+        bitwise-identical to the parallel run."""
+        pts, w, queries = workload
+        tree = make_tree(KDTree, workload)
+        agg = KernelAggregator(tree, GaussianKernel(6.0))
+        rng = np.random.default_rng(6)
+        epss = rng.uniform(0.05, 0.6, queries.shape[0])
+        chunk = 9
+        with ParallelEvaluator(tree, GaussianKernel(6.0),
+                               n_workers=N_WORKERS, chunk_size=chunk) as ev:
+            par = ev.ekaq_many_results(queries, epss)
+        parts = [
+            agg.ekaq_many_results(queries[s:s + chunk], epss[s:s + chunk])
+            for s in range(0, queries.shape[0], chunk)
+        ]
+        serial = np.concatenate([p.estimates for p in parts])
+        assert np.array_equal(par.estimates, serial)
+
+    def test_vector_length_validated_before_dispatch(self, workload):
+        tree = make_tree(KDTree, workload)
+        with ParallelEvaluator(tree, GaussianKernel(6.0),
+                               n_workers=N_WORKERS) as ev:
+            from repro.core.errors import DataShapeError
+
+            with pytest.raises(DataShapeError):
+                ev.tkaq_many(workload[2], np.zeros(3))

@@ -57,3 +57,36 @@ class TestRenderEdgeCases:
         table = reporting.render_table("N", ["v"], [[-12.5], [0.0]])
         assert "-12.5" in table
         assert "0" in table
+
+
+class TestEmitJson:
+    def test_writes_bench_json_with_host_metadata(self, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path / "results")
+        payload = reporting.emit_json("unit", {"qps": 123.0})
+        on_disk = json.loads(
+            (tmp_path / "results" / "BENCH_unit.json").read_text()
+        )
+        assert on_disk["qps"] == 123.0
+        for key in ("cpu_count", "schedulable_cpus", "platform", "python",
+                    "machine"):
+            assert key in on_disk["host"], key
+        assert payload["host"] == on_disk["host"]
+
+    def test_host_metadata_matches_os(self):
+        import os as _os
+
+        meta = reporting.host_metadata()
+        assert meta["cpu_count"] == _os.cpu_count()
+        assert meta["schedulable_cpus"] >= 1
+
+    def test_survives_readonly_dir(self, tmp_path, monkeypatch):
+        target = tmp_path / "ro"
+        target.mkdir()
+        target.chmod(0o500)
+        monkeypatch.setattr(reporting, "RESULTS_DIR", target / "sub")
+        try:
+            assert reporting.emit_json("blocked", {"x": 1})["host"]
+        finally:
+            target.chmod(0o700)

@@ -1,0 +1,464 @@
+"""Tests for repro.serve: protocol, policy, batching, and a live server.
+
+The live-server tests run a real :class:`KAQServer` on an ephemeral
+loopback port (an event loop on a background thread) and talk to it with
+the blocking :class:`ServeClient` — the same path production traffic
+takes, including micro-batching, shedding, deadlines, degradation, and
+graceful drain.  The replay test then re-evaluates every served batch
+offline and demands bitwise-identical numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianKernel, KernelAggregator
+from repro.index import KDTree
+from repro.obs import runtime as obs_runtime
+from repro.serve import (
+    AdmissionPolicy,
+    BatchConfig,
+    ProtocolError,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    ServerThread,
+    decode_request,
+    encode,
+)
+
+
+@pytest.fixture
+def obs_sandbox():
+    """Isolate the module-global tracing state (CI may force-enable it)."""
+    saved = (obs_runtime._ring, obs_runtime._sink, obs_runtime._compare)
+    obs_runtime._ring = None
+    obs_runtime._sink = None
+    obs_runtime._compare = False
+    yield
+    obs_runtime._ring, obs_runtime._sink, obs_runtime._compare = saved
+
+
+# ----------------------------------------------------------------------
+# protocol unit tests (no server)
+# ----------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_decode_valid_tkaq(self):
+        req = decode_request(
+            b'{"op":"tkaq","id":7,"q":[0.1,0.2],"tau":0.5,"deadline_ms":20}')
+        assert req.op == "tkaq" and req.id == 7
+        assert req.q == [0.1, 0.2] and req.tau == 0.5
+        assert req.deadline_ms == 20.0 and req.param == 0.5
+
+    def test_decode_valid_admin(self):
+        assert decode_request(b'{"op":"health"}').op == "health"
+        assert decode_request(b'{"op":"stats","id":"s1"}').id == "s1"
+
+    @pytest.mark.parametrize("line,fragment", [
+        (b"not json", "invalid JSON"),
+        (b"[1,2,3]", "JSON object"),
+        (b'{"op":"frobnicate","q":[1]}', "unknown op"),
+        (b'{"op":"tkaq","q":[1.0]}', "requires 'tau'"),
+        (b'{"op":"tkaq","q":[],"tau":1}', "non-empty"),
+        (b'{"op":"tkaq","q":[1,null],"tau":1}', "must be numbers"),
+        (b'{"op":"tkaq","q":[1,true],"tau":1}', "must be numbers"),
+        (b'{"op":"tkaq","q":[1],"tau":"hi"}', "must be a number"),
+        (b'{"op":"tkaq","q":[1],"tau":NaN}', "finite"),
+        (b'{"op":"ekaq","q":[1],"eps":-0.1}', ">= 0"),
+        (b'{"op":"ekaq","q":[1],"eps":0.1,"deadline_ms":-5}', ">= 0"),
+    ])
+    def test_decode_rejects(self, line, fragment):
+        with pytest.raises(ProtocolError, match=re.escape(fragment)):
+            decode_request(line)
+
+    def test_decode_enforces_dimension(self):
+        with pytest.raises(ProtocolError, match="3 coordinates"):
+            decode_request(b'{"op":"exact","q":[1.0,2.0]}', dim=3)
+
+    def test_error_carries_request_id(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_request(b'{"op":"tkaq","id":42,"q":[1]}')
+        assert exc.value.request_id == 42
+        assert exc.value.code == "bad_request"
+
+    def test_encode_round_trips_floats_bitwise(self, rng):
+        values = rng.standard_normal(64) * 10.0 ** rng.integers(-12, 12, 64)
+        payload = {"xs": values.tolist()}
+        back = json.loads(encode(payload))
+        assert all(a == b for a, b in zip(back["xs"], values.tolist()))
+
+
+class TestAdmissionPolicy:
+    def test_queue_bound(self):
+        pol = AdmissionPolicy(max_queue=3)
+        assert pol.admit(0) and pol.admit(2)
+        assert not pol.admit(3) and not pol.admit(100)
+
+    def test_no_ceiling_never_degrades(self):
+        pol = AdmissionPolicy(max_queue=10, eps_ceiling=None)
+        assert pol.effective_eps(0.1, 10) == (0.1, False)
+
+    def test_degradation_ramp(self):
+        pol = AdmissionPolicy(max_queue=100, degrade_at=0.5, eps_ceiling=0.5)
+        assert pol.effective_eps(0.1, 10) == (0.1, False)
+        assert pol.effective_eps(0.1, 50) == (0.1, False)
+        mid, deg = pol.effective_eps(0.1, 75)
+        assert deg and 0.1 < mid < 0.5
+        full, deg = pol.effective_eps(0.1, 100)
+        assert deg and full == pytest.approx(0.5)
+
+    def test_looser_than_ceiling_untouched(self):
+        pol = AdmissionPolicy(max_queue=10, degrade_at=0.0, eps_ceiling=0.3)
+        assert pol.effective_eps(0.4, 9) == (0.4, False)
+
+    def test_expired(self):
+        assert AdmissionPolicy.expired(1.0, 2.0)
+        assert not AdmissionPolicy.expired(3.0, 2.0)
+        assert not AdmissionPolicy.expired(None, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_queue=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(degrade_at=1.5)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(eps_ceiling=0.0)
+
+
+# ----------------------------------------------------------------------
+# live-server harness
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def served_problem():
+    rng = np.random.default_rng(31)
+    centers = rng.random((5, 4))
+    pts = np.clip(centers[rng.integers(0, 5, 2500)]
+                  + 0.05 * rng.standard_normal((2500, 4)), 0.0, 1.0)
+    tree = KDTree(pts, leaf_capacity=40)
+    kernel = GaussianKernel(8.0)
+    return pts, tree, kernel
+
+
+def make_server(served_problem, **overrides) -> ServerThread:
+    pts, tree, kernel = served_problem
+    agg = KernelAggregator(tree, kernel)
+    config = ServeConfig(
+        port=0,
+        batch=overrides.pop("batch", BatchConfig(max_batch=16)),
+        policy=overrides.pop("policy", AdmissionPolicy(max_queue=256)),
+        **overrides)
+    return ServerThread(agg, config)
+
+
+# ----------------------------------------------------------------------
+# live-server tests
+# ----------------------------------------------------------------------
+
+
+class TestLiveServer:
+    def test_health_and_stats(self, served_problem):
+        with make_server(served_problem) as st:
+            with ServeClient(port=st.port) as client:
+                h = client.check(client.health())
+                assert h["status"] == "serving"
+                assert h["n_points"] == 2500 and h["d"] == 4
+                assert h["kernel"] == "GaussianKernel"
+                s = client.check(client.stats())
+                assert s["queue_depth"] == 0
+                assert set(s["windows_us"]) == {"tkaq", "ekaq", "exact"}
+                assert "serve.requests_total" in s["counters"]
+
+    def test_single_ops_match_offline(self, served_problem):
+        pts, tree, kernel = served_problem
+        agg = KernelAggregator(tree, kernel)
+        with make_server(served_problem) as st:
+            with ServeClient(port=st.port) as client:
+                for q in pts[:5]:
+                    exact = agg.exact(q)
+                    r = client.check(client.exact(q))
+                    # served exact goes through exact_many — bitwise match
+                    assert r["value"] == agg.exact_many(q[None, :])[0]
+                    assert r["value"] == pytest.approx(exact, rel=1e-12)
+                    tau = exact * 0.9
+                    r = client.check(client.tkaq(q, tau))
+                    assert r["answer"] == bool(exact > tau)
+                    assert r["lower"] <= exact <= r["upper"]
+                    r = client.check(client.ekaq(q, 0.1))
+                    assert abs(r["estimate"] - exact) <= 0.1 * exact
+                    assert r["served_eps"] == 0.1 and not r["degraded"]
+
+    def test_concurrent_clients_mixed_params(self, served_problem):
+        """Several pipelining connections, heterogeneous tau/eps merged
+        into shared micro-batches; every answer individually correct."""
+        pts, tree, kernel = served_problem
+        agg = KernelAggregator(tree, kernel)
+        exact = {i: agg.exact(pts[i]) for i in range(40)}
+        errors: list = []
+
+        def client_run(offset):
+            try:
+                with ServeClient(port=port) as client:
+                    payloads = []
+                    for i in range(offset, offset + 10):
+                        if i % 2:
+                            payloads.append({
+                                "op": "tkaq", "q": pts[i].tolist(),
+                                "tau": exact[i] * (0.8 + 0.05 * i)})
+                        else:
+                            payloads.append({
+                                "op": "ekaq", "q": pts[i].tolist(),
+                                "eps": 0.05 + 0.01 * (i % 7)})
+                    responses = client.request_many(payloads)
+                    for i, (p, r) in enumerate(zip(payloads, responses),
+                                               start=offset):
+                        assert r["ok"], r
+                        if p["op"] == "tkaq":
+                            assert r["answer"] == bool(exact[i] > p["tau"])
+                        else:
+                            bound = p["eps"] * exact[i]
+                            assert abs(r["estimate"] - exact[i]) <= bound
+            except Exception as exc:  # noqa: BLE001 - surface in main thread
+                errors.append(exc)
+
+        with make_server(served_problem) as st:
+            port = st.port
+            threads = [threading.Thread(target=client_run, args=(off,))
+                       for off in (0, 10, 20, 30)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30)
+        assert not errors, errors
+
+    def test_batches_coalesce(self, served_problem):
+        with make_server(served_problem) as st:
+            with ServeClient(port=st.port) as client:
+                pts = served_problem[0]
+                responses = client.request_many([
+                    {"op": "ekaq", "q": pts[i].tolist(), "eps": 0.2}
+                    for i in range(32)])
+        assert all(r["ok"] for r in responses)
+        assert max(r["n_batch"] for r in responses) > 1
+        n_batches = len({r["batch"] for r in responses})
+        assert n_batches < 32  # strictly fewer batches than requests
+
+    def test_bitwise_replay_of_served_batches(self, served_problem):
+        """Reconstruct every served micro-batch offline and demand
+        bitwise-equal numbers — the served answers ARE the engine's."""
+        pts, tree, kernel = served_problem
+        rng = np.random.default_rng(7)
+        payloads = []
+        for i in range(48):
+            q = pts[rng.integers(0, len(pts))]
+            if i % 2:
+                payloads.append({"op": "tkaq", "q": q.tolist(),
+                                 "tau": float(rng.uniform(1, 60))})
+            else:
+                payloads.append({"op": "ekaq", "q": q.tolist(),
+                                 "eps": float(rng.uniform(0.02, 0.4))})
+        with make_server(served_problem) as st:
+            with ServeClient(port=st.port) as client:
+                responses = client.request_many(payloads)
+        assert all(r["ok"] for r in responses)
+
+        agg = KernelAggregator(tree, kernel)
+        by_batch: dict = {}
+        for p, r in zip(payloads, responses):
+            by_batch.setdefault((r["op"], r["batch"]), []).append((p, r))
+        for (op, _), members in by_batch.items():
+            members.sort(key=lambda pr: pr[1]["batch_index"])
+            assert [r["batch_index"] for _, r in members] == \
+                list(range(len(members)))
+            Q = np.array([p["q"] for p, _ in members])
+            backend = members[0][1]["backend"]
+            if op == "tkaq":
+                served = np.array([r["served_tau"] for _, r in members])
+                res = agg.tkaq_many_results(Q, served, backend=backend)
+                for i, (_, r) in enumerate(members):
+                    assert r["answer"] == bool(res.answers[i])
+                    assert r["lower"] == res.lower[i]
+                    assert r["upper"] == res.upper[i]
+            else:
+                served = np.array([r["served_eps"] for _, r in members])
+                res = agg.ekaq_many_results(Q, served, backend=backend)
+                for i, (_, r) in enumerate(members):
+                    assert r["estimate"] == res.estimates[i]
+                    assert r["lower"] == res.lower[i]
+                    assert r["upper"] == res.upper[i]
+
+    def test_deadline_expired_dropped_before_evaluation(self, served_problem):
+        pts = served_problem[0]
+        batch = BatchConfig(max_batch=128, min_wait_us=30_000.0,
+                            max_wait_us=30_000.0, initial_wait_us=30_000.0)
+        with make_server(served_problem, batch=batch) as st:
+            with ServeClient(port=st.port) as client:
+                responses = client.request_many([
+                    {"op": "ekaq", "q": pts[i].tolist(), "eps": 0.2,
+                     "deadline_ms": 1.0}
+                    for i in range(4)])
+        # the 30ms batching window guarantees every 1ms deadline expires
+        assert all(not r["ok"] and r["error"] == "deadline_exceeded"
+                   for r in responses)
+
+    def test_overload_sheds_explicitly(self, served_problem):
+        pts = served_problem[0]
+        batch = BatchConfig(max_batch=256, min_wait_us=50_000.0,
+                            max_wait_us=50_000.0, initial_wait_us=50_000.0)
+        policy = AdmissionPolicy(max_queue=4)
+        with make_server(served_problem, batch=batch, policy=policy) as st:
+            with ServeClient(port=st.port) as client:
+                responses = client.request_many([
+                    {"op": "ekaq", "q": pts[i % 50].tolist(), "eps": 0.2}
+                    for i in range(40)])
+        # no silent drops: every request got exactly one response
+        assert len(responses) == 40
+        shed = [r for r in responses if not r["ok"]]
+        served = [r for r in responses if r["ok"]]
+        assert all(r["error"] == "overloaded" for r in shed)
+        assert shed, "expected load shedding with a 4-deep queue"
+        assert served, "some admitted requests must still be answered"
+
+    def test_overload_degrades_eps(self, served_problem):
+        pts, tree, kernel = served_problem
+        batch = BatchConfig(max_batch=64, min_wait_us=20_000.0,
+                            max_wait_us=20_000.0, initial_wait_us=20_000.0)
+        policy = AdmissionPolicy(max_queue=32, degrade_at=0.0,
+                                 eps_ceiling=0.6)
+        agg = KernelAggregator(tree, kernel)
+        with make_server(served_problem, batch=batch, policy=policy) as st:
+            with ServeClient(port=st.port) as client:
+                responses = client.request_many([
+                    {"op": "ekaq", "q": pts[i].tolist(), "eps": 0.05}
+                    for i in range(20)])
+        assert all(r["ok"] for r in responses)
+        degraded = [r for r in responses if r["degraded"]]
+        assert degraded, "queue pressure should have relaxed some requests"
+        for i, r in enumerate(responses):
+            assert r["served_eps"] >= 0.05
+            if r["degraded"]:
+                assert r["served_eps"] > 0.05
+            exact = agg.exact(np.asarray(pts[i]))
+            # the served tolerance is the contract actually honoured
+            assert abs(r["estimate"] - exact) <= r["served_eps"] * exact
+
+    def test_errors_are_convertible(self, served_problem):
+        with make_server(served_problem) as st:
+            with ServeClient(port=st.port) as client:
+                bad = client.request({"op": "tkaq", "q": [0.1], "tau": 1.0})
+                assert not bad["ok"] and bad["error"] == "bad_request"
+                with pytest.raises(ServeError, match="bad_request"):
+                    client.check(bad)
+
+    def test_shutdown_drains_and_closes_aggregator(self, served_problem):
+        pts = served_problem[0]
+        st = make_server(served_problem).start()
+        agg = st.server._agg
+        with ServeClient(port=st.port) as client:
+            client.check(client.ekaq(pts[0], 0.2))
+            st.shutdown()
+        assert agg._closed
+        # serial backends still usable after the serving close()
+        assert agg.exact(pts[0]) > 0
+
+
+class TestServeObservability:
+    def test_metrics_and_traces(self, served_problem, obs_sandbox):
+        obs_runtime.enable()
+        reg = obs_runtime.registry()
+        before_sheds = reg.counter("serve.shed_total").value
+        pts, tree, _ = served_problem
+        with make_server(served_problem) as st:
+            with ServeClient(port=st.port) as client:
+                client.request_many([
+                    {"op": "tkaq", "q": pts[i].tolist(), "tau": 5.0}
+                    for i in range(12)])
+                client.request_many([
+                    {"op": "ekaq", "q": pts[i].tolist(), "eps": 0.2}
+                    for i in range(12)])
+        serve_traces = [t for t in obs_runtime.recent_traces()
+                        if t.backend == "serve"]
+        assert serve_traces, "serving should ingest umbrella batch traces"
+        for t in serve_traces:
+            assert t.kind in ("tkaq", "ekaq", "exact")
+            assert t.n_points == tree.n
+            # the serving layer's point-conservation law
+            assert t.points_accounted() == t.n_queries * t.n_points
+            assert t.wall_time > 0
+        assert {t.kind for t in serve_traces} == {"tkaq", "ekaq"}
+        assert reg.histogram("serve.batch_size").count >= len(serve_traces)
+        assert reg.histogram("serve.queue_delay_seconds").count >= 24
+        assert reg.counter("serve.requests_total").value >= 24
+        assert reg.counter("serve.shed_total").value == before_sheds
+
+    def test_deadline_and_shed_counters(self, served_problem, obs_sandbox):
+        obs_runtime.enable()
+        reg = obs_runtime.registry()
+        pts = served_problem[0]
+        batch = BatchConfig(max_batch=256, min_wait_us=30_000.0,
+                            max_wait_us=30_000.0, initial_wait_us=30_000.0)
+        policy = AdmissionPolicy(max_queue=6)
+        misses0 = reg.counter("serve.deadline_miss_total").value
+        sheds0 = reg.counter("serve.shed_total").value
+        with make_server(served_problem, batch=batch, policy=policy) as st:
+            with ServeClient(port=st.port) as client:
+                responses = client.request_many(
+                    [{"op": "ekaq", "q": pts[i % 50].tolist(), "eps": 0.2,
+                      "deadline_ms": 1.0} for i in range(30)])
+        codes = {r.get("error") for r in responses if not r["ok"]}
+        assert reg.counter("serve.shed_total").value > sheds0
+        assert reg.counter("serve.deadline_miss_total").value > misses0
+        assert codes <= {"overloaded", "deadline_exceeded"}
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals")
+class TestCLI:
+    def test_cli_serves_and_drains_on_sigterm(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.abspath("src")] + env.get("PYTHONPATH", "").split(
+                os.pathsep)).rstrip(os.pathsep)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", "--dataset", "home",
+             "--size", "2000", "--port", "0", "--max-batch", "8"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+            text=True)
+        try:
+            line = proc.stdout.readline()
+            m = re.search(r"REPRO_SERVE_LISTENING host=(\S+) port=(\d+)",
+                          line)
+            assert m, line
+            with ServeClient(host=m.group(1), port=int(m.group(2)),
+                             timeout=30.0) as client:
+                health = client.check(client.health())
+                assert health["d"] == 10  # the home mirror is 10-d
+                q = [0.5] * health["d"]
+                r = client.check(client.ekaq(q, 0.2))
+                assert r["estimate"] > 0
+                proc.send_signal(signal.SIGTERM)
+                deadline = time.monotonic() + 30
+                while proc.poll() is None and time.monotonic() < deadline:
+                    time.sleep(0.05)
+            assert proc.returncode == 0, proc.stderr.read()
+            rest = proc.stdout.read()
+            assert "REPRO_SERVE_DRAINING" in rest
+            assert "REPRO_SERVE_STOPPED" in rest
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stdout.close()
+            proc.stderr.close()

@@ -126,3 +126,86 @@ class TestQueries:
         sa, _ = populated
         res = sa.tkaq(rng.random(3), 1e9)
         assert res.stats.points_evaluated >= 30  # buffer always scanned
+
+
+class TestInterleavedChurn:
+    """Interleaved insert / rebuild / query — the serving layer's
+    live-update story: correctness must hold at every point of the
+    main+buffer lifecycle, including queries straddling a rebuild."""
+
+    def test_tkaq_ekaq_straddle_rebuild(self, kernel, rng):
+        sa = StreamingAggregator(kernel, min_buffer=10_000)  # manual rebuilds
+        all_pts: list = []
+        all_wts: list = []
+        queries = rng.random((6, 3))
+
+        def check_everything():
+            ref = reference(all_pts, all_wts, kernel)
+            for q in queries:
+                exact = ref.exact(q)
+                tau = exact * 0.9 + 1e-6
+                t = sa.tkaq(q, tau)
+                assert t.answer == (exact > tau)
+                assert t.lower - 1e-9 <= exact <= t.upper + 1e-9
+                e = sa.ekaq(q, 0.1)
+                assert abs(e.estimate - exact) <= 0.1 * exact + 1e-12
+
+        for step in range(5):
+            pts = rng.random((120 + 40 * step, 3))
+            wts = rng.random(pts.shape[0]) + 0.05
+            sa.insert(pts, wts)
+            all_pts.extend(pts)
+            all_wts.extend(wts)
+            check_everything()       # buffered (and mixed) state
+            if step % 2 == 1:
+                before = sa.rebuilds
+                sa.rebuild()         # merge buffer into the index
+                assert sa.rebuilds == before + 1
+                assert len(sa._buf_points) == 0
+                check_everything()   # same answers straddling the rebuild
+
+    def test_automatic_rebuild_mid_stream_keeps_answers(self, kernel, rng):
+        """Queries before/after a threshold-triggered rebuild agree."""
+        sa = StreamingAggregator(kernel, min_buffer=64, rebuild_fraction=0.2)
+        sa.insert(rng.random((400, 3)), rng.random(400) + 0.1)
+        assert sa.rebuilds >= 1
+        q = rng.random(3)
+        before_estimate = sa.ekaq(q, 0.05).estimate
+        exact_before = sa.exact(q)
+        # trickle keeps these buffered; answers must fold the buffer in
+        extra = rng.random((30, 3))
+        sa.insert(extra, np.full(30, 0.5))
+        exact_after = sa.exact(q)
+        assert exact_after != pytest.approx(exact_before, abs=0.0)
+        est = sa.ekaq(q, 0.05).estimate
+        assert abs(est - exact_after) <= 0.05 * exact_after + 1e-12
+        # forcing the merge must not change the answer beyond the contract
+        sa.rebuild()
+        est2 = sa.ekaq(q, 0.05).estimate
+        assert abs(est2 - exact_after) <= 0.05 * exact_after + 1e-12
+
+    def test_buffer_contribution_exact_vs_scan(self, kernel, rng):
+        """_buffer_contribution must equal a direct scan of the buffered
+        points only (not the indexed main set)."""
+        sa = StreamingAggregator(kernel, min_buffer=64, rebuild_fraction=0.25)
+        sa.insert(rng.random((300, 3)), rng.random(300))
+        sa.rebuild()
+        buf_pts = rng.random((40, 3))
+        buf_wts = rng.random(40)
+        sa.insert(buf_pts, buf_wts)
+        assert len(sa._buf_points) == 40
+        scan = reference(buf_pts, buf_wts, kernel)
+        for q in rng.random((5, 3)):
+            got = sa._buffer_contribution(np.asarray(q))
+            assert got == pytest.approx(scan.exact(q), rel=1e-12)
+        # empty buffer contributes exactly zero
+        sa.rebuild()
+        assert sa._buffer_contribution(rng.random(3)) == 0.0
+
+    def test_tkaq_counts_buffer_points_in_stats(self, kernel, rng):
+        sa = StreamingAggregator(kernel, min_buffer=64, rebuild_fraction=0.25)
+        sa.insert(rng.random((300, 3)))
+        sa.rebuild()
+        sa.insert(rng.random((20, 3)))
+        res = sa.tkaq(rng.random(3), tau=1.0)
+        assert res.stats.points_evaluated >= 20
