@@ -10,8 +10,6 @@ methods bunch together.
 
 from __future__ import annotations
 
-import numpy as np
-
 from conftest import MIN_SECONDS, get_workload, run_once
 from repro.bench import emit, make_method, render_table, tune_method
 from repro.bench.timers import throughput_ekaq

@@ -12,7 +12,6 @@ from __future__ import annotations
 import numpy as np
 
 from conftest import MIN_SECONDS, run_once, scaled
-from repro.baselines import ScanEvaluator
 from repro.bench import emit, make_method, render_table
 from repro.bench.timers import throughput_tkaq
 from repro.bench.workload import KAQWorkload

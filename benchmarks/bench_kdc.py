@@ -21,7 +21,6 @@ from repro.bench.timers import throughput_tkaq
 from repro.core import GaussianKernel, KernelAggregator
 from repro.baselines import ScanEvaluator
 from repro.datasets import load_dataset
-from repro.index import KDTree
 from repro.kde import KernelDensityClassifier
 
 DATASETS = ["ijcnn1", "a9a", "covtype-b"]

@@ -1,0 +1,154 @@
+"""Coreset backend vs multiquery refinement on smooth Type-I workloads.
+
+The coreset tier answers an eKAQ batch with one dense ``(batch, k)``
+kernel block over ``k << n`` sampled points, falling back to the exact
+path per query when the Bernstein certificate cannot cover ``eps``.
+This benchmark measures eKAQ/TKAQ queries/sec for ``backend="coreset"``
+against ``backend="multiquery"`` at ``eps = 0.1`` on median-heuristic
+bandwidth KDE workloads — the concentration regime where sampling
+certifies tight errors; Scott's-rule bandwidths at these sizes make
+kernel sums too spiky for *any* small unbiased sample to certify, and
+the tier would (correctly) fall back throughout.
+
+Every coreset estimate is cross-checked against the exact aggregate,
+so the printed speedups are for answers that provably kept the
+``(1 +- eps)`` contract.  The acceptance gate (>= 3x eKAQ speedup with
+< 10% fallback on at least one dataset) is asserted at full benchmark
+scale; ``REPRO_BENCH_SCALE`` smoke runs still validate contracts.
+
+Results persist to ``benchmarks/results/BENCH_sketch.json`` (consumed
+by ``python -m repro.bench.compare`` in the CI bench-regression gate).
+
+Env knobs: ``REPRO_SKETCH_BATCH`` (query batch size, default 2000),
+``REPRO_BENCH_SCALE`` (dataset scale, shared with every benchmark).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from conftest import get_workload
+from repro.bench import emit, emit_json, render_table
+from repro.core import KernelAggregator
+from repro.index import KDTree
+
+#: (dataset, size) rows — home is the paper's low-d bulk workload, susy
+#: the higher-d one; both large enough that refinement dominates
+DATASETS = (("home", 40000), ("susy", 40000))
+EPS = 0.1
+BATCH = int(os.environ.get("REPRO_SKETCH_BATCH", "2000"))
+#: coreset estimates are cross-checked against exact aggregates on at
+#: most this many queries per dataset
+EXACT_CAP = 300
+#: the speedup/fallback gate only binds at full benchmark scale
+FULL_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1")) >= 1.0
+
+
+def _seconds(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+def _query_batch(wl, batch, rng):
+    """Data-distributed queries with jitter (paper Section V-A)."""
+    idx = rng.integers(0, wl.n, batch)
+    jitter = 0.01 * wl.points.std(axis=0) * rng.standard_normal((batch, wl.d))
+    return wl.points[idx] + jitter
+
+
+def build_sketch_bench():
+    rng = np.random.default_rng(7)
+    rows = []
+    payload_datasets = []
+    for name, size in DATASETS:
+        wl = get_workload(name, size=size, bandwidth="median")
+        tree = KDTree(wl.points, weights=wl.weights, leaf_capacity=40)
+        agg = KernelAggregator(tree, wl.kernel, coreset=True)
+        queries = _query_batch(wl, BATCH, rng)
+
+        _, build_s = _seconds(agg.coreset_backend)
+        sketch = agg.coreset_backend()
+
+        mq_res, mq_s = _seconds(
+            lambda: agg.ekaq_many_results(queries, EPS, backend="multiquery")
+        )
+        mq_qps = BATCH / mq_s
+        fb_before = sketch.fallback_queries
+        cs_res, cs_s = _seconds(
+            lambda: agg.ekaq_many_results(queries, EPS, backend="coreset")
+        )
+        cs_qps = BATCH / cs_s
+        fallback_rate = (sketch.fallback_queries - fb_before) / BATCH
+
+        # contract: every estimate within eps of the exact aggregate
+        n_exact = min(BATCH, EXACT_CAP)
+        exact = agg.exact_many(queries[:n_exact])
+        assert np.all(
+            np.abs(cs_res.estimates[:n_exact] - exact) <= EPS * exact + 1e-9
+        ), (name, "ekaq contract")
+
+        tau = float(np.median(mq_res.estimates))
+        tmq_res, tmq_s = _seconds(
+            lambda: agg.tkaq_many_results(queries, tau, backend="multiquery")
+        )
+        tcs_res, tcs_s = _seconds(
+            lambda: agg.tkaq_many_results(queries, tau, backend="coreset")
+        )
+        assert np.array_equal(tcs_res.answers, tmq_res.answers), (name, "tkaq")
+
+        speedup = cs_qps / mq_qps
+        rows.append([
+            name, wl.n, sketch.size, build_s,
+            mq_qps, cs_qps, speedup, 100.0 * fallback_rate,
+            BATCH / tmq_s, BATCH / tcs_s,
+        ])
+        payload_datasets.append({
+            "dataset": name,
+            "n": wl.n,
+            "d": wl.d,
+            "coreset_points": sketch.size,
+            "coreset_build_s": build_s,
+            "ekaq_multiquery_qps": mq_qps,
+            "ekaq_coreset_qps": cs_qps,
+            "ekaq_speedup": speedup,
+            "fallback_rate": fallback_rate,
+            "tkaq_multiquery_qps": BATCH / tmq_s,
+            "tkaq_coreset_qps": BATCH / tcs_s,
+        })
+
+    table = render_table(
+        f"Coreset backend vs multiquery, Type I Gaussian (median-heuristic "
+        f"bandwidth), eps={EPS}, batch={BATCH} (queries/sec)",
+        ["dataset", "n", "k", "build s",
+         "eKAQ mq", "eKAQ coreset", "speedup", "fallback %",
+         "TKAQ mq", "TKAQ coreset"],
+        rows,
+    )
+    emit("sketch_backend", table)
+    emit_json("sketch", {
+        "eps": EPS,
+        "batch": BATCH,
+        "bandwidth": "median",
+        "datasets": payload_datasets,
+    })
+    return payload_datasets
+
+
+def test_sketch(benchmark):
+    results = benchmark.pedantic(build_sketch_bench, rounds=1, iterations=1)
+    if FULL_SCALE:
+        # the tier must earn its keep somewhere: >= 3x eKAQ speedup with
+        # < 10% fallback on at least one dataset
+        assert any(
+            r["ekaq_speedup"] >= 3.0 and r["fallback_rate"] < 0.10
+            for r in results
+        ), [(r["dataset"], r["ekaq_speedup"], r["fallback_rate"])
+            for r in results]
+
+
+if __name__ == "__main__":
+    build_sketch_bench()

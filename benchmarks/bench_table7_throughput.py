@@ -17,8 +17,6 @@ the table also reports the machine-independent work ratio
 
 from __future__ import annotations
 
-import numpy as np
-
 from conftest import MIN_SECONDS, get_workload, run_once
 from repro.bench import emit, make_method, render_table, tune_method
 from repro.bench.timers import throughput_ekaq, throughput_tkaq

@@ -1,0 +1,203 @@
+"""Throughput regression gate over ``BENCH_*.json`` result files.
+
+``python -m repro.bench.compare BASELINE CURRENT`` reads two benchmark
+result files (as written by :func:`repro.bench.reporting.emit_json`),
+matches every throughput metric they share — any numeric field whose
+name ends in ``_qps``, located recursively so nested per-dataset /
+per-worker result lists are covered — and fails (exit 1) when any
+metric regressed by more than ``--threshold`` (default 30%).
+
+The gate is deliberately forgiving about *comparability* and strict
+only about *regressions*:
+
+* a missing or malformed **baseline** skips the comparison (exit 0) —
+  a brand-new benchmark has no committed baseline yet, and that must
+  not block the first CI run that would create one;
+* a **host-class mismatch** (different machine architecture or
+  schedulable CPU count, or a baseline predating host stamping) also
+  skips — throughput measured on two core counts is not comparable,
+  and a laptop baseline must not fail a CI runner;
+* a missing or malformed **current** file is an error (exit 2): the
+  benchmark that was supposed to produce it just ran, so something is
+  actually broken.
+
+Every run prints a delta table so the numbers are in the CI log even
+when nothing fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.reporting import render_table
+
+__all__ = [
+    "throughput_metrics",
+    "host_class",
+    "compare_payloads",
+    "main",
+]
+
+#: list-element keys used (first match wins) to label nested results
+_LABEL_KEYS = ("dataset", "n_workers", "name", "label")
+
+#: exit codes
+OK = 0          # no regression, or comparison skipped
+REGRESSED = 1   # at least one metric regressed beyond the threshold
+ERROR = 2       # unusable current file / bad invocation
+
+
+def throughput_metrics(payload) -> dict[str, float]:
+    """Every throughput metric in a result payload, keyed by path.
+
+    A throughput metric is a numeric field whose name ends in ``_qps``.
+    Nested dicts contribute their key to the path; list elements are
+    labelled by the first of ``dataset``/``n_workers``/``name``/
+    ``label`` they carry (falling back to the index), so
+    ``workers.n_workers=2.ekaq_qps`` stays stable when list order
+    changes.
+    """
+    out: dict[str, float] = {}
+
+    def walk(node, path):
+        if isinstance(node, dict):
+            for key, value in sorted(node.items()):
+                if isinstance(value, bool):
+                    continue
+                if isinstance(value, (int, float)) and key.endswith("_qps"):
+                    out[".".join((*path, key))] = float(value)
+                elif isinstance(value, (dict, list)):
+                    walk(value, (*path, key))
+        elif isinstance(node, list):
+            for i, value in enumerate(node):
+                label = str(i)
+                if isinstance(value, dict):
+                    for lk in _LABEL_KEYS:
+                        if lk in value:
+                            label = f"{lk}={value[lk]}"
+                            break
+                walk(value, (*path, label))
+
+    walk(payload, ())
+    return out
+
+
+def host_class(payload) -> tuple | None:
+    """The comparability class of a result file, or ``None`` if unstamped.
+
+    Two results are throughput-comparable when they ran on the same
+    machine architecture with the same number of schedulable CPUs (the
+    two fields :func:`~repro.bench.reporting.host_metadata` records
+    precisely so this gate can exist).
+    """
+    host = payload.get("host") if isinstance(payload, dict) else None
+    if not isinstance(host, dict):
+        return None
+    machine = host.get("machine")
+    cpus = host.get("schedulable_cpus")
+    if machine is None or cpus is None:
+        return None
+    return (machine, cpus)
+
+
+def compare_payloads(baseline, current, threshold: float = 0.30):
+    """Compare two result payloads' shared throughput metrics.
+
+    Returns ``(rows, regressions)``: one table row
+    ``[metric, baseline, current, delta_fraction]`` per shared metric,
+    and the subset of metric names whose current throughput fell more
+    than ``threshold`` below baseline.  Metrics present in only one
+    file are ignored (renames and new benchmarks are not regressions).
+    """
+    base = throughput_metrics(baseline)
+    cur = throughput_metrics(current)
+    rows = []
+    regressions = []
+    for name in sorted(base.keys() & cur.keys()):
+        b, c = base[name], cur[name]
+        delta = (c - b) / b if b > 0 else 0.0
+        rows.append([name, b, c, delta])
+        if b > 0 and c < (1.0 - threshold) * b:
+            regressions.append(name)
+    return rows, regressions
+
+
+def _load(path: Path):
+    """Parsed JSON payload, or ``None`` when missing/malformed."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _render(rows) -> str:
+    shown = [
+        [name, f"{b:,.1f}", f"{c:,.1f}", f"{100.0 * delta:+.1f}%"]
+        for name, b, c, delta in rows
+    ]
+    return render_table(
+        "throughput delta (current vs baseline)",
+        ["metric", "baseline qps", "current qps", "delta"],
+        shown,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description="Fail when BENCH_*.json throughput regressed "
+                    "vs a committed baseline.",
+    )
+    parser.add_argument("baseline", type=Path,
+                        help="committed baseline BENCH_*.json")
+    parser.add_argument("current", type=Path,
+                        help="freshly generated BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="relative throughput drop that fails the gate "
+                             "(default 0.30)")
+    args = parser.parse_args(argv)
+    if not 0.0 < args.threshold < 1.0:
+        parser.error(f"--threshold must be in (0, 1); got {args.threshold}")
+
+    current = _load(args.current)
+    if current is None:
+        print(f"error: cannot read current results {args.current}",
+              file=sys.stderr)
+        return ERROR
+    baseline = _load(args.baseline)
+    if baseline is None:
+        print(f"skip: no usable baseline at {args.baseline} "
+              "(first run for this benchmark?)")
+        return OK
+
+    base_host, cur_host = host_class(baseline), host_class(current)
+    if base_host is None or cur_host is None or base_host != cur_host:
+        print("skip: host classes differ or are unstamped "
+              f"(baseline={base_host}, current={cur_host}); "
+              "throughput is not comparable")
+        return OK
+
+    rows, regressions = compare_payloads(baseline, current, args.threshold)
+    if not rows:
+        print("skip: no shared *_qps metrics between the two files")
+        return OK
+    print(_render(rows))
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} metric(s) regressed more than "
+              f"{100.0 * args.threshold:.0f}%:")
+        for name in regressions:
+            print(f"  - {name}")
+        return REGRESSED
+    print(f"\nOK: no metric regressed more than "
+          f"{100.0 * args.threshold:.0f}% "
+          f"({len(rows)} compared)")
+    return OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

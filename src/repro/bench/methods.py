@@ -17,8 +17,6 @@ The paper compares (Section V-A2):
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.baselines.scan import ScanEvaluator
 from repro.core.aggregator import KernelAggregator
 from repro.core.errors import InvalidParameterError

@@ -30,7 +30,7 @@ from repro.baselines.scan import ScanEvaluator
 from repro.core.errors import InvalidParameterError
 from repro.core.kernels import GaussianKernel, Kernel, PolynomialKernel
 from repro.datasets.registry import Dataset, load_dataset
-from repro.kde.bandwidth import scott_gamma
+from repro.kde.bandwidth import median_gamma, scott_gamma
 from repro.svm.one_class import OneClassSVM
 from repro.svm.scaling import MinMaxScaler
 from repro.svm.svc import SVC
@@ -84,13 +84,25 @@ def _query_sample(ds: Dataset, n_queries: int, rng) -> np.ndarray:
 
 def type1_workload(
     name: str, n_queries: int = 200, size: int | None = None, seed: int = 0,
-    eps: float = 0.2,
+    eps: float = 0.2, bandwidth: str = "scott",
 ) -> KAQWorkload:
-    """Kernel-density workload: Scott's gamma, unit weights, ``tau = mu``."""
+    """Kernel-density workload: unit weights, ``tau = mu``.
+
+    ``bandwidth`` selects the Gaussian gamma rule: ``"scott"`` (the
+    paper's Section V-A choice) or ``"median"`` (the median heuristic —
+    the smooth regime the coreset benchmarks measure).
+    """
     ds = load_dataset(name, size=size, seed=seed)
     rng = np.random.default_rng(seed + 1)
     queries = _query_sample(ds, n_queries, rng)
-    kernel = GaussianKernel(scott_gamma(ds.points))
+    if bandwidth == "scott":
+        kernel = GaussianKernel(scott_gamma(ds.points))
+    elif bandwidth == "median":
+        kernel = GaussianKernel(median_gamma(ds.points, seed=seed))
+    else:
+        raise InvalidParameterError(
+            f"bandwidth must be 'scott' or 'median'; got {bandwidth!r}"
+        )
     wl = KAQWorkload(
         name=name, weighting="I", points=ds.points,
         weights=np.ones(ds.n), kernel=kernel, queries=queries,

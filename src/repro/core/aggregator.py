@@ -57,6 +57,10 @@ _COMPARE_SCHEMES = (KARLBounds(), SOTABounds())
 #: temporaries stay cache-friendly (~32 MB of float64)
 _MAX_EXACT_ELEMENTS = 1 << 22
 
+#: smallest batch ``backend="auto"`` routes through an enabled coreset
+#: tier; below this the exact backends' per-batch overhead is lower
+_CORESET_AUTO_BATCH = 64
+
 #: test hook: when True, the refinement loop cross-checks its compensated
 #: running frontier sums against a full O(|heap|) re-summation every pop
 _VERIFY_FRONTIER = False
@@ -107,9 +111,19 @@ class KernelAggregator:
     max_depth : int, optional
         Treat nodes at this depth as leaves (in-situ tuning; ``None`` = full
         tree; ``0`` degenerates to a sequential scan).
+    coreset : CoresetConfig, dict, or True, optional
+        Enable the certified-approximate coreset tier
+        (:mod:`repro.sketch`).  ``True`` uses default auto-calibrated
+        construction; a dict or :class:`~repro.sketch.CoresetConfig`
+        tunes it.  With a config present, ``backend="auto"`` routes
+        large batches through the coreset (falling back per query to the
+        exact path whenever the certificate cannot meet the contract);
+        ``backend="coreset"`` works regardless, building a
+        default-config coreset on first use.
     """
 
-    def __init__(self, tree, kernel: Kernel, scheme="karl", max_depth: int | None = None):
+    def __init__(self, tree, kernel: Kernel, scheme="karl", max_depth: int | None = None,
+                 coreset=None):
         self.tree = tree
         self.kernel = kernel
         self.scheme = resolve_scheme(scheme)
@@ -120,6 +134,8 @@ class KernelAggregator:
         self._multiquery = None  # lazily-built batch backend (same config)
         self._parallel = None    # lazily-built process pool backend
         self._parallel_key = None
+        self._coreset = None     # lazily-built coreset tier (repro.sketch)
+        self._coreset_config = coreset
         self._closed = False     # set by close(); forbids backend="parallel"
         # _pair_bounds relies on BFS sibling adjacency (right == left + 1)
         internal = tree.left >= 0
@@ -462,8 +478,8 @@ class KernelAggregator:
             return None
         if backend not in ("auto", "multiquery"):
             raise InvalidParameterError(
-                f"backend must be 'auto', 'multiquery', 'parallel', or "
-                f"'loop'; got {backend!r}"
+                f"backend must be 'auto', 'multiquery', 'parallel', "
+                f"'coreset', or 'loop'; got {backend!r}"
             )
         supported = MultiQueryAggregator.supports(self.kernel, self.scheme)
         if not supported:
@@ -511,6 +527,62 @@ class KernelAggregator:
             )
             self._parallel_key = key
         return self._parallel
+
+    def coreset_backend(self):
+        """Resolve (lazily build / reuse) the coreset tier.
+
+        Raises :class:`InvalidParameterError` when the kernel has no
+        a-priori bounded values (dot-product kernels) — the exact
+        backends remain available.
+        """
+        from repro.sketch.aggregator import CoresetAggregator, CoresetConfig
+
+        if self._coreset is None:
+            self._coreset = CoresetAggregator(
+                self, CoresetConfig.coerce(self._coreset_config)
+            )
+        return self._coreset
+
+    @property
+    def coreset_enabled(self) -> bool:
+        """True when ``backend="auto"`` may route through the coreset tier.
+
+        Requires an explicit opt-in (a ``coreset`` config at
+        construction, or an externally attached/loaded coreset): the
+        tier trades refinement work for certified-approximate answers
+        with a different cost profile, so ``auto`` never springs it on
+        callers who only asked for exact backends.
+        """
+        from repro.sketch.aggregator import CoresetAggregator
+
+        if self._coreset is not None:
+            return True
+        return (
+            self._coreset_config is not None
+            and CoresetAggregator.supports(self.kernel)
+        )
+
+    def attach_coreset(self, pos, neg=None, config=None) -> None:
+        """Install a persisted coreset tier (see ``repro.index.load_coreset``).
+
+        Replaces any built tier; ``backend="coreset"`` (and ``auto``'s
+        large-batch routing) then serve from the attached parts without
+        re-sampling or re-calibrating.
+        """
+        from repro.sketch.aggregator import CoresetAggregator
+
+        self._coreset = CoresetAggregator.from_parts(
+            self, pos, neg, config=config
+        )
+
+    def _auto_coreset(self, n_queries: int) -> bool:
+        """``auto`` routing: opted-in and batch large enough to amortise.
+
+        Small batches stay on the exact backends — coreset evaluation
+        has a fixed ``O(k d)`` cost per query that only wins once
+        multiquery's shared-frontier refinement is the bottleneck.
+        """
+        return n_queries >= _CORESET_AUTO_BATCH and self.coreset_enabled
 
     def close(self) -> None:
         """Release the process pool and shared-memory blocks, if any.
@@ -567,6 +639,10 @@ class KernelAggregator:
         self._check_pool_kwargs(backend, n_workers, chunk_size)
         Q = self._check_queries(queries)
         tau = as_query_param(tau, Q.shape[0], "tau")
+        if backend == "coreset" or (
+            backend == "auto" and self._auto_coreset(Q.shape[0])
+        ):
+            return self.coreset_backend().tkaq_many_results(Q, tau)
         if backend == "parallel":
             return self._parallel_backend(
                 n_workers, chunk_size).tkaq_many_results(Q, tau)
@@ -595,6 +671,10 @@ class KernelAggregator:
         self._check_pool_kwargs(backend, n_workers, chunk_size)
         Q = self._check_queries(queries)
         eps = as_query_param(eps, Q.shape[0], "eps", minimum=0.0)
+        if backend == "coreset" or (
+            backend == "auto" and self._auto_coreset(Q.shape[0])
+        ):
+            return self.coreset_backend().ekaq_many_results(Q, eps)
         if backend == "parallel":
             return self._parallel_backend(
                 n_workers, chunk_size).ekaq_many_results(Q, eps)

@@ -48,6 +48,13 @@ class StreamingAggregator:
         Merge the buffer into a fresh index when
         ``len(buffer) > rebuild_fraction * len(main)`` (and at least
         ``min_buffer`` points have accumulated).
+    coreset : dict or True, optional
+        Also maintain a :class:`~repro.sketch.StreamingCoreset`
+        (merge-and-reduce tower) over every insert; a dict passes
+        construction kwargs (``m``, ``delta``, ``seed``) through.  The
+        batch query methods can then serve from the coreset with
+        per-query fallback to the exact streaming path.  Requires a
+        distance kernel.
     """
 
     def __init__(
@@ -58,6 +65,7 @@ class StreamingAggregator:
         scheme: str = "karl",
         rebuild_fraction: float = 0.25,
         min_buffer: int = 256,
+        coreset=None,
     ):
         if rebuild_fraction <= 0.0:
             raise InvalidParameterError(
@@ -75,6 +83,20 @@ class StreamingAggregator:
         self._buf_weights: list[float] = []
         self._d: int | None = None
         self.rebuilds = 0
+        self.coreset = None
+        if coreset is not None and coreset is not False:
+            from repro.sketch.aggregator import CoresetAggregator
+            from repro.sketch.streaming import StreamingCoreset
+
+            if not CoresetAggregator.supports(kernel):
+                raise InvalidParameterError(
+                    "streaming coreset maintenance requires a distance "
+                    f"kernel with a convex, non-increasing profile; "
+                    f"got {kernel!r}"
+                )
+            self.coreset = StreamingCoreset(
+                **({} if coreset is True else dict(coreset))
+            )
 
     # ------------------------------------------------------------------
     # updates
@@ -104,6 +126,8 @@ class StreamingAggregator:
                 weights = np.full(points.shape[0], float(weights))
         self._buf_points.extend(points)
         self._buf_weights.extend(weights.tolist())
+        if self.coreset is not None:
+            self.coreset.insert(points, weights)
         if _obs.is_enabled():
             _obs.registry().gauge("streaming.buffer_points").set(
                 len(self._buf_points)
@@ -206,3 +230,66 @@ class StreamingAggregator:
             estimate=0.5 * (lb + ub) + shift, lower=lb + shift,
             upper=ub + shift, eps=float(eps), stats=stats,
         )
+
+    # ------------------------------------------------------------------
+    # batch queries (optionally coreset-served)
+    # ------------------------------------------------------------------
+
+    def _check_batch_backend(self, backend: str) -> bool:
+        """True when the coreset tier should answer this batch."""
+        if backend not in ("auto", "coreset", "loop"):
+            raise InvalidParameterError(
+                f"backend must be 'auto', 'coreset', or 'loop'; "
+                f"got {backend!r}"
+            )
+        if backend == "coreset" and self.coreset is None:
+            raise InvalidParameterError(
+                "backend='coreset' requires coreset maintenance; build the "
+                "StreamingAggregator with coreset=True"
+            )
+        return backend == "coreset" or (
+            backend == "auto" and self.coreset is not None
+        )
+
+    def _check_batch_queries(self, queries) -> np.ndarray:
+        Q = as_matrix(queries, name="queries")
+        if self._d is not None and Q.shape[1] != self._d:
+            raise InvalidParameterError(
+                f"queries have dimension {Q.shape[1]}, expected {self._d}"
+            )
+        return Q
+
+    def ekaq_many(self, queries, eps: float, backend: str = "auto"
+                  ) -> np.ndarray:
+        """Batched eKAQ estimates, each meeting the ``(1 +- eps)`` contract.
+
+        With coreset maintenance enabled (and ``backend`` ``"auto"`` or
+        ``"coreset"``) the streaming coreset answers every query whose
+        certified error meets the contract; the rest take the exact
+        per-query path.  ``backend="loop"`` forces the exact path.
+        """
+        Q = self._check_batch_queries(queries)
+        eps = float(eps)
+        if not self._check_batch_backend(backend):
+            return np.array([self.ekaq(q, eps).estimate for q in Q])
+        est, err = self.coreset.estimate_with_error(self.kernel, Q)
+        serve = err <= eps * (est - err)
+        out = np.where(serve, est, 0.0)
+        for i in np.flatnonzero(~serve):
+            out[i] = self.ekaq(Q[i], eps).estimate
+        return out
+
+    def tkaq_many(self, queries, tau: float, backend: str = "auto"
+                  ) -> np.ndarray:
+        """Batched TKAQ answers (``F(q) > tau``), coreset-served when the
+        certified interval clears the threshold, exact otherwise."""
+        Q = self._check_batch_queries(queries)
+        tau = float(tau)
+        if not self._check_batch_backend(backend):
+            return np.array([self.tkaq(q, tau).answer for q in Q])
+        est, err = self.coreset.estimate_with_error(self.kernel, Q)
+        serve = (est - err > tau) | (est + err <= tau)
+        out = est - err > tau
+        for i in np.flatnonzero(~serve):
+            out[i] = self.tkaq(Q[i], tau).answer
+        return out

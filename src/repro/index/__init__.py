@@ -8,7 +8,7 @@ from repro.index.balltree import BallTree
 from repro.index.base import SpatialIndex
 from repro.index.builder import INDEX_KINDS, build_index
 from repro.index.kdtree import KDTree
-from repro.index.serialize import load_index, save_index
+from repro.index.serialize import load_coreset, load_index, save_index
 from repro.index.stats import SignedStats, compute_signed_stats
 
 __all__ = [
@@ -19,6 +19,7 @@ __all__ = [
     "build_index",
     "save_index",
     "load_index",
+    "load_coreset",
     "compute_signed_stats",
     "INDEX_KINDS",
 ]

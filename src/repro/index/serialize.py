@@ -23,9 +23,15 @@ from repro.index.base import SpatialIndex
 from repro.index.kdtree import KDTree
 from repro.index.stats import SignedStats
 
-__all__ = ["save_index", "load_index", "tree_arrays", "rebuild_tree"]
+__all__ = [
+    "save_index", "load_index", "tree_arrays", "rebuild_tree",
+    "load_coreset",
+]
 
 _FORMAT_VERSION = 1
+
+#: per-part arrays of a persisted coreset (repro.sketch.Coreset)
+_CORESET_ARRAYS = ("points", "weights", "counts", "draw_scale")
 
 _ARRAYS = (
     "perm", "points", "weights", "start", "end", "left", "right", "depth",
@@ -76,14 +82,91 @@ def rebuild_tree(kind: str, leaf_capacity: int, arrays) -> SpatialIndex:
     return tree
 
 
-def save_index(tree: SpatialIndex, path) -> None:
-    """Persist a built index to ``path`` (a ``.npz`` file)."""
+def _coreset_payload(prefix: str, coreset) -> dict[str, np.ndarray]:
+    from repro.sketch.coreset import METHODS
+
+    payload = {
+        prefix + name: np.asarray(getattr(coreset, name), dtype=np.float64)
+        for name in _CORESET_ARRAYS
+    }
+    payload[prefix + "meta"] = np.array([
+        float(coreset.samples), coreset.range_scale, coreset.total_weight,
+        coreset.delta, coreset.err_prior, float(coreset.n_source),
+        float(METHODS.index(coreset.method)),
+    ])
+    return payload
+
+
+def _coreset_from(archive, prefix: str):
+    from repro.sketch.coreset import METHODS, Coreset
+
+    meta = archive[prefix + "meta"]
+    arrays = {name: archive[prefix + name] for name in _CORESET_ARRAYS}
+    return Coreset(
+        **arrays,
+        samples=int(meta[0]), range_scale=float(meta[1]),
+        total_weight=float(meta[2]), delta=float(meta[3]),
+        err_prior=float(meta[4]), n_source=int(meta[5]),
+        method=METHODS[int(meta[6])],
+    )
+
+
+def _coreset_parts(coreset):
+    """Normalise a Coreset or CoresetAggregator to ``(pos, neg)`` parts."""
+    from repro.sketch.coreset import Coreset
+
+    if isinstance(coreset, Coreset):
+        return coreset, None
+    pos = getattr(coreset, "_pos", None)
+    neg = getattr(coreset, "_neg", None)
+    if pos is None and neg is None:
+        raise InvalidParameterError(
+            f"cannot persist coreset object {coreset!r}; expected a "
+            "repro.sketch Coreset or CoresetAggregator"
+        )
+    return pos, neg
+
+
+def save_index(tree: SpatialIndex, path, coreset=None) -> None:
+    """Persist a built index to ``path`` (a ``.npz`` file).
+
+    ``coreset`` optionally embeds a pre-built coreset tier in the same
+    archive — a :class:`~repro.sketch.Coreset` or a whole
+    :class:`~repro.sketch.CoresetAggregator` (both sign parts persist).
+    :func:`load_index` ignores it; :func:`load_coreset` retrieves it, so
+    the online phase skips construction *and* calibration.
+    """
     payload = dict(tree_arrays(tree))
     payload["meta"] = np.array(
         [_FORMAT_VERSION, tree.leaf_capacity, {"kd": 0, "ball": 1}[tree.kind]],
         dtype=np.int64,
     )
+    if coreset is not None:
+        pos, neg = _coreset_parts(coreset)
+        if pos is not None:
+            payload.update(_coreset_payload("coreset_pos_", pos))
+        if neg is not None:
+            payload.update(_coreset_payload("coreset_neg_", neg))
     np.savez_compressed(path, **payload)
+
+
+def load_coreset(path):
+    """Load the coreset parts embedded in an index archive, if any.
+
+    Returns ``(pos, neg)`` — either may be ``None``; ``(None, None)``
+    means the archive was saved without a coreset.  Rehydrate a query
+    tier with ``KernelAggregator.attach_coreset(pos, neg)``.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        pos = (
+            _coreset_from(archive, "coreset_pos_")
+            if "coreset_pos_meta" in archive else None
+        )
+        neg = (
+            _coreset_from(archive, "coreset_neg_")
+            if "coreset_neg_meta" in archive else None
+        )
+    return pos, neg
 
 
 def load_index(path) -> SpatialIndex:

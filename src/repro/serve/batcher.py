@@ -41,7 +41,8 @@ from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -71,6 +72,11 @@ class BatchConfig:
     parallel_threshold: int | None = None  # batch size that earns the pool
     n_workers: int | None = None           # pool width for parallel flushes
     chunk_size: int | None = None
+    #: zero-arg callable consulted at flush time; True routes the batch to
+    #: ``backend="coreset"`` (the server passes the admission policy's
+    #: ``prefer_coreset`` over live queue depth).  Takes precedence over
+    #: the parallel pool — under load the cheap tier wins.
+    coreset_hint: Callable[[], bool] | None = None
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -213,6 +219,9 @@ class MicroBatcher:
 
     def _pick_backend(self, batch_size: int) -> str:
         cfg = self._cfg
+        if (self.kind != "exact" and cfg.coreset_hint is not None
+                and cfg.coreset_hint()):
+            return "coreset"
         if (self.kind != "exact" and cfg.parallel_threshold is not None
                 and cfg.n_workers and batch_size >= cfg.parallel_threshold):
             return "parallel"

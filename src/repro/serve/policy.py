@@ -6,14 +6,21 @@ requests.  Beyond that it *sheds*: the client gets an explicit
 p99 of admitted requests is the latency contract; shed requests cost
 one JSON line each).
 
-Between "comfortable" and "full" there is a degraded band: once queue
-depth crosses ``degrade_at * max_queue``, eKAQ requests are served with
-a relaxed tolerance that ramps linearly from the client's ``eps`` up to
-``eps_ceiling`` as the queue approaches capacity.  Relaxed responses are
-marked ``degraded=true`` and carry the tolerance actually served
-(``served_eps``) so clients — and the offline replay — know exactly what
-contract the estimate satisfies.  TKAQ answers are never degraded
-(a threshold answer is correct or it is not).
+Between "comfortable" and "full" there is a degraded band with two
+rungs, cheapest first:
+
+* once queue depth crosses ``coreset_at * max_queue`` (and the server
+  has a coreset tier), batches are routed to ``backend="coreset"`` —
+  answers keep the client's *exact* contract (certified-or-fallback),
+  only the cost profile changes, so this rung is tried before any
+  contract is loosened;
+* once depth crosses ``degrade_at * max_queue``, eKAQ requests are
+  served with a relaxed tolerance that ramps linearly from the client's
+  ``eps`` up to ``eps_ceiling`` as the queue approaches capacity.
+  Relaxed responses are marked ``degraded=true`` and carry the tolerance
+  actually served (``served_eps``) so clients — and the offline replay —
+  know exactly what contract the estimate satisfies.  TKAQ answers are
+  never degraded (a threshold answer is correct or it is not).
 
 Deadlines are enforced at flush time: a request whose budget expired
 while queued is dropped *before* evaluation (``deadline_exceeded``), so
@@ -43,11 +50,18 @@ class AdmissionPolicy:
     eps_ceiling : float or None
         The largest tolerance overload may relax an eKAQ request to.
         ``None`` disables degradation.
+    coreset_at : float or None
+        Queue-depth fraction of ``max_queue`` where batches switch to
+        the coreset tier (contract-preserving, cheaper per batch) —
+        positioned *below* ``degrade_at`` so load sheds work before it
+        sheds accuracy.  ``None`` disables the rung; it also has no
+        effect on servers without a coreset-capable aggregator.
     """
 
     max_queue: int = 1024
     degrade_at: float = 0.5
     eps_ceiling: float | None = None
+    coreset_at: float | None = None
 
     def __post_init__(self):
         if self.max_queue < 1:
@@ -58,10 +72,25 @@ class AdmissionPolicy:
         if self.eps_ceiling is not None and self.eps_ceiling <= 0:
             raise ValueError(
                 f"eps_ceiling must be > 0; got {self.eps_ceiling}")
+        if self.coreset_at is not None and not 0.0 <= self.coreset_at <= 1.0:
+            raise ValueError(
+                f"coreset_at must be in [0, 1]; got {self.coreset_at}")
 
     def admit(self, queue_depth: int) -> bool:
         """Whether a new query request may join the queue."""
         return queue_depth < self.max_queue
+
+    def prefer_coreset(self, queue_depth: int) -> bool:
+        """Whether load is high enough to route batches to the coreset tier.
+
+        The first (contract-preserving) rung of the degradation ramp:
+        answers stay certified-or-exact, only the evaluation strategy
+        changes.
+        """
+        return (
+            self.coreset_at is not None
+            and queue_depth >= self.coreset_at * self.max_queue
+        )
 
     def effective_eps(self, eps: float, queue_depth: int) -> tuple[float, bool]:
         """The tolerance to actually serve, and whether it was relaxed.

@@ -26,7 +26,7 @@ from __future__ import annotations
 import asyncio
 import signal
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.obs import runtime as obs
 from repro.obs.metrics import GEOMETRIC_BUCKETS, SECONDS_BUCKETS
@@ -100,12 +100,37 @@ class KAQServer:
         """Bind and start accepting; returns once listening."""
         self._loop = asyncio.get_running_loop()
         self._drained = asyncio.Event()
+        batch_cfg = self._batch_config()
         for kind in QUERY_OPS:
             self._batchers[kind] = MicroBatcher(
-                kind, self._agg, self.config.batch, self._executor,
+                kind, self._agg, batch_cfg, self._executor,
                 self._loop, on_done=self._request_done)
         self._server = await asyncio.start_server(
             self._handle_conn, self.config.host, self.config.port)
+
+    def _batch_config(self) -> BatchConfig:
+        """The batch config the batchers actually run with.
+
+        When the admission policy has a ``coreset_at`` rung, the
+        aggregator's kernel supports the coreset tier, and the caller
+        did not install their own hint, wire the policy's
+        ``prefer_coreset`` over the live queue depth as the batchers'
+        ``coreset_hint`` — that is the whole degradation-ramp hookup.
+        The user's config object is never mutated.
+        """
+        cfg = self.config.batch
+        policy = self.config.policy
+        if cfg.coreset_hint is not None or policy.coreset_at is None:
+            return cfg
+        from repro.sketch.aggregator import CoresetAggregator
+
+        kernel = getattr(self._agg, "kernel", None)
+        if kernel is None or not CoresetAggregator.supports(kernel):
+            return cfg
+        return replace(
+            cfg,
+            coreset_hint=lambda: policy.prefer_coreset(self._queue_depth),
+        )
 
     async def serve_forever(self) -> None:
         """Run until cancelled or :meth:`shutdown` completes."""

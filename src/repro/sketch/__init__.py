@@ -1,0 +1,41 @@
+"""Coreset-backed approximate kernel aggregation (``backend="coreset"``).
+
+Certified data reduction as an execution tier: build a small weighted
+sample whose kernel sum provably tracks the full set's
+(:mod:`repro.sketch.coreset`), answer eKAQ/TKAQ batches over it with
+per-query error certificates, and fall back to the exact KARL path for
+every query the certificate cannot cover
+(:mod:`repro.sketch.aggregator`) — so the ``(1 +- eps)`` and threshold
+contracts hold unconditionally.  :mod:`repro.sketch.streaming` maintains
+coresets under insertion via merge-and-reduce.
+"""
+
+from repro.sketch.aggregator import (
+    CoresetAggregator,
+    CoresetConfig,
+    certified_estimate,
+)
+from repro.sketch.coreset import (
+    Coreset,
+    bernstein_error,
+    build_coreset,
+    exact_coreset,
+    hoeffding_error,
+    merge_coresets,
+    reduce_coreset,
+)
+from repro.sketch.streaming import StreamingCoreset
+
+__all__ = [
+    "Coreset",
+    "CoresetAggregator",
+    "CoresetConfig",
+    "StreamingCoreset",
+    "bernstein_error",
+    "build_coreset",
+    "certified_estimate",
+    "exact_coreset",
+    "hoeffding_error",
+    "merge_coresets",
+    "reduce_coreset",
+]

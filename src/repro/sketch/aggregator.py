@@ -1,0 +1,468 @@
+"""Coreset-backed approximate backend with unconditional contract fallback.
+
+:class:`CoresetAggregator` answers eKAQ/TKAQ batches over a *reduced*
+weighted sample (:mod:`repro.sketch.coreset`) instead of refining index
+bounds.  Per query it certifies the coreset estimate with an additive
+error bound (empirical Bernstein by default, Hoeffding optionally) and:
+
+* **serves** the query from the coreset when the certificate meets the
+  contract — ``err <= eps * (est - err)`` for eKAQ (which implies the
+  ``(1 +- eps)`` contract against the true aggregate), or a certified
+  interval strictly on one side of ``tau`` for TKAQ;
+* **falls back** to the exact KARL refinement path (the parent
+  :class:`~repro.core.aggregator.KernelAggregator`) for every query the
+  certificate cannot cover — so the eKAQ and TKAQ contracts hold
+  *unconditionally*: a coreset that is too small, a far-out query, a
+  Type III aggregate near zero, all silently take the exact path.
+
+The economics: coreset evaluation is one dense ``(batch, k)`` kernel
+block — O(k d) per query, independent of ``n`` — while bound refinement
+walks the index.  On workloads where kernel values concentrate (smooth /
+median-heuristic bandwidths) the certificate covers almost every query
+at ``k << n`` and the batch runs an order of magnitude faster than the
+multiquery backend; on hard workloads the fallback rate climbs and the
+coreset tier gracefully degrades to exact evaluation cost.
+
+Observability: ``sketch.*`` metrics (served / fallback counters, coreset
+size gauge, certified relative error histogram) and an umbrella
+``backend="coreset"`` trace that keeps the point-conservation law
+(coreset points evaluated + pruned == n per served query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.core.kernels import Kernel
+from repro.core.results import (
+    BatchQueryStats,
+    EKAQBatchResult,
+    TKAQBatchResult,
+)
+from repro.obs import runtime as _obs
+from repro.sketch.coreset import (
+    Coreset,
+    bernstein_error,
+    build_coreset,
+)
+
+__all__ = ["CoresetConfig", "CoresetAggregator", "certified_estimate"]
+
+#: cap on the element count of one (queries x coreset) kernel grid;
+#: larger batches are evaluated in query blocks (same policy as
+#: ``KernelAggregator.exact_many``)
+_MAX_GRID_ELEMENTS = 1 << 22
+
+#: calibration can never choose fewer draws than this — below it the
+#: Bernstein linear term dominates and certificates are useless anyway
+_MIN_SIZE = 256
+
+
+def certified_estimate(kernel, part: Coreset, Q, *,
+                       certificate: str = "bernstein",
+                       value_max: float | None = None):
+    """Estimate one coreset's kernel sum over a query batch, certified.
+
+    Returns ``(est, err)``: the unbiased estimate of the represented
+    set's ``F(q)`` per query and a certified additive error bound
+    (``|est - F(q)| <= err`` per query at the coreset's confidence).
+    ``certificate="bernstein"`` computes a per-query bound from the
+    observed draw variance (one extra matmul); ``"hoeffding"`` uses the
+    query-independent a-priori bound.  Requires a distance kernel
+    (``kernel.argument == "dist_sq"``); evaluation is blocked so the
+    ``(batch, size)`` kernel grid stays cache-friendly.
+
+    Shared by :class:`CoresetAggregator` (per sign part) and the
+    streaming merge-and-reduce tower (:mod:`repro.sketch.streaming`).
+    """
+    if kernel.argument != "dist_sq":
+        raise InvalidParameterError(
+            "coreset estimation requires a distance kernel; "
+            f"got {kernel!r}"
+        )
+    if value_max is None:
+        value_max = float(kernel.profile.value(0.0))
+    nq = Q.shape[0]
+    est = np.empty(nq)
+    use_bernstein = certificate == "bernstein" and part.samples > 0
+    e2 = np.empty(nq) if use_bernstein else None
+    per = max(1, _MAX_GRID_ELEMENTS // max(1, part.size))
+    sq_norms = np.einsum("ij,ij->i", part.points, part.points)
+    ca2 = part.counts * np.square(part.draw_scale) / max(1, part.samples)
+    for s in range(0, nq, per):
+        block = Q[s:s + per]
+        q_sq = np.einsum("ij,ij->i", block, block)
+        arg = q_sq[:, None] - 2.0 * (block @ part.points.T) + sq_norms
+        np.maximum(arg, 0.0, out=arg)
+        vals = kernel.profile.value(arg)
+        est[s:s + per] = vals @ part.weights
+        if use_bernstein:
+            e2[s:s + per] = np.square(vals) @ ca2
+    if part.is_exact():
+        return est, np.zeros(nq)
+    if use_bernstein:
+        var = np.maximum(e2 - np.square(est), 0.0)
+        err = value_max * part.err_prior + bernstein_error(
+            var, part.samples, part.delta, value_max * part.range_scale,
+        )
+    else:
+        err = np.full(nq, part.hoeffding_err(value_max))
+    return est, err
+
+
+@dataclass
+class CoresetConfig:
+    """Construction and certification knobs for the coreset backend.
+
+    Parameters
+    ----------
+    m : int or None
+        Number of sample draws.  ``None`` auto-calibrates: the builder
+        samples ``calibration_queries`` data points as probe queries,
+        measures the kernel-value variance the Bernstein certificate
+        will see, and solves for the ``m`` that certifies
+        ``target_eps`` on a ``target_quantile`` fraction of probes
+        (clamped to ``[256, n]``).
+    delta : float
+        Per-stage confidence of the additive error certificate.
+    method : str
+        ``"weighted"`` (sensitivity sampling, default) or ``"uniform"``.
+    certificate : str
+        ``"bernstein"`` (query-adaptive, default) or ``"hoeffding"``.
+    seed : int
+        Construction RNG seed (coresets are deterministic per seed).
+    """
+
+    m: int | None = None
+    delta: float = 1e-6
+    method: str = "weighted"
+    certificate: str = "bernstein"
+    seed: int = 0
+    target_eps: float = 0.1
+    target_quantile: float = 0.9
+    calibration_queries: int = 32
+
+    def __post_init__(self):
+        if self.m is not None and self.m < 1:
+            raise InvalidParameterError(f"m must be >= 1; got {self.m}")
+        if not 0.0 < self.delta < 1.0:
+            raise InvalidParameterError(
+                f"delta must be in (0, 1); got {self.delta}")
+        if self.certificate not in ("bernstein", "hoeffding"):
+            raise InvalidParameterError(
+                "certificate must be 'bernstein' or 'hoeffding'; "
+                f"got {self.certificate!r}")
+        if self.method not in ("weighted", "uniform"):
+            raise InvalidParameterError(
+                f"method must be 'weighted' or 'uniform'; got {self.method!r}")
+        if not 0.0 < self.target_eps:
+            raise InvalidParameterError(
+                f"target_eps must be > 0; got {self.target_eps}")
+        if not 0.0 < self.target_quantile <= 1.0:
+            raise InvalidParameterError(
+                f"target_quantile must be in (0, 1]; "
+                f"got {self.target_quantile}")
+
+    @classmethod
+    def coerce(cls, value) -> "CoresetConfig":
+        """Accept a config, a mapping of kwargs, ``True``, or ``None``."""
+        if isinstance(value, cls):
+            return value
+        if value is None or value is True:
+            return cls()
+        if isinstance(value, dict):
+            return cls(**value)
+        raise InvalidParameterError(
+            f"coreset must be a CoresetConfig, dict, True, or None; "
+            f"got {value!r}")
+
+
+class CoresetAggregator:
+    """Coreset tier over a :class:`~repro.core.aggregator.KernelAggregator`.
+
+    Built lazily by ``KernelAggregator`` when ``backend="coreset"`` is
+    first requested; holds one coreset per weight sign part (the paper's
+    ``P+ / P-`` split carries over: estimates subtract, error bounds
+    add).  All fallback evaluation is delegated to the parent's
+    multiquery backend when supported, its per-query loop otherwise.
+    """
+
+    def __init__(self, parent, config: CoresetConfig | None = None):
+        self._common_init(parent, config)
+        tree = parent.tree
+        rng = np.random.default_rng(self.config.seed)
+        w = tree.weights
+        pos_mask = w > 0
+        neg_mask = w < 0
+        m = self.config.m
+        if m is None:
+            m = self._calibrate(tree, pos_mask, rng)
+        self.m = int(m)
+        self._pos = self._build_part(tree.points[pos_mask], w[pos_mask], rng)
+        self._neg = (
+            self._build_part(tree.points[neg_mask], -w[neg_mask], rng)
+            if neg_mask.any() else None
+        )
+
+    @classmethod
+    def from_parts(cls, parent, pos: Coreset | None, neg: Coreset | None = None,
+                   config: CoresetConfig | None = None) -> "CoresetAggregator":
+        """Rehydrate a tier from persisted sign parts (no construction).
+
+        ``pos``/``neg`` are the parts :func:`repro.index.load_coreset`
+        returns; calibration and sampling are skipped entirely — the
+        persisted certificates (sizes, deltas, ``err_prior``) carry
+        over as-is.
+        """
+        if pos is None and neg is None:
+            raise InvalidParameterError(
+                "from_parts needs at least one coreset part"
+            )
+        self = cls.__new__(cls)
+        self._common_init(parent, config)
+        part = pos if pos is not None else neg
+        self.m = part.samples if part.samples else part.size
+        self._pos = pos
+        self._neg = neg
+        return self
+
+    def _common_init(self, parent, config: CoresetConfig | None) -> None:
+        self.parent = parent
+        self.config = config or CoresetConfig()
+        kernel = parent.kernel
+        if not self.supports(kernel):
+            raise InvalidParameterError(
+                "the coreset backend requires a distance kernel with a "
+                f"convex, non-increasing profile; got {kernel!r}"
+            )
+        self.kernel = kernel
+        #: a-priori bound on any single kernel value (profile max at 0)
+        self.value_max = float(kernel.profile.value(0.0))
+        from repro.core.multiquery import MultiQueryAggregator
+
+        self._fallback_backend = (
+            "multiquery"
+            if MultiQueryAggregator.supports(kernel, parent.scheme)
+            else "loop"
+        )
+        #: lifetime counters (also exported as sketch.* metrics)
+        self.served_queries = 0
+        self.fallback_queries = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def supports(kernel: Kernel) -> bool:
+        """True when ``kernel`` admits coreset certificates.
+
+        Needs kernel values a-priori bounded in ``[0, K(q, q)]`` —
+        distance kernels with convex non-increasing profiles (Gaussian,
+        Laplacian, Cauchy, Epanechnikov).  Dot-product kernels
+        (polynomial, sigmoid) have data-dependent unbounded ranges and
+        always take the exact path.
+        """
+        return kernel.argument == "dist_sq" and kernel.profile.convex_decreasing
+
+    def _build_part(self, points, weights, rng) -> Coreset | None:
+        if points.shape[0] == 0:
+            return None
+        return build_coreset(
+            points, weights, self.m, delta=self.config.delta,
+            method=self.config.method, rng=rng,
+        )
+
+    def _calibrate(self, tree, pos_mask, rng) -> int:
+        """Solve for the draw count that certifies ``target_eps``.
+
+        Probes the kernel-value variance with a sample of data points as
+        queries (queries in KAQ workloads are data-distributed — paper
+        Section V-A) and inverts the full Bernstein bound
+        ``err/W = sqrt(2 v L / m) + 3 K_max L / m`` (``L = ln(3/delta)``)
+        against the serve condition ``err <= eps/(1+eps) * F``, solving
+        the quadratic in ``1/sqrt(m)``.  A 25% safety margin absorbs
+        probe noise and the gap between probe variance and the sample
+        variance observed at query time.
+        """
+        cfg = self.config
+        pts, w = tree.points[pos_mask], tree.weights[pos_mask]
+        n = pts.shape[0]
+        if n == 0:
+            return _MIN_SIZE
+        total = float(w.sum())
+        probes = pts[rng.choice(n, size=min(cfg.calibration_queries, n),
+                                replace=False)]
+        K = self.kernel.matrix(probes, pts)
+        mean = (K @ w) / total
+        var = (np.square(K - mean[:, None]) @ w) / total
+        log3d = np.log(3.0 / cfg.delta)
+        target = cfg.target_eps / (1.0 + cfg.target_eps) * (
+            mean / self.value_max)
+        # solve sqrt(2 v' L) s + 3 L s^2 = t for s = 1/sqrt(m)
+        # (v' = var / K_max^2 normalises kernel values into [0, 1])
+        a = np.sqrt(2.0 * var * log3d) / self.value_max
+        b = 3.0 * log3d
+        with np.errstate(divide="ignore", invalid="ignore"):
+            s = (-a + np.sqrt(np.square(a) + 4.0 * b * target)) / (2.0 * b)
+            need = 1.0 / np.square(s)
+        need = need[np.isfinite(need)]
+        if need.size == 0:
+            return min(n, _MIN_SIZE)
+        m = 1.25 * float(np.quantile(need, cfg.target_quantile))
+        return int(np.clip(m, _MIN_SIZE, n))
+
+    # ------------------------------------------------------------------
+    # certified estimation
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Stored coreset points across both sign parts."""
+        return (self._pos.size if self._pos is not None else 0) + (
+            self._neg.size if self._neg is not None else 0
+        )
+
+    @property
+    def fallback_rate(self) -> float:
+        """Lifetime fraction of queries that took the exact path."""
+        total = self.served_queries + self.fallback_queries
+        return self.fallback_queries / total if total else 0.0
+
+    def _part_estimate(self, Q, part: Coreset):
+        return certified_estimate(
+            self.kernel, part, Q,
+            certificate=self.config.certificate, value_max=self.value_max,
+        )
+
+    def estimate_with_error(self, Q):
+        """Certified coreset estimates: ``(est, err)`` arrays over ``Q``.
+
+        ``|est - F_P(q)| <= err`` holds per query with probability at
+        least ``1 - delta`` per coreset stage (sign parts and
+        merge/reduce stages compose by union bound).
+        """
+        est = np.zeros(Q.shape[0])
+        err = np.zeros(Q.shape[0])
+        if self._pos is not None:
+            e, r = self._part_estimate(Q, self._pos)
+            est += e
+            err += r
+        if self._neg is not None:
+            e, r = self._part_estimate(Q, self._neg)
+            est -= e
+            err += r
+        return est, err
+
+    # ------------------------------------------------------------------
+    # batch queries (the backend="coreset" entry points)
+    # ------------------------------------------------------------------
+
+    def ekaq_many_results(self, Q, eps) -> EKAQBatchResult:
+        """eKAQ batch: serve certified queries, fall back on the rest.
+
+        The serve condition ``err <= eps * (est - err)`` implies
+        ``(1-eps) F <= est <= (1+eps) F``: the true aggregate ``F`` lies
+        in ``[est - err, est + err]``, so ``err <= eps * (est - err)
+        <= eps * F`` bounds the deviation by ``eps * F`` from both
+        sides.
+        """
+        est, err = self.estimate_with_error(Q)
+        eps_vec = np.broadcast_to(np.asarray(eps, dtype=np.float64),
+                                  (Q.shape[0],))
+        lower = est - err
+        serve = err <= eps_vec * lower
+        estimates = np.where(serve, est, 0.0)
+        upper = est + err
+        stats = BatchQueryStats(n_queries=Q.shape[0])
+        n_served = int(serve.sum())
+        stats.points_evaluated += n_served * self.size
+        lower = np.where(serve, lower, 0.0)
+        upper = np.where(serve, upper, 0.0)
+        if not serve.all():
+            fb = ~serve
+            fb_eps = eps if np.isscalar(eps) else np.asarray(eps)[fb]
+            res = self.parent.ekaq_many_results(
+                Q[fb], fb_eps, backend=self._fallback_backend)
+            estimates[fb] = res.estimates
+            lower[fb] = res.lower
+            upper[fb] = res.upper
+            if res.stats is not None:
+                stats.merge_batch(res.stats)
+                stats.n_queries = Q.shape[0]
+        self._account("ekaq", serve, err, lower,
+                      float(eps) if np.isscalar(eps) else None)
+        return EKAQBatchResult(
+            estimates=estimates, lower=lower, upper=upper, eps=eps,
+            stats=stats,
+        )
+
+    def tkaq_many_results(self, Q, tau) -> TKAQBatchResult:
+        """TKAQ batch: serve queries whose certified interval clears tau."""
+        est, err = self.estimate_with_error(Q)
+        tau_vec = np.broadcast_to(np.asarray(tau, dtype=np.float64),
+                                  (Q.shape[0],))
+        lower = est - err
+        upper = est + err
+        serve = (lower > tau_vec) | (upper <= tau_vec)
+        answers = lower > tau_vec
+        stats = BatchQueryStats(n_queries=Q.shape[0])
+        n_served = int(serve.sum())
+        stats.points_evaluated += n_served * self.size
+        lower = np.where(serve, lower, 0.0)
+        upper = np.where(serve, upper, 0.0)
+        if not serve.all():
+            fb = ~serve
+            fb_tau = tau if np.isscalar(tau) else np.asarray(tau)[fb]
+            res = self.parent.tkaq_many_results(
+                Q[fb], fb_tau, backend=self._fallback_backend)
+            answers[fb] = res.answers
+            lower[fb] = res.lower
+            upper[fb] = res.upper
+            if res.stats is not None:
+                stats.merge_batch(res.stats)
+                stats.n_queries = Q.shape[0]
+        self._account("tkaq", serve, err, est - err,
+                      float(tau) if np.isscalar(tau) else None)
+        return TKAQBatchResult(
+            answers=answers, lower=lower, upper=upper, tau=tau, stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def _account(self, kind: str, serve, err, lower, param) -> None:
+        """Lifetime counters, sketch.* metrics, umbrella trace."""
+        n_served = int(serve.sum())
+        n_fallback = serve.shape[0] - n_served
+        self.served_queries += n_served
+        self.fallback_queries += n_fallback
+        if not _obs.is_enabled():
+            return
+        reg = _obs.registry()
+        reg.counter("sketch.served_total").inc(n_served)
+        reg.counter("sketch.fallback_total").inc(n_fallback)
+        reg.gauge("sketch.coreset_points").set(self.size)
+        hist = reg.histogram("sketch.certified_rel_err")
+        errs = np.broadcast_to(err, serve.shape)[serve]
+        lows = lower[serve]
+        for e, lo in zip(errs, lows):
+            if lo > 0.0:
+                hist.observe(float(e / lo))
+        if n_served:
+            n = self.parent.tree.n
+            trace = _obs.start_trace(
+                kind, "coreset", self.parent.scheme.name, n,
+                n_queries=n_served, param=param,
+            )
+            if trace is not None:
+                trace.record_round(
+                    frontier=0, points=n_served * self.size,
+                    active=n_served, retired=n_served,
+                    pruned_points=n_served * (n - self.size),
+                )
+                _obs.finish_trace(trace)

@@ -1,0 +1,285 @@
+"""Coreset construction for kernel aggregation: certified weighted samples.
+
+Phillips & Tai ("Improved Coresets for Kernel Density Estimates",
+"Near-Optimal Coresets of Kernel Density Estimates") show that a small
+weighted subset ``C`` of a point set ``P`` approximates the full kernel
+sum ``F_P(q) = sum_i w_i K(q, p_i)`` with bounded *additive* error.  This
+module builds the sampling-based end of that spectrum:
+
+* **uniform sampling** — the baseline: ``m`` indices drawn uniformly,
+  estimator weight ``n * w_i / m`` per draw;
+* **weighted (sensitivity) sampling** — draws proportional to ``w_i``,
+  estimator weight ``W / m`` per draw.  Each draw's contribution
+  ``W * K(q, p_i)`` then has the smallest possible a-priori range
+  ``[0, W * K_max]`` independent of how skewed the weights are, so the
+  concentration bound below is never worse than uniform sampling and is
+  strictly better whenever weights vary (Type II workloads).
+
+Both are unbiased: ``E[F_C(q)] = F_P(q)`` for every query.  The error is
+certified two ways, per coreset *stage*:
+
+* a **Hoeffding** bound — query-independent:
+  ``err = K_max * A * sqrt(ln(2/delta) / (2m))`` where ``A`` is the
+  per-draw scale (``W`` for weighted sampling);
+* an **empirical Bernstein** bound (Audibert, Munos & Szepesvari) —
+  query-dependent, computed from the sample variance of the draw values
+  actually observed at query time; far tighter when kernel values
+  concentrate (smooth kernels / median-heuristic bandwidths).
+
+Coresets compose by **merge** (concatenate two coresets; estimates and
+error bounds add) and **reduce** (resample a coreset down to ``m``
+points; the resampling stage's own error adds to the inherited
+``err_prior``) — the classic merge-and-reduce scheme the streaming
+maintenance in :mod:`repro.sketch.streaming` builds its bucket tower on.
+
+Everything here is kernel-agnostic: a coreset stores geometry, estimator
+weights, and sampling metadata; the kernel-dependent scale ``K_max``
+enters only when a bound is evaluated (``K_max = profile.value(0)`` for
+the convex-decreasing distance kernels the aggregator supports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import DataShapeError, InvalidParameterError, as_matrix
+
+__all__ = [
+    "Coreset",
+    "build_coreset",
+    "exact_coreset",
+    "merge_coresets",
+    "reduce_coreset",
+    "hoeffding_error",
+    "bernstein_error",
+]
+
+#: construction methods (also the codes used by index serialization)
+METHODS = ("weighted", "uniform", "exact", "merged")
+
+
+def hoeffding_error(range_scale: float, samples: int, delta: float,
+                    value_max: float = 1.0) -> float:
+    """Hoeffding additive error for one sampling stage.
+
+    Each of the ``samples`` iid draws contributes a value in
+    ``[0, range_scale * value_max]``; with probability at least
+    ``1 - delta`` the estimate deviates from its mean by at most the
+    returned amount.  Query-independent — usable before any query is
+    seen (auto-sizing, persisted metadata).
+    """
+    if samples <= 0:
+        return 0.0
+    return float(
+        value_max * range_scale * np.sqrt(np.log(2.0 / delta) / (2.0 * samples))
+    )
+
+
+def bernstein_error(variance, samples: int, delta: float,
+                    value_range: float):
+    """Empirical-Bernstein additive error from observed draw variance.
+
+    ``variance`` is the (biased, ``1/m``) sample variance of the draw
+    values; ``value_range`` bounds a single draw.  Vectorised over
+    queries: ``variance`` may be an array.
+    """
+    if samples <= 0:
+        return np.zeros_like(np.asarray(variance, dtype=np.float64))
+    log3d = np.log(3.0 / delta)
+    variance = np.maximum(np.asarray(variance, dtype=np.float64), 0.0)
+    return (
+        np.sqrt(2.0 * variance * log3d / samples)
+        + 3.0 * value_range * log3d / samples
+    )
+
+
+@dataclass
+class Coreset:
+    """A certified weighted sample standing in for a larger point set.
+
+    The estimator is ``F_C(q) = sum_j weights[j] * K(q, points[j])``;
+    duplicated draws are folded into ``counts`` so the stored point set
+    has no repeats.  ``draw_scale[j]`` is the value one draw of point
+    ``j`` contributes to the sample mean before kernel evaluation
+    (``W`` for weighted sampling, ``n * w_j`` for uniform), and
+    ``range_scale`` bounds it a priori — what the Hoeffding certificate
+    keys off.  ``err_prior`` carries additive error inherited from
+    earlier merge/reduce stages (zero for a fresh build); the current
+    stage's own sampling error comes from :func:`hoeffding_error` /
+    :func:`bernstein_error` at certification time.
+    """
+
+    points: np.ndarray       # (k, d) unique sampled points
+    weights: np.ndarray      # (k,) estimator weights u_j
+    counts: np.ndarray       # (k,) draw multiplicities (sum == samples)
+    draw_scale: np.ndarray   # (k,) per-draw value scale a_j
+    samples: int             # number of iid draws m (0 for exact)
+    range_scale: float       # a-priori bound on any a_j
+    total_weight: float      # weight mass of the represented set
+    delta: float             # confidence of this stage's certificate
+    method: str              # "weighted" | "uniform" | "exact" | "merged"
+    n_source: int            # points represented (for reporting)
+    err_prior: float = 0.0   # inherited additive error (value_max = 1 scale)
+    d: int = field(init=False)
+
+    def __post_init__(self):
+        self.points = np.asarray(self.points, dtype=np.float64)
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        self.d = self.points.shape[1] if self.points.size else 0
+        if self.method not in METHODS:
+            raise InvalidParameterError(
+                f"unknown coreset method {self.method!r}; "
+                f"expected one of {METHODS}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Stored (unique) point count."""
+        return self.points.shape[0]
+
+    def is_exact(self) -> bool:
+        """True when the coreset reproduces its source sum exactly."""
+        return self.samples == 0 and self.err_prior == 0.0
+
+    def hoeffding_err(self, value_max: float = 1.0) -> float:
+        """Total Hoeffding additive error (inherited + this stage)."""
+        return value_max * self.err_prior + hoeffding_error(
+            self.range_scale, self.samples, self.delta, value_max
+        )
+
+
+def _validate_build(points, weights, m: int, delta: float):
+    points = as_matrix(points, name="points")
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (points.shape[0],):
+        raise DataShapeError(
+            f"weights must have shape ({points.shape[0]},); "
+            f"got {weights.shape}"
+        )
+    if (weights < 0).any():
+        raise InvalidParameterError(
+            "coresets are built per sign part; weights must be >= 0 "
+            "(split signed weights before building)"
+        )
+    if m < 1:
+        raise InvalidParameterError(f"coreset size m must be >= 1; got {m}")
+    if not 0.0 < delta < 1.0:
+        raise InvalidParameterError(f"delta must be in (0, 1); got {delta}")
+    return points, weights
+
+
+def exact_coreset(points, weights, err_prior: float = 0.0,
+                  delta: float = 1e-6) -> Coreset:
+    """The trivial zero-error coreset: the set itself.
+
+    Used when the requested size is no smaller than the set (sampling
+    would only add error) and as the buffer representation in the
+    streaming merge-and-reduce tower.
+    """
+    points = as_matrix(points, name="points")
+    weights = np.asarray(weights, dtype=np.float64)
+    return Coreset(
+        points=points, weights=weights,
+        counts=np.ones(points.shape[0]), draw_scale=weights.copy(),
+        samples=0, range_scale=0.0, total_weight=float(weights.sum()),
+        delta=delta, method="exact", n_source=points.shape[0],
+        err_prior=float(err_prior),
+    )
+
+
+def build_coreset(points, weights, m: int, *, delta: float = 1e-6,
+                  method: str = "weighted", rng=None,
+                  err_prior: float = 0.0, n_source: int | None = None,
+                  ) -> Coreset:
+    """Sample an ``m``-draw coreset of a nonnegatively weighted point set.
+
+    ``method="weighted"`` draws indices with probability ``w_i / W``
+    (sensitivity sampling for kernel sums: per-draw range ``W * K_max``
+    regardless of weight skew); ``method="uniform"`` draws uniformly
+    (range ``n * max(w) * K_max``).  When ``m >= n`` the exact coreset is
+    returned instead — sampling can only lose.  Duplicate draws are
+    folded into ``counts`` so evaluation cost is the number of *unique*
+    points.
+    """
+    points, weights = _validate_build(points, weights, m, delta)
+    n = points.shape[0]
+    if n_source is None:
+        n_source = n
+    total = float(weights.sum())
+    if m >= n or total == 0.0:
+        return exact_coreset(points, weights, err_prior=err_prior, delta=delta)
+    rng = np.random.default_rng(rng)
+    if method == "weighted":
+        probs = weights / total
+        draws = rng.choice(n, size=m, replace=True, p=probs)
+        idx, counts = np.unique(draws, return_counts=True)
+        draw_scale = np.full(idx.shape[0], total)
+        range_scale = total
+    elif method == "uniform":
+        draws = rng.integers(0, n, size=m)
+        idx, counts = np.unique(draws, return_counts=True)
+        draw_scale = n * weights[idx]
+        range_scale = float(n * weights.max())
+    else:
+        raise InvalidParameterError(
+            f"unknown sampling method {method!r}; "
+            "expected 'weighted' or 'uniform'"
+        )
+    estimator_weights = counts * draw_scale / m
+    return Coreset(
+        points=points[idx], weights=estimator_weights,
+        counts=counts.astype(np.float64), draw_scale=draw_scale,
+        samples=m, range_scale=range_scale, total_weight=total,
+        delta=delta, method=method, n_source=int(n_source),
+        err_prior=float(err_prior),
+    )
+
+
+def merge_coresets(a: Coreset, b: Coreset) -> Coreset:
+    """Concatenate two coresets representing disjoint point sets.
+
+    Estimates add, so additive error bounds add too: the merged
+    ``err_prior`` folds *both* inputs' full Hoeffding certificates (the
+    per-query Bernstein refinement does not survive a merge — the draw
+    populations differ — so a merged coreset certifies via Hoeffding
+    until the next :func:`reduce_coreset` gives it a fresh single-stage
+    sample).  Confidences compose by union bound.
+    """
+    if a.d and b.d and a.d != b.d:
+        raise DataShapeError(
+            f"cannot merge coresets of dimension {a.d} and {b.d}"
+        )
+    return Coreset(
+        points=np.vstack([a.points, b.points]),
+        weights=np.concatenate([a.weights, b.weights]),
+        counts=np.concatenate([a.counts, b.counts]),
+        draw_scale=np.concatenate([a.draw_scale, b.draw_scale]),
+        samples=0, range_scale=0.0,
+        total_weight=a.total_weight + b.total_weight,
+        delta=a.delta + b.delta if (a.samples or b.samples) else min(
+            a.delta, b.delta),
+        method="exact" if a.is_exact() and b.is_exact() else "merged",
+        n_source=a.n_source + b.n_source,
+        err_prior=a.hoeffding_err() + b.hoeffding_err(),
+    )
+
+
+def reduce_coreset(c: Coreset, m: int, *, delta: float | None = None,
+                   rng=None) -> Coreset:
+    """Resample a coreset down to ``m`` draws (the *reduce* step).
+
+    The input's total certified error becomes the output's
+    ``err_prior``; the fresh weighted sample adds one new stage on top.
+    A coreset already at or below ``m`` stored points is returned
+    unchanged.
+    """
+    if c.size <= m:
+        return c
+    return build_coreset(
+        c.points, c.weights, m,
+        delta=c.delta if delta is None else delta,
+        method="weighted", rng=rng,
+        err_prior=c.hoeffding_err(), n_source=c.n_source,
+    )

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.bench import (
-    KAQWorkload,
     make_method,
     render_table,
     throughput_ekaq,

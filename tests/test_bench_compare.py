@@ -1,0 +1,202 @@
+"""The bench-regression gate: ``python -m repro.bench.compare``.
+
+The CI contract under test: regressions fail loudly (exit 1), broken
+*current* results fail loudly (exit 2), and every incomparability —
+missing baseline, malformed baseline, unstamped or mismatched host —
+skips quietly (exit 0) so a new benchmark or a new CI runner never
+blocks the build.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    ERROR,
+    OK,
+    REGRESSED,
+    compare_payloads,
+    host_class,
+    main,
+    throughput_metrics,
+)
+
+HOST = {"machine": "x86_64", "schedulable_cpus": 8, "python": "3.11.7"}
+
+
+def _payload(qps, host=HOST):
+    out = {
+        "eps": 0.1,
+        "datasets": [
+            {"dataset": "home", "ekaq_qps": qps, "fallback_rate": 0.01},
+            {"dataset": "susy", "ekaq_qps": 2 * qps, "n": 40000},
+        ],
+        "single_qps": 10 * qps,
+    }
+    if host is not None:
+        out["host"] = host
+    return out
+
+
+def _write(tmp_path, name, payload):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestThroughputMetrics:
+    def test_collects_nested_qps_with_labels(self):
+        metrics = throughput_metrics(_payload(100.0))
+        assert metrics == {
+            "datasets.dataset=home.ekaq_qps": 100.0,
+            "datasets.dataset=susy.ekaq_qps": 200.0,
+            "single_qps": 1000.0,
+        }
+
+    def test_ignores_non_qps_bools_and_strings(self):
+        metrics = throughput_metrics({
+            "ready_qps": True,          # bool is not a measurement
+            "name_qps": "fast",         # nor is a string
+            "latency_ms": 3.0,          # wrong suffix
+            "real_qps": 5,              # ints count
+        })
+        assert metrics == {"real_qps": 5.0}
+
+    def test_list_label_fallback_to_index(self):
+        metrics = throughput_metrics({"rows": [{"x_qps": 1.0}]})
+        assert metrics == {"rows.0.x_qps": 1.0}
+
+    def test_n_workers_label(self):
+        metrics = throughput_metrics(
+            {"workers": [{"n_workers": 4, "batch_qps": 7.0}]})
+        assert metrics == {"workers.n_workers=4.batch_qps": 7.0}
+
+
+class TestHostClass:
+    def test_stamped(self):
+        assert host_class(_payload(1.0)) == ("x86_64", 8)
+
+    def test_unstamped_variants(self):
+        assert host_class(_payload(1.0, host=None)) is None
+        assert host_class(_payload(1.0, host={"machine": "arm64"})) is None
+        assert host_class({"host": "not-a-dict"}) is None
+        assert host_class([1, 2]) is None
+
+
+class TestComparePayloads:
+    def test_flags_only_regressions_beyond_threshold(self):
+        base = _payload(100.0)
+        cur = _payload(100.0)
+        cur["datasets"][0]["ekaq_qps"] = 65.0   # -35%: regressed
+        cur["datasets"][1]["ekaq_qps"] = 150.0  # -25%: within threshold
+        cur["single_qps"] = 2000.0              # improvement
+        rows, regressions = compare_payloads(base, cur, threshold=0.30)
+        assert len(rows) == 3
+        assert regressions == ["datasets.dataset=home.ekaq_qps"]
+
+    def test_disjoint_metrics_ignored(self):
+        rows, regressions = compare_payloads(
+            {"old_qps": 9.0}, {"new_qps": 1.0})
+        assert rows == [] and regressions == []
+
+
+class TestMainExitCodes:
+    def test_regression_fails(self, tmp_path, capsys):
+        """The acceptance scenario: a synthetic 2x slowdown exits 1."""
+        base = _write(tmp_path, "base.json", _payload(100.0))
+        cur = _write(tmp_path, "cur.json", _payload(50.0))
+        assert main([str(base), str(cur)]) == REGRESSED
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "ekaq_qps" in out
+
+    def test_no_regression_passes(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _payload(100.0))
+        cur = _write(tmp_path, "cur.json", _payload(95.0))
+        assert main([str(base), str(cur)]) == OK
+        assert "OK" in capsys.readouterr().out
+
+    def test_missing_baseline_skips(self, tmp_path, capsys):
+        cur = _write(tmp_path, "cur.json", _payload(50.0))
+        assert main([str(tmp_path / "nope.json"), str(cur)]) == OK
+        assert "skip" in capsys.readouterr().out
+
+    def test_malformed_baseline_skips(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        base.write_text("{not json")
+        cur = _write(tmp_path, "cur.json", _payload(50.0))
+        assert main([str(base), str(cur)]) == OK
+        assert "skip" in capsys.readouterr().out
+
+    def test_non_dict_baseline_skips(self, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text("[1, 2, 3]")
+        cur = _write(tmp_path, "cur.json", _payload(50.0))
+        assert main([str(base), str(cur)]) == OK
+
+    def test_host_mismatch_skips(self, tmp_path, capsys):
+        other = dict(HOST, schedulable_cpus=2)
+        base = _write(tmp_path, "base.json", _payload(100.0, host=other))
+        cur = _write(tmp_path, "cur.json", _payload(10.0))
+        assert main([str(base), str(cur)]) == OK
+        assert "not comparable" in capsys.readouterr().out
+
+    def test_unstamped_baseline_skips(self, tmp_path):
+        # pre-stamping baselines (e.g. BENCH_parallel.json) must not fail
+        base = _write(tmp_path, "base.json", _payload(100.0, host=None))
+        cur = _write(tmp_path, "cur.json", _payload(10.0))
+        assert main([str(base), str(cur)]) == OK
+
+    def test_missing_current_errors(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _payload(100.0))
+        assert main([str(base), str(tmp_path / "nope.json")]) == ERROR
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_current_errors(self, tmp_path):
+        base = _write(tmp_path, "base.json", _payload(100.0))
+        cur = tmp_path / "cur.json"
+        cur.write_text("nope")
+        assert main([str(base), str(cur)]) == ERROR
+
+    def test_no_shared_metrics_skips(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json",
+                      {"host": HOST, "old_qps": 1.0})
+        cur = _write(tmp_path, "cur.json",
+                     {"host": HOST, "new_qps": 1.0})
+        assert main([str(base), str(cur)]) == OK
+        assert "no shared" in capsys.readouterr().out
+
+    def test_custom_threshold(self, tmp_path):
+        base = _write(tmp_path, "base.json", _payload(100.0))
+        cur = _write(tmp_path, "cur.json", _payload(85.0))  # -15%
+        assert main([str(base), str(cur)]) == OK
+        assert main(["--threshold", "0.10", str(base), str(cur)]) == REGRESSED
+
+    @pytest.mark.parametrize("bad", ["0", "1", "-0.5", "2"])
+    def test_threshold_validation(self, tmp_path, bad):
+        base = _write(tmp_path, "base.json", _payload(100.0))
+        cur = _write(tmp_path, "cur.json", _payload(100.0))
+        with pytest.raises(SystemExit) as exc:
+            main(["--threshold", bad, str(base), str(cur)])
+        assert exc.value.code == 2
+
+    def test_delta_table_printed(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _payload(100.0))
+        cur = _write(tmp_path, "cur.json", _payload(120.0))
+        assert main([str(base), str(cur)]) == OK
+        out = capsys.readouterr().out
+        assert "throughput delta" in out
+        assert "+20.0%" in out
+
+    def test_module_invocable(self, tmp_path):
+        import subprocess
+        import sys
+
+        base = _write(tmp_path, "base.json", _payload(100.0))
+        cur = _write(tmp_path, "cur.json", _payload(40.0))
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.bench.compare",
+             str(base), str(cur)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == REGRESSED
+        assert "FAIL" in proc.stdout

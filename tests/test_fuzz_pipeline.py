@@ -8,7 +8,6 @@ components almost certainly violates one of these oracles.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

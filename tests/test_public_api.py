@@ -7,7 +7,6 @@ importable, documented, and the evaluators share the query contract.
 import inspect
 
 import numpy as np
-import pytest
 
 import repro
 

@@ -2,8 +2,6 @@
 
 import importlib
 
-import pytest
-
 import repro.bench.reporting as reporting
 
 
@@ -90,3 +88,39 @@ class TestEmitJson:
             assert reporting.emit_json("blocked", {"x": 1})["host"]
         finally:
             target.chmod(0o700)
+
+    def test_stamp_overwrites_stale_host_block(self, tmp_path, monkeypatch):
+        # a payload rebuilt from an old result file must get re-stamped
+        # with *this* run's host, not carry the stale one through
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        payload = reporting.emit_json(
+            "restamp", {"qps": 1.0, "host": {"machine": "vax"}})
+        assert payload["host"]["machine"] != "vax"
+        assert payload["host"] == reporting.host_metadata()
+
+    def test_nested_payload_preserved_verbatim(self, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        nested = {"datasets": [{"dataset": "home", "ekaq_qps": 5.0}],
+                  "eps": 0.1}
+        reporting.emit_json("nested", nested)
+        on_disk = json.loads((tmp_path / "BENCH_nested.json").read_text())
+        assert on_disk["datasets"] == [{"dataset": "home", "ekaq_qps": 5.0}]
+        assert on_disk["eps"] == 0.1
+
+    def test_stamp_feeds_the_regression_gate(self, tmp_path, monkeypatch):
+        """The fields compare.host_class needs are exactly the ones stamped."""
+        from repro.bench.compare import host_class
+
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        payload = reporting.emit_json("gate", {"x_qps": 1.0})
+        cls = host_class(payload)
+        assert cls is not None
+        assert cls == (payload["host"]["machine"],
+                       payload["host"]["schedulable_cpus"])
+
+    def test_machine_matches_platform(self):
+        import platform as _platform
+
+        assert reporting.host_metadata()["machine"] == _platform.machine()

@@ -14,7 +14,6 @@ import json
 import os
 import re
 import signal
-import socket
 import subprocess
 import sys
 import threading

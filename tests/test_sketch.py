@@ -1,0 +1,635 @@
+"""Coreset backend: construction, certificates, contracts, and wiring.
+
+The load-bearing invariant throughout: the coreset tier may *never*
+weaken a query contract.  Whatever the coreset size, kernel, weighting,
+or certificate regime, ``backend="coreset"`` answers must satisfy the
+same ``(1 +- eps)`` / threshold guarantees as the exact backends —
+served from the sample when the certificate covers it, or transparently
+via fallback when it does not.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import KernelAggregator
+from repro.core.errors import DataShapeError, InvalidParameterError
+from repro.core.kernels import (
+    CauchyKernel,
+    EpanechnikovKernel,
+    GaussianKernel,
+    LaplacianKernel,
+    PolynomialKernel,
+    SigmoidKernel,
+)
+from repro.core.streaming import StreamingAggregator
+from repro.index import build_index, load_coreset, load_index, save_index
+from repro.sketch import (
+    Coreset,
+    CoresetAggregator,
+    CoresetConfig,
+    StreamingCoreset,
+    bernstein_error,
+    build_coreset,
+    certified_estimate,
+    exact_coreset,
+    hoeffding_error,
+    merge_coresets,
+    reduce_coreset,
+)
+
+#: kernels the coreset tier supports (bounded values, distance argument)
+DISTANCE_KERNELS = [
+    GaussianKernel(gamma=2.0),
+    LaplacianKernel(gamma=1.0),
+    CauchyKernel(gamma=0.8),
+    EpanechnikovKernel(gamma=0.25),
+]
+
+
+def _workload(seed=0, n=3000, d=4, weighting="uniform"):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, d))
+    if weighting == "uniform":
+        w = np.ones(n)
+    elif weighting == "positive":
+        w = rng.random(n) + 1e-3
+    else:
+        w = rng.standard_normal(n)
+    Q = rng.random((120, d))
+    return pts, w, Q
+
+
+def _exact(kernel, pts, w, Q):
+    return kernel.matrix(Q, pts) @ w
+
+
+# ---------------------------------------------------------------------------
+# error bound primitives
+# ---------------------------------------------------------------------------
+
+
+class TestErrorBounds:
+    def test_hoeffding_shrinks_with_samples(self):
+        errs = [hoeffding_error(1.0, m, 1e-6) for m in (10, 100, 1000)]
+        assert errs[0] > errs[1] > errs[2] > 0.0
+
+    def test_hoeffding_scales(self):
+        base = hoeffding_error(1.0, 50, 1e-3)
+        assert hoeffding_error(2.0, 50, 1e-3) == pytest.approx(2 * base)
+        assert hoeffding_error(1.0, 50, 1e-3, value_max=3.0) == \
+            pytest.approx(3 * base)
+
+    def test_hoeffding_zero_samples(self):
+        assert hoeffding_error(5.0, 0, 1e-6) == 0.0
+
+    def test_bernstein_vectorised_and_zero_var(self):
+        err = bernstein_error(np.array([0.0, 1.0, 4.0]), 100, 1e-6, 10.0)
+        assert err.shape == (3,)
+        # zero variance leaves only the linear term
+        assert err[0] == pytest.approx(3 * 10.0 * np.log(3e6) / 100)
+        assert err[2] > err[1] > err[0]
+
+    def test_bernstein_zero_samples(self):
+        assert np.all(bernstein_error(np.ones(3), 0, 1e-6, 1.0) == 0.0)
+
+
+# ---------------------------------------------------------------------------
+# construction
+# ---------------------------------------------------------------------------
+
+
+class TestBuildCoreset:
+    def test_exact_when_m_covers_n(self):
+        pts, w, _ = _workload(n=100)
+        c = build_coreset(pts, w, 100)
+        assert c.is_exact() and c.method == "exact" and c.size == 100
+        assert c.hoeffding_err() == 0.0
+
+    def test_weighted_properties(self):
+        pts, w, _ = _workload(n=500, weighting="positive")
+        c = build_coreset(pts, w, 64, rng=0)
+        assert c.method == "weighted" and c.samples == 64
+        assert c.size <= 64
+        assert c.counts.sum() == pytest.approx(64)
+        # every draw has scale W; estimator weights sum to W exactly
+        assert np.all(c.draw_scale == pytest.approx(w.sum()))
+        assert c.weights.sum() == pytest.approx(w.sum())
+        assert c.range_scale == pytest.approx(w.sum())
+
+    def test_uniform_range_tracks_max_weight(self):
+        pts, w, _ = _workload(n=500, weighting="positive")
+        c = build_coreset(pts, w, 64, method="uniform", rng=0)
+        assert c.range_scale == pytest.approx(500 * w.max())
+
+    def test_unbiased_over_seeds(self):
+        kernel = GaussianKernel(gamma=2.0)
+        pts, w, Q = _workload(n=400, weighting="positive")
+        q = Q[:1]
+        truth = float(_exact(kernel, pts, w, q)[0])
+        ests = []
+        for seed in range(200):
+            c = build_coreset(pts, w, 32, rng=seed)
+            ests.append(float(certified_estimate(kernel, c, q)[0][0]))
+        # the estimator is unbiased; 200 seeds x 32 draws pins the mean
+        assert np.mean(ests) == pytest.approx(truth, rel=0.05)
+
+    def test_zero_total_weight_is_exact(self):
+        pts, _, _ = _workload(n=50)
+        c = build_coreset(pts, np.zeros(50), 10)
+        assert c.is_exact()
+
+    def test_validation_errors(self):
+        pts, w, _ = _workload(n=50)
+        with pytest.raises(InvalidParameterError):
+            build_coreset(pts, -w, 10)
+        with pytest.raises(InvalidParameterError):
+            build_coreset(pts, w, 0)
+        with pytest.raises(InvalidParameterError):
+            build_coreset(pts, w, 10, delta=0.0)
+        with pytest.raises(InvalidParameterError):
+            build_coreset(pts, w, 10, method="nope")
+        with pytest.raises(DataShapeError):
+            build_coreset(pts, w[:-1], 10)
+        with pytest.raises(InvalidParameterError):
+            Coreset(
+                points=pts, weights=w, counts=np.ones(50),
+                draw_scale=w, samples=0, range_scale=0.0,
+                total_weight=1.0, delta=0.5, method="bogus", n_source=50,
+            )
+
+
+class TestMergeReduce:
+    def test_merge_exact_parts_stays_exact(self):
+        a_pts, a_w, _ = _workload(seed=1, n=40)
+        b_pts, b_w, _ = _workload(seed=2, n=60)
+        merged = merge_coresets(exact_coreset(a_pts, a_w),
+                                exact_coreset(b_pts, b_w))
+        assert merged.is_exact() and merged.size == 100
+        assert merged.total_weight == pytest.approx(a_w.sum() + b_w.sum())
+
+    def test_merge_sampled_parts_compounds_error(self):
+        pts, w, _ = _workload(n=400, weighting="positive")
+        a = build_coreset(pts[:200], w[:200], 32, rng=0)
+        b = build_coreset(pts[200:], w[200:], 32, rng=1)
+        merged = merge_coresets(a, b)
+        assert not merged.is_exact()
+        assert merged.method == "merged" and merged.samples == 0
+        assert merged.err_prior == pytest.approx(
+            a.hoeffding_err() + b.hoeffding_err())
+        assert merged.n_source == 400
+
+    def test_merge_dimension_mismatch(self):
+        a = exact_coreset(np.ones((3, 2)), np.ones(3))
+        b = exact_coreset(np.ones((3, 5)), np.ones(3))
+        with pytest.raises(DataShapeError):
+            merge_coresets(a, b)
+
+    def test_reduce_noop_when_small(self):
+        pts, w, _ = _workload(n=50)
+        c = exact_coreset(pts, w)
+        assert reduce_coreset(c, 100) is c
+
+    def test_reduce_inherits_error(self):
+        pts, w, _ = _workload(n=800, weighting="positive")
+        a = build_coreset(pts[:400], w[:400], 128, rng=0)
+        b = build_coreset(pts[400:], w[400:], 128, rng=1)
+        merged = merge_coresets(a, b)
+        red = reduce_coreset(merged, 64, rng=2)
+        assert red.size <= 64
+        assert red.err_prior == pytest.approx(merged.hoeffding_err())
+        # the reduced stage's own error stacks on top of the inherited one
+        assert red.hoeffding_err() > merged.hoeffding_err()
+
+
+# ---------------------------------------------------------------------------
+# certificates
+# ---------------------------------------------------------------------------
+
+
+class TestCertifiedEstimate:
+    @pytest.mark.parametrize("method", ["weighted", "uniform"])
+    @pytest.mark.parametrize("certificate", ["bernstein", "hoeffding"])
+    def test_certificate_validity(self, method, certificate):
+        """|est - exact| <= err at delta=1e-6 — any fixed seed passes."""
+        kernel = GaussianKernel(gamma=2.0)
+        pts, w, Q = _workload(n=2000, weighting="positive")
+        exact = _exact(kernel, pts, w, Q)
+        c = build_coreset(pts, w, 256, method=method, rng=0)
+        est, err = certified_estimate(kernel, c, Q, certificate=certificate)
+        assert np.all(np.abs(est - exact) <= err + 1e-9)
+        assert np.all(err > 0)
+
+    def test_bernstein_beats_hoeffding_when_concentrated(self):
+        # low variance + enough samples that the linear term is paid off
+        kernel = GaussianKernel(gamma=0.25)
+        pts, w, Q = _workload(n=4000)
+        c = build_coreset(pts, w, 1024, rng=0)
+        _, eb = certified_estimate(kernel, c, Q, certificate="bernstein")
+        _, eh = certified_estimate(kernel, c, Q, certificate="hoeffding")
+        assert eb.mean() < eh.mean()
+
+    def test_exact_coreset_zero_error(self):
+        kernel = GaussianKernel(gamma=2.0)
+        pts, w, Q = _workload(n=200)
+        est, err = certified_estimate(kernel, exact_coreset(pts, w), Q)
+        assert np.all(err == 0.0)
+        assert est == pytest.approx(_exact(kernel, pts, w, Q))
+
+    def test_rejects_dot_product_kernels(self):
+        pts, w, Q = _workload(n=100)
+        c = exact_coreset(pts, w)
+        with pytest.raises(InvalidParameterError):
+            certified_estimate(PolynomialKernel(gamma=1.0, degree=2), c, Q)
+
+
+# ---------------------------------------------------------------------------
+# the aggregator tier
+# ---------------------------------------------------------------------------
+
+
+class TestCoresetConfig:
+    def test_defaults_and_coerce(self):
+        assert CoresetConfig.coerce(None).m is None
+        assert CoresetConfig.coerce(True).certificate == "bernstein"
+        cfg = CoresetConfig.coerce({"m": 512, "certificate": "hoeffding"})
+        assert cfg.m == 512 and cfg.certificate == "hoeffding"
+        same = CoresetConfig(m=7)
+        assert CoresetConfig.coerce(same) is same
+        with pytest.raises(InvalidParameterError):
+            CoresetConfig.coerce("yes")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"m": 0}, {"delta": 0.0}, {"delta": 1.0},
+        {"certificate": "chernoff"}, {"method": "stratified"},
+        {"target_eps": 0.0}, {"target_quantile": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            CoresetConfig(**kwargs)
+
+
+class TestSupports:
+    def test_distance_kernels_supported(self):
+        for kernel in DISTANCE_KERNELS:
+            assert CoresetAggregator.supports(kernel)
+
+    def test_dot_product_kernels_not(self):
+        assert not CoresetAggregator.supports(
+            PolynomialKernel(gamma=1.0, degree=2))
+        assert not CoresetAggregator.supports(
+            SigmoidKernel(gamma=0.5, coef0=0.1))
+
+
+def _aggregator(kernel, pts, w, **kwargs):
+    tree = build_index("kd", pts, w)
+    return KernelAggregator(tree, kernel, **kwargs)
+
+
+class TestCoresetAggregatorContracts:
+    @pytest.mark.parametrize("kernel", DISTANCE_KERNELS,
+                             ids=lambda k: type(k).__name__)
+    @pytest.mark.parametrize("weighting", ["uniform", "positive", "signed"])
+    def test_ekaq_contract_all_kernels_weightings(self, kernel, weighting):
+        pts, w, Q = _workload(seed=3, weighting=weighting)
+        agg = _aggregator(kernel, pts, w)
+        eps = 0.15
+        res = agg.ekaq_many_results(Q, eps, backend="coreset")
+        exact = agg.exact_many(Q)
+        assert np.all(np.abs(res.estimates - exact)
+                      <= eps * np.abs(exact) + 1e-9)
+        # terminal bounds bracket the exact aggregate
+        assert np.all(res.lower <= exact + 1e-9)
+        assert np.all(res.upper >= exact - 1e-9)
+
+    def test_forced_fallback_contract_holds(self):
+        """A uselessly small coreset must not weaken any answer."""
+        kernel = GaussianKernel(gamma=8.0)
+        pts, w, Q = _workload(seed=4)
+        agg = _aggregator(kernel, pts, w,
+                          coreset={"m": 8, "target_eps": 1e9})
+        sketch = agg.coreset_backend()
+        res = agg.ekaq_many_results(Q, 0.05, backend="coreset")
+        exact = agg.exact_many(Q)
+        assert np.all(np.abs(res.estimates - exact) <= 0.05 * exact + 1e-9)
+        assert sketch.fallback_queries > 0
+        assert sketch.fallback_rate > 0.5
+
+    def test_tkaq_scalar_and_vector(self):
+        kernel = GaussianKernel(gamma=2.0)
+        pts, w, Q = _workload(seed=5)
+        agg = _aggregator(kernel, pts, w)
+        exact = agg.exact_many(Q)
+        tau = float(np.median(exact))
+        res = agg.tkaq_many_results(Q, tau, backend="coreset")
+        assert np.array_equal(res.answers, exact > tau)
+        # keep vector taus off the exact values: ties at tau == F(q)
+        # tie-break by float rounding order
+        taus = np.linspace(exact.min(), exact.max(), Q.shape[0]) + 1e-7
+        res_v = agg.tkaq_many_results(Q, taus, backend="coreset")
+        assert np.array_equal(res_v.answers, exact > taus)
+
+    def test_vector_eps(self):
+        kernel = GaussianKernel(gamma=2.0)
+        pts, w, Q = _workload(seed=6)
+        agg = _aggregator(kernel, pts, w)
+        eps = np.where(np.arange(Q.shape[0]) % 2 == 0, 0.05, 0.4)
+        res = agg.ekaq_many_results(Q, eps, backend="coreset")
+        exact = agg.exact_many(Q)
+        assert np.all(np.abs(res.estimates - exact) <= eps * exact + 1e-9)
+
+    def test_stats_account_batch(self):
+        kernel = GaussianKernel(gamma=2.0)
+        pts, w, Q = _workload(seed=7)
+        agg = _aggregator(kernel, pts, w)
+        res = agg.ekaq_many_results(Q, 0.3, backend="coreset")
+        assert res.stats is not None
+        assert res.stats.n_queries == Q.shape[0]
+        assert res.stats.points_evaluated > 0
+
+    def test_deterministic_per_seed(self):
+        kernel = GaussianKernel(gamma=2.0)
+        pts, w, Q = _workload(seed=8)
+        r1 = _aggregator(kernel, pts, w).ekaq_many_results(
+            Q, 0.2, backend="coreset")
+        r2 = _aggregator(kernel, pts, w).ekaq_many_results(
+            Q, 0.2, backend="coreset")
+        assert np.array_equal(r1.estimates, r2.estimates)
+
+
+class TestDispatch:
+    def test_explicit_backend_builds_default(self):
+        kernel = GaussianKernel(gamma=2.0)
+        pts, w, Q = _workload(seed=9)
+        agg = _aggregator(kernel, pts, w)
+        assert not agg.coreset_enabled
+        agg.ekaq_many(Q, 0.3, backend="coreset")
+        assert agg.coreset_enabled  # built tier now serves auto too
+
+    def test_auto_requires_opt_in(self):
+        kernel = GaussianKernel(gamma=2.0)
+        pts, w, Q = _workload(seed=10)
+        plain = _aggregator(kernel, pts, w)
+        plain.ekaq_many(Q, 0.3)  # auto
+        assert plain._coreset is None
+        opted = _aggregator(kernel, pts, w, coreset=True)
+        opted.ekaq_many(Q, 0.3)  # auto, batch >= 64
+        assert opted._coreset is not None
+        assert opted._coreset.served_queries + \
+            opted._coreset.fallback_queries == Q.shape[0]
+
+    def test_auto_skips_small_batches(self):
+        kernel = GaussianKernel(gamma=2.0)
+        pts, w, Q = _workload(seed=11)
+        agg = _aggregator(kernel, pts, w, coreset=True)
+        agg.ekaq_many(Q[:8], 0.3)
+        assert agg._coreset is None
+
+    def test_unsupported_kernel_explicit_raises_auto_falls_through(self):
+        kernel = PolynomialKernel(gamma=0.5, coef0=0.1, degree=2)
+        pts, w, Q = _workload(seed=12, n=400)
+        agg = _aggregator(kernel, pts, w, coreset=True)
+        assert not agg.coreset_enabled
+        with pytest.raises(InvalidParameterError):
+            agg.ekaq_many(Q, 0.3, backend="coreset")
+        est = agg.ekaq_many(Q, 0.3)  # auto quietly uses exact backends
+        exact = agg.exact_many(Q)
+        assert np.all(np.abs(est - exact) <= 0.3 * np.abs(exact) + 1e-9)
+
+    def test_unknown_backend_mentions_coreset(self):
+        kernel = GaussianKernel(gamma=2.0)
+        pts, w, Q = _workload(seed=13, n=200)
+        with pytest.raises(InvalidParameterError, match="coreset"):
+            _aggregator(kernel, pts, w).ekaq_many(Q, 0.3, backend="bogus")
+
+
+class TestObsIntegration:
+    def test_sketch_metrics_and_trace_conservation(self):
+        from repro.obs import runtime as obs
+
+        kernel = GaussianKernel(gamma=2.0)
+        pts, w, Q = _workload(seed=14)
+        agg = _aggregator(kernel, pts, w)
+        obs.enable()
+        try:
+            obs.registry().reset()
+            res = agg.ekaq_many_results(Q, 0.5, backend="coreset")
+            sketch = agg._coreset
+            snap = obs.registry().snapshot()
+            assert snap["counters"]["sketch.served_total"] == \
+                sketch.served_queries
+            assert snap["counters"]["sketch.fallback_total"] == \
+                sketch.fallback_queries
+            assert snap["gauges"]["sketch.coreset_points"] == sketch.size
+            coreset_traces = [
+                t for t in obs.recent_traces() if t.backend == "coreset"
+            ]
+            if sketch.served_queries:
+                assert coreset_traces
+            n = agg.tree.n
+            for t in coreset_traces:
+                assert t.total_points + t.pruned_points == t.n_queries * n
+            assert res.stats.n_queries == Q.shape[0]
+        finally:
+            obs.disable()
+
+
+class TestPersistence:
+    def test_round_trip_bitwise(self, tmp_path):
+        kernel = GaussianKernel(gamma=2.0)
+        pts, w, Q = _workload(seed=15, weighting="signed")
+        tree = build_index("kd", pts, w)
+        agg = KernelAggregator(tree, kernel)
+        res = agg.ekaq_many_results(Q, 0.2, backend="coreset")
+        path = tmp_path / "idx.npz"
+        save_index(tree, path, coreset=agg.coreset_backend())
+        pos, neg = load_coreset(path)
+        assert pos is not None and neg is not None
+        agg2 = KernelAggregator(load_index(path), kernel)
+        agg2.attach_coreset(pos, neg)
+        assert agg2.coreset_enabled
+        res2 = agg2.ekaq_many_results(Q, 0.2, backend="coreset")
+        assert np.array_equal(res.estimates, res2.estimates)
+        assert np.array_equal(res.lower, res2.lower)
+        assert np.array_equal(res.upper, res2.upper)
+
+    def test_plain_archive_has_no_coreset(self, tmp_path):
+        pts, w, _ = _workload(seed=16, n=200)
+        tree = build_index("kd", pts, w)
+        path = tmp_path / "plain.npz"
+        save_index(tree, path)
+        assert load_coreset(path) == (None, None)
+        load_index(path)  # and the tree itself still loads
+
+    def test_single_coreset_persists(self, tmp_path):
+        pts, w, _ = _workload(seed=17, n=300, weighting="positive")
+        tree = build_index("kd", pts, w)
+        c = build_coreset(pts, w, 64, rng=0)
+        path = tmp_path / "one.npz"
+        save_index(tree, path, coreset=c)
+        pos, neg = load_coreset(path)
+        assert neg is None
+        assert pos.samples == c.samples and pos.method == c.method
+        assert np.array_equal(pos.points, c.points)
+        assert np.array_equal(pos.weights, c.weights)
+
+    def test_from_parts_requires_a_part(self):
+        pts, w, _ = _workload(seed=18, n=200)
+        agg = _aggregator(GaussianKernel(gamma=2.0), pts, w)
+        with pytest.raises(InvalidParameterError):
+            CoresetAggregator.from_parts(agg, None, None)
+
+
+# ---------------------------------------------------------------------------
+# streaming merge-and-reduce
+# ---------------------------------------------------------------------------
+
+
+class TestStreamingCoreset:
+    def test_certificate_valid_through_inserts(self):
+        kernel = GaussianKernel(gamma=1.0)
+        sc = StreamingCoreset(m=256, seed=0)
+        rng = np.random.default_rng(0)
+        all_pts, all_w = [], []
+        for _ in range(9):
+            pts = rng.random((300, 3))
+            w = rng.uniform(0.1, 2.0, 300)
+            sc.insert(pts, w)
+            all_pts.append(pts)
+            all_w.append(w)
+        Q = rng.random((60, 3))
+        est, err = sc.estimate_with_error(kernel, Q)
+        exact = _exact(kernel, np.vstack(all_pts), np.concatenate(all_w), Q)
+        assert np.all(np.abs(est - exact) <= err + 1e-9)
+        assert sc.n_inserted == 2700
+        assert sc.size < 2700
+        assert sc.levels >= 1
+
+    def test_signed_weights_split_into_towers(self):
+        kernel = GaussianKernel(gamma=1.0)
+        sc = StreamingCoreset(m=128, seed=1)
+        rng = np.random.default_rng(1)
+        pts = rng.random((1200, 3))
+        w = rng.standard_normal(1200)
+        sc.insert(pts, w)
+        Q = rng.random((40, 3))
+        est, err = sc.estimate_with_error(kernel, Q)
+        exact = _exact(kernel, pts, w, Q)
+        assert np.all(np.abs(est - exact) <= err + 1e-9)
+
+    def test_buffer_only_is_exact(self):
+        kernel = GaussianKernel(gamma=1.0)
+        sc = StreamingCoreset(m=1024)
+        rng = np.random.default_rng(2)
+        pts = rng.random((100, 2))
+        sc.insert(pts)
+        Q = rng.random((10, 2))
+        est, err = sc.estimate_with_error(kernel, Q)
+        assert np.all(err == 0.0)
+        assert est == pytest.approx(_exact(kernel, pts, np.ones(100), Q))
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            StreamingCoreset(m=0)
+        with pytest.raises(InvalidParameterError):
+            StreamingCoreset(delta=2.0)
+        sc = StreamingCoreset(m=16)
+        sc.insert(np.ones((4, 3)))
+        with pytest.raises(DataShapeError):
+            sc.insert(np.ones((4, 5)))
+        with pytest.raises(DataShapeError):
+            sc.insert(np.ones((4, 3)), np.ones(3))
+
+
+class TestStreamingAggregatorIntegration:
+    def _fill(self, coreset):
+        sa = StreamingAggregator(
+            GaussianKernel(gamma=1.0), min_buffer=200, coreset=coreset)
+        rng = np.random.default_rng(3)
+        for _ in range(6):
+            sa.insert(rng.random((400, 3)), rng.uniform(0.5, 1.5, 400))
+        return sa, rng.random((50, 3))
+
+    def test_ekaq_many_contract_with_fallback(self):
+        sa, Q = self._fill(coreset={"m": 256})
+        est = sa.ekaq_many(Q, 0.1)
+        exact = np.array([sa.exact(q) for q in Q])
+        assert np.all(np.abs(est - exact) <= 0.1 * exact + 1e-9)
+
+    def test_tkaq_many_matches_truth(self):
+        sa, Q = self._fill(coreset=True)
+        exact = np.array([sa.exact(q) for q in Q])
+        tau = float(np.median(exact))
+        assert np.array_equal(sa.tkaq_many(Q, tau), exact > tau)
+
+    def test_loop_backend_and_validation(self):
+        sa, Q = self._fill(coreset=None)
+        assert sa.coreset is None
+        est = sa.ekaq_many(Q, 0.2, backend="loop")
+        exact = np.array([sa.exact(q) for q in Q])
+        assert np.all(np.abs(est - exact) <= 0.2 * exact + 1e-9)
+        with pytest.raises(InvalidParameterError):
+            sa.ekaq_many(Q, 0.2, backend="coreset")
+        with pytest.raises(InvalidParameterError):
+            sa.tkaq_many(Q, 0.5, backend="warp")
+
+    def test_unsupported_kernel_rejected_at_init(self):
+        with pytest.raises(InvalidParameterError):
+            StreamingAggregator(
+                PolynomialKernel(gamma=1.0, degree=2), coreset=True)
+
+
+# ---------------------------------------------------------------------------
+# property-based: the contract survives anything hypothesis throws at it
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def coreset_problem(draw):
+    seed = draw(st.integers(0, 2**32 - 1))
+    n = draw(st.integers(50, 600))
+    d = draw(st.integers(1, 4))
+    kernel = draw(st.sampled_from(DISTANCE_KERNELS))
+    weighting = draw(st.sampled_from(["uniform", "positive", "signed"]))
+    m = draw(st.sampled_from([4, 32, 256, None]))  # tiny m forces fallback
+    eps = draw(st.sampled_from([0.01, 0.1, 0.5]))
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, d)) * draw(st.sampled_from([1.0, 3.0]))
+    if weighting == "uniform":
+        w = np.ones(n)
+    elif weighting == "positive":
+        w = rng.random(n) + 1e-3
+    else:
+        w = rng.standard_normal(n)
+    Q = rng.random((draw(st.integers(1, 40)), d))
+    return pts, w, kernel, Q, m, eps
+
+
+class TestPropertyContract:
+    @given(coreset_problem())
+    @settings(max_examples=30, deadline=None)
+    def test_ekaq_contract(self, problem):
+        pts, w, kernel, Q, m, eps = problem
+        tree = build_index("kd", pts, w)
+        cfg = None if m is None else {"m": m}
+        agg = KernelAggregator(tree, kernel, coreset=cfg)
+        res = agg.ekaq_many_results(Q, eps, backend="coreset")
+        exact = agg.exact_many(Q)
+        assert np.all(
+            np.abs(res.estimates - exact) <= eps * np.abs(exact) + 1e-9)
+
+    @given(coreset_problem())
+    @settings(max_examples=20, deadline=None)
+    def test_tkaq_answers_exact(self, problem):
+        pts, w, kernel, Q, m, _ = problem
+        tree = build_index("kd", pts, w)
+        cfg = None if m is None else {"m": m}
+        agg = KernelAggregator(tree, kernel, coreset=cfg)
+        exact = agg.exact_many(Q)
+        tau = float(np.median(exact))
+        res = agg.tkaq_many_results(Q, tau, backend="coreset")
+        # queries landing exactly on tau (median of one query!) tie-break
+        # by float rounding; the contract only binds off the threshold
+        clear = np.abs(exact - tau) > 1e-9 * np.maximum(1.0, np.abs(exact))
+        assert np.array_equal(res.answers[clear], exact[clear] > tau)
