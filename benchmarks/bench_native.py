@@ -1,0 +1,202 @@
+"""Native-tier refinement vs the interpreted best-first loop.
+
+The native tier (:mod:`repro.native`) answers single-query TKAQ/eKAQ with
+a structure-of-arrays precompute and a scalar refinement loop — JIT
+compiled when numba is installed, a heapq fast path otherwise.  Its
+float64 arithmetic is bitwise-identical to the interpreted loop, so this
+benchmark both measures the speedup and asserts exact agreement of every
+answer and terminal bound.
+
+Measured: queries/sec for per-query TKAQ (``tau`` from the workload) and
+eKAQ (``eps`` from the workload) with ``REPRO_NATIVE=0`` (interpreted)
+vs the native tier, post-warmup.  The first native batch is timed
+separately so one-time JIT compilation (when numba is present) never
+pollutes the steady-state numbers.  The acceptance gate (>= 3x TKAQ and
+eKAQ throughput on susy, float64) binds at full benchmark scale only;
+``REPRO_BENCH_SCALE`` smoke runs still validate bitwise agreement.
+
+Results persist to ``benchmarks/results/BENCH_native.json`` (consumed by
+``python -m repro.bench.compare`` in the CI bench-regression gate; the
+host block records the native mode and numba version, so interpreted and
+JIT baselines are never diffed against each other).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from conftest import MIN_SECONDS, N_QUERIES, get_workload
+from repro import native
+from repro.bench import emit, emit_json, render_table
+from repro.core import KernelAggregator
+from repro.index import KDTree
+from repro.native.driver import NativeRefiner
+
+#: the gate dataset (high-d bulk workload) plus the low-d one for shape
+DATASETS = (("home", 20000), ("susy", 40000))
+#: the speedup gate only binds at full benchmark scale
+FULL_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1")) >= 1.0
+#: dataset the >= 3x acceptance gate is asserted on
+GATE_DATASET = "susy"
+GATE_SPEEDUP = 3.0
+
+
+def _throughput(run_batch, nq: int) -> float:
+    """Steady-state queries/sec: repeat the batch until MIN_SECONDS."""
+    total_s = 0.0
+    total_q = 0
+    while total_s < MIN_SECONDS or total_q < 2 * nq:
+        start = time.perf_counter()
+        run_batch()
+        total_s += time.perf_counter() - start
+        total_q += nq
+    return total_q / total_s
+
+
+def _paired_throughput(run_batch, nq: int, rounds: int = 5):
+    """Interleaved interpreted/native queries/sec for one batch closure.
+
+    Host load drifts between measurement windows, so timing the
+    interpreted baseline first and the native tier afterwards can skew
+    the ratio either way.  Alternating mode per round pairs the two
+    tiers under the same machine conditions; each side still accumulates
+    at least ``MIN_SECONDS``.
+    """
+    totals = {"0": 0.0, "auto": 0.0}
+    total_q = 0
+    while min(totals.values()) < MIN_SECONDS or total_q < rounds * nq:
+        for mode in ("0", "auto"):
+            native.set_mode(mode)
+            start = time.perf_counter()
+            run_batch()
+            totals[mode] += time.perf_counter() - start
+        total_q += nq
+    native.set_mode("0")
+    return total_q / totals["0"], total_q / totals["auto"]
+
+
+def build_native_bench():
+    rows = []
+    payload_datasets = []
+    for name, size in DATASETS:
+        wl = get_workload(name, size=size)
+        tree = KDTree(wl.points, weights=wl.weights, leaf_capacity=40)
+        Q = wl.queries
+        nq = Q.shape[0]
+        tau, eps = float(wl.tau), float(wl.eps)
+
+        agg = KernelAggregator(tree, wl.kernel)
+
+        def tkaq_batch():
+            return [agg.tkaq(q, tau) for q in Q]
+
+        def ekaq_batch():
+            return [agg.ekaq(q, eps) for q in Q]
+
+        # interpreted reference (the classic heapq loop, no SoA tier)
+        native.set_mode("0")
+        interp_t = tkaq_batch()
+        interp_e = ekaq_batch()
+
+        # native tier: the first batch pays precompute warmup and (with
+        # numba installed) one-time JIT compilation
+        native.set_mode("auto")
+        start = time.perf_counter()
+        native_t = tkaq_batch()
+        warmup_s = time.perf_counter() - start
+        native_e = ekaq_batch()
+        native.set_mode("0")
+
+        # steady state, interleaved so host drift hits both tiers alike
+        tkaq_interp_qps, tkaq_native_qps = _paired_throughput(tkaq_batch, nq)
+        ekaq_interp_qps, ekaq_native_qps = _paired_throughput(ekaq_batch, nq)
+
+        # float64 native must be bitwise-identical to interpreted
+        for a, b in zip(interp_t, native_t):
+            assert (a.answer, a.lower, a.upper) == (b.answer, b.lower, b.upper), (
+                name, "tkaq bitwise", a, b,
+            )
+        for a, b in zip(interp_e, native_e):
+            assert (a.estimate, a.lower, a.upper) == (b.estimate, b.lower, b.upper), (
+                name, "ekaq bitwise", a, b,
+            )
+
+        # mixed precision (where certified): contract must hold vs exact
+        f32_qps = None
+        if NativeRefiner.supports_float32(wl.kernel):
+            native.set_mode("auto")
+            agg32 = KernelAggregator(tree, wl.kernel, precision="float32")
+
+            def ekaq32_batch():
+                return [agg32.ekaq(q, eps) for q in Q]
+
+            res32 = ekaq32_batch()
+            f32_qps = _throughput(ekaq32_batch, nq)
+            native.set_mode("0")
+            exact = np.array([agg.exact(q) for q in Q[: min(nq, 20)]])
+            for r, f in zip(res32, exact):
+                assert r.lower <= f + 1e-9 and r.upper >= f - 1e-9, (
+                    name, "float32 interval soundness", r, f,
+                )
+                assert r.upper <= (1.0 + eps) * r.lower + 1e-9, (
+                    name, "float32 ekaq certificate", r,
+                )
+
+        status = native.native_status()
+        tkaq_speedup = tkaq_native_qps / tkaq_interp_qps
+        ekaq_speedup = ekaq_native_qps / ekaq_interp_qps
+        rows.append([
+            name, wl.n, wl.d,
+            tkaq_interp_qps, tkaq_native_qps, tkaq_speedup,
+            ekaq_interp_qps, ekaq_native_qps, ekaq_speedup,
+            f32_qps if f32_qps is not None else 0.0,
+            warmup_s,
+        ])
+        payload_datasets.append({
+            "dataset": name,
+            "n": wl.n,
+            "d": wl.d,
+            "tau": tau,
+            "eps": eps,
+            "tkaq_interp_qps": tkaq_interp_qps,
+            "tkaq_native_qps": tkaq_native_qps,
+            "tkaq_speedup": tkaq_speedup,
+            "ekaq_interp_qps": ekaq_interp_qps,
+            "ekaq_native_qps": ekaq_native_qps,
+            "ekaq_speedup": ekaq_speedup,
+            "ekaq_float32_qps": f32_qps,
+            "warmup_s": warmup_s,
+            "jit_compiled": status["jit_compiled"],
+        })
+
+    native.set_mode("auto")
+    table = render_table(
+        f"Native vs interpreted refinement, {N_QUERIES} queries/row "
+        "(queries/sec, post-warmup, float64 bitwise-checked)",
+        ["dataset", "n", "d",
+         "TKAQ interp", "TKAQ native", "speedup",
+         "eKAQ interp", "eKAQ native", "speedup",
+         "eKAQ f32", "warmup s"],
+        rows,
+    )
+    emit("native_refinement", table)
+    emit_json("native", {
+        "n_queries": N_QUERIES,
+        "datasets": payload_datasets,
+    })
+    return payload_datasets
+
+
+def test_native(benchmark):
+    results = benchmark.pedantic(build_native_bench, rounds=1, iterations=1)
+    if FULL_SCALE:
+        gate = next(r for r in results if r["dataset"] == GATE_DATASET)
+        assert gate["tkaq_speedup"] >= GATE_SPEEDUP, gate
+        assert gate["ekaq_speedup"] >= GATE_SPEEDUP, gate
+
+
+if __name__ == "__main__":
+    build_native_bench()

@@ -100,7 +100,11 @@ def host_class(payload) -> tuple | None:
     cpus = host.get("schedulable_cpus")
     if machine is None or cpus is None:
         return None
-    return (machine, cpus)
+    # native execution state is part of the class: a JIT-compiled run must
+    # never be diffed against an interpreted one.  Files predating the
+    # stamps read as interpreted/numba-free (what they actually were).
+    native_mode = host.get("repro_native") or "auto"
+    return (machine, cpus, native_mode, host.get("numba"))
 
 
 def compare_payloads(baseline, current, threshold: float = 0.30):

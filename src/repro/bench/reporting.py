@@ -86,12 +86,20 @@ def host_metadata() -> dict:
         schedulable = len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         schedulable = os.cpu_count() or 1
+    from repro import native
+
+    native_st = native.native_status()
     return {
         "cpu_count": os.cpu_count(),
         "schedulable_cpus": schedulable,
         "platform": platform.platform(),
         "machine": platform.machine(),
         "python": sys.version.split()[0],
+        # native-vs-interpreted results must never be diffed silently:
+        # repro.bench.compare keys its host-class check off this block
+        "repro_native": native_st["mode"],
+        "numba": native_st["numba_version"],
+        "native_jit": native_st["jit_compiled"],
     }
 
 

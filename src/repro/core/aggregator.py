@@ -123,7 +123,7 @@ class KernelAggregator:
     """
 
     def __init__(self, tree, kernel: Kernel, scheme="karl", max_depth: int | None = None,
-                 coreset=None):
+                 coreset=None, precision: str = "float64"):
         self.tree = tree
         self.kernel = kernel
         self.scheme = resolve_scheme(scheme)
@@ -137,6 +137,7 @@ class KernelAggregator:
         self._coreset = None     # lazily-built coreset tier (repro.sketch)
         self._coreset_config = coreset
         self._closed = False     # set by close(); forbids backend="parallel"
+        self._native = None      # lazily-built native refiner (repro.native)
         # _pair_bounds relies on BFS sibling adjacency (right == left + 1)
         internal = tree.left >= 0
         if not np.all(tree.right[internal] == tree.left[internal] + 1):
@@ -144,6 +145,28 @@ class KernelAggregator:
                 "tree does not have BFS sibling adjacency; rebuild with "
                 "repro.index.build_index"
             )
+        # per-query-loop hoists: the terminal test and the kernel-argument
+        # dispatch are invariant across pops, so resolve them once here
+        # instead of per pop inside _refine / _pair_bounds
+        self._terminal = tree.terminal_mask(max_depth)
+        self._dist_arg = kernel.argument == "dist_sq"
+        self._scheme_bounds = self.scheme.node_bounds
+        self.precision = str(precision).lower()
+        if self.precision not in ("float64", "float32"):
+            raise InvalidParameterError(
+                f"precision must be 'float64' or 'float32'; got {precision!r}"
+            )
+        if self.precision == "float32":
+            from repro.native.driver import NativeRefiner
+
+            if not (NativeRefiner.supports(tree, kernel, self.scheme)
+                    and NativeRefiner.supports_float32(kernel)):
+                raise InvalidParameterError(
+                    "precision='float32' requires the certified native path: "
+                    "a Gaussian, Cauchy, or Epanechnikov distance kernel with "
+                    "a stock karl/sota/hybrid scheme (the Laplacian's clamped "
+                    "slope makes its float32 error bound useless)"
+                )
 
     # ------------------------------------------------------------------
     # exact evaluation
@@ -212,7 +235,8 @@ class KernelAggregator:
         profile = kern.profile
         st = tree.stats
         sl = slice(first, first + 2)
-        dist_arg = kern.argument == "dist_sq"
+        dist_arg = self._dist_arg
+        node_bounds = self._scheme_bounds
 
         if dist_arg:
             lo_x, hi_x = tree.pair_dist_bounds(q, first)
@@ -239,9 +263,7 @@ class KernelAggregator:
                 else:
                     neg = (wn, float(neg_aq[j]))
             out.append(
-                self.scheme.node_bounds(
-                    profile, float(lo_x[j]), float(hi_x[j]), pos, neg
-                )
+                node_bounds(profile, float(lo_x[j]), float(hi_x[j]), pos, neg)
             )
         return out
 
@@ -263,7 +285,7 @@ class KernelAggregator:
 
     def _refine(self, q, stop, trace: BoundTrace | None,
                 kind: str = "query", param: float | None = None,
-                backend: str = "loop"):
+                backend: str = "loop", stop_spec=None):
         """Run best-first refinement until ``stop(lb, ub)`` or exhaustion.
 
         Returns ``(lb, ub, stats)``; on exhaustion ``lb == ub`` is the exact
@@ -272,15 +294,36 @@ class KernelAggregator:
         pop; disabled, the instrumentation costs one ``is None`` check per
         pop.  ``backend`` only labels the trace (the streaming wrapper runs
         this loop on its indexed part).
+
+        ``stop_spec`` is the structured twin of the ``stop`` closure —
+        ``(mode, p1, p2)`` with modes 0 TKAQ / 1 eKAQ / 2 pop budget / 3
+        buffer-shifted eKAQ — and enables the native refinement path
+        (:mod:`repro.native`), which is bitwise-identical in float64.
+        Callers with a stop rule outside those four shapes pass ``None``
+        and get the interpreted loop.
         """
         q = as_vector(q, self.tree.d)
         q_sq = float(q @ q)
         stats = QueryStats()
+        native_ref = (
+            self._native_refiner() if stop_spec is not None else None
+        )
+        if native_ref is None and self.precision == "float32":
+            raise InvalidParameterError(
+                "precision='float32' runs only on the native refinement "
+                "path; it is disabled here (REPRO_NATIVE=0 or an "
+                "unsupported stop rule)"
+            )
         otrace = _obs.start_trace(
             kind, backend, self.scheme.name, self.tree.n, param=param
         )
 
         root_lb, root_ub = self._node_bounds(q, q_sq, 0)
+        if native_ref is not None:
+            return native_ref.run(
+                q, q_sq, root_lb, root_ub, stop, stop_spec, trace, stats,
+                otrace,
+            )
         exact_sum = 0.0
         # frontier sums as compensated (sum, correction) pairs, maintained
         # incrementally on every push/pop — no periodic O(|heap|) resync
@@ -296,29 +339,38 @@ class KernelAggregator:
         if otrace is not None:
             otrace.total_bound_evals += 1  # the root
 
+        # satellite hoists: terminal test is one mask load, and the hot
+        # attribute/method lookups are bound once outside the loop
+        terminal = self._terminal
+        tree_left = self.tree.left
+        node_size = self.tree.node_size
+        leaf_exact = self._leaf_exact
+        pair_bounds = self._pair_bounds
+        heappush, heappop = heapq.heappush, heapq.heappop
+
         while heap and not stop(lb, ub):
             stats.iterations += 1
-            _, _, node, node_lb, node_ub = heapq.heappop(heap)
+            _, _, node, node_lb, node_ub = heappop(heap)
             frontier_lb, comp_lb = _acc_add(frontier_lb, comp_lb, -node_lb)
             frontier_ub, comp_ub = _acc_add(frontier_ub, comp_ub, -node_ub)
             if otrace is not None:
                 pop_t0 = time.perf_counter()
                 pop_expanded = pop_leaves = pop_points = 0
 
-            if self._is_terminal(node):
-                exact_sum += self._leaf_exact(q, q_sq, node)
-                stats.record_leaf(self.tree.node_size(node))
+            if terminal[node]:
+                exact_sum += leaf_exact(q, q_sq, node)
+                stats.record_leaf(node_size(node))
                 if otrace is not None:
                     pop_leaves = 1
-                    pop_points = self.tree.node_size(node)
+                    pop_points = node_size(node)
                     otrace.add_phase("leaves", time.perf_counter() - pop_t0)
             else:
                 stats.record_expansion()
-                first = int(self.tree.left[node])
-                for j, (c_lb, c_ub) in enumerate(self._pair_bounds(q, q_sq, first)):
+                first = int(tree_left[node])
+                for j, (c_lb, c_ub) in enumerate(pair_bounds(q, q_sq, first)):
                     frontier_lb, comp_lb = _acc_add(frontier_lb, comp_lb, c_lb)
                     frontier_ub, comp_ub = _acc_add(frontier_ub, comp_ub, c_ub)
-                    heapq.heappush(
+                    heappush(
                         heap, (-(c_ub - c_lb), next(tie), first + j, c_lb, c_ub)
                     )
                 if otrace is not None:
@@ -343,8 +395,31 @@ class KernelAggregator:
         if not heap:
             lb = ub = exact_sum
         if otrace is not None:
-            self._finish_trace(otrace, q, q_sq, heap, stats, lb, ub)
+            self._finish_trace(
+                otrace, q, q_sq, [item[2] for item in heap], stats, lb, ub
+            )
         return lb, ub, stats
+
+    def _native_refiner(self):
+        """The native refinement driver, or ``None`` when unavailable.
+
+        Checked per call because ``REPRO_NATIVE`` / ``native.set_mode``
+        may be toggled between queries (the support decision itself is
+        cached — it depends only on construction-time configuration).
+        """
+        from repro import native
+
+        if not native.enabled():
+            return None
+        if self._native is None:
+            from repro.native.driver import NativeRefiner
+
+            self._native = (
+                NativeRefiner(self)
+                if NativeRefiner.supports(self.tree, self.kernel, self.scheme)
+                else False
+            )
+        return self._native or None
 
     @staticmethod
     def _verify_frontier(heap, inc_lb: float, inc_ub: float) -> None:
@@ -358,20 +433,21 @@ class KernelAggregator:
                     f"re-summed value {full!r}"
                 )
 
-    def _finish_trace(self, otrace, q, q_sq, heap, stats, lb, ub) -> None:
+    def _finish_trace(self, otrace, q, q_sq, frontier_nodes, stats, lb,
+                      ub) -> None:
         """Terminal trace accounting: pruned frontier + scheme comparison.
 
-        Points still under frontier nodes at termination were *pruned* —
-        their kernel values were never computed.  In compare mode each
-        pruned node is re-bounded under both KARL and SOTA to attribute
-        the pruning power (paper Figure 13's tightness story).
+        ``frontier_nodes`` is the node ids still on the heap.  Points under
+        them at termination were *pruned* — their kernel values were never
+        computed.  In compare mode each pruned node is re-bounded under
+        both KARL and SOTA to attribute the pruning power (paper Figure
+        13's tightness story).
         """
         pruned = 0
         karl_t = sota_t = tied = 0
         compare = _obs.compare_enabled()
         karl_scheme, sota_scheme = _COMPARE_SCHEMES
-        for item in heap:
-            node = item[2]
+        for node in frontier_nodes:
             pruned += self.tree.node_size(node)
             if compare:
                 klb, kub = self._node_bounds(q, q_sq, node, karl_scheme)
@@ -399,7 +475,8 @@ class KernelAggregator:
         tau = float(tau)
         rec = BoundTrace() if trace else None
         lb, ub, stats = self._refine(
-            q, lambda lo, hi: lo > tau or hi <= tau, rec, "tkaq", tau
+            q, lambda lo, hi: lo > tau or hi <= tau, rec, "tkaq", tau,
+            stop_spec=(0, tau, 0.0),
         )
         return TKAQResult(
             answer=lb > tau, lower=lb, upper=ub, tau=tau, stats=stats, trace=rec
@@ -419,7 +496,8 @@ class KernelAggregator:
             raise InvalidParameterError(f"eps must be >= 0; got {eps}")
         rec = BoundTrace() if trace else None
         lb, ub, stats = self._refine(
-            q, lambda lo, hi: hi <= (1.0 + eps) * lo, rec, "ekaq", eps
+            q, lambda lo, hi: hi <= (1.0 + eps) * lo, rec, "ekaq", eps,
+            stop_spec=(1, eps, 0.0),
         )
         return EKAQResult(
             estimate=0.5 * (lb + ub), lower=lb, upper=ub, eps=eps,
@@ -445,6 +523,7 @@ class KernelAggregator:
         lb, ub, stats = self._refine(
             q, lambda lo, hi: next(checks) >= max_iterations, rec,
             "refine", float(max_iterations),
+            stop_spec=(2, float(max_iterations), 0.0),
         )
         achieved = (ub - lb) / (2.0 * lb) if lb > 0.0 else float("inf")
         return EKAQResult(
@@ -481,6 +560,14 @@ class KernelAggregator:
                 f"backend must be 'auto', 'multiquery', 'parallel', "
                 f"'coreset', or 'loop'; got {backend!r}"
             )
+        if self.precision == "float32":
+            # the certified widening lives in the per-query native path
+            if backend == "multiquery":
+                raise InvalidParameterError(
+                    "precision='float32' supports only the per-query loop "
+                    "backend (auto routes there)"
+                )
+            return None
         supported = MultiQueryAggregator.supports(self.kernel, self.scheme)
         if not supported:
             if backend == "multiquery":
@@ -509,6 +596,11 @@ class KernelAggregator:
         """
         from repro.parallel.evaluator import ParallelEvaluator
 
+        if self.precision == "float32":
+            raise InvalidParameterError(
+                "precision='float32' supports only the per-query loop "
+                "backend; got backend='parallel'"
+            )
         if self._closed:
             raise RuntimeError(
                 "this KernelAggregator has been closed; backend='parallel' "
@@ -537,6 +629,11 @@ class KernelAggregator:
         """
         from repro.sketch.aggregator import CoresetAggregator, CoresetConfig
 
+        if self.precision == "float32":
+            raise InvalidParameterError(
+                "precision='float32' supports only the per-query loop "
+                "backend; got backend='coreset'"
+            )
         if self._coreset is None:
             self._coreset = CoresetAggregator(
                 self, CoresetConfig.coerce(self._coreset_config)
@@ -582,7 +679,11 @@ class KernelAggregator:
         has a fixed ``O(k d)`` cost per query that only wins once
         multiquery's shared-frontier refinement is the bottleneck.
         """
-        return n_queries >= _CORESET_AUTO_BATCH and self.coreset_enabled
+        return (
+            n_queries >= _CORESET_AUTO_BATCH
+            and self.precision != "float32"
+            and self.coreset_enabled
+        )
 
     def close(self) -> None:
         """Release the process pool and shared-memory blocks, if any.

@@ -37,6 +37,7 @@ import time
 
 import numpy as np
 
+from repro import native
 from repro.core.bounds import BoundScheme, KARLBounds, SOTABounds
 from repro.core.errors import (
     DataShapeError,
@@ -59,6 +60,15 @@ _COMPARE_SCHEMES = (KARLBounds(), SOTABounds())
 #: temporaries stay cache-sized (~8 MB) regardless of batch size — large
 #: unchunked grids are memory-bandwidth bound and measurably slower
 _MAX_GRID_ELEMENTS = 1 << 20
+
+
+def _worst_gap_rows_np(lb_mat: np.ndarray, ub_mat: np.ndarray) -> np.ndarray:
+    """Per-row argmax of ``ub - lb`` with a full-matrix temporary.
+
+    The ``REPRO_NATIVE=0`` selection path; the native tiers use the fused
+    single-pass reduction in :mod:`repro.native.kernels` instead.
+    """
+    return np.argmax(ub_mat - lb_mat, axis=1)
 
 
 def _scheme_has_matrix(scheme: BoundScheme) -> bool:
@@ -235,6 +245,13 @@ class MultiQueryAggregator:
 
         if otrace is not None:
             t0 = time.perf_counter()
+        # per-round worst-gap selection: a fused single-pass row reduction
+        # when the native kernels are live, the equivalent two-pass numpy
+        # expression otherwise (both share np.argmax first-max semantics)
+        worst_gap_rows = (
+            native.get_kernels().worst_gap_rows if native.enabled()
+            else _worst_gap_rows_np
+        )
         frontier = np.array([0], dtype=np.int64)
         lb_mat, ub_mat = self._grid_bounds(Q, q_sq, frontier)
         stats.bound_evaluations += nq
@@ -293,7 +310,7 @@ class MultiQueryAggregator:
             # every remaining query nominates its worst-gap frontier node
             if otrace is not None:
                 t0 = time.perf_counter()
-            worst = np.argmax(ub_mat - lb_mat, axis=1)
+            worst = worst_gap_rows(lb_mat, ub_mat)
             cols = np.unique(worst)
             split = frontier[cols]
             terminal = self._is_terminal(split)

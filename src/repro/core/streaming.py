@@ -200,6 +200,7 @@ class StreamingAggregator:
         lb, ub, stats = self._agg._refine(
             q, lambda lo, hi: lo > tau_eff or hi <= tau_eff, None,
             "tkaq", float(tau), backend="streaming",
+            stop_spec=(0, tau_eff, 0.0),
         )
         stats.points_evaluated += len(self._buf_points)
         return TKAQResult(
@@ -224,6 +225,7 @@ class StreamingAggregator:
             lambda lo, hi: hi + shift <= (1.0 + float(eps)) * (lo + shift),
             None,
             "ekaq", float(eps), backend="streaming",
+            stop_spec=(3, float(eps), shift),
         )
         stats.points_evaluated += len(self._buf_points)
         return EKAQResult(

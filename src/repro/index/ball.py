@@ -54,10 +54,20 @@ def ball_maxdist_sq(q: np.ndarray, center: np.ndarray, radius: float) -> float:
 
 
 def ball_dist_bounds_many(
-    q: np.ndarray, centers: np.ndarray, radii: np.ndarray
+    q: np.ndarray, centers: np.ndarray, radii: np.ndarray, scratch=None
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Vectorised ``(mindist_sq, maxdist_sq)`` for ``(m, d)`` centers."""
-    diff = centers - q
+    """Vectorised ``(mindist_sq, maxdist_sq)`` for ``(m, d)`` centers.
+
+    ``scratch`` (optional, same contract as
+    :func:`repro.index.rectangle.rect_dist_bounds_many`) supplies
+    ``(m, d)`` buffers for the intermediates; only the first is used
+    here.  Values are unchanged.
+    """
+    if scratch is None:
+        diff = centers - q
+    else:
+        diff = scratch[0]
+        np.subtract(centers, q, out=diff)
     dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
     near = np.maximum(dist - radii, 0.0)
     far = dist + radii

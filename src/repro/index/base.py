@@ -253,6 +253,47 @@ class SpatialIndex:
         )
         return clone
 
+    # ------------------------------------------------------------------
+    # flat per-node state for the native refinement kernels
+    # ------------------------------------------------------------------
+
+    def node_sizes(self) -> np.ndarray:
+        """Per-node point counts ``end - start`` (cached).
+
+        Used by the native path's terminal-frontier accounting, which sums
+        pruned points over whole node-id arrays instead of per-node
+        ``node_size`` calls.
+        """
+        sizes = self.__dict__.get("_node_sizes")
+        if sizes is None:
+            sizes = self.end - self.start
+            self._node_sizes = sizes
+        return sizes
+
+    def terminal_mask(self, max_depth: int | None = None) -> np.ndarray:
+        """``uint8`` mask of nodes the refinement loop treats as leaves.
+
+        Matches ``KernelAggregator._is_terminal`` evaluated per node id:
+        real leaves, plus every node at or below a ``max_depth`` cut.
+        Cached per cut so the refinement loop's per-pop terminal test is a
+        single array load (the mask depends only on topology, so
+        ``reweighted`` clones share the cache).
+        """
+        cache = self.__dict__.setdefault("_terminal_masks", {})
+        mask = cache.get(max_depth)
+        if mask is None:
+            is_leaf = self.left < 0
+            if max_depth is not None:
+                is_leaf = is_leaf | (self.depth >= max_depth)
+            mask = np.ascontiguousarray(is_leaf, dtype=np.uint8)
+            cache[max_depth] = mask
+        return mask
+
+    def _f32_cache(self) -> dict:
+        """Lazily-built float32 mirrors of per-node geometry (shared by
+        ``reweighted`` clones — geometry is weight-independent)."""
+        return self.__dict__.setdefault("_f32_mirrors", {})
+
     def nodes_at_depth(self, depth: int) -> np.ndarray:
         """Ids of nodes that act as leaves when the tree is cut at ``depth``.
 
@@ -299,6 +340,30 @@ class RectGeometryMixin:
             q, self.lo[first : first + 2], self.hi[first : first + 2]
         )
 
+    def all_pair_dist_bounds(self, q, scratch=None):
+        """Distance bounds for every non-root node, in one fused call.
+
+        Bitwise-identical to concatenating :meth:`pair_dist_bounds` over
+        all sibling pairs: the rectangle formulas are elementwise +
+        per-row reductions, so row values do not depend on how many rows
+        share the call.  This is the native evaluator's per-query
+        geometry precompute.  ``scratch`` forwards to
+        :func:`rect_dist_bounds_many` for allocation-free intermediates.
+        """
+        return rect_dist_bounds_many(q, self.lo[1:], self.hi[1:], scratch)
+
+    def all_pair_dist_bounds_f32(self, q32):
+        """Float32 twin of :meth:`all_pair_dist_bounds` (mixed precision)."""
+        cache = self._f32_cache()
+        geom = cache.get("rect")
+        if geom is None:
+            geom = (
+                np.ascontiguousarray(self.lo[1:], dtype=np.float32),
+                np.ascontiguousarray(self.hi[1:], dtype=np.float32),
+            )
+            cache["rect"] = geom
+        return rect_dist_bounds_many(q32, geom[0], geom[1])
+
     def nodes_dist_bounds_qm(self, Q, nodes):
         """Distance-bound grid for a query matrix against a node id set."""
         return rect_dist_bounds_qm(Q, self.lo[nodes], self.hi[nodes])
@@ -330,6 +395,27 @@ class BallGeometryMixin:
         return ball_ip_bounds_many(
             q, self.center[first : first + 2], self.radius[first : first + 2]
         )
+
+    def all_pair_dist_bounds(self, q, scratch=None):
+        """Distance bounds for every non-root node, in one fused call.
+
+        Bitwise-identical to concatenating :meth:`pair_dist_bounds` over
+        all sibling pairs (per-row einsum + elementwise ops).  ``scratch``
+        forwards to :func:`ball_dist_bounds_many`.
+        """
+        return ball_dist_bounds_many(q, self.center[1:], self.radius[1:], scratch)
+
+    def all_pair_dist_bounds_f32(self, q32):
+        """Float32 twin of :meth:`all_pair_dist_bounds` (mixed precision)."""
+        cache = self._f32_cache()
+        geom = cache.get("ball")
+        if geom is None:
+            geom = (
+                np.ascontiguousarray(self.center[1:], dtype=np.float32),
+                np.ascontiguousarray(self.radius[1:], dtype=np.float32),
+            )
+            cache["ball"] = geom
+        return ball_dist_bounds_many(q32, geom[0], geom[1])
 
     def nodes_dist_bounds_qm(self, Q, nodes):
         """Distance-bound grid for a query matrix against a node id set."""

@@ -80,17 +80,39 @@ def maxdist_sq_many(q: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray
 
 
 def rect_dist_bounds_many(
-    q: np.ndarray, lo: np.ndarray, hi: np.ndarray
+    q: np.ndarray, lo: np.ndarray, hi: np.ndarray, scratch=None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Fused ``(mindist_sq, maxdist_sq)`` for ``(m, d)`` stacks of boxes.
 
     Shares the endpoint differences between the two computations — this is
-    the hot path of the query evaluator (called once per expanded node).
+    the hot path of the query evaluator (called once per expanded node,
+    and over the whole node stack by the native tier's precompute).
+
+    Because ``lo <= hi``, at most one of ``lo - q`` / ``q - hi`` is
+    positive, so ``near = max(lo - q, q - hi, 0)``; the far corner offset
+    is ``max(q - lo, hi - q) = -min(lo - q, q - hi)``, whose square needs
+    no negation.  Bitwise-identical to the eight-temporary form.
+
+    ``scratch`` (optional) is a tuple of three ``(m, d)`` buffers of the
+    inputs' dtype; when given, the intermediates reuse them instead of
+    allocating (same operations in the same order, so values are
+    unchanged — the caller amortises the temporaries across queries).
     """
-    below = lo - q
-    above = q - hi
-    near = np.maximum(below, 0.0) + np.maximum(above, 0.0)
-    far = np.maximum(np.abs(below), np.abs(above))
+    if scratch is None:
+        below = lo - q
+        above = q - hi
+        near = np.maximum(below, above)
+    else:
+        below, above, near = scratch
+        np.subtract(lo, q, out=below)
+        np.subtract(q, hi, out=above)
+        np.maximum(below, above, out=near)
+    np.maximum(near, 0.0, out=near)
+    if scratch is None:
+        far = np.minimum(below, above)
+    else:
+        far = below  # safe elementwise aliasing; `below` is dead after this
+        np.minimum(below, above, out=far)
     return (
         np.einsum("ij,ij->i", near, near),
         np.einsum("ij,ij->i", far, far),

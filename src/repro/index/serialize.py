@@ -62,8 +62,13 @@ def tree_arrays(tree: SpatialIndex) -> dict[str, np.ndarray]:
 def rebuild_tree(kind: str, leaf_capacity: int, arrays) -> SpatialIndex:
     """Reconstruct a fully functional tree from a :func:`tree_arrays` mapping.
 
-    The arrays are adopted as-is (no copies) — callers that hand over
-    shared-memory views get a tree whose storage lives in those views.
+    Arrays already in canonical layout (C-contiguous) are adopted as-is
+    (no copies) — callers that hand over shared-memory views get a tree
+    whose storage lives in those views.  Non-contiguous inputs (sliced or
+    transposed views from an external producer) are normalised with a
+    copy: the native refinement tier precomputes its structure-of-arrays
+    node state with whole-array operations over these buffers and assumes
+    the contiguous layout the builders produce.
     """
     try:
         cls = _KINDS[kind]
@@ -71,9 +76,10 @@ def rebuild_tree(kind: str, leaf_capacity: int, arrays) -> SpatialIndex:
         raise InvalidParameterError(f"unknown index kind {kind!r}") from None
     tree = cls.__new__(cls)
     for name in _ARRAYS:
-        setattr(tree, name, arrays[name])
+        setattr(tree, name, np.ascontiguousarray(arrays[name]))
     tree.stats = SignedStats(
-        **{name: arrays[f"stats_{name}"] for name in _STAT_ARRAYS}
+        **{name: np.ascontiguousarray(arrays[f"stats_{name}"])
+           for name in _STAT_ARRAYS}
     )
     tree.leaf_capacity = int(leaf_capacity)
     tree.n, tree.d = tree.points.shape

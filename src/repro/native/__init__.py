@@ -1,0 +1,182 @@
+"""Native-speed refinement: JIT-compiled kernels with a pure-Python twin.
+
+The refinement loop's per-pop cost is interpreter overhead, not numpy
+work — each pop slices two rows, calls a handful of numpy functions and
+evaluates a few transcendentals.  This package restructures the loop
+around flat structure-of-arrays node state (argument intervals, moments,
+children, terminal flags — all addressable by node id) and drives it with
+scalar arithmetic that :mod:`numba` can compile.  Three execution tiers
+share bit-for-bit identical arithmetic:
+
+1. **JIT** — ``@njit(cache=True)`` compiled kernels (numba installed);
+2. **pykernel** — the same kernel functions, uncompiled (testing hook:
+   proves tier 1 and tier 3 bracket identical code);
+3. **fallback** — a ``heapq``-driven Python loop over the same SoA
+   precompute, selected automatically when numba is absent.  It is the
+   tier that must be fast without any compiler: the SoA precompute
+   removes all per-pop numpy calls, leaving ``math.exp`` and float
+   arithmetic.
+
+Pop order is identical across tiers because heap keys ``(-gap, tie)``
+are unique (the tie counter is monotone), so *any* correct heap yields
+the same pop sequence; bound values are identical because every tier
+evaluates the same scalar formulas (``math.exp`` lowers to libm under
+numba).  The float64 path therefore reproduces the golden contract
+bitwise no matter which tier runs.
+
+Selection is environment-driven::
+
+    REPRO_NATIVE=auto   # default: native where supported, JIT if numba
+    REPRO_NATIVE=1      # same, but a numba compile failure is an error
+    REPRO_NATIVE=0      # disable: always the classic interpreted loop
+
+or programmatic via :func:`set_mode` (e.g. from benchmark harnesses and
+the parallel evaluator's worker initializer, where the parent's
+programmatic mode must survive the spawn).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from types import SimpleNamespace
+
+__all__ = [
+    "get_mode",
+    "set_mode",
+    "enabled",
+    "numba_available",
+    "get_kernels",
+    "native_status",
+    "force_pykernel",
+]
+
+_MODES = ("0", "1", "auto")
+
+_mode: str | None = None        # resolved lazily from the environment
+_numba_version: str | None = None
+_numba_checked = False
+_kernels: SimpleNamespace | None = None
+_compile_seconds: float = 0.0
+_force_pykernel = False
+
+
+def get_mode() -> str:
+    """Current native mode: ``"0"``, ``"1"``, or ``"auto"``."""
+    global _mode
+    if _mode is None:
+        raw = os.environ.get("REPRO_NATIVE", "auto").strip().lower()
+        _mode = raw if raw in _MODES else "auto"
+    return _mode
+
+
+def set_mode(mode: str) -> None:
+    """Override the native mode for this process (``"0"``/``"1"``/``"auto"``)."""
+    global _mode
+    mode = str(mode).strip().lower()
+    if mode not in _MODES:
+        raise ValueError(f"native mode must be one of {_MODES}; got {mode!r}")
+    _mode = mode
+
+
+def enabled() -> bool:
+    """True when the native path may engage (mode is not ``"0"``)."""
+    return get_mode() != "0"
+
+
+def numba_available() -> bool:
+    """True when numba imports (checked once, lazily)."""
+    global _numba_checked, _numba_version
+    if not _numba_checked:
+        _numba_checked = True
+        try:
+            import numba  # noqa: F401
+
+            _numba_version = getattr(numba, "__version__", "unknown")
+        except Exception:
+            _numba_version = None
+    return _numba_version is not None
+
+
+def force_pykernel(flag: bool) -> None:
+    """Testing hook: drive the uncompiled kernel loop even without numba.
+
+    The array-heap kernel functions are plain Python until numba compiles
+    them; forcing them on lets the test suite prove — in a numba-free
+    environment — that the kernel loop and the heapq fallback produce
+    bitwise-identical results.
+    """
+    global _force_pykernel
+    _force_pykernel = bool(flag)
+
+
+def pykernel_forced() -> bool:
+    return _force_pykernel
+
+
+def get_kernels() -> SimpleNamespace:
+    """The kernel namespace: JIT-compiled when numba is present and the
+    mode allows it, plain Python otherwise.
+
+    Returns a namespace with ``refine_leaf_yield`` and ``worst_gap_rows``
+    plus ``compiled`` (bool) and the one-time ``compile_seconds``.  The
+    first compiling call pays the JIT cost; ``cache=True`` persists the
+    machine code across processes.
+    """
+    global _kernels, _compile_seconds
+    if _kernels is not None:
+        return _kernels
+    from repro.native import kernels as _k
+
+    plain = SimpleNamespace(
+        refine_leaf_yield=_k.refine_leaf_yield,
+        worst_gap_rows=_k.worst_gap_rows_py,
+        compiled=False,
+        compile_seconds=0.0,
+    )
+    if not (enabled() and numba_available()):
+        _kernels = plain
+        return _kernels
+    try:
+        import numba
+
+        t0 = time.perf_counter()
+        jit = numba.njit(cache=True, fastmath=False)
+        refine, worst = _k.build_jit(jit)
+        compiled = SimpleNamespace(
+            refine_leaf_yield=refine,
+            worst_gap_rows=worst,
+            compiled=True,
+            compile_seconds=0.0,
+        )
+        # compilation itself happens at first call; force it here so the
+        # cost lands in one visible place rather than the first query
+        _k.warm_compile(compiled)
+        _compile_seconds = time.perf_counter() - t0
+        compiled.compile_seconds = _compile_seconds
+        _kernels = compiled
+    except Exception as exc:  # pragma: no cover - depends on numba install
+        if get_mode() == "1":
+            raise RuntimeError(
+                f"REPRO_NATIVE=1 but numba compilation failed: {exc}"
+            ) from exc
+        warnings.warn(
+            f"numba present but compilation failed ({exc}); "
+            "using the pure-Python native fallback",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        _kernels = plain
+    return _kernels
+
+
+def native_status() -> dict:
+    """Introspection for benchmarks and ``BENCH_*.json`` host metadata."""
+    numba_available()
+    return {
+        "mode": get_mode(),
+        "numba_version": _numba_version,
+        "jit_compiled": bool(_kernels is not None and _kernels.compiled),
+        "compile_seconds": _compile_seconds,
+    }

@@ -1,0 +1,619 @@
+"""Native refinement driver: per-query SoA precompute + loop dispatch.
+
+A :class:`NativeRefiner` is built lazily per :class:`KernelAggregator`
+(like the multiquery backend) and takes over ``_refine``'s loop when the
+kernel/scheme support it.  The work splits three ways:
+
+* **per-query precompute** (numpy, bitwise-safe): argument intervals for
+  every non-root node via the fused geometry call
+  (:meth:`SpatialIndex.all_pair_dist_bounds` — per-row arithmetic, so
+  values match the per-pop two-row slices exactly), and pair dot
+  products via one stacked ``(pairs, 2, d) @ (d,)`` matmul (bitwise
+  equal to the per-pop two-row gemv — verified property, encoded in the
+  parity tests).  Built lazily on the first expansion, so queries the
+  root bounds already certify pay nothing.
+* **the loop** — either the compiled array-heap kernel
+  (:func:`repro.native.kernels.refine_leaf_yield`, resumed across
+  terminal pops so exact leaf aggregates stay on the interpreted
+  numpy path), or a ``heapq``-driven Python twin when numba is absent
+  or instrumentation (obs traces, ``BoundTrace``, the frontier parity
+  hook) needs per-pop callbacks.
+* **mixed precision** (opt-in ``precision="float32"``): the precompute
+  runs in float32 and every per-node bound is widened by a certified
+  worst-case rounding radius, so TKAQ/eKAQ contracts hold
+  unconditionally (see ``docs/native.md`` for the error model).
+
+The float64 path is bitwise-identical to the interpreted loop by
+construction: same arithmetic, same pop order (unique heap keys), same
+leaf/exact path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from itertools import count
+
+import numpy as np
+
+from repro.core.bounds import HybridBounds, KARLBounds, SOTABounds
+from repro.core.kernels import Kernel
+from repro.core.profiles import (
+    CauchyProfile,
+    EpanechnikovProfile,
+    GaussianProfile,
+    LaplacianProfile,
+)
+from repro import native
+from repro.native import kernels as _kernels
+from repro.native.fastloop import build_fast_loop
+
+__all__ = ["NativeRefiner", "PROFILE_IDS", "SCHEME_IDS", "F32_PROFILES"]
+
+#: profiles the scalar kernel transcribes; ids match kernels.py
+PROFILE_IDS = {
+    GaussianProfile: 0,
+    LaplacianProfile: 1,
+    CauchyProfile: 2,
+    EpanechnikovProfile: 3,
+}
+
+SCHEME_IDS = {KARLBounds: 0, SOTABounds: 1, HybridBounds: 2}
+
+#: profiles with a global slope bound ``|g'| <= gamma`` — the certified
+#: float32 error model needs it; the Laplacian's clamped slope is
+#: ``~gamma / (2 sqrt(eps))``, far too large to be useful
+F32_PROFILES = (GaussianProfile, CauchyProfile, EpanechnikovProfile)
+
+_U32 = float(np.finfo(np.float32).eps)
+_EPS64 = float(np.finfo(np.float64).eps)
+
+#: per-element operation-count factor in the float32 rounding bounds:
+#: a d-term reduction plus the handful of elementwise ops around it
+def _op_factor(d: int) -> float:
+    return float(d + 8)
+
+
+class NativeRefiner:
+    """Drives best-first refinement over flat node-state arrays."""
+
+    def __init__(self, agg):
+        self.agg = agg
+        self.tree = agg.tree
+        profile = agg.kernel.profile
+        self.pid = PROFILE_IDS[type(profile)]
+        self.gamma = float(profile.gamma)
+        if self.pid == 1:
+            self.aux = float(profile.eps)
+        elif self.pid == 3:
+            self.aux = float(profile.cutoff)
+        else:
+            self.aux = 0.0
+        self.scheme_id = SCHEME_IDS[type(agg.scheme)]
+        self.has_neg = 1 if agg._has_neg else 0
+        self.terminal = self.tree.terminal_mask(agg.max_depth)
+        self.left = self.tree.left
+        self.m = int(self.left.shape[0])
+        self.float32 = agg.precision == "float32"
+        self._zeros = np.zeros(self.m)
+        self._f32_stats = None  # lazy float32 mirrors of the signed stats
+        self._aq = None  # lazy precompute scratch (with _s1, _geom_scratch)
+        # Python fast-loop state: plain lists index ~3x faster than numpy
+        # arrays (no scalar boxing); the loop itself is code-generated
+        # per configuration with the part-bound arithmetic inlined
+        self._fast_loop = build_fast_loop(
+            self.scheme_id, self.pid, self.gamma, self.aux,
+            bool(self.has_neg), self.float32,
+        )
+        self._terminal_list = self.terminal.tolist()
+        self._left_list = self.left.tolist()
+        self._sizes_list = self.tree.node_sizes().tolist()
+        self._leaf_exact = self._make_leaf_exact()
+        # per-node bound scratch for the fast loop's 3-tuple heap entries
+        self._scratch_lb = [0.0] * self.m
+        self._scratch_ub = [0.0] * self.m
+
+    def _make_leaf_exact(self):
+        """Leaf aggregation closure — a verbatim transcription of
+        ``KernelAggregator._leaf_exact`` (``Kernel.pairwise`` over the
+        leaf slice) with the method dispatch and no-op ``asarray`` calls
+        resolved at build time and every elementwise step running in
+        place on the distance buffer (same values, no temporaries —
+        scalar multiplication commutes bitwise, and ``max(x, 0)`` on the
+        already-clamped buffer is the identity).  Bitwise-identical by
+        construction; ``supports`` rejects kernels overriding
+        ``pairwise``."""
+        tree = self.tree
+        points = tree.points
+        sq_norms = tree.sq_norms
+        weights = tree.weights
+        # per-node slice objects built once (plain-int bounds, no per-pop
+        # numpy scalar boxing or slice construction)
+        slices = [
+            slice(int(s), int(e))
+            for s, e in zip(tree.start.tolist(), tree.end.tolist())
+        ]
+        pid, g = self.pid, self.gamma
+        neg_g = -g
+        _sub, _max, _exp = np.subtract, np.maximum, np.exp
+        _sqrt, _div = np.sqrt, np.divide
+
+        if pid == 0:  # exp(-g * d2)
+
+            def leaf_exact(q, q_sq, node):
+                sl = slices[node]
+                d2 = points[sl] @ q
+                d2 *= 2.0
+                _sub(q_sq, d2, out=d2)
+                d2 += sq_norms[sl]
+                _max(d2, 0.0, out=d2)
+                d2 *= neg_g
+                _exp(d2, out=d2)
+                return float(weights[sl] @ d2)
+
+        elif pid == 1:  # exp(-g * sqrt(d2))
+
+            def leaf_exact(q, q_sq, node):
+                sl = slices[node]
+                d2 = points[sl] @ q
+                d2 *= 2.0
+                _sub(q_sq, d2, out=d2)
+                d2 += sq_norms[sl]
+                _max(d2, 0.0, out=d2)
+                _sqrt(d2, out=d2)
+                d2 *= neg_g
+                _exp(d2, out=d2)
+                return float(weights[sl] @ d2)
+
+        elif pid == 2:  # 1 / (1 + g * d2)
+
+            def leaf_exact(q, q_sq, node):
+                sl = slices[node]
+                d2 = points[sl] @ q
+                d2 *= 2.0
+                _sub(q_sq, d2, out=d2)
+                d2 += sq_norms[sl]
+                _max(d2, 0.0, out=d2)
+                d2 *= g
+                d2 += 1.0
+                _div(1.0, d2, out=d2)
+                return float(weights[sl] @ d2)
+
+        else:  # max(1 - g * d2, 0)
+
+            def leaf_exact(q, q_sq, node):
+                sl = slices[node]
+                d2 = points[sl] @ q
+                d2 *= 2.0
+                _sub(q_sq, d2, out=d2)
+                d2 += sq_norms[sl]
+                _max(d2, 0.0, out=d2)
+                d2 *= g
+                _sub(1.0, d2, out=d2)
+                _max(d2, 0.0, out=d2)
+                return float(weights[sl] @ d2)
+
+        return leaf_exact
+
+    # ------------------------------------------------------------------
+    # support matrix
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def supports(tree, kernel, scheme) -> bool:
+        """True when the native kernels replicate this configuration.
+
+        Same envelope as the multiquery backend — convex-decreasing
+        distance profiles under the stock karl/sota/hybrid schemes — plus
+        the profile/scheme types must be *exactly* the transcribed ones
+        (a subclass overriding ``part_bounds`` must fall back to the
+        interpreted loop).
+        """
+        return (
+            kernel.argument == "dist_sq"
+            and type(kernel.profile) in PROFILE_IDS
+            and type(scheme) in SCHEME_IDS
+            and hasattr(tree, "all_pair_dist_bounds")
+            # the native leaf path transcribes Kernel.pairwise; a subclass
+            # overriding it must run on the interpreted loop
+            and type(kernel).pairwise is Kernel.pairwise
+            and type(kernel).arguments is Kernel.arguments
+        )
+
+    @staticmethod
+    def supports_float32(kernel) -> bool:
+        """True when the certified float32 error model covers the profile."""
+        return type(kernel.profile) in F32_PROFILES
+
+    # ------------------------------------------------------------------
+    # per-query structure-of-arrays precompute
+    # ------------------------------------------------------------------
+
+    def _precompute_arrays(self, q, q_sq):
+        """Flat per-node bound inputs: ``(arg_lo, arg_hi, pos_w, pos_s1,
+        neg_w, neg_s1, err, widen)``, all length-``m`` float64, slot 0
+        (the root) unused."""
+        if self.float32:
+            return self._precompute_f32(q, q_sq)
+        tree = self.tree
+        st = tree.stats
+        m, d = self.m, tree.d
+        if self._aq is None:
+            # per-refiner scratch: the (m, d) geometry intermediates and
+            # the (m,) moment accumulators are the precompute's only
+            # large temporaries — reusing them across queries removes
+            # ~5 allocations per query (values unchanged: same ops, in
+            # place)
+            self._aq = np.empty(m - 1)
+            self._s1 = np.empty(m - 1)
+            self._geom_scratch = tuple(
+                np.empty((m - 1, d)) for _ in range(3)
+            )
+        near, far = tree.all_pair_dist_bounds(q, self._geom_scratch)
+        arg_lo = np.empty(m)
+        arg_hi = np.empty(m)
+        arg_lo[0] = arg_hi[0] = 0.0
+        arg_lo[1:] = near
+        arg_hi[1:] = far
+        # one stacked matmul == per-pair two-row gemv, bitwise (BFS
+        # sibling adjacency makes pair rows consecutive); 2.0 * aq
+        # commutes to aq *= 2.0 and the chain w*q_sq - 2aq + b runs in
+        # place in evaluation order
+        aq = self._aq
+        np.matmul(st.pos_a[1:].reshape(-1, 2, d), q, out=aq.reshape(-1, 2))
+        s1 = self._s1
+        np.multiply(st.pos_w[1:], q_sq, out=s1)
+        aq *= 2.0
+        s1 -= aq
+        s1 += st.pos_b[1:]
+        pos_s1 = np.empty(m)
+        pos_s1[0] = 0.0
+        pos_s1[1:] = np.where(s1 > 0.0, s1, 0.0)
+        if self.has_neg:
+            # pos moments are copied out above, so the scratch is free
+            naq = self._aq
+            np.matmul(
+                st.neg_a[1:].reshape(-1, 2, d), q, out=naq.reshape(-1, 2)
+            )
+            ns1 = self._s1
+            np.multiply(st.neg_w[1:], q_sq, out=ns1)
+            naq *= 2.0
+            ns1 -= naq
+            ns1 += st.neg_b[1:]
+            neg_s1 = np.empty(m)
+            neg_s1[0] = 0.0
+            neg_s1[1:] = np.where(ns1 > 0.0, ns1, 0.0)
+            neg_w = st.neg_w
+        else:
+            neg_w = neg_s1 = self._zeros
+        return arg_lo, arg_hi, st.pos_w, pos_s1, neg_w, neg_s1, self._zeros, 0
+
+    def _f32_mirrors(self):
+        if self._f32_stats is None:
+            st = self.tree.stats
+            f32 = np.float32
+            mirrors = {
+                "pos_a": np.ascontiguousarray(st.pos_a[1:], dtype=f32),
+                "pos_b": st.pos_b[1:].astype(f32),
+                "pos_w": st.pos_w[1:].astype(f32),
+            }
+            mirrors["abs_pos_a"] = np.abs(mirrors["pos_a"])
+            if self.has_neg:
+                mirrors["neg_a"] = np.ascontiguousarray(st.neg_a[1:], dtype=f32)
+                mirrors["neg_b"] = st.neg_b[1:].astype(f32)
+                mirrors["neg_w"] = st.neg_w[1:].astype(f32)
+                mirrors["abs_neg_a"] = np.abs(mirrors["neg_a"])
+            self._f32_stats = mirrors
+        return self._f32_stats
+
+    def _f32_moments(self, mir, part, q32, q_sq32, q_abs32, q_sq, k_ops):
+        """Float32 part moments + certified error radius (float64).
+
+        Returns ``(s1, err_s1)`` over nodes ``1..m-1``: the clipped
+        float32 moment (cast up) and a bound on ``|s1_f32 - s1_f64|``
+        from ``u32 * ops * magnitude`` with the magnitude evaluated in
+        float64 (inflated for its own float32 dot rounding).
+        """
+        st = self.tree.stats
+        d = self.tree.d
+        a32 = mir[f"{part}_a"]
+        aq32 = np.matmul(a32.reshape(-1, 2, d), q32).reshape(-1)
+        s1_32 = mir[f"{part}_w"] * q_sq32 - np.float32(2.0) * aq32 + mir[f"{part}_b"]
+        s1 = s1_32.astype(np.float64)
+        s1 = np.where(s1 > 0.0, s1, 0.0)
+        mag_aq = np.matmul(
+            mir[f"abs_{part}_a"].reshape(-1, 2, d), q_abs32
+        ).reshape(-1).astype(np.float64)
+        w64 = st.pos_w[1:] if part == "pos" else st.neg_w[1:]
+        b64 = st.pos_b[1:] if part == "pos" else st.neg_b[1:]
+        mag_s1 = (w64 * q_sq + 2.0 * mag_aq + b64) * (1.0 + 1e-5)
+        err_s1 = _U32 * k_ops * mag_s1
+        return s1, err_s1, mag_s1, w64
+
+    def _precompute_f32(self, q, q_sq):
+        """Mixed-precision SoA: float32 values + per-node widening radii.
+
+        Validity: the widened interval ``[lo32 - e, hi32 + e]`` contains
+        the true float64 interval, so chords/tangents/ranges over it
+        bound every point; the moment perturbation enters bounds through
+        a slope of magnitude ``<= gamma``, so widening each bound by
+        ``gamma * err_s1`` (plus a float64 evaluation slack) certifies
+        the result.  ``pos_w``/``neg_w`` stay exact float64 (they are
+        per-node, not per-query, so float32 saves nothing there).
+        """
+        tree = self.tree
+        m, d = self.m, tree.d
+        mir = self._f32_mirrors()
+        q32 = q.astype(np.float32)
+        q_abs32 = np.abs(q32)
+        q_sq32 = np.float32(q32 @ q32)
+        k_ops = _op_factor(d)
+
+        near32, far32 = tree.all_pair_dist_bounds_f32(q32)
+        far = far32.astype(np.float64)
+        err_arg = _U32 * k_ops * far
+        arg_lo = np.empty(m)
+        arg_hi = np.empty(m)
+        arg_lo[0] = arg_hi[0] = 0.0
+        arg_lo[1:] = np.maximum(near32.astype(np.float64) - err_arg, 0.0)
+        arg_hi[1:] = far + err_arg
+
+        pos_s1_t, err_s1, mag_s1, pos_w64 = self._f32_moments(
+            mir, "pos", q32, q_sq32, q_abs32, q_sq, k_ops
+        )
+        pos_s1 = np.empty(m)
+        pos_s1[0] = 0.0
+        pos_s1[1:] = pos_s1_t
+        err_t = self.gamma * err_s1
+        # float64 evaluation slack: intermediates are bounded by
+        # s0 + gamma * (|s1| + hi * s0); a generous 64-ulp multiple covers
+        # the ~15 floating ops of the chord/tangent formulas
+        slack_mag = pos_w64 + self.gamma * (mag_s1 + arg_hi[1:] * pos_w64)
+        if self.has_neg:
+            neg_s1_t, nerr_s1, nmag_s1, neg_w64 = self._f32_moments(
+                mir, "neg", q32, q_sq32, q_abs32, q_sq, k_ops
+            )
+            neg_s1 = np.empty(m)
+            neg_s1[0] = 0.0
+            neg_s1[1:] = neg_s1_t
+            neg_w = tree.stats.neg_w
+            err_t = err_t + self.gamma * nerr_s1
+            slack_mag = slack_mag + neg_w64 + self.gamma * (
+                nmag_s1 + arg_hi[1:] * neg_w64
+            )
+        else:
+            neg_w = neg_s1 = self._zeros
+        err = np.zeros(m)
+        err[1:] = err_t + 64.0 * _EPS64 * slack_mag
+        return arg_lo, arg_hi, tree.stats.pos_w, pos_s1, neg_w, neg_s1, err, 1
+
+    # ------------------------------------------------------------------
+    # loop dispatch
+    # ------------------------------------------------------------------
+
+    def run(self, q, q_sq, root_lb, root_ub, stop, spec, trace, stats, otrace):
+        """Refine from precomputed root bounds; mirrors ``_refine``'s loop.
+
+        ``spec`` is the structured stop condition ``(mode, p1, p2)`` the
+        compiled kernel evaluates inline; the Python twin uses the
+        ``stop`` closure directly, so instrumented runs (obs traces,
+        ``BoundTrace``, the frontier parity hook) take the per-pop twin
+        with identical recording to the interpreted loop.
+        """
+        from repro.core import aggregator as agg_mod
+
+        ns = native.get_kernels()
+        if ns.compile_seconds and otrace is not None:
+            # surface one-time JIT cost in the first traced query's phases
+            if not getattr(native, "_compile_phase_reported", False):
+                native._compile_phase_reported = True
+                otrace.add_phase("native_compile", ns.compile_seconds)
+        use_kernel = (
+            (ns.compiled or native.pykernel_forced())
+            and trace is None
+            and otrace is None
+            and not agg_mod._VERIFY_FRONTIER
+        )
+        if use_kernel:
+            mode, p1, p2 = spec
+            return self._run_kernel(
+                q, q_sq, root_lb, root_ub, mode, p1, p2, stats, ns
+            )
+        return self._run_python(
+            q, q_sq, root_lb, root_ub, stop, spec, trace, stats, otrace
+        )
+
+    # -- Python twin (heapq; handles all instrumentation) ---------------
+
+    def _run_python(self, q, q_sq, root_lb, root_ub, stop, spec, trace,
+                    stats, otrace):
+        from repro.core import aggregator as agg_mod
+
+        if trace is None and otrace is None and not agg_mod._VERIFY_FRONTIER:
+            return self._run_python_fast(q, q_sq, root_lb, root_ub, spec,
+                                         stats)
+        return self._run_python_traced(q, q_sq, root_lb, root_ub, stop,
+                                       trace, stats, otrace)
+
+    def _run_python_fast(self, q, q_sq, root_lb, root_ub, spec, stats):
+        """The uninstrumented fallback loop — the fast tier when numba is
+        absent.  Delegates to the code-generated specialization (see
+        :mod:`repro.native.fastloop`): same arithmetic as
+        ``_run_python_traced`` with the Neumaier steps, the ``spec``
+        stop condition, and the chord/tangent part bounds all inlined
+        straight-line for this (scheme, profile) configuration."""
+        return self._fast_loop(self, q, q_sq, root_lb, root_ub, spec, stats)
+
+    def _run_python_traced(self, q, q_sq, root_lb, root_ub, stop, trace,
+                           stats, otrace):
+        from repro.core import aggregator as agg_mod
+
+        agg = self.agg
+        tree = self.tree
+        _acc = agg_mod._acc_add
+        node_bounds = _kernels.node_bounds_scalar
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        terminal = self.terminal
+        left = tree.left
+        scheme_id, pid = self.scheme_id, self.pid
+        gamma, aux = self.gamma, self.aux
+        has_neg = self.has_neg
+
+        exact_sum = 0.0
+        frontier_lb, comp_lb = root_lb, 0.0
+        frontier_ub, comp_ub = root_ub, 0.0
+        tie = count()
+        heap = [(-(root_ub - root_lb), next(tie), 0, root_lb, root_ub)]
+
+        lb = exact_sum + (frontier_lb + comp_lb)
+        ub = exact_sum + (frontier_ub + comp_ub)
+        if trace is not None:
+            trace.record(lb, ub)
+        if otrace is not None:
+            otrace.total_bound_evals += 1  # the root
+
+        pre = None  # SoA lists, built lazily on the first expansion
+        while heap and not stop(lb, ub):
+            stats.iterations += 1
+            _, _, node, node_lb, node_ub = heappop(heap)
+            frontier_lb, comp_lb = _acc(frontier_lb, comp_lb, -node_lb)
+            frontier_ub, comp_ub = _acc(frontier_ub, comp_ub, -node_ub)
+            if otrace is not None:
+                pop_t0 = time.perf_counter()
+                pop_expanded = pop_leaves = pop_points = 0
+
+            if terminal[node]:
+                exact_sum += agg._leaf_exact(q, q_sq, node)
+                stats.record_leaf(tree.node_size(node))
+                if otrace is not None:
+                    pop_leaves = 1
+                    pop_points = tree.node_size(node)
+                    otrace.add_phase("leaves", time.perf_counter() - pop_t0)
+            else:
+                stats.record_expansion()
+                if pre is None:
+                    pre_t0 = time.perf_counter()
+                    pre = tuple(
+                        a.tolist() if isinstance(a, np.ndarray) else a
+                        for a in self._precompute_arrays(q, q_sq)
+                    )
+                    if otrace is not None:
+                        otrace.add_phase(
+                            "native_precompute", time.perf_counter() - pre_t0
+                        )
+                arg_lo, arg_hi, pos_w, pos_s1, neg_w, neg_s1, err, widen = pre
+                first = int(left[node])
+                for child in (first, first + 1):
+                    c_lb, c_ub = node_bounds(
+                        scheme_id, pid, gamma, aux,
+                        arg_lo[child], arg_hi[child],
+                        pos_w[child], pos_s1[child],
+                        neg_w[child], neg_s1[child], has_neg,
+                    )
+                    if widen:
+                        c_lb = c_lb - err[child]
+                        c_ub = c_ub + err[child]
+                    frontier_lb, comp_lb = _acc(frontier_lb, comp_lb, c_lb)
+                    frontier_ub, comp_ub = _acc(frontier_ub, comp_ub, c_ub)
+                    heappush(
+                        heap, (-(c_ub - c_lb), next(tie), child, c_lb, c_ub)
+                    )
+                if otrace is not None:
+                    pop_expanded = 1
+                    otrace.add_phase("bounds", time.perf_counter() - pop_t0)
+
+            if agg_mod._VERIFY_FRONTIER:
+                agg._verify_frontier(heap, frontier_lb + comp_lb,
+                                     frontier_ub + comp_ub)
+
+            lb = exact_sum + (frontier_lb + comp_lb)
+            ub = exact_sum + (frontier_ub + comp_ub)
+            if trace is not None:
+                trace.record(lb, ub)
+            if otrace is not None:
+                otrace.record_round(
+                    frontier=len(heap), expanded=pop_expanded,
+                    leaves=pop_leaves, points=pop_points,
+                    bound_evals=2 * pop_expanded, lb=lb, ub=ub,
+                )
+
+        if not heap:
+            lb = ub = exact_sum
+        if otrace is not None:
+            agg._finish_trace(
+                otrace, q, q_sq, [item[2] for item in heap], stats, lb, ub
+            )
+        return lb, ub, stats
+
+    # -- compiled kernel loop (resumed across terminal pops) ------------
+
+    def _run_kernel(self, q, q_sq, root_lb, root_ub, mode, p1, p2, stats, ns):
+        agg = self.agg
+        tree = self.tree
+        lb = 0.0 + (root_lb + 0.0)
+        ub = 0.0 + (root_ub + 0.0)
+        # the loop's first stop check, evaluated before paying for the
+        # precompute (mode 2's counter starts at 0 -> one check consumed)
+        if mode == 0:
+            stopped = lb > p1 or ub <= p1
+        elif mode == 1:
+            stopped = ub <= (1.0 + p1) * lb
+        elif mode == 2:
+            stopped = 0 >= p1
+        else:
+            stopped = ub + p2 <= (1.0 + p1) * (lb + p2)
+        if stopped:
+            return lb, ub, stats
+
+        arg_lo, arg_hi, pos_w, pos_s1, neg_w, neg_s1, err, widen = (
+            self._precompute_arrays(q, q_sq)
+        )
+        m = self.m
+        hk = np.empty(m + 2)
+        ht = np.empty(m + 2, dtype=np.int64)
+        hn = np.empty(m + 2, dtype=np.int64)
+        hl = np.empty(m + 2)
+        hu = np.empty(m + 2)
+        hk[0] = -(root_ub - root_lb)
+        ht[0] = 0
+        hn[0] = 0
+        hl[0] = root_lb
+        hu[0] = root_ub
+        istate = np.zeros(6, dtype=np.int64)
+        istate[0] = 1   # heap holds the root
+        istate[1] = 1   # next tie
+        istate[4] = 1   # first stop check already ran above
+        istate[5] = 1   # ... and counted, for mode 2
+        fstate = np.zeros(8)
+        fstate[0] = root_lb
+        fstate[2] = root_ub
+        fstate[5] = lb
+        fstate[6] = ub
+
+        refine = ns.refine_leaf_yield
+        while True:
+            status, node = refine(
+                hk, ht, hn, hl, hu, istate, fstate,
+                self.left, self.terminal,
+                arg_lo, arg_hi, pos_w, pos_s1, neg_w, neg_s1, err,
+                self.has_neg, widen,
+                self.scheme_id, self.pid, self.gamma, self.aux,
+                mode, float(p1), float(p2),
+            )
+            if status != _kernels.LEAF:
+                break
+            node = int(node)
+            fstate[4] += self._leaf_exact(q, q_sq, node)
+            stats.record_leaf(tree.node_size(node))
+            fstate[5] = fstate[4] + (fstate[0] + fstate[1])
+            fstate[6] = fstate[4] + (fstate[2] + fstate[3])
+
+        stats.iterations = int(istate[2])
+        stats.nodes_expanded = int(istate[3])
+        if status == _kernels.EXHAUSTED:
+            lb = ub = float(fstate[4])
+        else:
+            lb = float(fstate[5])
+            ub = float(fstate[6])
+        return lb, ub, stats

@@ -1,0 +1,323 @@
+"""Code-generated best-first fast loops for the numba-free tier.
+
+The fallback loop's remaining interpreter cost after the SoA precompute
+is *calls*: two specialized part-bound closure invocations per expanded
+child, each building and unpacking a result tuple.  This module removes
+them by generating the whole refinement loop's source per
+``(scheme, profile, has_neg, float32)`` configuration, with the scalar
+chord/tangent arithmetic of :func:`repro.native.kernels.node_bounds_scalar`
+pasted inline — straight-line transcriptions of the same formulas, so
+the generated loop stays bitwise-identical to the traced twin and to the
+compiled kernel (parity is enforced by tests/test_native.py and the
+golden contract).
+
+Generation happens once per configuration (module-level cache); the
+produced function is a plain Python callable
+
+    fast_loop(refiner, q, q_sq, root_lb, root_ub, spec, stats)
+
+mirroring ``NativeRefiner._run_python_fast``'s contract: refine until
+the inline ``spec = (mode, p1, p2)`` stop fires or the frontier is
+exhausted, then return ``(lb, ub, stats)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import textwrap
+
+import numpy as np
+
+from repro.native.kernels import _DEGENERATE_SPAN
+
+__all__ = ["build_fast_loop"]
+
+
+def _karl_src(pid: int, s0: str, s1src: str, blo: str, bhi: str,
+              x: str) -> str:
+    """KARL chord/tangent bounds as straight-line source.
+
+    ``s0`` is a bound local, ``s1src`` an indexing expression evaluated
+    once (inside the non-trivial branch only, where the value is used);
+    results land in ``blo``/``bhi``.  ``x`` suffixes every intermediate
+    so two instances (positive and negative part) can share a scope.
+    """
+    if pid == 0:  # Gaussian
+        deg = f"""\
+{blo} = {s0} * exp(-g * hi)
+{bhi} = {s0} * exp(-g * lo)"""
+        main = f"""\
+glo{x} = exp(-g * lo)
+ghi{x} = exp(-g * hi)
+{bhi} = glo{x} * {s0} + (ghi{x} - glo{x}) / span{x} * (s1{x} - lo * {s0})
+gx{x} = exp(-g * xbar{x})
+{blo} = gx{x} * {s0} + (-g * gx{x}) * (s1{x} - xbar{x} * {s0})"""
+    elif pid == 1:  # Laplacian
+        deg = f"""\
+{blo} = {s0} * exp(-g * sqrt(max(hi, 0.0)))
+{bhi} = {s0} * exp(-g * sqrt(max(lo, 0.0)))"""
+        main = f"""\
+xbar{x} = xbar{x} if xbar{x} >= aux else aux
+glo{x} = exp(-g * sqrt(max(lo, 0.0)))
+ghi{x} = exp(-g * sqrt(max(hi, 0.0)))
+{bhi} = glo{x} * {s0} + (ghi{x} - glo{x}) / span{x} * (s1{x} - lo * {s0})
+gx{x} = exp(-g * sqrt(max(xbar{x}, 0.0)))
+root{x} = sqrt(max(xbar{x}, aux))
+deriv{x} = -g / (2.0 * root{x}) * exp(-g * root{x})
+{blo} = gx{x} * {s0} + deriv{x} * (s1{x} - xbar{x} * {s0})"""
+    elif pid == 2:  # Cauchy
+        deg = f"""\
+{blo} = {s0} * (1.0 / (1.0 + g * hi))
+{bhi} = {s0} * (1.0 / (1.0 + g * lo))"""
+        main = f"""\
+glo{x} = 1.0 / (1.0 + g * lo)
+ghi{x} = 1.0 / (1.0 + g * hi)
+{bhi} = glo{x} * {s0} + (ghi{x} - glo{x}) / span{x} * (s1{x} - lo * {s0})
+den{x} = 1.0 + g * xbar{x}
+gx{x} = 1.0 / den{x}
+{blo} = gx{x} * {s0} + (-g / den{x} ** 2.0) * (s1{x} - xbar{x} * {s0})"""
+    else:  # Epanechnikov
+        deg = f"""\
+vh{x} = 1.0 - g * hi
+vl{x} = 1.0 - g * lo
+{blo} = {s0} * (vh{x} if vh{x} > 0.0 else 0.0)
+{bhi} = {s0} * (vl{x} if vl{x} > 0.0 else 0.0)"""
+        main = f"""\
+vl{x} = 1.0 - g * lo
+glo{x} = vl{x} if vl{x} > 0.0 else 0.0
+vh{x} = 1.0 - g * hi
+ghi{x} = vh{x} if vh{x} > 0.0 else 0.0
+{bhi} = glo{x} * {s0} + (ghi{x} - glo{x}) / span{x} * (s1{x} - lo * {s0})
+if hi <= aux or lo >= aux:
+    {blo} = {bhi}
+else:
+    vx{x} = 1.0 - g * xbar{x}
+    gx{x} = vx{x} if vx{x} > 0.0 else 0.0
+    deriv{x} = -g if xbar{x} < aux else 0.0
+    {blo} = gx{x} * {s0} + deriv{x} * (s1{x} - xbar{x} * {s0})"""
+
+    ind = textwrap.indent
+    return (
+        f"if {s0} <= 0.0:\n"
+        f"    {blo} = {bhi} = 0.0\n"
+        f"else:\n"
+        f"    span{x} = hi - lo\n"
+        f"    if span{x} <= _DEG:\n"
+        f"{ind(deg, ' ' * 8)}\n"
+        f"    else:\n"
+        f"        s1{x} = {s1src}\n"
+        f"        xbar{x} = s1{x} / {s0}\n"
+        f"        xbar{x} = (lo if xbar{x} < lo else\n"
+        f"                   hi if xbar{x} > hi else xbar{x})\n"
+        f"{ind(main, ' ' * 8)}"
+    )
+
+
+def _sota_src(pid: int, s0: str, blo: str, bhi: str, x: str) -> str:
+    """SOTA constant bounds (profile at the far/near corner) inline."""
+    if pid == 0:
+        return (f"{blo} = {s0} * exp(-g * hi)\n"
+                f"{bhi} = {s0} * exp(-g * lo)")
+    if pid == 1:
+        return (f"{blo} = {s0} * exp(-g * sqrt(max(hi, 0.0)))\n"
+                f"{bhi} = {s0} * exp(-g * sqrt(max(lo, 0.0)))")
+    if pid == 2:
+        return (f"{blo} = {s0} * (1.0 / (1.0 + g * hi))\n"
+                f"{bhi} = {s0} * (1.0 / (1.0 + g * lo))")
+    return (f"vh{x} = 1.0 - g * hi\n"
+            f"vl{x} = 1.0 - g * lo\n"
+            f"{blo} = {s0} * (vh{x} if vh{x} > 0.0 else 0.0)\n"
+            f"{bhi} = {s0} * (vl{x} if vl{x} > 0.0 else 0.0)")
+
+
+def _part_src(scheme_id: int, pid: int, s0: str, s1src: str, blo: str,
+              bhi: str, x: str) -> str:
+    """One part's ``(lower, upper)`` bound block for the given scheme."""
+    if scheme_id == 0:
+        return _karl_src(pid, s0, s1src, blo, bhi, x)
+    if scheme_id == 1:
+        return _sota_src(pid, s0, blo, bhi, x)
+    karl = _karl_src(pid, s0, s1src, f"klb{x}", f"kub{x}", f"{x}k")
+    sota = _sota_src(pid, s0, f"slb{x}", f"sub{x}", f"{x}s")
+    # Python max/min tie semantics: the KARL bound wins ties
+    return (
+        f"{karl}\n{sota}\n"
+        f"{blo} = klb{x} if klb{x} >= slb{x} else slb{x}\n"
+        f"{bhi} = kub{x} if kub{x} <= sub{x} else sub{x}"
+    )
+
+
+#: Neumaier compensated add of ``{v}`` into ``(f_{a}, c_{a})``, abs()
+#: spelled as conditionals (same comparison outcome — -0.0 ties compare
+#: equal — without the builtin call)
+_ACC = """\
+t = f_{a} + {v}
+c_{a} += ((f_{a} - t) + {v}
+          if (f_{a} if f_{a} >= 0.0 else -f_{a})
+          >= ({v} if {v} >= 0.0 else -{v})
+          else ({v} - t) + f_{a})
+f_{a} = t"""
+
+
+def _acc(acc: str, value: str) -> str:
+    return _ACC.format(a=acc, v=value)
+
+
+_LOOP_TEMPLATE = """\
+def fast_loop(refiner, q, q_sq, root_lb, root_ub, spec, stats,
+              g={g!r}, aux={aux!r}, _DEG={deg!r}, exp=_exp, sqrt=_sqrt,
+              max=max, heappush=_heappush, heappop=_heappop,
+              memoryview=memoryview, ndarray=_ndarray):
+    mode, p1, p2 = spec
+    one_eps = 1.0 + p1
+    checks = 0
+    terminal = refiner._terminal_list
+    left = refiner._left_list
+    sizes = refiner._sizes_list
+    leaf_exact = refiner._leaf_exact
+    node_lbs = refiner._scratch_lb
+    node_ubs = refiner._scratch_ub
+    node_lbs[0] = root_lb
+    node_ubs[0] = root_ub
+
+    exact_sum = 0.0
+    f_lb = root_lb
+    c_lb = 0.0
+    f_ub = root_ub
+    c_ub = 0.0
+    tie = 1
+    heap = [(-(root_ub - root_lb), 0, 0)]
+    lb = exact_sum + (f_lb + c_lb)
+    ub = exact_sum + (f_ub + c_ub)
+
+    pops = exps = leaves = pts = 0
+    arg_lo = None  # SoA memoryviews, built lazily on the first expansion
+    while heap:
+        if mode == 0:
+            if lb > p1 or ub <= p1:
+                break
+        elif mode == 1:
+            if ub <= one_eps * lb:
+                break
+        elif mode == 2:
+            if checks >= p1:
+                break
+            checks += 1
+        elif ub + p2 <= one_eps * (lb + p2):
+            break
+        pops += 1
+        _, _, node = heappop(heap)
+        x0 = -node_lbs[node]
+{acc_pop_lb}
+        x0 = -node_ubs[node]
+{acc_pop_ub}
+
+        if terminal[node]:
+            exact_sum += leaf_exact(q, q_sq, node)
+            leaves += 1
+            pts += sizes[node]
+        else:
+            exps += 1
+            if arg_lo is None:
+                # memoryviews: O(1) setup (vs O(m) tolist) and plain
+                # Python floats on indexing (vs boxed numpy scalars)
+                (arg_lo, arg_hi, pos_w, pos_s1, neg_w, neg_s1, err,
+                 widen) = tuple(
+                    memoryview(a) if isinstance(a, ndarray) else a
+                    for a in refiner._precompute_arrays(q, q_sq)
+                )
+            child = left[node]
+{child_block}
+            child += 1
+{child_block}
+
+        lb = exact_sum + (f_lb + c_lb)
+        ub = exact_sum + (f_ub + c_ub)
+
+    stats.iterations += pops
+    stats.nodes_expanded += exps
+    stats.leaves_evaluated += leaves
+    stats.points_evaluated += pts
+    if not heap:
+        lb = ub = exact_sum
+    return lb, ub, stats
+"""
+
+_CHILD_TEMPLATE = """\
+            lo = arg_lo[child]
+            hi = arg_hi[child]
+            pw = pos_w[child]
+{part_pos}
+{part_neg}
+{widen_block}
+{acc_child_lb}
+{acc_child_ub}
+            node_lbs[child] = c_lo
+            node_ubs[child] = c_hi
+            heappush(heap, (-(c_hi - c_lo), tie, child))
+            tie += 1"""
+
+_PART_NEG = """\
+s0n = neg_w[child]
+if s0n > 0.0:
+{neg_body}
+    c_lo, c_hi = c_lo - n_ub, c_hi - n_lb"""
+
+_WIDEN = """\
+e = err[child]
+c_lo = c_lo - e
+c_hi = c_hi + e"""
+
+_CACHE: dict = {}
+
+
+def build_fast_loop(scheme_id: int, pid: int, g: float, aux: float,
+                    has_neg: bool, widen: bool):
+    """The generated fast loop for one refiner configuration (cached)."""
+    key = (scheme_id, pid, float(g), float(aux), bool(has_neg), bool(widen))
+    fn = _CACHE.get(key)
+    if fn is None:
+        fn = _compile(*key)
+        _CACHE[key] = fn
+    return fn
+
+
+def _compile(scheme_id, pid, g, aux, has_neg, widen):
+    ind = textwrap.indent
+    part_pos = ind(
+        _part_src(scheme_id, pid, "pw", "pos_s1[child]", "c_lo", "c_hi", ""),
+        " " * 12,
+    )
+    if has_neg:
+        neg_body = ind(
+            _part_src(scheme_id, pid, "s0n", "neg_s1[child]", "n_lb",
+                      "n_ub", "n"),
+            " " * 4,
+        )
+        part_neg = ind(_PART_NEG.format(neg_body=neg_body), " " * 12)
+    else:
+        part_neg = " " * 12 + "pass"
+    widen_block = ind(_WIDEN, " " * 12) if widen else " " * 12 + "pass"
+    child_block = _CHILD_TEMPLATE.format(
+        part_pos=part_pos,
+        part_neg=part_neg,
+        widen_block=widen_block,
+        acc_child_lb=ind(_acc("lb", "c_lo"), " " * 12),
+        acc_child_ub=ind(_acc("ub", "c_hi"), " " * 12),
+    )
+    src = _LOOP_TEMPLATE.format(
+        g=g, aux=aux, deg=_DEGENERATE_SPAN,
+        acc_pop_lb=ind(_acc("lb", "x0"), " " * 8),
+        acc_pop_ub=ind(_acc("ub", "x0"), " " * 8),
+        child_block=child_block,
+    )
+    namespace = {
+        "_exp": math.exp,
+        "_sqrt": math.sqrt,
+        "_heappush": heapq.heappush,
+        "_heappop": heapq.heappop,
+        "_ndarray": np.ndarray,
+    }
+    exec(compile(src, f"<fastloop s{scheme_id} p{pid}>", "exec"), namespace)
+    return namespace["fast_loop"]

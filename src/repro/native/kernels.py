@@ -1,0 +1,432 @@
+"""Jittable refinement kernels: scalar bound math + array-heap loop.
+
+Everything in this module is plain Python written inside numba's
+``nopython`` subset; :func:`build_jit` rebinds the module globals to their
+``@njit`` twins in dependency order, so the same source serves as the
+compiled kernel and — uncompiled — as its reference twin (the
+``force_pykernel`` testing tier).
+
+Bitwise contract with the interpreted evaluator
+-----------------------------------------------
+Every formula below is a verbatim transcription of the scalar paths in
+:mod:`repro.core.bounds` (``KARLBounds.part_bounds`` convex/linear
+branches, ``SOTABounds.part_bounds``, ``HybridBounds``, the generic
+Type III ``node_bounds`` rule) and :mod:`repro.core.profiles` (the
+``math.*`` scalar branches).  Notable traps encoded here:
+
+* ``math.exp`` is libm — numba lowers it to the same libm call, while
+  ``np.exp`` over arrays takes a SIMD path that differs in the last ulp
+  on ~5% of inputs.  Per-node bound evaluation therefore stays scalar.
+* Cauchy's derivative divides by ``den ** 2.0`` — CPython's ``den ** 2``
+  is libm ``pow``, which differs from ``den * den`` on ~0.1% of inputs.
+* Moment clipping is the conditional ``s1 if s1 > 0.0 else 0.0``, not
+  ``max``: the two differ on negative zeros.
+
+The heap stores keys ``(-gap, tie)``; ties are unique and monotone, so
+pop order is independent of the heap implementation and matches
+``heapq`` exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "node_bounds_scalar",
+    "refine_leaf_yield",
+    "worst_gap_rows",
+    "worst_gap_rows_py",
+    "build_jit",
+]
+
+#: must match repro.core.bounds._DEGENERATE_SPAN
+_DEGENERATE_SPAN = 1e-13
+
+# profile ids (see driver.PROFILE_IDS)
+_GAUSSIAN = 0
+_LAPLACIAN = 1
+_CAUCHY = 2
+_EPANECHNIKOV = 3
+
+# scheme ids
+_KARL = 0
+_SOTA = 1
+_HYBRID = 2
+
+# refine_leaf_yield status codes
+STOPPED = 0
+LEAF = 1
+EXHAUSTED = 2
+
+
+# ----------------------------------------------------------------------
+# scalar profile evaluation (transcribed from repro.core.profiles)
+# ----------------------------------------------------------------------
+
+def _value(pid, gamma, aux, x):
+    """``g(x)`` — scalar branches of the four distance profiles."""
+    if pid == _GAUSSIAN:
+        return math.exp(-gamma * x)
+    if pid == _LAPLACIAN:
+        return math.exp(-gamma * math.sqrt(max(x, 0.0)))
+    if pid == _CAUCHY:
+        return 1.0 / (1.0 + gamma * x)
+    v = 1.0 - gamma * x  # Epanechnikov
+    return v if v > 0.0 else 0.0
+
+
+def _deriv(pid, gamma, aux, x):
+    """``g'(x)`` — ``aux`` is Laplacian's eps / Epanechnikov's cutoff."""
+    if pid == _GAUSSIAN:
+        return -gamma * math.exp(-gamma * x)
+    if pid == _LAPLACIAN:
+        root = math.sqrt(max(x, aux))
+        return -gamma / (2.0 * root) * math.exp(-gamma * root)
+    if pid == _CAUCHY:
+        den = 1.0 + gamma * x
+        return -gamma / den ** 2.0
+    return -gamma if x < aux else 0.0  # Epanechnikov subgradient
+
+
+# ----------------------------------------------------------------------
+# scalar bound schemes (transcribed from repro.core.bounds)
+# ----------------------------------------------------------------------
+
+def _karl_part(pid, gamma, aux, lo, hi, s0, s1):
+    if s0 <= 0.0:
+        return 0.0, 0.0
+    span = hi - lo
+    if span <= _DEGENERATE_SPAN:
+        # range_on: all four profiles are decreasing -> (g(hi), g(lo))
+        return s0 * _value(pid, gamma, aux, hi), s0 * _value(pid, gamma, aux, lo)
+    xbar = s1 / s0
+    xbar = lo if xbar < lo else hi if xbar > hi else xbar
+    if pid == _LAPLACIAN:  # clamp_tangent away from the g' singularity
+        xbar = xbar if xbar >= aux else aux
+    glo = _value(pid, gamma, aux, lo)
+    ghi = _value(pid, gamma, aux, hi)
+    chord_val = glo * s0 + (ghi - glo) / span * (s1 - lo * s0)
+    if pid == _EPANECHNIKOV and (hi <= aux or lo >= aux):
+        return chord_val, chord_val  # "linear" shape: the chord is exact
+    gx = _value(pid, gamma, aux, xbar)
+    tangent_val = gx * s0 + _deriv(pid, gamma, aux, xbar) * (s1 - xbar * s0)
+    return tangent_val, chord_val
+
+
+def _sota_part(pid, gamma, aux, lo, hi, s0, s1):
+    gmin = _value(pid, gamma, aux, hi)
+    gmax = _value(pid, gamma, aux, lo)
+    return s0 * gmin, s0 * gmax
+
+
+def _part_bounds(scheme_id, pid, gamma, aux, lo, hi, s0, s1):
+    if scheme_id == _KARL:
+        return _karl_part(pid, gamma, aux, lo, hi, s0, s1)
+    if scheme_id == _SOTA:
+        return _sota_part(pid, gamma, aux, lo, hi, s0, s1)
+    klb, kub = _karl_part(pid, gamma, aux, lo, hi, s0, s1)
+    slb, sub = _sota_part(pid, gamma, aux, lo, hi, s0, s1)
+    # Python max/min return the first argument on ties
+    lb = klb if klb >= slb else slb
+    ub = kub if kub <= sub else sub
+    return lb, ub
+
+
+def node_bounds_scalar(scheme_id, pid, gamma, aux, lo, hi,
+                       s0p, s1p, s0n, s1n, has_neg):
+    """Node contribution bounds; Type III rule ``LB+ - UB-, UB+ - LB-``."""
+    lb, ub = _part_bounds(scheme_id, pid, gamma, aux, lo, hi, s0p, s1p)
+    if has_neg and s0n > 0.0:
+        nlb, nub = _part_bounds(scheme_id, pid, gamma, aux, lo, hi, s0n, s1n)
+        return lb - nub, ub - nlb
+    return lb, ub
+
+
+# ----------------------------------------------------------------------
+# compensated frontier sums (transcribed from aggregator._acc_add)
+# ----------------------------------------------------------------------
+
+def _acc_add(s, c, x):
+    t = s + x
+    if abs(s) >= abs(x):
+        c += (s - t) + x
+    else:
+        c += (x - t) + s
+    return t, c
+
+
+# ----------------------------------------------------------------------
+# array-based binary heap keyed on (key, tie) — unique keys, so the pop
+# order matches heapq's tuple ordering exactly
+# ----------------------------------------------------------------------
+
+def _heap_push(keys, ties, nodes, lbs, ubs, size, k, t, nd, lo, hi):
+    i = size
+    keys[i] = k
+    ties[i] = t
+    nodes[i] = nd
+    lbs[i] = lo
+    ubs[i] = hi
+    while i > 0:
+        parent = (i - 1) >> 1
+        pk = keys[parent]
+        if k < pk or (k == pk and t < ties[parent]):
+            keys[i] = keys[parent]
+            ties[i] = ties[parent]
+            nodes[i] = nodes[parent]
+            lbs[i] = lbs[parent]
+            ubs[i] = ubs[parent]
+            i = parent
+        else:
+            break
+    keys[i] = k
+    ties[i] = t
+    nodes[i] = nd
+    lbs[i] = lo
+    ubs[i] = hi
+    return size + 1
+
+
+def _heap_pop(keys, ties, nodes, lbs, ubs, size):
+    nd = nodes[0]
+    lo = lbs[0]
+    hi = ubs[0]
+    size -= 1
+    if size > 0:
+        k = keys[size]
+        t = ties[size]
+        mn = nodes[size]
+        ml = lbs[size]
+        mu = ubs[size]
+        i = 0
+        while True:
+            child = 2 * i + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size:
+                ck, rk = keys[child], keys[right]
+                if rk < ck or (rk == ck and ties[right] < ties[child]):
+                    child = right
+            ck = keys[child]
+            if ck < k or (ck == k and ties[child] < t):
+                keys[i] = keys[child]
+                ties[i] = ties[child]
+                nodes[i] = nodes[child]
+                lbs[i] = lbs[child]
+                ubs[i] = ubs[child]
+                i = child
+            else:
+                break
+        keys[i] = k
+        ties[i] = t
+        nodes[i] = mn
+        lbs[i] = ml
+        ubs[i] = mu
+    return size, nd, lo, hi
+
+
+# ----------------------------------------------------------------------
+# the resumable best-first loop
+# ----------------------------------------------------------------------
+
+def refine_leaf_yield(
+    heap_key, heap_tie, heap_node, heap_lb, heap_ub,
+    istate, fstate,
+    left, terminal,
+    arg_lo, arg_hi, pos_w, pos_s1, neg_w, neg_s1, err,
+    has_neg, widen,
+    scheme_id, pid, gamma, aux,
+    mode, p1, p2,
+):
+    """Run best-first refinement until a stop, a terminal pop, or exhaustion.
+
+    Mirrors ``KernelAggregator._refine``'s loop body on flat arrays.  The
+    exact leaf aggregate needs numpy/BLAS arithmetic that must match the
+    interpreted path bitwise, so terminal pops *yield*: the function
+    returns ``(LEAF, node)`` with all loop state parked in ``istate`` /
+    ``fstate``, the caller folds the leaf's exact sum into
+    ``fstate[4]``..``fstate[6]`` and re-enters.  ``(STOPPED, -1)`` means
+    the stop predicate fired; ``(EXHAUSTED, -1)`` means the heap drained.
+
+    State layout — ``istate``: 0 heap size, 1 tie counter, 2 pops,
+    3 expansions, 4 skip-first-check flag, 5 stop checks consumed;
+    ``fstate``: 0/1 compensated frontier lower (sum, correction), 2/3
+    frontier upper, 4 exact sum, 5 global lb, 6 global ub.
+
+    Stop modes: 0 TKAQ (``lb > p1 or ub <= p1``), 1 eKAQ
+    (``ub <= (1+p1)*lb``), 2 pop budget (``checks >= p1``), 3
+    buffer-shifted eKAQ (``ub+p2 <= (1+p1)*(lb+p2)``).
+    """
+    size = istate[0]
+    tie = istate[1]
+    f_lb = fstate[0]
+    c_lb = fstate[1]
+    f_ub = fstate[2]
+    c_ub = fstate[3]
+    exact_sum = fstate[4]
+    lb = fstate[5]
+    ub = fstate[6]
+
+    while size > 0:
+        if istate[4] != 0:
+            istate[4] = 0  # caller already ran this iteration's stop check
+        elif mode == 0:
+            if lb > p1 or ub <= p1:
+                break
+        elif mode == 1:
+            if ub <= (1.0 + p1) * lb:
+                break
+        elif mode == 2:
+            checks = istate[5]
+            istate[5] = checks + 1
+            if checks >= p1:
+                break
+        else:
+            if ub + p2 <= (1.0 + p1) * (lb + p2):
+                break
+
+        size, node, node_lb, node_ub = _heap_pop(
+            heap_key, heap_tie, heap_node, heap_lb, heap_ub, size
+        )
+        istate[2] += 1
+        f_lb, c_lb = _acc_add(f_lb, c_lb, -node_lb)
+        f_ub, c_ub = _acc_add(f_ub, c_ub, -node_ub)
+
+        if terminal[node] != 0:
+            # park the state and yield: the caller adds the exact leaf
+            # aggregate and recomputes lb/ub with the same expressions
+            istate[0] = size
+            istate[1] = tie
+            fstate[0] = f_lb
+            fstate[1] = c_lb
+            fstate[2] = f_ub
+            fstate[3] = c_ub
+            fstate[4] = exact_sum
+            return LEAF, node
+
+        istate[3] += 1
+        first = left[node]
+        for j in range(2):
+            child = first + j
+            c_lo, c_hi = node_bounds_scalar(
+                scheme_id, pid, gamma, aux,
+                arg_lo[child], arg_hi[child],
+                pos_w[child], pos_s1[child], neg_w[child], neg_s1[child],
+                has_neg,
+            )
+            if widen != 0:
+                c_lo = c_lo - err[child]
+                c_hi = c_hi + err[child]
+            f_lb, c_lb = _acc_add(f_lb, c_lb, c_lo)
+            f_ub, c_ub = _acc_add(f_ub, c_ub, c_hi)
+            size = _heap_push(
+                heap_key, heap_tie, heap_node, heap_lb, heap_ub, size,
+                -(c_hi - c_lo), tie, child, c_lo, c_hi,
+            )
+            tie += 1
+
+        lb = exact_sum + (f_lb + c_lb)
+        ub = exact_sum + (f_ub + c_ub)
+
+    istate[0] = size
+    istate[1] = tie
+    fstate[0] = f_lb
+    fstate[1] = c_lb
+    fstate[2] = f_ub
+    fstate[3] = c_ub
+    fstate[4] = exact_sum
+    fstate[5] = lb
+    fstate[6] = ub
+    return (STOPPED, -1) if size > 0 else (EXHAUSTED, -1)
+
+
+# ----------------------------------------------------------------------
+# multiquery per-round reduction
+# ----------------------------------------------------------------------
+
+def worst_gap_rows(lb_mat, ub_mat):
+    """Per-row argmax of ``ub - lb`` without materialising the gap matrix.
+
+    First-maximum semantics match ``np.argmax`` (strict ``>`` update);
+    gaps are assumed finite (guaranteed for the supported profiles).
+    """
+    n_rows, n_cols = lb_mat.shape
+    out = np.empty(n_rows, dtype=np.int64)
+    for i in range(n_rows):
+        best = ub_mat[i, 0] - lb_mat[i, 0]
+        idx = 0
+        for j in range(1, n_cols):
+            v = ub_mat[i, j] - lb_mat[i, j]
+            if v > best:
+                best = v
+                idx = j
+        out[i] = idx
+    return out
+
+
+def worst_gap_rows_py(lb_mat, ub_mat):
+    """Numpy twin of :func:`worst_gap_rows` (used when numba is absent)."""
+    return np.argmax(np.subtract(ub_mat, lb_mat), axis=1)
+
+
+# ----------------------------------------------------------------------
+# JIT assembly
+# ----------------------------------------------------------------------
+
+def build_jit(njit):
+    """Rebind the module's kernels to ``@njit`` twins, dependency-first.
+
+    numba resolves global references at first compilation, so jitting in
+    call order makes every nested call a fast nopython call.  Returns the
+    two public entry points.  After this runs, the pure-Python twins are
+    replaced in-module (the ``force_pykernel`` tier is only meaningful in
+    numba-free environments).
+    """
+    global _value, _deriv, _karl_part, _sota_part, _part_bounds
+    global node_bounds_scalar, _acc_add, _heap_push, _heap_pop
+    global refine_leaf_yield, worst_gap_rows
+    _value = njit(_value)
+    _deriv = njit(_deriv)
+    _karl_part = njit(_karl_part)
+    _sota_part = njit(_sota_part)
+    _part_bounds = njit(_part_bounds)
+    node_bounds_scalar = njit(node_bounds_scalar)
+    _acc_add = njit(_acc_add)
+    _heap_push = njit(_heap_push)
+    _heap_pop = njit(_heap_pop)
+    refine_leaf_yield = njit(refine_leaf_yield)
+    worst_gap_rows = njit(worst_gap_rows)
+    return refine_leaf_yield, worst_gap_rows
+
+
+def warm_compile(ns) -> None:
+    """Force compilation on a two-node toy problem (root + no children).
+
+    Called once by ``repro.native.get_kernels`` so the JIT cost is paid
+    (and measured) in one place instead of silently inside the first
+    query.
+    """
+    m = 3
+    f = np.zeros(m, dtype=np.float64)
+    i8 = np.zeros(m, dtype=np.int64)
+    heap = [np.zeros(m + 2) for _ in range(2)]
+    heap_i = [np.zeros(m + 2, dtype=np.int64) for _ in range(3)]
+    istate = np.zeros(6, dtype=np.int64)
+    fstate = np.zeros(8, dtype=np.float64)
+    left = i8.copy()
+    left[0] = 1
+    terminal = np.ones(m, dtype=np.uint8)
+    terminal[0] = 0
+    istate[0] = 1  # root on the heap
+    heap_i[1][0] = 0
+    ns.refine_leaf_yield(
+        heap[0], heap_i[0], heap_i[1], heap[1], np.zeros(m + 2),
+        istate, fstate,
+        left, terminal,
+        f, f.copy(), f.copy(), f.copy(), f.copy(), f.copy(), f.copy(),
+        0, 0, 0, 0, 1.0, 0.0, 1, 0.5, 0.0,
+    )
+    ns.worst_gap_rows(np.zeros((2, 2)), np.ones((2, 2)))

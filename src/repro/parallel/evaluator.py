@@ -40,6 +40,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
+from repro import native as _native
 from repro.core.errors import (
     DataShapeError,
     InvalidParameterError,
@@ -98,20 +99,26 @@ def auto_chunk_size(n_queries: int, n_workers: int) -> int:
 # ----------------------------------------------------------------------
 
 
-def _init_worker(handle, kernel, scheme, max_depth, backend) -> None:
+def _init_worker(handle, kernel, scheme, max_depth, backend,
+                 native_mode="auto") -> None:
     """Pool initializer: attach the shared index, build the evaluator once.
 
     Spawn-safe: everything arrives pickled (the handle is names+metadata,
     the kernel/scheme are small parameter objects); the tree itself is
     rebuilt over zero-copy shared-memory views.  Any tracing sink the
     worker inherited from the environment is disabled — the parent owns
-    persistence; workers trace into their in-memory ring only.
+    persistence; workers trace into their in-memory ring only.  The
+    parent's native execution mode is forwarded explicitly because a
+    spawned worker would otherwise re-read ``REPRO_NATIVE`` and miss any
+    programmatic ``set_mode`` override.
     """
     global _WORKER_STATE
+    from repro import native
     from repro.core.aggregator import KernelAggregator
     from repro.parallel.shared import AttachedIndex
 
     _obs.disable()
+    native.set_mode(native_mode)
     attached = AttachedIndex(handle)
     agg = KernelAggregator(
         attached.tree, kernel, scheme=scheme, max_depth=max_depth
@@ -259,7 +266,8 @@ class ParallelEvaluator:
                     mp_context=mp.get_context(self._start_method),
                     initializer=_init_worker,
                     initargs=(self._shared.handle, self.kernel, self.scheme,
-                              self.max_depth, self.worker_backend),
+                              self.max_depth, self.worker_backend,
+                              _native.get_mode()),
                 )
             except Exception as exc:
                 warnings.warn(

@@ -74,7 +74,18 @@ class TestThroughputMetrics:
 
 class TestHostClass:
     def test_stamped(self):
-        assert host_class(_payload(1.0)) == ("x86_64", 8)
+        # unstamped native fields read as interpreted/numba-free defaults
+        assert host_class(_payload(1.0)) == ("x86_64", 8, "auto", None)
+
+    def test_native_state_splits_the_class(self):
+        jit = dict(HOST, repro_native="auto", numba="0.59.0")
+        interp = dict(HOST, repro_native="0", numba=None)
+        assert host_class(_payload(1.0, host=jit)) != host_class(
+            _payload(1.0, host=interp)
+        )
+        assert host_class(_payload(1.0, host=interp)) == (
+            "x86_64", 8, "0", None,
+        )
 
     def test_unstamped_variants(self):
         assert host_class(_payload(1.0, host=None)) is None

@@ -163,6 +163,38 @@ class TestGoldenContract:
             assert np.all(exact <= hi + tol)
             assert np.all(np.abs(est - exact) <= eps * exact + tol)
 
+    @pytest.mark.parametrize("mode", ("0", "auto"))
+    @pytest.mark.parametrize("wname", WEIGHTINGS)
+    def test_native_tier_matches_frozen_values(self, golden, wname, mode):
+        """Both refinement tiers reproduce the frozen contract bitwise.
+
+        ``mode="0"`` pins the interpreted loop, ``mode="auto"`` the native
+        tier (JIT when numba is installed, the generated fast loop
+        otherwise) — the frozen values must not depend on the tier.
+        """
+        from repro import native
+
+        pts, queries, weights = _workload()
+        kernel = GaussianKernel(gamma=GAMMA)
+        before = native.get_mode()
+        try:
+            native.set_mode(mode)
+            tree = KDTree(
+                pts, weights=weights[wname], leaf_capacity=LEAF_CAPACITY
+            )
+            agg = KernelAggregator(tree, kernel, scheme="karl")
+            frozen = golden["workloads"][wname]
+            tau = float.fromhex(frozen["tau"])
+            tk = agg.tkaq_many_results(queries, tau, backend="loop")
+            ek = agg.ekaq_many_results(queries, EPS, backend="loop")
+            expect = frozen["schemes"]["karl"]["loop"]
+            assert [bool(a) for a in tk.answers] == expect["tkaq_answers"]
+            assert _hex_list(ek.estimates) == expect["ekaq_estimates"]
+            assert _hex_list(ek.lower) == expect["ekaq_lower"]
+            assert _hex_list(ek.upper) == expect["ekaq_upper"]
+        finally:
+            native.set_mode(before)
+
     @pytest.mark.parametrize("wname", WEIGHTINGS)
     def test_answers_agree_across_schemes_and_backends(self, golden, wname):
         entry = golden["workloads"][wname]

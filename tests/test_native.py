@@ -1,0 +1,331 @@
+"""Native refinement tier: bitwise parity, mode plumbing, float32 contracts.
+
+The native tier's correctness story is *exact agreement*, not tolerance:
+the float64 fallback loop (and, with numba installed, the JIT kernel and
+its uncompiled pykernel twin) must reproduce the interpreted best-first
+loop bit for bit — same bounds, same pop counts, same leaf visits.  The
+opt-in float32 path trades bitwise identity for certified interval
+soundness: every result interval must still contain the float64 exact
+aggregate, and every stop certificate must hold unconditionally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import native
+from repro.core import KernelAggregator
+from repro.core.errors import InvalidParameterError
+from repro.core.kernels import (
+    CauchyKernel,
+    EpanechnikovKernel,
+    GaussianKernel,
+    LaplacianKernel,
+    PolynomialKernel,
+)
+from repro.core.multiquery import _worst_gap_rows_np
+from repro.index.builder import build_index
+from repro.index.serialize import rebuild_tree, tree_arrays
+from repro.native.fastloop import build_fast_loop
+from repro.native.kernels import worst_gap_rows_py
+
+DIST_KERNELS = {
+    "gaussian": GaussianKernel(gamma=0.8),
+    "laplacian": LaplacianKernel(gamma=0.8),
+    "cauchy": CauchyKernel(gamma=0.8),
+    "epanechnikov": EpanechnikovKernel(gamma=0.15),
+}
+SCHEMES = ("karl", "sota", "hybrid")
+F32_KERNELS = ("gaussian", "cauchy", "epanechnikov")
+
+
+@pytest.fixture(autouse=True)
+def _restore_native_mode():
+    """Every test leaves the process-global native mode as it found it."""
+    before = native.get_mode()
+    yield
+    native.set_mode(before)
+    native.force_pykernel(False)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(17)
+    pts = rng.normal(size=(2000, 5))
+    signed = np.where(
+        rng.random(2000) < 0.3, -rng.random(2000), rng.random(2000)
+    )
+    queries = rng.normal(size=(6, 5))
+    return pts, signed, queries
+
+
+@pytest.fixture(scope="module")
+def trees(data):
+    pts, signed, _ = data
+    return {
+        (kind, weighted): build_index(
+            kind, pts, signed if weighted else None, leaf_capacity=25
+        )
+        for kind in ("kd", "ball")
+        for weighted in (False, True)
+    }
+
+
+def _run_all(agg, queries):
+    """Every query mode, with the full bitwise-comparable signature."""
+    out = []
+    for q in queries:
+        for r in (
+            agg.ekaq(q, 0.05),
+            agg.tkaq(q, 1.0),
+            agg.refine_bounds(q, 37),
+        ):
+            out.append((
+                r.lower, r.upper, r.stats.iterations, r.stats.nodes_expanded,
+                r.stats.leaves_evaluated, r.stats.points_evaluated,
+            ))
+    return out
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("kname", sorted(DIST_KERNELS))
+@pytest.mark.parametrize("weighted", (False, True), ids=("plain", "signed"))
+@pytest.mark.parametrize("kind", ("kd", "ball"))
+def test_native_bitwise_parity(trees, data, kind, weighted, kname, scheme):
+    """Fallback tier == interpreted loop, bitwise, across the support matrix."""
+    _, _, queries = data
+    tree = trees[(kind, weighted)]
+    kernel = DIST_KERNELS[kname]
+    native.set_mode("0")
+    interp = _run_all(KernelAggregator(tree, kernel, scheme=scheme), queries)
+    native.set_mode("auto")
+    fast = _run_all(KernelAggregator(tree, kernel, scheme=scheme), queries)
+    assert interp == fast
+
+
+def test_fast_loop_matches_traced_twin(trees, data):
+    """The code-generated loop == the per-pop traced twin, bitwise.
+
+    ``trace=True`` routes ``_run_python`` through the instrumented twin
+    (which calls ``kernels.node_bounds_scalar`` per child), so this pins
+    the generated part-bound transcriptions to the kernels module.
+    """
+    _, _, queries = data
+    native.set_mode("auto")
+    for kname in ("gaussian", "epanechnikov"):
+        agg = KernelAggregator(
+            trees[("kd", True)], DIST_KERNELS[kname], scheme="hybrid"
+        )
+        for q in queries:
+            fast = agg.ekaq(q, 0.05)
+            traced = agg.ekaq(q, 0.05, trace=True)
+            assert (fast.lower, fast.upper) == (traced.lower, traced.upper)
+            assert fast.stats.iterations == traced.stats.iterations
+
+
+def test_pykernel_matches_fallback(trees, data):
+    """The uncompiled array-heap kernel == the heapq fallback, bitwise."""
+    _, _, queries = data
+    native.set_mode("auto")
+    tree = trees[("kd", True)]
+    kernel = DIST_KERNELS["gaussian"]
+    native.force_pykernel(True)
+    kern = _run_all(KernelAggregator(tree, kernel), queries)
+    native.force_pykernel(False)
+    fall = _run_all(KernelAggregator(tree, kernel), queries)
+    assert kern == fall
+
+
+def test_scratch_reuse_is_stateless(trees, data):
+    """Per-refiner scratch buffers must not leak state across queries."""
+    _, _, queries = data
+    native.set_mode("auto")
+    shared = KernelAggregator(trees[("kd", True)], DIST_KERNELS["cauchy"])
+    for q in queries:
+        fresh = KernelAggregator(trees[("kd", True)], DIST_KERNELS["cauchy"])
+        a = shared.ekaq(q, 0.05)
+        b = fresh.ekaq(q, 0.05)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+
+def test_mode_zero_disables_native(trees):
+    native.set_mode("0")
+    assert not native.enabled()
+    agg = KernelAggregator(trees[("kd", False)], DIST_KERNELS["gaussian"])
+    assert agg._native_refiner() is None
+    native.set_mode("auto")
+    assert agg._native_refiner() is not None
+
+
+def test_unsupported_kernel_falls_back(trees):
+    native.set_mode("auto")
+    agg = KernelAggregator(
+        trees[("kd", False)], PolynomialKernel(gamma=0.7, coef0=0.2, degree=2)
+    )
+    assert agg._native_refiner() is None
+
+
+def test_fast_loop_codegen_all_configs():
+    """Every (scheme, profile, neg, f32) combination generates and caches."""
+    for scheme_id in (0, 1, 2):
+        for pid in (0, 1, 2, 3):
+            for has_neg in (False, True):
+                for widen in (False, True):
+                    fn = build_fast_loop(
+                        scheme_id, pid, 0.8, 0.25, has_neg, widen
+                    )
+                    assert callable(fn)
+                    assert fn is build_fast_loop(
+                        scheme_id, pid, 0.8, 0.25, has_neg, widen
+                    )
+
+
+def test_worst_gap_rows_matches_argmax():
+    rng = np.random.default_rng(5)
+    for _ in range(20):
+        lb = np.round(rng.random((7, 13)), 1)  # quantized: ties happen
+        ub = lb + np.round(rng.random((7, 13)), 1)
+        expect = np.argmax(ub - lb, axis=1)
+        np.testing.assert_array_equal(_worst_gap_rows_np(lb, ub), expect)
+        np.testing.assert_array_equal(worst_gap_rows_py(lb, ub), expect)
+
+
+def test_rebuild_tree_normalises_layout(data):
+    """Deserialized trees expose C-contiguous arrays (the SoA precompute
+    runs whole-array operations over them) with values intact."""
+    pts, signed, queries = data
+    tree = build_index("kd", pts, signed, leaf_capacity=25)
+    arrays = tree_arrays(tree)
+    mangled = {}
+    for name, arr in arrays.items():
+        if arr.ndim == 2:
+            mangled[name] = np.asfortranarray(arr)
+        elif arr.ndim == 1 and arr.shape[0] > 1:
+            buf = np.empty((arr.shape[0], 2), dtype=arr.dtype)
+            buf[:, 0] = arr
+            mangled[name] = buf[:, 0]  # non-contiguous view, same values
+        else:
+            mangled[name] = arr
+    rebuilt = rebuild_tree("kd", 25, mangled)
+    for name in arrays:
+        got = getattr(rebuilt, name, None)
+        if isinstance(got, np.ndarray):
+            assert got.flags.c_contiguous, name
+    native.set_mode("auto")
+    a = KernelAggregator(tree, DIST_KERNELS["gaussian"])
+    b = KernelAggregator(rebuilt, DIST_KERNELS["gaussian"])
+    for q in queries:
+        ra, rb = a.ekaq(q, 0.05), b.ekaq(q, 0.05)
+        assert (ra.lower, ra.upper) == (rb.lower, rb.upper)
+
+
+# ----------------------------------------------------------------------
+# certified float32
+# ----------------------------------------------------------------------
+
+
+def test_float32_requires_supported_profile(trees):
+    with pytest.raises(InvalidParameterError, match="float32"):
+        KernelAggregator(
+            trees[("kd", False)], DIST_KERNELS["laplacian"],
+            precision="float32",
+        )
+
+
+def test_invalid_precision_rejected(trees):
+    with pytest.raises(InvalidParameterError, match="precision"):
+        KernelAggregator(
+            trees[("kd", False)], DIST_KERNELS["gaussian"], precision="half"
+        )
+
+
+def test_float32_needs_native_enabled(trees, data):
+    _, _, queries = data
+    native.set_mode("auto")
+    agg = KernelAggregator(
+        trees[("kd", False)], DIST_KERNELS["gaussian"], precision="float32"
+    )
+    native.set_mode("0")
+    with pytest.raises(InvalidParameterError, match="float32"):
+        agg.ekaq(queries[0], 0.1)
+
+
+def test_float32_rejects_batch_backends(trees, data):
+    _, _, queries = data
+    native.set_mode("auto")
+    agg = KernelAggregator(
+        trees[("kd", False)], DIST_KERNELS["gaussian"], precision="float32"
+    )
+    with pytest.raises(InvalidParameterError, match="float32"):
+        agg.ekaq_many(queries, 0.1, backend="multiquery")
+    with pytest.raises(InvalidParameterError, match="float32"):
+        agg.ekaq_many(queries, 0.1, backend="parallel")
+
+
+@pytest.mark.parametrize("kname", F32_KERNELS)
+@pytest.mark.parametrize("weighted", (False, True), ids=("plain", "signed"))
+def test_float32_ekaq_contract(trees, data, kname, weighted):
+    """Widened float32 intervals contain the float64 exact value, and the
+    eKAQ certificate holds whenever refinement stopped early."""
+    _, _, queries = data
+    native.set_mode("auto")
+    tree = trees[("kd", weighted)]
+    agg64 = KernelAggregator(tree, DIST_KERNELS[kname])
+    agg32 = KernelAggregator(tree, DIST_KERNELS[kname], precision="float32")
+    eps = 0.1
+    for q in queries:
+        exact = agg64.exact(q)
+        r = agg32.ekaq(q, eps)
+        assert r.lower <= exact <= r.upper
+        if not weighted:
+            # positive weights: the certificate is meaningful, and even a
+            # heap-exhausted interval (exact sum widened by the rounding
+            # certificate) satisfies it at this data size and tolerance
+            assert r.upper <= (1.0 + eps) * r.lower + 1e-9
+
+
+@pytest.mark.parametrize("kname", F32_KERNELS)
+def test_float32_tkaq_decisions_sound(trees, data, kname):
+    """TKAQ answers computed on widened float32 bounds match float64 truth."""
+    _, _, queries = data
+    native.set_mode("auto")
+    tree = trees[("kd", False)]
+    agg64 = KernelAggregator(tree, DIST_KERNELS[kname])
+    agg32 = KernelAggregator(tree, DIST_KERNELS[kname], precision="float32")
+    for q in queries:
+        exact = agg64.exact(q)
+        for tau in (0.25 * exact, exact * 1.5, 10.0):
+            r = agg32.tkaq(q, tau)
+            # only a *certified* side may decide; either way the interval
+            # must still bracket the truth
+            assert r.lower <= exact <= r.upper
+            if r.answer:
+                assert exact > tau
+            elif r.upper <= tau:
+                assert exact <= tau
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    gamma=st.floats(0.05, 5.0),
+    eps=st.floats(0.01, 0.5),
+)
+def test_float32_soundness_fuzz(seed, gamma, eps):
+    """Property: the certified float32 interval always contains the
+    float64 exact aggregate, for random data/bandwidth/tolerance."""
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(size=(400, 3))
+    tree = build_index("kd", pts, None, leaf_capacity=16)
+    native.set_mode("auto")
+    agg64 = KernelAggregator(tree, GaussianKernel(gamma=gamma))
+    agg32 = KernelAggregator(
+        tree, GaussianKernel(gamma=gamma), precision="float32"
+    )
+    q = rng.normal(size=3)
+    exact = agg64.exact(q)
+    r = agg32.ekaq(q, eps)
+    assert r.lower <= exact <= r.upper

@@ -117,8 +117,9 @@ class TestEmitJson:
         payload = reporting.emit_json("gate", {"x_qps": 1.0})
         cls = host_class(payload)
         assert cls is not None
-        assert cls == (payload["host"]["machine"],
-                       payload["host"]["schedulable_cpus"])
+        host = payload["host"]
+        assert cls == (host["machine"], host["schedulable_cpus"],
+                       host["repro_native"], host["numba"])
 
     def test_machine_matches_platform(self):
         import platform as _platform
