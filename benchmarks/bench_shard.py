@@ -1,0 +1,170 @@
+"""Shard-router benchmark: scatter/merge overhead and process scaling.
+
+Two phases on a synthetic clustered workload:
+
+1. **Merge overhead** — the same pipelined traffic served by one
+   unsharded aggregator and by a K=2 *in-process* router.  The router
+   pays scatter + validate + interval-merge on every micro-batch with
+   zero added parallelism, so batched QPS must stay within a small
+   constant factor of the unsharded server — this bounds the cost the
+   process topology has to win back.
+2. **Process scaling** — the same traffic against K=2 and K=4
+   process-shard routers (one worker per shard over shared memory).
+   On multi-core hosts this is the payoff phase and the acceptance
+   gates bind (>=1.7x unsharded QPS at K=2, >=3x at K=4, measured on
+   >=4 schedulable cores); on smaller hosts the numbers are recorded
+   but the gates are skipped — a 1-core container cannot demonstrate
+   parallel speedup, only correctness.
+
+Every response in every phase is checked ``ok`` and non-partial, so a
+regression that trades soundness for throughput cannot pass.  Raw
+results persist to ``benchmarks/results/BENCH_shard.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from conftest import run_once, scaled
+from repro.bench import emit, emit_json, render_table
+from repro.core import GaussianKernel, KernelAggregator
+from repro.index import KDTree
+from repro.kde import scott_gamma
+from repro.parallel import default_workers
+from repro.serve import (
+    AdmissionPolicy,
+    BatchConfig,
+    ServeClient,
+    ServeConfig,
+    ServerThread,
+)
+from repro.shard import ShardConfig, build_router
+
+EPS = 0.2
+PIPELINE_DEPTH = 64
+N_REQS = int(os.environ.get("REPRO_SHARD_BENCH_REQS", "256"))
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+#: the parallel-speedup gates only bind where speedup is possible
+GATE_MIN_CORES = 4
+SHARD_COUNTS = (2, 4)
+
+
+def _workload():
+    rng = np.random.default_rng(17)
+    n = scaled(8000)
+    centers = rng.random((8, 6))
+    pts = np.clip(centers[rng.integers(0, 8, n)]
+                  + 0.05 * rng.standard_normal((n, 6)), 0.0, 1.0)
+    return pts, np.ones(n), GaussianKernel(scott_gamma(pts))
+
+
+def _payloads(pts, n_requests, rng):
+    payloads = []
+    for i in range(n_requests):
+        q = pts[rng.integers(0, len(pts))].tolist()
+        if i % 2:
+            payloads.append({"op": "tkaq", "q": q,
+                             "tau": float(rng.uniform(0.5, 50.0))})
+        else:
+            payloads.append({"op": "ekaq", "q": q,
+                             "eps": float(rng.uniform(0.05, EPS))})
+    return payloads
+
+
+def _serve_config() -> ServeConfig:
+    return ServeConfig(
+        port=0,
+        batch=BatchConfig(max_batch=PIPELINE_DEPTH),
+        policy=AdmissionPolicy(max_queue=4096))
+
+
+def _pump(port, payloads):
+    responses = []
+    with ServeClient(port=port, timeout=300.0) as client:
+        # warm one real query so worker spawn/import is not in the clock
+        client.request_many(payloads[:1])
+        t0 = time.perf_counter()
+        for start in range(0, len(payloads), PIPELINE_DEPTH):
+            responses.extend(
+                client.request_many(payloads[start:start + PIPELINE_DEPTH]))
+        wall = time.perf_counter() - t0
+    for r in responses:
+        assert r["ok"], r
+        assert r.get("partial") is not True, r  # healthy fleet: no widening
+    return len(payloads) / wall
+
+
+def _router_qps(pts, weights, kernel, k, mode, payloads) -> float:
+    router = build_router(
+        pts, weights, kernel, k=k, mode=mode, leaf_capacity=40,
+        config=ShardConfig(sub_deadline_s=120.0))
+    with ServerThread(None, config=_serve_config(), router=router) as st:
+        return _pump(st.port, payloads)
+
+
+def build_shard_bench():
+    rng = np.random.default_rng(5)
+    pts, weights, kernel = _workload()
+    payloads = _payloads(pts, N_REQS, rng)
+
+    agg = KernelAggregator(KDTree(pts, weights=weights, leaf_capacity=40),
+                           kernel)
+    with ServerThread(agg, _serve_config()) as st:
+        unsharded_qps = _pump(st.port, payloads)
+
+    inproc_qps = _router_qps(pts, weights, kernel, 2, "inprocess", payloads)
+
+    process = {}
+    for k in SHARD_COUNTS:
+        process[k] = _router_qps(pts, weights, kernel, k, "process", payloads)
+
+    cores = default_workers()
+    results = {
+        "n": int(len(pts)),
+        "requests": N_REQS,
+        "pipeline_depth": PIPELINE_DEPTH,
+        "schedulable_cores": cores,
+        "unsharded_qps": unsharded_qps,
+        "inprocess_k2_qps": inproc_qps,
+        "merge_overhead": unsharded_qps / inproc_qps,
+        "process": [
+            {"label": f"k{k}", "k": k, "process_qps": qps,
+             "speedup": qps / unsharded_qps}
+            for k, qps in sorted(process.items())
+        ],
+        "gates_active": bool(SCALE >= 1 and cores >= GATE_MIN_CORES),
+    }
+    rows = [["unsharded", 1, unsharded_qps, 1.0],
+            ["inprocess", 2, inproc_qps, inproc_qps / unsharded_qps]]
+    for entry in results["process"]:
+        rows.append(["process", entry["k"], entry["process_qps"],
+                     entry["speedup"]])
+    table = render_table(
+        f"Sharded serving QPS (pipeline depth {PIPELINE_DEPTH}, "
+        f"{N_REQS} requests, {cores} schedulable cores; parallel gates "
+        f"{'ACTIVE' if results['gates_active'] else 'skipped'})",
+        ["topology", "K", "q/s", "vs unsharded"],
+        rows,
+    )
+    emit("shard", table)
+    return emit_json("shard", results)
+
+
+def test_shard_benchmark(benchmark):
+    payload = run_once(benchmark, build_shard_bench)
+    # merge overhead must stay bounded everywhere, including 1-core CI:
+    # an in-process K=2 router is the unsharded evaluator plus pure
+    # scatter/merge bookkeeping
+    assert payload["merge_overhead"] <= 3.0, payload
+    if payload["gates_active"]:
+        speedups = {e["k"]: e["speedup"] for e in payload["process"]}
+        assert speedups[2] >= 1.7, payload
+        assert speedups[4] >= 3.0, payload
+
+
+if __name__ == "__main__":
+    build_shard_bench()

@@ -792,6 +792,41 @@ class KernelAggregator:
             stats=self._loop_batch_stats([r.stats for r in results]),
         )
 
+    def refine_many_results(self, queries, rounds,
+                            backend: str = "auto") -> EKAQBatchResult:
+        """Anytime bounds for a batch: refine under a per-query round budget.
+
+        The batch twin of :meth:`refine_bounds`: ``rounds`` is a shared
+        scalar or per-query ``(Q,)`` vector of refinement-round budgets
+        (heap pops on the ``loop`` backend, shared-frontier rounds on
+        ``multiquery``).  Each returned ``[lower, upper]`` certifies
+        ``lower <= F_P(q) <= upper`` wherever refinement stopped;
+        ``rounds=0`` returns root bounds and a budget of at least the
+        tree's node count refines to exhaustion (``lower == upper``).
+        Only ``"auto"``, ``"multiquery"``, and ``"loop"`` backends apply
+        — the coreset tier has no budget semantics and the process pool
+        has no refine entry point.
+        """
+        if backend not in ("auto", "multiquery", "loop"):
+            raise InvalidParameterError(
+                "refine_many_results supports backend 'auto', 'multiquery', "
+                f"or 'loop'; got {backend!r}"
+            )
+        Q = self._check_queries(queries)
+        budget = as_query_param(rounds, Q.shape[0], "rounds", minimum=0.0)
+        impl = self._multiquery_backend(backend)
+        if impl is not None:
+            return impl.refine_many_results(Q, budget)
+        budgets = np.broadcast_to(budget, Q.shape[:1])
+        results = [self.refine_bounds(q, int(b)) for q, b in zip(Q, budgets)]
+        return EKAQBatchResult(
+            estimates=np.array([r.estimate for r in results]),
+            lower=np.array([r.lower for r in results]),
+            upper=np.array([r.upper for r in results]),
+            eps=np.array([r.eps for r in results]),
+            stats=self._loop_batch_stats([r.stats for r in results]),
+        )
+
     def tkaq_many(self, queries, tau, backend: str = "auto",
                   n_workers: int | None = None,
                   chunk_size: int | None = None) -> np.ndarray:

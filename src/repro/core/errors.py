@@ -15,6 +15,7 @@ __all__ = [
     "DataShapeError",
     "NotFittedError",
     "ParallelExecutionError",
+    "ShardUnavailableError",
     "as_matrix",
     "as_query_param",
     "as_vector",
@@ -44,6 +45,17 @@ class ParallelExecutionError(ReproError, RuntimeError):
     Raised by the process-parallel backend instead of hanging or returning
     partial results; the batch can be retried (the evaluator rebuilds its
     worker pool) or re-run on a serial backend.
+    """
+
+
+class ShardUnavailableError(ReproError, RuntimeError):
+    """A sharded scatter-gather batch could not be answered soundly.
+
+    Raised by the shard router when no shard answered at all, when a
+    shard failed and partial results are disabled, or when the missing
+    shard's worst-case mass is unbounded (dot-product kernels) so no
+    sound widened interval exists.  The router respawns dead shard
+    workers before the next batch, so the error is retryable.
     """
 
 

@@ -438,6 +438,50 @@ class MultiQueryAggregator:
             eps=eps, stats=stats,
         )
 
+    def refine_many_results(self, queries, rounds) -> EKAQBatchResult:
+        """Anytime bounds: refine each row for at most ``rounds`` rounds.
+
+        The batch twin of
+        :meth:`~repro.core.aggregator.KernelAggregator.refine_bounds`:
+        ``rounds`` (scalar or per-query ``(Q,)`` vector) caps how many
+        shared-frontier rounds each query may participate in; whatever
+        ``[lower, upper]`` it holds when its budget runs out is returned.
+        The intervals certify ``lower <= F_P(q) <= upper`` regardless of
+        where refinement stopped — ``rounds=0`` returns the root bounds,
+        and a budget at least the tree's node count runs to exhaustion
+        (``lower == upper``, the exact aggregate).  ``eps`` on the result
+        records the *achieved* relative half-width per query (``inf``
+        where the lower bound is not positive).  This is the primitive
+        the shard router's cross-shard escalation is built on.
+        """
+        Q = self._check_queries(queries)
+        budget = as_query_param(rounds, Q.shape[0], "rounds", minimum=0.0)
+        done_rounds = [0]  # rounds completed before the current stop check
+
+        if isinstance(budget, float):
+            def stop(lo, hi, idx):
+                out = np.full(idx.shape[0], done_rounds[0] >= budget,
+                              dtype=bool)
+                done_rounds[0] += 1
+                return out
+            param = budget
+        else:
+            def stop(lo, hi, idx):
+                out = done_rounds[0] >= budget[idx]
+                done_rounds[0] += 1
+                return out
+            param = None
+        lower, upper, stats = self._refine_many(Q, stop, kind="refine",
+                                                param=param)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            achieved = np.where(
+                lower > 0.0, (upper - lower) / (2.0 * lower), np.inf
+            )
+        return EKAQBatchResult(
+            estimates=0.5 * (lower + upper), lower=lower, upper=upper,
+            eps=achieved, stats=stats,
+        )
+
     def tkaq_many(self, queries, tau) -> np.ndarray:
         """Vector of TKAQ answers for each row of ``queries``."""
         return self.tkaq_many_results(queries, tau).answers

@@ -14,7 +14,7 @@ and talk to it with :class:`~repro.serve.client.ServeClient`.
 from repro.serve.batcher import BatchConfig, MicroBatcher, PendingRequest
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.hosting import ServerThread
-from repro.serve.policy import AdmissionPolicy
+from repro.serve.policy import RUNG_ORDER, AdmissionPolicy
 from repro.serve.protocol import (
     ERROR_CODES,
     ProtocolError,
@@ -33,6 +33,7 @@ __all__ = [
     "MicroBatcher",
     "PendingRequest",
     "AdmissionPolicy",
+    "RUNG_ORDER",
     "ServeClient",
     "ServeError",
     "ServerThread",

@@ -57,14 +57,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-workers", type=int, default=None,
                    help="process-pool width for parallel batches")
     p.add_argument("--drain-grace-s", type=float, default=10.0)
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition the dataset across K shard workers "
+                        "(default 1: unsharded)")
+    p.add_argument("--shard-mode", choices=("process", "inprocess"),
+                   default="process",
+                   help="shard topology: one process per shard over "
+                        "shared memory, or in-process workers")
+    p.add_argument("--shard-partition", choices=("stride", "block"),
+                   default="stride")
+    p.add_argument("--shard-sub-deadline-ms", type=float, default=5000.0,
+                   help="per-batch budget a shard gets before it is "
+                        "treated as missing")
+    p.add_argument("--no-partial-results", action="store_true",
+                   help="turn missing-shard batches into typed errors "
+                        "instead of widened partial answers")
     return p
 
 
 def make_server(args) -> KAQServer:
     wl = workload_for(args.dataset, n_queries=1, size=args.size)
-    tree = _INDEXES[args.index](
-        wl.points, weights=wl.weights, leaf_capacity=args.leaf_capacity)
-    agg = KernelAggregator(tree, wl.kernel, scheme=args.scheme)
     config = ServeConfig(
         host=args.host, port=args.port,
         batch=BatchConfig(
@@ -74,8 +86,24 @@ def make_server(args) -> KAQServer:
             n_workers=args.n_workers),
         policy=AdmissionPolicy(
             max_queue=args.max_queue, degrade_at=args.degrade_at,
-            eps_ceiling=args.eps_ceiling),
+            eps_ceiling=args.eps_ceiling,
+            partial_results=not args.no_partial_results),
         drain_grace_s=args.drain_grace_s)
+    if args.shards > 1:
+        from repro.shard import ShardConfig, build_router
+
+        router = build_router(
+            wl.points, wl.weights, wl.kernel, k=args.shards,
+            scheme=args.scheme, mode=args.shard_mode,
+            partition=args.shard_partition, index=args.index,
+            leaf_capacity=args.leaf_capacity,
+            config=ShardConfig(
+                sub_deadline_s=args.shard_sub_deadline_ms / 1e3,
+                allow_partial=not args.no_partial_results))
+        return KAQServer(None, config, router=router)
+    tree = _INDEXES[args.index](
+        wl.points, weights=wl.weights, leaf_capacity=args.leaf_capacity)
+    agg = KernelAggregator(tree, wl.kernel, scheme=args.scheme)
     return KAQServer(agg, config)
 
 

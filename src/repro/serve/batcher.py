@@ -52,6 +52,7 @@ from repro.obs.trace import QueryTrace
 from repro.serve.protocol import (
     DEADLINE_EXCEEDED,
     INTERNAL,
+    QUERY_OPS,
     Request,
     error_response,
     ok_response,
@@ -105,9 +106,10 @@ class MicroBatcher:
 
     def __init__(self, kind: str, aggregator, config: BatchConfig,
                  executor, loop: asyncio.AbstractEventLoop,
-                 on_done=None):
-        assert kind in ("tkaq", "ekaq", "exact"), kind
+                 on_done=None, sharded: bool = False):
+        assert kind in QUERY_OPS, kind
         self.kind = kind
+        self.sharded = sharded  # target is a ShardRouter, not an aggregator
         self._agg = aggregator
         self._cfg = config
         self._executor = executor
@@ -218,11 +220,16 @@ class MicroBatcher:
             self._g_inflight.set(self._inflight)
 
     def _pick_backend(self, batch_size: int) -> str:
+        if self.sharded:
+            return "shard"  # the router picks its own per-shard strategy
         cfg = self._cfg
-        if (self.kind != "exact" and cfg.coreset_hint is not None
+        # refine returns the raw certified interval and exact the true sum:
+        # neither has a coreset/parallel variant, so both stay multiquery.
+        degradable = self.kind in ("tkaq", "ekaq")
+        if (degradable and cfg.coreset_hint is not None
                 and cfg.coreset_hint()):
             return "coreset"
-        if (self.kind != "exact" and cfg.parallel_threshold is not None
+        if (degradable and cfg.parallel_threshold is not None
                 and cfg.n_workers and batch_size >= cfg.parallel_threshold):
             return "parallel"
         return "multiquery"
@@ -239,12 +246,18 @@ class MicroBatcher:
         if self.kind == "exact":
             return self._agg.exact_many(Q)
         param = np.array([p.served_param for p in live], dtype=np.float64)
-        kwargs = {"backend": backend}
-        if backend == "parallel":
-            kwargs["n_workers"] = self._cfg.n_workers
-            kwargs["chunk_size"] = self._cfg.chunk_size
+        if self.sharded:
+            # the router owns backend selection (per-shard evaluation)
+            kwargs = {}
+        else:
+            kwargs = {"backend": backend}
+            if backend == "parallel":
+                kwargs["n_workers"] = self._cfg.n_workers
+                kwargs["chunk_size"] = self._cfg.chunk_size
         if self.kind == "tkaq":
             return self._agg.tkaq_many_results(Q, param, **kwargs)
+        if self.kind == "refine":
+            return self._agg.refine_many_results(Q, param, **kwargs)
         return self._agg.ekaq_many_results(Q, param, **kwargs)
 
     def _response(self, p: PendingRequest, result, batch_id: int,
@@ -255,6 +268,9 @@ class MicroBatcher:
             return ok_response(req.id, "exact",
                                value=float(result[index]), **common)
         common["backend"] = backend
+        partial = getattr(result, "partial", None)
+        if partial is not None:
+            common["partial"] = bool(partial[index])
         if self.kind == "tkaq":
             return ok_response(
                 req.id, "tkaq",
@@ -262,6 +278,13 @@ class MicroBatcher:
                 lower=float(result.lower[index]),
                 upper=float(result.upper[index]),
                 served_tau=float(p.served_param), **common)
+        if self.kind == "refine":
+            return ok_response(
+                req.id, "refine",
+                estimate=float(result.estimates[index]),
+                lower=float(result.lower[index]),
+                upper=float(result.upper[index]),
+                served_rounds=float(p.served_param), **common)
         return ok_response(
             req.id, "ekaq",
             estimate=float(result.estimates[index]),
@@ -287,10 +310,14 @@ class MicroBatcher:
         """
         if not obs.is_enabled():
             return
-        n = self._agg.tree.n
+        if self.sharded:  # routers carry totals directly, not a tree
+            n = self._agg.n
+            scheme = self._agg.scheme_name
+        else:
+            n = self._agg.tree.n
+            scheme = self._agg.scheme.name
         trace = QueryTrace(kind=self.kind, backend="serve",
-                           scheme=self._agg.scheme.name,
-                           n_points=n, n_queries=n_batch)
+                           scheme=scheme, n_points=n, n_queries=n_batch)
         trace.wall_time = wall
         stats = getattr(result, "stats", None)
         if stats is not None:

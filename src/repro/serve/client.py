@@ -96,6 +96,12 @@ class ServeClient:
         return self.request({"op": "ekaq", "q": self._q(q), "eps": eps,
                              "deadline_ms": deadline_ms})
 
+    def refine(self, q, rounds: float,
+               deadline_ms: float | None = None) -> dict:
+        """Certified ``[lower, upper]`` after a fixed refinement budget."""
+        return self.request({"op": "refine", "q": self._q(q),
+                             "rounds": rounds, "deadline_ms": deadline_ms})
+
     def exact(self, q, deadline_ms: float | None = None) -> dict:
         """The exact aggregate ``F_P(q)``.  Returns the response."""
         return self.request({"op": "exact", "q": self._q(q),

@@ -21,8 +21,9 @@ __all__ = ["ServerThread"]
 class ServerThread:
     """A KAQServer hosted on its own event-loop thread."""
 
-    def __init__(self, aggregator, config: ServeConfig | None = None):
-        self.server = KAQServer(aggregator, config)
+    def __init__(self, aggregator, config: ServeConfig | None = None,
+                 *, router=None):
+        self.server = KAQServer(aggregator, config, router=router)
         self._loop = asyncio.new_event_loop()
         self._started = threading.Event()
         self._startup_error: BaseException | None = None

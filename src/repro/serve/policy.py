@@ -6,21 +6,33 @@ requests.  Beyond that it *sheds*: the client gets an explicit
 p99 of admitted requests is the latency contract; shed requests cost
 one JSON line each).
 
-Between "comfortable" and "full" there is a degraded band with two
-rungs, cheapest first:
+Between "comfortable" and "full" there is a degraded band with three
+rungs.  Their precedence is pinned by :data:`RUNG_ORDER` — cheapest
+contract damage first — and enforced at construction: a policy whose
+thresholds would engage a more damaging rung before a cheaper one is
+rejected.
 
-* once queue depth crosses ``coreset_at * max_queue`` (and the server
-  has a coreset tier), batches are routed to ``backend="coreset"`` —
-  answers keep the client's *exact* contract (certified-or-fallback),
-  only the cost profile changes, so this rung is tried before any
-  contract is loosened;
-* once depth crosses ``degrade_at * max_queue``, eKAQ requests are
-  served with a relaxed tolerance that ramps linearly from the client's
-  ``eps`` up to ``eps_ceiling`` as the queue approaches capacity.
-  Relaxed responses are marked ``degraded=true`` and carry the tolerance
-  actually served (``served_eps``) so clients — and the offline replay —
-  know exactly what contract the estimate satisfies.  TKAQ answers are
-  never degraded (a threshold answer is correct or it is not).
+* ``coreset`` — once queue depth crosses ``coreset_at * max_queue``
+  (and the server has a coreset tier), batches are routed to
+  ``backend="coreset"``.  Answers keep the client's *exact* contract
+  (certified-or-fallback), only the cost profile changes, so this rung
+  always engages before any contract is loosened.
+* ``eps_inflation`` — once depth crosses ``degrade_at * max_queue``,
+  eKAQ requests are served with a relaxed tolerance that ramps linearly
+  from the client's ``eps`` up to ``eps_ceiling`` as the queue
+  approaches capacity.  Relaxed responses are marked ``degraded=true``
+  and carry the tolerance actually served (``served_eps``) so clients —
+  and the offline replay — know exactly what contract the estimate
+  satisfies.  TKAQ answers are never degraded (a threshold answer is
+  correct or it is not).
+* ``partial`` — on a *sharded* server, a shard that dies or misses its
+  sub-deadline no longer fails the batch: the surviving shards' summed
+  interval is widened by the missing shard's precomputed worst-case
+  mass and the response is flagged ``partial=true``.  Unlike the other
+  rungs this one is failure-driven, not load-driven — it has no queue
+  threshold and ranks last because it is the only rung that widens an
+  already-served interval.  ``partial_results=False`` turns the same
+  event into a typed ``internal`` error instead.
 
 Deadlines are enforced at flush time: a request whose budget expired
 while queued is dropped *before* evaluation (``deadline_exceeded``), so
@@ -32,7 +44,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["AdmissionPolicy"]
+__all__ = ["AdmissionPolicy", "RUNG_ORDER"]
+
+#: pinned degradation precedence, cheapest contract damage first:
+#: reroute to a contract-preserving tier, then loosen tolerances, and
+#: only ever widen served intervals when a shard has actually failed.
+RUNG_ORDER = ("coreset", "eps_inflation", "partial")
 
 
 @dataclass
@@ -56,12 +73,18 @@ class AdmissionPolicy:
         positioned *below* ``degrade_at`` so load sheds work before it
         sheds accuracy.  ``None`` disables the rung; it also has no
         effect on servers without a coreset-capable aggregator.
+    partial_results : bool
+        Whether a sharded server may answer a batch without every shard
+        (interval widened by the missing shard's worst-case mass,
+        flagged ``partial=true``).  ``False`` converts shard failures
+        into typed ``internal`` errors.  No effect on unsharded servers.
     """
 
     max_queue: int = 1024
     degrade_at: float = 0.5
     eps_ceiling: float | None = None
     coreset_at: float | None = None
+    partial_results: bool = True
 
     def __post_init__(self):
         if self.max_queue < 1:
@@ -75,6 +98,13 @@ class AdmissionPolicy:
         if self.coreset_at is not None and not 0.0 <= self.coreset_at <= 1.0:
             raise ValueError(
                 f"coreset_at must be in [0, 1]; got {self.coreset_at}")
+        if (self.coreset_at is not None and self.eps_ceiling is not None
+                and self.coreset_at > self.degrade_at):
+            raise ValueError(
+                "coreset_at must be <= degrade_at when both rungs are "
+                f"configured (RUNG_ORDER pins the contract-preserving "
+                f"rung first); got coreset_at={self.coreset_at} > "
+                f"degrade_at={self.degrade_at}")
 
     def admit(self, queue_depth: int) -> bool:
         """Whether a new query request may join the queue."""
@@ -109,6 +139,24 @@ class AdmissionPolicy:
         span = max(1.0, self.max_queue - start)
         severity = min(1.0, (queue_depth - start) / span)
         return eps + severity * (self.eps_ceiling - eps), True
+
+    def active_rungs(self, queue_depth: int) -> tuple:
+        """The degradation rungs engaged at ``queue_depth``, in precedence.
+
+        Always a subsequence of :data:`RUNG_ORDER`: the load-driven
+        rungs appear once their thresholds are crossed; ``partial``
+        appears whenever enabled, because shard failure can strike at
+        any load (it is an availability rung, not a load rung).
+        """
+        rungs = []
+        if self.prefer_coreset(queue_depth):
+            rungs.append("coreset")
+        if (self.eps_ceiling is not None
+                and queue_depth > self.degrade_at * self.max_queue):
+            rungs.append("eps_inflation")
+        if self.partial_results:
+            rungs.append("partial")
+        return tuple(rungs)
 
     @staticmethod
     def expired(deadline: float | None, now: float) -> bool:

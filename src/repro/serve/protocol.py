@@ -13,8 +13,18 @@ micro-batches), so clients match on ``id``.  Five operations:
     (response carries ``served_eps`` and ``degraded``).
 ``exact``
     ``{"op": "exact", "q": [...]}`` — the exact aggregate (no pruning).
+``refine``
+    ``{"op": "refine", "q": [...], "rounds": 32}`` — run a fixed budget
+    of refinement rounds and return the certified ``[lower, upper]``
+    interval as-is (``rounds=0`` is the root bound).  The raw primitive
+    under iterative clients and cross-shard escalation.
 ``health`` / ``stats``
     Liveness probe / metrics snapshot; answered inline, never batched.
+
+Sharded servers additionally mark responses answered without every
+shard: ``partial=true`` means the interval includes a missing shard's
+worst-case mass — still a sound bracket, but wider than a full-fleet
+answer (see ``docs/sharding.md``).
 
 Query operations accept an optional ``deadline_ms`` (a per-request
 latency budget, measured from admission): requests whose deadline has
@@ -63,7 +73,7 @@ ERROR_CODES = (BAD_REQUEST, OVERLOADED, DEADLINE_EXCEEDED,
                SHUTTING_DOWN, INTERNAL)
 
 #: operations that enter the micro-batcher vs. answered inline
-QUERY_OPS = ("tkaq", "ekaq", "exact")
+QUERY_OPS = ("tkaq", "ekaq", "exact", "refine")
 ADMIN_OPS = ("health", "stats")
 
 #: request size guard: one line must stay shy of this many bytes
@@ -95,12 +105,17 @@ class Request:
     q: list = field(default_factory=list)
     tau: float | None = None
     eps: float | None = None
+    rounds: float | None = None
     deadline_ms: float | None = None
 
     @property
     def param(self) -> float:
-        """The query parameter for the op (tau or eps; exact has none)."""
-        return self.tau if self.op == "tkaq" else self.eps
+        """The query parameter for the op (tau/eps/rounds; exact has none)."""
+        if self.op == "tkaq":
+            return self.tau
+        if self.op == "refine":
+            return self.rounds
+        return self.eps
 
 
 def _require_float(obj: dict, key: str, request_id, minimum=None) -> float:
@@ -171,6 +186,8 @@ def decode_request(line: bytes, dim: int | None = None) -> Request:
         req.tau = _require_float(obj, "tau", request_id)
     elif op == "ekaq":
         req.eps = _require_float(obj, "eps", request_id, minimum=0.0)
+    elif op == "refine":
+        req.rounds = _require_float(obj, "rounds", request_id, minimum=0.0)
     if "deadline_ms" in obj and obj["deadline_ms"] is not None:
         req.deadline_ms = _require_float(obj, "deadline_ms", request_id,
                                          minimum=0.0)

@@ -59,10 +59,30 @@ class ServeConfig:
 
 
 class KAQServer:
-    """Serves TKAQ/eKAQ/exact queries over newline-delimited JSON."""
+    """Serves TKAQ/eKAQ/exact/refine queries over newline-delimited JSON.
 
-    def __init__(self, aggregator, config: ServeConfig | None = None):
+    The evaluation target is either a local
+    :class:`~repro.core.aggregator.KernelAggregator` or a
+    :class:`~repro.shard.ShardRouter` (``router=``); both expose the same
+    ``*_many_results``/``exact_many`` batch surface, so the batching,
+    admission, and drain machinery is identical.  On a sharded server the
+    admission policy's ``partial_results`` switch is pushed down to the
+    router at start, and shard failures surface either as ``partial=true``
+    responses or typed ``internal`` errors — never silent drops.
+    """
+
+    def __init__(self, aggregator, config: ServeConfig | None = None,
+                 *, router=None):
+        if aggregator is None and router is None:
+            raise ValueError("KAQServer needs an aggregator or a router")
+        if aggregator is not None and router is not None:
+            raise ValueError(
+                "pass either an aggregator or a router, not both")
         self._agg = aggregator
+        self._router = router
+        self._target = router if router is not None else aggregator
+        self._dim = (int(router.d) if router is not None
+                     else int(aggregator.tree.points.shape[1]))
         self.config = config or ServeConfig()
         self._loop: asyncio.AbstractEventLoop | None = None
         self._server: asyncio.AbstractServer | None = None
@@ -100,11 +120,16 @@ class KAQServer:
         """Bind and start accepting; returns once listening."""
         self._loop = asyncio.get_running_loop()
         self._drained = asyncio.Event()
+        if self._router is not None:
+            # the partial-result degradation rung is a policy decision;
+            # the router enforces it at merge time
+            self._router.allow_partial = self.config.policy.partial_results
         batch_cfg = self._batch_config()
         for kind in QUERY_OPS:
             self._batchers[kind] = MicroBatcher(
-                kind, self._agg, batch_cfg, self._executor,
-                self._loop, on_done=self._request_done)
+                kind, self._target, batch_cfg, self._executor,
+                self._loop, on_done=self._request_done,
+                sharded=self._router is not None)
         self._server = await asyncio.start_server(
             self._handle_conn, self.config.host, self.config.port)
 
@@ -120,6 +145,8 @@ class KAQServer:
         """
         cfg = self.config.batch
         policy = self.config.policy
+        if self._router is not None:
+            return cfg  # routers pick per-shard strategies themselves
         if cfg.coreset_hint is not None or policy.coreset_at is None:
             return cfg
         from repro.sketch.aggregator import CoresetAggregator
@@ -159,7 +186,7 @@ class KAQServer:
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         self._executor.shutdown(wait=True)
-        self._agg.close()
+        self._target.close()
 
     def install_signal_handlers(self, stop_event: asyncio.Event) -> None:
         """SIGTERM/SIGINT set ``stop_event`` (the CLI awaits it, then
@@ -215,7 +242,7 @@ class KAQServer:
         t0 = self._loop.time()
         self._m_requests.inc()
         try:
-            req = decode_request(line, dim=self._agg.tree.points.shape[1])
+            req = decode_request(line, dim=self._dim)
         except ProtocolError as exc:
             await self._write(writer, write_lock, error_response(
                 exc.request_id, exc.code, str(exc)))
@@ -284,10 +311,18 @@ class KAQServer:
     # ------------------------------------------------------------------
 
     def _health(self, req: Request) -> dict:
+        status = "draining" if self._draining else "serving"
+        if self._router is not None:
+            return ok_response(
+                req.id, "health", status=status,
+                n_points=self._router.n, d=self._router.d,
+                kernel=self._router.kernel_name,
+                scheme=self._router.scheme_name,
+                shards=self._router.n_shards,
+                live_shards=self._router.live_shards)
         tree = self._agg.tree
         return ok_response(
-            req.id, "health",
-            status="draining" if self._draining else "serving",
+            req.id, "health", status=status,
             n_points=int(tree.n), d=int(tree.points.shape[1]),
             kernel=type(self._agg.kernel).__name__,
             scheme=self._agg.scheme.name)

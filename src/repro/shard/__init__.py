@@ -1,0 +1,42 @@
+"""Sharded scatter-gather evaluation: partition, route, merge.
+
+Splits the point set across K shard workers (in-process, one process
+each over shared memory, or remote ``repro.serve`` instances), scatters
+each micro-batch, and merges per-shard certified intervals into global
+answers — including iterative cross-shard refinement for TKAQ and a
+sound partial-result tier when a shard dies or misses its sub-deadline.
+See ``docs/sharding.md`` for topology, merge rules, and the failure
+contract.
+"""
+
+from repro.shard.merge import (
+    ShardEKAQBatchResult,
+    ShardTKAQBatchResult,
+    intersect_rows,
+    merged_bounds,
+    validate_payload,
+)
+from repro.shard.partition import (
+    PARTITION_MODES,
+    partition_indices,
+    worst_case_mass,
+)
+from repro.shard.router import ShardConfig, ShardRouter, build_router
+from repro.shard.worker import LocalShard, ProcessShard, RemoteShard
+
+__all__ = [
+    "ShardRouter",
+    "ShardConfig",
+    "build_router",
+    "ProcessShard",
+    "LocalShard",
+    "RemoteShard",
+    "ShardTKAQBatchResult",
+    "ShardEKAQBatchResult",
+    "PARTITION_MODES",
+    "partition_indices",
+    "worst_case_mass",
+    "validate_payload",
+    "intersect_rows",
+    "merged_bounds",
+]

@@ -1,0 +1,105 @@
+"""Pure merge rules for cross-shard scatter-gather answers.
+
+Everything here is a function of arrays — no processes, no pipes — so
+the soundness properties the router depends on can be checked directly
+by property-based tests:
+
+* **Additivity**: for a disjoint partition, summing per-shard certified
+  intervals in a fixed shard order yields a sound (and deterministic)
+  global interval.
+* **Intersection**: a shard re-answering the same queries in a later
+  refinement round may return a *looser* certified interval than an
+  earlier round (refinement restarts from the root); intersecting the
+  old and new intervals keeps the per-shard state sound *and* monotone.
+* **Validation**: a shard response is used only if it has the right
+  shape, finite values, and ordered bounds — anything else is treated
+  exactly like a missing shard, never silently merged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.results import EKAQBatchResult, TKAQBatchResult
+
+__all__ = [
+    "ShardTKAQBatchResult",
+    "ShardEKAQBatchResult",
+    "validate_payload",
+    "intersect_rows",
+    "merged_bounds",
+]
+
+
+@dataclass
+class ShardTKAQBatchResult(TKAQBatchResult):
+    """A TKAQ batch answered by the shard router.
+
+    ``partial[i]`` is True when query ``i``'s interval includes a missing
+    shard's a-priori worst-case mass instead of a live answer — still a
+    sound bracket of ``F_P(q_i)``, but wider than a full-fleet answer,
+    and the decision is only reported when that widened interval still
+    clears (or cannot clear) ``tau``.
+    """
+
+    partial: "np.ndarray | None" = None  # (Q,) bool
+
+
+@dataclass
+class ShardEKAQBatchResult(EKAQBatchResult):
+    """An eKAQ batch answered by the shard router.
+
+    ``partial`` marks queries whose interval was widened by a missing
+    shard's worst-case mass; ``eps`` holds the *achieved* relative
+    half-width, which for partial answers may exceed the requested one.
+    """
+
+    partial: "np.ndarray | None" = None  # (Q,) bool
+
+
+def validate_payload(payload, n_queries: int) -> bool:
+    """True when a shard response is safe to merge.
+
+    Checks shape ``(n_queries,)`` for the three vectors, finiteness, and
+    ``lower <= upper``.  A corrupted worker (fault-injected or real)
+    fails here and the shard is counted missing for the batch — the
+    merge never ingests garbage.
+    """
+    if payload is None:
+        return False
+    try:
+        lower = np.asarray(payload["lower"], dtype=np.float64)
+        upper = np.asarray(payload["upper"], dtype=np.float64)
+        estimate = np.asarray(payload["estimate"], dtype=np.float64)
+    except (KeyError, TypeError, ValueError):
+        return False
+    if lower.shape != (n_queries,) or upper.shape != (n_queries,) \
+            or estimate.shape != (n_queries,):
+        return False
+    if not (np.isfinite(lower).all() and np.isfinite(upper).all()
+            and np.isfinite(estimate).all()):
+        return False
+    return bool((lower <= upper).all())
+
+
+def intersect_rows(lb_row, ub_row, new_lower, new_upper) -> tuple:
+    """Tighten one shard's per-query interval row with a fresh response.
+
+    Both the stored row and the new response are sound brackets of the
+    same per-shard sums, so their intersection is too; taking
+    ``max``/``min`` makes per-shard state monotone across refinement
+    rounds even though each round's certification restarts from the
+    root.  Returns the tightened ``(lower, upper)`` pair.
+    """
+    return np.maximum(lb_row, new_lower), np.minimum(ub_row, new_upper)
+
+
+def merged_bounds(lb_sh, ub_sh) -> tuple:
+    """Sum per-shard interval matrices ``(K, Q)`` into global ``(Q,)`` bounds.
+
+    Summation runs in fixed shard order (axis 0 of the stacked matrix),
+    so merged values are deterministic for a given shard layout.
+    """
+    return lb_sh.sum(axis=0), ub_sh.sum(axis=0)

@@ -1,0 +1,72 @@
+"""Disjoint dataset partitions and a-priori per-shard mass intervals.
+
+KARL's certified bounds are *additive* across disjoint partitions of the
+point set: if ``P = P_1 ∪ ... ∪ P_K`` (disjoint) then
+
+    F_P(q) = sum_s F_{P_s}(q)
+
+and summing per-shard certified ``[lb_s, ub_s]`` intervals yields a
+sound global interval.  This module owns the two pure pieces of that
+story: how the point set splits into shards, and the worst-case mass
+interval a shard's contribution can occupy *for any query* — the
+a-priori interval the router substitutes when a shard is missing past
+its sub-deadline (the partial-result degradation rung).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["PARTITION_MODES", "partition_indices", "worst_case_mass"]
+
+#: supported assignment strategies
+PARTITION_MODES = ("stride", "block")
+
+
+def partition_indices(n: int, k: int, mode: str = "stride") -> list:
+    """Split ``range(n)`` into ``k`` disjoint, covering index arrays.
+
+    ``"stride"`` (default) deals points round-robin (``idx % k``) — on
+    clustered data every shard sees a thinned copy of the whole
+    distribution, so per-shard refinement work stays balanced.
+    ``"block"`` assigns contiguous runs (``np.array_split``) — cheaper
+    locality story when the input order is already meaningful.  Every
+    shard is non-empty; ``k`` may not exceed ``n``.
+    """
+    n = int(n)
+    k = int(k)
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1; got {n}")
+    if not 1 <= k <= n:
+        raise InvalidParameterError(
+            f"shard count must be in [1, {n}]; got {k}")
+    if mode not in PARTITION_MODES:
+        raise InvalidParameterError(
+            f"partition mode must be one of {PARTITION_MODES}; got {mode!r}")
+    all_idx = np.arange(n, dtype=np.int64)
+    if mode == "stride":
+        return [all_idx[s::k] for s in range(k)]
+    return [np.ascontiguousarray(part) for part in np.array_split(all_idx, k)]
+
+
+def worst_case_mass(weights, kernel) -> tuple:
+    """A-priori ``(lo, hi)`` bracketing one shard's contribution, any query.
+
+    For distance kernels with convex non-increasing profiles every kernel
+    value lies in ``[0, K_max]`` with ``K_max = profile.value(0)`` (the
+    same a-priori bound the coreset certificates use), so a shard with
+    weights ``w`` contributes at least ``-K_max * sum(max(-w, 0))`` and
+    at most ``K_max * sum(max(w, 0))`` no matter where the query lands.
+    Dot-product kernels have no such bound: the interval is
+    ``(-inf, inf)``, which the router treats as "no sound partial result
+    exists for this shard" (:class:`~repro.core.errors.ShardUnavailableError`).
+    """
+    if kernel.argument != "dist_sq" or not kernel.profile.convex_decreasing:
+        return (-np.inf, np.inf)
+    value_max = float(kernel.profile.value(0.0))
+    w = np.asarray(weights, dtype=np.float64)
+    hi = value_max * float(np.clip(w, 0.0, None).sum())
+    lo = -value_max * float(np.clip(-w, 0.0, None).sum())
+    return (lo, hi)

@@ -1,0 +1,454 @@
+"""Scatter-gather shard router: global certified answers over K shards.
+
+The router owns no points.  It holds K shard workers — each a disjoint
+partition of the dataset behind the small shard transport surface (see
+``worker.py``) — and turns per-shard certified intervals into global
+ones by summing them in fixed shard order (``merge.py``).  Batch entry
+points mirror the aggregator's (``tkaq_many_results`` /
+``ekaq_many_results`` / ``refine_many_results`` / ``exact_many``) so the
+serving layer can point a micro-batcher at a router exactly as it points
+one at a local aggregator.
+
+**Iterative cross-shard refinement.**  Per-shard certificates at the
+client tolerance usually suffice in one round: if every shard certifies
+``ub_s - lb_s <= eps * lb_s`` then the sums obey the global ``(1 +-
+eps)`` contract (the slack is additive).  TKAQ, and eKAQ batches where
+some shard exhausts with a non-positive lower bound, need iteration: the
+router re-scatters the still-undecided queries with an escalating
+per-shard refinement budget (iterative deepening, ``initial_rounds`` ×
+``round_growth``) until the summed lower bound clears ``tau``, the
+summed upper bound cannot, or every shard is refined to exhaustion —
+where per-shard intervals collapse to points and the decision is forced.
+Re-answers are *intersected* into the stored per-shard intervals, so a
+cheap early certificate is never loosened by a later restart.
+
+**Failure semantics** — nothing is ever silently dropped:
+
+* A shard that misses its sub-deadline, dies mid-batch, or returns a
+  response that fails validation is *missing* for that gather.
+* Missing shard(s) + partial results enabled → the surviving per-shard
+  intervals are summed with the missing shard's stored interval — its
+  a-priori worst-case mass if it never answered this batch — and the
+  batch finalises immediately with ``partial=True``.  Still a sound
+  bracket, just wider.
+* Partial disabled, every shard missing, or the missing shard's mass
+  interval is unbounded (dot-product kernels, remote shards without a
+  declared mass) → typed :class:`ShardUnavailableError`; the serving
+  layer maps it to an ``internal`` error response and stays up.
+* Dead workers are respawned lazily before the *next* batch
+  (``_ensure_live``), so one crash costs one widened batch, not the
+  server.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import (
+    DataShapeError,
+    InvalidParameterError,
+    ShardUnavailableError,
+    as_matrix,
+    as_query_param,
+    check_positive,
+)
+from repro.core.results import BatchQueryStats
+from repro.index import build_index
+from repro.obs import runtime as obs
+from repro.obs.trace import QueryTrace
+from repro.shard.merge import (
+    ShardEKAQBatchResult,
+    ShardTKAQBatchResult,
+    intersect_rows,
+    merged_bounds,
+    validate_payload,
+)
+from repro.shard.partition import partition_indices
+from repro.shard.worker import LocalShard, ProcessShard
+
+__all__ = ["ShardConfig", "ShardRouter", "build_router"]
+
+
+@dataclass
+class ShardConfig:
+    """Routing knobs: sub-deadlines and the refinement escalation ladder."""
+
+    #: per-gather shard budget (seconds); a shard silent past this is
+    #: missing for the batch (the partial-result rung, or a typed error)
+    sub_deadline_s: float = 5.0
+    #: round-0 per-shard certificate tolerance for TKAQ probes
+    tkaq_probe_eps: float = 0.05
+    #: per-shard refinement rounds granted in the first escalation
+    initial_rounds: float = 32.0
+    #: budget multiplier between escalations (iterative deepening)
+    round_growth: float = 4.0
+    #: False turns every missing-shard event into ShardUnavailableError
+    allow_partial: bool = True
+
+    def __post_init__(self):
+        check_positive(self.sub_deadline_s, "sub_deadline_s")
+        check_positive(self.tkaq_probe_eps, "tkaq_probe_eps")
+        check_positive(self.initial_rounds, "initial_rounds")
+        if self.round_growth <= 1.0:
+            raise InvalidParameterError(
+                f"round_growth must be > 1; got {self.round_growth}")
+
+
+class ShardRouter:
+    """Scatter micro-batches over K shards, merge certified answers."""
+
+    def __init__(self, shards, config: ShardConfig | None = None):
+        if not shards:
+            raise InvalidParameterError("at least one shard is required")
+        dims = {int(s.d) for s in shards}
+        if len(dims) != 1:
+            raise InvalidParameterError(
+                f"shards disagree on dimensionality: {sorted(dims)}")
+        self.shards = list(shards)
+        self.config = config or ShardConfig()
+        self.allow_partial = self.config.allow_partial
+        self.n = int(sum(s.n for s in self.shards))
+        self.d = dims.pop()
+        first = self.shards[0]
+        kernel = getattr(first, "kernel", None)
+        self.kernel_name = type(kernel).__name__ if kernel is not None \
+            else "remote"
+        scheme = getattr(first, "scheme", None)
+        self.scheme_name = scheme.name if scheme is not None else "remote"
+        self._closed = False
+        reg = obs.registry()
+        self._m_scatter = reg.counter("shard.scatter_total")
+        self._m_missing = reg.counter("shard.missing_total")
+        self._m_partial = reg.counter("shard.partial_total")
+        self._m_respawn = reg.counter("shard.respawn_total")
+        self._g_live = reg.gauge("shard.live")
+        self._g_live.set(len(self.shards))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def live_shards(self) -> int:
+        return sum(1 for s in self.shards if s.alive())
+
+    # ------------------------------------------------------------------
+    # batch entry points (aggregator-shaped)
+    # ------------------------------------------------------------------
+
+    def tkaq_many_results(self, queries, tau) -> ShardTKAQBatchResult:
+        """Batch threshold queries ``F_P(q_i) > tau_i`` over all shards."""
+        Q = self._check_queries(queries)
+        tau_p = as_query_param(tau, Q.shape[0], "tau")
+        lower, upper, stats, partial, wall = self._iterate(Q, tau_p, "tkaq")
+        tau_vec = np.broadcast_to(np.asarray(tau_p), (Q.shape[0],))
+        self._trace("tkaq", Q.shape[0], stats, wall, partial)
+        return ShardTKAQBatchResult(
+            answers=lower > tau_vec, lower=lower, upper=upper, tau=tau_p,
+            stats=stats, partial=partial)
+
+    def ekaq_many_results(self, queries, eps) -> ShardEKAQBatchResult:
+        """Batch ``(1 +- eps)`` estimates of ``F_P(q_i)`` over all shards."""
+        Q = self._check_queries(queries)
+        eps_p = as_query_param(eps, Q.shape[0], "eps", minimum=0.0)
+        lower, upper, stats, partial, wall = self._iterate(Q, eps_p, "ekaq")
+        self._trace("ekaq", Q.shape[0], stats, wall, partial)
+        return ShardEKAQBatchResult(
+            estimates=0.5 * (lower + upper), lower=lower, upper=upper,
+            eps=self._achieved_eps(lower, upper), stats=stats,
+            partial=partial)
+
+    def refine_many_results(self, queries, rounds) -> ShardEKAQBatchResult:
+        """One fixed-budget refinement pass per shard, summed.
+
+        Single scatter (no iteration): each shard runs ``rounds`` shared
+        refinement rounds and the certified intervals are summed.  This
+        is the serve-layer ``refine`` op and the primitive the soundness
+        property tests exercise directly.
+        """
+        Q = self._check_queries(queries)
+        budget = as_query_param(rounds, Q.shape[0], "rounds", minimum=0.0)
+        nq = Q.shape[0]
+        t0 = time.perf_counter()
+        self._ensure_live()
+        lb_sh, ub_sh = self._mass_matrices(nq)
+        stats = BatchQueryStats()
+        responses, missing = self._scatter("refine", Q, budget)
+        if not responses:
+            raise ShardUnavailableError(
+                f"no shard answered within {self.config.sub_deadline_s}s "
+                f"(0/{self.n_shards} responses)")
+        for si, payload in responses.items():
+            lb_sh[si], ub_sh[si] = intersect_rows(
+                lb_sh[si], ub_sh[si], payload["lower"], payload["upper"])
+            if payload.get("stats") is not None:
+                stats.merge_batch(payload["stats"])
+        partial = np.zeros(nq, dtype=bool)
+        if missing:
+            self._require_partial_allowed(missing)
+            self._require_bounded(lb_sh, ub_sh, missing)
+            partial[:] = True
+            self._m_partial.inc(nq)
+        lower, upper = merged_bounds(lb_sh, ub_sh)
+        stats.n_queries = nq
+        wall = time.perf_counter() - t0
+        self._trace("refine", nq, stats, wall, partial)
+        return ShardEKAQBatchResult(
+            estimates=0.5 * (lower + upper), lower=lower, upper=upper,
+            eps=self._achieved_eps(lower, upper), stats=stats,
+            partial=partial)
+
+    def exact_many(self, queries) -> np.ndarray:
+        """Exact ``F_P(q_i)``: every shard must answer (no partial tier)."""
+        Q = self._check_queries(queries)
+        self._ensure_live()
+        responses, missing = self._scatter("exact", Q, None)
+        if missing:
+            raise ShardUnavailableError(
+                f"exact evaluation needs every shard; shard(s) "
+                f"{sorted(missing)} did not answer within "
+                f"{self.config.sub_deadline_s}s")
+        total = np.zeros(Q.shape[0], dtype=np.float64)
+        for si in range(self.n_shards):  # fixed order: deterministic sums
+            total += responses[si]["estimate"]
+        return total
+
+    def close(self) -> None:
+        """Shut down every shard worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for s in self.shards:
+            s.close()
+        self._g_live.set(0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # ------------------------------------------------------------------
+    # scatter-gather core
+    # ------------------------------------------------------------------
+
+    def _iterate(self, Q, param, kind: str):
+        """Escalating scatter-gather until every query decides.
+
+        Round 0 scatters a per-shard eKAQ certificate request (client
+        ``eps`` for eKAQ; ``tkaq_probe_eps`` for TKAQ — cheap enough to
+        be speculative, tight enough to decide most thresholds).  Each
+        later round re-scatters only the undecided queries as a budgeted
+        ``refine`` with a ×``round_growth`` deeper budget, capped at the
+        largest shard's node count — at that cap every shard refines to
+        exhaustion, per-shard intervals collapse, and the merged decision
+        is forced.  Returns ``(lower, upper, stats, partial, wall)``.
+        """
+        t0 = time.perf_counter()
+        nq = Q.shape[0]
+        param_vec = np.broadcast_to(np.asarray(param, dtype=np.float64),
+                                    (nq,))
+        self._ensure_live()
+        lb_sh, ub_sh = self._mass_matrices(nq)
+        stats = BatchQueryStats()
+        partial = np.zeros(nq, dtype=bool)
+        active = np.arange(nq)
+        exhaust_at = float(max(
+            (s.n_nodes if s.n_nodes else 2 * s.n) for s in self.shards))
+        budget = float(self.config.initial_rounds)
+        round_idx = 0
+        while active.size:
+            Qa = Q[active] if active.size < nq else Q
+            if round_idx == 0:
+                op = "ekaq"
+                arg = (float(self.config.tkaq_probe_eps) if kind == "tkaq"
+                       else np.ascontiguousarray(param_vec[active]))
+                exhausted = False
+            else:
+                op = "refine"
+                arg = min(budget, exhaust_at)
+                exhausted = budget >= exhaust_at
+            responses, missing = self._scatter(op, Qa, arg)
+            if not responses:
+                raise ShardUnavailableError(
+                    f"no shard answered within {self.config.sub_deadline_s}s"
+                    f" (0/{self.n_shards} responses, round {round_idx})")
+            for si, payload in responses.items():
+                lb_sh[si, active], ub_sh[si, active] = intersect_rows(
+                    lb_sh[si, active], ub_sh[si, active],
+                    payload["lower"], payload["upper"])
+                if payload.get("stats") is not None:
+                    stats.merge_batch(payload["stats"])
+            if missing:
+                # Partial-result rung: answer now from what we hold — the
+                # missing shard contributes its stored interval (worst-case
+                # mass if it never answered this batch).
+                self._require_partial_allowed(missing)
+                self._require_bounded(lb_sh, ub_sh, missing)
+                partial[active] = True
+                self._m_partial.inc(active.size)
+                break
+            lb_a = lb_sh[:, active].sum(axis=0)
+            ub_a = ub_sh[:, active].sum(axis=0)
+            if kind == "tkaq":
+                tau_a = param_vec[active]
+                done = (lb_a > tau_a) | (ub_a <= tau_a)
+            else:
+                done = ub_a <= (1.0 + param_vec[active]) * lb_a
+            if exhausted:
+                done = np.ones_like(done)
+            active = active[~done]
+            if round_idx > 0:
+                budget *= self.config.round_growth
+            round_idx += 1
+        lower, upper = merged_bounds(lb_sh, ub_sh)
+        stats.n_queries = nq
+        return lower, upper, stats, partial, time.perf_counter() - t0
+
+    def _scatter(self, op: str, Q, arg):
+        """One fan-out: send to every shard, gather within the sub-deadline.
+
+        Every shard is sent the block first (the scatter), then gathered
+        against one shared absolute deadline, so a slow shard's wait
+        overlaps its siblings' work.  Responses failing validation are
+        counted missing — corrupted data never reaches the merge.
+        Returns ``(responses: {shard_idx: payload}, missing: [idx])``.
+        """
+        nq = len(Q)
+        seqs = [s.send(op, Q, arg) for s in self.shards]
+        self._m_scatter.inc(len(self.shards))
+        deadline = time.monotonic() + self.config.sub_deadline_s
+        responses, missing = {}, []
+        for si, (shard, seq) in enumerate(zip(self.shards, seqs)):
+            payload = shard.collect(seq, deadline)
+            if validate_payload(payload, nq):
+                responses[si] = payload
+            else:
+                missing.append(si)
+        if missing:
+            self._m_missing.inc(len(missing))
+        self._g_live.set(self.live_shards)
+        return responses, missing
+
+    def _ensure_live(self) -> None:
+        """Respawn dead workers before a batch (lazy crash recovery)."""
+        if self._closed:
+            raise ShardUnavailableError("router has been closed")
+        for s in self.shards:
+            if not s.alive():
+                s.start()
+                self._m_respawn.inc()
+        self._g_live.set(self.live_shards)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _check_queries(self, queries) -> np.ndarray:
+        Q = as_matrix(queries, "queries")
+        if Q.shape[1] != self.d:
+            raise DataShapeError(
+                f"queries have dimension {Q.shape[1]}, expected {self.d}")
+        return Q
+
+    def _mass_matrices(self, nq: int):
+        """(K, nq) interval state seeded with each shard's a-priori mass."""
+        k = self.n_shards
+        lb_sh = np.empty((k, nq), dtype=np.float64)
+        ub_sh = np.empty((k, nq), dtype=np.float64)
+        for si, s in enumerate(self.shards):
+            lb_sh[si] = s.mass_interval[0]
+            ub_sh[si] = s.mass_interval[1]
+        return lb_sh, ub_sh
+
+    def _require_partial_allowed(self, missing) -> None:
+        if not self.allow_partial:
+            raise ShardUnavailableError(
+                f"shard(s) {sorted(missing)} did not answer within "
+                f"{self.config.sub_deadline_s}s and partial results are "
+                "disabled")
+
+    def _require_bounded(self, lb_sh, ub_sh, missing) -> None:
+        if not (np.isfinite(lb_sh).all() and np.isfinite(ub_sh).all()):
+            raise ShardUnavailableError(
+                f"shard(s) {sorted(missing)} did not answer and their "
+                "worst-case mass is unbounded for this kernel; no sound "
+                "partial result exists")
+
+    @staticmethod
+    def _achieved_eps(lower, upper) -> np.ndarray:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(lower > 0.0,
+                            (upper - lower) / (2.0 * lower), np.inf)
+
+    def _trace(self, kind: str, nq: int, stats, wall: float,
+               partial) -> None:
+        """Umbrella per-batch trace, mirroring the serve batcher's.
+
+        ``pruned_points`` is the signed complement of the evaluated total
+        so the conservation law (evaluated + pruned == n_queries * n)
+        holds for shard traces exactly as for engine and serve traces —
+        escalation rounds that re-evaluate leaves make it smaller, never
+        break the identity.
+        """
+        if not obs.is_enabled():
+            return
+        trace = QueryTrace(kind=kind, backend="shard",
+                           scheme=self.scheme_name,
+                           n_points=self.n, n_queries=nq)
+        trace.wall_time = wall
+        trace.record_round(
+            frontier=0, expanded=stats.nodes_expanded,
+            leaves=stats.leaves_evaluated,
+            points=stats.points_evaluated,
+            active=nq, retired=nq,
+            pruned_points=nq * self.n - stats.points_evaluated,
+            bound_evals=stats.bound_evaluations)
+        trace.extra["n_shards"] = self.n_shards
+        trace.extra["live_shards"] = self.live_shards
+        trace.extra["partial_queries"] = int(np.count_nonzero(partial))
+        obs.ingest_trace(trace)
+
+
+def build_router(points, weights, kernel, k: int, scheme="karl",
+                 mode: str = "process", partition: str = "stride",
+                 index: str = "kd", leaf_capacity: int = 80,
+                 max_depth=None,
+                 config: ShardConfig | None = None) -> ShardRouter:
+    """Partition a dataset into ``k`` shards and stand up a router.
+
+    ``mode="process"`` spawns one shared-memory worker process per shard
+    (the performance topology); ``mode="inprocess"`` builds synchronous
+    :class:`LocalShard` workers — deterministic and fork-free, used by
+    the golden contract and CI.  Remote topologies are assembled by hand
+    from :class:`~repro.shard.worker.RemoteShard` instances.
+    """
+    if mode not in ("process", "inprocess"):
+        raise InvalidParameterError(
+            f"shard mode must be 'process' or 'inprocess'; got {mode!r}")
+    pts = as_matrix(points, "points")
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != (pts.shape[0],):
+        raise DataShapeError(
+            f"weights must have shape ({pts.shape[0]},); got {w.shape}")
+    parts = partition_indices(pts.shape[0], k, mode=partition)
+    shards = []
+    try:
+        for sid, idx in enumerate(parts):
+            tree = build_index(index, pts[idx], w[idx],
+                               leaf_capacity=leaf_capacity)
+            cls = ProcessShard if mode == "process" else LocalShard
+            shards.append(cls(sid, tree, kernel, scheme=scheme,
+                              max_depth=max_depth))
+    except BaseException:
+        for s in shards:
+            s.close()
+        raise
+    return ShardRouter(shards, config=config)

@@ -1,0 +1,453 @@
+"""Shard workers: one index partition each, three transports.
+
+A *shard* owns one disjoint partition of the point set and answers
+scatter requests with certified ``[lower, upper]`` interval vectors (and
+estimates) for a query block.  The router speaks one small duck-typed
+surface — ``send(op, Q, arg) -> seq``, ``collect(seq, deadline) ->
+payload | None``, ``alive()``, ``start()``, ``inject(**fault)``,
+``close()`` — implemented three ways:
+
+:class:`ProcessShard`
+    The performance path: the shard's tree is exported once into named
+    shared memory (:class:`~repro.parallel.shared.SharedIndex`) and a
+    dedicated spawned process attaches it and evaluates.  One process
+    per shard (not a pool) so a crashed or wedged shard never poisons
+    its siblings, and the parent keeps the shared blocks alive so a dead
+    worker respawns without re-exporting the dataset.
+:class:`LocalShard`
+    In-process and synchronous — deterministic by construction, so it
+    backs the golden contract, the merge-soundness property tests, and
+    the ``tests-shard`` CI job.  Evaluation happens at ``collect`` time,
+    which is what lets the fault harness simulate a missing response
+    without any process machinery.
+:class:`RemoteShard`
+    A ``repro.serve`` instance on another port/host speaking the
+    existing NDJSON protocol (``ekaq`` / ``refine`` / ``exact`` ops) —
+    the horizontal-scale-out topology.
+
+Workers answer every request or die trying: a response either validates
+(finite, ordered, right shape — checked by the router) or the shard is
+counted *missing* for the batch.  Nothing is silently dropped.
+
+Fault injection (the test harness's deterministic knobs) rides the same
+pipe as work: a ``("fault", spec)`` control message arms the worker to
+SIGKILL itself on the next evaluation request (mid-batch death), sleep
+before answering, or return corrupted (non-finite) bounds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import time
+
+import numpy as np
+
+from repro.core.aggregator import KernelAggregator, resolve_scheme
+from repro.parallel.shared import AttachedIndex, SharedIndex
+from repro.shard.partition import worst_case_mass
+
+__all__ = ["ProcessShard", "LocalShard", "RemoteShard", "shard_worker_main"]
+
+#: default per-attempt pipe poll slice (collect loops on the deadline)
+_FAULT_SPEC_KEYS = ("die_next", "delay_s", "delay_n", "corrupt_n")
+
+
+def _shard_eval(agg: KernelAggregator, op: str, Q, arg) -> dict:
+    """One scatter request against a shard-local aggregator.
+
+    Returns ``lower``/``upper``/``estimate`` vectors (for ``exact`` all
+    three collapse to the exact values) plus the evaluation's
+    :class:`~repro.core.results.BatchQueryStats` so the router can keep
+    the global work accounting (and the point-conservation law) honest.
+    """
+    if op == "exact":
+        values = agg.exact_many(Q)
+        return {"lower": values, "upper": values, "estimate": values,
+                "stats": None}
+    if op == "ekaq":
+        res = agg.ekaq_many_results(Q, arg)
+    elif op == "refine":
+        res = agg.refine_many_results(Q, arg)
+    else:
+        raise ValueError(f"unknown shard op {op!r}")
+    return {"lower": res.lower, "upper": res.upper,
+            "estimate": res.estimates, "stats": res.stats}
+
+
+def shard_worker_main(conn, handle, kernel, scheme_name, max_depth,
+                      native_mode) -> None:
+    """Entry point of one spawned shard worker process.
+
+    Attaches the shared-memory tree, builds a shard-local aggregator,
+    and answers ``(op, seq, Q, arg)`` requests over the pipe until
+    ``("close",)`` or EOF.  Tracing is disabled (the parent records the
+    umbrella trace); the parent's native mode is forwarded explicitly,
+    same as the parallel pool workers.
+
+    Fault state is armed by ``("fault", spec)`` control messages:
+    ``die_next`` SIGKILLs the process on the next evaluation request
+    (after consuming it — a deterministic mid-batch crash), ``delay_s``/
+    ``delay_n`` sleep before the next ``delay_n`` answers, and
+    ``corrupt_n`` replaces the next ``corrupt_n`` responses with
+    non-finite garbage (which the router's validation must catch).
+    """
+    from repro import native
+    from repro.obs import runtime as _obs
+
+    _obs.disable()
+    native.set_mode(native_mode)
+    attached = AttachedIndex(handle)
+    agg = KernelAggregator(attached.tree, kernel, scheme=scheme_name,
+                           max_depth=max_depth)
+    fault = {key: 0 for key in _FAULT_SPEC_KEYS}
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = msg[0]
+            if op == "close":
+                break
+            if op == "fault":
+                fault.update(msg[1])
+                continue
+            seq = msg[1]
+            if fault["die_next"]:
+                os.kill(os.getpid(), signal.SIGKILL)
+            if fault["delay_n"] > 0:
+                fault["delay_n"] -= 1
+                time.sleep(float(fault["delay_s"]))
+            try:
+                if fault["corrupt_n"] > 0:
+                    fault["corrupt_n"] -= 1
+                    bad = np.full(len(msg[2]), np.nan)
+                    payload = {"seq": seq, "lower": bad, "upper": bad,
+                               "estimate": bad, "stats": None}
+                else:
+                    payload = _shard_eval(agg, op, msg[2], msg[3])
+                    payload["seq"] = seq
+                payload["pid"] = os.getpid()
+                conn.send(payload)
+            except Exception as exc:  # noqa: BLE001 - report, don't wedge
+                try:
+                    conn.send({"seq": seq, "pid": os.getpid(),
+                               "error": f"{type(exc).__name__}: {exc}"})
+                except (BrokenPipeError, OSError):
+                    break
+    finally:
+        attached.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+
+class ProcessShard:
+    """One shard worker in its own spawned process over shared memory.
+
+    The parent owns the shared-memory export for the shard's tree; the
+    worker attaches it zero-copy.  Because the blocks outlive the
+    worker, :meth:`start` can respawn a dead worker without touching the
+    dataset — the router does this lazily before each batch.
+    """
+
+    mode = "process"
+
+    def __init__(self, shard_id: int, tree, kernel, scheme="karl",
+                 max_depth=None, start_method: str = "spawn"):
+        self.shard_id = int(shard_id)
+        self.kernel = kernel
+        self.scheme = resolve_scheme(scheme)
+        self.n = int(tree.n)
+        self.d = int(tree.d)
+        self.n_nodes = int(tree.num_nodes)
+        self.mass_interval = worst_case_mass(tree.weights, kernel)
+        self.respawns = -1  # the initial start() brings this to 0
+        self._max_depth = max_depth
+        self._ctx = mp.get_context(start_method)
+        self._shared = SharedIndex(tree)
+        self._conn = None
+        self._proc = None
+        self._seq = 0
+        self._broken = False  # pipe EOF/error seen: worker is gone
+        self._closed = False
+        self.start()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        """(Re)spawn the worker over the existing shared blocks."""
+        from repro import native
+
+        if self._closed:
+            raise RuntimeError("shard has been closed")
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        self._proc = self._ctx.Process(
+            target=shard_worker_main,
+            args=(child_conn, self._shared.handle, self.kernel,
+                  self.scheme.name, self._max_depth, native.get_mode()),
+            daemon=True,
+            name=f"repro-shard-{self.shard_id}",
+        )
+        self._proc.start()
+        child_conn.close()
+        self._conn = parent_conn
+        self._broken = False
+        self.respawns += 1
+
+    def alive(self) -> bool:
+        # _broken is authoritative: a pipe EOF during send/collect proves
+        # the worker is gone even while is_alive() races process reaping.
+        return (not self._closed and not self._broken
+                and self._proc is not None and self._proc.is_alive())
+
+    @property
+    def pid(self):
+        """Worker process id (for the fault harness's real SIGKILL)."""
+        return self._proc.pid if self._proc is not None else None
+
+    def close(self) -> None:
+        """Stop the worker and unlink the shared blocks (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._conn is not None:
+            try:
+                self._conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        if self._proc is not None:
+            self._proc.join(timeout=5)
+            if self._proc.is_alive():  # pragma: no cover - wedged worker
+                self._proc.terminate()
+                self._proc.join(timeout=5)
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+        self._shared.close()
+
+    # -- scatter/gather ------------------------------------------------
+
+    def send(self, op: str, Q, arg=None):
+        """Ship one request; returns its ``seq`` or ``None`` when dead."""
+        self._seq += 1
+        try:
+            self._conn.send((op, self._seq, Q, arg))
+        except (BrokenPipeError, OSError):
+            self._broken = True
+            return None
+        return self._seq
+
+    def collect(self, seq, deadline: float):
+        """Block for the ``seq`` response until ``deadline`` (monotonic).
+
+        Returns the payload dict, or ``None`` on timeout / worker death
+        / a worker-side error report.  Stale responses (from a request
+        that already timed out in an earlier batch) are discarded by the
+        ``seq`` match, so a slow-but-alive worker resynchronises instead
+        of poisoning later batches with old answers.
+        """
+        if seq is None:
+            return None
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            try:
+                if not self._conn.poll(remaining):
+                    return None
+                payload = self._conn.recv()
+            except (EOFError, OSError):
+                self._broken = True
+                return None
+            if isinstance(payload, dict) and payload.get("seq") == seq:
+                if "error" in payload:
+                    return None
+                return payload
+            # stale answer from a timed-out earlier request: discard
+
+    def inject(self, **fault) -> None:
+        """Arm worker-side fault state (test harness hook)."""
+        unknown = set(fault) - set(_FAULT_SPEC_KEYS)
+        if unknown:
+            raise ValueError(f"unknown fault keys {sorted(unknown)}")
+        try:
+            self._conn.send(("fault", fault))
+        except (BrokenPipeError, OSError):
+            pass
+
+
+class LocalShard:
+    """An in-process shard: synchronous, deterministic, fault-mockable.
+
+    ``send`` only records the request; evaluation happens inside
+    ``collect`` on the caller's thread.  ``inject(fail_n=k)`` makes the
+    next ``k`` collects return ``None`` — the missing-shard path without
+    processes, which is how the partial-result contract is unit-tested
+    deterministically.
+    """
+
+    mode = "inprocess"
+
+    def __init__(self, shard_id: int, tree, kernel, scheme="karl",
+                 max_depth=None):
+        self.shard_id = int(shard_id)
+        self.kernel = kernel
+        self.scheme = resolve_scheme(scheme)
+        self.n = int(tree.n)
+        self.d = int(tree.d)
+        self.n_nodes = int(tree.num_nodes)
+        self.mass_interval = worst_case_mass(tree.weights, kernel)
+        self.respawns = 0
+        self._agg = KernelAggregator(tree, kernel, scheme=self.scheme,
+                                     max_depth=max_depth)
+        self._pending: dict = {}
+        self._seq = 0
+        self._fail_next = 0
+
+    def start(self) -> None:
+        pass
+
+    def alive(self) -> bool:
+        return True
+
+    @property
+    def pid(self):
+        return None
+
+    def send(self, op: str, Q, arg=None):
+        self._seq += 1
+        self._pending[self._seq] = (op, Q, arg)
+        return self._seq
+
+    def collect(self, seq, deadline: float):
+        if seq is None:
+            return None
+        op, Q, arg = self._pending.pop(seq)
+        if self._fail_next > 0:
+            self._fail_next -= 1
+            return None
+        payload = _shard_eval(self._agg, op, Q, arg)
+        payload["seq"] = seq
+        return payload
+
+    def inject(self, fail_n: int = 0, **_ignored) -> None:
+        """Make the next ``fail_n`` collects report the shard missing."""
+        self._fail_next += int(fail_n)
+
+    def close(self) -> None:
+        self._agg.close()
+
+
+class RemoteShard:
+    """A shard served by a remote ``repro.serve`` instance (NDJSON).
+
+    Scatters one protocol line per query (``ekaq``/``refine``/``exact``
+    ops — the remote server's own micro-batcher coalesces them) and
+    gathers the interval fields back.  No a-priori mass interval is
+    known for a remote dataset unless the caller provides one, so a
+    missing remote shard only supports partial results when
+    ``mass_interval`` was passed.
+    """
+
+    mode = "remote"
+
+    def __init__(self, shard_id: int, host: str, port: int,
+                 timeout: float = 30.0, mass_interval=None):
+        from repro.serve.client import ServeClient
+
+        self.shard_id = int(shard_id)
+        self.host = host
+        self.port = int(port)
+        self._client = ServeClient(host, port, timeout=timeout)
+        info = self._client.check(self._client.health())
+        self.n = int(info["n_points"])
+        self.d = int(info["d"])
+        self.n_nodes = None  # unknown; the router uses a safe 2n bound
+        self.mass_interval = (
+            tuple(mass_interval) if mass_interval is not None
+            else (-np.inf, np.inf))
+        self.respawns = 0
+        self._seq = 0
+        self._pending: dict = {}
+
+    def start(self) -> None:
+        pass
+
+    def alive(self) -> bool:
+        return True  # liveness is discovered at collect time
+
+    @property
+    def pid(self):
+        return None
+
+    def send(self, op: str, Q, arg=None):
+        self._seq += 1
+        arg_vec = None
+        if arg is not None:
+            arg_vec = np.broadcast_to(np.asarray(arg, dtype=np.float64),
+                                      (len(Q),))
+        ids = []
+        try:
+            for i, q in enumerate(np.asarray(Q, dtype=np.float64)):
+                payload = {"op": op, "id": f"s{self._seq}.{i}",
+                           "q": q.tolist()}
+                if op == "ekaq":
+                    payload["eps"] = float(arg_vec[i])
+                elif op == "refine":
+                    payload["rounds"] = float(arg_vec[i])
+                self._client._send(payload)
+                ids.append(payload["id"])
+        except (OSError, ConnectionError):
+            return None
+        self._pending[self._seq] = ids
+        return self._seq
+
+    def collect(self, seq, deadline: float):
+        if seq is None:
+            return None
+        ids = self._pending.pop(seq, None)
+        if ids is None:
+            return None
+        lower, upper, estimate = [], [], []
+        try:
+            for rid in ids:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._client._sock.settimeout(remaining)
+                resp = self._client._recv_for(rid)
+                if not resp.get("ok"):
+                    return None
+                if "value" in resp:  # exact: the interval is a point
+                    lower.append(resp["value"])
+                    upper.append(resp["value"])
+                    estimate.append(resp["value"])
+                else:
+                    lower.append(resp["lower"])
+                    upper.append(resp["upper"])
+                    estimate.append(resp.get("estimate", resp["lower"]))
+        except (OSError, ConnectionError, ValueError):
+            return None
+        return {"seq": seq, "lower": np.asarray(lower, dtype=np.float64),
+                "upper": np.asarray(upper, dtype=np.float64),
+                "estimate": np.asarray(estimate, dtype=np.float64),
+                "stats": None}
+
+    def inject(self, **_fault) -> None:
+        raise NotImplementedError(
+            "fault injection targets local shard workers; stop the remote "
+            "server instead")
+
+    def close(self) -> None:
+        self._client.close()

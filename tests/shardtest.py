@@ -1,0 +1,149 @@
+"""Reusable fault-injection harness for sharded scatter-gather tests.
+
+Not a test module (no ``test_`` prefix): it is imported by
+``test_shard*.py`` and by anything else that needs to kill, delay, or
+corrupt shard workers *deterministically*.  All injection rides the
+shard transport itself — a ``("fault", spec)`` control message arms the
+worker — so every fault lands at a well-defined point in the request
+stream instead of depending on scheduler timing:
+
+``kill(i)``
+    The worker SIGKILLs itself on its *next* evaluation request, after
+    consuming it: a deterministic mid-batch crash (the scatter has
+    happened, the gather sees EOF).  ``mode="signal"`` instead SIGKILLs
+    the process immediately from outside — the untidy variant.
+``delay(i, seconds)``
+    The worker sleeps before answering its next request(s) — drives the
+    sub-deadline/missing-shard path while the worker stays alive, which
+    also exercises stale-response resynchronisation afterwards.
+``corrupt(i)``
+    The worker answers with non-finite garbage — must be caught by
+    response validation and treated exactly like a missing shard.
+``drop(i)``
+    In-process shards only: the next ``collect`` returns ``None`` —
+    the missing-shard path with no processes involved.
+
+``make_problem``/``make_router`` build small clustered workloads and
+routers with test-friendly defaults, and ``assert_sound`` is the one
+oracle every fault scenario must pass: whatever was injected, a served
+interval still brackets the exact answer.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+
+from repro.core import GaussianKernel, KernelAggregator
+from repro.index import build_index
+from repro.shard import LocalShard, ShardConfig, build_router
+
+#: generous default — fault tests shrink it explicitly when they need to
+SUB_DEADLINE_S = 30.0
+
+
+def make_problem(n=900, d=4, n_queries=8, seed=23, negative_frac=0.0):
+    """A small clustered dataset + queries + exact answers.
+
+    Returns ``(points, weights, kernel, queries, exact)``; ``exact`` is
+    computed by an unsharded aggregator and is the oracle for every
+    soundness assertion.  ``negative_frac`` flips that fraction of the
+    weights negative (Type III territory).
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.random((4, d))
+    pts = centers[rng.integers(0, 4, n)] + 0.07 * rng.standard_normal((n, d))
+    weights = rng.uniform(0.5, 2.0, size=n)
+    if negative_frac > 0.0:
+        flip = rng.random(n) < negative_frac
+        weights[flip] *= -1.0
+    kernel = GaussianKernel(6.0)
+    queries = np.clip(centers[rng.integers(0, 4, n_queries)]
+                      + 0.1 * rng.standard_normal((n_queries, d)), -1.0, 2.0)
+    tree = build_index("kd", pts, weights, leaf_capacity=40)
+    agg = KernelAggregator(tree, kernel)
+    exact = agg.exact_many(queries)
+    agg.close()
+    return pts, weights, kernel, queries, exact
+
+
+def make_router(problem, k=2, mode="process", sub_deadline_s=SUB_DEADLINE_S,
+                warm=True, **config_kwargs):
+    """A router over ``make_problem``'s dataset, warmed past cold-start.
+
+    ``warm=True`` runs one throwaway batch so process workers are past
+    spawn/import before any test shrinks the sub-deadline — without it,
+    a short deadline would count worker startup as a fault.
+    """
+    pts, weights, kernel, queries, _ = problem
+    router = build_router(
+        pts, weights, kernel, k=k, mode=mode, leaf_capacity=40,
+        config=ShardConfig(sub_deadline_s=sub_deadline_s, **config_kwargs))
+    if warm:
+        router.ekaq_many_results(queries[:1], 0.5)
+    return router
+
+
+class FaultHarness:
+    """Deterministic fault injection against one router's shards."""
+
+    def __init__(self, router):
+        self.router = router
+
+    # -- crash faults --------------------------------------------------
+
+    def kill(self, shard_id: int, mode: str = "eval") -> None:
+        """Kill one shard worker.
+
+        ``mode="eval"`` (default) arms the worker to SIGKILL itself on
+        its next evaluation request — a deterministic mid-batch death.
+        ``mode="signal"`` SIGKILLs the process right now from outside.
+        """
+        shard = self.router.shards[shard_id]
+        if mode == "eval":
+            shard.inject(die_next=1)
+        elif mode == "signal":
+            if shard.pid is None:
+                raise ValueError(f"shard {shard_id} has no process to kill")
+            os.kill(shard.pid, signal.SIGKILL)
+        else:
+            raise ValueError(f"unknown kill mode {mode!r}")
+
+    def kill_all(self, mode: str = "eval") -> None:
+        """Every shard dies (on next request, or immediately)."""
+        for sid in range(len(self.router.shards)):
+            self.kill(sid, mode=mode)
+
+    # -- latency and data faults ---------------------------------------
+
+    def delay(self, shard_id: int, seconds: float, n: int = 1) -> None:
+        """The shard sleeps ``seconds`` before each of its next ``n``
+        answers (drive it past the router's sub-deadline)."""
+        self.router.shards[shard_id].inject(delay_s=float(seconds),
+                                            delay_n=int(n))
+
+    def corrupt(self, shard_id: int, n: int = 1) -> None:
+        """The shard's next ``n`` responses carry non-finite garbage."""
+        self.router.shards[shard_id].inject(corrupt_n=int(n))
+
+    def drop(self, shard_id: int, n: int = 1) -> None:
+        """In-process shards: the next ``n`` collects report missing."""
+        shard = self.router.shards[shard_id]
+        if not isinstance(shard, LocalShard):
+            raise ValueError("drop() targets in-process shards; use "
+                             "kill()/delay() for process shards")
+        shard.inject(fail_n=n)
+
+
+def assert_sound(result, exact, atol: float = 1e-9) -> None:
+    """The universal post-fault oracle: intervals still bracket truth."""
+    lower = np.asarray(result.lower)
+    upper = np.asarray(result.upper)
+    exact = np.asarray(exact)
+    assert (lower <= exact + atol).all(), \
+        f"lower bound exceeds exact: {lower - exact}"
+    assert (exact <= upper + atol).all(), \
+        f"upper bound below exact: {exact - upper}"
+    assert (lower <= upper + atol).all()

@@ -43,6 +43,7 @@ EPS = 0.1
 SCHEMES = ("karl", "sota")
 BACKENDS = ("loop", "multiquery")
 WEIGHTINGS = ("type1", "type2")
+SHARD_K = 3  # frozen sharded topology: K in-process shards, stride split
 
 
 def _hex_list(values) -> list[str]:
@@ -101,8 +102,38 @@ def _compute() -> dict:
                     "ekaq_upper": _hex_list(ek.upper),
                 }
             entry["schemes"][scheme] = per_backend
+        entry["sharded"] = _compute_sharded(pts, queries, weights[wname],
+                                            kernel, tau)
         out["workloads"][wname] = entry
     return out
+
+
+def _compute_sharded(pts, queries, weights, kernel, tau) -> dict:
+    """The K=3 stride-sharded extension of the frozen workload.
+
+    In-process shards merge in fixed shard order, so the scattered
+    values are deterministic — but the summation order differs from the
+    single tree, so they are frozen separately rather than required to
+    equal the unsharded hex values.
+    """
+    from repro.shard import build_router
+
+    w = np.ones(len(pts)) if weights is None else weights
+    router = build_router(pts, w, kernel, k=SHARD_K, mode="inprocess",
+                          partition="stride", leaf_capacity=LEAF_CAPACITY)
+    try:
+        tk = router.tkaq_many_results(queries, tau)
+        ek = router.ekaq_many_results(queries, EPS)
+        return {
+            "k": SHARD_K,
+            "exact": _hex_list(router.exact_many(queries)),
+            "tkaq_answers": [bool(a) for a in tk.answers],
+            "ekaq_estimates": _hex_list(ek.estimates),
+            "ekaq_lower": _hex_list(ek.lower),
+            "ekaq_upper": _hex_list(ek.upper),
+        }
+    finally:
+        router.close()
 
 
 @pytest.fixture(scope="module")
@@ -194,6 +225,30 @@ class TestGoldenContract:
             assert _hex_list(ek.upper) == expect["ekaq_upper"]
         finally:
             native.set_mode(before)
+
+    @pytest.mark.parametrize("wname", WEIGHTINGS)
+    def test_sharded_outputs_bitwise(self, golden, current, wname):
+        frozen = golden["workloads"][wname]["sharded"]
+        now = current["workloads"][wname]["sharded"]
+        assert frozen["k"] == SHARD_K
+        assert now == frozen
+
+    @pytest.mark.parametrize("wname", WEIGHTINGS)
+    def test_sharded_answers_match_unsharded(self, golden, wname):
+        """The K=3 merge changes summation order, never decisions."""
+        entry = golden["workloads"][wname]
+        assert (entry["sharded"]["tkaq_answers"]
+                == entry["schemes"]["karl"]["loop"]["tkaq_answers"])
+        exact = _from_hex(entry["exact"])
+        sh_exact = _from_hex(entry["sharded"]["exact"])
+        np.testing.assert_allclose(sh_exact, exact, rtol=1e-12)
+        lo = _from_hex(entry["sharded"]["ekaq_lower"])
+        hi = _from_hex(entry["sharded"]["ekaq_upper"])
+        est = _from_hex(entry["sharded"]["ekaq_estimates"])
+        tol = 1e-12 * (1.0 + np.abs(exact))
+        assert np.all(lo <= exact + tol)
+        assert np.all(exact <= hi + tol)
+        assert np.all(np.abs(est - exact) <= golden["eps"] * exact + tol)
 
     @pytest.mark.parametrize("wname", WEIGHTINGS)
     def test_answers_agree_across_schemes_and_backends(self, golden, wname):

@@ -36,6 +36,7 @@ from repro.serve import (
     decode_request,
     encode,
 )
+from repro.serve.policy import RUNG_ORDER
 
 
 @pytest.fixture
@@ -135,6 +136,36 @@ class TestAdmissionPolicy:
             AdmissionPolicy(degrade_at=1.5)
         with pytest.raises(ValueError):
             AdmissionPolicy(eps_ceiling=0.0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(coreset_at=-0.1)
+        # rung order is pinned: the contract-preserving rung may not be
+        # scheduled after the contract-loosening one
+        with pytest.raises(ValueError, match="RUNG_ORDER"):
+            AdmissionPolicy(degrade_at=0.3, eps_ceiling=0.5, coreset_at=0.8)
+
+    def test_rung_order_is_pinned(self):
+        assert RUNG_ORDER == ("coreset", "eps_inflation", "partial")
+
+    def test_active_rungs_precedence(self):
+        pol = AdmissionPolicy(max_queue=100, degrade_at=0.5,
+                              eps_ceiling=0.5, coreset_at=0.25)
+        # rungs engage in RUNG_ORDER as load climbs; the reported tuple
+        # is always a subsequence of RUNG_ORDER
+        assert pol.active_rungs(0) == ("partial",)
+        assert pol.active_rungs(25) == ("coreset", "partial")
+        assert pol.active_rungs(60) == ("coreset", "eps_inflation",
+                                        "partial")
+        for depth in (0, 10, 25, 50, 60, 99):
+            rungs = pol.active_rungs(depth)
+            idx = [RUNG_ORDER.index(r) for r in rungs]
+            assert idx == sorted(idx)
+
+    def test_active_rungs_respects_toggles(self):
+        pol = AdmissionPolicy(max_queue=100, partial_results=False)
+        assert pol.active_rungs(99) == ()
+        pol = AdmissionPolicy(max_queue=100)  # partial_results defaults on
+        assert pol.partial_results is True
+        assert pol.active_rungs(0) == ("partial",)
 
 
 # ----------------------------------------------------------------------
@@ -179,7 +210,8 @@ class TestLiveServer:
                 assert h["kernel"] == "GaussianKernel"
                 s = client.check(client.stats())
                 assert s["queue_depth"] == 0
-                assert set(s["windows_us"]) == {"tkaq", "ekaq", "exact"}
+                assert set(s["windows_us"]) == {"tkaq", "ekaq", "exact",
+                                                "refine"}
                 assert "serve.requests_total" in s["counters"]
 
     def test_single_ops_match_offline(self, served_problem):
@@ -200,6 +232,22 @@ class TestLiveServer:
                     r = client.check(client.ekaq(q, 0.1))
                     assert abs(r["estimate"] - exact) <= 0.1 * exact
                     assert r["served_eps"] == 0.1 and not r["degraded"]
+
+    def test_refine_op_served(self, served_problem):
+        pts, tree, kernel = served_problem
+        agg = KernelAggregator(tree, kernel)
+        with make_server(served_problem) as st:
+            with ServeClient(port=st.port) as client:
+                q = pts[3]
+                exact = agg.exact(q)
+                prev_width = np.inf
+                for rounds in (0, 8, 64):
+                    r = client.check(client.refine(q, rounds))
+                    assert r["lower"] <= exact <= r["upper"]
+                    assert r["served_rounds"] == rounds
+                    width = r["upper"] - r["lower"]
+                    assert width <= prev_width + 1e-12
+                    prev_width = width
 
     def test_concurrent_clients_mixed_params(self, served_problem):
         """Several pipelining connections, heterogeneous tau/eps merged

@@ -1,0 +1,306 @@
+"""Core sharding tests: partitioning, merge parity, router semantics.
+
+Everything here uses in-process shards (deterministic, fork-free);
+process-topology behaviour and fault injection live in
+``test_shard_faults.py``.  ``REPRO_SHARD_K`` overrides the default
+shard count (CI pins K=2; default exercises K=3).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from tests.shardtest import FaultHarness, assert_sound, make_problem, make_router
+
+from repro.core import GaussianKernel, KernelAggregator, PolynomialKernel
+from repro.core.errors import (
+    DataShapeError,
+    InvalidParameterError,
+    ShardUnavailableError,
+)
+from repro.index import build_index
+from repro.obs import runtime as obs_runtime
+from repro.serve import decode_request
+from repro.shard import (
+    PARTITION_MODES,
+    ShardConfig,
+    build_router,
+    partition_indices,
+    worst_case_mass,
+)
+
+K = int(os.environ.get("REPRO_SHARD_K", "3"))
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_problem(n=1200, d=4, n_queries=12)
+
+
+@pytest.fixture(scope="module")
+def router(problem):
+    r = make_router(problem, k=K, mode="inprocess")
+    yield r
+    r.close()
+
+
+@pytest.fixture(scope="module")
+def single(problem):
+    pts, weights, kernel, _, _ = problem
+    agg = KernelAggregator(build_index("kd", pts, weights,
+                                       leaf_capacity=40), kernel)
+    yield agg
+    agg.close()
+
+
+class TestPartition:
+    @pytest.mark.parametrize("mode", PARTITION_MODES)
+    @pytest.mark.parametrize("n,k", [(10, 1), (10, 3), (10, 10), (997, 5)])
+    def test_disjoint_and_covering(self, n, k, mode):
+        parts = partition_indices(n, k, mode=mode)
+        assert len(parts) == k
+        assert all(len(p) > 0 for p in parts)
+        merged = np.sort(np.concatenate(parts))
+        assert (merged == np.arange(n)).all()
+
+    def test_stride_balances_clusters(self):
+        # round-robin: every shard's size within 1 of every other's
+        sizes = [len(p) for p in partition_indices(1000, 7, mode="stride")]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            partition_indices(5, 6)
+        with pytest.raises(InvalidParameterError):
+            partition_indices(5, 0)
+        with pytest.raises(InvalidParameterError):
+            partition_indices(0, 1)
+        with pytest.raises(InvalidParameterError):
+            partition_indices(5, 2, mode="hash")
+
+    def test_worst_case_mass_brackets_brute_force(self):
+        rng = np.random.default_rng(5)
+        pts = rng.normal(size=(300, 3))
+        w = rng.uniform(-1.0, 2.0, size=300)
+        kernel = GaussianKernel(2.0)
+        lo, hi = worst_case_mass(w, kernel)
+        agg = KernelAggregator(build_index("kd", pts, w, leaf_capacity=30),
+                               kernel)
+        queries = rng.normal(scale=3.0, size=(50, 3))
+        vals = agg.exact_many(queries)
+        agg.close()
+        assert (lo <= vals).all() and (vals <= hi).all()
+        assert lo <= 0.0 <= hi  # far queries contribute ~0
+
+    def test_worst_case_mass_unbounded_for_dot_kernels(self):
+        lo, hi = worst_case_mass(np.ones(10), PolynomialKernel(1.0, degree=2))
+        assert lo == -np.inf and hi == np.inf
+
+
+class TestRouterParity:
+    """K in-process shards must agree with one unsharded aggregator."""
+
+    def test_exact_matches(self, problem, router):
+        *_, queries, exact = problem
+        assert np.allclose(router.exact_many(queries), exact,
+                           rtol=1e-12, atol=1e-12)
+
+    def test_ekaq_contract_and_containment(self, problem, router):
+        *_, queries, exact = problem
+        res = router.ekaq_many_results(queries, 0.1)
+        assert_sound(res, exact)
+        assert not res.partial.any()
+        assert (np.abs(res.estimates - exact) <= 0.1 * exact + 1e-9).all()
+
+    def test_tkaq_matches_single_aggregator(self, problem, router, single):
+        *_, queries, exact = problem
+        for tau in (float(np.min(exact)) * 0.9, float(np.median(exact)),
+                    float(np.max(exact)) * 1.1):
+            sharded = router.tkaq_many_results(queries, tau)
+            serial = single.tkaq_many_results(queries, tau)
+            assert (sharded.answers == serial.answers).all()
+            assert (sharded.answers == (exact > tau)).all()
+            assert_sound(sharded, exact)
+
+    def test_per_query_params(self, problem, router):
+        *_, queries, exact = problem
+        taus = exact * np.where(np.arange(len(exact)) % 2 == 0, 0.9, 1.1)
+        res = router.tkaq_many_results(queries, taus)
+        assert (res.answers == (exact > taus)).all()
+        eps = np.full(len(exact), 0.05)
+        ek = router.ekaq_many_results(queries, eps)
+        assert (np.abs(ek.estimates - exact) <= 0.05 * exact + 1e-9).all()
+
+    def test_negative_weights_iterate_to_exhaustion(self):
+        problem = make_problem(n=600, n_queries=6, negative_frac=0.4,
+                               seed=77)
+        *_, queries, exact = problem
+        r = make_router(problem, k=2, mode="inprocess")
+        try:
+            res = router_res = r.ekaq_many_results(queries, 0.1)
+            assert_sound(router_res, exact)
+            tk = r.tkaq_many_results(queries, float(np.median(exact)))
+            assert (tk.answers == (exact > np.median(exact))).all()
+            assert res.stats.n_queries == len(queries)
+        finally:
+            r.close()
+
+
+class TestRefine:
+    def test_zero_rounds_is_root_bound(self, problem, router):
+        *_, queries, exact = problem
+        res = router.refine_many_results(queries, 0)
+        assert_sound(res, exact)
+
+    def test_budget_monotone(self, problem, router):
+        *_, queries, exact = problem
+        widths = []
+        for rounds in (0, 4, 16, 64):
+            res = router.refine_many_results(queries, rounds)
+            assert_sound(res, exact)
+            widths.append(float(np.sum(res.upper - res.lower)))
+        assert widths == sorted(widths, reverse=True)
+
+    def test_aggregator_refine_matches_loop(self, problem, single):
+        *_, queries, _ = problem
+        batch = single.refine_many_results(queries, 8, backend="multiquery")
+        for i, q in enumerate(queries):
+            one = single.refine_bounds(q, 8)
+            # same budget semantics: multiquery rounds == loop iterations
+            assert batch.lower[i] <= one.upper + 1e-12
+            assert one.lower <= batch.upper[i] + 1e-12
+        loop = single.refine_many_results(queries, 8, backend="loop")
+        for r in (batch, loop):
+            assert (r.lower <= r.upper).all()
+
+    def test_protocol_refine_decode(self):
+        req = decode_request(b'{"op":"refine","q":[0.1,0.2],"rounds":16}')
+        assert req.op == "refine" and req.rounds == 16.0
+        assert req.param == 16.0
+        from repro.serve import ProtocolError
+        with pytest.raises(ProtocolError):
+            decode_request(b'{"op":"refine","q":[0.1]}')
+        with pytest.raises(ProtocolError):
+            decode_request(b'{"op":"refine","q":[0.1],"rounds":-1}')
+
+
+class TestRouterValidation:
+    def test_dimension_mismatch(self, router):
+        with pytest.raises(DataShapeError):
+            router.exact_many(np.zeros((2, router.d + 1)))
+
+    def test_config_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ShardConfig(sub_deadline_s=0.0)
+        with pytest.raises(InvalidParameterError):
+            ShardConfig(round_growth=1.0)
+        with pytest.raises(InvalidParameterError):
+            build_router(np.zeros((4, 2)), np.ones(4), GaussianKernel(1.0),
+                         k=2, mode="threads")
+
+    def test_closed_router_raises(self, problem):
+        r = make_router(problem, k=2, mode="inprocess", warm=False)
+        r.close()
+        with pytest.raises(ShardUnavailableError):
+            r.exact_many(np.zeros((1, 4)))
+
+
+class TestPartialInProcess:
+    """Missing-shard semantics without any process machinery."""
+
+    def test_drop_yields_sound_partial(self, problem):
+        *_, queries, exact = problem
+        r = make_router(problem, k=2, mode="inprocess")
+        try:
+            FaultHarness(r).drop(1)
+            res = r.ekaq_many_results(queries, 0.1)
+            assert res.partial.all()
+            assert_sound(res, exact)
+            # the widened interval really is wider than a healthy one
+            healthy = r.ekaq_many_results(queries, 0.1)
+            assert not healthy.partial.any()
+            assert (res.upper - res.lower >=
+                    healthy.upper - healthy.lower - 1e-12).all()
+        finally:
+            r.close()
+
+    def test_partial_disabled_raises(self, problem):
+        r = make_router(problem, k=2, mode="inprocess",
+                        allow_partial=False)
+        try:
+            FaultHarness(r).drop(0)
+            with pytest.raises(ShardUnavailableError):
+                r.ekaq_many_results(problem[3], 0.1)
+        finally:
+            r.close()
+
+    def test_unbounded_mass_cannot_go_partial(self):
+        rng = np.random.default_rng(3)
+        pts = rng.normal(size=(200, 3))
+        w = rng.uniform(0.5, 1.0, 200)
+        kernel = PolynomialKernel(1.0, degree=2)  # dot-product: unbounded
+        r = build_router(pts, w, kernel, k=2, mode="inprocess",
+                         leaf_capacity=30)
+        try:
+            FaultHarness(r).drop(0)
+            with pytest.raises(ShardUnavailableError):
+                r.ekaq_many_results(rng.normal(size=(3, 3)), 0.2)
+        finally:
+            r.close()
+
+    def test_all_shards_dropped_raises(self, problem):
+        r = make_router(problem, k=2, mode="inprocess")
+        try:
+            h = FaultHarness(r)
+            h.drop(0)
+            h.drop(1)
+            with pytest.raises(ShardUnavailableError):
+                r.ekaq_many_results(problem[3], 0.1)
+            # self-heals on the next batch
+            res = r.ekaq_many_results(problem[3], 0.1)
+            assert not res.partial.any()
+        finally:
+            r.close()
+
+
+class TestShardObservability:
+    def test_umbrella_trace_and_conservation(self, problem):
+        *_, queries, exact = problem
+        obs_runtime.enable(ring_capacity=64)
+        try:
+            obs_runtime.clear_recent()
+            r = make_router(problem, k=2, mode="inprocess", warm=False)
+            try:
+                r.ekaq_many_results(queries, 0.1)
+            finally:
+                r.close()
+            traces = [t for t in obs_runtime.recent_traces()
+                      if t.backend == "shard"]
+            assert len(traces) == 1
+            t = traces[0]
+            assert t.kind == "ekaq" and t.n_queries == len(queries)
+            assert t.n_points == len(problem[0])
+            assert t.extra["n_shards"] == 2
+            assert t.extra["partial_queries"] == 0
+            # conservation: evaluated + pruned == n_queries * n, exactly
+            assert t.points_accounted() == t.n_queries * t.n_points
+        finally:
+            obs_runtime.disable()
+
+    def test_shard_metrics(self, problem):
+        obs_runtime.registry().counter("shard.scatter_total").reset()
+        obs_runtime.registry().counter("shard.partial_total").reset()
+        r = make_router(problem, k=2, mode="inprocess", warm=False)
+        try:
+            r.ekaq_many_results(problem[3], 0.2)
+            assert obs_runtime.registry().counter(
+                "shard.scatter_total").value > 0
+            FaultHarness(r).drop(0)
+            r.ekaq_many_results(problem[3], 0.2)
+            assert obs_runtime.registry().counter(
+                "shard.partial_total").value == len(problem[3])
+            assert obs_runtime.registry().gauge("shard.live").value == 2
+        finally:
+            r.close()

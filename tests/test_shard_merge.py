@@ -1,0 +1,174 @@
+"""Property-based merge soundness: random partitions, adversarial shapes.
+
+The merge rule the whole shard tier rests on is additivity of certified
+intervals across a disjoint partition.  Hypothesis drives it with random
+datasets, random shard counts, and random *unbalanced* partitions (not
+just the router's stride/block splits), checking:
+
+* summed per-shard ``refine_bounds`` intervals always contain the
+  unsharded exact sum, at every budget;
+* for refinement run to exhaustion, merged TKAQ decisions match the
+  single-aggregator answers bitwise (both collapse to exact sums);
+* merged eKAQ answers meet the client's contract against the true sum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import GaussianKernel, KernelAggregator, LaplacianKernel
+from repro.index import build_index
+from repro.shard import LocalShard, ShardRouter
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+def _dataset(draw):
+    n = draw(st.integers(min_value=24, max_value=160))
+    d = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(-1.0, 1.0, size=(n, d))
+    signed = draw(st.booleans())
+    if signed:
+        weights = rng.uniform(-1.0, 2.0, size=n)
+    else:
+        weights = rng.uniform(0.1, 2.0, size=n)
+    gamma = draw(st.sampled_from([0.5, 2.0, 8.0]))
+    kernel = (GaussianKernel(gamma) if draw(st.booleans())
+              else LaplacianKernel(gamma))
+    queries = rng.uniform(-1.5, 1.5, size=(4, d))
+    return pts, weights, kernel, queries, rng
+
+
+def _random_partition(rng, n, k):
+    """A random disjoint covering partition — arbitrarily unbalanced."""
+    assignment = rng.integers(0, k, size=n)
+    # every shard must be non-empty: reseat one point per empty shard
+    for s in range(k):
+        if not (assignment == s).any():
+            assignment[rng.integers(0, n)] = s
+    parts = [np.flatnonzero(assignment == s) for s in range(k)]
+    return [p for p in parts if len(p)]
+
+
+def _shards(pts, weights, kernel, parts):
+    return [
+        LocalShard(sid, build_index("kd", pts[idx], weights[idx],
+                                    leaf_capacity=8), kernel)
+        for sid, idx in enumerate(parts)
+    ]
+
+
+@given(data=st.data())
+@settings(**SETTINGS)
+def test_summed_refine_intervals_contain_exact(data):
+    pts, weights, kernel, queries, rng = _dataset(data.draw)
+    k = data.draw(st.integers(min_value=2, max_value=5))
+    assume(k <= len(pts))
+    parts = _random_partition(rng, len(pts), k)
+
+    agg = KernelAggregator(build_index("kd", pts, weights,
+                                       leaf_capacity=8), kernel)
+    exact = agg.exact_many(queries)
+    agg.close()
+
+    shards = _shards(pts, weights, kernel, parts)
+    router = ShardRouter(shards)
+    try:
+        for rounds in (0, 3, 11, 10_000):
+            res = router.refine_many_results(queries, rounds)
+            assert (res.lower <= exact + 1e-9).all()
+            assert (exact <= res.upper + 1e-9).all()
+            assert (res.lower <= res.upper + 1e-9).all()
+    finally:
+        router.close()
+
+
+@given(data=st.data())
+@settings(**SETTINGS)
+def test_exhausted_tkaq_matches_single_aggregator_bitwise(data):
+    pts, weights, kernel, queries, rng = _dataset(data.draw)
+    k = data.draw(st.integers(min_value=2, max_value=4))
+    assume(k <= len(pts))
+    parts = _random_partition(rng, len(pts), k)
+
+    agg = KernelAggregator(build_index("kd", pts, weights,
+                                       leaf_capacity=8), kernel)
+    exact = agg.exact_many(queries)
+
+    # pick tau in the middle of the largest gap between sorted exact
+    # values — far from every decision boundary, so float noise in the
+    # summation order cannot flip an answer and the comparison is fair
+    order = np.sort(exact)
+    gaps = np.diff(order)
+    assume(len(gaps) > 0 and gaps.max() > 1e-6 * max(1.0, abs(order).max()))
+    i = int(np.argmax(gaps))
+    tau = float(0.5 * (order[i] + order[i + 1]))
+
+    serial = agg.tkaq_many_results(queries, tau)
+    agg.close()
+
+    router = ShardRouter(_shards(pts, weights, kernel, parts))
+    try:
+        sharded = router.tkaq_many_results(queries, tau)
+        assert (sharded.answers == serial.answers).all()
+        assert (sharded.answers == (exact > tau)).all()
+    finally:
+        router.close()
+
+
+@given(data=st.data())
+@settings(**SETTINGS)
+def test_merged_ekaq_meets_contract(data):
+    pts, weights, kernel, queries, rng = _dataset(data.draw)
+    assume((weights > 0).all())  # the (1±eps) contract needs F > 0
+    k = data.draw(st.integers(min_value=2, max_value=4))
+    assume(k <= len(pts))
+    parts = _random_partition(rng, len(pts), k)
+
+    agg = KernelAggregator(build_index("kd", pts, weights,
+                                       leaf_capacity=8), kernel)
+    exact = agg.exact_many(queries)
+    agg.close()
+
+    eps = data.draw(st.sampled_from([0.05, 0.1, 0.3]))
+    router = ShardRouter(_shards(pts, weights, kernel, parts))
+    try:
+        res = router.ekaq_many_results(queries, eps)
+        assert (res.lower <= exact + 1e-9).all()
+        assert (exact <= res.upper + 1e-9).all()
+        assert (np.abs(res.estimates - exact)
+                <= eps * exact + 1e-9).all()
+        assert not res.partial.any()
+    finally:
+        router.close()
+
+
+@given(data=st.data())
+@settings(**SETTINGS)
+def test_partial_merge_still_contains_exact(data):
+    """Drop a random shard: the widened merge must still bracket truth."""
+    pts, weights, kernel, queries, rng = _dataset(data.draw)
+    k = data.draw(st.integers(min_value=2, max_value=4))
+    assume(k <= len(pts))
+    parts = _random_partition(rng, len(pts), k)
+
+    agg = KernelAggregator(build_index("kd", pts, weights,
+                                       leaf_capacity=8), kernel)
+    exact = agg.exact_many(queries)
+    agg.close()
+
+    router = ShardRouter(_shards(pts, weights, kernel, parts))
+    try:
+        victim = data.draw(st.integers(min_value=0,
+                                       max_value=len(router.shards) - 1))
+        router.shards[victim].inject(fail_n=1)
+        res = router.ekaq_many_results(queries, 0.1)
+        assert res.partial.all()
+        assert (res.lower <= exact + 1e-9).all()
+        assert (exact <= res.upper + 1e-9).all()
+    finally:
+        router.close()
