@@ -19,10 +19,18 @@ Three phases per dataset (a purely synthetic clustered workload plus the
 3. **Replay** — every successful batched response is re-derived offline:
    responses carry batch id / index / backend / served parameter, each
    served micro-batch is reconstructed and re-evaluated through the same
-   ``*_many`` call, and every number must match bit for bit.
+   ``*_many`` call, and every number must match bit for bit.  Warm-
+   started rows replay under their recorded ``warm_lower``/``warm_upper``
+   interval; cache-served responses (which never joined a batch) are
+   instead cross-checked sound against the exact aggregate.
+4. **Zipf cache** (synthetic only) — Zipf(s=1.1) traffic over a hot
+   query pool with drifting hotspots and calibrated near-duplicate
+   noise, served cache-off then cache-on.  Gates (full scale): cache-on
+   QPS at least 2x cache-off, every cache-served / warm-started answer
+   sound against the exact aggregate.
 
-Raw results (plus host metadata) persist to
-``benchmarks/results/BENCH_serve.json``.
+Raw results (plus host metadata, including the served backend mix)
+persist to ``benchmarks/results/BENCH_serve.json``.
 """
 
 from __future__ import annotations
@@ -35,7 +43,8 @@ import numpy as np
 
 from conftest import get_workload, run_once, scaled
 from repro.bench import emit, emit_json, render_table
-from repro.core import GaussianKernel, KernelAggregator
+from repro.cache import CacheConfig
+from repro.core import GaussianKernel, KernelAggregator, global_lipschitz
 from repro.index import KDTree
 from repro.kde import scott_gamma
 from repro.serve import (
@@ -51,6 +60,11 @@ PIPELINE_DEPTH = 64
 N_BATCHED = int(os.environ.get("REPRO_SERVE_BATCHED_REQS", "512"))
 N_SINGLETON = int(os.environ.get("REPRO_SERVE_SINGLETON_REQS", "192"))
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+# phase 4: Zipf-skewed cache workload (synthetic dataset only)
+ZIPF_S = 1.1
+EPS_Z = 0.1
+ZIPF_POOL = 256
 
 
 def _workloads():
@@ -102,11 +116,33 @@ def _pump(port, payloads, depth):
 
 
 def _replay_bitwise(agg, payloads, responses) -> int:
-    """Re-derive every ok response offline; returns batches checked."""
+    """Re-derive every ok response offline; returns batches checked.
+
+    Cache-served responses (``cached=true``) never joined a batch and are
+    skipped here — their soundness is cross-checked against the exact
+    aggregate by the caller.  Single-flight followers share the leader's
+    batch coordinates, so only the leader's row is replayed (the follower
+    payloads are verified to be numeric copies).  Rows served under a
+    cache warm-start carry ``warm_lower``/``warm_upper``; the replay
+    reconstructs the identical warm vector before re-evaluating.
+    """
     by_batch: dict = {}
+    rows: dict = {}
+    followers = []
     for p, r in zip(payloads, responses):
         assert r["ok"], r
+        if r.get("cached"):
+            continue
+        key = (r["op"], r["batch"], r["batch_index"])
+        if r.get("single_flight"):
+            followers.append((key, r))
+            continue
+        rows[key] = r
         by_batch.setdefault((r["op"], r["batch"]), []).append((p, r))
+    for key, f in followers:  # numeric copies of their leader's row
+        leader = rows[key]
+        assert f["lower"] == leader["lower"], (f, leader)
+        assert f["upper"] == leader["upper"], (f, leader)
     for (op, _), members in by_batch.items():
         members.sort(key=lambda pr: pr[1]["batch_index"])
         Q = np.array([p["q"] for p, _ in members])
@@ -120,12 +156,36 @@ def _replay_bitwise(agg, payloads, responses) -> int:
                 assert r["upper"] == res.upper[i]
         else:
             served = np.array([r["served_eps"] for _, r in members])
-            res = agg.ekaq_many_results(Q, served, backend=backend)
+            kwargs = {}
+            if any(r.get("warm") for _, r in members):
+                wlb = np.array([r.get("warm_lower", -np.inf)
+                                for _, r in members])
+                wub = np.array([r.get("warm_upper", np.inf)
+                                for _, r in members])
+                kwargs["warm"] = (wlb, wub)
+            res = agg.ekaq_many_results(Q, served, backend=backend, **kwargs)
             for i, (_, r) in enumerate(members):
                 assert r["estimate"] == res.estimates[i], (r, i)
                 assert r["lower"] == res.lower[i]
                 assert r["upper"] == res.upper[i]
     return len(by_batch)
+
+
+def _backend_mix(responses) -> dict:
+    """Served-answer provenance counts for the results file."""
+    mix: dict = {}
+    degraded = partial = single_flight = warm = 0
+    for r in responses:
+        if not r["ok"]:
+            continue
+        mix[r.get("backend", "exact")] = mix.get(r.get("backend", "exact"),
+                                                 0) + 1
+        degraded += bool(r.get("degraded"))
+        partial += bool(r.get("partial"))
+        single_flight += bool(r.get("single_flight"))
+        warm += bool(r.get("warm"))
+    return {"backends": mix, "degraded": degraded, "partial": partial,
+            "single_flight": single_flight, "warm": warm}
 
 
 def _closed_loop(port, pts, n_threads, per_thread, rng_seed):
@@ -202,7 +262,7 @@ def bench_one(name, pts, weights, kernel, rng):
     sheds = [err for _, ok, err in overload if not ok]
     assert all(err == "overloaded" for err in sheds)
     assert len(overload) == 16 * 12  # every request answered exactly once
-    return {
+    result = {
         "dataset": name,
         "n": int(len(pts)),
         "singleton_qps": singleton_qps,
@@ -214,6 +274,117 @@ def bench_one(name, pts, weights, kernel, rng):
         "overload_admitted_p99_ms": 1e3 * _p99(over_admitted),
         "overload_shed": len(sheds),
         "overload_admitted": len(over_admitted),
+        "mix": _backend_mix(s_responses + b_responses),
+    }
+    if name == "synthetic":
+        # phase 4: the certified-cache workload (synthetic only — the
+        # gate is on cache mechanics, not dataset variety)
+        result.update(bench_zipf_cache(tree, pts, weights, kernel, rng))
+    return result
+
+
+def _zipf_payloads(pool, n_requests, sigma, tau, rng):
+    """Zipf-rank traffic over a hot query pool with drifting hotspots.
+
+    Rank popularity follows ``P(k) ~ k^-s`` (s=1.1); the rank-to-pool
+    mapping rotates 4 times over the run, so the hot set *drifts* and the
+    cache must follow it.  Every 4th request perturbs its query by a
+    small calibrated ``sigma`` — a near-duplicate that exercises the
+    Lipschitz transfer / warm-start path instead of the exact-repeat
+    path.  Mostly eKAQ with a sprinkling of TKAQ at a decidable tau.
+    """
+    d = pool.shape[1]
+    ranks = rng.zipf(ZIPF_S, size=n_requests)
+    payloads = []
+    for i, rank in enumerate(ranks):
+        shift = (i * 4) // max(1, n_requests)  # 4 hotspot rotations
+        idx = int((int(rank) - 1 + 17 * shift) % len(pool))
+        q = pool[idx]
+        if i % 4 == 3:
+            q = q + rng.normal(0.0, sigma, size=d)
+        q = q.tolist()
+        if i % 8 == 5:
+            payloads.append({"op": "tkaq", "q": q, "tau": tau})
+        else:
+            payloads.append({"op": "ekaq", "q": q, "eps": EPS_Z})
+    return payloads
+
+
+def _check_cache_soundness(agg, payloads, responses) -> int:
+    """Every cache-served / warm-started interval must bracket the exact
+    aggregate at the *queried* point; returns how many were checked.
+
+    The bracket test carries a summation-rounding allowance of
+    ``O(n * eps_machine * |F|)``: engine bounds are float sums without
+    directed rounding, so a fully-converged interval's ``lb == ub`` is
+    the refinement's leaf-ordered sum, which lawfully differs from the
+    vectorised ``exact_many`` sum in the last few ulps.
+    """
+    qs, lo, hi = [], [], []
+    for p, r in zip(payloads, responses):
+        if r["ok"] and (r.get("cached") or r.get("warm")):
+            qs.append(p["q"])
+            lo.append(r["lower"])
+            hi.append(r["upper"])
+    if not qs:
+        return 0
+    exact = agg.exact_many(np.asarray(qs))
+    lo, hi = np.asarray(lo), np.asarray(hi)
+    tol = 32 * agg.tree.n * np.finfo(np.float64).eps * np.abs(exact)
+    bad = np.flatnonzero(~((lo <= exact + tol) & (exact <= hi + tol)))
+    assert bad.size == 0, (
+        f"{bad.size} unsound cache-served answers; first: "
+        f"q={qs[bad[0]]} interval=[{lo[bad[0]]}, {hi[bad[0]]}] "
+        f"exact={exact[bad[0]]}")
+    return len(qs)
+
+
+def bench_zipf_cache(tree, pts, weights, kernel, rng):
+    """Phase 4: cache-on vs cache-off QPS under Zipf-skewed traffic."""
+    agg = KernelAggregator(tree, kernel)
+    n_requests = int(os.environ.get("REPRO_SERVE_ZIPF_REQS",
+                                    str(scaled(8000))))
+    pool = pts[rng.choice(len(pts), size=min(ZIPF_POOL, len(pts)),
+                          replace=False)]
+    # calibrate the near-duplicate noise so the transfer widening
+    # 2*W*L*||dq|| stays a small fraction of the eKAQ slack eps*F
+    f_med = float(np.median(agg.exact_many(pool[:64])))
+    lipschitz_mass = float(np.abs(weights).sum()) * global_lipschitz(kernel)
+    sigma = 0.02 * EPS_Z * f_med / (lipschitz_mass *
+                                    np.sqrt(pts.shape[1]))
+    payloads = _zipf_payloads(pool, n_requests, sigma, f_med, rng)
+
+    with _fresh_server(tree, kernel) as st:
+        off_resp, off_qps = _pump(st.port, payloads, PIPELINE_DEPTH)
+    assert all(r["ok"] for r in off_resp)
+    assert not any(r.get("cached") for r in off_resp)
+
+    with _fresh_server(tree, kernel, cache=CacheConfig()) as st:
+        on_resp, on_qps = _pump(st.port, payloads, PIPELINE_DEPTH)
+        with ServeClient(port=st.port, timeout=300.0) as c:
+            stats = c.stats()
+    assert all(r["ok"] for r in on_resp)
+
+    n_sound = _check_cache_soundness(agg, payloads, on_resp)
+    n_batches = _replay_bitwise(agg, payloads, off_resp)
+    n_batches += _replay_bitwise(agg, payloads, on_resp)
+    cached = sum(bool(r.get("cached")) for r in on_resp)
+    return {
+        "zipf_s": ZIPF_S,
+        "zipf_eps": EPS_Z,
+        "zipf_requests": n_requests,
+        "zipf_noise_sigma": float(sigma),
+        "zipf_cache_off_qps": off_qps,
+        "zipf_cache_on_qps": on_qps,
+        "zipf_cache_speedup": on_qps / off_qps,
+        "zipf_cached_responses": int(cached),
+        "zipf_soundness_checked": int(n_sound),
+        "zipf_batches_replayed": int(n_batches),
+        "zipf_cache_counters": {
+            k: v for k, v in stats["counters"].items()
+            if k.startswith("cache.")},
+        "zipf_mix_on": _backend_mix(on_resp),
+        "zipf_mix_off": _backend_mix(off_resp),
     }
 
 
@@ -246,12 +417,14 @@ def build_serve_bench():
             r["speedup"], r["mean_batch_occupancy"],
             r["at_capacity_p99_ms"], r["overload_admitted_p99_ms"],
             r["overload_shed"],
+            r.get("zipf_cache_speedup", "-"),
         ])
     table = render_table(
         f"Serving: singleton vs micro-batched QPS (pipeline depth "
-        f"{PIPELINE_DEPTH}), overload p99 and shedding, eps<={EPS}",
+        f"{PIPELINE_DEPTH}), overload p99 and shedding, eps<={EPS}, "
+        f"and certified-cache speedup under Zipf(s={ZIPF_S}) traffic",
         ["dataset", "n", "1-by-1 q/s", "batched q/s", "speedup",
-         "avg batch", "cap p99 ms", "overload p99 ms", "shed"],
+         "avg batch", "cap p99 ms", "overload p99 ms", "shed", "cache x"],
         rows,
     )
     emit("serve", table)
@@ -266,12 +439,17 @@ def test_serve_benchmark(benchmark):
     payload = run_once(benchmark, build_serve_bench)
     for r in payload["datasets"]:
         assert r["batches_replayed_bitwise"] > 0
+        if "zipf_cache_speedup" in r:
+            assert r["zipf_soundness_checked"] > 0, r
+            assert r["zipf_cached_responses"] > 0, r
         if SCALE >= 1:
             # the acceptance gates only bind at full workload scale
             assert r["speedup"] >= 5.0, r
             assert r["overload_admitted_p99_ms"] <= \
                 2.0 * r["at_capacity_p99_ms"], r
             assert r["overload_shed"] > 0, r
+            if "zipf_cache_speedup" in r and r["zipf_requests"] >= 8000:
+                assert r["zipf_cache_speedup"] >= 2.0, r
 
 
 if __name__ == "__main__":

@@ -1,0 +1,34 @@
+"""repro.cache — certified answer cache with Lipschitz bound transfer.
+
+Production KAQ traffic is skewed: many queries land near previously
+answered ones.  Every served answer here is a *certified interval*
+``[lb, ub]``, and for distance kernels the aggregate is globally
+Lipschitz in the query point — so a cached interval can be widened by
+``W * L * ||q - q'||`` into a sound interval at a nearby query and
+served without touching the index, or used to warm-start refinement
+when the widened interval cannot certify on its own.
+
+Pieces:
+
+* :func:`repro.core.lipschitz.global_lipschitz` — per-kernel constants
+  (``core/`` owns the math; dot-product kernels get a typed rejection);
+* :func:`~repro.cache.transfer.transfer_bounds` — the widening plus the
+  TKAQ/eKAQ certification rules;
+* :class:`~repro.cache.store.CertifiedAnswerCache` — grid-quantized
+  buckets with axis-neighbour probing, LRU + per-cell bounds, and a
+  worst-case mass ledger for streaming-insert invalidation.
+
+The serving layer (:mod:`repro.serve`) wires a cache in front of the
+micro-batcher with ``--cache``; contracts stay unconditional — a
+transfer that cannot certify falls through to normal refinement.
+"""
+
+from repro.cache.store import CacheConfig, CertifiedAnswerCache
+from repro.cache.transfer import TransferredBounds, transfer_bounds
+
+__all__ = [
+    "CacheConfig",
+    "CertifiedAnswerCache",
+    "TransferredBounds",
+    "transfer_bounds",
+]

@@ -1,0 +1,301 @@
+"""The certified answer cache: grid-bucketed, LRU-bounded, epoch-stamped.
+
+Keying is a coarse quantization of query space: a query hashes to the
+grid cell ``floor(q / cell_size)`` (one integer per dimension).  A probe
+checks the home cell plus its ``2d`` axis neighbours (one step along
+each dimension — deliberately *not* the ``3^d`` full Moore
+neighbourhood, which is infeasible beyond a few dimensions) and
+transfers from the geometrically closest entry found.  Entries whose
+cell is further away than one axis step are invisible to the probe, but
+their transfer widening ``W * L * ||q - q'||`` would rarely certify at
+that distance anyway — the grid is a cheap candidate filter, the
+Lipschitz math is the correctness story.
+
+Memory is bounded twice: each cell keeps at most ``bucket_width``
+entries (FIFO within the cell), and the cache keeps at most
+``max_entries`` entries in total, evicting whole least-recently-*probed*
+cells.  Streaming inserts are absorbed through a cumulative worst-case
+mass ledger (:func:`repro.shard.partition.worst_case_mass`): every entry
+records the ledger state at creation, and a probe widens the transferred
+interval by the mass inserted since — or, in ``on_insert="drop"`` mode,
+discards entries from an older epoch outright.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.core.lipschitz import global_lipschitz, supports_transfer
+from repro.cache.transfer import TransferredBounds, transfer_bounds
+from repro.obs import runtime as _obs
+from repro.obs.metrics import GEOMETRIC_BUCKETS
+from repro.shard.partition import worst_case_mass
+
+__all__ = ["CacheConfig", "CertifiedAnswerCache"]
+
+#: probe-time modes for absorbing streaming inserts
+_ON_INSERT = ("widen", "drop")
+
+
+@dataclass
+class CacheConfig:
+    """Construction knobs for :class:`CertifiedAnswerCache`."""
+
+    #: grid cell edge length; ``None`` derives a quarter of the mean
+    #: per-dimension standard deviation of the indexed points
+    cell_size: float | None = None
+    max_entries: int = 4096       #: global entry bound (LRU cell eviction)
+    bucket_width: int = 8         #: per-cell entry bound (FIFO)
+    probe_neighbors: bool = True  #: also probe the 2d axis-neighbour cells
+    on_insert: str = "widen"      #: staleness mode: "widen" or "drop"
+
+    def __post_init__(self):
+        if self.cell_size is not None and not self.cell_size > 0.0:
+            raise InvalidParameterError(
+                f"cell_size must be > 0; got {self.cell_size}")
+        if self.max_entries < 1:
+            raise InvalidParameterError(
+                f"max_entries must be >= 1; got {self.max_entries}")
+        if self.bucket_width < 1:
+            raise InvalidParameterError(
+                f"bucket_width must be >= 1; got {self.bucket_width}")
+        if self.on_insert not in _ON_INSERT:
+            raise InvalidParameterError(
+                f"on_insert must be one of {_ON_INSERT}; "
+                f"got {self.on_insert!r}")
+
+
+@dataclass
+class _Entry:
+    """One cached certified interval, stamped with the ledger at creation."""
+
+    q: np.ndarray
+    lower: float
+    upper: float
+    epoch: int
+    cum_lo: float
+    cum_hi: float
+
+
+class CertifiedAnswerCache:
+    """Caches certified ``[lb, ub]`` intervals and transfers them soundly.
+
+    Parameters
+    ----------
+    kernel : Kernel
+        Must support bound transfer (distance kernel with a known global
+        Lipschitz constant) — :class:`~repro.core.errors.TransferUnsupportedError`
+        otherwise.
+    weights : array-like
+        The indexed point weights; ``W = sum |w_i|`` scales every
+        transfer widening (and grows with streaming inserts so old
+        entries stay conservative).
+    config : CacheConfig, optional
+    points : array-like, optional
+        Only consulted when ``config.cell_size`` is ``None``, to derive
+        a data-scaled grid cell.
+    """
+
+    def __init__(self, kernel, weights, config: CacheConfig | None = None,
+                 points=None):
+        self.config = config or CacheConfig()
+        self.kernel = kernel
+        self.lipschitz = global_lipschitz(kernel)  # typed rejection here
+        w = np.asarray(weights, dtype=np.float64)
+        self._abs_mass = float(np.abs(w).sum())
+        cell = self.config.cell_size
+        if cell is None:
+            if points is None:
+                raise InvalidParameterError(
+                    "CacheConfig.cell_size is unset and no points were "
+                    "given to derive one from")
+            pts = np.asarray(points, dtype=np.float64)
+            cell = max(1e-12, 0.25 * float(np.mean(np.std(pts, axis=0))))
+        self.cell_size = float(cell)
+        self.epoch = 0
+        self._cum_lo = 0.0   # cumulative worst-case inserted mass, low end
+        self._cum_hi = 0.0
+        self._buckets: OrderedDict[tuple, list[_Entry]] = OrderedDict()
+        self._n_entries = 0
+        reg = _obs.registry()
+        self._m_hit = reg.counter("cache.hit_total")
+        self._m_miss = reg.counter("cache.miss_total")
+        self._m_undecided = reg.counter("cache.undecided_total")
+        self._m_insert = reg.counter("cache.insert_total")
+        self._m_evict = reg.counter("cache.evict_total")
+        self._m_stale_drop = reg.counter("cache.stale_dropped_total")
+        self._m_stale_widen = reg.counter("cache.stale_widened_total")
+        self._g_entries = reg.gauge("cache.entries")
+        self._h_width = reg.histogram("cache.transfer_width",
+                                      GEOMETRIC_BUCKETS)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    supports = staticmethod(supports_transfer)
+
+    @property
+    def lipschitz_mass(self) -> float:
+        """``W * L`` — the per-unit-distance widening of every transfer."""
+        return self._abs_mass * self.lipschitz
+
+    def __len__(self) -> int:
+        return self._n_entries
+
+    @property
+    def size(self) -> int:
+        """Live entry count (also ``len(cache)``)."""
+        return self._n_entries
+
+    @classmethod
+    def for_aggregator(cls, aggregator, config: CacheConfig | None = None):
+        """Build a cache sized to an aggregator's kernel/weights/points."""
+        tree = aggregator.tree
+        return cls(aggregator.kernel, tree.weights, config=config,
+                   points=tree.points)
+
+    # ------------------------------------------------------------------
+    # probing
+    # ------------------------------------------------------------------
+
+    def _key(self, q: np.ndarray) -> tuple:
+        return tuple(int(math.floor(x / self.cell_size)) for x in q)
+
+    def _candidates(self, key: tuple):
+        """Entries in the home cell plus the 2d axis-neighbour cells."""
+        keys = [key]
+        if self.config.probe_neighbors:
+            for i in range(len(key)):
+                for step in (-1, 1):
+                    keys.append(key[:i] + (key[i] + step,) + key[i + 1:])
+        for k in keys:
+            bucket = self._buckets.get(k)
+            if bucket is None:
+                continue
+            if self.config.on_insert == "drop":
+                live = [e for e in bucket if e.epoch == self.epoch]
+                if len(live) != len(bucket):
+                    self._m_stale_drop.inc(len(bucket) - len(live))
+                    self._n_entries -= len(bucket) - len(live)
+                    self._g_entries.set(self._n_entries)
+                    bucket[:] = live
+                    if not bucket:
+                        del self._buckets[k]
+                        continue
+            yield k, bucket
+
+    def lookup(self, q) -> TransferredBounds | None:
+        """Transfer from the closest cached entry near ``q``, or ``None``.
+
+        Pure probe: no hit/miss accounting (use :meth:`probe` for the
+        serving path).  Touches the chosen entry's cell for LRU.
+        """
+        q = np.asarray(q, dtype=np.float64)
+        best = None
+        best_d2 = math.inf
+        best_key = None
+        for k, bucket in self._candidates(self._key(q)):
+            for e in bucket:
+                diff = q - e.q
+                d2 = float(diff @ diff)
+                if d2 < best_d2:
+                    best, best_d2, best_key = e, d2, k
+        if best is None:
+            return None
+        self._buckets.move_to_end(best_key)
+        stale_lo = self._cum_lo - best.cum_lo
+        stale_hi = self._cum_hi - best.cum_hi
+        return transfer_bounds(
+            best.lower, best.upper, self.lipschitz_mass,
+            math.sqrt(best_d2), stale_lo=stale_lo, stale_hi=stale_hi)
+
+    def probe(self, q, kind: str, param: float
+              ) -> tuple[TransferredBounds | None, bool]:
+        """The serving-path probe: ``(transferred bounds, served?)``.
+
+        ``served`` is True only when the widened interval *certifies* the
+        query under the engine's own rules (TKAQ decision / eKAQ stop
+        test).  An uncertified transfer is returned anyway — its interval
+        is still sound at ``q``, so the caller can warm-start refinement
+        from it.  Hit/miss/undecided and transfer-width metrics are
+        recorded here.
+        """
+        tb = self.lookup(q)
+        if tb is None:
+            self._m_miss.inc()
+            return None, False
+        self._h_width.observe(tb.widened)
+        if tb.stale:
+            self._m_stale_widen.inc()
+        if kind == "tkaq":
+            served = tb.decides_tkaq(param) is not None
+        elif kind == "ekaq":
+            served = tb.meets_ekaq(param)
+        else:
+            served = False  # refine/exact answers are never cache-served
+        if served:
+            self._m_hit.inc()
+        else:
+            self._m_undecided.inc()
+            self._m_miss.inc()
+        return tb, served
+
+    # ------------------------------------------------------------------
+    # population and invalidation
+    # ------------------------------------------------------------------
+
+    def insert(self, q, lower: float, upper: float) -> None:
+        """Record a certified interval served at ``q``.
+
+        Callers must only insert *deterministically sound* intervals —
+        refinement bounds, exact values (``lower == upper``) — never
+        probabilistic certificates (the coreset tier) or widened partial
+        shard results.
+        """
+        q = np.ascontiguousarray(q, dtype=np.float64)
+        key = self._key(q)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = []
+        self._buckets.move_to_end(key)
+        bucket.append(_Entry(q=q, lower=float(lower), upper=float(upper),
+                             epoch=self.epoch, cum_lo=self._cum_lo,
+                             cum_hi=self._cum_hi))
+        self._n_entries += 1
+        self._m_insert.inc()
+        if len(bucket) > self.config.bucket_width:
+            bucket.pop(0)
+            self._n_entries -= 1
+            self._m_evict.inc()
+        while self._n_entries > self.config.max_entries:
+            _, evicted = self._buckets.popitem(last=False)
+            self._n_entries -= len(evicted)
+            self._m_evict.inc(len(evicted))
+        self._g_entries.set(self._n_entries)
+
+    def note_insert(self, weights) -> None:
+        """Absorb a streaming insert of ``weights`` into the ledger.
+
+        Bumps the epoch (``on_insert="drop"`` entries from older epochs
+        are discarded at probe time) and accumulates the inserted mass's
+        worst-case contribution interval, by which ``"widen"``-mode
+        probes stretch older entries.  ``W`` grows by the inserted
+        ``sum|w|`` so future transfers of *new* entries stay sound too.
+        """
+        w = np.asarray(weights, dtype=np.float64)
+        lo, hi = worst_case_mass(w, self.kernel)
+        self.epoch += 1
+        self._cum_lo += lo
+        self._cum_hi += hi
+        self._abs_mass += float(np.abs(w).sum())
+
+    def clear(self) -> None:
+        self._buckets.clear()
+        self._n_entries = 0
+        self._g_entries.set(0)

@@ -1,0 +1,84 @@
+"""Lipschitz bound transfer: move a certified interval to a nearby query.
+
+An answered query holds a sound interval ``lb <= F_P(q) <= ub``.  For a
+distance kernel with global Lipschitz constant ``L``
+(:func:`repro.core.lipschitz.global_lipschitz`) the aggregate moves at
+most ``W * L * ||q - q'||`` between queries, where ``W = sum_i |w_i|``
+— so the interval, widened by that much (plus any staleness slack from
+streaming inserts, see :class:`repro.cache.store.CertifiedAnswerCache`),
+is sound at ``q'``::
+
+    F_P(q') in [lb - W L r + stale_lo,  ub + W L r + stale_hi]
+
+The widened interval is *served* only when it still decides the query:
+
+* **TKAQ**: ``lb' > tau`` (answer True) or ``ub' <= tau`` (answer False)
+  — the same certification rule the refinement loop terminates on;
+* **eKAQ**: ``ub' <= (1 + eps) * lb'`` — the engine's termination test,
+  so the midpoint estimate meets the identical ``(1 +- eps)`` contract.
+
+A transfer that cannot certify is *not* wasted: the widened interval
+still brackets the exact answer, so it warm-starts refinement (bounds
+are clamped against it; intersecting two sound intervals is sound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TransferredBounds", "transfer_bounds"]
+
+
+@dataclass(frozen=True)
+class TransferredBounds:
+    """A sound interval at the *probe* query, derived from a cached entry."""
+
+    lower: float       #: sound lower bound on F_P at the probe query
+    upper: float       #: sound upper bound on F_P at the probe query
+    distance: float    #: ||q_probe - q_entry||
+    widened: float     #: the Lipschitz widening W * L * distance applied
+    stale: bool        #: True when staleness slack also widened the interval
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def decides_tkaq(self, tau: float) -> bool | None:
+        """The certified TKAQ answer at the probe, or ``None`` if undecided."""
+        if self.lower > tau:
+            return True
+        if self.upper <= tau:
+            return False
+        return None
+
+    def meets_ekaq(self, eps: float) -> bool:
+        """True when the interval already satisfies the eKAQ stop rule."""
+        return self.upper <= (1.0 + eps) * self.lower
+
+    @property
+    def estimate(self) -> float:
+        """The midpoint — the engine's eKAQ estimator over the same rule."""
+        return 0.5 * (self.lower + self.upper)
+
+
+def transfer_bounds(lower: float, upper: float, lipschitz_mass: float,
+                    distance: float, stale_lo: float = 0.0,
+                    stale_hi: float = 0.0) -> TransferredBounds:
+    """Widen ``[lower, upper]`` into a sound interval ``distance`` away.
+
+    ``lipschitz_mass`` is the precomputed product ``W * L``
+    (``sum|w_i| * global_lipschitz(kernel)``).  ``stale_lo <= 0 <=
+    stale_hi`` is the cumulative worst-case mass inserted since the entry
+    was recorded (:func:`repro.shard.partition.worst_case_mass` summed
+    over inserts): the true aggregate gained between ``stale_lo`` and
+    ``stale_hi``, so the sound interval shifts its endpoints by exactly
+    those amounts.
+    """
+    widen = lipschitz_mass * distance
+    return TransferredBounds(
+        lower=lower - widen + stale_lo,
+        upper=upper + widen + stale_hi,
+        distance=distance,
+        widened=widen,
+        stale=bool(stale_lo != 0.0 or stale_hi != 0.0),
+    )

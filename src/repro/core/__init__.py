@@ -17,7 +17,9 @@ from repro.core.errors import (
     NotFittedError,
     ParallelExecutionError,
     ReproError,
+    TransferUnsupportedError,
 )
+from repro.core.lipschitz import global_lipschitz, supports_transfer
 from repro.core.kernels import (
     CauchyKernel,
     EpanechnikovKernel,
@@ -103,4 +105,7 @@ __all__ = [
     "DataShapeError",
     "NotFittedError",
     "ParallelExecutionError",
+    "TransferUnsupportedError",
+    "global_lipschitz",
+    "supports_transfer",
 ]

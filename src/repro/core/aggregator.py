@@ -32,6 +32,7 @@ from repro.core.errors import (
     as_matrix,
     as_query_param,
     as_vector,
+    as_warm_interval,
 )
 from repro.core.kernels import Kernel
 from repro.core.results import (
@@ -482,7 +483,8 @@ class KernelAggregator:
             answer=lb > tau, lower=lb, upper=ub, tau=tau, stats=stats, trace=rec
         )
 
-    def ekaq(self, q, eps: float, trace: bool = False) -> EKAQResult:
+    def ekaq(self, q, eps: float, trace: bool = False,
+             warm=None) -> EKAQResult:
         """Approximate query with relative error ``eps`` (paper Problem 2).
 
         Terminates when ``ub <= (1+eps) * lb``; the midpoint of the terminal
@@ -490,21 +492,39 @@ class KernelAggregator:
         never certify (possible only with Type III weights, where the
         aggregate may be arbitrarily close to 0), refinement runs to
         exhaustion and the exact value is returned.
+
+        ``warm`` is an optional sound ``(lower, upper)`` starting interval
+        (a certified-cache transfer): refinement bounds are intersected
+        with it inside the stop test and on the result, so a tight warm
+        interval terminates early.  The warm stop rule has no structured
+        ``stop_spec`` shape, so it runs on the interpreted loop (the
+        native tiers only accelerate the four stock stop rules).
         """
         eps = float(eps)
         if eps < 0.0:
             raise InvalidParameterError(f"eps must be >= 0; got {eps}")
         rec = BoundTrace() if trace else None
-        lb, ub, stats = self._refine(
-            q, lambda lo, hi: hi <= (1.0 + eps) * lo, rec, "ekaq", eps,
-            stop_spec=(1, eps, 0.0),
-        )
+        if warm is None:
+            lb, ub, stats = self._refine(
+                q, lambda lo, hi: hi <= (1.0 + eps) * lo, rec, "ekaq", eps,
+                stop_spec=(1, eps, 0.0),
+            )
+        else:
+            wlb_v, wub_v = as_warm_interval(warm, 1)
+            wlb, wub = float(wlb_v[0]), float(wub_v[0])
+            lb, ub, stats = self._refine(
+                q,
+                lambda lo, hi: min(hi, wub) <= (1.0 + eps) * max(lo, wlb),
+                rec, "ekaq", eps, stop_spec=None,
+            )
+            lb, ub = max(lb, wlb), min(ub, wub)
         return EKAQResult(
             estimate=0.5 * (lb + ub), lower=lb, upper=ub, eps=eps,
             stats=stats, trace=rec,
         )
 
-    def refine_bounds(self, q, max_iterations: int, trace: bool = False):
+    def refine_bounds(self, q, max_iterations: int, trace: bool = False,
+                      warm=None):
         """Anytime bounds: refine for at most ``max_iterations`` pops.
 
         Returns an :class:`EKAQResult` whose ``lower``/``upper`` certify
@@ -512,6 +532,10 @@ class KernelAggregator:
         — useful when a caller has a fixed latency budget rather than a
         target precision.  ``eps`` on the result records the *achieved*
         relative half-width (``inf`` when the lower bound is not positive).
+
+        ``warm`` (a sound ``(lower, upper)`` interval) intersects the
+        result: the pop budget is unchanged, but the returned certificate
+        is never wider than the warm interval the caller already held.
         """
         if max_iterations < 0:
             raise InvalidParameterError(
@@ -525,6 +549,9 @@ class KernelAggregator:
             "refine", float(max_iterations),
             stop_spec=(2, float(max_iterations), 0.0),
         )
+        if warm is not None:
+            wlb_v, wub_v = as_warm_interval(warm, 1)
+            lb, ub = max(lb, float(wlb_v[0])), min(ub, float(wub_v[0]))
         achieved = (ub - lb) / (2.0 * lb) if lb > 0.0 else float("inf")
         return EKAQResult(
             estimate=0.5 * (lb + ub), lower=lb, upper=ub, eps=achieved,
@@ -762,18 +789,32 @@ class KernelAggregator:
 
     def ekaq_many_results(self, queries, eps, backend: str = "auto",
                           n_workers: int | None = None,
-                          chunk_size: int | None = None) -> EKAQBatchResult:
+                          chunk_size: int | None = None,
+                          warm=None) -> EKAQBatchResult:
         """Per-query eKAQ estimates with terminal ``lower``/``upper`` arrays.
 
         Same backend semantics as :meth:`tkaq_many_results`; ``eps`` may
         likewise be scalar or per-query, and every estimate satisfies its
         own ``(1 +- eps_i)`` contract regardless of backend.
+
+        ``warm`` is an optional ``(lower, upper)`` pair of sound per-query
+        starting intervals (the certified cache's transferred bounds);
+        refinement intersects with them, so tight warm rows terminate
+        early.  Only the ``multiquery`` and ``loop`` backends refine, so
+        only they accept it — the coreset tier estimates rather than
+        refines, and the process pool's stop rules are fixed.
         """
         self._check_pool_kwargs(backend, n_workers, chunk_size)
         Q = self._check_queries(queries)
         eps = as_query_param(eps, Q.shape[0], "eps", minimum=0.0)
+        if warm is not None and backend in ("coreset", "parallel"):
+            raise InvalidParameterError(
+                f"warm starting applies to the refining backends "
+                f"('auto', 'multiquery', 'loop'); got backend={backend!r}"
+            )
         if backend == "coreset" or (
-            backend == "auto" and self._auto_coreset(Q.shape[0])
+            backend == "auto" and warm is None
+            and self._auto_coreset(Q.shape[0])
         ):
             return self.coreset_backend().ekaq_many_results(Q, eps)
         if backend == "parallel":
@@ -781,9 +822,16 @@ class KernelAggregator:
                 n_workers, chunk_size).ekaq_many_results(Q, eps)
         impl = self._multiquery_backend(backend)
         if impl is not None:
-            return impl.ekaq_many_results(Q, eps)
+            return impl.ekaq_many_results(Q, eps, warm=warm)
         epss = np.broadcast_to(eps, Q.shape[:1])
-        results = [self.ekaq(q, e) for q, e in zip(Q, epss)]
+        if warm is None:
+            results = [self.ekaq(q, e) for q, e in zip(Q, epss)]
+        else:
+            wlb, wub = as_warm_interval(warm, Q.shape[0])
+            results = [
+                self.ekaq(q, e, warm=(lo, hi))
+                for q, e, lo, hi in zip(Q, epss, wlb, wub)
+            ]
         return EKAQBatchResult(
             estimates=np.array([r.estimate for r in results]),
             lower=np.array([r.lower for r in results]),
@@ -792,8 +840,8 @@ class KernelAggregator:
             stats=self._loop_batch_stats([r.stats for r in results]),
         )
 
-    def refine_many_results(self, queries, rounds,
-                            backend: str = "auto") -> EKAQBatchResult:
+    def refine_many_results(self, queries, rounds, backend: str = "auto",
+                            warm=None) -> EKAQBatchResult:
         """Anytime bounds for a batch: refine under a per-query round budget.
 
         The batch twin of :meth:`refine_bounds`: ``rounds`` is a shared
@@ -805,7 +853,9 @@ class KernelAggregator:
         tree's node count refines to exhaustion (``lower == upper``).
         Only ``"auto"``, ``"multiquery"``, and ``"loop"`` backends apply
         — the coreset tier has no budget semantics and the process pool
-        has no refine entry point.
+        has no refine entry point.  ``warm`` (a sound ``(lower, upper)``
+        pair, scalar or per-query per side) intersects the returned
+        certificates with intervals the caller already holds.
         """
         if backend not in ("auto", "multiquery", "loop"):
             raise InvalidParameterError(
@@ -816,9 +866,17 @@ class KernelAggregator:
         budget = as_query_param(rounds, Q.shape[0], "rounds", minimum=0.0)
         impl = self._multiquery_backend(backend)
         if impl is not None:
-            return impl.refine_many_results(Q, budget)
+            return impl.refine_many_results(Q, budget, warm=warm)
         budgets = np.broadcast_to(budget, Q.shape[:1])
-        results = [self.refine_bounds(q, int(b)) for q, b in zip(Q, budgets)]
+        if warm is None:
+            results = [self.refine_bounds(q, int(b))
+                       for q, b in zip(Q, budgets)]
+        else:
+            wlb, wub = as_warm_interval(warm, Q.shape[0])
+            results = [
+                self.refine_bounds(q, int(b), warm=(lo, hi))
+                for q, b, lo, hi in zip(Q, budgets, wlb, wub)
+            ]
         return EKAQBatchResult(
             estimates=np.array([r.estimate for r in results]),
             lower=np.array([r.lower for r in results]),

@@ -16,9 +16,11 @@ __all__ = [
     "NotFittedError",
     "ParallelExecutionError",
     "ShardUnavailableError",
+    "TransferUnsupportedError",
     "as_matrix",
     "as_query_param",
     "as_vector",
+    "as_warm_interval",
     "check_positive",
 ]
 
@@ -45,6 +47,17 @@ class ParallelExecutionError(ReproError, RuntimeError):
     Raised by the process-parallel backend instead of hanging or returning
     partial results; the batch can be retried (the evaluator rebuilds its
     worker pool) or re-run on a serial backend.
+    """
+
+
+class TransferUnsupportedError(ReproError, TypeError):
+    """The kernel has no global Lipschitz constant in the query point.
+
+    Raised by :func:`repro.core.lipschitz.global_lipschitz` (and hence by
+    the certified answer cache) for dot-product kernels — whose values
+    scale with point norms, so no data-independent transfer bound exists
+    — and for distance profiles without a known closed-form constant.
+    The exact and refinement backends remain fully available.
     """
 
 
@@ -130,6 +143,42 @@ def as_query_param(value, n_queries: int, name: str,
             f"got min {float(arr.min())}"
         )
     return np.ascontiguousarray(arr)
+
+
+def as_warm_interval(warm, n_queries: int, name: str = "warm"):
+    """Validate a warm-start interval pair ``(lower, upper)``.
+
+    Each side is a scalar or an ``(n_queries,)`` vector; infinities are
+    fine (``(-inf, +inf)`` rows warm-start nothing), NaNs and inverted
+    intervals are not.  Returns two contiguous float64 vectors.  The
+    *soundness* of the interval — that it actually brackets each row's
+    exact aggregate — is the caller's contract (the certified cache only
+    ever passes transferred intervals, which are sound by construction);
+    an unsound warm interval produces unsound clamped answers.
+    """
+    if not isinstance(warm, (tuple, list)) or len(warm) != 2:
+        raise InvalidParameterError(
+            f"{name} must be a (lower, upper) pair; got {warm!r}"
+        )
+    sides = []
+    for value, side in zip(warm, ("lower", "upper")):
+        arr = np.asarray(value, dtype=np.float64)
+        if arr.ndim == 0:
+            arr = np.full(n_queries, float(arr))
+        elif arr.ndim != 1 or arr.shape[0] != n_queries:
+            raise DataShapeError(
+                f"{name} {side} must be a scalar or a ({n_queries},) "
+                f"vector matching the query batch; got shape {arr.shape}"
+            )
+        if np.isnan(arr).any():
+            raise DataShapeError(f"{name} {side} bounds contain NaN")
+        sides.append(np.ascontiguousarray(arr))
+    lo, hi = sides
+    if (lo > hi).any():
+        raise InvalidParameterError(
+            f"{name} requires lower <= upper for every query"
+        )
+    return lo, hi
 
 
 def check_positive(value: float, name: str) -> float:

@@ -1,0 +1,110 @@
+"""Global Lipschitz constants of distance kernels in the query point.
+
+A distance kernel evaluates ``K(q, p) = g(d(q, p)^2)`` with a scalar
+profile ``g`` (:mod:`repro.core.profiles`).  Seen as a function of the
+*distance* ``r = d(q, p)``, the kernel is ``f(r) = g(r^2)``, and its
+global Lipschitz constant over ``r >= 0`` is::
+
+    L_K = sup_r |f'(r)| = sup_r 2 r |g'(r^2)|
+
+Because the point-to-point distance itself is 1-Lipschitz in ``q``
+(triangle inequality: ``|d(q, p) - d(q', p)| <= ||q - q'||``), every
+kernel value — and hence the whole weighted aggregate — inherits the
+same modulus::
+
+    |F_P(q) - F_P(q')| <= (sum_i |w_i|) * L_K * ||q - q'||
+
+which is exactly what lets a certified interval served at ``q`` be
+widened into a sound interval at a nearby ``q'``
+(:mod:`repro.cache.transfer`).
+
+Closed forms (maximising ``2 r |g'(r^2)|`` analytically):
+
+========================  =====================  ======================
+kernel                    ``f(r)``               ``L_K``
+========================  =====================  ======================
+Gaussian                  ``exp(-gamma r^2)``    ``sqrt(2 gamma / e)``
+                                                 (at ``r = 1/sqrt(2 gamma)``)
+Laplacian                 ``exp(-gamma r)``      ``gamma`` (at ``r = 0``)
+Cauchy                    ``1/(1 + gamma r^2)``  ``(3 sqrt(3) / 8) sqrt(gamma)``
+                                                 (at ``r = 1/sqrt(3 gamma)``)
+Epanechnikov              ``max(0, 1-gamma r^2)``  ``2 sqrt(gamma)``
+                                                 (at the cutoff ``r = 1/sqrt(gamma)``)
+========================  =====================  ======================
+
+Dot-product kernels (polynomial, sigmoid) are *not* Lipschitz in the
+query in any data-independent sense — their argument ``q . p`` scales
+with the point norms, so no global constant exists.  They get a typed
+rejection (:class:`~repro.core.errors.TransferUnsupportedError`), the
+same way the shard tier's ``worst_case_mass`` refuses them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import TransferUnsupportedError
+from repro.core.kernels import Kernel
+from repro.core.profiles import (
+    CauchyProfile,
+    EpanechnikovProfile,
+    GaussianProfile,
+    LaplacianProfile,
+)
+
+__all__ = ["global_lipschitz", "supports_transfer"]
+
+
+def _gaussian(gamma: float) -> float:
+    return math.sqrt(2.0 * gamma / math.e)
+
+
+def _laplacian(gamma: float) -> float:
+    return gamma
+
+
+def _cauchy(gamma: float) -> float:
+    return 0.375 * math.sqrt(3.0) * math.sqrt(gamma)
+
+
+def _epanechnikov(gamma: float) -> float:
+    return 2.0 * math.sqrt(gamma)
+
+
+_CONSTANTS = {
+    GaussianProfile: _gaussian,
+    LaplacianProfile: _laplacian,
+    CauchyProfile: _cauchy,
+    EpanechnikovProfile: _epanechnikov,
+}
+
+
+def supports_transfer(kernel: Kernel) -> bool:
+    """True when ``kernel`` has a global Lipschitz constant in the query."""
+    return (
+        kernel.argument == "dist_sq"
+        and type(kernel.profile) in _CONSTANTS
+    )
+
+
+def global_lipschitz(kernel: Kernel) -> float:
+    """``sup_q |d K(q, p) / d ||q - p||||`` for a distance kernel.
+
+    Raises :class:`~repro.core.errors.TransferUnsupportedError` for
+    kernels without a data-independent constant (dot-product kernels,
+    or unknown distance profiles).
+    """
+    if kernel.argument != "dist_sq":
+        raise TransferUnsupportedError(
+            f"{type(kernel).__name__} is a dot-product kernel; its values "
+            "depend on point norms, so no global Lipschitz constant in the "
+            "query exists and certified bound transfer is unavailable"
+        )
+    fn = _CONSTANTS.get(type(kernel.profile))
+    if fn is None:
+        raise TransferUnsupportedError(
+            f"no global Lipschitz constant is known for profile "
+            f"{type(kernel.profile).__name__}; certified bound transfer "
+            "requires one of: Gaussian, Laplacian, Cauchy, Epanechnikov"
+        )
+    return fn(float(kernel.profile.gamma))

@@ -44,6 +44,7 @@ from repro.core.errors import (
     InvalidParameterError,
     as_matrix,
     as_query_param,
+    as_warm_interval,
 )
 from repro.core.kernels import Kernel
 from repro.core.results import BatchQueryStats, EKAQBatchResult, TKAQBatchResult
@@ -417,28 +418,48 @@ class MultiQueryAggregator:
             answers=lower > tau, lower=lower, upper=upper, tau=tau, stats=stats
         )
 
-    def ekaq_many_results(self, queries, eps) -> EKAQBatchResult:
+    def ekaq_many_results(self, queries, eps, warm=None) -> EKAQBatchResult:
         """Per-query eKAQ estimates and terminal bounds for a query matrix.
 
         ``eps`` may be one shared tolerance or a per-query ``(Q,)`` vector;
         each estimate satisfies its own row's ``(1 +- eps_i)`` contract.
+
+        ``warm`` is an optional ``(lower, upper)`` pair of sound per-query
+        starting intervals (scalar or ``(Q,)`` each) — as transferred by
+        the certified answer cache.  Refinement bounds are *intersected*
+        with the warm interval inside the stop test and on the returned
+        arrays, so rows whose warm interval is already tight retire in
+        round one instead of refining from the root.  Intersecting two
+        sound intervals is sound, and ``(-inf, +inf)`` rows reproduce the
+        cold path's answers.
         """
         Q = self._check_queries(queries)
         eps = as_query_param(eps, Q.shape[0], "eps", minimum=0.0)
-        if isinstance(eps, float):
-            stop = lambda lo, hi, idx: hi <= (1.0 + eps) * lo  # noqa: E731
-            param = eps
+        param = eps if isinstance(eps, float) else None
+        eps_vec = np.broadcast_to(eps, Q.shape[:1])
+        if warm is None:
+            if isinstance(eps, float):
+                stop = lambda lo, hi, idx: hi <= (1.0 + eps) * lo  # noqa: E731
+            else:
+                stop = lambda lo, hi, idx: hi <= (1.0 + eps[idx]) * lo  # noqa: E731
         else:
-            stop = lambda lo, hi, idx: hi <= (1.0 + eps[idx]) * lo  # noqa: E731
-            param = None
+            wlb, wub = as_warm_interval(warm, Q.shape[0])
+
+            def stop(lo, hi, idx):
+                return np.minimum(hi, wub[idx]) <= \
+                    (1.0 + eps_vec[idx]) * np.maximum(lo, wlb[idx])
         lower, upper, stats = self._refine_many(Q, stop, kind="ekaq",
                                                 param=param)
+        if warm is not None:
+            np.maximum(lower, wlb, out=lower)
+            np.minimum(upper, wub, out=upper)
         return EKAQBatchResult(
             estimates=0.5 * (lower + upper), lower=lower, upper=upper,
             eps=eps, stats=stats,
         )
 
-    def refine_many_results(self, queries, rounds) -> EKAQBatchResult:
+    def refine_many_results(self, queries, rounds, warm=None
+                            ) -> EKAQBatchResult:
         """Anytime bounds: refine each row for at most ``rounds`` rounds.
 
         The batch twin of
@@ -453,9 +474,17 @@ class MultiQueryAggregator:
         records the *achieved* relative half-width per query (``inf``
         where the lower bound is not positive).  This is the primitive
         the shard router's cross-shard escalation is built on.
+
+        ``warm`` (a sound ``(lower, upper)`` pair, scalar or ``(Q,)`` per
+        side) intersects the returned intervals — the budget semantics
+        are untouched, but the certified interval a caller gets back is
+        never wider than the warm one it already held.
         """
         Q = self._check_queries(queries)
         budget = as_query_param(rounds, Q.shape[0], "rounds", minimum=0.0)
+        wlb = wub = None
+        if warm is not None:
+            wlb, wub = as_warm_interval(warm, Q.shape[0])
         done_rounds = [0]  # rounds completed before the current stop check
 
         if isinstance(budget, float):
@@ -473,6 +502,9 @@ class MultiQueryAggregator:
             param = None
         lower, upper, stats = self._refine_many(Q, stop, kind="refine",
                                                 param=param)
+        if warm is not None:
+            np.maximum(lower, wlb, out=lower)
+            np.minimum(upper, wub, out=upper)
         with np.errstate(divide="ignore", invalid="ignore"):
             achieved = np.where(
                 lower > 0.0, (upper - lower) / (2.0 * lower), np.inf

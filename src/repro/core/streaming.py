@@ -82,6 +82,7 @@ class StreamingAggregator:
         self._buf_points: list[np.ndarray] = []
         self._buf_weights: list[float] = []
         self._d: int | None = None
+        self._cache = None  # attached CertifiedAnswerCache (invalidation)
         self.rebuilds = 0
         self.coreset = None
         if coreset is not None and coreset is not False:
@@ -108,6 +109,19 @@ class StreamingAggregator:
         base = self._agg.tree.n if self._agg is not None else 0
         return base + len(self._buf_points)
 
+    def attach_cache(self, cache) -> None:
+        """Route insert invalidation into a certified answer cache.
+
+        Every :meth:`insert` then calls ``cache.note_insert(weights)`` so
+        cached intervals certified before the insert are widened by the
+        inserted mass's worst-case contribution (or dropped, in the
+        cache's ``"drop"`` mode) before being transferred again.
+        :meth:`rebuild` needs no notification: merging the buffer into a
+        fresh index re-indexes the *same* weighted point set, so ``F`` —
+        and every cached interval — is unchanged.
+        """
+        self._cache = cache
+
     def insert(self, points, weights=None) -> None:
         """Append weighted points; triggers a rebuild when the buffer grows
         past ``rebuild_fraction`` of the indexed set."""
@@ -128,6 +142,8 @@ class StreamingAggregator:
         self._buf_weights.extend(weights.tolist())
         if self.coreset is not None:
             self.coreset.insert(points, weights)
+        if self._cache is not None:
+            self._cache.note_insert(weights)
         if _obs.is_enabled():
             _obs.registry().gauge("streaming.buffer_points").set(
                 len(self._buf_points)

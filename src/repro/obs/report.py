@@ -11,21 +11,29 @@ any "why was this query slow" investigation) needs:
 3. **Phase wall-times** — where the seconds went (bound evaluation,
    exact leaf work, termination checks) per backend/scheme.
 
+A fourth, optional view renders *metrics* rather than traces:
+``metrics_summary(snapshot)`` tabulates the counter/gauge state of a
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` (or a serve ``stats``
+response) grouped by subsystem prefix — ``serve.*`` queueing and
+``cache.*`` hit/stale/size counters in particular.
+
 CLI::
 
     python -m repro.obs.report traces.jsonl [more.jsonl ...] [--rounds N]
+    python -m repro.obs.report traces.jsonl --metrics stats.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import math
 
 from repro.bench.reporting import render_table
 from repro.obs.export import load_traces
 from repro.obs.trace import QueryTrace
 
-__all__ = ["summarize", "main"]
+__all__ = ["summarize", "metrics_summary", "main"]
 
 #: how many leading rounds the per-round tables show by default
 _DEFAULT_ROUNDS = 12
@@ -153,6 +161,33 @@ def summarize(traces, max_rounds: int = _DEFAULT_ROUNDS) -> str:
     return "\n\n".join(parts)
 
 
+def metrics_summary(snapshot: dict) -> str:
+    """Render a counters/gauges table from a metrics snapshot.
+
+    Accepts either a raw :meth:`MetricsRegistry.snapshot` dict or a serve
+    ``stats`` response payload (both carry ``counters``; the former also
+    carries ``gauges``).  Rows are grouped by subsystem prefix — the
+    ``cache.*`` family is where hit/miss/stale/size live.
+    """
+    rows = []
+    for section in ("counters", "gauges"):
+        for name in sorted(snapshot.get(section, {})):
+            prefix = name.split(".", 1)[0]
+            rows.append([prefix, section[:-1], name,
+                         snapshot[section][name]])
+    cache = snapshot.get("cache")
+    if isinstance(cache, dict):  # serve stats: live cache introspection
+        for key in sorted(cache):
+            rows.append(["cache", "info", f"cache.{key}", cache[key]])
+    if not rows:
+        return "no metrics recorded"
+    return render_table(
+        "Metrics (by subsystem)",
+        ["subsystem", "type", "metric", "value"],
+        rows,
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
@@ -163,11 +198,20 @@ def main(argv=None) -> int:
         "--rounds", type=int, default=_DEFAULT_ROUNDS,
         help="how many leading rounds the per-round tables show",
     )
+    parser.add_argument(
+        "--metrics", default=None, metavar="JSON",
+        help="also render a metrics snapshot (a MetricsRegistry.snapshot "
+             "dump or a serve stats response) as a table",
+    )
     args = parser.parse_args(argv)
     traces: list[QueryTrace] = []
     for path in args.paths:
         traces.extend(load_traces(path))
     print(summarize(traces, max_rounds=args.rounds))
+    if args.metrics is not None:
+        with open(args.metrics, "r", encoding="utf-8") as fh:
+            print()
+            print(metrics_summary(json.load(fh)))
     return 0
 
 

@@ -72,23 +72,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-partial-results", action="store_true",
                    help="turn missing-shard batches into typed errors "
                         "instead of widened partial answers")
+    p.add_argument("--cache", action="store_true",
+                   help="enable the certified answer cache (unsharded "
+                        "servers with a distance kernel only)")
+    p.add_argument("--cache-cell", type=float, default=None,
+                   help="cache grid cell size (default: derived from the "
+                        "indexed points)")
+    p.add_argument("--cache-entries", type=int, default=4096,
+                   help="cache capacity in entries")
+    p.add_argument("--cache-mode", choices=("widen", "drop"),
+                   default="widen",
+                   help="how probes absorb streaming inserts: widen "
+                        "transferred intervals by the inserted mass, or "
+                        "drop stale entries")
+    p.add_argument("--no-single-flight", action="store_true",
+                   help="disable dedup of identical concurrent requests")
     return p
 
 
 def make_server(args) -> KAQServer:
     wl = workload_for(args.dataset, n_queries=1, size=args.size)
+    cache_cfg = None
+    if args.cache:
+        from repro.cache import CacheConfig
+
+        cache_cfg = CacheConfig(
+            cell_size=args.cache_cell, max_entries=args.cache_entries,
+            on_insert=args.cache_mode)
     config = ServeConfig(
         host=args.host, port=args.port,
         batch=BatchConfig(
             max_batch=args.max_batch, min_wait_us=args.min_wait_us,
             max_wait_us=args.max_wait_us, target_fill=args.target_fill,
             parallel_threshold=args.parallel_threshold,
-            n_workers=args.n_workers),
+            n_workers=args.n_workers,
+            single_flight=not args.no_single_flight),
         policy=AdmissionPolicy(
             max_queue=args.max_queue, degrade_at=args.degrade_at,
             eps_ceiling=args.eps_ceiling,
             partial_results=not args.no_partial_results),
-        drain_grace_s=args.drain_grace_s)
+        drain_grace_s=args.drain_grace_s,
+        cache=cache_cfg)
     if args.shards > 1:
         from repro.shard import ShardConfig, build_router
 

@@ -35,13 +35,30 @@ was configured with workers; smaller batches take the serial
 width.  Evaluation runs on a single-thread executor so the event loop
 keeps accepting and coalescing while a batch computes, and so the
 aggregator only ever sees one thread.
+
+Two stages sit *ahead* of batching on the submit path:
+
+* **certified answer cache** (``cache=``, see :mod:`repro.cache`): a
+  probe transfers the nearest cached certified interval to the query;
+  if the widened interval still certifies, the request is answered
+  immediately (``backend="cache"``, ``cached=true``) without occupying
+  a batch slot.  An uncertified transfer rides along as a *warm-start*
+  interval for eKAQ/refine batches, and every deterministic batch
+  result (not coreset certificates, not partial shard rows) is inserted
+  back into the cache.
+* **single-flight dedup** (``single_flight``): identical concurrent
+  ``(kind, q, served-param)`` requests in one window evaluate once; the
+  leader's answer fans out to the followers (their responses carry
+  ``single_flight=true`` and their own request ids).  The group's
+  effective deadline is the *latest* member deadline — one member's
+  expiry never drops another member's answer.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -78,6 +95,10 @@ class BatchConfig:
     #: ``prefer_coreset`` over live queue depth).  Takes precedence over
     #: the parallel pool — under load the cheap tier wins.
     coreset_hint: Callable[[], bool] | None = None
+    #: dedup identical concurrent (kind, q, served-param) requests: one
+    #: evaluation, fanned out.  Answers are unchanged (identical rows
+    #: refine identically); only provenance marks the followers.
+    single_flight: bool = True
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -99,6 +120,13 @@ class PendingRequest:
     deadline: float | None      # absolute, server monotonic clock
     served_param: float | None  # policy-adjusted tau/eps actually served
     degraded: bool = False
+    #: sound (lower, upper) starting interval from an uncertified cache
+    #: transfer; threaded into the batch evaluator's ``warm`` vector
+    warm: tuple | None = None
+    #: single-flight followers resolved with this request's answer
+    followers: list = field(default_factory=list)
+    #: single-flight registry key while this request leads a group
+    sf_key: tuple | None = None
 
 
 class MicroBatcher:
@@ -106,16 +134,18 @@ class MicroBatcher:
 
     def __init__(self, kind: str, aggregator, config: BatchConfig,
                  executor, loop: asyncio.AbstractEventLoop,
-                 on_done=None, sharded: bool = False):
+                 on_done=None, sharded: bool = False, cache=None):
         assert kind in QUERY_OPS, kind
         self.kind = kind
         self.sharded = sharded  # target is a ShardRouter, not an aggregator
         self._agg = aggregator
         self._cfg = config
+        self._cache = cache  # CertifiedAnswerCache or None (server-owned)
         self._executor = executor
         self._loop = loop
         self._on_done = on_done  # server callback: request left the queue
         self._pending: list[PendingRequest] = []
+        self._sf: dict[tuple, PendingRequest] = {}  # single-flight leaders
         self._timer: asyncio.TimerHandle | None = None
         self._window_us = float(config.initial_wait_us)
         self._batch_seq = 0
@@ -127,6 +157,8 @@ class MicroBatcher:
         self._m_batches = reg.counter(f"serve.batches.{kind}")
         self._m_deadline = reg.counter("serve.deadline_miss_total")
         self._m_internal = reg.counter("serve.internal_error_total")
+        self._m_singleflight = reg.counter("serve.singleflight_total")
+        self._m_warm = reg.counter("cache.warm_start_total")
         self._g_inflight = reg.gauge("serve.inflight_batches")
 
     # ------------------------------------------------------------------
@@ -143,13 +175,102 @@ class MicroBatcher:
         return self._window_us
 
     def submit(self, pending: PendingRequest) -> None:
-        """Add one admitted request; flush if the batch filled."""
+        """Add one admitted request; flush if the batch filled.
+
+        Runs the pre-batch stages first: a certified-cache probe (a hit
+        answers immediately without a batch slot; an uncertified eKAQ /
+        refine transfer becomes a warm-start interval), then
+        single-flight dedup (identical concurrent requests attach to the
+        in-window leader instead of occupying their own slots).
+        """
+        if self._cache is not None and self._try_cache(pending):
+            return
+        if self._cfg.single_flight and self._attach_single_flight(pending):
+            return
         self._pending.append(pending)
         if len(self._pending) >= self._cfg.max_batch:
             self.flush("size")
         elif self._timer is None:
             self._timer = self._loop.call_later(
                 self._window_us / 1e6, self.flush, "timer")
+
+    # ------------------------------------------------------------------
+    # pre-batch stages: cache probe, single-flight dedup
+    # ------------------------------------------------------------------
+
+    def _try_cache(self, p: PendingRequest) -> bool:
+        """Serve ``p`` from the certified cache; True when answered."""
+        if self.kind == "exact":
+            return False  # exact answers have zero width; transfers never do
+        q = np.asarray(p.request.q, dtype=np.float64)
+        if self.kind == "refine":
+            # no certification semantics for a round budget — but the
+            # transferred interval still tightens the returned bounds
+            tb = self._cache.lookup(q)
+            if tb is not None:
+                p.warm = (tb.lower, tb.upper)
+            return False
+        tb, served = self._cache.probe(q, self.kind, p.served_param)
+        if not served:
+            if tb is not None and self.kind == "ekaq":
+                p.warm = (tb.lower, tb.upper)
+            return False
+        self._ingest_cache_trace()
+        self._resolve(p, self._cache_response(p, tb))
+        return True
+
+    def _cache_response(self, p: PendingRequest, tb) -> dict:
+        """A cache-served payload: certified numbers, ``cached`` provenance.
+
+        No batch id — the answer never joined a batch; offline replay
+        recognises ``cached=true`` and cross-checks the interval against
+        the exact aggregate instead of re-deriving a batch.
+        """
+        req = p.request
+        common = dict(backend="cache", cached=True,
+                      transfer_width=float(tb.width))
+        if self.kind == "tkaq":
+            return ok_response(
+                req.id, "tkaq", answer=bool(tb.decides_tkaq(p.served_param)),
+                lower=float(tb.lower), upper=float(tb.upper),
+                served_tau=float(p.served_param), **common)
+        return ok_response(
+            req.id, "ekaq", estimate=float(tb.estimate),
+            lower=float(tb.lower), upper=float(tb.upper),
+            served_eps=float(p.served_param), degraded=p.degraded, **common)
+
+    def _ingest_cache_trace(self) -> None:
+        """A cache hit prunes the *entire* dataset: record it that way.
+
+        The umbrella trace keeps the point conservation law (evaluated +
+        pruned == n_points * n_queries) intact for cache-served queries.
+        """
+        if not obs.is_enabled():
+            return
+        n = self._agg.n if self.sharded else self._agg.tree.n
+        scheme = (self._agg.scheme_name if self.sharded
+                  else self._agg.scheme.name)
+        trace = QueryTrace(kind=self.kind, backend="cache", scheme=scheme,
+                           n_points=n, n_queries=1)
+        trace.record_round(frontier=0, points=0, active=1, retired=1,
+                           pruned_points=n)
+        obs.ingest_trace(trace)
+
+    def _attach_single_flight(self, p: PendingRequest) -> bool:
+        """Join an identical in-flight request's group; True when attached."""
+        key = (tuple(p.request.q), p.served_param)
+        leader = self._sf.get(key)
+        if leader is None:
+            p.sf_key = key
+            self._sf[key] = p
+            return False
+        leader.followers.append(p)
+        # the group answers when the *last* member could still want it
+        if leader.deadline is not None:
+            leader.deadline = (None if p.deadline is None
+                               else max(leader.deadline, p.deadline))
+        self._m_singleflight.inc()
+        return True
 
     def flush(self, reason: str = "drain") -> None:
         """Dispatch the pending set as one batch (no-op when empty)."""
@@ -212,6 +333,8 @@ class MicroBatcher:
             batch_id = self._batch_seq
             self._batch_seq += 1
             self._ingest_trace(result, len(live), wall)
+            if self._cache is not None and backend != "coreset":
+                self._cache_fill(live, result)
             for i, p in enumerate(live):
                 self._resolve(p, self._response(p, result, batch_id, i,
                                                 len(live), backend))
@@ -254,11 +377,45 @@ class MicroBatcher:
             if backend == "parallel":
                 kwargs["n_workers"] = self._cfg.n_workers
                 kwargs["chunk_size"] = self._cfg.chunk_size
+        if (not self.sharded and backend == "multiquery"
+                and self.kind in ("ekaq", "refine")
+                and any(p.warm is not None for p in live)):
+            # warm-start the batch from the cache-transferred intervals;
+            # rows without a transfer get the no-op (-inf, +inf) interval
+            wlb = np.full(len(live), -np.inf)
+            wub = np.full(len(live), np.inf)
+            n_warm = 0
+            for i, p in enumerate(live):
+                if p.warm is not None:
+                    wlb[i], wub[i] = p.warm
+                    n_warm += 1
+            kwargs["warm"] = (wlb, wub)
+            self._m_warm.inc(n_warm)
         if self.kind == "tkaq":
             return self._agg.tkaq_many_results(Q, param, **kwargs)
         if self.kind == "refine":
             return self._agg.refine_many_results(Q, param, **kwargs)
         return self._agg.ekaq_many_results(Q, param, **kwargs)
+
+    def _cache_fill(self, live: list[PendingRequest], result) -> None:
+        """Insert this batch's deterministic certified answers into the cache.
+
+        Coreset batches never reach here (probabilistic certificates are
+        not transferable) and partial shard rows are skipped — only
+        unconditionally sound intervals may seed future transfers.
+        Exact values insert as degenerate ``lb == ub`` intervals.
+        """
+        partial = getattr(result, "partial", None)
+        for i, p in enumerate(live):
+            if partial is not None and partial[i]:
+                continue
+            q = np.asarray(p.request.q, dtype=np.float64)
+            if self.kind == "exact":
+                v = float(result[i])
+                self._cache.insert(q, v, v)
+            else:
+                self._cache.insert(q, float(result.lower[i]),
+                                   float(result.upper[i]))
 
     def _response(self, p: PendingRequest, result, batch_id: int,
                   index: int, n_batch: int, backend: str) -> dict:
@@ -268,6 +425,13 @@ class MicroBatcher:
             return ok_response(req.id, "exact",
                                value=float(result[index]), **common)
         common["backend"] = backend
+        if p.warm is not None:
+            # provenance for bitwise replay: the warm interval this row
+            # was evaluated under (repr-floats survive the JSON round
+            # trip, so replay reconstructs the identical warm vector)
+            common["warm"] = True
+            common["warm_lower"] = float(p.warm[0])
+            common["warm_upper"] = float(p.warm[1])
         partial = getattr(result, "partial", None)
         if partial is not None:
             common["partial"] = bool(partial[index])
@@ -294,10 +458,30 @@ class MicroBatcher:
             degraded=p.degraded, **common)
 
     def _resolve(self, p: PendingRequest, payload: dict) -> None:
+        if p.sf_key is not None:
+            # group closes: later identical requests start a fresh leader
+            self._sf.pop(p.sf_key, None)
+            p.sf_key = None
         if not p.future.done():
             p.future.set_result(payload)
         if self._on_done is not None:
             self._on_done(p)
+        if p.followers:
+            followers, p.followers = p.followers, []
+            for f in followers:
+                self._resolve(f, self._follower_payload(f, payload))
+
+    def _follower_payload(self, f: PendingRequest, payload: dict) -> dict:
+        """The leader's answer re-addressed to a single-flight follower."""
+        out = dict(payload)
+        out["id"] = f.request.id
+        out["single_flight"] = True
+        if out.get("ok") and self.kind == "ekaq":
+            # identical rows, but each member keeps its own admission
+            # provenance (the policy may have degraded them differently)
+            out["served_eps"] = float(f.served_param)
+            out["degraded"] = f.degraded
+        return out
 
     def _ingest_trace(self, result, n_batch: int, wall: float) -> None:
         """Record an umbrella per-batch trace into the obs ring.

@@ -35,6 +35,12 @@ Successful query responses embed replay provenance — ``batch`` (server-
 assigned micro-batch id), ``batch_index`` (the request's row inside that
 batch), ``backend``, and the served parameter — enough to reconstruct
 every served batch offline and reproduce each answer bit for bit.
+Cache-served answers instead carry ``backend="cache"``, ``cached=true``
+and *no* batch id (they never joined a batch; replay cross-checks their
+interval against the exact aggregate).  Single-flight followers carry
+``single_flight=true`` plus the leader's batch coordinates; rows that
+were warm-started from an uncertified cache transfer carry ``warm=true``
+with the ``warm_lower``/``warm_upper`` interval used.
 
 Error responses are ``{"id": ..., "ok": false, "error": <code>,
 "message": ...}`` with ``error`` one of :data:`ERROR_CODES`.

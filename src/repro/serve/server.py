@@ -28,6 +28,7 @@ import signal
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
+from repro.core.errors import InvalidParameterError
 from repro.obs import runtime as obs
 from repro.obs.metrics import GEOMETRIC_BUCKETS, SECONDS_BUCKETS
 from repro.serve.batcher import BatchConfig, MicroBatcher, PendingRequest
@@ -56,6 +57,11 @@ class ServeConfig:
     batch: BatchConfig = field(default_factory=BatchConfig)
     policy: AdmissionPolicy = field(default_factory=AdmissionPolicy)
     drain_grace_s: float = 10.0
+    #: a :class:`repro.cache.CacheConfig` enables the certified answer
+    #: cache ahead of batching (unsharded servers with a distance kernel
+    #: only; see ``docs/serving.md``).  ``None`` — the default — leaves
+    #: serving bitwise-identical to a cacheless server.
+    cache: object | None = None
 
 
 class KAQServer:
@@ -84,6 +90,22 @@ class KAQServer:
         self._dim = (int(router.d) if router is not None
                      else int(aggregator.tree.points.shape[1]))
         self.config = config or ServeConfig()
+        self.cache = None
+        if self.config.cache is not None:
+            if router is not None:
+                raise InvalidParameterError(
+                    "the certified answer cache requires a local aggregator; "
+                    "sharded servers expose no kernel/weight surface to "
+                    "transfer bounds against")
+            # constructed here so a non-transferable kernel fails fast
+            # (TransferUnsupportedError) instead of at first query
+            from repro.cache import CertifiedAnswerCache
+
+            self.cache = CertifiedAnswerCache.for_aggregator(
+                aggregator, self.config.cache)
+            attach = getattr(aggregator, "attach_cache", None)
+            if callable(attach):  # StreamingAggregator wires invalidation
+                attach(self.cache)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._server: asyncio.AbstractServer | None = None
         self._executor = ThreadPoolExecutor(
@@ -129,7 +151,7 @@ class KAQServer:
             self._batchers[kind] = MicroBatcher(
                 kind, self._target, batch_cfg, self._executor,
                 self._loop, on_done=self._request_done,
-                sharded=self._router is not None)
+                sharded=self._router is not None, cache=self.cache)
         self._server = await asyncio.start_server(
             self._handle_conn, self.config.host, self.config.port)
 
@@ -332,11 +354,14 @@ class KAQServer:
         snap = reg.snapshot()
         serve_counters = {
             name: value for name, value in snap["counters"].items()
-            if name.startswith("serve.")
+            if name.startswith(("serve.", "cache."))
         }
         histograms = {}
-        for name in ("serve.batch_size", "serve.queue_delay_seconds",
-                     "serve.request_seconds"):
+        hist_names = ["serve.batch_size", "serve.queue_delay_seconds",
+                      "serve.request_seconds"]
+        if self.cache is not None:
+            hist_names.append("cache.transfer_width")
+        for name in hist_names:
             h = reg.histogram(
                 name, SECONDS_BUCKETS if name.endswith("seconds")
                 else GEOMETRIC_BUCKETS)
@@ -345,10 +370,18 @@ class KAQServer:
                 "p50": h.quantile(0.5) if h.count else None,
                 "p99": h.quantile(0.99) if h.count else None,
             }
+        extra = {}
+        if self.cache is not None:
+            extra["cache"] = {
+                "entries": self.cache.size,
+                "epoch": self.cache.epoch,
+                "cell_size": self.cache.cell_size,
+                "lipschitz": self.cache.lipschitz,
+            }
         return ok_response(
             req.id, "stats",
             queue_depth=self._queue_depth,
             draining=self._draining,
             windows_us={k: b.window_us for k, b in self._batchers.items()},
             counters=serve_counters,
-            histograms=histograms)
+            histograms=histograms, **extra)

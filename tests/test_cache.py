@@ -1,0 +1,565 @@
+"""Tests for the certified answer cache (repro.cache) and its serving
+integration: Lipschitz constants, sound bound transfer, the bucketed
+store, warm-started refinement, streaming invalidation, cache-enabled
+live serving, and single-flight dedup.
+
+The load-bearing property throughout: every transferred interval must
+*bracket the exact aggregate at the probed point* — transfer is only a
+widening by ``W * L * ||q - q'||`` of an interval sound at ``q'``, so
+soundness is inherited, never re-derived.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    CacheConfig,
+    CertifiedAnswerCache,
+    TransferredBounds,
+    transfer_bounds,
+)
+from repro.core import (
+    CauchyKernel,
+    EpanechnikovKernel,
+    GaussianKernel,
+    KernelAggregator,
+    LaplacianKernel,
+    PolynomialKernel,
+    SigmoidKernel,
+    StreamingAggregator,
+    TransferUnsupportedError,
+    global_lipschitz,
+    supports_transfer,
+)
+from repro.core.errors import InvalidParameterError, as_warm_interval
+from repro.index import KDTree
+from repro.serve import (
+    AdmissionPolicy,
+    BatchConfig,
+    ServeClient,
+    ServeConfig,
+    ServerThread,
+)
+
+DIST_KERNELS = [
+    GaussianKernel(0.7),
+    LaplacianKernel(1.3),
+    CauchyKernel(2.0),
+    EpanechnikovKernel(0.9),
+]
+
+
+# ----------------------------------------------------------------------
+# Lipschitz constants
+# ----------------------------------------------------------------------
+
+
+class TestLipschitz:
+    @pytest.mark.parametrize("kernel", DIST_KERNELS,
+                             ids=lambda k: type(k).__name__)
+    def test_constant_is_the_numeric_supremum(self, kernel):
+        """L == sup_r |dK/dr| for K as a function of the *distance* r.
+
+        A fine grid over r must (a) never exceed L by more than grid
+        error and (b) get within 0.5% of it somewhere — the constant is
+        the supremum, not just an upper bound.
+        """
+        L = global_lipschitz(kernel)
+        r = np.linspace(0.0, 12.0, 400_001)
+        K = np.array([kernel.profile.value(x) for x in r * r])
+        slopes = np.abs(np.diff(K) / np.diff(r))
+        assert slopes.max() <= L * (1.0 + 1e-6)
+        assert slopes.max() >= L * 0.995
+
+    def test_known_closed_forms(self):
+        g = 3.0
+        assert global_lipschitz(GaussianKernel(g)) == \
+            pytest.approx(math.sqrt(2 * g / math.e))
+        assert global_lipschitz(LaplacianKernel(g)) == pytest.approx(g)
+        assert global_lipschitz(CauchyKernel(g)) == \
+            pytest.approx(0.375 * math.sqrt(3.0) * math.sqrt(g))
+        assert global_lipschitz(EpanechnikovKernel(g)) == \
+            pytest.approx(2.0 * math.sqrt(g))
+
+    @pytest.mark.parametrize("kernel", [
+        PolynomialKernel(1.0, coef0=1.0, degree=2), SigmoidKernel(0.5, coef0=0.1)])
+    def test_dot_product_kernels_rejected_typed(self, kernel):
+        assert not supports_transfer(kernel)
+        with pytest.raises(TransferUnsupportedError):
+            global_lipschitz(kernel)
+        with pytest.raises(TransferUnsupportedError):
+            CertifiedAnswerCache(kernel, np.ones(4),
+                                 CacheConfig(cell_size=1.0))
+
+    def test_supports_transfer_on_distance_kernels(self):
+        for k in DIST_KERNELS:
+            assert supports_transfer(k)
+
+
+# ----------------------------------------------------------------------
+# bound transfer
+# ----------------------------------------------------------------------
+
+
+class TestTransfer:
+    def test_interval_widens_symmetrically(self):
+        tb = transfer_bounds(1.0, 2.0, lipschitz_mass=3.0, distance=0.5)
+        assert tb.lower == 1.0 - 1.5 and tb.upper == 2.0 + 1.5
+        assert tb.widened == 1.5 and not tb.stale
+        assert tb.width == tb.upper - tb.lower
+        assert tb.estimate == 0.5 * (tb.lower + tb.upper)
+
+    def test_stale_widening_is_one_sided(self):
+        tb = transfer_bounds(1.0, 2.0, lipschitz_mass=0.0, distance=0.0,
+                             stale_lo=-0.25, stale_hi=0.75)
+        assert tb.lower == 0.75 and tb.upper == 2.75 and tb.stale
+
+    def test_tkaq_decision(self):
+        tb = TransferredBounds(1.0, 2.0, 0.0, 0.0, False)
+        assert tb.decides_tkaq(0.5) is True
+        assert tb.decides_tkaq(2.0) is False    # upper <= tau
+        assert tb.decides_tkaq(1.5) is None     # straddles: undecided
+
+    def test_ekaq_contract(self):
+        tb = TransferredBounds(1.0, 1.05, 0.0, 0.0, False)
+        assert tb.meets_ekaq(0.1) and not tb.meets_ekaq(0.01)
+
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.data())
+    def test_transfer_contains_exact_answer(self, data):
+        """The tentpole soundness property, adversarially sampled.
+
+        Random points, random *signed* weights, every transferable
+        kernel, random query pair (q', q): start from the tightest
+        interval sound at q' (the degenerate [F(q'), F(q')]) and demand
+        the transferred interval contains F(q).
+        """
+        rng = np.random.default_rng(data.draw(
+            st.integers(0, 2**32 - 1), label="seed"))
+        kernel = data.draw(st.sampled_from(DIST_KERNELS), label="kernel")
+        d = data.draw(st.integers(1, 4), label="dim")
+        n = data.draw(st.integers(1, 40), label="n")
+        pts = rng.uniform(-2.0, 2.0, size=(n, d))
+        w = rng.uniform(-2.0, 2.0, size=n)  # negative weights included
+        q_src = rng.uniform(-2.5, 2.5, size=d)
+        q_dst = q_src + rng.uniform(-1.0, 1.0, size=d) * data.draw(
+            st.sampled_from([0.0, 1e-3, 0.1, 1.0]), label="step")
+
+        def F(q):
+            return float(w @ kernel.pairwise(q, pts))
+
+        lipschitz_mass = float(np.abs(w).sum()) * global_lipschitz(kernel)
+        dist = float(np.linalg.norm(q_dst - q_src))
+        tb = transfer_bounds(F(q_src), F(q_src), lipschitz_mass, dist)
+        tol = 1e-9 * (1.0 + abs(F(q_dst)))  # float-rounding allowance
+        assert tb.lower - tol <= F(q_dst) <= tb.upper + tol
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+
+
+def make_cache(**kw) -> CertifiedAnswerCache:
+    cfg = CacheConfig(**{"cell_size": 1.0, **kw})
+    return CertifiedAnswerCache(GaussianKernel(0.5), np.ones(10), cfg)
+
+
+class TestStore:
+    def test_lookup_prefers_the_nearest_entry(self):
+        c = make_cache()
+        c.insert([0.1, 0.1], 1.0, 2.0)
+        c.insert([0.4, 0.4], 5.0, 6.0)
+        tb = c.lookup([0.45, 0.45])
+        assert 5.0 - tb.widened == tb.lower  # transferred from the near one
+
+    def test_neighbor_cells_probed_axis_only(self):
+        c = make_cache()
+        c.insert([1.1, 0.5], 1.0, 2.0)      # cell (1, 0)
+        assert c.lookup([0.9, 0.5]) is not None   # (0,0): axis neighbour
+        assert c.lookup([-0.5, 1.5]) is None      # (-1,1): diagonal
+        off = make_cache(probe_neighbors=False)
+        off.insert([1.1, 0.5], 1.0, 2.0)
+        assert off.lookup([0.9, 0.5]) is None
+
+    def test_bucket_width_is_fifo(self):
+        c = make_cache(bucket_width=2)
+        for i in range(3):
+            c.insert([0.1 * i, 0.0], float(i), float(i))
+        assert len(c) == 2
+        tb = c.lookup([0.0, 0.0])  # entry 0 evicted; nearest left is 1
+        assert tb.lower == 1.0 - tb.widened
+
+    def test_max_entries_evicts_lru_cells(self):
+        c = make_cache(max_entries=3, bucket_width=8)
+        for i in range(5):
+            c.insert([float(2 * i), 0.0], float(i), float(i))
+        assert len(c) <= 3
+        assert c.lookup([0.0, 0.0]) is None  # oldest cell evicted
+
+    def test_probe_serves_only_decided_queries(self):
+        c = make_cache()
+        c.insert([0.0, 0.0], 1.0, 2.0)
+        tb, served = c.probe([0.0, 0.0], "tkaq", 0.5)
+        assert served and tb.decides_tkaq(0.5) is True
+        tb, served = c.probe([0.0, 0.0], "tkaq", 1.5)
+        assert not served and tb is not None  # straddled: warm only
+        _, served = c.probe([0.0, 0.0], "ekaq", 2.0)
+        assert served   # 2.0 <= 3.0 * 1.0
+        _, served = c.probe([0.0, 0.0], "ekaq", 0.1)
+        assert not served
+        tb, served = c.probe([9.0, 9.0], "ekaq", 0.5)
+        assert tb is None and not served  # miss: nothing nearby
+
+    def test_widen_mode_stretches_stale_entries(self):
+        c = make_cache(on_insert="widen")
+        c.insert([0.0, 0.0], 1.0, 2.0)
+        mass_before = c.lipschitz_mass
+        c.note_insert(np.ones(5))
+        tb = c.lookup([0.0, 0.0])
+        assert tb.stale
+        assert tb.upper > 2.0      # widened by the inserted positive mass
+        assert tb.lower == 1.0     # positive weights cannot lower F
+        assert c.lipschitz_mass > mass_before  # W grew too
+
+    def test_drop_mode_discards_stale_entries(self):
+        c = make_cache(on_insert="drop")
+        c.insert([0.0, 0.0], 1.0, 2.0)
+        c.note_insert(np.ones(5))
+        assert c.lookup([0.0, 0.0]) is None
+        assert len(c) == 0
+
+    def test_negative_insert_widens_downward(self):
+        c = make_cache(on_insert="widen")
+        c.insert([0.0, 0.0], 1.0, 2.0)
+        c.note_insert(np.array([-1.0]))
+        tb = c.lookup([0.0, 0.0])
+        assert tb.lower < 1.0 and tb.upper == 2.0
+
+    def test_cell_size_derived_from_points(self):
+        pts = np.random.default_rng(0).normal(size=(100, 3))
+        c = CertifiedAnswerCache(GaussianKernel(0.5), np.ones(100),
+                                 points=pts)
+        assert c.cell_size == pytest.approx(
+            0.25 * float(np.mean(np.std(pts, axis=0))))
+        with pytest.raises(InvalidParameterError):
+            CertifiedAnswerCache(GaussianKernel(0.5), np.ones(4))
+
+    def test_clear(self):
+        c = make_cache()
+        c.insert([0.0, 0.0], 1.0, 2.0)
+        c.clear()
+        assert len(c) == 0 and c.lookup([0.0, 0.0]) is None
+
+
+# ----------------------------------------------------------------------
+# warm-started refinement
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(7)
+    pts = rng.normal(size=(1500, 3))
+    w = rng.uniform(0.5, 1.5, size=1500)
+    tree = KDTree(pts, weights=w, leaf_capacity=40)
+    return pts, KernelAggregator(tree, GaussianKernel(0.8))
+
+
+class TestWarmStart:
+    def test_trivial_warm_is_bitwise_identical(self, problem):
+        pts, agg = problem
+        Q = pts[:8]
+        cold = agg.ekaq_many_results(Q, 0.1)
+        warm = agg.ekaq_many_results(
+            Q, 0.1, warm=(np.full(8, -np.inf), np.full(8, np.inf)))
+        assert np.array_equal(cold.estimates, warm.estimates)
+        assert np.array_equal(cold.lower, warm.lower)
+        assert np.array_equal(cold.upper, warm.upper)
+        cold_r = agg.refine_many_results(Q, 10)
+        warm_r = agg.refine_many_results(
+            Q, 10, warm=(np.full(8, -np.inf), np.full(8, np.inf)))
+        assert np.array_equal(cold_r.lower, warm_r.lower)
+        assert np.array_equal(cold_r.upper, warm_r.upper)
+
+    def test_warm_result_is_sound_and_clamped(self, problem):
+        pts, agg = problem
+        Q = pts[:6]
+        exact = agg.exact_many(Q)
+        # a genuinely sound warm interval: the root refinement bounds
+        seed = agg.refine_many_results(Q, 2)
+        res = agg.ekaq_many_results(Q, 0.1,
+                                    warm=(seed.lower, seed.upper))
+        assert np.all(res.lower <= exact) and np.all(exact <= res.upper)
+        assert np.all(res.lower >= seed.lower)
+        assert np.all(res.upper <= seed.upper)
+        assert np.all(res.upper <= (1.0 + 0.1) * res.lower)
+
+    def test_tight_warm_terminates_immediately(self, problem):
+        pts, agg = problem
+        Q = pts[:4]
+        tight = agg.ekaq_many_results(Q, 0.01)
+        res = agg.ekaq_many_results(Q, 0.1,
+                                    warm=(tight.lower, tight.upper))
+        # the warm interval already meets eps=0.1: no refinement work
+        assert res.stats.points_evaluated == 0 or \
+            res.stats.points_evaluated < tight.stats.points_evaluated
+
+    def test_warm_refine_clamps_the_interval(self, problem):
+        pts, agg = problem
+        Q = pts[:4]
+        seed = agg.refine_many_results(Q, 20)
+        res = agg.refine_many_results(Q, 1, warm=(seed.lower, seed.upper))
+        assert np.all(res.lower >= seed.lower)
+        assert np.all(res.upper <= seed.upper)
+
+    def test_warm_rejected_on_probabilistic_backends(self, problem):
+        pts, agg = problem
+        warm = (np.zeros(2), np.full(2, 100.0))
+        for backend in ("coreset", "parallel"):
+            with pytest.raises(InvalidParameterError):
+                agg.ekaq_many_results(pts[:2], 0.1, backend=backend,
+                                      warm=warm)
+
+    def test_warm_loop_backend_matches_contract(self, problem):
+        pts, agg = problem
+        Q = pts[:3]
+        seed = agg.refine_many_results(Q, 2)
+        res = agg.ekaq_many_results(Q, 0.1, backend="loop",
+                                    warm=(seed.lower, seed.upper))
+        exact = agg.exact_many(Q)
+        assert np.all(res.lower <= exact) and np.all(exact <= res.upper)
+
+    def test_as_warm_interval_validation(self):
+        lo, hi = as_warm_interval((0.0, 1.0), 3)
+        assert lo.shape == (3,) and hi.shape == (3,)
+        with pytest.raises(InvalidParameterError):
+            as_warm_interval((1.0,), 3)
+        with pytest.raises(InvalidParameterError):
+            as_warm_interval((2.0, 1.0), 3)       # inverted
+        with pytest.raises(Exception):
+            as_warm_interval((np.nan, 1.0), 3)    # NaN rejected
+        lo, hi = as_warm_interval((-np.inf, np.inf), 2)  # infinities OK
+        assert np.isneginf(lo).all() and np.isposinf(hi).all()
+
+
+# ----------------------------------------------------------------------
+# streaming invalidation
+# ----------------------------------------------------------------------
+
+
+class TestStreamingInvalidation:
+    def test_insert_notifies_attached_cache(self):
+        rng = np.random.default_rng(3)
+        kernel = GaussianKernel(0.6)
+        sa = StreamingAggregator(kernel, min_buffer=10_000)
+        sa.insert(rng.normal(size=(200, 2)), np.ones(200))
+        cache = CertifiedAnswerCache(kernel, np.ones(200),
+                                     CacheConfig(cell_size=0.5))
+        sa.attach_cache(cache)
+        q = np.zeros(2)
+        f0 = sa.exact(q)
+        cache.insert(q, f0, f0)
+        epoch0 = cache.epoch
+        extra = rng.normal(scale=0.1, size=(50, 2))
+        sa.insert(extra, np.ones(50))
+        assert cache.epoch == epoch0 + 1
+        tb = cache.lookup(q)
+        # the widened interval must still bracket the *new* exact value
+        assert tb.stale
+        assert tb.lower <= sa.exact(q) <= tb.upper
+
+    def test_rebuild_does_not_bump_the_epoch(self):
+        rng = np.random.default_rng(4)
+        kernel = GaussianKernel(0.6)
+        sa = StreamingAggregator(kernel, min_buffer=10_000)
+        sa.insert(rng.normal(size=(100, 2)))
+        cache = CertifiedAnswerCache(kernel, np.ones(100),
+                                     CacheConfig(cell_size=0.5))
+        sa.attach_cache(cache)
+        epoch0 = cache.epoch
+        sa.rebuild()   # merge-only: F is unchanged, entries stay valid
+        assert cache.epoch == epoch0
+
+
+# ----------------------------------------------------------------------
+# live serving with the cache
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def served_problem():
+    rng = np.random.default_rng(11)
+    centers = rng.random((4, 3))
+    pts = np.clip(centers[rng.integers(0, 4, 2000)]
+                  + 0.05 * rng.standard_normal((2000, 3)), 0.0, 1.0)
+    tree = KDTree(pts, leaf_capacity=40)
+    return pts, tree, GaussianKernel(6.0)
+
+
+def make_server(served_problem, **overrides) -> ServerThread:
+    pts, tree, kernel = served_problem
+    agg = KernelAggregator(tree, kernel)
+    config = ServeConfig(
+        port=0,
+        batch=overrides.pop("batch", BatchConfig(max_batch=16)),
+        policy=overrides.pop("policy", AdmissionPolicy(max_queue=256)),
+        **overrides)
+    return ServerThread(agg, config)
+
+
+class TestCacheServing:
+    def test_repeat_query_is_cache_served_bitwise(self, served_problem):
+        pts, tree, kernel = served_problem
+        with make_server(served_problem, cache=CacheConfig()) as st:
+            with ServeClient(port=st.port) as c:
+                q = pts[5]
+                first = c.check(c.ekaq(q, 0.1))
+                assert "cached" not in first
+                second = c.check(c.ekaq(q, 0.1))
+                assert second["cached"] and second["backend"] == "cache"
+                assert "batch" not in second  # never joined a batch
+                # zero-distance transfer: the interval is served verbatim
+                assert second["lower"] == first["lower"]
+                assert second["upper"] == first["upper"]
+                agg = KernelAggregator(tree, kernel)
+                exact = agg.exact(np.asarray(q, dtype=np.float64))
+                assert second["lower"] <= exact * (1 + 1e-12)
+                assert exact <= second["upper"] * (1 + 1e-12)
+
+    def test_tkaq_cache_hit_decides(self, served_problem):
+        pts, tree, kernel = served_problem
+        agg = KernelAggregator(tree, kernel)
+        q = pts[9]
+        tau = float(agg.exact(np.asarray(q, dtype=np.float64)) * 0.5)
+        with make_server(served_problem, cache=CacheConfig()) as st:
+            with ServeClient(port=st.port) as c:
+                first = c.check(c.tkaq(q, tau))
+                second = c.check(c.tkaq(q, tau))
+                assert second["cached"]
+                assert second["answer"] == first["answer"] is True
+
+    def test_near_duplicate_warm_start_sound(self, served_problem):
+        pts, tree, kernel = served_problem
+        agg = KernelAggregator(tree, kernel)
+        with make_server(served_problem, cache=CacheConfig()) as st:
+            with ServeClient(port=st.port) as c:
+                q = np.asarray(pts[21], dtype=np.float64)
+                c.check(c.ekaq(q, 0.1))
+                near = q + 1e-5
+                r = c.check(c.ekaq(near, 0.1))
+                if r.get("warm"):  # transferred but not certified
+                    assert r["warm_lower"] <= r["lower"]
+                    assert r["upper"] <= r["warm_upper"]
+                exact = agg.exact(near)
+                assert r["lower"] <= exact * (1 + 1e-12)
+                assert exact <= r["upper"] * (1 + 1e-12)
+
+    def test_stats_expose_cache_counters(self, served_problem):
+        with make_server(served_problem, cache=CacheConfig()) as st:
+            with ServeClient(port=st.port) as c:
+                q = served_problem[0][3]
+                c.check(c.ekaq(q, 0.1))
+                c.check(c.ekaq(q, 0.1))
+                s = c.check(c.stats())
+                assert s["cache"]["entries"] >= 1
+                assert "cache.hit_total" in s["counters"]
+                assert "cache.transfer_width" in s["histograms"]
+
+    def test_single_flight_dedups_identical_requests(self, served_problem):
+        pts, _, _ = served_problem
+        batch = BatchConfig(max_batch=64, min_wait_us=20000.0,
+                            max_wait_us=20000.0, initial_wait_us=20000.0)
+        with make_server(served_problem, batch=batch) as st:
+            with ServeClient(port=st.port) as c:
+                q = pts[30].tolist()
+                payloads = [{"op": "ekaq", "q": q, "eps": 0.1}
+                            for _ in range(6)]
+                rs = c.request_many(payloads)
+                assert all(r["ok"] for r in rs)
+                followers = [r for r in rs if r.get("single_flight")]
+                leaders = [r for r in rs if not r.get("single_flight")]
+                assert len(leaders) == 1 and len(followers) == 5
+                for f in followers:
+                    assert f["estimate"] == leaders[0]["estimate"]
+                    assert f["lower"] == leaders[0]["lower"]
+                    assert f["batch"] == leaders[0]["batch"]
+
+    def test_single_flight_disabled(self, served_problem):
+        pts, _, _ = served_problem
+        batch = BatchConfig(max_batch=64, min_wait_us=20000.0,
+                            max_wait_us=20000.0, initial_wait_us=20000.0,
+                            single_flight=False)
+        with make_server(served_problem, batch=batch) as st:
+            with ServeClient(port=st.port) as c:
+                q = pts[30].tolist()
+                rs = c.request_many([{"op": "ekaq", "q": q, "eps": 0.1}
+                                     for _ in range(4)])
+                assert not any(r.get("single_flight") for r in rs)
+
+    def test_cold_cache_responses_match_cacheless_server(
+            self, served_problem):
+        """Bitwise parity on cache-off paths: a cold cache must not
+        change a single number of a first-contact batch."""
+        pts, _, _ = served_problem
+        batch = BatchConfig(max_batch=64, min_wait_us=20000.0,
+                            max_wait_us=20000.0, initial_wait_us=20000.0,
+                            single_flight=False)
+        payloads = [{"op": "ekaq", "q": pts[i].tolist(),
+                     "eps": 0.1, "id": i} for i in range(12)]
+        with make_server(served_problem, batch=batch) as st:
+            with ServeClient(port=st.port) as c:
+                plain = c.request_many([dict(p) for p in payloads])
+        with make_server(served_problem, batch=batch,
+                         cache=CacheConfig()) as st:
+            with ServeClient(port=st.port) as c:
+                cached = c.request_many([dict(p) for p in payloads])
+        for a, b in zip(plain, cached):
+            assert not b.get("cached") and not b.get("warm")
+            assert a["estimate"] == b["estimate"]
+            assert a["lower"] == b["lower"]
+            assert a["upper"] == b["upper"]
+
+    def test_sharded_server_rejects_cache(self, served_problem):
+        from repro.serve.server import KAQServer
+
+        class FakeRouter:
+            d = 3
+            n = 10
+
+        with pytest.raises(InvalidParameterError):
+            KAQServer(None, ServeConfig(cache=CacheConfig()),
+                      router=FakeRouter())
+
+    def test_unsupported_kernel_rejected_at_construction(
+            self, served_problem):
+        pts, tree, _ = served_problem
+        from repro.serve.server import KAQServer
+
+        agg = KernelAggregator(tree, PolynomialKernel(1.0, coef0=1.0, degree=2))
+        with pytest.raises(TransferUnsupportedError):
+            KAQServer(agg, ServeConfig(cache=CacheConfig()))
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+
+
+def test_metrics_summary_renders_cache_counters():
+    from repro.obs.report import metrics_summary
+
+    snap = {"counters": {"cache.hit_total": 3.0,
+                         "serve.requests_total": 5.0},
+            "gauges": {"cache.entries": 2.0},
+            "cache": {"entries": 2, "epoch": 0}}
+    out = metrics_summary(snap)
+    assert "cache.hit_total" in out and "cache.entries" in out
+    assert "serve.requests_total" in out
+    assert metrics_summary({}) == "no metrics recorded"

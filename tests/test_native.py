@@ -328,4 +328,8 @@ def test_float32_soundness_fuzz(seed, gamma, eps):
     q = rng.normal(size=3)
     exact = agg64.exact(q)
     r = agg32.ekaq(q, eps)
-    assert r.lower <= exact <= r.upper
+    # summation-order allowance: a fully-converged interval degenerates
+    # to the refinement's leaf-ordered float sum, which can lawfully
+    # differ from the vectorised exact sum by accumulation rounding
+    tol = len(pts) * np.finfo(np.float64).eps * abs(exact)
+    assert r.lower - tol <= exact <= r.upper + tol
