@@ -1,0 +1,149 @@
+"""Replayable workload suite: online router vs every static backend.
+
+Replays the four :func:`repro.workloads.standard_suite` families —
+drift, adversarial near-threshold, embedding, mixed-tenant — under each
+static backend choice (``auto``, ``multiquery``, ``loop``, ``coreset``,
+``exact``) and under ``backend="routed"`` with one shared
+:class:`~repro.core.BackendRouter` that learns across the whole suite.
+Aggregate throughput is total queries / total query-side seconds; the
+acceptance gate (full scale only) is the tentpole claim: the router's
+aggregate must be at least the best *single* static choice's, because no
+static backend ranks first on every family — ``coreset`` wins the
+smooth embedding regime but falls back near-threshold, ``exact`` wins
+batches that force refinement to exhaustion, ``auto`` routes
+heterogeneous traffic by batch size alone.
+
+Measurement is *paired*: every batch runs under all backends
+back-to-back (order rotated per batch) with per-backend persistent
+aggregators, instead of one full pass per backend.  On a shared host,
+background load drifts over the minutes a full pass takes; pairing
+exposes all contenders to the same contention, which is what makes the
+router-vs-best-static comparison meaningful at all.
+
+Results persist to ``benchmarks/results/BENCH_workloads.json``
+(aggregate and per-family ``*_qps`` metrics plus the recorded gate),
+discovered automatically by ``python -m repro.bench.compare --all`` in
+the CI bench-regression job, which also enforces the recorded gate.
+
+Env knobs: ``REPRO_BENCH_SCALE`` (suite scale, shared with every
+benchmark).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bench import emit, emit_json, render_table
+from repro.core import BackendRouter
+from repro.workloads import build_workload, standard_suite
+
+STATIC_BACKENDS = ("auto", "multiquery", "loop", "coreset", "exact")
+ALL_BACKENDS = (*STATIC_BACKENDS, "routed")
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+FULL_SCALE = SCALE >= 1.0
+
+
+def _run_batch(agg, batch, backend: str) -> float:
+    """One batch under one backend; returns query-side seconds."""
+    t0 = time.perf_counter()
+    if batch.kind == "tkaq":
+        agg.tkaq_many_results(batch.queries, batch.tau, backend=backend)
+    else:
+        agg.ekaq_many_results(batch.queries, batch.eps, backend=backend)
+    return time.perf_counter() - t0
+
+
+def build_workloads_bench():
+    specs = standard_suite(scale=SCALE)
+    t0 = time.perf_counter()
+    workloads = [build_workload(spec) for spec in specs]
+    build_s = time.perf_counter() - t0
+
+    # one shared router across the whole routed stream so learning
+    # transfers between families; per-(family, backend) aggregators so
+    # lazy tiers never leak between contenders
+    router = BackendRouter()
+    per_family: dict[str, dict] = {}
+    totals = {b: {"queries": 0, "seconds": 0.0} for b in ALL_BACKENDS}
+    for wl in workloads:
+        aggs = {b: wl.aggregator() for b in STATIC_BACKENDS}
+        aggs["routed"] = wl.aggregator(router=router)
+        fam = {b: 0.0 for b in ALL_BACKENDS}
+        n_queries = 0
+        for batch in wl.batches():
+            # rotate execution order per batch so cold-cache / contention
+            # bias does not systematically land on one backend
+            k = batch.index % len(ALL_BACKENDS)
+            order = ALL_BACKENDS[k:] + ALL_BACKENDS[:k]
+            for backend in order:
+                fam[backend] += _run_batch(aggs[backend], batch, backend)
+            n_queries += len(batch)
+        for backend in ALL_BACKENDS:
+            totals[backend]["queries"] += n_queries
+            totals[backend]["seconds"] += fam[backend]
+        per_family[wl.spec.family] = {
+            "dataset": wl.spec.family, "n": wl.n, "d": wl.d,
+            "n_queries": n_queries,
+            **{f"{b}_qps": n_queries / fam[b] for b in ALL_BACKENDS},
+        }
+
+    def qps(backend):
+        t = totals[backend]
+        return t["queries"] / t["seconds"] if t["seconds"] > 0 else 0.0
+
+    best_static = max(STATIC_BACKENDS, key=qps)
+    gate = {
+        "routed_qps": qps("routed"),
+        "best_static_backend": best_static,
+        "best_static_qps": qps(best_static),
+        "passed": qps("routed") >= qps(best_static),
+        "binding": FULL_SCALE,
+    }
+
+    rows = [
+        [f["dataset"], f["n"], f["d"], f["n_queries"]]
+        + [f[f"{b}_qps"] for b in ALL_BACKENDS]
+        for f in per_family.values()
+    ]
+    rows.append(["AGGREGATE", "", "", ""] + [qps(b) for b in ALL_BACKENDS])
+    table = render_table(
+        f"Workload suite (scale={SCALE:g}): static backends vs online "
+        f"router (queries/sec, paired per batch); gate: routed >= best "
+        f"static [{best_static}] -> "
+        f"{'PASS' if gate['passed'] else 'FAIL'}",
+        ["family", "n", "d", "queries", *ALL_BACKENDS],
+        rows,
+    )
+    emit("workloads", table)
+    payload = {
+        "scale": SCALE,
+        "build_s": build_s,
+        "families": sorted(per_family),
+        "datasets": list(per_family.values()),
+        "aggregate": {f"{b}_qps": qps(b) for b in ALL_BACKENDS},
+        "gate": gate,
+        "router": {
+            "decisions": router.decisions,
+            "explored": router.explored,
+            "best_arms": router.best_arms(),
+        },
+    }
+    emit_json("workloads", payload)
+    return payload
+
+
+def test_workloads(benchmark):
+    payload = benchmark.pedantic(build_workloads_bench, rounds=1,
+                                 iterations=1)
+    if FULL_SCALE:
+        gate = payload["gate"]
+        assert gate["passed"], (
+            f"router aggregate {gate['routed_qps']:.0f} q/s below best "
+            f"static {gate['best_static_backend']} "
+            f"{gate['best_static_qps']:.0f} q/s"
+        )
+
+
+if __name__ == "__main__":
+    build_workloads_bench()

@@ -28,6 +28,7 @@ from repro import obs
 from repro.baselines import ScanEvaluator
 from repro.core import (
     DEFAULT_LEAF_CAPACITIES,
+    BackendRouter,
     BatchKernelAggregator,
     BatchQueryStats,
     BoundScheme,
@@ -106,6 +107,7 @@ __all__ = [
     "BatchKernelAggregator",
     "MultiQueryAggregator",
     "DualTreeEvaluator",
+    "BackendRouter",
     "ParallelEvaluator",
     "BoundScheme",
     "KARLBounds",

@@ -21,6 +21,21 @@ only about *regressions*:
   benchmark that was supposed to produce it just ran, so something is
   actually broken.
 
+``--all BASELINE_DIR CURRENT_DIR`` compares every ``BENCH_*.json``
+pair the two directories share, in one invocation — the union of both
+directories' result files is discovered automatically, so adding a
+benchmark never requires a new CI step.  Per-file semantics match the
+single-pair mode: a current-only file skips (new benchmark, its first
+committed baseline is this run's artifact), a baseline-only file is an
+error (the benchmark that was supposed to regenerate it produced
+nothing).  The process exit code is the worst per-file outcome
+(error > regressed > ok).
+
+Both modes also enforce any **recorded gate**: a payload carrying
+``{"gate": {"passed": false, "binding": true}}`` (a benchmark's own
+self-check, e.g. the workload suite's router-beats-every-static claim)
+fails the run even when no throughput metric regressed.
+
 Every run prints a delta table so the numbers are in the CI log even
 when nothing fails.
 """
@@ -38,6 +53,9 @@ __all__ = [
     "throughput_metrics",
     "host_class",
     "compare_payloads",
+    "check_gate",
+    "compare_files",
+    "compare_dirs",
     "main",
 ]
 
@@ -129,6 +147,25 @@ def compare_payloads(baseline, current, threshold: float = 0.30):
     return rows, regressions
 
 
+def check_gate(payload) -> str | None:
+    """Failure message when the payload's own recorded gate failed.
+
+    Benchmarks with an internal acceptance claim (the workload suite's
+    "router beats every static backend") record it as
+    ``{"gate": {"passed": bool, "binding": bool, ...}}``.  A failed
+    *binding* gate fails the comparison run regardless of deltas; a
+    non-binding gate (smoke scale) is informational only.
+    """
+    gate = payload.get("gate") if isinstance(payload, dict) else None
+    if not isinstance(gate, dict):
+        return None
+    if gate.get("binding") and gate.get("passed") is False:
+        detail = {k: v for k, v in sorted(gate.items())
+                  if k not in ("passed", "binding")}
+        return f"recorded gate failed: {detail}"
+    return None
+
+
 def _load(path: Path):
     """Parsed JSON payload, or ``None`` when missing/malformed."""
     try:
@@ -151,6 +188,87 @@ def _render(rows) -> str:
     )
 
 
+def compare_files(baseline_path: Path, current_path: Path,
+                  threshold: float = 0.30) -> int:
+    """One baseline/current pair: delta table, recorded gate, exit code."""
+    current = _load(current_path)
+    if current is None:
+        print(f"error: cannot read current results {current_path}",
+              file=sys.stderr)
+        return ERROR
+    # the recorded gate is self-contained in the current file, so it is
+    # enforced even when no baseline exists to diff against
+    code = OK
+    gate_msg = check_gate(current)
+    if gate_msg:
+        print(f"FAIL: {current_path.name}: {gate_msg}")
+        code = REGRESSED
+    baseline = _load(baseline_path)
+    if baseline is None:
+        print(f"skip: no usable baseline at {baseline_path} "
+              "(first run for this benchmark?)")
+        return code
+
+    base_host, cur_host = host_class(baseline), host_class(current)
+    if base_host is None or cur_host is None or base_host != cur_host:
+        print("skip: host classes differ or are unstamped "
+              f"(baseline={base_host}, current={cur_host}); "
+              "throughput is not comparable")
+        return code
+
+    rows, regressions = compare_payloads(baseline, current, threshold)
+    if not rows:
+        print("skip: no shared *_qps metrics between the two files")
+        return code
+    print(_render(rows))
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} metric(s) regressed more than "
+              f"{100.0 * threshold:.0f}%:")
+        for name in regressions:
+            print(f"  - {name}")
+        return REGRESSED
+    print(f"\nOK: no metric regressed more than "
+          f"{100.0 * threshold:.0f}% "
+          f"({len(rows)} compared)")
+    return code
+
+
+def compare_dirs(baseline_dir: Path, current_dir: Path,
+                 threshold: float = 0.30) -> int:
+    """Every ``BENCH_*.json`` pair across two directories; worst exit code.
+
+    The file set is the union of both directories, so a benchmark added
+    (or removed) on either side is always accounted for: current-only
+    files skip (their first baseline is this run's artifact),
+    baseline-only files are an error (the run that should have
+    regenerated them produced nothing).
+    """
+    names = sorted({
+        p.name
+        for d in (baseline_dir, current_dir) if d.is_dir()
+        for p in d.glob("BENCH_*.json")
+    })
+    if not names:
+        print(f"skip: no BENCH_*.json under {baseline_dir} or {current_dir}")
+        return OK
+    worst = OK
+    for name in names:
+        print(f"\n=== {name} ===")
+        if not (current_dir / name).is_file():
+            print(f"error: baseline {name} exists but the current run "
+                  "produced no matching results", file=sys.stderr)
+            worst = max(worst, ERROR)
+            continue
+        if not (baseline_dir / name).is_file():
+            print(f"skip: {name} has no committed baseline yet")
+            continue
+        worst = max(worst,
+                    compare_files(baseline_dir / name, current_dir / name,
+                                  threshold))
+    print(f"\n{len(names)} benchmark(s) checked; exit {worst}")
+    return worst
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.compare",
@@ -158,49 +276,23 @@ def main(argv=None) -> int:
                     "vs a committed baseline.",
     )
     parser.add_argument("baseline", type=Path,
-                        help="committed baseline BENCH_*.json")
+                        help="committed baseline BENCH_*.json "
+                             "(directory with --all)")
     parser.add_argument("current", type=Path,
-                        help="freshly generated BENCH_*.json")
+                        help="freshly generated BENCH_*.json "
+                             "(directory with --all)")
+    parser.add_argument("--all", action="store_true", dest="all_pairs",
+                        help="treat the two paths as directories and "
+                             "compare every BENCH_*.json pair they hold")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="relative throughput drop that fails the gate "
                              "(default 0.30)")
     args = parser.parse_args(argv)
     if not 0.0 < args.threshold < 1.0:
         parser.error(f"--threshold must be in (0, 1); got {args.threshold}")
-
-    current = _load(args.current)
-    if current is None:
-        print(f"error: cannot read current results {args.current}",
-              file=sys.stderr)
-        return ERROR
-    baseline = _load(args.baseline)
-    if baseline is None:
-        print(f"skip: no usable baseline at {args.baseline} "
-              "(first run for this benchmark?)")
-        return OK
-
-    base_host, cur_host = host_class(baseline), host_class(current)
-    if base_host is None or cur_host is None or base_host != cur_host:
-        print("skip: host classes differ or are unstamped "
-              f"(baseline={base_host}, current={cur_host}); "
-              "throughput is not comparable")
-        return OK
-
-    rows, regressions = compare_payloads(baseline, current, args.threshold)
-    if not rows:
-        print("skip: no shared *_qps metrics between the two files")
-        return OK
-    print(_render(rows))
-    if regressions:
-        print(f"\nFAIL: {len(regressions)} metric(s) regressed more than "
-              f"{100.0 * args.threshold:.0f}%:")
-        for name in regressions:
-            print(f"  - {name}")
-        return REGRESSED
-    print(f"\nOK: no metric regressed more than "
-          f"{100.0 * args.threshold:.0f}% "
-          f"({len(rows)} compared)")
-    return OK
+    if args.all_pairs:
+        return compare_dirs(args.baseline, args.current, args.threshold)
+    return compare_files(args.baseline, args.current, args.threshold)
 
 
 if __name__ == "__main__":

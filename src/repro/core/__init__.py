@@ -40,6 +40,7 @@ from repro.core.profiles import (
     ScalarProfile,
     SigmoidProfile,
 )
+from repro.core.router import BackendRouter, RouterArm, RouterConfig
 from repro.core.results import (
     BatchQueryStats,
     BoundTrace,
@@ -64,6 +65,9 @@ __all__ = [
     "BatchKernelAggregator",
     "MultiQueryAggregator",
     "DualTreeEvaluator",
+    "BackendRouter",
+    "RouterArm",
+    "RouterConfig",
     "resolve_scheme",
     "BoundScheme",
     "KARLBounds",

@@ -124,7 +124,7 @@ class KernelAggregator:
     """
 
     def __init__(self, tree, kernel: Kernel, scheme="karl", max_depth: int | None = None,
-                 coreset=None, precision: str = "float64"):
+                 coreset=None, precision: str = "float64", router=None):
         self.tree = tree
         self.kernel = kernel
         self.scheme = resolve_scheme(scheme)
@@ -137,6 +137,8 @@ class KernelAggregator:
         self._parallel_key = None
         self._coreset = None     # lazily-built coreset tier (repro.sketch)
         self._coreset_config = coreset
+        self._router = None      # lazily-built online router (core.router)
+        self._router_config = router
         self._closed = False     # set by close(); forbids backend="parallel"
         self._native = None      # lazily-built native refiner (repro.native)
         # _pair_bounds relies on BFS sibling adjacency (right == left + 1)
@@ -585,7 +587,7 @@ class KernelAggregator:
         if backend not in ("auto", "multiquery"):
             raise InvalidParameterError(
                 f"backend must be 'auto', 'multiquery', 'parallel', "
-                f"'coreset', or 'loop'; got {backend!r}"
+                f"'coreset', 'routed', 'exact', or 'loop'; got {backend!r}"
             )
         if self.precision == "float32":
             # the certified widening lives in the per-query native path
@@ -613,6 +615,13 @@ class KernelAggregator:
     def _loop_batch_stats(self, per_query) -> BatchQueryStats:
         """Fold per-query ``QueryStats`` into one batch counter set."""
         return fold_query_stats(per_query)
+
+    def _exact_batch_stats(self, n_queries: int) -> BatchQueryStats:
+        """Counters for ``backend="exact"``: every point, no pruning."""
+        return BatchQueryStats(
+            n_queries=n_queries, rounds=1, leaves_evaluated=1,
+            points_evaluated=n_queries * self.tree.n,
+        )
 
     def _parallel_backend(self, n_workers, chunk_size):
         """Resolve (lazily build / reuse) the process-pool batch backend.
@@ -666,6 +675,27 @@ class KernelAggregator:
                 self, CoresetConfig.coerce(self._coreset_config)
             )
         return self._coreset
+
+    def router_backend(self):
+        """Resolve (lazily build / reuse) the online backend router.
+
+        Accepts the same shapes as the ``router`` constructor argument:
+        a prebuilt :class:`~repro.core.router.BackendRouter` (shared
+        learned state), a :class:`~repro.core.router.RouterConfig`, a
+        kwargs dict, or ``True``/``None`` for defaults.  Unlike the
+        coreset tier, ``backend="routed"`` needs no construction-time
+        opt-in — the router only ever dispatches to backends that are
+        themselves sound, so there is no contract change to opt into.
+        """
+        from repro.core.router import BackendRouter
+
+        if self._router is None:
+            cfg = self._router_config
+            if isinstance(cfg, BackendRouter):
+                self._router = cfg
+            else:
+                self._router = BackendRouter(cfg)
+        return self._router
 
     @property
     def coreset_enabled(self) -> bool:
@@ -759,7 +789,12 @@ class KernelAggregator:
         ``"loop"`` the per-query heap loop, ``"parallel"`` shards the
         batch across a shared-memory process pool
         (:class:`~repro.parallel.evaluator.ParallelEvaluator`; tune with
-        ``n_workers``/``chunk_size``), and ``"auto"`` (default) picks
+        ``n_workers``/``chunk_size``), ``"exact"`` skips pruning
+        entirely (blocked Gram-product summation — the right tier when
+        thresholds sit so close to the aggregates that refinement runs
+        to exhaustion anyway), ``"routed"`` lets the online
+        :class:`~repro.core.router.BackendRouter` pick per batch from
+        observed traces, and ``"auto"`` (default) picks
         multiquery whenever the kernel/scheme support it.  Answers are
         identical across backends; terminal bounds may differ (both bracket
         the exact aggregate) because the refinement schedules differ.
@@ -767,6 +802,14 @@ class KernelAggregator:
         self._check_pool_kwargs(backend, n_workers, chunk_size)
         Q = self._check_queries(queries)
         tau = as_query_param(tau, Q.shape[0], "tau")
+        if backend == "routed":
+            return self.router_backend().tkaq_many_results(self, Q, tau)
+        if backend == "exact":
+            vals = self.exact_many(Q)
+            return TKAQBatchResult(
+                answers=vals > tau, lower=vals.copy(), upper=vals.copy(),
+                tau=tau, stats=self._exact_batch_stats(Q.shape[0]),
+            )
         if backend == "coreset" or (
             backend == "auto" and self._auto_coreset(Q.shape[0])
         ):
@@ -807,10 +850,20 @@ class KernelAggregator:
         self._check_pool_kwargs(backend, n_workers, chunk_size)
         Q = self._check_queries(queries)
         eps = as_query_param(eps, Q.shape[0], "eps", minimum=0.0)
-        if warm is not None and backend in ("coreset", "parallel"):
+        if warm is not None and backend in ("coreset", "parallel", "exact"):
             raise InvalidParameterError(
                 f"warm starting applies to the refining backends "
-                f"('auto', 'multiquery', 'loop'); got backend={backend!r}"
+                f"('auto', 'multiquery', 'routed', 'loop'); "
+                f"got backend={backend!r}"
+            )
+        if backend == "routed":
+            return self.router_backend().ekaq_many_results(
+                self, Q, eps, warm=warm)
+        if backend == "exact":
+            vals = self.exact_many(Q)
+            return EKAQBatchResult(
+                estimates=vals, lower=vals.copy(), upper=vals.copy(),
+                eps=eps, stats=self._exact_batch_stats(Q.shape[0]),
             )
         if backend == "coreset" or (
             backend == "auto" and warm is None

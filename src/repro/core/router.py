@@ -1,0 +1,504 @@
+"""Online backend routing from observed execution traces.
+
+KARL's §III-C tunes index parameters in situ from observed query
+behaviour; this module extends the idea one level up, to the choice of
+*execution tier*.  The repo has several batch backends whose relative
+cost ranking depends on the workload — query-major ``multiquery`` wins
+on hard near-threshold batches, the ``coreset`` tier wins on smooth
+relative-error traffic (until its fallback rate spikes), the per-query
+``loop`` wins on tiny batches, and the process pool only pays off on
+large batches — and no static heuristic ranks them correctly across a
+drifting traffic mix.
+
+:class:`BackendRouter` is a contextual epsilon-greedy bandit.  Each
+decision context is a coarse bucket of observable batch features:
+
+* query ``kind`` (tkaq / ekaq) and batch-size bucket,
+* a *hardness* bucket from an EWMA of per-query work — the fraction of
+  the indexed points each query had to examine, which is comparable
+  across backends because ``BatchQueryStats.points_evaluated`` is
+  query-weighted,
+* whether the batch carries heterogeneous per-query parameters.
+
+Within a context, arms (backend + parameters: chunk size for the pool,
+coreset use, the native-assisted loop inherits ``REPRO_NATIVE`` mode)
+are first pulled ``min_pulls`` times each (warmup), then exploited
+greedily with a decaying exploration probability.  The reward is
+measured throughput (queries/second, EWMA-smoothed).  Per-batch trace
+features the bandit does not bucket on — frontier growth, retirement
+round mass, batch occupancy, coreset fallback rate — are folded into
+EWMAs and exposed via :meth:`BackendRouter.snapshot` and ``router.*``
+metrics in :func:`repro.obs.default_registry`.
+
+Plug it in with ``KernelAggregator(..., router=True)`` and
+``backend="routed"``, or ``BatchConfig(routed=True)`` on the serving
+layer's :class:`~repro.serve.batcher.MicroBatcher`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["RouterConfig", "RouterArm", "BackendRouter"]
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Explore/exploit schedule and arm-space knobs.
+
+    Defaults favour fast convergence on short streams: one warmup pull
+    per (context, arm), then mostly-greedy with a slowly decaying
+    exploration tail so a drifting workload can still dethrone a stale
+    winner.
+    """
+
+    epsilon: float = 0.05         # initial exploration probability
+    epsilon_decay: float = 0.95   # per-decision multiplicative decay
+    epsilon_min: float = 0.02     # exploration never fully stops
+    min_pulls: int = 1            # warmup pulls per (kind, arm), *global*
+    ewma: float = 0.4             # smoothing for reward/feature EWMAs
+    seed: int = 0                 # exploration draws are deterministic
+    use_parallel: bool = False    # offer process-pool arms
+    parallel_min_batch: int = 512  # pool arms only at/above this size
+    chunk_sizes: tuple = (64, 256)  # pool arm chunk-size parameters
+    loop_max_batch: int = 128     # pure-python loop arm only below this
+    explore_floor: float = 0.33   # explore only arms >= this x best qps
+    switch_margin: float = 1.1    # challenger must beat incumbent by this
+    probe_queries: int = 48       # slice size for exploratory sub-batches
+    probe_min_batch: int = 96     # split batches at/above this size only
+    size_edges: tuple = (64, 512)   # batch-size bucket boundaries
+    hardness_edges: tuple = (0.02, 0.2)  # examined-fraction boundaries
+
+    def __post_init__(self):
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise InvalidParameterError(
+                f"epsilon must be in [0, 1]; got {self.epsilon}")
+        if not 0.0 < self.epsilon_decay <= 1.0:
+            raise InvalidParameterError(
+                f"epsilon_decay must be in (0, 1]; got {self.epsilon_decay}")
+        if not 0.0 < self.ewma <= 1.0:
+            raise InvalidParameterError(
+                f"ewma must be in (0, 1]; got {self.ewma}")
+        if self.min_pulls < 1:
+            raise InvalidParameterError(
+                f"min_pulls must be >= 1; got {self.min_pulls}")
+
+    @classmethod
+    def coerce(cls, value) -> "RouterConfig":
+        """Accept a config, a mapping of kwargs, ``True``, or ``None``."""
+        if isinstance(value, cls):
+            return value
+        if value is None or value is True:
+            return cls()
+        if isinstance(value, dict):
+            return cls(**value)
+        raise InvalidParameterError(
+            f"router must be a RouterConfig, dict, True, or None; "
+            f"got {value!r}")
+
+
+@dataclass(frozen=True)
+class RouterArm:
+    """One routing choice: a concrete backend plus its parameters."""
+
+    name: str
+    backend: str
+    n_workers: int | None = None
+    chunk_size: int | None = None
+
+    def call_kwargs(self) -> dict:
+        if self.backend != "parallel":
+            return {}
+        return {"n_workers": self.n_workers, "chunk_size": self.chunk_size}
+
+
+@dataclass
+class _ArmState:
+    pulls: int = 0
+    qps: float = 0.0  # reward EWMA
+
+
+@dataclass
+class _ContextState:
+    decisions: int = 0
+    explore: int = 0
+    incumbent: str | None = None  # sticky greedy choice (hysteresis)
+    arms: dict = field(default_factory=dict)  # name -> _ArmState
+    # trace-feature EWMAs (observability + hardness bucketing input)
+    hardness: float = 0.0   # examined fraction of the point set per query
+    occupancy: float = 1.0  # mean active fraction across rounds
+    frontier_growth: float = 1.0  # terminal / initial frontier width
+    fallback_rate: float = 0.0    # coreset per-query exact fallbacks
+
+
+class BackendRouter:
+    """Per-batch online backend selection (see module docstring).
+
+    One router instance holds the learned state; it may serve several
+    aggregators (the serving layer shares one across replicas of the
+    same index), but its statistics assume comparable cost profiles —
+    don't share across different datasets.
+    """
+
+    def __init__(self, config=None):
+        self.config = RouterConfig.coerce(config)
+        self._rng = np.random.default_rng(self.config.seed)
+        self._contexts: dict[tuple, _ContextState] = {}
+        # (kind, arm name) -> cross-context _ArmState: the hierarchical
+        # prior.  Forced warmup is charged against these global pulls, so
+        # the whole stream pays for each arm's first measurement once;
+        # a fresh context then ranks its unpulled arms by the global
+        # EWMA instead of re-running every backend from scratch
+        self._global: dict[tuple, _ArmState] = {}
+        # (kind, size bucket, hetero) -> hardness EWMA feeding the
+        # hardness *bucket* of the decision context; keyed one level
+        # coarser than the context to avoid self-reference
+        self._hardness: dict[tuple, float] = {}
+        self.decisions = 0
+        self.explored = 0
+
+    # ------------------------------------------------------------------
+    # batch entry points (what backend="routed" dispatches to)
+    # ------------------------------------------------------------------
+
+    def tkaq_many_results(self, agg, queries, tau):
+        """Route one TKAQ batch: pick an arm, run it, record the reward."""
+        return self._run(agg, "tkaq", queries, tau, None)
+
+    def ekaq_many_results(self, agg, queries, eps, warm=None):
+        """Route one eKAQ batch: pick an arm, run it, record the reward."""
+        return self._run(agg, "ekaq", queries, eps, warm)
+
+    def _run(self, agg, kind, Q, param, warm):
+        if agg.precision == "float32":
+            raise InvalidParameterError(
+                "precision='float32' supports only the per-query loop "
+                "backend; got backend='routed'"
+            )
+        n = Q.shape[0]
+        hetero = bool(np.ptp(param) > 0.0) if np.ndim(param) else False
+        key, arms = self._context(agg, kind, n, hetero, warm)
+        arm, explored, best = self._choose(key, arms)
+        cfg = self.config
+        if (explored and arm is not best and warm is None
+                and n >= cfg.probe_min_batch):
+            # exploratory sub-batch: measure the candidate on a slice,
+            # serve the remainder with the incumbent — a mispriced arm
+            # (stale cross-family prior, drifted regime) costs tens of
+            # queries instead of a whole batch
+            m = min(cfg.probe_queries, n // 2)
+            vec = np.broadcast_to(param, (n,))
+            probe = self._execute(agg, kind, Q[:m], vec[:m], None,
+                                  arm, key, True)
+            rest = self._execute(agg, kind, Q[m:], vec[m:], None,
+                                 best, key, False)
+            return self._merge(kind, probe, rest)
+        return self._execute(agg, kind, Q, param, warm, arm, key, explored)
+
+    def _execute(self, agg, kind, Q, param, warm, arm, key, explored):
+        self._prepare(agg, arm)
+        fallback_before = self._coreset_fallbacks(agg, arm)
+        t0 = time.perf_counter()
+        if kind == "tkaq":
+            res = agg.tkaq_many_results(Q, param, backend=arm.backend,
+                                        **arm.call_kwargs())
+        else:
+            res = agg.ekaq_many_results(Q, param, backend=arm.backend,
+                                        warm=warm, **arm.call_kwargs())
+        seconds = time.perf_counter() - t0
+        self._observe(agg, key, arm, explored, Q.shape[0], seconds,
+                      res.stats, fallback_before)
+        return res
+
+    @staticmethod
+    def _merge(kind, first, second):
+        """Stitch two batch-slice results back into one (order kept)."""
+        from repro.core.results import (
+            BatchQueryStats,
+            EKAQBatchResult,
+            TKAQBatchResult,
+        )
+
+        a, b = first.stats, second.stats
+        stats = BatchQueryStats(
+            n_queries=a.n_queries + b.n_queries,
+            rounds=a.rounds + b.rounds,
+            nodes_expanded=a.nodes_expanded + b.nodes_expanded,
+            leaves_evaluated=a.leaves_evaluated + b.leaves_evaluated,
+            points_evaluated=a.points_evaluated + b.points_evaluated,
+            bound_evaluations=a.bound_evaluations + b.bound_evaluations,
+            frontier_sizes=a.frontier_sizes + b.frontier_sizes,
+            active_counts=a.active_counts + b.active_counts,
+            retired_per_round=a.retired_per_round + b.retired_per_round,
+        )
+        cat = np.concatenate
+        if kind == "tkaq":
+            return TKAQBatchResult(
+                answers=cat([first.answers, second.answers]),
+                lower=cat([first.lower, second.lower]),
+                upper=cat([first.upper, second.upper]),
+                tau=cat([np.atleast_1d(first.tau),
+                         np.atleast_1d(second.tau)]),
+                stats=stats,
+            )
+        return EKAQBatchResult(
+            estimates=cat([first.estimates, second.estimates]),
+            lower=cat([first.lower, second.lower]),
+            upper=cat([first.upper, second.upper]),
+            eps=cat([np.atleast_1d(first.eps), np.atleast_1d(second.eps)]),
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    # context + arm derivation
+    # ------------------------------------------------------------------
+
+    def _context(self, agg, kind, n, hetero, warm):
+        cfg = self.config
+        size_b = int(np.searchsorted(cfg.size_edges, n, side="right"))
+        coarse = (kind, size_b, hetero)
+        hardness = self._hardness.get(coarse, 0.0)
+        hard_b = int(np.searchsorted(cfg.hardness_edges, hardness,
+                                     side="right"))
+        key = (kind, size_b, hard_b, hetero)
+        return key, self._arms(agg, n, warm)
+
+    def _arms(self, agg, n, warm) -> list[RouterArm]:
+        from repro.core.multiquery import MultiQueryAggregator
+        from repro.sketch.aggregator import CoresetAggregator
+
+        from repro import native
+
+        # the aggregator's own static heuristic is the first arm: the
+        # router's floor is then "whatever auto would have done", and
+        # learning only has to beat it where a specialist backend wins
+        arms = [RouterArm("auto", "auto")]
+        if MultiQueryAggregator.supports(agg.kernel, agg.scheme):
+            arms.append(RouterArm("multiquery", "multiquery"))
+        # the per-query loop (which the native tier accelerates in place)
+        # is only a contender on small batches — unless native refinement
+        # is actually engaged, in which case it competes at any size
+        cfg = self.config
+        if (n < cfg.loop_max_batch
+                or (native.enabled() and native.numba_available())):
+            arms.append(RouterArm("loop", "loop"))
+        # warm intervals only transfer to the refining backends, and the
+        # coreset tier only covers kernels with a-priori bounded values
+        if warm is None and CoresetAggregator.supports(agg.kernel):
+            arms.append(RouterArm("coreset", "coreset"))
+        # unpruned Gram-product summation: wins when parameters force
+        # refinement to (near) exhaustion, loses an index-sized factor
+        # everywhere else — the bandit finds out which regime this is
+        if warm is None:
+            arms.append(RouterArm("exact", "exact"))
+        if (cfg.use_parallel and warm is None and not agg._closed
+                and n >= cfg.parallel_min_batch):
+            for cs in cfg.chunk_sizes:
+                arms.append(RouterArm(f"parallel-c{cs}", "parallel",
+                                      chunk_size=int(cs)))
+        return arms
+
+    @staticmethod
+    def _prepare(agg, arm) -> None:
+        """Build one-time arm infrastructure outside the timed region.
+
+        Coreset construction and pool spin-up are index-lifetime costs,
+        not per-batch costs; charging them to the first pull would bury
+        an arm whose steady-state throughput wins.
+        """
+        if arm.backend == "coreset" or (
+                arm.backend == "auto" and agg.coreset_enabled):
+            agg.coreset_backend()
+        elif arm.backend == "parallel":
+            agg._parallel_backend(arm.n_workers, arm.chunk_size)
+
+    @staticmethod
+    def _coreset_fallbacks(agg, arm) -> int:
+        if arm.backend == "coreset" and agg._coreset is not None:
+            return agg._coreset.fallback_queries
+        return 0
+
+    # ------------------------------------------------------------------
+    # explore/exploit
+    # ------------------------------------------------------------------
+
+    def _state(self, key) -> _ContextState:
+        st = self._contexts.get(key)
+        if st is None:
+            st = self._contexts[key] = _ContextState()
+        return st
+
+    def _choose(self, key, arms) -> tuple[RouterArm, bool, RouterArm]:
+        """Pick ``(arm, explored, incumbent)`` for one batch.
+
+        ``incumbent`` is the current greedy choice; when ``arm`` differs
+        (a probe or an epsilon draw) the caller serves only a sub-batch
+        slice with ``arm`` and the remainder with ``incumbent``.
+        """
+        cfg = self.config
+        kind = key[0]
+        st = self._state(key)
+        for arm in arms:
+            if arm.name not in st.arms:
+                st.arms[arm.name] = _ArmState()
+        # warmup: each (kind, arm) is force-pulled min_pulls times once,
+        # *stream-wide*; a fresh context does not re-measure every arm
+        # (that would spend most of a short stream on backends the rest
+        # of the stream already ranked) — its unpulled arms compete on
+        # the cross-context (kind, arm) EWMA prior instead
+        for arm in arms:
+            self._global.setdefault((kind, arm.name), _ArmState())
+        for arm in arms:
+            if self._global[(kind, arm.name)].pulls < cfg.min_pulls:
+                # even forced warmup pulls ride a probe slice once any
+                # arm for this kind has a measurement to serve the rest
+                pulled = [a for a in arms if a is not arm
+                          and self._global[(kind, a.name)].pulls > 0]
+                if not pulled:
+                    return arm, True, arm
+                incumbent = max(
+                    pulled, key=lambda a: self._global[(kind, a.name)].qps)
+                return arm, True, incumbent
+
+        def effective(arm):
+            a = st.arms[arm.name]
+            return a.qps if a.pulls else self._global[(kind, arm.name)].qps
+
+        best = max(arms, key=effective)
+        # sticky incumbent: one noisy slow measurement of the true best
+        # arm must not dethrone it for the rest of the stream, so a
+        # challenger takes the greedy slot only by a switch_margin
+        # factor — regime contrasts here are 1.5-10x, well clear of it
+        held = next((a for a in arms if a.name == st.incumbent), None)
+        if (held is not None and best is not held
+                and st.arms[held.name].pulls
+                and effective(best) <
+                cfg.switch_margin * effective(held)):
+            best = held
+        st.incumbent = best.name
+        # every non-greedy action is capped to arms whose (measured or
+        # prior) throughput is within explore_floor of the context best:
+        # a dominated arm (exact summation on an easy smooth workload
+        # can be 10x slower than the coreset) is never re-measured just
+        # for curiosity, yet re-enters the pool the moment the best
+        # arm's measured throughput degrades toward it
+        floor = cfg.explore_floor * effective(best)
+        candidates = [a for a in arms
+                      if a is best or effective(a) >= floor]
+        # sparse in-context probes: global priors carry cross-family
+        # noise, so each *candidate* arm still gets measured in-context
+        # once, at most every other decision, best prior first
+        if st.decisions % 2 == 1:
+            unpulled = [a for a in candidates if not st.arms[a.name].pulls]
+            if unpulled:
+                return max(unpulled, key=effective), True, best
+        # sparse refresh of a *close* challenger (slice-priced): without
+        # it, one noisy slow measurement of the true best arm locks the
+        # ranking — probes only target unpulled arms and the hysteresis
+        # protects whatever is incumbent.  Guarded to near-ties because
+        # that is the only regime where lock-in costs anything, and the
+        # only regime where the probe slice is nearly free
+        if st.decisions % 8 == 6 and len(candidates) > 1:
+            runner = max((a for a in candidates if a is not best),
+                         key=effective)
+            if effective(runner) >= 0.75 * effective(best):
+                return runner, True, best
+        eps = max(cfg.epsilon_min,
+                  cfg.epsilon * cfg.epsilon_decay ** st.decisions)
+        if self._rng.random() < eps:
+            pick = candidates[int(self._rng.integers(len(candidates)))]
+            return pick, pick is not best, best
+        return best, False, best
+
+    def _observe(self, agg, key, arm, explored, n, seconds, stats,
+                 fallback_before) -> None:
+        cfg = self.config
+        st = self._state(key)
+        qps = n / seconds if seconds > 0 else 0.0
+        for a in (st.arms[arm.name],
+                  self._global.setdefault((key[0], arm.name), _ArmState())):
+            a.qps = qps if a.pulls == 0 else (
+                (1 - cfg.ewma) * a.qps + cfg.ewma * qps)
+            a.pulls += 1
+        st.decisions += 1
+        st.explore += int(explored)
+        self.decisions += 1
+        self.explored += int(explored)
+        self._fold_features(agg, key, arm, st, n, stats, fallback_before)
+        self._emit_metrics(key, arm, explored, qps, st)
+
+    def _fold_features(self, agg, key, arm, st, n, stats,
+                       fallback_before) -> None:
+        w = self.config.ewma
+
+        def fold(old, new):
+            return new if st.decisions == 1 else (1 - w) * old + w * new
+
+        tree_n = max(1, agg.tree.n)
+        frac = stats.points_evaluated / (n * tree_n)
+        st.hardness = fold(st.hardness, frac)
+        coarse = (key[0], key[1], key[3])
+        prev = self._hardness.get(coarse)
+        self._hardness[coarse] = frac if prev is None else (
+            (1 - w) * prev + w * frac)
+        if stats.active_counts:
+            st.occupancy = fold(
+                st.occupancy, float(np.mean(stats.active_counts)) / n)
+        if len(stats.frontier_sizes) >= 2 and stats.frontier_sizes[0] > 0:
+            st.frontier_growth = fold(
+                st.frontier_growth,
+                stats.frontier_sizes[-1] / stats.frontier_sizes[0])
+        if arm.backend == "coreset" and agg._coreset is not None:
+            rate = (agg._coreset.fallback_queries - fallback_before) / n
+            st.fallback_rate = fold(st.fallback_rate, rate)
+
+    def _emit_metrics(self, key, arm, explored, qps, st) -> None:
+        from repro import obs
+
+        reg = obs.default_registry()
+        reg.counter("router.decisions").inc()
+        if explored:
+            reg.counter("router.explore").inc()
+        reg.counter(f"router.arm.{arm.name}").inc()
+        reg.gauge("router.last_qps").set(qps)
+        reg.gauge("router.contexts").set(len(self._contexts))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-friendly view of learned state (per context, per arm)."""
+        out = {
+            "decisions": self.decisions,
+            "explored": self.explored,
+            "contexts": {},
+        }
+        for key, st in sorted(self._contexts.items(), key=lambda kv: str(kv)):
+            name = "|".join(str(p) for p in key)
+            out["contexts"][name] = {
+                "decisions": st.decisions,
+                "explore": st.explore,
+                "hardness": round(st.hardness, 6),
+                "occupancy": round(st.occupancy, 4),
+                "frontier_growth": round(st.frontier_growth, 4),
+                "fallback_rate": round(st.fallback_rate, 4),
+                "arms": {
+                    n: {"pulls": a.pulls, "qps": round(a.qps, 2)}
+                    for n, a in sorted(st.arms.items())
+                },
+            }
+        return out
+
+    def best_arms(self) -> dict:
+        """Current greedy choice per context (for logs and docs)."""
+        return {
+            "|".join(str(p) for p in key): max(
+                st.arms, key=lambda n: st.arms[n].qps)
+            for key, st in self._contexts.items() if st.arms
+        }

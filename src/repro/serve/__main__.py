@@ -56,6 +56,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: serial multiquery only)")
     p.add_argument("--n-workers", type=int, default=None,
                    help="process-pool width for parallel batches")
+    p.add_argument("--routed", action="store_true",
+                   help="pick the execution tier per batch with the "
+                        "online BackendRouter (backend='routed')")
     p.add_argument("--drain-grace-s", type=float, default=10.0)
     p.add_argument("--shards", type=int, default=1,
                    help="partition the dataset across K shard workers "
@@ -105,7 +108,7 @@ def make_server(args) -> KAQServer:
             max_batch=args.max_batch, min_wait_us=args.min_wait_us,
             max_wait_us=args.max_wait_us, target_fill=args.target_fill,
             parallel_threshold=args.parallel_threshold,
-            n_workers=args.n_workers,
+            n_workers=args.n_workers, routed=args.routed,
             single_flight=not args.no_single_flight),
         policy=AdmissionPolicy(
             max_queue=args.max_queue, degrade_at=args.degrade_at,

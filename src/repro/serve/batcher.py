@@ -95,6 +95,12 @@ class BatchConfig:
     #: ``prefer_coreset`` over live queue depth).  Takes precedence over
     #: the parallel pool — under load the cheap tier wins.
     coreset_hint: Callable[[], bool] | None = None
+    #: route tkaq/ekaq batches through ``backend="routed"`` — the
+    #: aggregator's online :class:`~repro.core.BackendRouter` picks the
+    #: execution tier per batch from observed traces.  The load-shedding
+    #: ``coreset_hint`` still takes precedence: degradation under
+    #: pressure is an admission decision, not a performance one.
+    routed: bool = False
     #: dedup identical concurrent (kind, q, served-param) requests: one
     #: evaluation, fanned out.  Answers are unchanged (identical rows
     #: refine identically); only provenance marks the followers.
@@ -333,7 +339,11 @@ class MicroBatcher:
             batch_id = self._batch_seq
             self._batch_seq += 1
             self._ingest_trace(result, len(live), wall)
-            if self._cache is not None and backend != "coreset":
+            # routed batches may have been served (wholly or as a probe
+            # slice) by the coreset arm, whose probabilistic certificates
+            # are not cache-transferable — skip fill for those too
+            if self._cache is not None and backend not in (
+                    "coreset", "routed"):
                 self._cache_fill(live, result)
             for i, p in enumerate(live):
                 self._resolve(p, self._response(p, result, batch_id, i,
@@ -352,6 +362,8 @@ class MicroBatcher:
         if (degradable and cfg.coreset_hint is not None
                 and cfg.coreset_hint()):
             return "coreset"
+        if degradable and cfg.routed:
+            return "routed"
         if (degradable and cfg.parallel_threshold is not None
                 and cfg.n_workers and batch_size >= cfg.parallel_threshold):
             return "parallel"
@@ -377,7 +389,7 @@ class MicroBatcher:
             if backend == "parallel":
                 kwargs["n_workers"] = self._cfg.n_workers
                 kwargs["chunk_size"] = self._cfg.chunk_size
-        if (not self.sharded and backend == "multiquery"
+        if (not self.sharded and backend in ("multiquery", "routed")
                 and self.kind in ("ekaq", "refine")
                 and any(p.warm is not None for p in live)):
             # warm-start the batch from the cache-transferred intervals;

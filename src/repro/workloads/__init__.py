@@ -1,0 +1,51 @@
+"""Replayable, seeded query workloads over the KAQ engine.
+
+A :class:`WorkloadSpec` is a small serializable description — family,
+dataset, sizes, seed, family parameters — from which
+:func:`build_workload` reconstructs the *exact* query stream, bitwise,
+on any host: every random draw flows from the spec's seed through
+deterministic generators, and the adversarial family's thresholds are
+synthesized from the (deterministic) index refinement itself.
+
+Four families cover the traffic shapes production tuning cares about:
+
+* ``drift`` — queries follow a :class:`~repro.datasets.drift.DriftStream`
+  whose cluster centers random-walk away from the indexed data;
+* ``adversarial`` — TKAQ batches whose per-query thresholds are placed
+  *inside* the bound gap left after a fixed refinement budget, so every
+  query is near-threshold by construction;
+* ``embedding`` — high-dimensional synthetic (or registry) data reduced
+  by PCA, the smooth-kernel regime quasi-Monte-Carlo sketches target;
+* ``mixed_tenant`` — heterogeneous per-query ``tau``/``eps`` vectors
+  drawn from a weighted tenant mix.
+
+``python -m repro.workloads`` replays a spec file and prints the stream
+digest; :mod:`benchmarks.bench_workloads` runs the standard suite under
+every backend (including the online :class:`~repro.core.router.
+BackendRouter`) and emits ``BENCH_workloads.json`` for the CI gate.
+"""
+
+from repro.workloads.families import (
+    FAMILIES,
+    ReplayableWorkload,
+    build_workload,
+)
+from repro.workloads.spec import WorkloadBatch, WorkloadSpec
+from repro.workloads.suite import (
+    WorkloadRun,
+    run_workload,
+    standard_suite,
+    stream_digest,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "WorkloadBatch",
+    "ReplayableWorkload",
+    "FAMILIES",
+    "build_workload",
+    "standard_suite",
+    "run_workload",
+    "WorkloadRun",
+    "stream_digest",
+]

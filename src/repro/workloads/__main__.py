@@ -1,0 +1,87 @@
+"""Replay CLI: ``python -m repro.workloads {emit,replay}``.
+
+``emit`` writes the standard suite's spec files; ``replay`` rebuilds a
+stream from a spec file and prints its digest (optionally timing it
+under a backend).  Two hosts printing the same digest have replayed
+bitwise-identical query streams.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.errors import InvalidParameterError
+from repro.workloads.spec import WorkloadSpec
+from repro.workloads.suite import run_workload, standard_suite, stream_digest
+
+
+def _cmd_emit(args) -> int:
+    out = Path(args.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    for spec in standard_suite(scale=args.scale):
+        path = spec.save(out / f"{spec.family}.json")
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    spec = WorkloadSpec.load(args.spec)
+    digest = stream_digest(spec)
+    payload = {
+        "family": spec.family,
+        "spec": spec.to_dict(),
+        "digest": digest,
+    }
+    if args.backend is not None:
+        run = run_workload(spec, backend=args.backend)
+        payload["backend"] = args.backend
+        payload["n_queries"] = run.n_queries
+        payload["seconds"] = round(run.seconds, 6)
+        payload["qps"] = round(run.qps, 2)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{spec.family}: digest {digest}")
+        if args.backend is not None:
+            print(f"  {run.n_queries} queries via backend={args.backend!r}: "
+                  f"{run.qps:.0f} q/s")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="Emit and replay seeded workload specs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    emit = sub.add_parser("emit", help="write the standard suite's specs")
+    emit.add_argument("--out-dir", default="workload-specs",
+                      help="directory for <family>.json spec files")
+    emit.add_argument("--scale", type=float, default=1.0,
+                      help="suite size multiplier (default 1.0)")
+    emit.set_defaults(fn=_cmd_emit)
+
+    replay = sub.add_parser(
+        "replay", help="rebuild a stream from a spec file; print its digest")
+    replay.add_argument("--spec", required=True, help="spec JSON file")
+    replay.add_argument("--backend", default=None,
+                        help="also execute the stream under this backend "
+                             "and report throughput")
+    replay.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    replay.set_defaults(fn=_cmd_replay)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except InvalidParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,388 @@
+"""The four workload families and their deterministic generators.
+
+Every family builds a :class:`ReplayableWorkload`: an indexed point set
+with a kernel, plus a ``batches()`` generator that re-derives the exact
+same query stream on every call.  Determinism rules:
+
+* all randomness flows from ``default_rng(SeedSequence([crc32(family),
+  seed]))`` — one generator per replay, consumed in a fixed order;
+* dataset synthesis goes through the (already deterministic) registry
+  and :mod:`repro.datasets.synthetic` generators;
+* the adversarial family's thresholds come from the refinement engine
+  itself, which is deterministic in float64 across every execution tier
+  (the native tiers are bitwise-identical by contract).
+
+Builders are registered in :data:`FAMILIES`; :func:`build_workload`
+dispatches a :class:`~repro.workloads.spec.WorkloadSpec` to its family.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.core.kernels import GaussianKernel
+from repro.datasets.drift import DriftStream
+from repro.datasets.pca import PCA
+from repro.datasets.registry import load_dataset
+from repro.datasets.synthetic import MixtureSpec, gaussian_mixture
+from repro.kde.bandwidth import median_gamma
+from repro.workloads.spec import WorkloadBatch, WorkloadSpec
+
+__all__ = ["ReplayableWorkload", "FAMILIES", "build_workload"]
+
+#: probe queries used to calibrate tau/eps scales (exact aggregates over
+#: a deterministic data subsample)
+_N_PROBE = 64
+
+#: default per-family parameters; a spec may override any subset, and an
+#: unknown key is rejected so replay never silently ignores a knob
+_DEFAULTS: dict[str, dict] = {
+    "drift": {
+        "drift": 0.15,          # per-batch center random-walk std
+        "clusters": 6,
+        "cluster_scale": 0.05,
+        "kinds": "alternate",   # "tkaq" | "ekaq" | "alternate"
+        "eps": 0.1,
+        "tau_quantile": 0.5,    # tau = this quantile of probe aggregates
+    },
+    "adversarial": {
+        "probe_rounds": 64,     # refinement budget whose terminal gap
+        "margin": 0.5,          # tau offset as a fraction of the gap
+        "jitter": 0.01,         # query jitter (fraction of feature std)
+    },
+    "embedding": {
+        "ambient_d": 64,        # synthetic ambient dimensionality
+        "target_d": 16,         # PCA target dimensionality
+        "clusters": 10,
+        "cluster_scale": 0.08,
+        "eps": 0.1,
+        "jitter": 0.02,
+    },
+    "mixed_tenant": {
+        # weighted tenant mix; tau tenants offset mu by tau_sigma sigmas,
+        # eps tenants request their own tolerance
+        "tenants": [
+            {"name": "bulk", "weight": 3.0, "kind": "ekaq", "eps": 0.2},
+            {"name": "precise", "weight": 1.0, "kind": "ekaq", "eps": 0.02},
+            {"name": "alerting", "weight": 1.5, "kind": "tkaq",
+             "tau_sigma": 0.25},
+            {"name": "paging", "weight": 0.5, "kind": "tkaq",
+             "tau_sigma": -0.25},
+        ],
+    },
+}
+
+
+@dataclass
+class ReplayableWorkload:
+    """A built workload: indexed points, kernel, and a replayable stream.
+
+    ``batches()`` constructs a fresh generator chain from the spec on
+    every call, so two iterations — in the same process or on different
+    hosts — yield bitwise-identical :class:`WorkloadBatch` streams.
+    """
+
+    spec: WorkloadSpec
+    points: np.ndarray
+    weights: np.ndarray
+    kernel: GaussianKernel
+    #: probe statistics the generators calibrated against (mu, sigma)
+    probe_mu: float = 0.0
+    probe_sigma: float = 0.0
+    _batch_fn: object = field(default=None, repr=False)
+    _tree: object = field(default=None, repr=False)
+    _agg: object = field(default=None, repr=False)
+
+    @property
+    def n(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def d(self) -> int:
+        return self.points.shape[1]
+
+    def tree(self):
+        """The kd-tree over the point set (built lazily, cached)."""
+        if self._tree is None:
+            from repro.index import KDTree
+
+            self._tree = KDTree(self.points, weights=self.weights,
+                                leaf_capacity=40)
+        return self._tree
+
+    def aggregator(self, coreset: bool = True, router=None):
+        """A fresh :class:`~repro.core.KernelAggregator` over the tree.
+
+        ``coreset=True`` opts the aggregator into the sketch tier so
+        static-``coreset`` runs and router arms have it available; the
+        exact backends are unaffected.  Not cached: callers measuring
+        throughput want backend state (lazy tiers, router learning)
+        isolated per run.
+        """
+        from repro.core import KernelAggregator
+
+        return KernelAggregator(
+            self.tree(), self.kernel,
+            coreset=True if coreset else None, router=router,
+        )
+
+    def batches(self):
+        """Yield the spec's query stream (deterministic on every call)."""
+        return self._batch_fn(self)
+
+
+def _rng(spec: WorkloadSpec, stream: str = "batches") -> np.random.Generator:
+    """The spec's deterministic generator for one named draw stream."""
+    return np.random.default_rng(np.random.SeedSequence([
+        zlib.crc32(spec.family.encode()) & 0xFFFF,
+        zlib.crc32(stream.encode()) & 0xFFFF,
+        spec.seed,
+    ]))
+
+
+def _family_params(spec: WorkloadSpec) -> dict:
+    defaults = _DEFAULTS[spec.family]
+    unknown = set(spec.params) - set(defaults)
+    if unknown:
+        raise InvalidParameterError(
+            f"unknown {spec.family} params: {sorted(unknown)}; "
+            f"known: {sorted(defaults)}"
+        )
+    return {**defaults, **spec.params}
+
+
+def _load_points(spec: WorkloadSpec) -> np.ndarray:
+    ds = load_dataset(spec.dataset, size=spec.size, seed=spec.seed)
+    return ds.points
+
+
+def _probe_stats(wl: ReplayableWorkload) -> None:
+    """Calibrate mu/sigma from exact aggregates over a data subsample.
+
+    Deterministic (its own named rng stream), so thresholds derived from
+    these statistics replay bitwise.
+    """
+    rng = _rng(wl.spec, "probe")
+    idx = rng.choice(wl.n, size=min(_N_PROBE, wl.n), replace=False)
+    from repro.baselines.scan import ScanEvaluator
+
+    vals = ScanEvaluator(wl.points, wl.kernel, wl.weights).exact_many(
+        wl.points[idx]
+    )
+    wl.probe_mu = float(vals.mean())
+    wl.probe_sigma = float(vals.std())
+
+
+# ----------------------------------------------------------------------
+# drift: queries random-walk away from the indexed distribution
+# ----------------------------------------------------------------------
+
+def _build_drift(spec: WorkloadSpec) -> ReplayableWorkload:
+    points = _load_points(spec)
+    kernel = GaussianKernel(median_gamma(points, seed=spec.seed))
+    wl = ReplayableWorkload(spec, points, np.ones(points.shape[0]), kernel,
+                            _batch_fn=_drift_batches)
+    _probe_stats(wl)
+    return wl
+
+
+def _drift_batches(wl: ReplayableWorkload):
+    p = _family_params(wl.spec)
+    spec = wl.spec
+    stream = DriftStream(
+        d=wl.d, batch_size=spec.batch_size, clusters=int(p["clusters"]),
+        drift=float(p["drift"]), cluster_scale=float(p["cluster_scale"]),
+        seed=spec.seed + 1,
+    )
+    # tau from the probe distribution: a mid-quantile threshold keeps the
+    # early (on-distribution) batches split while drifted batches decay
+    probe_vals = wl.probe_mu + wl.probe_sigma * np.array([-1.0, 0.0, 1.0])
+    q = float(p["tau_quantile"])
+    tau = float(np.quantile(probe_vals, q)) if 0 < q < 1 else wl.probe_mu
+    kinds = p["kinds"]
+    if kinds not in ("tkaq", "ekaq", "alternate"):
+        raise InvalidParameterError(
+            f"drift kinds must be 'tkaq', 'ekaq', or 'alternate'; "
+            f"got {kinds!r}"
+        )
+    for i in range(spec.n_batches):
+        queries = stream.next_batch()
+        kind = kinds if kinds != "alternate" else ("tkaq", "ekaq")[i % 2]
+        if kind == "tkaq":
+            yield WorkloadBatch(i, "tkaq", queries,
+                                tau=np.full(len(queries), tau))
+        else:
+            yield WorkloadBatch(i, "ekaq", queries,
+                                eps=np.full(len(queries), float(p["eps"])))
+
+
+# ----------------------------------------------------------------------
+# adversarial: thresholds inside the post-budget refinement gap
+# ----------------------------------------------------------------------
+
+def _build_adversarial(spec: WorkloadSpec) -> ReplayableWorkload:
+    points = _load_points(spec)
+    kernel = GaussianKernel(median_gamma(points, seed=spec.seed))
+    return ReplayableWorkload(spec, points, np.ones(points.shape[0]), kernel,
+                              _batch_fn=_adversarial_batches)
+
+
+def _adversarial_batches(wl: ReplayableWorkload):
+    """TKAQ batches with per-query thresholds synthesized from node bounds.
+
+    Each query is refined for ``probe_rounds`` shared-frontier rounds;
+    the terminal ``[lower, upper]`` interval is exactly the sum of the
+    index node bounds still on the frontier, so a threshold placed inside
+    it cannot be decided without refining *past* the budget — every query
+    is near-threshold by construction.  Queries the budget already
+    resolved (``upper == lower``) get a multiplicative hair instead.
+    """
+    p = _family_params(wl.spec)
+    spec = wl.spec
+    rng = _rng(spec)
+    rounds = int(p["probe_rounds"])
+    margin = float(p["margin"])
+    if not 0.0 < margin <= 1.0:
+        raise InvalidParameterError(
+            f"adversarial margin must be in (0, 1]; got {margin}"
+        )
+    agg = wl.aggregator(coreset=False)
+    std = wl.points.std(axis=0)
+    for i in range(spec.n_batches):
+        idx = rng.integers(0, wl.n, spec.batch_size)
+        queries = wl.points[idx] + (
+            float(p["jitter"]) * std * rng.standard_normal(
+                (spec.batch_size, wl.d))
+        )
+        probe = agg.refine_many_results(queries, rounds,
+                                        backend="multiquery")
+        mid = 0.5 * (probe.lower + probe.upper)
+        gap = probe.upper - probe.lower
+        u = rng.uniform(-margin, margin, spec.batch_size)
+        tau = mid + 0.5 * u * gap
+        resolved = gap <= 0.0
+        if np.any(resolved):
+            tau[resolved] = mid[resolved] * (1.0 + 1e-9 * u[resolved])
+        yield WorkloadBatch(i, "tkaq", queries, tau=tau)
+
+
+# ----------------------------------------------------------------------
+# embedding: high-dimensional data through PCA (smooth-kernel regime)
+# ----------------------------------------------------------------------
+
+def _build_embedding(spec: WorkloadSpec) -> ReplayableWorkload:
+    p = _family_params(spec)
+    target_d = int(p["target_d"])
+    if spec.dataset == "synthetic":
+        mix = MixtureSpec(
+            n=spec.size, d=int(p["ambient_d"]), clusters=int(p["clusters"]),
+            cluster_scale=float(p["cluster_scale"]),
+        )
+        ambient = gaussian_mixture(mix, _rng(spec, "dataset"))
+    else:
+        ambient = _load_points(spec)
+    if target_d > ambient.shape[1]:
+        raise InvalidParameterError(
+            f"target_d={target_d} exceeds ambient dimension "
+            f"{ambient.shape[1]}"
+        )
+    points = PCA(target_d).fit_transform(ambient)
+    kernel = GaussianKernel(median_gamma(points, seed=spec.seed))
+    return ReplayableWorkload(spec, points, np.ones(points.shape[0]), kernel,
+                              _batch_fn=_embedding_batches)
+
+
+def _embedding_batches(wl: ReplayableWorkload):
+    p = _family_params(wl.spec)
+    spec = wl.spec
+    rng = _rng(spec)
+    std = wl.points.std(axis=0)
+    eps = float(p["eps"])
+    for i in range(spec.n_batches):
+        idx = rng.integers(0, wl.n, spec.batch_size)
+        queries = wl.points[idx] + (
+            float(p["jitter"]) * std * rng.standard_normal(
+                (spec.batch_size, wl.d))
+        )
+        yield WorkloadBatch(i, "ekaq", queries,
+                            eps=np.full(spec.batch_size, eps))
+
+
+# ----------------------------------------------------------------------
+# mixed_tenant: heterogeneous per-query tau/eps vectors
+# ----------------------------------------------------------------------
+
+def _build_mixed_tenant(spec: WorkloadSpec) -> ReplayableWorkload:
+    points = _load_points(spec)
+    kernel = GaussianKernel(median_gamma(points, seed=spec.seed))
+    wl = ReplayableWorkload(spec, points, np.ones(points.shape[0]), kernel,
+                            _batch_fn=_mixed_tenant_batches)
+    _probe_stats(wl)
+    return wl
+
+
+def _mixed_tenant_batches(wl: ReplayableWorkload):
+    p = _family_params(wl.spec)
+    spec = wl.spec
+    tenants = p["tenants"]
+    if not tenants:
+        raise InvalidParameterError("mixed_tenant needs >= 1 tenant")
+    for t in tenants:
+        if t.get("kind") not in ("tkaq", "ekaq"):
+            raise InvalidParameterError(
+                f"tenant kind must be 'tkaq' or 'ekaq'; got {t!r}"
+            )
+    rng = _rng(spec)
+    kinds = ("tkaq", "ekaq")
+    by_kind = {k: [t for t in tenants if t["kind"] == k] for k in kinds}
+    kind_mass = np.array(
+        [sum(float(t.get("weight", 1.0)) for t in by_kind[k]) for k in kinds]
+    )
+    if kind_mass.sum() <= 0:
+        raise InvalidParameterError("tenant weights must have positive mass")
+    kind_prob = kind_mass / kind_mass.sum()
+    for i in range(spec.n_batches):
+        # batches are single-kind (the batcher's coalescing unit); the
+        # tenant mix decides both the batch kind and each query's params
+        kind = kinds[int(rng.choice(2, p=kind_prob))]
+        members = by_kind[kind]
+        w = np.array([float(t.get("weight", 1.0)) for t in members])
+        which = rng.choice(len(members), size=spec.batch_size, p=w / w.sum())
+        idx = rng.integers(0, wl.n, spec.batch_size)
+        queries = wl.points[idx] + 0.01 * wl.points.std(axis=0) * (
+            rng.standard_normal((spec.batch_size, wl.d))
+        )
+        if kind == "tkaq":
+            sig = np.array([float(t.get("tau_sigma", 0.0)) for t in members])
+            param = wl.probe_mu + sig[which] * wl.probe_sigma
+            yield WorkloadBatch(i, "tkaq", queries, tau=param,
+                                tenants=which)
+        else:
+            eps = np.array([float(t.get("eps", 0.1)) for t in members])
+            yield WorkloadBatch(i, "ekaq", queries, eps=eps[which],
+                                tenants=which)
+
+
+FAMILIES: dict[str, object] = {
+    "drift": _build_drift,
+    "adversarial": _build_adversarial,
+    "embedding": _build_embedding,
+    "mixed_tenant": _build_mixed_tenant,
+}
+
+
+def build_workload(spec: WorkloadSpec) -> ReplayableWorkload:
+    """Materialise a spec: build the point set, kernel, and stream."""
+    try:
+        builder = FAMILIES[spec.family]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown workload family {spec.family!r}; "
+            f"available: {sorted(FAMILIES)}"
+        ) from None
+    _family_params(spec)  # reject unknown keys before any expensive work
+    return builder(spec)

@@ -1,0 +1,174 @@
+"""Serializable workload specifications and the batches they replay into.
+
+A :class:`WorkloadSpec` carries *only* plain JSON values, so a spec file
+checked into a repo (or attached to a bug report) reproduces the exact
+query stream anywhere: identical numpy generator algorithms seeded from
+the spec, identical dataset synthesis, identical threshold placement.
+The bitwise-replay contract is pinned by ``tests/test_workloads.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = ["WorkloadSpec", "WorkloadBatch", "SPEC_VERSION"]
+
+#: bumped whenever generation semantics change; replay refuses a newer
+#: spec instead of silently producing a different stream
+SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Recipe for one replayable query stream.
+
+    Parameters
+    ----------
+    family : str
+        One of :data:`repro.workloads.FAMILIES`
+        (``drift`` / ``adversarial`` / ``embedding`` / ``mixed_tenant``).
+    dataset : str
+        Registry dataset name, or ``"synthetic"`` for the embedding
+        family's parameterized high-dimensional mixture.
+    size : int
+        Indexed point-set cardinality.
+    n_batches, batch_size : int
+        Stream shape: ``n_batches`` batches of ``batch_size`` queries.
+    seed : int
+        Root seed; every random draw in generation descends from it.
+    params : dict
+        Family-specific knobs (validated against the family's defaults —
+        an unknown key is an error, so a typo cannot silently replay a
+        different workload).
+    """
+
+    family: str
+    dataset: str = "home"
+    size: int = 6000
+    n_batches: int = 6
+    batch_size: int = 256
+    seed: int = 0
+    params: dict = field(default_factory=dict)
+    version: int = SPEC_VERSION
+
+    def __post_init__(self):
+        if self.version > SPEC_VERSION:
+            raise InvalidParameterError(
+                f"spec version {self.version} is newer than this build's "
+                f"{SPEC_VERSION}; refusing to replay a stream whose "
+                "generation semantics are unknown"
+            )
+        for name in ("size", "n_batches", "batch_size"):
+            if int(getattr(self, name)) < 1:
+                raise InvalidParameterError(
+                    f"{name} must be >= 1; got {getattr(self, name)}"
+                )
+        if not isinstance(self.params, dict):
+            raise InvalidParameterError(
+                f"params must be a dict; got {type(self.params).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    # serialization (plain JSON; floats survive via repr round-trip)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "family": self.family,
+            "dataset": self.dataset,
+            "size": self.size,
+            "n_batches": self.n_batches,
+            "batch_size": self.batch_size,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WorkloadSpec":
+        if not isinstance(d, dict):
+            raise InvalidParameterError(
+                f"workload spec must be a JSON object; got {type(d).__name__}"
+            )
+        unknown = set(d) - {
+            "version", "family", "dataset", "size", "n_batches",
+            "batch_size", "seed", "params",
+        }
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown workload spec fields: {sorted(unknown)}"
+            )
+        try:
+            family = d["family"]
+        except KeyError:
+            raise InvalidParameterError(
+                "workload spec is missing the 'family' field"
+            ) from None
+        return cls(
+            family=str(family),
+            dataset=str(d.get("dataset", "home")),
+            size=int(d.get("size", 6000)),
+            n_batches=int(d.get("n_batches", 6)),
+            batch_size=int(d.get("batch_size", 256)),
+            seed=int(d.get("seed", 0)),
+            params=dict(d.get("params", {})),
+            version=int(d.get("version", SPEC_VERSION)),
+        )
+
+    def save(self, path) -> Path:
+        """Write the spec as an indented JSON file; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "WorkloadSpec":
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise InvalidParameterError(
+                f"cannot read workload spec {path}: {exc}"
+            ) from exc
+        return cls.from_dict(payload)
+
+
+@dataclass
+class WorkloadBatch:
+    """One replayed batch: queries plus their per-query parameters.
+
+    ``kind`` is the query type the batch is served as (a batch is always
+    one kind — that is the serving layer's coalescing unit too).  The
+    inactive parameter vector is ``None``; ``param`` returns the active
+    one, always as a ``(B,)`` float64 vector (heterogeneous per-query
+    values are first-class: the mixed-tenant family emits non-constant
+    vectors on purpose).
+    """
+
+    index: int
+    kind: str  # "tkaq" | "ekaq"
+    queries: np.ndarray            # (B, d) float64
+    tau: np.ndarray | None = None  # (B,) for tkaq batches
+    eps: np.ndarray | None = None  # (B,) for ekaq batches
+    tenants: np.ndarray | None = None  # (B,) tenant ids (mixed_tenant)
+
+    def __post_init__(self):
+        if self.kind not in ("tkaq", "ekaq"):
+            raise InvalidParameterError(
+                f"batch kind must be 'tkaq' or 'ekaq'; got {self.kind!r}"
+            )
+
+    @property
+    def param(self) -> np.ndarray:
+        """The active per-query parameter vector (tau or eps)."""
+        vec = self.tau if self.kind == "tkaq" else self.eps
+        assert vec is not None, f"{self.kind} batch missing its parameter"
+        return vec
+
+    def __len__(self) -> int:
+        return self.queries.shape[0]

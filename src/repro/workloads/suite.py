@@ -1,0 +1,128 @@
+"""The standard suite, the replay executor, and the stream digest.
+
+:func:`standard_suite` pins the four specs the benchmark and CI gate
+run; :func:`run_workload` replays one workload through a
+:class:`~repro.core.KernelAggregator` backend and measures query-side
+throughput; :func:`stream_digest` hashes the replayed stream so two
+hosts (or two runs) can assert bitwise-identical generation with a
+one-line comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.workloads.families import ReplayableWorkload, build_workload
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["standard_suite", "run_workload", "WorkloadRun", "stream_digest"]
+
+
+def standard_suite(scale: float = 1.0) -> list[WorkloadSpec]:
+    """The four specs the benchmark suite and CI gate replay.
+
+    ``scale`` shrinks sizes/batches for smoke runs (the same knob as
+    ``REPRO_BENCH_SCALE``); generation stays deterministic at every
+    scale, but digests are only comparable at equal scale.
+    """
+    def sz(n: int, lo: int = 512) -> int:
+        return max(lo, int(round(n * scale)))
+
+    def nb(n: int) -> int:
+        return max(2, int(round(n * scale)))
+
+    def bs(n: int) -> int:
+        return max(32, int(round(n * scale)))
+
+    return [
+        WorkloadSpec("drift", dataset="home", size=sz(12000),
+                     n_batches=nb(14), batch_size=bs(256), seed=7),
+        WorkloadSpec("adversarial", dataset="susy", size=sz(12000),
+                     n_batches=nb(14), batch_size=bs(192), seed=11),
+        WorkloadSpec("embedding", dataset="synthetic", size=sz(24000),
+                     n_batches=nb(12), batch_size=bs(256), seed=13),
+        WorkloadSpec("mixed_tenant", dataset="covtype", size=sz(16000),
+                     n_batches=nb(14), batch_size=bs(256), seed=17),
+    ]
+
+
+@dataclass
+class WorkloadRun:
+    """Measured replay of one workload under one backend."""
+
+    family: str
+    backend: str
+    n_queries: int = 0
+    n_batches: int = 0
+    seconds: float = 0.0
+    kind_counts: dict = field(default_factory=dict)
+    results: list | None = None
+
+    @property
+    def qps(self) -> float:
+        return self.n_queries / self.seconds if self.seconds > 0 else 0.0
+
+
+def run_workload(workload: ReplayableWorkload | WorkloadSpec,
+                 backend: str = "auto", *, n_workers: int | None = None,
+                 chunk_size: int | None = None, agg=None,
+                 router=None, collect: bool = False) -> WorkloadRun:
+    """Replay a workload through one backend, timing the query side only.
+
+    Accepts a built :class:`ReplayableWorkload` or a bare spec.  ``agg``
+    reuses a caller-held aggregator (so lazy tiers and router state
+    persist across runs); otherwise a fresh one is built, with
+    ``router`` attached when ``backend="routed"``.  ``collect=True``
+    keeps every batch result (contract tests); benchmarks leave it off.
+    """
+    wl = build_workload(workload) if isinstance(workload, WorkloadSpec) \
+        else workload
+    if agg is None:
+        agg = wl.aggregator(router=router)
+    run = WorkloadRun(wl.spec.family, backend,
+                      results=[] if collect else None)
+    for batch in wl.batches():
+        t0 = time.perf_counter()
+        if batch.kind == "tkaq":
+            res = agg.tkaq_many_results(
+                batch.queries, batch.tau, backend=backend,
+                n_workers=n_workers, chunk_size=chunk_size,
+            )
+        else:
+            res = agg.ekaq_many_results(
+                batch.queries, batch.eps, backend=backend,
+                n_workers=n_workers, chunk_size=chunk_size,
+            )
+        run.seconds += time.perf_counter() - t0
+        run.n_queries += len(batch)
+        run.n_batches += 1
+        run.kind_counts[batch.kind] = run.kind_counts.get(batch.kind, 0) + 1
+        if collect:
+            run.results.append(res)
+    return run
+
+
+def stream_digest(workload: ReplayableWorkload | WorkloadSpec) -> str:
+    """SHA-256 over the replayed stream's bytes (order-sensitive).
+
+    Hashes every batch's index, kind, query matrix, parameter vector,
+    and tenant vector as raw little-endian float64/int64 bytes, so equal
+    digests mean *bitwise* equal streams — the replay contract the spec
+    format promises.
+    """
+    wl = build_workload(workload) if isinstance(workload, WorkloadSpec) \
+        else workload
+    h = hashlib.sha256()
+    for batch in wl.batches():
+        h.update(np.int64(batch.index).tobytes())
+        h.update(batch.kind.encode())
+        h.update(np.ascontiguousarray(batch.queries, dtype="<f8").tobytes())
+        h.update(np.ascontiguousarray(batch.param, dtype="<f8").tobytes())
+        if batch.tenants is not None:
+            h.update(np.ascontiguousarray(
+                batch.tenants, dtype="<i8").tobytes())
+    return h.hexdigest()

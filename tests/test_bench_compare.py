@@ -198,6 +198,108 @@ class TestMainExitCodes:
         assert "throughput delta" in out
         assert "+20.0%" in out
 
+class TestRecordedGate:
+    """Benchmarks can record their own acceptance gate in the payload."""
+
+    def test_binding_failed_gate_regresses(self, tmp_path, capsys):
+        cur = _payload(100.0)
+        cur["gate"] = {"passed": False, "binding": True,
+                       "routed_qps": 10.0, "best_static_qps": 20.0}
+        base = _write(tmp_path, "base.json", _payload(100.0))
+        path = _write(tmp_path, "cur.json", cur)
+        assert main([str(base), str(path)]) == REGRESSED
+        assert "recorded gate failed" in capsys.readouterr().out
+
+    def test_gate_enforced_without_baseline(self, tmp_path):
+        # the gate is self-contained: no baseline needed to enforce it
+        cur = _payload(100.0)
+        cur["gate"] = {"passed": False, "binding": True}
+        path = _write(tmp_path, "cur.json", cur)
+        assert main([str(tmp_path / "nope.json"), str(path)]) == REGRESSED
+
+    def test_non_binding_failed_gate_skips(self, tmp_path):
+        cur = _payload(100.0)
+        cur["gate"] = {"passed": False, "binding": False}  # smoke scale
+        base = _write(tmp_path, "base.json", _payload(100.0))
+        path = _write(tmp_path, "cur.json", cur)
+        assert main([str(base), str(path)]) == OK
+
+    def test_passed_gate_ok(self, tmp_path):
+        cur = _payload(100.0)
+        cur["gate"] = {"passed": True, "binding": True}
+        base = _write(tmp_path, "base.json", _payload(100.0))
+        path = _write(tmp_path, "cur.json", cur)
+        assert main([str(base), str(path)]) == OK
+
+
+class TestDirectoryMode:
+    """``--all`` discovers and gates every BENCH_*.json pair at once."""
+
+    def _dirs(self, tmp_path):
+        base = tmp_path / "baseline"
+        cur = tmp_path / "current"
+        base.mkdir()
+        cur.mkdir()
+        return base, cur
+
+    def test_discovers_every_pair(self, tmp_path, capsys):
+        base, cur = self._dirs(tmp_path)
+        for name in ("BENCH_alpha.json", "BENCH_beta.json"):
+            _write(base, name, _payload(100.0))
+            _write(cur, name, _payload(110.0))
+        _write(cur, "not_a_bench.json", _payload(1.0))  # ignored
+        assert main(["--all", str(base), str(cur)]) == OK
+        out = capsys.readouterr().out
+        assert "BENCH_alpha.json" in out and "BENCH_beta.json" in out
+        assert "not_a_bench" not in out
+        assert "2 benchmark(s) checked" in out
+
+    def test_current_only_file_skips(self, tmp_path, capsys):
+        # a brand-new benchmark has no committed baseline yet
+        base, cur = self._dirs(tmp_path)
+        _write(cur, "BENCH_new.json", _payload(50.0))
+        assert main(["--all", str(base), str(cur)]) == OK
+        assert "no committed baseline" in capsys.readouterr().out
+
+    def test_baseline_only_file_errors(self, tmp_path, capsys):
+        # the benchmark that should have regenerated it produced nothing
+        base, cur = self._dirs(tmp_path)
+        _write(base, "BENCH_gone.json", _payload(100.0))
+        assert main(["--all", str(base), str(cur)]) == ERROR
+        assert "produced no matching results" in capsys.readouterr().err
+
+    def test_worst_exit_code_wins(self, tmp_path):
+        # one regressed pair (1) + one missing current (2) -> 2
+        base, cur = self._dirs(tmp_path)
+        _write(base, "BENCH_slow.json", _payload(100.0))
+        _write(cur, "BENCH_slow.json", _payload(40.0))
+        _write(base, "BENCH_gone.json", _payload(100.0))
+        assert main(["--all", str(base), str(cur)]) == ERROR
+
+    def test_regression_in_any_pair_fails(self, tmp_path):
+        base, cur = self._dirs(tmp_path)
+        _write(base, "BENCH_ok.json", _payload(100.0))
+        _write(cur, "BENCH_ok.json", _payload(100.0))
+        _write(base, "BENCH_slow.json", _payload(100.0))
+        _write(cur, "BENCH_slow.json", _payload(40.0))
+        assert main(["--all", str(base), str(cur)]) == REGRESSED
+
+    def test_recorded_gate_enforced_in_directory_mode(self, tmp_path):
+        base, cur = self._dirs(tmp_path)
+        payload = _payload(100.0)
+        payload["gate"] = {"passed": False, "binding": True}
+        _write(cur, "BENCH_gated.json", payload)
+        _write(base, "BENCH_gated.json", _payload(100.0))
+        assert main(["--all", str(base), str(cur)]) == REGRESSED
+
+    def test_empty_directories_skip(self, tmp_path, capsys):
+        base, cur = self._dirs(tmp_path)
+        assert main(["--all", str(base), str(cur)]) == OK
+        assert "skip" in capsys.readouterr().out
+
+    def test_missing_directories_skip(self, tmp_path):
+        assert main(["--all", str(tmp_path / "a"), str(tmp_path / "b")]) == OK
+
     def test_module_invocable(self, tmp_path):
         import subprocess
         import sys

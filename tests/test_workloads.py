@@ -1,0 +1,320 @@
+"""The replayable workload suite: specs, families, and bitwise replay.
+
+The load-bearing contract pinned here is *replayability*: a spec file is
+a complete recipe, so two independent builds — same process, different
+process, different host — generate bitwise-identical query streams
+(equal :func:`repro.workloads.stream_digest`).  Everything else (family
+behaviours, validation, the CLI) exists in service of that contract.
+"""
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.workloads import (
+    FAMILIES,
+    ReplayableWorkload,
+    WorkloadSpec,
+    build_workload,
+    run_workload,
+    standard_suite,
+    stream_digest,
+)
+from repro.workloads.spec import SPEC_VERSION, WorkloadBatch
+
+# tiny specs: every family buildable in well under a second
+SMALL = {
+    "drift": WorkloadSpec("drift", size=400, n_batches=4, batch_size=24,
+                          seed=3),
+    "adversarial": WorkloadSpec("adversarial", size=400, n_batches=3,
+                                batch_size=24, seed=5,
+                                params={"probe_rounds": 6}),
+    "embedding": WorkloadSpec("embedding", dataset="synthetic", size=500,
+                              n_batches=3, batch_size=24, seed=7,
+                              params={"ambient_d": 12, "target_d": 4}),
+    "mixed_tenant": WorkloadSpec("mixed_tenant", size=400, n_batches=5,
+                                 batch_size=24, seed=9),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(SMALL))
+def built(request):
+    """One built small workload per family (cached for the module)."""
+    return build_workload(SMALL[request.param])
+
+
+class TestSpecValidation:
+    def test_round_trip_dict(self):
+        spec = SMALL["drift"]
+        assert WorkloadSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_file(self, tmp_path):
+        spec = SMALL["mixed_tenant"]
+        path = spec.save(tmp_path / "spec.json")
+        assert WorkloadSpec.load(path) == spec
+
+    def test_newer_version_refused(self):
+        with pytest.raises(InvalidParameterError, match="newer"):
+            WorkloadSpec("drift", version=SPEC_VERSION + 1)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown"):
+            WorkloadSpec.from_dict({"family": "drift", "sise": 100})
+
+    def test_missing_family_rejected(self):
+        with pytest.raises(InvalidParameterError, match="family"):
+            WorkloadSpec.from_dict({"size": 100})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            WorkloadSpec.from_dict([1, 2])
+
+    @pytest.mark.parametrize("field", ["size", "n_batches", "batch_size"])
+    def test_positive_shape_fields(self, field):
+        with pytest.raises(InvalidParameterError, match=field):
+            WorkloadSpec("drift", **{field: 0})
+
+    def test_params_must_be_dict(self):
+        with pytest.raises(InvalidParameterError, match="params"):
+            WorkloadSpec("drift", params=[1])
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(InvalidParameterError, match="cannot read"):
+            WorkloadSpec.load(tmp_path / "nope.json")
+
+    def test_load_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(InvalidParameterError, match="cannot read"):
+            WorkloadSpec.load(path)
+
+    def test_unknown_family(self):
+        with pytest.raises(InvalidParameterError, match="unknown workload"):
+            build_workload(WorkloadSpec("fourier"))
+
+    def test_unknown_family_param(self):
+        spec = WorkloadSpec("drift", params={"drfit": 0.1})
+        with pytest.raises(InvalidParameterError, match="drfit"):
+            build_workload(spec)
+
+    def test_batch_kind_validated(self):
+        with pytest.raises(InvalidParameterError, match="kind"):
+            WorkloadBatch(0, "topk", np.zeros((2, 3)))
+
+
+class TestFamilies:
+    def test_all_registered(self):
+        assert sorted(FAMILIES) == sorted(SMALL)
+
+    def test_stream_shape(self, built):
+        spec = built.spec
+        batches = list(built.batches())
+        assert len(batches) == spec.n_batches
+        for i, b in enumerate(batches):
+            assert b.index == i
+            assert len(b) == spec.batch_size
+            assert b.queries.shape == (spec.batch_size, built.d)
+            assert b.param.shape == (spec.batch_size,)
+            assert b.queries.dtype == np.float64
+
+    def test_drift_alternates_kinds(self):
+        kinds = [b.kind for b in build_workload(SMALL["drift"]).batches()]
+        assert kinds == ["tkaq", "ekaq", "tkaq", "ekaq"]
+
+    def test_drift_fixed_kind(self):
+        spec = WorkloadSpec("drift", size=400, n_batches=2, batch_size=8,
+                            params={"kinds": "tkaq"})
+        assert all(b.kind == "tkaq"
+                   for b in build_workload(spec).batches())
+
+    def test_drift_invalid_kinds(self):
+        spec = WorkloadSpec("drift", size=400, n_batches=2, batch_size=8,
+                            params={"kinds": "both"})
+        with pytest.raises(InvalidParameterError, match="kinds"):
+            list(build_workload(spec).batches())
+
+    def test_drift_queries_actually_drift(self):
+        wl = build_workload(SMALL["drift"])
+        batches = list(wl.batches())
+        first = batches[0].queries.mean(axis=0)
+        last = batches[-1].queries.mean(axis=0)
+        assert np.linalg.norm(last - first) > 0.01
+
+    def test_adversarial_thresholds_near_terminal_gap(self):
+        """Taus sit inside the post-budget refinement interval."""
+        wl = build_workload(SMALL["adversarial"])
+        rounds = 6  # == the spec's probe_rounds
+        agg = wl.aggregator(coreset=False)
+        for batch in wl.batches():
+            assert batch.kind == "tkaq"
+            probe = agg.refine_many_results(batch.queries, rounds,
+                                            backend="multiquery")
+            open_gap = probe.upper > probe.lower
+            assert np.all(batch.tau[open_gap] >= probe.lower[open_gap])
+            assert np.all(batch.tau[open_gap] <= probe.upper[open_gap])
+
+    def test_adversarial_margin_validated(self):
+        spec = WorkloadSpec("adversarial", size=400, n_batches=1,
+                            batch_size=8,
+                            params={"probe_rounds": 2, "margin": 1.5})
+        with pytest.raises(InvalidParameterError, match="margin"):
+            list(build_workload(spec).batches())
+
+    def test_embedding_reduces_dimension(self):
+        wl = build_workload(SMALL["embedding"])
+        assert wl.d == 4
+        assert all(b.kind == "ekaq" for b in wl.batches())
+
+    def test_embedding_target_d_checked(self):
+        spec = WorkloadSpec("embedding", dataset="synthetic", size=400,
+                            n_batches=1, batch_size=8,
+                            params={"ambient_d": 8, "target_d": 16})
+        with pytest.raises(InvalidParameterError, match="target_d"):
+            build_workload(spec)
+
+    def test_mixed_tenant_heterogeneous_params(self):
+        wl = build_workload(SMALL["mixed_tenant"])
+        batches = list(wl.batches())
+        assert {b.kind for b in batches} == {"tkaq", "ekaq"}
+        for b in batches:
+            assert b.tenants is not None
+            assert b.tenants.shape == (len(b),)
+        # at least one ekaq batch mixes tolerances (bulk 0.2, precise 0.02)
+        assert any(np.ptp(b.param) > 0 for b in batches if b.kind == "ekaq")
+
+    def test_mixed_tenant_kind_rejected(self):
+        spec = WorkloadSpec(
+            "mixed_tenant", size=400, n_batches=1, batch_size=8,
+            params={"tenants": [{"name": "x", "kind": "topk"}]})
+        with pytest.raises(InvalidParameterError, match="tenant kind"):
+            list(build_workload(spec).batches())
+
+    def test_mixed_tenant_needs_tenants(self):
+        spec = WorkloadSpec("mixed_tenant", size=400, n_batches=1,
+                            batch_size=8, params={"tenants": []})
+        with pytest.raises(InvalidParameterError, match="tenant"):
+            list(build_workload(spec).batches())
+
+
+class TestBitwiseReplay:
+    """The tentpole contract: same spec, same bytes — everywhere."""
+
+    def test_two_builds_identical_digest(self, built):
+        again = build_workload(built.spec)
+        assert stream_digest(built) == stream_digest(again)
+
+    def test_same_workload_replays_itself(self, built):
+        a = [b.queries.copy() for b in built.batches()]
+        b = [b.queries for b in built.batches()]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_spec_file_round_trip_digest(self, built, tmp_path):
+        """Digest survives serialization: the spec file IS the stream."""
+        path = built.spec.save(tmp_path / "spec.json")
+        rebuilt = build_workload(WorkloadSpec.load(path))
+        assert stream_digest(rebuilt) == stream_digest(built)
+
+    def test_seed_changes_stream(self):
+        base = SMALL["drift"]
+        other = WorkloadSpec(base.family, size=base.size,
+                             n_batches=base.n_batches,
+                             batch_size=base.batch_size, seed=base.seed + 1)
+        assert stream_digest(base) != stream_digest(other)
+
+    def test_params_change_stream(self):
+        base = SMALL["embedding"]
+        other = WorkloadSpec(
+            base.family, dataset=base.dataset, size=base.size,
+            n_batches=base.n_batches, batch_size=base.batch_size,
+            seed=base.seed,
+            params={**base.params, "jitter": 0.5})
+        assert stream_digest(base) != stream_digest(other)
+
+    def test_digest_accepts_bare_spec(self):
+        spec = SMALL["drift"]
+        assert stream_digest(spec) == stream_digest(build_workload(spec))
+
+
+class TestSuiteAndRunner:
+    def test_standard_suite_families(self):
+        specs = standard_suite()
+        assert [s.family for s in specs] == [
+            "drift", "adversarial", "embedding", "mixed_tenant"]
+
+    def test_standard_suite_scale_floors(self):
+        for spec in standard_suite(scale=0.001):
+            assert spec.size >= 512
+            assert spec.n_batches >= 2
+            assert spec.batch_size >= 32
+
+    def test_run_workload_collect(self):
+        wl = build_workload(SMALL["drift"])
+        run = run_workload(wl, backend="auto", collect=True)
+        assert run.n_batches == wl.spec.n_batches
+        assert run.n_queries == wl.spec.n_batches * wl.spec.batch_size
+        assert len(run.results) == run.n_batches
+        assert run.qps > 0
+        assert run.kind_counts == {"tkaq": 2, "ekaq": 2}
+
+    def test_run_workload_from_bare_spec(self):
+        run = run_workload(SMALL["embedding"], backend="multiquery")
+        assert run.family == "embedding"
+        assert run.n_queries > 0
+
+    def test_aggregator_not_cached(self):
+        wl = build_workload(SMALL["drift"])
+        assert wl.aggregator() is not wl.aggregator()
+        assert wl.tree() is wl.tree()  # the index itself is shared
+
+
+class TestCLI:
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.workloads", *argv],
+            capture_output=True, text=True,
+        )
+
+    def test_emit_writes_suite_specs(self, tmp_path):
+        out = tmp_path / "specs"
+        proc = self._run("emit", "--out-dir", str(out), "--scale", "0.01")
+        assert proc.returncode == 0
+        names = sorted(p.name for p in out.glob("*.json"))
+        assert names == ["adversarial.json", "drift.json",
+                         "embedding.json", "mixed_tenant.json"]
+        spec = WorkloadSpec.load(out / "drift.json")
+        assert spec.family == "drift"
+
+    def test_replay_prints_matching_digest(self, tmp_path):
+        spec = SMALL["drift"]
+        path = spec.save(tmp_path / "spec.json")
+        proc = self._run("replay", "--spec", str(path), "--json")
+        assert proc.returncode == 0
+        payload = json.loads(proc.stdout)
+        assert payload["digest"] == stream_digest(spec)
+
+    def test_replay_with_backend_reports_throughput(self, tmp_path):
+        path = SMALL["embedding"].save(tmp_path / "spec.json")
+        proc = self._run("replay", "--spec", str(path),
+                         "--backend", "multiquery", "--json")
+        assert proc.returncode == 0
+        payload = json.loads(proc.stdout)
+        assert payload["qps"] > 0
+        assert payload["n_queries"] == 3 * 24
+
+    def test_bad_spec_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        proc = self._run("replay", "--spec", str(bad))
+        assert proc.returncode == 2
+        assert "error" in proc.stderr
+
+
+def test_workload_dataclass_helpers():
+    wl = ReplayableWorkload(
+        SMALL["drift"], np.zeros((10, 3)), np.ones(10), kernel=None)
+    assert wl.n == 10 and wl.d == 3
